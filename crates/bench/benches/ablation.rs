@@ -1,0 +1,55 @@
+//! Criterion bench for the §6.2 refinement ablations: one mid-size query,
+//! each refinement disabled in turn.
+//!
+//! Run with: cargo bench -p mpq-bench --bench ablation
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_bench::run_once;
+use mpq_catalog::graph::Topology;
+use mpq_core::OptimizerConfig;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chain6");
+    group.sample_size(10);
+    let base = OptimizerConfig::default_for(1);
+    let variants: Vec<(&str, OptimizerConfig)> = vec![
+        ("baseline", base.clone()),
+        (
+            "no_relevance_points",
+            OptimizerConfig {
+                relevance_points: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_cutout_removal",
+            OptimizerConfig {
+                redundant_cutout_removal: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_constraint_removal",
+            OptimizerConfig {
+                redundant_constraint_removal: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_fastpath",
+            OptimizerConfig {
+                pvi_fastpath: false,
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| run_once(6, Topology::Chain, 1, 1, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

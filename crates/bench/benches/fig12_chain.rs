@@ -1,0 +1,33 @@
+//! Criterion bench backing Figure 12, chain-query series: full PWL-RRPA
+//! optimization time as a function of the number of tables.
+//!
+//! Run with: cargo bench -p mpq-bench --bench fig12_chain
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpq_bench::run_once;
+use mpq_catalog::graph::Topology;
+use mpq_core::OptimizerConfig;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12/chain");
+    group.sample_size(10);
+    for num_params in [1usize, 2] {
+        let config = OptimizerConfig::default_for(num_params);
+        // 2-parameter points are an order of magnitude heavier; keep the
+        // bench wall time sane (the fig12 binary does the full sweep).
+        let sizes: &[usize] = if num_params == 1 { &[3, 5, 7] } else { &[3, 4] };
+        for &n in sizes {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{num_params}param"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| run_once(n, Topology::Chain, num_params.min(n), 1, &config));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the geometry substrate: the elementary
+//! operations PWL-RRPA spends its time in (emptiness, containment,
+//! redundancy elimination, union coverage, BFT convexity recognition).
+//!
+//! Run with: cargo bench -p mpq-bench --bench geometry
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_geometry::{difference_is_empty, union_convex_polytope, Halfspace, Polytope};
+use mpq_lp::LpCtx;
+
+fn cut_square(cuts: usize) -> Polytope {
+    let mut p = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+    for i in 0..cuts {
+        let angle = i as f64 * 0.7;
+        p.push(Halfspace::proper(
+            vec![angle.cos(), angle.sin()],
+            0.9 + 0.05 * i as f64,
+        ));
+    }
+    p
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let ctx = LpCtx::new();
+
+    c.bench_function("geometry/is_empty_nonempty", |b| {
+        let p = cut_square(6);
+        b.iter(|| p.is_empty(&ctx));
+    });
+
+    c.bench_function("geometry/is_empty_empty", |b| {
+        let mut p = cut_square(2);
+        p.add_inequality(vec![1.0, 0.0], -1.0); // contradiction
+        b.iter(|| p.is_empty(&ctx));
+    });
+
+    c.bench_function("geometry/contains_polytope", |b| {
+        let outer = Polytope::from_box(&[0.0, 0.0], &[2.0, 2.0]);
+        let inner = cut_square(4);
+        b.iter(|| outer.contains_polytope(&ctx, &inner));
+    });
+
+    c.bench_function("geometry/remove_redundant", |b| {
+        let p = cut_square(8);
+        b.iter(|| p.remove_redundant(&ctx));
+    });
+
+    c.bench_function("geometry/union_covers_tiled", |b| {
+        let target = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let tiles: Vec<Polytope> = (0..4)
+            .map(|i| {
+                let lo = i as f64 * 0.25;
+                Polytope::from_box(&[lo, 0.0], &[lo + 0.25, 1.0])
+            })
+            .collect();
+        b.iter(|| difference_is_empty(&ctx, &target, &tiles));
+    });
+
+    c.bench_function("geometry/bft_union_convex", |b| {
+        let a = Polytope::from_box(&[0.0, 0.0], &[0.6, 1.0]);
+        let bb = Polytope::from_box(&[0.5, 0.0], &[1.0, 1.0]);
+        let polys = vec![a, bb];
+        b.iter(|| union_convex_polytope(&ctx, &polys));
+    });
+}
+
+criterion_group!(benches, bench_geometry);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the simplex solver (the innermost loop
+//! of PWL-RRPA: Figure 12 reports ~10^5–10^6 solved LPs per optimization).
+//!
+//! Run with: cargo bench -p mpq-bench --bench lp
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpq_lp::{solve, Constraint, LpProblem};
+
+fn box_with_cuts(dim: usize, cuts: usize) -> LpProblem {
+    let mut constraints = Vec::new();
+    for j in 0..dim {
+        let mut up = vec![0.0; dim];
+        up[j] = 1.0;
+        constraints.push(Constraint::new(up, 1.0));
+        let mut down = vec![0.0; dim];
+        down[j] = -1.0;
+        constraints.push(Constraint::new(down, 0.0));
+    }
+    for i in 0..cuts {
+        let a: Vec<f64> = (0..dim)
+            .map(|j| ((i + j) as f64 * 0.37).sin())
+            .collect();
+        constraints.push(Constraint::new(a, 0.8));
+    }
+    LpProblem::new(vec![1.0; dim], constraints)
+}
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("lp/feasible_2d", |b| {
+        let p = box_with_cuts(2, 4);
+        b.iter(|| solve(&p));
+    });
+
+    c.bench_function("lp/feasible_3d", |b| {
+        let p = box_with_cuts(3, 8);
+        b.iter(|| solve(&p));
+    });
+
+    c.bench_function("lp/infeasible_2d", |b| {
+        let mut p = box_with_cuts(2, 2);
+        p.constraints.push(Constraint::new(vec![1.0, 0.0], -1.0));
+        b.iter(|| solve(&p));
+    });
+
+    c.bench_function("lp/chebyshev_style", |b| {
+        // The emptiness-check pattern: maximize a slack variable.
+        let mut constraints = Vec::new();
+        for j in 0..2 {
+            let mut up = vec![0.0; 3];
+            up[j] = 1.0;
+            up[2] = 1.0;
+            constraints.push(Constraint::new(up, 1.0));
+            let mut down = vec![0.0; 3];
+            down[j] = -1.0;
+            down[2] = 1.0;
+            constraints.push(Constraint::new(down, 0.0));
+        }
+        constraints.push(Constraint::new(vec![0.0, 0.0, 1.0], 1.0));
+        let p = LpProblem::new(vec![0.0, 0.0, 1.0], constraints);
+        b.iter(|| solve(&p));
+    });
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Experiment execution: single runs, seed sweeps, medians.
+
+use mpq_catalog::generator::{generate, GeneratorConfig};
+use mpq_catalog::graph::Topology;
+use mpq_cloud::model::CloudCostModel;
+use mpq_core::grid_space::GridSpace;
+use mpq_core::rrpa::optimize;
+use mpq_core::OptimizerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Metrics of a single optimization run (one random query).
+#[derive(Debug, Clone, Copy)]
+pub struct RunRecord {
+    /// Optimization wall time in milliseconds.
+    pub time_ms: f64,
+    /// Plans generated, including partial and pruned plans.
+    pub plans_created: u64,
+    /// Linear programs solved.
+    pub lps_solved: u64,
+    /// Plans in the final Pareto plan set.
+    pub final_plans: usize,
+}
+
+/// Runs PWL-RRPA (grid space) on one random query from the paper's
+/// generator setup.
+pub fn run_once(
+    num_tables: usize,
+    topology: Topology,
+    num_params: usize,
+    seed: u64,
+    config: &OptimizerConfig,
+) -> RunRecord {
+    let query = generate(
+        &GeneratorConfig::paper(num_tables, topology, num_params),
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let model = CloudCostModel::default();
+    let space = GridSpace::for_unit_box(num_params, config, model_num_metrics(&model))
+        .expect("valid grid configuration");
+    let solution = optimize(&query, &model, &space, config);
+    RunRecord {
+        time_ms: solution.stats.elapsed.as_secs_f64() * 1e3,
+        plans_created: solution.stats.plans_created,
+        lps_solved: solution.stats.lps_solved,
+        final_plans: solution.stats.final_plan_count,
+    }
+}
+
+fn model_num_metrics(model: &CloudCostModel) -> usize {
+    use mpq_cloud::model::ParametricCostModel;
+    model.num_metrics()
+}
+
+/// Median of a float sample (empty samples yield NaN).
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite metric values"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// One row of Figure 12: medians over `seeds` random queries.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig12Row {
+    /// Number of tables joined.
+    pub num_tables: usize,
+    /// Median optimization time in milliseconds.
+    pub time_ms: f64,
+    /// Median number of created plans.
+    pub plans_created: f64,
+    /// Median number of solved LPs.
+    pub lps_solved: f64,
+    /// Median Pareto-plan-set size of the full query.
+    pub final_plans: f64,
+}
+
+/// Computes one Figure 12 row, running the seed sweep on `threads` worker
+/// threads (each seed is an independent optimization).
+pub fn fig12_row(
+    num_tables: usize,
+    topology: Topology,
+    num_params: usize,
+    seeds: usize,
+    config: &OptimizerConfig,
+    threads: usize,
+) -> Fig12Row {
+    let records: Vec<RunRecord> = if threads <= 1 {
+        (0..seeds)
+            .map(|s| run_once(num_tables, topology, num_params, s as u64, config))
+            .collect()
+    } else {
+        // Work queue over seed indices; each worker claims the next seed.
+        let next = AtomicUsize::new(0);
+        let results = std::sync::Mutex::new(vec![None; seeds]);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(seeds) {
+                scope.spawn(|_| loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= seeds {
+                        break;
+                    }
+                    let rec = run_once(num_tables, topology, num_params, s as u64, config);
+                    results.lock().expect("result slots")[s] = Some(rec);
+                });
+            }
+        })
+        .expect("seed sweep workers");
+        results
+            .into_inner()
+            .expect("result slots")
+            .into_iter()
+            .map(|r| r.expect("all seeds ran"))
+            .collect()
+    };
+    let mut time: Vec<f64> = records.iter().map(|r| r.time_ms).collect();
+    let mut plans: Vec<f64> = records.iter().map(|r| r.plans_created as f64).collect();
+    let mut lps: Vec<f64> = records.iter().map(|r| r.lps_solved as f64).collect();
+    let mut fin: Vec<f64> = records.iter().map(|r| r.final_plans as f64).collect();
+    Fig12Row {
+        num_tables,
+        time_ms: median(&mut time),
+        plans_created: median(&mut plans),
+        lps_solved: median(&mut lps),
+        final_plans: median(&mut fin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let config = OptimizerConfig::default_for(1);
+        let a = run_once(3, Topology::Chain, 1, 7, &config);
+        let b = run_once(3, Topology::Chain, 1, 7, &config);
+        assert_eq!(a.plans_created, b.plans_created);
+        assert_eq!(a.lps_solved, b.lps_solved);
+        assert_eq!(a.final_plans, b.final_plans);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let config = OptimizerConfig::default_for(1);
+        let serial = fig12_row(3, Topology::Star, 1, 4, &config, 1);
+        let parallel = fig12_row(3, Topology::Star, 1, 4, &config, 4);
+        assert_eq!(serial.plans_created, parallel.plans_created);
+        assert_eq!(serial.lps_solved, parallel.lps_solved);
+    }
+}

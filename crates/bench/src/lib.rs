@@ -1,0 +1,22 @@
+//! Shared harness code for regenerating the MPQ paper's experiments.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see `DESIGN.md` §3 for the experiment index):
+//!
+//! * `fig12` — the main evaluation: optimization time, created plans and
+//!   solved LPs over table count, for chain and star queries with one and
+//!   two parameters (medians of 25 random queries);
+//! * `table1` — executable verification of statements S1–S3 and M1–M3;
+//! * `figures` — the illustrative figures (1, 4–7, 10, 11) plus the §6.3
+//!   bound and the §1.1 PQ-vs-MPQ comparison;
+//! * `ablation` — the §6.2 refinements toggled individually, and a grid
+//!   resolution sweep.
+//!
+//! This library crate holds the pieces those binaries share: single-run
+//! execution, seed sweeps with medians (parallelised with crossbeam), and
+//! the paper's counterexample cost functions.
+
+pub mod counterexamples;
+pub mod harness;
+
+pub use harness::{fig12_row, median, run_once, Fig12Row, RunRecord};

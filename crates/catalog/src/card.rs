@@ -1,0 +1,213 @@
+//! Parametric cardinality estimation.
+//!
+//! Under independence assumptions, the output cardinality of joining a
+//! table set is the product of base cardinalities, fixed predicate
+//! selectivities, join selectivities of internal edges — and the
+//! **parametric** selectivities of parameterised predicates. The result is
+//! a monomial
+//!
+//! ```text
+//! |q(x)| = factor · Π_{i ∈ mask} xᵢ
+//! ```
+//!
+//! captured by [`CardExpr`]. With a single parameter this is linear in `x`;
+//! with two or more parameters appearing in one subtree it is multilinear —
+//! the reason PWL-MPQ needs piecewise-linear approximation at all.
+
+use crate::{Query, Selectivity, TableSet};
+use serde::{Deserialize, Serialize};
+
+/// A cardinality monomial `factor · Π_{i∈mask} xᵢ`.
+///
+/// `mask` is a bitset over parameter indices. A parameter can appear at
+/// most once per table set because each parameterised predicate belongs to
+/// exactly one table (repeated parameters would need exponent tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CardExpr {
+    /// The constant factor.
+    pub factor: f64,
+    /// Bitset of parameter indices multiplied in.
+    pub param_mask: u64,
+}
+
+impl CardExpr {
+    /// The constant monomial.
+    pub fn constant(factor: f64) -> Self {
+        Self {
+            factor,
+            param_mask: 0,
+        }
+    }
+
+    /// Evaluates at the parameter vector `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut v = self.factor;
+        let mut bits = self.param_mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            v *= x[i];
+        }
+        v
+    }
+
+    /// Multiplies two monomials.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the operands share a parameter — table
+    /// sets in a join are disjoint, so their masks must be too.
+    pub fn multiply(&self, other: &CardExpr) -> CardExpr {
+        debug_assert_eq!(
+            self.param_mask & other.param_mask,
+            0,
+            "parameter appears on both sides of a join"
+        );
+        CardExpr {
+            factor: self.factor * other.factor,
+            param_mask: self.param_mask | other.param_mask,
+        }
+    }
+
+    /// Scales the constant factor.
+    pub fn scale(&self, k: f64) -> CardExpr {
+        CardExpr {
+            factor: self.factor * k,
+            param_mask: self.param_mask,
+        }
+    }
+
+    /// True iff the monomial does not depend on any parameter.
+    pub fn is_constant(&self) -> bool {
+        self.param_mask == 0
+    }
+}
+
+impl Query {
+    /// Cardinality of one base table **after** its predicates: rows times
+    /// fixed selectivities, times one parameter per parameterised
+    /// predicate.
+    pub fn base_card(&self, table: usize) -> CardExpr {
+        let mut expr = CardExpr::constant(self.tables[table].rows);
+        for p in self.predicates_on(table) {
+            match p.selectivity {
+                Selectivity::Fixed(s) => expr = expr.scale(s),
+                Selectivity::Param(i) => {
+                    debug_assert_eq!(
+                        expr.param_mask & (1 << i),
+                        0,
+                        "parameter used twice on one table"
+                    );
+                    expr.param_mask |= 1 << i;
+                }
+            }
+        }
+        expr
+    }
+
+    /// Cardinality of joining the table set `q`: product of filtered base
+    /// cardinalities and the selectivities of all join edges internal to
+    /// `q` (independence assumption).
+    pub fn join_card(&self, q: TableSet) -> CardExpr {
+        let mut expr = CardExpr::constant(1.0);
+        for t in q.iter() {
+            expr = expr.multiply(&self.base_card(t));
+        }
+        for e in &self.joins {
+            if q.contains(e.t1) && q.contains(e.t2) {
+                expr = expr.scale(e.selectivity);
+            }
+        }
+        expr
+    }
+
+    /// Width of one output row for the table set (sum of member widths).
+    pub fn row_bytes(&self, q: TableSet) -> f64 {
+        q.iter().map(|t| self.tables[t].row_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JoinEdge, Predicate, Table};
+
+    fn table(name: &str, rows: f64) -> Table {
+        Table {
+            name: name.into(),
+            rows,
+            row_bytes: 100.0,
+        }
+    }
+
+    fn two_table_query() -> Query {
+        Query {
+            tables: vec![table("A", 1000.0), table("B", 2000.0)],
+            predicates: vec![
+                Predicate {
+                    table: 0,
+                    selectivity: Selectivity::Param(0),
+                },
+                Predicate {
+                    table: 1,
+                    selectivity: Selectivity::Fixed(0.5),
+                },
+            ],
+            joins: vec![JoinEdge {
+                t1: 0,
+                t2: 1,
+                selectivity: 0.01,
+            }],
+            num_params: 1,
+        }
+    }
+
+    #[test]
+    fn monomial_eval_and_multiply() {
+        let a = CardExpr {
+            factor: 10.0,
+            param_mask: 0b01,
+        };
+        let b = CardExpr {
+            factor: 3.0,
+            param_mask: 0b10,
+        };
+        let p = a.multiply(&b);
+        assert_eq!(p.factor, 30.0);
+        assert_eq!(p.param_mask, 0b11);
+        assert!((p.eval(&[0.5, 0.2]) - 30.0 * 0.5 * 0.2).abs() < 1e-12);
+        assert!(CardExpr::constant(5.0).is_constant());
+        assert!(!p.is_constant());
+    }
+
+    #[test]
+    fn base_card_applies_predicates() {
+        let q = two_table_query();
+        let a = q.base_card(0);
+        assert_eq!(a.factor, 1000.0);
+        assert_eq!(a.param_mask, 1);
+        assert!((a.eval(&[0.1]) - 100.0).abs() < 1e-9);
+        let b = q.base_card(1);
+        assert!(b.is_constant());
+        assert!((b.factor - 1000.0).abs() < 1e-9); // 2000 × 0.5
+    }
+
+    #[test]
+    fn join_card_includes_edges() {
+        let q = two_table_query();
+        let c = q.join_card(TableSet::all(2));
+        // 1000·x0 × 1000 × 0.01 = 10_000 · x0.
+        assert_eq!(c.param_mask, 1);
+        assert!((c.eval(&[1.0]) - 10_000.0).abs() < 1e-9);
+        assert!((c.eval(&[0.5]) - 5_000.0).abs() < 1e-9);
+        // Singleton set has no join edges applied.
+        let single = q.join_card(TableSet::singleton(0));
+        assert!((single.eval(&[1.0]) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_bytes_sums_members() {
+        let q = two_table_query();
+        assert_eq!(q.row_bytes(TableSet::all(2)), 200.0);
+        assert_eq!(q.row_bytes(TableSet::singleton(1)), 100.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Random query generation following Steinbrunn et al.
+//!
+//! Section 7 of the MPQ paper: "We evaluate the performance of PWL-RRPA on
+//! randomly generated queries, using the generation method proposed by
+//! Steinbrunn \[29\] … to choose table cardinalities and join predicates; we
+//! assume that unique values occupy up to 10% of a table column."
+//!
+//! Concretely (conventions documented in `DESIGN.md` §4):
+//!
+//! * table cardinalities are log-uniform in `[min_rows, max_rows]`
+//!   (default `[100, 100 000]`);
+//! * every join column's distinct-value count is uniform in
+//!   `[1, 0.1 · |T|]`, and an equality join between columns with `d₁` and
+//!   `d₂` distinct values has selectivity `1 / max(d₁, d₂)`;
+//! * `num_params` distinct tables carry an equality predicate whose
+//!   selectivity is a **parameter** (the paper: "one parameter is required
+//!   for each table with a predicate");
+//! * the join graph shape is a [`Topology`] (the paper evaluates chain and
+//!   star).
+//!
+//! All randomness flows through the caller-provided RNG, so experiments are
+//! reproducible from a seed.
+
+use crate::graph::Topology;
+use crate::{JoinEdge, Predicate, Query, Selectivity, Table};
+use rand::Rng;
+
+/// Configuration for the random query generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of tables to join.
+    pub num_tables: usize,
+    /// Join graph shape.
+    pub topology: Topology,
+    /// Number of parameterised predicates (each on a distinct table).
+    pub num_params: usize,
+    /// Smallest table cardinality.
+    pub min_rows: f64,
+    /// Largest table cardinality.
+    pub max_rows: f64,
+    /// Smallest row width in bytes.
+    pub min_row_bytes: f64,
+    /// Largest row width in bytes.
+    pub max_row_bytes: f64,
+    /// Fraction of a column that distinct values occupy at most (the
+    /// paper's 10%).
+    pub max_distinct_fraction: f64,
+}
+
+impl GeneratorConfig {
+    /// The paper's experimental setup for a given size, shape and number of
+    /// parameters.
+    pub fn paper(num_tables: usize, topology: Topology, num_params: usize) -> Self {
+        Self {
+            num_tables,
+            topology,
+            num_params,
+            min_rows: 100.0,
+            max_rows: 100_000.0,
+            min_row_bytes: 50.0,
+            max_row_bytes: 200.0,
+            max_distinct_fraction: 0.1,
+        }
+    }
+}
+
+/// Generates one random query.
+///
+/// # Panics
+/// Panics if `num_params > num_tables` (each parameterised predicate needs
+/// its own table) or `num_tables` is zero.
+pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Query {
+    assert!(cfg.num_tables >= 1, "a query needs at least one table");
+    assert!(
+        cfg.num_params <= cfg.num_tables,
+        "each parameterised predicate needs a distinct table"
+    );
+    let tables: Vec<Table> = (0..cfg.num_tables)
+        .map(|i| {
+            let log_rows =
+                rng.gen_range(cfg.min_rows.ln()..=cfg.max_rows.ln());
+            Table {
+                name: format!("T{i}"),
+                rows: log_rows.exp().round(),
+                row_bytes: rng.gen_range(cfg.min_row_bytes..=cfg.max_row_bytes).round(),
+            }
+        })
+        .collect();
+
+    // Choose the parameterised tables: a random subset of distinct indices.
+    let mut param_tables: Vec<usize> = (0..cfg.num_tables).collect();
+    for i in 0..cfg.num_params {
+        let j = rng.gen_range(i..cfg.num_tables);
+        param_tables.swap(i, j);
+    }
+    let predicates = (0..cfg.num_params)
+        .map(|p| Predicate {
+            table: param_tables[p],
+            selectivity: Selectivity::Param(p),
+        })
+        .collect();
+
+    // Join selectivities from distinct-value counts (equality joins).
+    let distinct = |rng: &mut dyn rand::RngCore, rows: f64| -> f64 {
+        let max_d = (rows * cfg.max_distinct_fraction).max(1.0);
+        rng.gen_range(1.0..=max_d).round().max(1.0)
+    };
+    let joins = cfg
+        .topology
+        .edge_pairs(cfg.num_tables)
+        .into_iter()
+        .map(|(t1, t2)| {
+            let d1 = distinct(rng, tables[t1].rows);
+            let d2 = distinct(rng, tables[t2].rows);
+            JoinEdge {
+                t1,
+                t2,
+                selectivity: 1.0 / d1.max(d2),
+            }
+        })
+        .collect();
+
+    let query = Query {
+        tables,
+        predicates,
+        joins,
+        num_params: cfg.num_params,
+    };
+    debug_assert_eq!(query.validate(), Ok(()));
+    query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TableSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_queries_validate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..=10 {
+            for topo in [Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique] {
+                let cfg = GeneratorConfig::paper(n, topo, n.min(2));
+                let q = generate(&cfg, &mut rng);
+                assert_eq!(q.validate(), Ok(()), "{topo} with {n} tables");
+                assert_eq!(q.num_tables(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GeneratorConfig::paper(6, Topology::Chain, 2);
+        let q1 = generate(&cfg, &mut StdRng::seed_from_u64(42));
+        let q2 = generate(&cfg, &mut StdRng::seed_from_u64(42));
+        assert_eq!(format!("{q1:?}"), format!("{q2:?}"));
+        let q3 = generate(&cfg, &mut StdRng::seed_from_u64(43));
+        assert_ne!(format!("{q1:?}"), format!("{q3:?}"));
+    }
+
+    #[test]
+    fn statistics_within_ranges() {
+        let cfg = GeneratorConfig::paper(8, Topology::Star, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let q = generate(&cfg, &mut rng);
+            for t in &q.tables {
+                assert!(t.rows >= cfg.min_rows && t.rows <= cfg.max_rows);
+                assert!(t.row_bytes >= cfg.min_row_bytes && t.row_bytes <= cfg.max_row_bytes);
+            }
+            for e in &q.joins {
+                assert!(e.selectivity > 0.0 && e.selectivity <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn parameterised_tables_are_distinct() {
+        let cfg = GeneratorConfig::paper(5, Topology::Chain, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let q = generate(&cfg, &mut rng);
+            let tables: Vec<usize> = q.predicates.iter().map(|p| p.table).collect();
+            let mut dedup = tables.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), tables.len(), "duplicate predicate table");
+        }
+    }
+
+    #[test]
+    fn generated_query_is_connected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for topo in [Topology::Chain, Topology::Star] {
+            let cfg = GeneratorConfig::paper(7, topo, 1);
+            let q = generate(&cfg, &mut rng);
+            assert!(q.is_connected(TableSet::all(7)));
+        }
+    }
+}

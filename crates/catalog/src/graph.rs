@@ -1,0 +1,161 @@
+//! Join-graph topologies and connectivity.
+//!
+//! The paper's evaluation separates **chain** and **star** queries because
+//! "the structure of the join graph is known to have significant impact on
+//! optimizer performance" (Section 7, citing Steinbrunn et al. and Ono &
+//! Lohman). Cycle and clique shapes are provided as well for wider
+//! experiments.
+
+use crate::{Query, TableSet};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a query's join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// `T0 − T1 − … − T_{n−1}`.
+    Chain,
+    /// `T0` joined with every other table.
+    Star,
+    /// A chain with the ends joined.
+    Cycle,
+    /// Every pair of tables joined.
+    Clique,
+}
+
+impl Topology {
+    /// The table-index pairs of this topology over `n` tables.
+    pub fn edge_pairs(self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Topology::Chain => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Topology::Star => (1..n).map(|i| (0, i)).collect(),
+            Topology::Cycle => {
+                let mut e = Topology::Chain.edge_pairs(n);
+                if n > 2 {
+                    e.push((n - 1, 0));
+                }
+                e
+            }
+            Topology::Clique => {
+                let mut e = Vec::with_capacity(n * (n - 1) / 2);
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        e.push((i, j));
+                    }
+                }
+                e
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Topology::Chain => "chain",
+            Topology::Star => "star",
+            Topology::Cycle => "cycle",
+            Topology::Clique => "clique",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Query {
+    /// True iff some join edge connects a table in `s1` with one in `s2`.
+    pub fn sets_joined(&self, s1: TableSet, s2: TableSet) -> bool {
+        self.joins.iter().any(|e| {
+            (s1.contains(e.t1) && s2.contains(e.t2)) || (s1.contains(e.t2) && s2.contains(e.t1))
+        })
+    }
+
+    /// True iff the join graph restricted to `set` is connected.
+    pub fn is_connected(&self, set: TableSet) -> bool {
+        let Some(start) = set.iter().next() else {
+            return true;
+        };
+        let mut visited = TableSet::singleton(start);
+        let mut frontier = visited;
+        while !frontier.is_empty() {
+            let mut next = TableSet::EMPTY;
+            for e in &self.joins {
+                if set.contains(e.t1) && set.contains(e.t2) {
+                    if frontier.contains(e.t1) && !visited.contains(e.t2) {
+                        next = next.union(TableSet::singleton(e.t2));
+                    }
+                    if frontier.contains(e.t2) && !visited.contains(e.t1) {
+                        next = next.union(TableSet::singleton(e.t1));
+                    }
+                }
+            }
+            visited = visited.union(next);
+            frontier = next;
+        }
+        visited == set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JoinEdge, Table, TableSet};
+
+    fn query_with_topology(n: usize, topology: Topology) -> Query {
+        Query {
+            tables: (0..n)
+                .map(|i| Table {
+                    name: format!("T{i}"),
+                    rows: 1000.0,
+                    row_bytes: 100.0,
+                })
+                .collect(),
+            predicates: vec![],
+            joins: topology
+                .edge_pairs(n)
+                .into_iter()
+                .map(|(t1, t2)| JoinEdge {
+                    t1,
+                    t2,
+                    selectivity: 0.01,
+                })
+                .collect(),
+            num_params: 0,
+        }
+    }
+
+    #[test]
+    fn edge_counts() {
+        assert_eq!(Topology::Chain.edge_pairs(5).len(), 4);
+        assert_eq!(Topology::Star.edge_pairs(5).len(), 4);
+        assert_eq!(Topology::Cycle.edge_pairs(5).len(), 5);
+        assert_eq!(Topology::Clique.edge_pairs(5).len(), 10);
+        // Tiny cases.
+        assert_eq!(Topology::Cycle.edge_pairs(2).len(), 1);
+        assert!(Topology::Chain.edge_pairs(1).is_empty());
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        let q = query_with_topology(4, Topology::Chain);
+        assert!(q.is_connected(TableSet::all(4)));
+        assert!(q.is_connected(TableSet(0b0110))); // {1,2} adjacent
+        assert!(!q.is_connected(TableSet(0b0101))); // {0,2} not adjacent
+        assert!(q.is_connected(TableSet::singleton(2)));
+        assert!(q.is_connected(TableSet::EMPTY));
+    }
+
+    #[test]
+    fn star_connectivity() {
+        let q = query_with_topology(4, Topology::Star);
+        // Any set containing the hub is connected.
+        assert!(q.is_connected(TableSet(0b1011)));
+        // Spokes alone are not.
+        assert!(!q.is_connected(TableSet(0b0110)));
+    }
+
+    #[test]
+    fn sets_joined_detects_cross_edges() {
+        let q = query_with_topology(4, Topology::Chain);
+        assert!(q.sets_joined(TableSet(0b0011), TableSet(0b0100))); // 1−2 edge
+        assert!(!q.sets_joined(TableSet(0b0001), TableSet(0b0100))); // 0 vs 2
+    }
+}

@@ -1,0 +1,212 @@
+//! Approximate-query-processing cost model (Scenario 2 of the paper).
+//!
+//! In approximate query processing, execution time can be traded against
+//! **result precision** (paper §1, Scenario 2, citing BlinkDB): scanning
+//! only a sample of a table is faster but degrades the answer. Precision is
+//! a quality (higher is better), so per Section 2 it is modelled as
+//! **precision loss** — a cost metric where lower is better.
+//!
+//! Operators:
+//! * an **exact scan** (full cost, zero loss) and **sampled scans** at a
+//!   set of sampling rates `r` (time scales with `r`; loss grows with
+//!   `1 − r`);
+//! * the same single-node/parallel hash joins as the Cloud model on the
+//!   time metric; joins add no loss of their own but propagate it.
+//!
+//! Loss accumulates additively over operators, satisfying the Principle of
+//! Optimality the completeness proof requires.
+//!
+//! Simplification: join alternatives are priced per operand *table set*
+//! (the DP interface), so join inputs are costed at full cardinality even
+//! below a sampled scan — a conservative upper bound on time. Sampling
+//! therefore trades scan time and precision; making joins benefit from
+//! sampled inputs would require cardinality to become part of per-plan
+//! state, which the MPQ plan model (and the paper) does not track.
+
+use crate::join::{parallel_hash_join_cost, single_node_hash_join_cost, JoinStats};
+use crate::model::{CostClosure, JoinAlternative, ParametricCostModel, ScanAlternative};
+use crate::ops::{JoinOp, ScanOp};
+use crate::scan::{index_seek_cost, table_scan_cost};
+use crate::ClusterConfig;
+use mpq_catalog::{Query, TableSet};
+
+/// Metric index of precision loss in the approximate model.
+pub const METRIC_LOSS: usize = 1;
+
+/// Cost model trading execution time against result-precision loss.
+#[derive(Debug, Clone)]
+pub struct ApproxCostModel {
+    /// Cluster profile used for the time metric.
+    pub cluster: ClusterConfig,
+    /// Available sampling rates (fractions of a table scanned), each
+    /// yielding one sampled-scan alternative. Must lie in `(0, 1)`.
+    pub sampling_rates: Vec<f64>,
+    /// Loss incurred by sampling a table at rate `r` is
+    /// `loss_scale · (1 − r)`.
+    pub loss_scale: f64,
+}
+
+impl Default for ApproxCostModel {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            sampling_rates: vec![0.01, 0.1, 0.5],
+            loss_scale: 1.0,
+        }
+    }
+}
+
+fn with_loss(mut time_fees: Vec<f64>, loss: f64) -> Vec<f64> {
+    // Reuse the time component of the Cloud formulas; replace fees by loss.
+    time_fees[METRIC_LOSS] = loss;
+    time_fees
+}
+
+impl ParametricCostModel for ApproxCostModel {
+    fn num_metrics(&self) -> usize {
+        2
+    }
+
+    fn metric_names(&self) -> Vec<&'static str> {
+        vec!["time (s)", "precision loss"]
+    }
+
+    fn scan_alternatives(&self, query: &Query, table: usize) -> Vec<ScanAlternative> {
+        let rows = query.tables[table].rows;
+        let row_bytes = query.tables[table].row_bytes;
+        let mut out: Vec<ScanAlternative> = Vec::with_capacity(2 + self.sampling_rates.len());
+
+        // Exact full scan: zero loss.
+        let exact = with_loss(table_scan_cost(&self.cluster, rows, row_bytes), 0.0);
+        out.push(ScanAlternative {
+            op: ScanOp::TableScan,
+            cost: Box::new(move |_x| exact.clone()),
+        });
+        // Exact index seek when a predicate exists: zero loss, parametric.
+        if query.predicates_on(table).next().is_some() {
+            let matching = query.base_card(table);
+            let cluster = self.cluster.clone();
+            out.push(ScanAlternative {
+                op: ScanOp::IndexSeek,
+                cost: Box::new(move |x| {
+                    with_loss(index_seek_cost(&cluster, matching.eval(x)), 0.0)
+                }),
+            });
+        }
+        // Sampled scans: cheaper, lossy. Modelled as table scans over the
+        // sampled fraction.
+        for &rate in &self.sampling_rates {
+            debug_assert!((0.0..1.0).contains(&rate) && rate > 0.0);
+            let cost =
+                with_loss(table_scan_cost(&self.cluster, rows * rate, row_bytes), self.loss_scale * (1.0 - rate));
+            out.push(ScanAlternative {
+                op: ScanOp::SampledScan {
+                    permille: (rate * 1000.0).round() as u32,
+                },
+                cost: Box::new(move |_x| cost.clone()),
+            });
+        }
+        out
+    }
+
+    fn join_alternatives(
+        &self,
+        query: &Query,
+        left: TableSet,
+        right: TableSet,
+    ) -> Vec<JoinAlternative> {
+        let build = query.join_card(left);
+        let probe = query.join_card(right);
+        let output = query.join_card(left.union(right));
+        let build_row_bytes = query.row_bytes(left);
+        let probe_row_bytes = query.row_bytes(right);
+        let stats_at = move |x: &[f64]| JoinStats {
+            build_rows: build.eval(x),
+            build_row_bytes,
+            probe_rows: probe.eval(x),
+            probe_row_bytes,
+            out_rows: output.eval(x),
+        };
+        let c1 = self.cluster.clone();
+        let c2 = self.cluster.clone();
+        let single: CostClosure =
+            Box::new(move |x| with_loss(single_node_hash_join_cost(&c1, &stats_at(x)), 0.0));
+        let parallel: CostClosure =
+            Box::new(move |x| with_loss(parallel_hash_join_cost(&c2, &stats_at(x)), 0.0));
+        vec![
+            JoinAlternative {
+                op: JoinOp::SingleNodeHash,
+                cost: single,
+            },
+            JoinAlternative {
+                op: JoinOp::ParallelHash,
+                cost: parallel,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::METRIC_TIME;
+    use mpq_catalog::{Predicate, Selectivity, Table};
+
+    fn query() -> Query {
+        Query {
+            tables: vec![Table {
+                name: "A".into(),
+                rows: 100_000.0,
+                row_bytes: 100.0,
+            }],
+            predicates: vec![Predicate {
+                table: 0,
+                selectivity: Selectivity::Param(0),
+            }],
+            joins: vec![],
+            num_params: 1,
+        }
+    }
+
+    #[test]
+    fn sampled_scans_trade_time_for_loss() {
+        let m = ApproxCostModel::default();
+        let q = query();
+        let alts = m.scan_alternatives(&q, 0);
+        // Exact scan + index seek + 3 sampled scans.
+        assert_eq!(alts.len(), 5);
+        let costs: Vec<Vec<f64>> = alts.iter().map(|a| (a.cost)(&[0.5])).collect();
+        let exact = &costs[0];
+        assert_eq!(exact[METRIC_LOSS], 0.0);
+        // Every sampled scan is faster than exact but lossy.
+        for c in &costs[2..] {
+            assert!(c[METRIC_TIME] < exact[METRIC_TIME]);
+            assert!(c[METRIC_LOSS] > 0.0);
+        }
+        // Lower sampling rate → faster and lossier (Pareto frontier).
+        assert!(costs[2][METRIC_TIME] < costs[4][METRIC_TIME]);
+        assert!(costs[2][METRIC_LOSS] > costs[4][METRIC_LOSS]);
+    }
+
+    #[test]
+    fn joins_add_no_loss() {
+        let m = ApproxCostModel::default();
+        let mut q = query();
+        q.tables.push(Table {
+            name: "B".into(),
+            rows: 10_000.0,
+            row_bytes: 100.0,
+        });
+        q.joins.push(mpq_catalog::JoinEdge {
+            t1: 0,
+            t2: 1,
+            selectivity: 1e-4,
+        });
+        let alts = m.join_alternatives(&q, TableSet::singleton(0), TableSet::singleton(1));
+        for a in alts {
+            let c = (a.cost)(&[0.5]);
+            assert_eq!(c[METRIC_LOSS], 0.0);
+            assert!(c[METRIC_TIME] > 0.0);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Join operator cost formulas.
+//!
+//! These are the "standard formulas" of the paper's §7 setup, reproducing
+//! the Figure 7 structure: the single-node hash join wins on small inputs
+//! (no shuffle, no start-up), the parallel hash join wins on large inputs
+//! (work divided over nodes, per-node build side fits memory), and the
+//! parallel join always accrues more **total** work — hence higher fees.
+
+use crate::{ClusterConfig, METRIC_FEES, METRIC_TIME, NUM_METRICS};
+
+/// Inputs to a join cost formula: concrete (already parameter-evaluated)
+/// statistics of the build side, probe side and output.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinStats {
+    /// Build-side row count.
+    pub build_rows: f64,
+    /// Build-side row width in bytes.
+    pub build_row_bytes: f64,
+    /// Probe-side row count.
+    pub probe_rows: f64,
+    /// Probe-side row width in bytes.
+    pub probe_row_bytes: f64,
+    /// Output row count.
+    pub out_rows: f64,
+}
+
+impl JoinStats {
+    fn build_bytes(&self) -> f64 {
+        self.build_rows * self.build_row_bytes
+    }
+
+    fn probe_bytes(&self) -> f64 {
+        self.probe_rows * self.probe_row_bytes
+    }
+
+    /// Pure CPU work of the hash join (seconds of machine time).
+    fn cpu_work(&self, c: &ClusterConfig) -> f64 {
+        self.build_rows * c.hash_build_sec
+            + self.probe_rows * c.hash_probe_sec
+            + self.out_rows * c.cpu_tuple_sec
+    }
+
+    /// Extra Grace-partitioning I/O when the build side exceeds `memory`:
+    /// every pass beyond the first re-reads and re-writes both inputs.
+    fn spill_work(&self, c: &ClusterConfig, memory: f64) -> f64 {
+        let passes = (self.build_bytes() / memory).ceil().max(1.0);
+        if passes <= 1.0 {
+            0.0
+        } else {
+            (passes - 1.0) * (self.build_bytes() + self.probe_bytes()) * c.spill_penalty
+                / c.scan_bytes_per_sec
+        }
+    }
+}
+
+/// Cost of the single-node hash join. Returns `[time, fees]`.
+///
+/// All input data resides on one node (paper's assumption), so there is no
+/// network cost; the single node performs all CPU work plus any spill I/O.
+pub fn single_node_hash_join_cost(c: &ClusterConfig, s: &JoinStats) -> Vec<f64> {
+    let work = s.cpu_work(c) + s.spill_work(c, c.node_memory_bytes);
+    let mut out = vec![0.0; NUM_METRICS];
+    out[METRIC_TIME] = work;
+    out[METRIC_FEES] = c.fees(work);
+    out
+}
+
+/// Cost of the parallel hash join over `c.parallel_nodes` nodes. Returns
+/// `[time, fees]`.
+///
+/// Both inputs are shuffled across the network (each node sends/receives
+/// its partition concurrently, so shuffle wall-time divides by the node
+/// count while shuffle *work* does not). CPU work divides across nodes;
+/// each node's build partition only spills if it exceeds node memory.
+/// Fees are charged for the total machine time over all nodes, including
+/// start-up — strictly more total work than the single-node join.
+pub fn parallel_hash_join_cost(c: &ClusterConfig, s: &JoinStats) -> Vec<f64> {
+    let n = c.parallel_nodes.max(2) as f64;
+    let shuffle_bytes = s.build_bytes() + s.probe_bytes();
+    let shuffle_work = shuffle_bytes / c.network_bytes_per_sec;
+    let cpu_work = s.cpu_work(c);
+    let per_node = JoinStats {
+        build_rows: s.build_rows / n,
+        probe_rows: s.probe_rows / n,
+        out_rows: s.out_rows / n,
+        ..*s
+    };
+    let spill_per_node = per_node.spill_work(c, c.node_memory_bytes);
+
+    let wall = c.startup_sec_per_node
+        + shuffle_work / n
+        + cpu_work / n
+        + spill_per_node;
+    let machine = n * c.startup_sec_per_node + shuffle_work + cpu_work + n * spill_per_node;
+
+    let mut out = vec![0.0; NUM_METRICS];
+    out[METRIC_TIME] = wall;
+    out[METRIC_FEES] = c.fees(machine);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(build_rows: f64, probe_rows: f64) -> JoinStats {
+        JoinStats {
+            build_rows,
+            build_row_bytes: 100.0,
+            probe_rows,
+            probe_row_bytes: 100.0,
+            out_rows: (build_rows * probe_rows * 1e-5).max(1.0),
+        }
+    }
+
+    #[test]
+    fn figure7_shape_single_node_wins_small() {
+        let c = ClusterConfig::default();
+        let small = stats(1_000.0, 1_000.0);
+        let single = single_node_hash_join_cost(&c, &small);
+        let parallel = parallel_hash_join_cost(&c, &small);
+        assert!(
+            single[METRIC_TIME] < parallel[METRIC_TIME],
+            "single-node should be faster on small inputs: {} vs {}",
+            single[METRIC_TIME],
+            parallel[METRIC_TIME]
+        );
+    }
+
+    #[test]
+    fn figure7_shape_parallel_wins_large() {
+        let c = ClusterConfig::default();
+        let large = stats(5e7, 5e7);
+        let single = single_node_hash_join_cost(&c, &large);
+        let parallel = parallel_hash_join_cost(&c, &large);
+        assert!(
+            parallel[METRIC_TIME] < single[METRIC_TIME],
+            "parallel should be faster on large inputs: {} vs {}",
+            parallel[METRIC_TIME],
+            single[METRIC_TIME]
+        );
+    }
+
+    #[test]
+    fn figure7_shape_parallel_costs_more_fees_in_memory_regime() {
+        // The paper's invariant — "the total amount of work increases by
+        // parallelization", so parallel fees always exceed single-node fees
+        // — holds whenever the single-node build side fits in memory
+        // (the paper's formulas have no spill term).
+        let c = ClusterConfig::default();
+        for (b, p) in [(100.0, 100.0), (1e4, 1e5), (1e6, 1e6), (1e7, 1e7)] {
+            let s = stats(b, p);
+            assert!(s.build_bytes() <= c.node_memory_bytes, "stay in regime");
+            let single = single_node_hash_join_cost(&c, &s);
+            let parallel = parallel_hash_join_cost(&c, &s);
+            assert!(
+                parallel[METRIC_FEES] > single[METRIC_FEES],
+                "parallel fees must exceed single-node fees at ({b}, {p})"
+            );
+        }
+    }
+
+    #[test]
+    fn spill_can_invert_the_fee_ordering() {
+        // Our model extends the paper's with Grace-hash spill I/O once the
+        // build side exceeds node memory. Parallelization splits the build
+        // across nodes and avoids the spill, so for very large builds the
+        // parallel join can be cheaper in *total* work too — a deliberate,
+        // documented deviation from the in-memory invariant above.
+        let c = ClusterConfig::default();
+        let s = stats(5e7, 5e7); // 5 GB build > 3.75 GB memory
+        assert!(s.build_bytes() > c.node_memory_bytes);
+        let single = single_node_hash_join_cost(&c, &s);
+        let parallel = parallel_hash_join_cost(&c, &s);
+        assert!(parallel[METRIC_FEES] < single[METRIC_FEES]);
+    }
+
+    #[test]
+    fn crossover_exists_between_extremes() {
+        // Somewhere between the small and large regimes, the faster
+        // implementation flips — this is the relevance-region boundary of
+        // Figure 7.
+        let c = ClusterConfig::default();
+        let faster_is_single = |rows: f64| {
+            let s = stats(rows, rows);
+            single_node_hash_join_cost(&c, &s)[METRIC_TIME]
+                < parallel_hash_join_cost(&c, &s)[METRIC_TIME]
+        };
+        assert!(faster_is_single(1_000.0));
+        assert!(!faster_is_single(5e7));
+        let mut lo = 1_000.0f64;
+        let mut hi = 5e7f64;
+        for _ in 0..60 {
+            let mid = (lo * hi).sqrt();
+            if faster_is_single(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        assert!(lo > 1_000.0 && hi < 5e7, "crossover strictly inside range");
+    }
+
+    #[test]
+    fn spill_kicks_in_past_memory() {
+        let c = ClusterConfig {
+            node_memory_bytes: 1e6, // tiny memory to force spill
+            ..ClusterConfig::default()
+        };
+        let fits = stats(5_000.0, 5_000.0); // 500 KB build
+        let spills = stats(50_000.0, 5_000.0); // 5 MB build
+        let t_fits = single_node_hash_join_cost(&c, &fits)[METRIC_TIME];
+        let t_spills = single_node_hash_join_cost(&c, &spills)[METRIC_TIME];
+        // More than 10x the build rows (CPU-linear) because of spill I/O.
+        assert!(t_spills > 10.0 * t_fits);
+    }
+}

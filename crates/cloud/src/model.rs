@@ -1,0 +1,240 @@
+//! The cost-model interface consumed by the optimizer, and the Cloud
+//! implementation.
+//!
+//! A [`ParametricCostModel`] enumerates the physical alternatives for scans
+//! and joins and prices each alternative with a **closure over the
+//! parameter vector** `x`. The optimizer lifts these closures onto its
+//! piecewise-linear representation (grid interpolation), so models are free
+//! to use arbitrary non-linear formulas.
+//!
+//! Costs are *incremental* per Algorithm 1's `AccumulateCost`: a join
+//! alternative prices only the final join operation; the optimizer adds the
+//! accumulated costs of the two sub-plans.
+
+use crate::join::{parallel_hash_join_cost, single_node_hash_join_cost, JoinStats};
+use crate::ops::{JoinOp, ScanOp};
+use crate::scan::{index_seek_cost, table_scan_cost};
+use crate::{ClusterConfig, NUM_METRICS};
+use mpq_catalog::{Query, TableSet};
+
+/// A cost closure: parameter vector ↦ one value per metric.
+pub type CostClosure = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>;
+
+/// One physical alternative for scanning a base table.
+pub struct ScanAlternative {
+    /// Operator descriptor (used in plan display).
+    pub op: ScanOp,
+    /// Full cost of the scan as a function of the parameters.
+    pub cost: CostClosure,
+}
+
+/// One physical alternative for the final join of two table sets.
+pub struct JoinAlternative {
+    /// Operator descriptor (used in plan display).
+    pub op: JoinOp,
+    /// Incremental cost of the join operation itself as a function of the
+    /// parameters (sub-plan costs are accumulated by the optimizer).
+    pub cost: CostClosure,
+}
+
+/// Interface between cost models and the optimizer.
+///
+/// Implementations must be deterministic: the optimizer may call the
+/// closures many times (once per grid vertex).
+pub trait ParametricCostModel: Send + Sync {
+    /// Number of cost metrics (must match every closure's output arity).
+    fn num_metrics(&self) -> usize;
+
+    /// Human-readable metric names, e.g. `["time", "fees"]`.
+    fn metric_names(&self) -> Vec<&'static str>;
+
+    /// Physical alternatives for scanning `table` of `query`.
+    fn scan_alternatives(&self, query: &Query, table: usize) -> Vec<ScanAlternative>;
+
+    /// Physical alternatives for joining `left` (build side) with `right`
+    /// (probe side). Alternatives may differ between orientations — the
+    /// optimizer enumerates both.
+    fn join_alternatives(
+        &self,
+        query: &Query,
+        left: TableSet,
+        right: TableSet,
+    ) -> Vec<JoinAlternative>;
+}
+
+/// The paper's Cloud scenario: execution time and monetary fees
+/// ([`crate::METRIC_TIME`], [`crate::METRIC_FEES`]).
+#[derive(Debug, Clone, Default)]
+pub struct CloudCostModel {
+    /// Cluster hardware/pricing profile.
+    pub cluster: ClusterConfig,
+}
+
+impl CloudCostModel {
+    /// A model over the given cluster profile.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        Self { cluster }
+    }
+}
+
+impl ParametricCostModel for CloudCostModel {
+    fn num_metrics(&self) -> usize {
+        NUM_METRICS
+    }
+
+    fn metric_names(&self) -> Vec<&'static str> {
+        vec!["time (s)", "fees (USD)"]
+    }
+
+    fn scan_alternatives(&self, query: &Query, table: usize) -> Vec<ScanAlternative> {
+        let rows = query.tables[table].rows;
+        let row_bytes = query.tables[table].row_bytes;
+        let cluster = self.cluster.clone();
+        let mut out = Vec::with_capacity(2);
+        // Full scan: reads everything, selectivity-independent.
+        let scan_cost = table_scan_cost(&cluster, rows, row_bytes);
+        out.push(ScanAlternative {
+            op: ScanOp::TableScan,
+            cost: Box::new(move |_x| scan_cost.clone()),
+        });
+        // Index seek: only available when the table has a predicate to
+        // drive the index (paper: indices exist per predicate column).
+        if query.predicates_on(table).next().is_some() {
+            let matching = query.base_card(table);
+            let cluster = self.cluster.clone();
+            out.push(ScanAlternative {
+                op: ScanOp::IndexSeek,
+                cost: Box::new(move |x| index_seek_cost(&cluster, matching.eval(x))),
+            });
+        }
+        out
+    }
+
+    fn join_alternatives(
+        &self,
+        query: &Query,
+        left: TableSet,
+        right: TableSet,
+    ) -> Vec<JoinAlternative> {
+        let build = query.join_card(left);
+        let probe = query.join_card(right);
+        let output = query.join_card(left.union(right));
+        let build_row_bytes = query.row_bytes(left);
+        let probe_row_bytes = query.row_bytes(right);
+        let stats_at = move |x: &[f64]| JoinStats {
+            build_rows: build.eval(x),
+            build_row_bytes,
+            probe_rows: probe.eval(x),
+            probe_row_bytes,
+            out_rows: output.eval(x),
+        };
+        let c1 = self.cluster.clone();
+        let c2 = self.cluster.clone();
+        vec![
+            JoinAlternative {
+                op: JoinOp::SingleNodeHash,
+                cost: Box::new(move |x| single_node_hash_join_cost(&c1, &stats_at(x))),
+            },
+            JoinAlternative {
+                op: JoinOp::ParallelHash,
+                cost: Box::new(move |x| parallel_hash_join_cost(&c2, &stats_at(x))),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{METRIC_FEES, METRIC_TIME};
+    use mpq_catalog::{JoinEdge, Predicate, Selectivity, Table};
+
+    fn query() -> Query {
+        Query {
+            tables: vec![
+                Table {
+                    name: "A".into(),
+                    rows: 50_000.0,
+                    row_bytes: 100.0,
+                },
+                Table {
+                    name: "B".into(),
+                    rows: 80_000.0,
+                    row_bytes: 100.0,
+                },
+            ],
+            predicates: vec![Predicate {
+                table: 0,
+                selectivity: Selectivity::Param(0),
+            }],
+            joins: vec![JoinEdge {
+                t1: 0,
+                t2: 1,
+                selectivity: 1e-4,
+            }],
+            num_params: 1,
+        }
+    }
+
+    #[test]
+    fn scan_alternatives_depend_on_predicates() {
+        let m = CloudCostModel::default();
+        let q = query();
+        let with_pred = m.scan_alternatives(&q, 0);
+        assert_eq!(with_pred.len(), 2, "scan + index seek");
+        let without_pred = m.scan_alternatives(&q, 1);
+        assert_eq!(without_pred.len(), 1, "scan only");
+    }
+
+    #[test]
+    fn index_seek_tracks_parameter() {
+        let m = CloudCostModel::default();
+        let q = query();
+        let alts = m.scan_alternatives(&q, 0);
+        let seek = alts
+            .iter()
+            .find(|a| a.op == ScanOp::IndexSeek)
+            .expect("index seek available");
+        let lo = (seek.cost)(&[0.01]);
+        let hi = (seek.cost)(&[0.9]);
+        assert!(lo[METRIC_TIME] < hi[METRIC_TIME]);
+        let scan = alts
+            .iter()
+            .find(|a| a.op == ScanOp::TableScan)
+            .expect("table scan available");
+        let scan_cost = (scan.cost)(&[0.5]);
+        assert!(lo[METRIC_TIME] < scan_cost[METRIC_TIME]);
+        assert!(hi[METRIC_TIME] > scan_cost[METRIC_TIME]);
+    }
+
+    #[test]
+    fn join_alternatives_trade_time_for_fees() {
+        let m = CloudCostModel::default();
+        let q = query();
+        let alts = m.join_alternatives(&q, TableSet::singleton(0), TableSet::singleton(1));
+        assert_eq!(alts.len(), 2);
+        let x = [1.0];
+        let single = alts
+            .iter()
+            .find(|a| a.op == JoinOp::SingleNodeHash)
+            .map(|a| (a.cost)(&x))
+            .unwrap();
+        let parallel = alts
+            .iter()
+            .find(|a| a.op == JoinOp::ParallelHash)
+            .map(|a| (a.cost)(&x))
+            .unwrap();
+        assert!(parallel[METRIC_FEES] > single[METRIC_FEES]);
+    }
+
+    #[test]
+    fn metric_arity_matches() {
+        let m = CloudCostModel::default();
+        assert_eq!(m.num_metrics(), 2);
+        assert_eq!(m.metric_names().len(), 2);
+        let q = query();
+        for a in m.scan_alternatives(&q, 0) {
+            assert_eq!((a.cost)(&[0.5]).len(), 2);
+        }
+    }
+}

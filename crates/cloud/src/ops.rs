@@ -1,0 +1,62 @@
+//! Physical operator descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// Base-table access paths (paper §7: "Indices are available for each
+/// column with a predicate").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScanOp {
+    /// Sequential full-table scan; cost independent of selectivity.
+    TableScan,
+    /// Index lookup of matching rows; cost proportional to selectivity.
+    IndexSeek,
+    /// Scan of a table sample (approximate query processing, Scenario 2);
+    /// the sampling rate is carried in permille so the operator stays
+    /// `Eq`/`Hash`.
+    SampledScan {
+        /// Sampling rate in permille (e.g. `100` = 10% of the table).
+        permille: u32,
+    },
+}
+
+impl std::fmt::Display for ScanOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanOp::TableScan => write!(f, "TableScan"),
+            ScanOp::IndexSeek => write!(f, "IndexSeek"),
+            ScanOp::SampledScan { permille } => {
+                write!(f, "SampledScan[{}%]", *permille as f64 / 10.0)
+            }
+        }
+    }
+}
+
+/// Join implementations of the Cloud scenario (paper §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinOp {
+    /// Hash join on a single node (no shuffle; may spill past memory).
+    SingleNodeHash,
+    /// Parallel hash join: shuffles both inputs, divides work over nodes,
+    /// strictly more total work (higher fees).
+    ParallelHash,
+}
+
+impl std::fmt::Display for JoinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinOp::SingleNodeHash => write!(f, "HashJoin[1-node]"),
+            JoinOp::ParallelHash => write!(f, "HashJoin[parallel]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScanOp::TableScan.to_string(), "TableScan");
+        assert_eq!(JoinOp::ParallelHash.to_string(), "HashJoin[parallel]");
+    }
+}

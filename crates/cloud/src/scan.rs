@@ -1,0 +1,71 @@
+//! Scan operator cost formulas.
+
+use crate::{ClusterConfig, METRIC_FEES, METRIC_TIME, NUM_METRICS};
+
+/// Cost of a full table scan over `rows` rows of `row_bytes` bytes each.
+///
+/// The whole table is read regardless of predicate selectivity; predicates
+/// are applied on the fly (one CPU touch per row). Returns
+/// `[time, fees]`.
+pub fn table_scan_cost(c: &ClusterConfig, rows: f64, row_bytes: f64) -> Vec<f64> {
+    let io = rows * row_bytes / c.scan_bytes_per_sec;
+    let cpu = rows * c.cpu_tuple_sec;
+    let time = io + cpu;
+    let mut out = vec![0.0; NUM_METRICS];
+    out[METRIC_TIME] = time;
+    out[METRIC_FEES] = c.fees(time); // one node busy for `time`
+    out
+}
+
+/// Cost of an index seek retrieving `matching_rows` rows.
+///
+/// Each matching row costs one (amortised) random access plus a CPU touch,
+/// so the cost is linear in the number of matches — and therefore linear in
+/// the predicate-selectivity parameter. Returns `[time, fees]`.
+pub fn index_seek_cost(c: &ClusterConfig, matching_rows: f64) -> Vec<f64> {
+    let time = matching_rows * (c.index_seek_sec_per_row + c.cpu_tuple_sec);
+    let mut out = vec![0.0; NUM_METRICS];
+    out[METRIC_TIME] = time;
+    out[METRIC_FEES] = c.fees(time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_cost_independent_of_selectivity() {
+        let c = ClusterConfig::default();
+        let a = table_scan_cost(&c, 10_000.0, 100.0);
+        assert!(a[METRIC_TIME] > 0.0 && a[METRIC_FEES] > 0.0);
+        // Fees are time priced at one node.
+        assert!((a[METRIC_FEES] - c.fees(a[METRIC_TIME])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn seek_beats_scan_at_low_selectivity_only() {
+        let c = ClusterConfig::default();
+        let rows = 100_000.0;
+        let row_bytes = 100.0;
+        let scan = table_scan_cost(&c, rows, row_bytes);
+        let seek_low = index_seek_cost(&c, rows * 0.01);
+        let seek_high = index_seek_cost(&c, rows * 0.9);
+        assert!(
+            seek_low[METRIC_TIME] < scan[METRIC_TIME],
+            "index seek should win at 1% selectivity"
+        );
+        assert!(
+            seek_high[METRIC_TIME] > scan[METRIC_TIME],
+            "full scan should win at 90% selectivity"
+        );
+    }
+
+    #[test]
+    fn seek_cost_is_linear_in_matches() {
+        let c = ClusterConfig::default();
+        let one = index_seek_cost(&c, 1000.0);
+        let two = index_seek_cost(&c, 2000.0);
+        assert!((two[METRIC_TIME] - 2.0 * one[METRIC_TIME]).abs() < 1e-12);
+    }
+}

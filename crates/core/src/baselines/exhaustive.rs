@@ -1,0 +1,199 @@
+//! Exhaustive plan enumeration (no pruning) — ground truth for small
+//! queries.
+//!
+//! Enumerates **every** bushy plan over the query's tables (optionally
+//! restricted to cross-product-free shapes) and evaluates each plan's full
+//! cost vector at a fixed parameter point. The Pareto filter over this
+//! complete list is the strongest possible ground truth for the PPS
+//! completeness guarantee; the plan count grows super-exponentially, so use
+//! is limited to ≤ [`MAX_TABLES`] tables.
+
+use crate::pareto::pareto_filter;
+use crate::plan::{PlanArena, PlanId, PlanNode};
+use mpq_catalog::{Query, TableSet};
+use mpq_cloud::model::ParametricCostModel;
+use std::collections::HashMap;
+
+/// Upper bound on table count accepted by the enumerator.
+pub const MAX_TABLES: usize = 7;
+
+/// All complete plans for `query` with their cost vectors at `x`.
+pub struct ExhaustiveEnumeration {
+    /// Every complete plan and its cost at the evaluation point.
+    pub plans: Vec<(PlanId, Vec<f64>)>,
+    /// Arena resolving plan ids.
+    pub arena: PlanArena,
+}
+
+impl ExhaustiveEnumeration {
+    /// The true Pareto frontier over all enumerated plans.
+    pub fn pareto_frontier(&self) -> Vec<(PlanId, Vec<f64>)> {
+        pareto_filter(&self.plans)
+    }
+}
+
+/// Enumerates all plans and evaluates them at `x`.
+///
+/// # Panics
+/// Panics if the query has more than [`MAX_TABLES`] tables (the
+/// enumeration would explode) or fails validation.
+pub fn enumerate_at<M: ParametricCostModel + ?Sized>(
+    query: &Query,
+    model: &M,
+    x: &[f64],
+    postpone_cartesian: bool,
+) -> ExhaustiveEnumeration {
+    query
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid query: {e}"));
+    let n = query.num_tables();
+    assert!(
+        n <= MAX_TABLES,
+        "exhaustive enumeration is limited to {MAX_TABLES} tables"
+    );
+    let mut arena = PlanArena::new();
+    let mut all: HashMap<TableSet, Vec<(PlanId, Vec<f64>)>> = HashMap::new();
+
+    for t in 0..n {
+        let plans = model
+            .scan_alternatives(query, t)
+            .into_iter()
+            .map(|alt| {
+                (
+                    arena.push(PlanNode::Scan { table: t, op: alt.op }),
+                    (alt.cost)(x),
+                )
+            })
+            .collect();
+        all.insert(TableSet::singleton(t), plans);
+    }
+
+    let full_connected = query.is_connected(query.all_tables());
+    for k in 2..=n {
+        for q in TableSet::subsets_of_size(n, k) {
+            let q_connected = query.is_connected(q);
+            if postpone_cartesian && full_connected && !q_connected {
+                continue;
+            }
+            let mut plans: Vec<(PlanId, Vec<f64>)> = Vec::new();
+            for q1 in q.proper_subsets() {
+                let q2 = q.minus(q1);
+                if postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
+                    continue;
+                }
+                let (Some(lp), Some(rp)) = (all.get(&q1), all.get(&q2)) else {
+                    continue;
+                };
+                let mut new_plans = Vec::new();
+                for alt in model.join_alternatives(query, q1, q2) {
+                    let join_cost = (alt.cost)(x);
+                    for (p1, c1) in lp {
+                        for (p2, c2) in rp {
+                            let cost: Vec<f64> = c1
+                                .iter()
+                                .zip(c2)
+                                .zip(&join_cost)
+                                .map(|((a, b), j)| a + b + j)
+                                .collect();
+                            new_plans.push((
+                                PlanNode::Join {
+                                    op: alt.op,
+                                    left: *p1,
+                                    right: *p2,
+                                },
+                                cost,
+                            ));
+                        }
+                    }
+                }
+                plans.extend(
+                    new_plans
+                        .into_iter()
+                        .map(|(node, cost)| (arena.push(node), cost)),
+                );
+            }
+            all.insert(q, plans);
+        }
+    }
+
+    ExhaustiveEnumeration {
+        plans: all.remove(&query.all_tables()).expect("full set present"),
+        arena,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::covers_frontier;
+    use mpq_catalog::generator::{generate, GeneratorConfig};
+    use mpq_catalog::graph::Topology;
+    use mpq_cloud::model::CloudCostModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_counts_match_combinatorics() {
+        // A 3-table chain without cross products: shapes over {0,1,2} with
+        // edges 0-1, 1-2. Connected splits of {0,1,2}: ({0},{1,2}),
+        // ({1,2},{0}), ({0,1},{2}), ({2},{0,1}) — {1} vs {0,2} is excluded.
+        let query = generate(
+            &GeneratorConfig::paper(3, Topology::Chain, 1),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let model = CloudCostModel::default();
+        let e = enumerate_at(&query, &model, &[0.5], true);
+        // Scan choices: parameterised table has 2, others 1 each.
+        // Counting plans exactly is model-dependent; at minimum the
+        // enumeration must be non-trivial and all plans complete.
+        assert!(e.plans.len() >= 16, "got {}", e.plans.len());
+        for (p, _) in &e.plans {
+            assert_eq!(e.arena.tables(*p), query.all_tables());
+        }
+    }
+
+    #[test]
+    fn cross_products_add_plans() {
+        let query = generate(
+            &GeneratorConfig::paper(3, Topology::Chain, 1),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let model = CloudCostModel::default();
+        let without = enumerate_at(&query, &model, &[0.5], true);
+        let with = enumerate_at(&query, &model, &[0.5], false);
+        assert!(with.plans.len() > without.plans.len());
+    }
+
+    #[test]
+    fn mq_dp_frontier_matches_exhaustive_frontier() {
+        // The DP baseline must find exactly the exhaustive Pareto frontier
+        // (Principle of Optimality holds for additive cost accumulation).
+        for seed in [3, 7, 21] {
+            let query = generate(
+                &GeneratorConfig::paper(4, Topology::Star, 1),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let model = CloudCostModel::default();
+            for xv in [0.1, 0.6, 1.0] {
+                let x = [xv];
+                let truth = enumerate_at(&query, &model, &x, true);
+                let truth_frontier: Vec<Vec<f64>> = truth
+                    .pareto_frontier()
+                    .into_iter()
+                    .map(|(_, c)| c)
+                    .collect();
+                let dp = crate::baselines::mq::optimize_at(&query, &model, &x, true);
+                let dp_costs: Vec<Vec<f64>> =
+                    dp.frontier.iter().map(|(_, c)| c.clone()).collect();
+                assert!(
+                    covers_frontier(&dp_costs, &truth_frontier, 1e-6),
+                    "DP missed part of the true frontier (seed {seed}, x {xv})"
+                );
+                assert!(
+                    covers_frontier(&truth_frontier, &dp_costs, 1e-6),
+                    "DP produced sub-optimal frontier entries (seed {seed}, x {xv})"
+                );
+            }
+        }
+    }
+}

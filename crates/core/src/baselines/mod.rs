@@ -1,0 +1,17 @@
+//! Baseline optimizers used for validation and comparison.
+//!
+//! * [`mq`] — a fixed-parameter **multi-objective** DP in the style of
+//!   Ganguly, Hasan & Krishnamurthy (SIGMOD 1992): exact Pareto frontier at
+//!   one concrete parameter vector. This is what a system *without* MPQ
+//!   would have to run at query time (Figure 2's run-time box), and the
+//!   ground truth the PPS completeness guarantee is validated against.
+//! * [`pq`] — a single-metric **parametric** DP (classical PQ): RRPA with
+//!   the cost model projected to one metric. Used to demonstrate the §1.1
+//!   argument that PQ result sets cannot provide multi-objective
+//!   trade-offs.
+//! * [`exhaustive`] — full plan enumeration without pruning, feasible only
+//!   for small queries; the strongest ground truth.
+
+pub mod exhaustive;
+pub mod mq;
+pub mod pq;

@@ -1,0 +1,187 @@
+//! Fixed-parameter multi-objective dynamic programming.
+//!
+//! With the parameter vector fixed, every cost function collapses to a
+//! constant vector and MPQ degenerates to classical multi-objective query
+//! optimization: dynamic programming where each table set keeps the set of
+//! plans with Pareto-optimal cost vectors (Ganguly et al. \[14\]). Under the
+//! Principle of Optimality this retains a complete Pareto frontier.
+
+use crate::pareto::PARETO_TOL;
+use crate::plan::{PlanArena, PlanId, PlanNode};
+use mpq_catalog::{Query, TableSet};
+use mpq_cloud::model::ParametricCostModel;
+use mpq_cost::{dominates, strictly_dominates};
+use std::collections::HashMap;
+
+/// Result of fixed-parameter multi-objective optimization.
+pub struct MqSolution {
+    /// Pareto-optimal plans for the full query with their cost vectors.
+    pub frontier: Vec<(PlanId, Vec<f64>)>,
+    /// Arena resolving plan ids.
+    pub arena: PlanArena,
+    /// Plans generated (including pruned ones).
+    pub plans_created: u64,
+}
+
+/// Inserts a candidate into a Pareto set of concrete cost vectors,
+/// mirroring RRPA's comparison order (a new plan with cost equal to a
+/// retained one is discarded).
+fn pareto_insert(plans: &mut Vec<(PlanId, Vec<f64>)>, plan: PlanId, cost: Vec<f64>) {
+    for (_, old) in plans.iter() {
+        if dominates(old, &cost, PARETO_TOL) {
+            return; // dominated (or tied) — discard the newcomer
+        }
+    }
+    plans.retain(|(_, old)| !strictly_dominates(&cost, old, PARETO_TOL));
+    // Non-strict but unequal domination also removes the old plan: the new
+    // one is at least as good everywhere and they are not tied (a tie would
+    // have discarded the newcomer above).
+    plans.retain(|(_, old)| !dominates(&cost, old, PARETO_TOL) || dominates(old, &cost, PARETO_TOL));
+    plans.push((plan, cost));
+}
+
+/// Runs the multi-objective DP at the concrete parameter vector `x`.
+pub fn optimize_at<M: ParametricCostModel + ?Sized>(
+    query: &Query,
+    model: &M,
+    x: &[f64],
+    postpone_cartesian: bool,
+) -> MqSolution {
+    query
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid query: {e}"));
+    let n = query.num_tables();
+    let mut arena = PlanArena::new();
+    let mut plans_created = 0u64;
+    let mut best: HashMap<TableSet, Vec<(PlanId, Vec<f64>)>> = HashMap::new();
+
+    for t in 0..n {
+        let mut plans = Vec::new();
+        for alt in model.scan_alternatives(query, t) {
+            let plan = arena.push(PlanNode::Scan { table: t, op: alt.op });
+            plans_created += 1;
+            pareto_insert(&mut plans, plan, (alt.cost)(x));
+        }
+        best.insert(TableSet::singleton(t), plans);
+    }
+
+    let full_connected = query.is_connected(query.all_tables());
+    for k in 2..=n {
+        for q in TableSet::subsets_of_size(n, k) {
+            let q_connected = query.is_connected(q);
+            if postpone_cartesian && full_connected && !q_connected {
+                continue;
+            }
+            let mut plans: Vec<(PlanId, Vec<f64>)> = Vec::new();
+            for q1 in q.proper_subsets() {
+                let q2 = q.minus(q1);
+                if postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
+                    continue;
+                }
+                let (Some(lp), Some(rp)) = (best.get(&q1), best.get(&q2)) else {
+                    continue;
+                };
+                if lp.is_empty() || rp.is_empty() {
+                    continue;
+                }
+                for alt in model.join_alternatives(query, q1, q2) {
+                    let join_cost = (alt.cost)(x);
+                    let mut candidates = Vec::with_capacity(lp.len() * rp.len());
+                    for (p1, c1) in lp {
+                        for (p2, c2) in rp {
+                            let cost: Vec<f64> = c1
+                                .iter()
+                                .zip(c2)
+                                .zip(&join_cost)
+                                .map(|((a, b), j)| a + b + j)
+                                .collect();
+                            let plan = arena.push(PlanNode::Join {
+                                op: alt.op,
+                                left: *p1,
+                                right: *p2,
+                            });
+                            plans_created += 1;
+                            candidates.push((plan, cost));
+                        }
+                    }
+                    for (plan, cost) in candidates {
+                        pareto_insert(&mut plans, plan, cost);
+                    }
+                }
+            }
+            best.insert(q, plans);
+        }
+    }
+
+    MqSolution {
+        frontier: best
+            .remove(&query.all_tables())
+            .expect("full set optimized"),
+        arena,
+        plans_created,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_catalog::generator::{generate, GeneratorConfig};
+    use mpq_catalog::graph::Topology;
+    use mpq_cloud::model::CloudCostModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frontier_is_mutually_nondominated() {
+        let query = generate(
+            &GeneratorConfig::paper(4, Topology::Chain, 1),
+            &mut StdRng::seed_from_u64(8),
+        );
+        let model = CloudCostModel::default();
+        let sol = optimize_at(&query, &model, &[0.5], true);
+        assert!(!sol.frontier.is_empty());
+        for (i, (_, a)) in sol.frontier.iter().enumerate() {
+            for (j, (_, b)) in sol.frontier.iter().enumerate() {
+                if i != j {
+                    assert!(!strictly_dominates(a, b, PARETO_TOL));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_insert_handles_ties_and_domination() {
+        let mut plans = Vec::new();
+        pareto_insert(&mut plans, PlanId(0), vec![2.0, 2.0]);
+        pareto_insert(&mut plans, PlanId(1), vec![2.0, 2.0]); // tie → dropped
+        assert_eq!(plans.len(), 1);
+        pareto_insert(&mut plans, PlanId(2), vec![1.0, 3.0]); // incomparable
+        assert_eq!(plans.len(), 2);
+        pareto_insert(&mut plans, PlanId(3), vec![1.0, 1.0]); // dominates all
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].0, PlanId(3));
+        // Non-strict unequal domination removes the old plan too.
+        pareto_insert(&mut plans, PlanId(4), vec![1.0, 0.5]);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].0, PlanId(4));
+    }
+
+    #[test]
+    fn frontier_grows_with_conflicting_metrics() {
+        // Large tables create a real time/fees conflict.
+        let mut query = generate(
+            &GeneratorConfig::paper(3, Topology::Star, 1),
+            &mut StdRng::seed_from_u64(2),
+        );
+        for t in &mut query.tables {
+            t.rows = 95_000.0;
+        }
+        let model = CloudCostModel::default();
+        let sol = optimize_at(&query, &model, &[0.9], true);
+        assert!(
+            sol.frontier.len() >= 2,
+            "expected a trade-off in the frontier, got {}",
+            sol.frontier.len()
+        );
+    }
+}

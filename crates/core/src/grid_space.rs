@@ -1,0 +1,558 @@
+//! PWL-RRPA on a shared simplicial grid — the default optimizer space.
+//!
+//! All cost functions of a run are linear on the simplices of one shared
+//! [`ParamGrid`] (Theorem 1 of the paper: the parameter space can be
+//! partitioned into linear regions for any set of cost functions — here the
+//! partition is fixed up front). Consequences:
+//!
+//! * cost accumulation is per-simplex weight addition ([`GridCost::add`]);
+//! * within a simplex, the region where one plan dominates another is the
+//!   simplex intersected with at most one halfspace per metric
+//!   (Theorem 2), so every relevance-region **cutout is local to one
+//!   simplex** and the relevance region factorises into independent
+//!   per-simplex regions;
+//! * a relevance region is empty iff it is empty within every simplex.
+//!
+//! Because every cutout of a simplex shares that simplex's polytope,
+//! cutouts are stored as just their metric halfspaces. That makes the
+//! §6.2 refinements cheap: redundant-constraint removal only examines the
+//! metric halfspaces (the simplex facets are already irredundant), and
+//! cutout-containment tests cost one LP per metric halfspace. Emptiness
+//! verdicts are cached per simplex and only re-examined after new cutouts
+//! arrive.
+//!
+//! The three §6.2 refinements are implemented here: redundant-constraint
+//! elimination on cutouts, redundant-cutout elimination, and relevance
+//! points (simplex vertices + centroid) that make most emptiness checks
+//! free.
+
+use crate::space::MpqSpace;
+use crate::OptimizerConfig;
+use mpq_cost::{DominanceHalfspaces, GridCost};
+use mpq_geometry::grid::{GridError, ParamGrid};
+use mpq_geometry::{union_covers, Halfspace, Polytope, TOL};
+use mpq_lp::{LpCtx, LpOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One cutout within a simplex: the subtracted region is the simplex
+/// intersected with these halfspaces (the simplex polytope itself is
+/// shared and implied).
+#[derive(Debug, Clone)]
+struct Cutout {
+    halfspaces: Vec<Halfspace>,
+}
+
+impl Cutout {
+    /// True iff `x` (already inside the simplex) lies strictly inside the
+    /// cutout's halfspaces. Open semantics: dominance-boundary points
+    /// (ties) are not considered removed.
+    fn strictly_contains(&self, x: &[f64]) -> bool {
+        self.halfspaces.iter().all(|h| h.slack(x) > TOL)
+    }
+
+    /// True iff `x` lies in the closed cutout.
+    fn contains(&self, x: &[f64]) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(x))
+    }
+}
+
+/// Relevance-region state within one simplex.
+#[derive(Debug, Clone)]
+enum SimplexRegion {
+    /// The whole simplex is relevant.
+    Full,
+    /// The simplex minus the cutouts is relevant.
+    Partial {
+        cutouts: Vec<Cutout>,
+        /// Surviving relevance points (witnesses of non-emptiness).
+        points: Vec<Vec<f64>>,
+        /// A completed coverage check proved the remainder non-empty and
+        /// no cutout has been added since (cached verdict).
+        verified_nonempty: bool,
+    },
+    /// Nothing of the simplex is relevant.
+    Empty,
+}
+
+/// A relevance region factorised over grid simplices.
+#[derive(Debug, Clone)]
+pub struct GridRegion {
+    per_simplex: Vec<SimplexRegion>,
+}
+
+impl GridRegion {
+    fn all_empty(&self) -> bool {
+        self.per_simplex
+            .iter()
+            .all(|s| matches!(s, SimplexRegion::Empty))
+    }
+}
+
+/// The grid-aligned PWL-RRPA space.
+pub struct GridSpace {
+    grid: Arc<ParamGrid>,
+    ctx: Arc<LpCtx>,
+    num_metrics: usize,
+    relevance_points: bool,
+    redundant_cutout_removal: bool,
+    redundant_constraint_removal: bool,
+    emptiness_checks: AtomicU64,
+    emptiness_skipped: AtomicU64,
+}
+
+impl GridSpace {
+    /// Builds a space over an existing grid.
+    pub fn new(grid: Arc<ParamGrid>, num_metrics: usize, config: &OptimizerConfig) -> Self {
+        Self {
+            grid,
+            ctx: Arc::new(LpCtx::new()),
+            num_metrics,
+            relevance_points: config.relevance_points,
+            redundant_cutout_removal: config.redundant_cutout_removal,
+            redundant_constraint_removal: config.redundant_constraint_removal,
+            emptiness_checks: AtomicU64::new(0),
+            emptiness_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a space over the unit box `[0, 1]^max(num_params, 1)` with
+    /// the configured grid resolution (selectivity parameters live in
+    /// `[0, 1]`; queries without parameters get one dummy dimension).
+    pub fn for_unit_box(
+        num_params: usize,
+        config: &OptimizerConfig,
+        num_metrics: usize,
+    ) -> Result<Self, GridError> {
+        let dim = num_params.max(1);
+        let grid = ParamGrid::new(&vec![0.0; dim], &vec![1.0; dim], config.grid_resolution)?;
+        Ok(Self::new(Arc::new(grid), num_metrics, config))
+    }
+
+    /// The shared grid.
+    pub fn grid(&self) -> &Arc<ParamGrid> {
+        &self.grid
+    }
+
+    /// The LP context (counts solved LPs).
+    pub fn lp_ctx(&self) -> &Arc<LpCtx> {
+        &self.ctx
+    }
+
+    /// Emptiness checks executed / skipped via relevance points.
+    pub fn emptiness_counters(&self) -> (u64, u64) {
+        (
+            self.emptiness_checks.load(Ordering::Relaxed),
+            self.emptiness_skipped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Initial relevance points of a simplex: its vertices plus centroid.
+    fn initial_points(&self, simplex: usize) -> Vec<Vec<f64>> {
+        if !self.relevance_points {
+            return Vec::new();
+        }
+        let s = self.grid.simplex(simplex);
+        let mut pts = s.vertices.clone();
+        pts.push(s.centroid.clone());
+        pts
+    }
+
+    /// Maximum of `h.normal() · x` over `simplex ∩ extra`, compared to the
+    /// halfspace offset: true iff the halfspace contains that region.
+    fn halfspace_covers(&self, simplex: usize, extra: &[Halfspace], h: &Halfspace) -> bool {
+        let mut poly = self.grid.simplex(simplex).polytope.clone();
+        for e in extra {
+            poly.push(e.clone());
+        }
+        match poly.max_linear(&self.ctx, h.normal()) {
+            LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
+            LpOutcome::Unbounded => false,
+            LpOutcome::Infeasible => true,
+        }
+    }
+
+    /// Adds a cutout (simplex ∩ halfspaces) to one simplex's region,
+    /// applying the configured refinements.
+    fn add_cutout(&self, state: &mut SimplexRegion, simplex: usize, mut halfspaces: Vec<Halfspace>) {
+        debug_assert!(!halfspaces.is_empty());
+        // With several split metrics the intersection can be empty; one LP
+        // avoids accumulating junk cutouts. (A single proper split always
+        // has interior on both sides — its vertex classification saw both
+        // signs.)
+        if halfspaces.len() >= 2 {
+            let mut poly = self.grid.simplex(simplex).polytope.clone();
+            for h in &halfspaces {
+                poly.push(h.clone());
+            }
+            if poly.is_empty(&self.ctx) {
+                return;
+            }
+        }
+        // §6.2 refinement 1 (targeted): the simplex facets are already
+        // irredundant, so only metric halfspaces can be redundant against
+        // the simplex + the other halfspaces.
+        if self.redundant_constraint_removal && halfspaces.len() >= 2 {
+            let mut i = 0;
+            while i < halfspaces.len() && halfspaces.len() > 1 {
+                let candidate = halfspaces[i].clone();
+                let others: Vec<Halfspace> = halfspaces
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, h)| h.clone())
+                    .collect();
+                if self.halfspace_covers(simplex, &others, &candidate) {
+                    halfspaces.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let cutout = Cutout { halfspaces };
+        let (cutouts, points, verified) = match state {
+            SimplexRegion::Empty => return,
+            SimplexRegion::Full => {
+                *state = SimplexRegion::Partial {
+                    cutouts: Vec::with_capacity(4),
+                    points: self.initial_points(simplex),
+                    verified_nonempty: false,
+                };
+                match state {
+                    SimplexRegion::Partial {
+                        cutouts,
+                        points,
+                        verified_nonempty,
+                    } => (cutouts, points, verified_nonempty),
+                    _ => unreachable!(),
+                }
+            }
+            SimplexRegion::Partial {
+                cutouts,
+                points,
+                verified_nonempty,
+            } => (cutouts, points, verified_nonempty),
+        };
+        // §6.2 refinement 2: drop cutouts covered by another cutout.
+        // Containment between cutouts of one simplex only needs the metric
+        // halfspaces of the candidate container.
+        if self.redundant_cutout_removal {
+            let covers = |a: &Cutout, b: &Cutout| -> bool {
+                a.halfspaces
+                    .iter()
+                    .all(|h| self.halfspace_covers(simplex, &b.halfspaces, h))
+            };
+            if cutouts.iter().any(|c| covers(c, &cutout)) {
+                return;
+            }
+            cutouts.retain(|c| !covers(&cutout, c));
+        }
+        points.retain(|p| !cutout.contains(p));
+        cutouts.push(cutout);
+        *verified = false;
+    }
+}
+
+impl MpqSpace for GridSpace {
+    type Cost = GridCost;
+    type Region = GridRegion;
+
+    fn num_metrics(&self) -> usize {
+        self.num_metrics
+    }
+
+    fn dim(&self) -> usize {
+        self.grid.dim()
+    }
+
+    fn lift(&self, f: &(dyn Fn(&[f64]) -> Vec<f64> + '_)) -> GridCost {
+        GridCost::from_closure(Arc::clone(&self.grid), self.num_metrics, f)
+    }
+
+    fn add(&self, a: &GridCost, b: &GridCost) -> GridCost {
+        a.add(b)
+    }
+
+    fn eval(&self, cost: &GridCost, x: &[f64]) -> Vec<f64> {
+        cost.eval(x)
+    }
+
+    fn full_region(&self) -> GridRegion {
+        GridRegion {
+            per_simplex: vec![SimplexRegion::Full; self.grid.num_simplices()],
+        }
+    }
+
+    fn subtract_dominated(
+        &self,
+        region: &mut GridRegion,
+        own: &GridCost,
+        competitor: &GridCost,
+        strict: bool,
+    ) -> bool {
+        let mut changed = false;
+        for s in 0..self.grid.num_simplices() {
+            if matches!(region.per_simplex[s], SimplexRegion::Empty) {
+                continue;
+            }
+            match competitor.dominance_halfspaces(own, s, strict) {
+                DominanceHalfspaces::Empty => {}
+                DominanceHalfspaces::Full => {
+                    region.per_simplex[s] = SimplexRegion::Empty;
+                    changed = true;
+                }
+                DominanceHalfspaces::Split(halfspaces) => {
+                    self.add_cutout(&mut region.per_simplex[s], s, halfspaces);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    fn region_is_empty(&self, region: &mut GridRegion) -> bool {
+        if region.all_empty() {
+            return true;
+        }
+        for s in 0..region.per_simplex.len() {
+            match &mut region.per_simplex[s] {
+                SimplexRegion::Empty => {}
+                SimplexRegion::Full => return false,
+                SimplexRegion::Partial {
+                    cutouts,
+                    points,
+                    verified_nonempty,
+                } => {
+                    if self.relevance_points && !points.is_empty() {
+                        // A surviving witness point proves non-emptiness.
+                        self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    if *verified_nonempty {
+                        // Nothing was subtracted since the last check.
+                        self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    self.emptiness_checks.fetch_add(1, Ordering::Relaxed);
+                    let simplex_poly = &self.grid.simplex(s).polytope;
+                    let polys: Vec<Polytope> = cutouts
+                        .iter()
+                        .map(|c| {
+                            let mut p = simplex_poly.clone();
+                            for h in &c.halfspaces {
+                                p.push(h.clone());
+                            }
+                            p
+                        })
+                        .collect();
+                    if union_covers(&self.ctx, &polys, simplex_poly) {
+                        region.per_simplex[s] = SimplexRegion::Empty;
+                    } else {
+                        *verified_nonempty = true;
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn dominates_everywhere(&self, dominator: &GridCost, dominated: &GridCost) -> bool {
+        // Exact: linear functions on a simplex attain extrema at vertices.
+        dominator.dominates_everywhere(dominated)
+    }
+
+    fn region_contains(&self, region: &GridRegion, x: &[f64]) -> bool {
+        // Points on shared simplex faces belong to several simplices;
+        // membership holds if ANY containing simplex grants it. Cutouts use
+        // open (strict) containment so that dominance-boundary points —
+        // where the competitor merely ties — stay members.
+        let check = |s: usize| match &region.per_simplex[s] {
+            SimplexRegion::Full => true,
+            SimplexRegion::Empty => false,
+            SimplexRegion::Partial { cutouts, .. } => {
+                !cutouts.iter().any(|c| c.strictly_contains(x))
+            }
+        };
+        let located = self.grid.locate(x);
+        if check(located) {
+            return true;
+        }
+        (0..self.grid.num_simplices()).any(|s| {
+            s != located && self.grid.simplex(s).polytope.contains_point(x) && check(s)
+        })
+    }
+
+    fn lps_solved(&self) -> u64 {
+        self.ctx.solved()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_1d() -> GridSpace {
+        let config = OptimizerConfig {
+            grid_resolution: 4,
+            ..OptimizerConfig::default_for(1)
+        };
+        GridSpace::for_unit_box(1, &config, 2).unwrap()
+    }
+
+    /// Figure 7 of the paper: plan 1 (single-node) has time 4σ and fees σ;
+    /// plan 2 (parallel) has time σ + 0.75 and fees 2σ + 1. Plan 1 is
+    /// better on both metrics for σ < 0.25; plan 2 is faster for σ > 0.25
+    /// but always pricier.
+    #[test]
+    fn figure7_relevance_region_is_quarter_to_one() {
+        let space = space_1d();
+        let plan1 = space.lift(&|x: &[f64]| vec![4.0 * x[0], x[0]]);
+        let plan2 = space.lift(&|x: &[f64]| vec![x[0] + 0.75, 2.0 * x[0] + 1.0]);
+        let mut rr2 = space.full_region();
+        // Prune plan 2 with plan 1.
+        let changed = space.subtract_dominated(&mut rr2, &plan2, &plan1, false);
+        assert!(changed);
+        assert!(!space.region_is_empty(&mut rr2));
+        // Relevance region of plan 2 is [0.25, 1].
+        assert!(!space.region_contains(&rr2, &[0.1]));
+        assert!(!space.region_contains(&rr2, &[0.2]));
+        assert!(space.region_contains(&rr2, &[0.3]));
+        assert!(space.region_contains(&rr2, &[0.9]));
+        // Plan 1 is never dominated by plan 2 (cheaper fees everywhere).
+        let mut rr1 = space.full_region();
+        space.subtract_dominated(&mut rr1, &plan1, &plan2, false);
+        assert!(space.region_contains(&rr1, &[0.1]));
+        assert!(space.region_contains(&rr1, &[0.9]));
+    }
+
+    #[test]
+    fn equal_costs_empty_the_new_plans_region() {
+        let space = space_1d();
+        let a = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
+        let b = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
+        let mut rr = space.full_region();
+        space.subtract_dominated(&mut rr, &b, &a, false);
+        assert!(space.region_is_empty(&mut rr), "equal-cost plan must be pruned");
+        assert!(space.dominates_everywhere(&a, &b));
+        assert!(space.dominates_everywhere(&b, &a));
+    }
+
+    #[test]
+    fn strict_subtraction_keeps_identical_costs() {
+        // StD semantics: a retained plan is not reduced by an identical
+        // newcomer, so one representative of the tie class survives.
+        let space = space_1d();
+        let a = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
+        let b = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
+        let mut rr = space.full_region();
+        let changed = space.subtract_dominated(&mut rr, &a, &b, true);
+        assert!(!changed);
+        assert!(!space.region_is_empty(&mut rr));
+        assert!(space.region_contains(&rr, &[0.5]));
+    }
+
+    #[test]
+    fn incomparable_plans_keep_full_regions() {
+        let space = space_1d();
+        let fast_pricey = space.lift(&|_x: &[f64]| vec![1.0, 10.0]);
+        let slow_cheap = space.lift(&|_x: &[f64]| vec![10.0, 1.0]);
+        let mut rr = space.full_region();
+        let changed = space.subtract_dominated(&mut rr, &fast_pricey, &slow_cheap, false);
+        assert!(!changed, "no dominance anywhere");
+        assert!(!space.region_is_empty(&mut rr));
+        assert!(space.region_contains(&rr, &[0.5]));
+    }
+
+    #[test]
+    fn two_competitors_can_cover_jointly() {
+        // Plan A wins on [0, 0.5], plan B wins on [0.5, 1]; the new plan N
+        // is strictly worse than A on the left and worse than B on the
+        // right → its RR empties only after BOTH comparisons.
+        let space = space_1d();
+        let a = space.lift(&|x: &[f64]| vec![x[0], x[0]]);
+        let b = space.lift(&|x: &[f64]| vec![1.0 - x[0], 1.0 - x[0]]);
+        let n = space.lift(&|_x: &[f64]| vec![0.8, 0.8]);
+        let mut rr = space.full_region();
+        space.subtract_dominated(&mut rr, &n, &a, false);
+        assert!(!space.region_is_empty(&mut rr), "A alone leaves (0.8, 1]");
+        space.subtract_dominated(&mut rr, &n, &b, false);
+        assert!(space.region_is_empty(&mut rr), "A and B jointly cover X");
+    }
+
+    #[test]
+    fn tie_boundary_points_stay_relevant() {
+        // Two plans crossing at σ = 0.5 with equal cost vectors there: the
+        // crossing point must remain in the retained plan's region (open
+        // cutout membership), so a relevant dominator exists at the tie.
+        let space = space_1d();
+        let a = space.lift(&|x: &[f64]| vec![x[0], x[0]]);
+        let b = space.lift(&|x: &[f64]| vec![1.0 - x[0], 1.0 - x[0]]);
+        let mut rr_a = space.full_region();
+        space.subtract_dominated(&mut rr_a, &a, &b, true);
+        let mut rr_b = space.full_region();
+        space.subtract_dominated(&mut rr_b, &b, &a, false);
+        // At the exact crossing, at least one region keeps the point.
+        assert!(
+            space.region_contains(&rr_a, &[0.5]) || space.region_contains(&rr_b, &[0.5]),
+            "tie point lost from both relevance regions"
+        );
+    }
+
+    #[test]
+    fn verified_nonempty_cache_resets_on_new_cutout() {
+        let space = space_1d();
+        let own = space.lift(&|_x: &[f64]| vec![1.0, 1.0]);
+        // Competitor dominating the left half only.
+        let left = space.lift(&|x: &[f64]| vec![2.0 * x[0], 2.0 * x[0]]);
+        let mut rr = space.full_region();
+        space.subtract_dominated(&mut rr, &own, &left, false);
+        assert!(!space.region_is_empty(&mut rr));
+        let (checks_before, _) = space.emptiness_counters();
+        // Repeating the emptiness check must not re-run coverage.
+        assert!(!space.region_is_empty(&mut rr));
+        let (checks_after, _) = space.emptiness_counters();
+        assert_eq!(checks_before, checks_after, "verdict should be cached");
+        // A competitor dominating the right half finishes the job.
+        let right = space.lift(&|x: &[f64]| vec![2.0 - 2.0 * x[0], 2.0 - 2.0 * x[0]]);
+        space.subtract_dominated(&mut rr, &own, &right, false);
+        assert!(space.region_is_empty(&mut rr));
+    }
+
+    #[test]
+    fn relevance_points_skip_checks() {
+        let space = space_1d();
+        let bad = space.lift(&|x: &[f64]| vec![x[0] + 0.5, 1.0 + x[0]]);
+        let partial = space.lift(&|x: &[f64]| vec![0.5, 2.0 - 2.0 * x[0]]);
+        let good = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
+        let mut rr = space.full_region();
+        space.subtract_dominated(&mut rr, &bad, &partial, false);
+        let _ = space.region_is_empty(&mut rr);
+        let _ = space.subtract_dominated(&mut rr, &bad, &good, false);
+        let (_checks, skipped) = space.emptiness_counters();
+        assert!(skipped > 0 || space.region_is_empty(&mut rr));
+    }
+
+    #[test]
+    fn dummy_dimension_for_zero_params() {
+        let config = OptimizerConfig::default_for(0);
+        let space = GridSpace::for_unit_box(0, &config, 2).unwrap();
+        assert_eq!(space.dim(), 1);
+        let c = space.lift(&|_x: &[f64]| vec![1.0, 2.0]);
+        assert_eq!(space.eval(&c, &[0.5]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_dim_dominance_cutouts() {
+        let config = OptimizerConfig::default_for(2);
+        let space = GridSpace::for_unit_box(2, &config, 2).unwrap();
+        // own is worse than comp exactly where x0 + x1 >= 1 (time) — fees tie.
+        let own = space.lift(&|x: &[f64]| vec![x[0] + x[1], 1.0]);
+        let comp = space.lift(&|_x: &[f64]| vec![1.0, 1.0]);
+        let mut rr = space.full_region();
+        space.subtract_dominated(&mut rr, &own, &comp, false);
+        assert!(!space.region_is_empty(&mut rr));
+        assert!(space.region_contains(&rr, &[0.1, 0.1]));
+        assert!(!space.region_contains(&rr, &[0.9, 0.9]));
+    }
+}

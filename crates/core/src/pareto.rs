@@ -1,0 +1,100 @@
+//! Pointwise Pareto-front utilities.
+//!
+//! Used by the fixed-parameter baseline, the validation harness and the
+//! examples to compute Pareto frontiers of concrete cost vectors.
+
+use mpq_cost::{dominates, strictly_dominates};
+
+/// Comparison tolerance for concrete cost values.
+pub const PARETO_TOL: f64 = 1e-9;
+
+/// Returns the indices of the Pareto-optimal vectors in `costs`.
+///
+/// A vector is kept iff no other vector strictly dominates it. Among
+/// vectors with (numerically) identical cost, only the first is kept —
+/// mirroring RRPA, which discards a new plan whose cost is everywhere
+/// equal to a retained one (Example 2 of the paper: `{p1, p2}` and
+/// `{p1, p3}` are both valid Pareto plan sets).
+pub fn pareto_indices(costs: &[Vec<f64>]) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::new();
+    'candidate: for (i, c) in costs.iter().enumerate() {
+        // Strict domination by anyone disqualifies.
+        for other in costs {
+            if strictly_dominates(other, c, PARETO_TOL) {
+                continue 'candidate;
+            }
+        }
+        // Tie-breaking: drop exact duplicates of an already-kept vector.
+        for &k in &kept {
+            if dominates(&costs[k], c, PARETO_TOL) && dominates(c, &costs[k], PARETO_TOL) {
+                continue 'candidate;
+            }
+        }
+        kept.push(i);
+    }
+    kept
+}
+
+/// Filters `items` to the Pareto frontier of their cost vectors.
+pub fn pareto_filter<T: Clone>(items: &[(T, Vec<f64>)]) -> Vec<(T, Vec<f64>)> {
+    let costs: Vec<Vec<f64>> = items.iter().map(|(_, c)| c.clone()).collect();
+    pareto_indices(&costs)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+/// True iff for every vector in `target` some vector in `candidates`
+/// dominates it — i.e. `candidates` covers the frontier `target`.
+pub fn covers_frontier(candidates: &[Vec<f64>], target: &[Vec<f64>], tol: f64) -> bool {
+    target
+        .iter()
+        .all(|t| candidates.iter().any(|c| dominates(c, t, tol)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_dominated_vectors() {
+        let costs = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 2.0],
+            vec![5.0, 1.0],
+            vec![3.0, 3.0], // dominated by (2,2)
+            vec![1.0, 5.0], // duplicate of the first
+        ];
+        let kept = pareto_indices(&costs);
+        assert_eq!(kept, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_vector_is_pareto() {
+        assert_eq!(pareto_indices(&[vec![4.0, 2.0]]), vec![0]);
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_front_is_minimum() {
+        let costs = vec![vec![3.0], vec![1.0], vec![2.0], vec![1.0]];
+        assert_eq!(pareto_indices(&costs), vec![1]);
+    }
+
+    #[test]
+    fn covers_frontier_checks_domination() {
+        let frontier = vec![vec![1.0, 5.0], vec![5.0, 1.0]];
+        let good = vec![vec![1.0, 5.0], vec![4.0, 1.0]];
+        let bad = vec![vec![1.0, 5.0], vec![6.0, 2.0]];
+        assert!(covers_frontier(&good, &frontier, 1e-9));
+        assert!(!covers_frontier(&bad, &frontier, 1e-9));
+    }
+
+    #[test]
+    fn pareto_filter_keeps_payloads() {
+        let items = vec![("a", vec![1.0, 2.0]), ("b", vec![2.0, 1.0]), ("c", vec![3.0, 3.0])];
+        let kept = pareto_filter(&items);
+        let names: Vec<&str> = kept.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,442 @@
+//! The Relevance Region Pruning Algorithm (Algorithm 1 of the paper).
+//!
+//! Dynamic programming over table sets of increasing cardinality: the
+//! Pareto plan set of a table set `q` is built from all splits of `q` into
+//! two non-empty, disjoint operand sets, all join operators, and all pairs
+//! of retained sub-plans. Every candidate plan is pruned against the plans
+//! already retained for `q` via relevance regions:
+//!
+//! * the new plan's RR starts as the whole parameter space (line 36) and
+//!   shrinks by the dominance region of every retained plan (line 39); if
+//!   it empties, the plan is discarded (lines 41–43);
+//! * if the new plan survives, every retained plan's RR shrinks by the new
+//!   plan's dominance region, and retained plans with empty RRs are
+//!   discarded (lines 47–54).
+//!
+//! The comparison order matters for plans with everywhere-equal cost: the
+//! incoming plan is tested first and discarded, so one representative
+//! always survives (Example 2 of the paper: both `{p1, p2}` and `{p1, p3}`
+//! are valid Pareto plan sets).
+//!
+//! Cartesian-product postponement follows the paper's experimental setup
+//! (and Postgres): for connected (sub-)queries only splits whose sides are
+//! joined by a predicate — and themselves connected — are enumerated;
+//! disconnected queries fall back to unrestricted splits. The completeness
+//! guarantee (Theorem 3) then applies to the cross-product-free plan
+//! space, exactly as in the paper's evaluation.
+
+use crate::pareto::pareto_indices;
+use crate::plan::{PlanArena, PlanId, PlanNode};
+use crate::space::MpqSpace;
+use crate::stats::OptStats;
+use crate::OptimizerConfig;
+use mpq_catalog::{Query, TableSet};
+use mpq_cloud::model::ParametricCostModel;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A retained plan with its cost function and relevance region.
+pub struct ParetoPlan<S: MpqSpace> {
+    /// The plan (resolved through the solution's arena).
+    pub plan: PlanId,
+    /// Its cost function.
+    pub cost: S::Cost,
+    /// Its relevance region.
+    pub region: S::Region,
+}
+
+impl<S: MpqSpace> Clone for ParetoPlan<S> {
+    fn clone(&self) -> Self {
+        Self {
+            plan: self.plan,
+            cost: self.cost.clone(),
+            region: self.region.clone(),
+        }
+    }
+}
+
+/// Result of one optimization run: the Pareto plan set of the full query.
+pub struct MpqSolution<S: MpqSpace> {
+    /// The Pareto plan set (one entry per retained plan).
+    pub plans: Vec<ParetoPlan<S>>,
+    /// Arena resolving plan ids to operator trees.
+    pub arena: PlanArena,
+    /// Run statistics (the Figure 12 metrics).
+    pub stats: OptStats,
+}
+
+impl<S: MpqSpace> MpqSolution<S> {
+    /// The plans whose relevance region contains `x`, with their cost
+    /// vectors at `x`. By the PPS guarantee these include a dominator for
+    /// every possible plan at `x`.
+    pub fn relevant_at(&self, space: &S, x: &[f64]) -> Vec<(PlanId, Vec<f64>)> {
+        self.plans
+            .iter()
+            .filter(|p| space.region_contains(&p.region, x))
+            .map(|p| (p.plan, space.eval(&p.cost, x)))
+            .collect()
+    }
+
+    /// The Pareto frontier at `x`: relevant plans filtered down to
+    /// non-dominated cost vectors (what a user picks a trade-off from,
+    /// Figure 1 of the paper).
+    pub fn frontier_at(&self, space: &S, x: &[f64]) -> Vec<(PlanId, Vec<f64>)> {
+        let relevant = self.relevant_at(space, x);
+        let costs: Vec<Vec<f64>> = relevant.iter().map(|(_, c)| c.clone()).collect();
+        pareto_indices(&costs)
+            .into_iter()
+            .map(|i| relevant[i].clone())
+            .collect()
+    }
+
+    /// Among plans relevant at `x`, the one minimising `metric` subject to
+    /// upper bounds on the other metrics (`None` = unconstrained) — the
+    /// run-time plan-selection step of Figure 2.
+    pub fn select_plan(
+        &self,
+        space: &S,
+        x: &[f64],
+        metric: usize,
+        bounds: &[Option<f64>],
+    ) -> Option<(PlanId, Vec<f64>)> {
+        self.relevant_at(space, x)
+            .into_iter()
+            .filter(|(_, c)| {
+                c.iter()
+                    .zip(bounds)
+                    .all(|(v, b)| b.is_none_or(|limit| *v <= limit))
+            })
+            .min_by(|(_, a), (_, b)| {
+                a[metric]
+                    .partial_cmp(&b[metric])
+                    .expect("finite costs")
+            })
+    }
+}
+
+/// Runs RRPA and returns the Pareto plan set for `query`.
+///
+/// # Panics
+/// Panics if the query is invalid (`query.validate()` fails) or the model
+/// reports a different metric count than the space.
+pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
+    query: &Query,
+    model: &M,
+    space: &S,
+    config: &OptimizerConfig,
+) -> MpqSolution<S> {
+    query
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid query: {e}"));
+    assert_eq!(
+        model.num_metrics(),
+        space.num_metrics(),
+        "cost model and space disagree on the number of metrics"
+    );
+    let start = Instant::now();
+    let n = query.num_tables();
+    let mut arena = PlanArena::new();
+    let mut stats = OptStats::default();
+    let mut best: HashMap<TableSet, Vec<ParetoPlan<S>>> = HashMap::new();
+
+    // Base tables: all access paths, pruned against each other
+    // (Algorithm 1 lines 3–6).
+    for t in 0..n {
+        let mut plans: Vec<ParetoPlan<S>> = Vec::new();
+        for alt in model.scan_alternatives(query, t) {
+            let cost = space.lift(&*alt.cost);
+            let plan = arena.push(PlanNode::Scan { table: t, op: alt.op });
+            stats.plans_created += 1;
+            prune(space, config, &mut plans, plan, cost, &mut stats);
+        }
+        stats.max_plans_per_set = stats.max_plans_per_set.max(plans.len());
+        best.insert(TableSet::singleton(t), plans);
+    }
+
+    let full_connected = query.is_connected(query.all_tables());
+
+    // Table sets of increasing cardinality (lines 8–13).
+    for k in 2..=n {
+        for q in TableSet::subsets_of_size(n, k) {
+            let q_connected = query.is_connected(q);
+            if config.postpone_cartesian && full_connected && !q_connected {
+                // Never needed: connected supersets split into connected,
+                // mutually joined parts.
+                continue;
+            }
+            let mut plans: Vec<ParetoPlan<S>> = Vec::new();
+            for q1 in q.proper_subsets() {
+                let q2 = q.minus(q1);
+                if config.postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
+                    continue;
+                }
+                let (Some(left_plans), Some(right_plans)) = (best.get(&q1), best.get(&q2))
+                else {
+                    continue;
+                };
+                if left_plans.is_empty() || right_plans.is_empty() {
+                    continue;
+                }
+                for alt in model.join_alternatives(query, q1, q2) {
+                    // The join's own cost depends only on the operand sets
+                    // (their cardinalities), so lift it once per operator.
+                    let join_cost = space.lift(&*alt.cost);
+                    let mut candidates: Vec<(PlanId, S::Cost)> =
+                        Vec::with_capacity(left_plans.len() * right_plans.len());
+                    for p1 in left_plans {
+                        for p2 in right_plans {
+                            let cost =
+                                space.add(&space.add(&p1.cost, &p2.cost), &join_cost);
+                            let plan = arena.push(PlanNode::Join {
+                                op: alt.op,
+                                left: p1.plan,
+                                right: p2.plan,
+                            });
+                            stats.plans_created += 1;
+                            candidates.push((plan, cost));
+                        }
+                    }
+                    for (plan, cost) in candidates {
+                        prune(space, config, &mut plans, plan, cost, &mut stats);
+                    }
+                }
+            }
+            stats.max_plans_per_set = stats.max_plans_per_set.max(plans.len());
+            best.insert(q, plans);
+        }
+    }
+
+    let plans = best
+        .remove(&query.all_tables())
+        .expect("full table set was optimized");
+    stats.final_plan_count = plans.len();
+    stats.lps_solved = space.lps_solved();
+    stats.elapsed = start.elapsed();
+    MpqSolution {
+        plans,
+        arena,
+        stats,
+    }
+}
+
+/// The pruning procedure of Algorithm 1 (lines 33–57), with the §6.3-style
+/// whole-space dominance fast path.
+fn prune<S: MpqSpace>(
+    space: &S,
+    config: &OptimizerConfig,
+    plans: &mut Vec<ParetoPlan<S>>,
+    plan: PlanId,
+    cost: S::Cost,
+    stats: &mut OptStats,
+) {
+    // Shrink the new plan's RR by every retained plan (lines 36–44).
+    let mut region = space.full_region();
+    for old in plans.iter() {
+        if config.pvi_fastpath && space.dominates_everywhere(&old.cost, &cost) {
+            stats.plans_pruned += 1;
+            return;
+        }
+        if space.subtract_dominated(&mut region, &cost, &old.cost, false)
+            && space.region_is_empty(&mut region)
+        {
+            stats.plans_pruned += 1;
+            return;
+        }
+    }
+    // The new plan survives: shrink retained plans' RRs (lines 46–54).
+    plans.retain_mut(|old| {
+        if config.pvi_fastpath && space.dominates_everywhere(&cost, &old.cost) {
+            stats.plans_pruned += 1;
+            return false;
+        }
+        if space.subtract_dominated(&mut old.region, &old.cost, &cost, true)
+            && space.region_is_empty(&mut old.region)
+        {
+            stats.plans_pruned += 1;
+            return false;
+        }
+        true
+    });
+    plans.push(ParetoPlan {
+        plan,
+        cost,
+        region,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid_space::GridSpace;
+    use crate::sampled::SampledSpace;
+    use mpq_catalog::generator::{generate, GeneratorConfig};
+    use mpq_catalog::graph::Topology;
+    use mpq_cloud::model::CloudCostModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_query(n: usize, topology: Topology, params: usize, seed: u64) -> Query {
+        generate(
+            &GeneratorConfig::paper(n, topology, params),
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn single_table_query_keeps_nondominated_scans() {
+        let query = small_query(1, Topology::Chain, 1, 5);
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let sol = optimize(&query, &model, &space, &config);
+        // Scan and index seek trade off across the selectivity range, so
+        // usually both survive; at minimum one plan must.
+        assert!(!sol.plans.is_empty());
+        assert!(sol.stats.plans_created >= sol.plans.len() as u64);
+        for p in &sol.plans {
+            assert!(matches!(sol.arena.node(p.plan), PlanNode::Scan { .. }));
+        }
+    }
+
+    #[test]
+    fn optimizes_three_table_chain() {
+        let query = small_query(3, Topology::Chain, 1, 11);
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let sol = optimize(&query, &model, &space, &config);
+        assert!(!sol.plans.is_empty());
+        // All plans join all three tables.
+        for p in &sol.plans {
+            assert_eq!(sol.arena.tables(p.plan), query.all_tables());
+        }
+        // At every sampled point the relevant set is non-empty and the
+        // frontier is mutually non-dominated.
+        for x in [[0.0], [0.3], [0.7], [1.0]] {
+            let frontier = sol.frontier_at(&space, &x);
+            assert!(!frontier.is_empty(), "no relevant plan at {x:?}");
+            for (i, (_, a)) in frontier.iter().enumerate() {
+                for (j, (_, b)) in frontier.iter().enumerate() {
+                    if i != j {
+                        assert!(
+                            !mpq_cost::strictly_dominates(a, b, 1e-9),
+                            "frontier contains dominated entry at {x:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn time_fees_tradeoff_appears_in_final_set() {
+        // With big enough tables the parallel join becomes time-optimal
+        // somewhere while the single-node join stays fee-optimal, so some
+        // point of the parameter space must offer ≥ 2 frontier plans.
+        let mut query = small_query(3, Topology::Chain, 1, 2);
+        for t in &mut query.tables {
+            t.rows = 90_000.0;
+        }
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let sol = optimize(&query, &model, &space, &config);
+        let widest = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&x| sol.frontier_at(&space, &[x]).len())
+            .max()
+            .unwrap();
+        assert!(
+            widest >= 2,
+            "expected a time/fees trade-off somewhere (got frontier width {widest})"
+        );
+    }
+
+    #[test]
+    fn postponing_cartesian_products_shrinks_search() {
+        let query = small_query(5, Topology::Chain, 1, 3);
+        let model = CloudCostModel::default();
+        let mut config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let with = optimize(&query, &model, &space, &config);
+        config.postpone_cartesian = false;
+        let space2 = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let without = optimize(&query, &model, &space2, &config);
+        assert!(
+            with.stats.plans_created < without.stats.plans_created,
+            "{} !< {}",
+            with.stats.plans_created,
+            without.stats.plans_created
+        );
+        // Both find equally good frontiers at sampled points (cross
+        // products never help when the graph is connected and costs are
+        // monotone in input sizes).
+        for x in [[0.2], [0.8]] {
+            let f_with: Vec<Vec<f64>> =
+                with.frontier_at(&space, &x).into_iter().map(|(_, c)| c).collect();
+            let f_without: Vec<Vec<f64>> = without
+                .frontier_at(&space2, &x)
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            assert!(
+                crate::pareto::covers_frontier(&f_with, &f_without, 1e-6),
+                "restricted search lost quality at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_sampled_space_too() {
+        let query = small_query(3, Topology::Star, 2, 9);
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(2);
+        let space = SampledSpace::lattice(&[0.0, 0.0], &[1.0, 1.0], 5, 2);
+        let sol = optimize(&query, &model, &space, &config);
+        assert!(!sol.plans.is_empty());
+        assert_eq!(sol.stats.lps_solved, 0, "sampled space solves no LPs");
+        let frontier = sol.frontier_at(&space, &[0.5, 0.5]);
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn select_plan_respects_budget() {
+        let mut query = small_query(3, Topology::Chain, 1, 2);
+        for t in &mut query.tables {
+            t.rows = 90_000.0;
+        }
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let sol = optimize(&query, &model, &space, &config);
+        let x = [0.8];
+        // Unconstrained time-optimal plan.
+        let (_, fastest) = sol.select_plan(&space, &x, 0, &[None, None]).unwrap();
+        // Fee-optimal plan.
+        let (_, cheapest) = sol.select_plan(&space, &x, 1, &[None, None]).unwrap();
+        assert!(fastest[0] <= cheapest[0] + 1e-9);
+        assert!(cheapest[1] <= fastest[1] + 1e-9);
+        // A fee budget below the fastest plan's fees forces a slower plan.
+        if cheapest[1] < fastest[1] - 1e-9 {
+            let budget = (fastest[1] + cheapest[1]) / 2.0;
+            let (_, constrained) = sol
+                .select_plan(&space, &x, 0, &[None, Some(budget)])
+                .unwrap();
+            assert!(constrained[1] <= budget + 1e-9);
+            assert!(constrained[0] >= fastest[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let query = small_query(4, Topology::Star, 1, 17);
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let sol = optimize(&query, &model, &space, &config);
+        assert!(sol.stats.plans_created > 0);
+        assert!(sol.stats.final_plan_count == sol.plans.len());
+        assert!(sol.stats.max_plans_per_set >= sol.plans.len());
+        assert!(sol.stats.lps_solved > 0, "grid space must have solved LPs");
+    }
+}

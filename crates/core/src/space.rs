@@ -1,0 +1,97 @@
+//! The `MpqSpace` abstraction: cost and region representations.
+//!
+//! RRPA (Algorithm 1) is agnostic about how cost functions and relevance
+//! regions are represented — the paper notes that the implementation of the
+//! elementary operations "depends on the considered class of cost
+//! functions" (Section 5.1). This trait captures exactly the elementary
+//! operations the algorithm needs; the three implementations
+//! ([`crate::grid_space::GridSpace`], [`crate::pwl_space::PwlSpace`],
+//! [`crate::sampled::SampledSpace`]) realise PWL-RRPA in two variants and
+//! the generic RRPA respectively.
+//!
+//! # Ties and strictness
+//!
+//! Dominance (`Dom`) is non-strict; strict dominance (`StD`) additionally
+//! excludes equal-cost points (paper Section 2). RRPA reduces the **new**
+//! plan's region with `Dom` (a retained tie partner covers the tie points)
+//! but retained plans' regions must be reduced with `StD` semantics — the
+//! `strict` flag of [`MpqSpace::subtract_dominated`] — so exactly one
+//! representative of each tie class stays relevant everywhere.
+//! Symmetrically, [`MpqSpace::region_contains`] treats subtracted regions
+//! as *open* sets: a point on a dominance boundary (where the competitor
+//! merely ties) still belongs to the region.
+
+/// Cost-function and relevance-region representation for one optimization
+/// run.
+pub trait MpqSpace {
+    /// Representation of a vector-valued parametric cost function `c(p)`.
+    type Cost: Clone;
+    /// Representation of a relevance region (a subset of the parameter
+    /// space X).
+    type Region: Clone;
+
+    /// Number of cost metrics.
+    fn num_metrics(&self) -> usize;
+
+    /// Number of parameters (the dimension of X).
+    fn dim(&self) -> usize;
+
+    /// Lifts an arbitrary cost closure (parameter vector ↦ cost vector)
+    /// into this space's representation. PWL spaces approximate by grid
+    /// interpolation (exact at grid vertices); the sampled space is exact
+    /// at its sample points.
+    fn lift(&self, f: &(dyn Fn(&[f64]) -> Vec<f64> + '_)) -> Self::Cost;
+
+    /// Pointwise cost accumulation `a + b` (the `AccumulateCost` step of
+    /// Algorithm 1 / Algorithm 3).
+    fn add(&self, a: &Self::Cost, b: &Self::Cost) -> Self::Cost;
+
+    /// Evaluates a cost function at a parameter point.
+    fn eval(&self, cost: &Self::Cost, x: &[f64]) -> Vec<f64>;
+
+    /// The full parameter space X (the initial relevance region of every
+    /// new plan, Algorithm 1 line 36).
+    fn full_region(&self) -> Self::Region;
+
+    /// Removes from `region` — the relevance region of the plan with cost
+    /// `own` — every point where `competitor` dominates `own`
+    /// (`R ← R ∖ Dom(competitor, own)`, Algorithm 1 lines 39/49).
+    ///
+    /// With `strict`, parts where the two cost functions are *identical*
+    /// are kept (`StD` semantics) — used when reducing retained plans so
+    /// tie classes keep one relevant representative.
+    ///
+    /// Returns `true` if the region may have changed (callers skip the
+    /// emptiness check otherwise).
+    fn subtract_dominated(
+        &self,
+        region: &mut Self::Region,
+        own: &Self::Cost,
+        competitor: &Self::Cost,
+        strict: bool,
+    ) -> bool;
+
+    /// True iff the region is empty (Algorithm 2 `IsEmpty` for the PWL
+    /// spaces). May solve LPs. Takes `&mut` so implementations can cache
+    /// the verdict (e.g. mark a covered simplex as empty).
+    fn region_is_empty(&self, region: &mut Self::Region) -> bool;
+
+    /// Cheap *exact* sufficient test that `dominator` dominates
+    /// `dominated` over the whole parameter space. Must never return a
+    /// false positive (plans are discarded on its say-so); returning
+    /// `false` when unsure is always sound. Default: no fast path.
+    fn dominates_everywhere(&self, _dominator: &Self::Cost, _dominated: &Self::Cost) -> bool {
+        false
+    }
+
+    /// True iff `x` belongs to `region` (diagnostics and plan selection).
+    /// Subtracted dominance regions are treated as open: boundary points,
+    /// where the competitor ties, remain members.
+    fn region_contains(&self, region: &Self::Region, x: &[f64]) -> bool;
+
+    /// Number of LPs solved through this space so far (the Figure 12
+    /// metric); spaces without LPs return 0.
+    fn lps_solved(&self) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,181 @@
+//! PWL approximation of arbitrary cost closures on a parameter grid.
+//!
+//! The paper (Sections 2 and 6.1, citing Hulgeri & Sudarshan) relies on the
+//! fact that PWL functions approximate arbitrary cost functions to any
+//! desired precision. This module realises that: a scalar closure is
+//! evaluated at the grid vertices and linearly interpolated through the
+//! vertices of each Kuhn simplex. The approximation is
+//!
+//! * **exact at every grid vertex**,
+//! * **exact everywhere** when the closure is affine, and
+//! * converging to the closure as the grid resolution grows (for
+//!   continuous closures).
+//!
+//! Vertex evaluations are cached across simplices (each interior vertex is
+//! shared by up to `2ᵈ · d!` simplices), so a closure is evaluated exactly
+//! `(resolution + 1)ᵈ` times per metric.
+
+use crate::{CostVec, LinearFn, LinearPiece, MultiCostFn, PwlFn};
+use mpq_geometry::grid::{GridSimplex, ParamGrid};
+use std::collections::HashMap;
+
+/// Interpolates the unique linear function through the simplex vertices
+/// with the given values (`values[i]` at `simplex.vertices[i]`).
+///
+/// Returns `None` if the simplex is degenerate (never the case for
+/// [`ParamGrid`] simplices).
+pub fn interpolate_simplex(simplex: &GridSimplex, values: &[f64]) -> Option<LinearFn> {
+    let d = simplex.vertices[0].len();
+    debug_assert_eq!(values.len(), d + 1);
+    // Solve  [vᵢ 1] · [w; b] = valuesᵢ  for i = 0..d.
+    let a: Vec<Vec<f64>> = simplex
+        .vertices
+        .iter()
+        .map(|v| {
+            let mut row = v.clone();
+            row.push(1.0);
+            row
+        })
+        .collect();
+    let sol = mpq_lp::dense::solve_linear_system(a, values.to_vec())?;
+    let (w, b) = sol.split_at(d);
+    Some(LinearFn::new(w.to_vec(), b[0]))
+}
+
+/// Integer key for a grid vertex (exact within one grid).
+fn vertex_key(grid: &ParamGrid, v: &[f64]) -> Vec<i64> {
+    v.iter()
+        .enumerate()
+        .map(|(j, &x)| {
+            let h = (grid.hi()[j] - grid.lo()[j]) / grid.resolution() as f64;
+            ((x - grid.lo()[j]) / h).round() as i64
+        })
+        .collect()
+}
+
+/// Evaluates `f` once per distinct grid vertex and interpolates a linear
+/// function on every simplex. Index `i` of the result corresponds to
+/// simplex id `i`.
+pub fn approximate_scalar(grid: &ParamGrid, mut f: impl FnMut(&[f64]) -> f64) -> Vec<LinearFn> {
+    let mut cache: HashMap<Vec<i64>, f64> = HashMap::new();
+    grid.simplices()
+        .iter()
+        .map(|s| {
+            let values: Vec<f64> = s
+                .vertices
+                .iter()
+                .map(|v| {
+                    *cache
+                        .entry(vertex_key(grid, v))
+                        .or_insert_with(|| f(v))
+                })
+                .collect();
+            interpolate_simplex(s, &values)
+                .expect("grid simplices are non-degenerate")
+        })
+        .collect()
+}
+
+/// Builds a general [`PwlFn`] approximating `f` on the grid.
+pub fn pwl_from_closure(grid: &ParamGrid, f: impl FnMut(&[f64]) -> f64) -> PwlFn {
+    let fns = approximate_scalar(grid, f);
+    let pieces = grid
+        .simplices()
+        .iter()
+        .zip(fns)
+        .map(|(s, lin)| LinearPiece {
+            region: s.polytope.clone(),
+            f: lin,
+        })
+        .collect();
+    PwlFn::new(grid.dim(), pieces)
+}
+
+/// Builds a [`MultiCostFn`] approximating the vector-valued closure `f`
+/// (which must return `num_metrics` values) on the grid.
+pub fn multi_from_closure(
+    grid: &ParamGrid,
+    num_metrics: usize,
+    f: impl Fn(&[f64]) -> CostVec,
+) -> MultiCostFn {
+    let metrics = (0..num_metrics)
+        .map(|m| {
+            pwl_from_closure(grid, |x| {
+                let v = f(x);
+                debug_assert_eq!(v.len(), num_metrics);
+                v[m]
+            })
+        })
+        .collect();
+    MultiCostFn::new(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_geometry::grid::lattice;
+
+    #[test]
+    fn affine_closures_are_exact_everywhere() {
+        let grid = ParamGrid::new(&[0.0, 0.0], &[1.0, 1.0], 3).unwrap();
+        let f = pwl_from_closure(&grid, |x| 2.0 * x[0] - 3.0 * x[1] + 1.0);
+        for p in lattice(&[0.0, 0.0], &[1.0, 1.0], 9) {
+            let expect = 2.0 * p[0] - 3.0 * p[1] + 1.0;
+            let got = f.eval(&p).unwrap();
+            assert!((got - expect).abs() < 1e-9, "at {p:?}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn product_is_exact_at_vertices() {
+        let grid = ParamGrid::new(&[0.0, 0.0], &[1.0, 1.0], 2).unwrap();
+        let f = pwl_from_closure(&grid, |x| x[0] * x[1]);
+        for v in grid.vertex_points() {
+            let got = f.eval(&v).unwrap();
+            assert!(
+                (got - v[0] * v[1]).abs() < 1e-9,
+                "vertex {v:?}: {got} vs {}",
+                v[0] * v[1]
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_error() {
+        let target = |x: &[f64]| x[0] * x[0];
+        let err = |res: usize| {
+            let grid = ParamGrid::new(&[0.0], &[1.0], res).unwrap();
+            let f = pwl_from_closure(&grid, target);
+            lattice(&[0.0], &[1.0], 101)
+                .iter()
+                .map(|p| (f.eval(p).unwrap() - target(p)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let coarse = err(2);
+        let fine = err(8);
+        assert!(
+            fine < coarse / 4.0,
+            "expected ~quadratic error decay: {coarse} -> {fine}"
+        );
+    }
+
+    #[test]
+    fn multi_closure_builds_all_metrics() {
+        let grid = ParamGrid::new(&[0.0], &[1.0], 2).unwrap();
+        let mc = multi_from_closure(&grid, 2, |x| vec![x[0], 1.0 - x[0]]);
+        assert_eq!(mc.num_metrics(), 2);
+        let v = mc.eval(&[0.25]).unwrap();
+        assert!((v[0] - 0.25).abs() < 1e-9 && (v[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_matches_vertex_values() {
+        let grid = ParamGrid::new(&[0.0, 0.0], &[2.0, 2.0], 2).unwrap();
+        let s = grid.simplex(3);
+        let values: Vec<f64> = s.vertices.iter().map(|v| v[0] * 7.0 + v[1]).collect();
+        let lin = interpolate_simplex(s, &values).unwrap();
+        for (v, val) in s.vertices.iter().zip(&values) {
+            assert!((lin.eval(v) - val).abs() < 1e-9);
+        }
+    }
+}

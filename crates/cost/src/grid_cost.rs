@@ -1,0 +1,411 @@
+//! Grid-aligned multi-objective cost functions.
+//!
+//! [`GridCost`] is the cost representation used by the optimizer's default
+//! PWL space. Every cost function of a run is linear on the *same* shared
+//! simplices (one [`mpq_geometry::grid::ParamGrid`]), which realises
+//! Theorem 1 of the paper — the parameter space is partitioned into linear
+//! regions for the whole plan set — with three payoffs:
+//!
+//! * **accumulation is LP-free**: adding two functions adds their weight
+//!   vectors per simplex (Figure 11 degenerates to aligned regions);
+//! * **piece counts never grow**: the sum of two `GridCost`s has exactly
+//!   one linear piece per simplex;
+//! * **dominance geometry is local**: within a simplex, the region where
+//!   one plan dominates another is the simplex intersected with one
+//!   halfspace per metric (Theorem 2), and because a linear function on a
+//!   simplex attains its extrema at the vertices, many dominance questions
+//!   are answered exactly by comparing vertex values — no LP at all.
+
+use crate::{approx, CostVec, LinearFn, LinearPiece, MultiCostFn, PwlFn};
+use mpq_geometry::grid::ParamGrid;
+use mpq_geometry::{Halfspace, HalfspaceKind, Polytope};
+use std::sync::Arc;
+
+/// Comparison tolerance for cost values: absolute floor plus a relative
+/// component, since costs range from fractions of a second to days.
+#[inline]
+pub fn cost_le(a: f64, b: f64) -> bool {
+    a <= b + 1e-9 + 1e-12 * a.abs().max(b.abs())
+}
+
+/// How one plan's metric compares to another's within one simplex.
+#[derive(Debug, Clone)]
+pub enum MetricOnSimplex {
+    /// `self ≤ other` on the whole simplex (all vertex differences ≤ 0).
+    AlwaysLe,
+    /// `self > other` on the whole simplex (all vertex differences > 0):
+    /// the dominance region is empty for this metric.
+    NeverLe,
+    /// The comparison flips across the hyperplane carried here
+    /// (`{x : self(x) ≤ other(x)}` within the simplex).
+    Split(Halfspace),
+}
+
+/// Result of intersecting dominance constraints over all metrics within a
+/// simplex.
+#[derive(Debug, Clone)]
+pub enum SimplexDominance {
+    /// Dominates on the entire simplex.
+    Full,
+    /// Dominates nowhere on the simplex.
+    Empty,
+    /// Dominates exactly on the carried polytope (simplex ∩ halfspaces);
+    /// may still have empty interior when several metrics split.
+    Partial(Polytope),
+}
+
+/// Halfspace-level form of [`SimplexDominance`]: the dominance region is
+/// the simplex intersected with the carried halfspaces. Storing only the
+/// halfspaces lets relevance regions share the simplex polytope across all
+/// cutouts of a simplex, which makes redundancy tests O(#metrics) LPs
+/// instead of O(#simplex constraints).
+#[derive(Debug, Clone)]
+pub enum DominanceHalfspaces {
+    /// Dominates on the entire simplex.
+    Full,
+    /// Dominates nowhere on the simplex.
+    Empty,
+    /// Dominates on `simplex ∩ halfspaces` (one halfspace per split
+    /// metric; may have empty interior when several metrics split).
+    Split(Vec<Halfspace>),
+}
+
+/// A multi-objective cost function linear on each simplex of a shared grid.
+#[derive(Debug, Clone)]
+pub struct GridCost {
+    grid: Arc<ParamGrid>,
+    /// `metrics[m][s]` — the linear function of metric `m` on simplex `s`.
+    metrics: Vec<Vec<LinearFn>>,
+}
+
+impl GridCost {
+    /// Builds a cost function from per-metric, per-simplex linear pieces.
+    ///
+    /// # Panics
+    /// Panics if the shape does not match the grid or no metric is given.
+    pub fn new(grid: Arc<ParamGrid>, metrics: Vec<Vec<LinearFn>>) -> Self {
+        assert!(!metrics.is_empty(), "at least one cost metric is required");
+        assert!(metrics.iter().all(|m| m.len() == grid.num_simplices()));
+        Self { grid, metrics }
+    }
+
+    /// Approximates the vector-valued closure `f` on the grid (exact at
+    /// grid vertices; see [`crate::approx`]).
+    pub fn from_closure(
+        grid: Arc<ParamGrid>,
+        num_metrics: usize,
+        f: impl Fn(&[f64]) -> CostVec,
+    ) -> Self {
+        let metrics = (0..num_metrics)
+            .map(|m| {
+                approx::approximate_scalar(&grid, |x| {
+                    let v = f(x);
+                    debug_assert_eq!(v.len(), num_metrics);
+                    v[m]
+                })
+            })
+            .collect();
+        Self::new(grid, metrics)
+    }
+
+    /// The zero cost function.
+    pub fn zero(grid: Arc<ParamGrid>, num_metrics: usize) -> Self {
+        let dim = grid.dim();
+        let n = grid.num_simplices();
+        let metrics = vec![vec![LinearFn::constant(dim, 0.0); n]; num_metrics];
+        Self::new(grid, metrics)
+    }
+
+    /// The shared grid.
+    pub fn grid(&self) -> &Arc<ParamGrid> {
+        &self.grid
+    }
+
+    /// Number of metrics.
+    pub fn num_metrics(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// The linear function of `metric` on `simplex`.
+    pub fn piece(&self, metric: usize, simplex: usize) -> &LinearFn {
+        &self.metrics[metric][simplex]
+    }
+
+    /// Evaluates all metrics at `x` (clamped into the grid box).
+    pub fn eval(&self, x: &[f64]) -> CostVec {
+        let s = self.grid.locate(x);
+        self.metrics.iter().map(|m| m[s].eval(x)).collect()
+    }
+
+    /// Metric-wise, simplex-wise sum — the LP-free accumulation step.
+    ///
+    /// # Panics
+    /// Panics if the operands use different grids or metric counts.
+    pub fn add(&self, other: &GridCost) -> GridCost {
+        assert!(
+            Arc::ptr_eq(&self.grid, &other.grid),
+            "GridCost operands must share one ParamGrid"
+        );
+        assert_eq!(self.num_metrics(), other.num_metrics());
+        let metrics = self
+            .metrics
+            .iter()
+            .zip(&other.metrics)
+            .map(|(a, b)| a.iter().zip(b).map(|(f, g)| f.add(g)).collect())
+            .collect();
+        GridCost {
+            grid: Arc::clone(&self.grid),
+            metrics,
+        }
+    }
+
+    /// In-place version of [`GridCost::add`].
+    pub fn add_assign(&mut self, other: &GridCost) {
+        assert!(Arc::ptr_eq(&self.grid, &other.grid));
+        assert_eq!(self.num_metrics(), other.num_metrics());
+        for (a, b) in self.metrics.iter_mut().zip(&other.metrics) {
+            for (f, g) in a.iter_mut().zip(b) {
+                f.add_assign(g);
+            }
+        }
+    }
+
+    /// Classifies metric `m` of `self` against `other` on one simplex by
+    /// comparing vertex values (exact — a linear function on a simplex
+    /// attains its extrema at vertices).
+    pub fn classify_metric(&self, other: &GridCost, metric: usize, simplex: usize) -> MetricOnSimplex {
+        let mine = &self.metrics[metric][simplex];
+        let theirs = &other.metrics[metric][simplex];
+        let d = mine.sub(theirs);
+        let verts = &self.grid.simplex(simplex).vertices;
+        let mut any_le = false;
+        let mut any_gt = false;
+        for v in verts {
+            if cost_le(d.eval(v), 0.0) {
+                any_le = true;
+            } else {
+                any_gt = true;
+            }
+        }
+        match (any_le, any_gt) {
+            (true, false) => MetricOnSimplex::AlwaysLe,
+            (false, _) => MetricOnSimplex::NeverLe,
+            (true, true) => {
+                // d(x) ≤ 0  ⇔  d.w · x ≤ −d.b.
+                match Halfspace::new(d.w.clone(), -d.b) {
+                    HalfspaceKind::Proper(h) => MetricOnSimplex::Split(h),
+                    // Degenerate cases are covered by the vertex test above.
+                    HalfspaceKind::AlwaysTrue => MetricOnSimplex::AlwaysLe,
+                    HalfspaceKind::AlwaysFalse => MetricOnSimplex::NeverLe,
+                }
+            }
+        }
+    }
+
+    /// True iff `self` and `other` are (numerically) the same function on
+    /// the simplex — equal per metric at every vertex, hence everywhere on
+    /// the simplex by linearity.
+    pub fn identical_on_simplex(&self, other: &GridCost, simplex: usize) -> bool {
+        let verts = &self.grid.simplex(simplex).vertices;
+        (0..self.num_metrics()).all(|m| {
+            let mine = &self.metrics[m][simplex];
+            let theirs = &other.metrics[m][simplex];
+            verts.iter().all(|v| {
+                let (a, b) = (mine.eval(v), theirs.eval(v));
+                cost_le(a, b) && cost_le(b, a)
+            })
+        })
+    }
+
+    /// The halfspaces confining the region within one simplex where `self`
+    /// dominates `other` (at-most-equal on **every** metric).
+    ///
+    /// With `strict`, simplices on which the two functions are identical
+    /// report [`DominanceHalfspaces::Empty`]: strict dominance `StD`
+    /// excludes equal-cost points (paper Section 2), and RRPA reduces
+    /// *retained* plans' regions strictly so that one representative of
+    /// every tie class stays relevant.
+    pub fn dominance_halfspaces(
+        &self,
+        other: &GridCost,
+        simplex: usize,
+        strict: bool,
+    ) -> DominanceHalfspaces {
+        if strict && self.identical_on_simplex(other, simplex) {
+            return DominanceHalfspaces::Empty;
+        }
+        let mut halfspaces: Vec<Halfspace> = Vec::new();
+        for m in 0..self.num_metrics() {
+            match self.classify_metric(other, m, simplex) {
+                MetricOnSimplex::NeverLe => return DominanceHalfspaces::Empty,
+                MetricOnSimplex::AlwaysLe => {}
+                MetricOnSimplex::Split(h) => halfspaces.push(h),
+            }
+        }
+        if halfspaces.is_empty() {
+            DominanceHalfspaces::Full
+        } else {
+            DominanceHalfspaces::Split(halfspaces)
+        }
+    }
+
+    /// The region within one simplex where `self` dominates `other`, as a
+    /// polytope (see [`GridCost::dominance_halfspaces`]).
+    pub fn dominance_in_simplex(
+        &self,
+        other: &GridCost,
+        simplex: usize,
+        strict: bool,
+    ) -> SimplexDominance {
+        match self.dominance_halfspaces(other, simplex, strict) {
+            DominanceHalfspaces::Full => SimplexDominance::Full,
+            DominanceHalfspaces::Empty => SimplexDominance::Empty,
+            DominanceHalfspaces::Split(halfspaces) => {
+                let mut region = self.grid.simplex(simplex).polytope.clone();
+                for h in halfspaces {
+                    region.push(h);
+                }
+                SimplexDominance::Partial(region)
+            }
+        }
+    }
+
+    /// True iff `self` dominates `other` over the entire parameter space —
+    /// at-most-equal per metric at every simplex vertex. Exact and LP-free.
+    pub fn dominates_everywhere(&self, other: &GridCost) -> bool {
+        (0..self.num_metrics()).all(|m| {
+            (0..self.grid.num_simplices()).all(|s| {
+                matches!(
+                    self.classify_metric(other, m, s),
+                    MetricOnSimplex::AlwaysLe
+                )
+            })
+        })
+    }
+
+    /// True iff `self` dominates `other` at the point `x`.
+    pub fn dominates_at(&self, other: &GridCost, x: &[f64]) -> bool {
+        self.eval(x)
+            .iter()
+            .zip(other.eval(x))
+            .all(|(a, b)| cost_le(*a, b))
+    }
+
+    /// Converts to the general representation (one piece per simplex per
+    /// metric) for interop with [`MultiCostFn`]-based code and tests.
+    pub fn to_multi_cost_fn(&self) -> MultiCostFn {
+        let dim = self.grid.dim();
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|per_simplex| {
+                let pieces = self
+                    .grid
+                    .simplices()
+                    .iter()
+                    .zip(per_simplex)
+                    .map(|(s, f)| LinearPiece {
+                        region: s.polytope.clone(),
+                        f: f.clone(),
+                    })
+                    .collect();
+                PwlFn::new(dim, pieces)
+            })
+            .collect();
+        MultiCostFn::new(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid1d(res: usize) -> Arc<ParamGrid> {
+        Arc::new(ParamGrid::new(&[0.0], &[1.0], res).unwrap())
+    }
+
+    #[test]
+    fn closure_roundtrip_and_add() {
+        let grid = grid1d(4);
+        let a = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![x[0], 1.0]);
+        let b = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![1.0 - x[0], 2.0]);
+        let s = a.add(&b);
+        let v = s.eval(&[0.3]);
+        assert!((v[0] - 1.0).abs() < 1e-9);
+        assert!((v[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominates_everywhere_vertex_exactness() {
+        let grid = grid1d(4);
+        let cheap = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![x[0], 1.0]);
+        let pricey = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![x[0] + 0.5, 1.0]);
+        assert!(cheap.dominates_everywhere(&pricey));
+        assert!(!pricey.dominates_everywhere(&cheap));
+        // Equal functions dominate each other (non-strictly).
+        assert!(cheap.dominates_everywhere(&cheap.clone()));
+    }
+
+    #[test]
+    fn classify_metric_detects_split() {
+        let grid = grid1d(1); // single simplex [0, 1]
+        let a = GridCost::from_closure(Arc::clone(&grid), 1, |x| vec![x[0]]);
+        let b = GridCost::from_closure(Arc::clone(&grid), 1, |_| vec![0.25]);
+        match a.classify_metric(&b, 0, 0) {
+            MetricOnSimplex::Split(h) => {
+                // a ≤ b exactly on [0, 0.25].
+                assert!(h.contains(&[0.1]));
+                assert!(!h.contains(&[0.5]));
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dominance_in_simplex_cases() {
+        let grid = grid1d(1);
+        // time: a = σ vs b = 0.25; fees: a = 1 vs b = 2.
+        let a = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![x[0], 1.0]);
+        let b = GridCost::from_closure(Arc::clone(&grid), 2, |_| vec![0.25, 2.0]);
+        match a.dominance_in_simplex(&b, 0, false) {
+            SimplexDominance::Partial(p) => {
+                assert!(p.contains_point(&[0.2]));
+                assert!(!p.contains_point(&[0.3]));
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+        // Reverse direction: b never beats a on fees → empty.
+        assert!(matches!(
+            b.dominance_in_simplex(&a, 0, false),
+            SimplexDominance::Empty
+        ));
+        // A strictly better plan dominates fully.
+        let best = GridCost::from_closure(Arc::clone(&grid), 2, |_| vec![0.0, 0.0]);
+        assert!(matches!(
+            best.dominance_in_simplex(&a, 0, false),
+            SimplexDominance::Full
+        ));
+    }
+
+    #[test]
+    fn conversion_to_multi_cost_fn_agrees() {
+        let grid = Arc::new(ParamGrid::new(&[0.0, 0.0], &[1.0, 1.0], 2).unwrap());
+        let g = GridCost::from_closure(Arc::clone(&grid), 2, |x| {
+            vec![x[0] * x[1] + 1.0, 2.0 - x[0]]
+        });
+        let mc = g.to_multi_cost_fn();
+        for p in mpq_geometry::grid::lattice(&[0.0, 0.0], &[1.0, 1.0], 5) {
+            let gv = g.eval(&p);
+            let mv = mc.eval(&p).unwrap();
+            assert!((gv[0] - mv[0]).abs() < 1e-9 && (gv[1] - mv[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one ParamGrid")]
+    fn adding_across_grids_panics() {
+        let a = GridCost::zero(grid1d(2), 1);
+        let b = GridCost::zero(grid1d(2), 1);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Multi-objective piecewise-linear cost functions for MPQ.
+//!
+//! In the MPQ model (Trummer & Koch, VLDB 2014, Section 2) the cost of a
+//! query plan is a vector-valued function `c(p) : X → Rᵐ` mapping parameter
+//! vectors (e.g. predicate selectivities) to one value per cost metric
+//! (e.g. execution time and monetary fees). The PWL-MPQ restriction assumes
+//! each component is **piecewise linear**: linear on convex polytopes that
+//! partition the parameter space (Figure 9 of the paper).
+//!
+//! This crate implements the cost-function side of PWL-RRPA:
+//!
+//! * [`LinearFn`] — a single linear piece `b + w · x`;
+//! * [`PwlFn`] — a general piecewise-linear function over arbitrary
+//!   polytope pieces, with addition, scaling, pointwise min/max (Figure 11
+//!   and the `AccumulateCost` function of Algorithm 3);
+//! * [`MultiCostFn`] — one [`PwlFn`] per metric, with the dominance-region
+//!   computation `Dom` of Algorithm 3;
+//! * [`GridCost`] — the grid-aligned representation used by the optimizer:
+//!   every function in a run is linear on the *same* simplices of a shared
+//!   [`mpq_geometry::grid::ParamGrid`], so accumulation is per-simplex
+//!   weight addition and all dominance geometry stays local to a simplex;
+//! * [`approx`] — interpolation of arbitrary cost closures onto a grid
+//!   (exact at grid vertices, exact everywhere for affine closures).
+
+pub mod approx;
+mod grid_cost;
+mod linear;
+mod multi;
+mod pwl;
+
+pub use grid_cost::{DominanceHalfspaces, GridCost, MetricOnSimplex, SimplexDominance};
+pub use linear::LinearFn;
+pub use multi::MultiCostFn;
+pub use pwl::{LinearPiece, PwlFn};
+
+/// Identifies a cost metric by position (0-based) in a cost vector.
+///
+/// Metric *names* and semantics (time, fees, precision loss, …) are owned
+/// by the cost model that produces the functions; this crate only needs the
+/// arity.
+pub type MetricIdx = usize;
+
+/// Evaluated cost vector, one entry per metric. Lower is better for every
+/// metric (qualities like result precision are modelled as losses, see
+/// Section 2 of the paper).
+pub type CostVec = Vec<f64>;
+
+/// True iff `a` dominates `b`: `a ≤ b` in every component (within `tol`).
+pub fn dominates(a: &[f64], b: &[f64], tol: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| *x <= *y + tol)
+}
+
+/// True iff `a` strictly dominates `b`: `a` dominates `b` and is strictly
+/// smaller in at least one component.
+pub fn strictly_dominates(a: &[f64], b: &[f64], tol: f64) -> bool {
+    dominates(a, b, tol) && a.iter().zip(b).any(|(x, y)| *x < *y - tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_on_vectors() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0], 1e-9));
+        assert!(!dominates(&[1.0, 4.0], &[1.0, 3.0], 1e-9));
+        assert!(strictly_dominates(&[1.0, 2.0], &[1.0, 3.0], 1e-9));
+        assert!(!strictly_dominates(&[1.0, 3.0], &[1.0, 3.0], 1e-9));
+        // Equal vectors dominate each other non-strictly.
+        assert!(dominates(&[2.0], &[2.0], 1e-9));
+    }
+}

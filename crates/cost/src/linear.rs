@@ -1,0 +1,162 @@
+//! Single linear cost pieces.
+
+use mpq_lp::dense::dot;
+
+/// A linear function `x ↦ b + w · x` on the parameter space.
+///
+/// This is one *piece* of a piecewise-linear cost function: the paper's
+/// Figure 9 stores, per piece, a weight vector `w` (one weight per
+/// parameter) and a scalar base cost `b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFn {
+    /// Weight per parameter.
+    pub w: Vec<f64>,
+    /// Base cost.
+    pub b: f64,
+}
+
+impl LinearFn {
+    /// Creates `b + w · x`.
+    pub fn new(w: Vec<f64>, b: f64) -> Self {
+        Self { w, b }
+    }
+
+    /// The constant function `b` on a `dim`-dimensional space.
+    pub fn constant(dim: usize, b: f64) -> Self {
+        Self {
+            w: vec![0.0; dim],
+            b,
+        }
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Evaluates the function at `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.b + dot(&self.w, x)
+    }
+
+    /// Component-wise sum (Figure 11 of the paper: weight vectors and base
+    /// costs add within a shared linear region).
+    pub fn add(&self, other: &LinearFn) -> LinearFn {
+        debug_assert_eq!(self.dim(), other.dim());
+        LinearFn {
+            w: self.w.iter().zip(&other.w).map(|(a, b)| a + b).collect(),
+            b: self.b + other.b,
+        }
+    }
+
+    /// In-place sum.
+    pub fn add_assign(&mut self, other: &LinearFn) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for (a, b) in self.w.iter_mut().zip(&other.w) {
+            *a += b;
+        }
+        self.b += other.b;
+    }
+
+    /// The difference `self − other`.
+    pub fn sub(&self, other: &LinearFn) -> LinearFn {
+        debug_assert_eq!(self.dim(), other.dim());
+        LinearFn {
+            w: self.w.iter().zip(&other.w).map(|(a, b)| a - b).collect(),
+            b: self.b - other.b,
+        }
+    }
+
+    /// Scales values by `k`.
+    pub fn scale(&self, k: f64) -> LinearFn {
+        LinearFn {
+            w: self.w.iter().map(|v| v * k).collect(),
+            b: self.b * k,
+        }
+    }
+
+    /// Adds a constant offset.
+    pub fn add_const(&self, c: f64) -> LinearFn {
+        LinearFn {
+            w: self.w.clone(),
+            b: self.b + c,
+        }
+    }
+
+    /// Parameter-value-independent dominance (§6.3 of the paper): true iff
+    /// every weight and the base cost of `self` are ≤ those of `other`,
+    /// which implies `self(x) ≤ other(x)` for all non-negative `x`.
+    pub fn dominates_pvi(&self, other: &LinearFn, tol: f64) -> bool {
+        self.b <= other.b + tol
+            && self
+                .w
+                .iter()
+                .zip(&other.w)
+                .all(|(a, b)| *a <= *b + tol)
+    }
+
+    /// Exact box dominance: true iff `self(x) ≤ other(x)` for every `x` in
+    /// the box `[lo, hi]`. Uses the closed form for the maximum of a linear
+    /// function over a box (no LP needed).
+    pub fn le_on_box(&self, other: &LinearFn, lo: &[f64], hi: &[f64], tol: f64) -> bool {
+        let d = self.sub(other);
+        let mut max = d.b;
+        for j in 0..d.w.len() {
+            max += if d.w[j] >= 0.0 {
+                d.w[j] * hi[j]
+            } else {
+                d.w[j] * lo[j]
+            };
+        }
+        max <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_add() {
+        let f = LinearFn::new(vec![2.0, -1.0], 3.0);
+        assert_eq!(f.eval(&[1.0, 1.0]), 4.0);
+        let g = LinearFn::new(vec![1.0, 1.0], -1.0);
+        let s = f.add(&g);
+        assert_eq!(s.eval(&[1.0, 1.0]), f.eval(&[1.0, 1.0]) + g.eval(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn scale_and_const() {
+        let f = LinearFn::new(vec![2.0], 1.0);
+        assert_eq!(f.scale(2.0).eval(&[1.0]), 6.0);
+        assert_eq!(f.add_const(5.0).eval(&[1.0]), 8.0);
+    }
+
+    #[test]
+    fn pvi_dominance() {
+        let cheap = LinearFn::new(vec![1.0, 1.0], 0.0);
+        let pricey = LinearFn::new(vec![2.0, 1.0], 1.0);
+        assert!(cheap.dominates_pvi(&pricey, 1e-9));
+        assert!(!pricey.dominates_pvi(&cheap, 1e-9));
+        // Crossing functions dominate p.v.i. in neither direction.
+        let a = LinearFn::new(vec![1.0, 0.0], 1.0);
+        let b = LinearFn::new(vec![0.0, 1.0], 1.0);
+        assert!(!a.dominates_pvi(&b, 1e-9) && !b.dominates_pvi(&a, 1e-9));
+    }
+
+    #[test]
+    fn box_dominance_is_exact() {
+        // f = x, g = 1 − x on [0, 1]: neither dominates on the box,
+        // but f ≤ g on [0, 0.5].
+        let f = LinearFn::new(vec![1.0], 0.0);
+        let g = LinearFn::new(vec![-1.0], 1.0);
+        assert!(!f.le_on_box(&g, &[0.0], &[1.0], 1e-9));
+        assert!(f.le_on_box(&g, &[0.0], &[0.5], 1e-9));
+        // Box dominance is strictly stronger than the p.v.i. test: a larger
+        // weight can be compensated by a larger base cost on a bounded box.
+        let a = LinearFn::new(vec![2.0], 0.0);
+        let b = LinearFn::new(vec![1.0], 5.0);
+        assert!(a.le_on_box(&b, &[0.0], &[1.0], 1e-9));
+        assert!(!a.dominates_pvi(&b, 1e-9));
+    }
+}

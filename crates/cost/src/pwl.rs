@@ -1,0 +1,288 @@
+//! General piecewise-linear functions over polytope pieces.
+
+use crate::LinearFn;
+use mpq_geometry::{Halfspace, HalfspaceKind, Polytope};
+use mpq_lp::LpCtx;
+
+/// One linear piece: a linear function together with the convex polytope on
+/// which it applies (the `reg`/`w`/`b` triple of Figure 9 in the paper).
+#[derive(Debug, Clone)]
+pub struct LinearPiece {
+    /// The convex region on which `f` applies.
+    pub region: Polytope,
+    /// The linear function on that region.
+    pub f: LinearFn,
+}
+
+/// A piecewise-linear function: linear on convex polytopes whose interiors
+/// partition its domain.
+///
+/// Pieces may describe discontinuous functions (the paper explicitly allows
+/// discontinuities between linear regions); evaluation on a shared boundary
+/// picks the first containing piece.
+#[derive(Debug, Clone)]
+pub struct PwlFn {
+    dim: usize,
+    pieces: Vec<LinearPiece>,
+}
+
+impl PwlFn {
+    /// A function made of explicit pieces.
+    pub fn new(dim: usize, pieces: Vec<LinearPiece>) -> Self {
+        debug_assert!(pieces.iter().all(|p| p.region.dim() == dim && p.f.dim() == dim));
+        Self { dim, pieces }
+    }
+
+    /// A single-piece (linear) function on `region`.
+    pub fn from_linear(region: Polytope, f: LinearFn) -> Self {
+        let dim = region.dim();
+        Self::new(
+            dim,
+            vec![LinearPiece { region, f }],
+        )
+    }
+
+    /// The constant function `c` on `region`.
+    pub fn constant(region: Polytope, c: f64) -> Self {
+        let dim = region.dim();
+        Self::from_linear(region, LinearFn::constant(dim, c))
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The linear pieces.
+    pub fn pieces(&self) -> &[LinearPiece] {
+        &self.pieces
+    }
+
+    /// Evaluates at `x`: the value of the first piece whose region contains
+    /// `x`, or `None` outside the domain.
+    pub fn eval(&self, x: &[f64]) -> Option<f64> {
+        self.pieces
+            .iter()
+            .find(|p| p.region.contains_point(x))
+            .map(|p| p.f.eval(x))
+    }
+
+    /// Scales values by `k ≥ 0` (piece regions unchanged).
+    pub fn scale(&self, k: f64) -> PwlFn {
+        debug_assert!(k >= 0.0, "scaling by a negative factor breaks dominance");
+        PwlFn {
+            dim: self.dim,
+            pieces: self
+                .pieces
+                .iter()
+                .map(|p| LinearPiece {
+                    region: p.region.clone(),
+                    f: p.f.scale(k),
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a constant offset.
+    pub fn add_const(&self, c: f64) -> PwlFn {
+        PwlFn {
+            dim: self.dim,
+            pieces: self
+                .pieces
+                .iter()
+                .map(|p| LinearPiece {
+                    region: p.region.clone(),
+                    f: p.f.add_const(c),
+                })
+                .collect(),
+        }
+    }
+
+    /// Pointwise sum (the `AccumulateCost` pattern of Algorithm 3): the
+    /// parameter space is re-partitioned into pairwise intersections of the
+    /// operand regions; weight vectors and base costs add on each non-empty
+    /// intersection (Figure 11 of the paper).
+    pub fn add(&self, other: &PwlFn, ctx: &LpCtx) -> PwlFn {
+        self.combine(other, ctx, |r, f1, f2| {
+            vec![LinearPiece {
+                region: r,
+                f: f1.add(f2),
+            }]
+        })
+    }
+
+    /// Pointwise maximum. Within an intersection region the winner can
+    /// change across the hyperplane `f₁(x) = f₂(x)`, so pieces are split.
+    /// Used to accumulate execution time of sub-plans that run in parallel
+    /// (the paper's §3 example: "the execution time of a plan equals the
+    /// maximum over the execution times of its sub-plans").
+    pub fn max(&self, other: &PwlFn, ctx: &LpCtx) -> PwlFn {
+        self.extremum(other, ctx, true)
+    }
+
+    /// Pointwise minimum (see [`PwlFn::max`]).
+    pub fn min(&self, other: &PwlFn, ctx: &LpCtx) -> PwlFn {
+        self.extremum(other, ctx, false)
+    }
+
+    fn extremum(&self, other: &PwlFn, ctx: &LpCtx, want_max: bool) -> PwlFn {
+        self.combine(other, ctx, |r, f1, f2| {
+            // d = f1 − f2; the set {d ≥ 0} within r takes f1 for max / f2
+            // for min.
+            let d = f1.sub(f2);
+            let (upper, lower) = if want_max { (f1, f2) } else { (f2, f1) };
+            let neg: Vec<f64> = d.w.iter().map(|v| -v).collect();
+            match Halfspace::new(neg, d.b) {
+                // d ≥ 0 everywhere degenerate (w = 0): constant sign.
+                HalfspaceKind::AlwaysTrue => vec![LinearPiece {
+                    region: r,
+                    f: upper.clone(),
+                }],
+                HalfspaceKind::AlwaysFalse => vec![LinearPiece {
+                    region: r,
+                    f: lower.clone(),
+                }],
+                HalfspaceKind::Proper(h) => {
+                    let mut out = Vec::with_capacity(2);
+                    let above = r.with(h.clone());
+                    if !above.is_empty(ctx) {
+                        out.push(LinearPiece {
+                            region: above,
+                            f: upper.clone(),
+                        });
+                    }
+                    let below = r.with(h.complement());
+                    if !below.is_empty(ctx) {
+                        out.push(LinearPiece {
+                            region: below,
+                            f: lower.clone(),
+                        });
+                    }
+                    out
+                }
+            }
+        })
+    }
+
+    fn combine(
+        &self,
+        other: &PwlFn,
+        ctx: &LpCtx,
+        mut make: impl FnMut(Polytope, &LinearFn, &LinearFn) -> Vec<LinearPiece>,
+    ) -> PwlFn {
+        debug_assert_eq!(self.dim, other.dim);
+        let mut pieces = Vec::with_capacity(self.pieces.len().max(other.pieces.len()));
+        for p1 in &self.pieces {
+            for p2 in &other.pieces {
+                let r = p1.region.intersect(&p2.region);
+                if !r.is_empty(ctx) {
+                    pieces.extend(make(r, &p1.f, &p2.f));
+                }
+            }
+        }
+        PwlFn {
+            dim: self.dim,
+            pieces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(lo: f64, hi: f64) -> Polytope {
+        Polytope::from_box(&[lo], &[hi])
+    }
+
+    /// A 1-D PWL function with pieces on consecutive intervals.
+    fn step_fn(breaks: &[f64], fns: &[LinearFn]) -> PwlFn {
+        assert_eq!(breaks.len(), fns.len() + 1);
+        let pieces = fns
+            .iter()
+            .enumerate()
+            .map(|(i, f)| LinearPiece {
+                region: interval(breaks[i], breaks[i + 1]),
+                f: f.clone(),
+            })
+            .collect();
+        PwlFn::new(1, pieces)
+    }
+
+    #[test]
+    fn eval_picks_containing_piece() {
+        let f = step_fn(
+            &[0.0, 0.5, 1.0],
+            &[LinearFn::new(vec![1.0], 0.0), LinearFn::new(vec![0.0], 2.0)],
+        );
+        assert_eq!(f.eval(&[0.25]), Some(0.25));
+        assert_eq!(f.eval(&[0.75]), Some(2.0));
+        assert_eq!(f.eval(&[2.0]), None);
+    }
+
+    #[test]
+    fn add_intersects_pieces() {
+        let ctx = LpCtx::new();
+        let f = step_fn(
+            &[0.0, 0.5, 1.0],
+            &[LinearFn::new(vec![1.0], 0.0), LinearFn::new(vec![1.0], 1.0)],
+        );
+        let g = PwlFn::from_linear(interval(0.0, 1.0), LinearFn::new(vec![2.0], 0.5));
+        let s = f.add(&g, &ctx);
+        for x in [0.1, 0.3, 0.6, 0.9] {
+            let expect = f.eval(&[x]).unwrap() + g.eval(&[x]).unwrap();
+            assert!((s.eval(&[x]).unwrap() - expect).abs() < 1e-9, "at {x}");
+        }
+    }
+
+    #[test]
+    fn max_splits_at_crossing() {
+        let ctx = LpCtx::new();
+        // f = x and g = 1 − x cross at 0.5.
+        let f = PwlFn::from_linear(interval(0.0, 1.0), LinearFn::new(vec![1.0], 0.0));
+        let g = PwlFn::from_linear(interval(0.0, 1.0), LinearFn::new(vec![-1.0], 1.0));
+        let m = f.max(&g, &ctx);
+        assert_eq!(m.pieces().len(), 2);
+        for x in [0.1f64, 0.4, 0.6, 0.9] {
+            let expect = x.max(1.0 - x);
+            assert!((m.eval(&[x]).unwrap() - expect).abs() < 1e-9, "at {x}");
+        }
+        let n = f.min(&g, &ctx);
+        for x in [0.1f64, 0.4, 0.6, 0.9] {
+            let expect = x.min(1.0 - x);
+            assert!((n.eval(&[x]).unwrap() - expect).abs() < 1e-9, "at {x}");
+        }
+    }
+
+    #[test]
+    fn max_of_parallel_functions_does_not_split() {
+        let ctx = LpCtx::new();
+        let f = PwlFn::from_linear(interval(0.0, 1.0), LinearFn::new(vec![1.0], 0.0));
+        let g = PwlFn::from_linear(interval(0.0, 1.0), LinearFn::new(vec![1.0], 1.0));
+        let m = f.max(&g, &ctx);
+        assert_eq!(m.pieces().len(), 1);
+        assert!((m.eval(&[0.5]).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_and_const_preserve_regions() {
+        let f = step_fn(
+            &[0.0, 0.5, 1.0],
+            &[LinearFn::new(vec![1.0], 0.0), LinearFn::new(vec![0.0], 2.0)],
+        );
+        let g = f.scale(3.0).add_const(1.0);
+        assert_eq!(g.pieces().len(), 2);
+        assert!((g.eval(&[0.25]).unwrap() - 1.75).abs() < 1e-9);
+        assert!((g.eval(&[0.75]).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_dimensional_add() {
+        let ctx = LpCtx::new();
+        let square = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let f = PwlFn::from_linear(square.clone(), LinearFn::new(vec![1.0, 2.0], 0.0));
+        let g = PwlFn::from_linear(square, LinearFn::new(vec![-1.0, 1.0], 3.0));
+        let s = f.add(&g, &ctx);
+        assert!((s.eval(&[0.5, 0.5]).unwrap() - (1.5 + 3.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Polytope set differences.
+//!
+//! Relevance regions are complements of unions of convex polytopes
+//! (Theorem 4 of the MPQ paper). Deciding whether a relevance region is
+//! empty amounts to deciding whether the union of its cutouts covers the
+//! parameter space, and the Bemporad–Fukuda–Torrisi convexity check
+//! (see [`crate::union_convex_polytope`]) needs the emptiness of
+//! `envelope ∖ union`. Both reduce to the primitive implemented here:
+//! subtracting a union of polytopes from a polytope by recursive
+//! subdivision and testing what remains for (interior) emptiness.
+
+use crate::Polytope;
+use mpq_lp::LpCtx;
+
+/// Decomposes `base ∖ minus` into convex pieces with pairwise disjoint
+/// interiors.
+///
+/// For constraints `c₁ … c_k` of `minus`, the classic decomposition is
+///
+/// ```text
+/// base ∖ minus = ⋃ⱼ  base ∩ c₁ ∩ … ∩ c_{j−1} ∩ ¬c_j
+/// ```
+///
+/// where `¬c_j` is the complementary closed halfspace. Pieces with empty
+/// interior are dropped (see the crate-level emptiness discussion).
+pub fn subtract(ctx: &LpCtx, base: &Polytope, minus: &Polytope) -> Vec<Polytope> {
+    debug_assert_eq!(base.dim(), minus.dim());
+    if base.is_trivially_empty() || base.is_empty(ctx) {
+        return Vec::new();
+    }
+    if minus.is_trivially_empty() {
+        return vec![base.clone()];
+    }
+    let mut pieces = Vec::new();
+    let mut prefix = base.clone();
+    for h in minus.halfspaces() {
+        let piece = prefix.with(h.complement());
+        if !piece.is_empty(ctx) {
+            pieces.push(piece);
+        }
+        prefix.push(h.clone());
+    }
+    pieces
+}
+
+/// True iff `base ∖ ⋃ cutouts` has empty interior.
+///
+/// Maintains a worklist of convex pieces of the remaining region and
+/// subtracts one cutout at a time; the difference is empty iff the worklist
+/// drains. Runs in output-sensitive time: pieces that no cutout intersects
+/// survive and cause an early `false`.
+pub fn difference_is_empty(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> bool {
+    if base.is_trivially_empty() || base.is_empty(ctx) {
+        return true;
+    }
+    let mut remaining = vec![base.clone()];
+    for cutout in cutouts {
+        if remaining.is_empty() {
+            return true;
+        }
+        if cutout.is_trivially_empty() {
+            continue;
+        }
+        let mut next = Vec::with_capacity(remaining.len());
+        for piece in &remaining {
+            // Fast path: cutout misses the piece entirely.
+            if piece.intersect(cutout).is_empty(ctx) {
+                next.push(piece.clone());
+            } else {
+                next.extend(subtract(ctx, piece, cutout));
+            }
+        }
+        remaining = next;
+    }
+    remaining.is_empty()
+}
+
+/// True iff `⋃ polys ⊇ target` up to measure zero (the uncovered part has
+/// empty interior).
+pub fn union_covers(ctx: &LpCtx, polys: &[Polytope], target: &Polytope) -> bool {
+    difference_is_empty(ctx, target, polys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> LpCtx {
+        LpCtx::new()
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_base() {
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0], &[1.0]);
+        let minus = Polytope::from_box(&[2.0], &[3.0]);
+        let pieces = subtract(&ctx, &base, &minus);
+        // The decomposition may return the base split by inactive
+        // constraints, but its union must be the base: check via coverage.
+        assert!(union_covers(&ctx, &pieces, &base));
+        for p in &pieces {
+            assert!(base.contains_polytope(&ctx, p));
+        }
+    }
+
+    #[test]
+    fn subtract_everything_returns_nothing() {
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let minus = Polytope::from_box(&[-1.0, -1.0], &[2.0, 2.0]);
+        assert!(subtract(&ctx, &base, &minus).is_empty());
+    }
+
+    #[test]
+    fn subtract_half_interval() {
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0], &[1.0]);
+        let minus = Polytope::from_box(&[0.0], &[0.25]);
+        let pieces = subtract(&ctx, &base, &minus);
+        assert_eq!(pieces.len(), 1);
+        assert!(pieces[0].contains_point(&[0.5]));
+        assert!(!pieces[0].contains_point(&[0.1]));
+        // Figure 7 of the paper: the relevance region left over is [0.25, 1].
+        let (lo, hi) = pieces[0].bounding_box(&ctx).unwrap();
+        assert!((lo[0] - 0.25).abs() < 1e-6 && (hi[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn difference_empty_when_tiled() {
+        // Figure 10 of the paper: two cutouts tile the unit square.
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let left = Polytope::from_box(&[0.0, 0.0], &[0.6, 1.0]);
+        let right = Polytope::from_box(&[0.5, 0.0], &[1.0, 1.0]);
+        assert!(difference_is_empty(&ctx, &base, &[left.clone(), right.clone()]));
+        // A single half does not cover.
+        assert!(!difference_is_empty(&ctx, &base, &[left]));
+    }
+
+    #[test]
+    fn difference_detects_uncovered_corner() {
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        // Cover all but the top-right quarter.
+        let bottom = Polytope::from_box(&[0.0, 0.0], &[1.0, 0.5]);
+        let left = Polytope::from_box(&[0.0, 0.0], &[0.5, 1.0]);
+        assert!(!difference_is_empty(&ctx, &base, &[bottom.clone(), left.clone()]));
+        let quarter = Polytope::from_box(&[0.5, 0.5], &[1.0, 1.0]);
+        assert!(difference_is_empty(&ctx, &base, &[bottom, left, quarter]));
+    }
+
+    #[test]
+    fn boundary_slivers_do_not_block_coverage() {
+        // Cutouts meeting exactly at x = 0.5 cover the interval despite the
+        // shared measure-zero boundary.
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0], &[1.0]);
+        let a = Polytope::from_box(&[0.0], &[0.5]);
+        let b = Polytope::from_box(&[0.5], &[1.0]);
+        assert!(difference_is_empty(&ctx, &base, &[a, b]));
+    }
+
+    #[test]
+    fn diagonal_cover_of_square() {
+        // Two triangles splitting the square along the diagonal.
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let lower = base
+            .clone()
+            .with(crate::Halfspace::proper(vec![-1.0, 1.0], 0.0)); // y <= x
+        let upper = base
+            .clone()
+            .with(crate::Halfspace::proper(vec![1.0, -1.0], 0.0)); // y >= x
+        assert!(difference_is_empty(&ctx, &base, &[lower, upper]));
+    }
+
+    #[test]
+    fn union_covers_empty_target() {
+        let ctx = ctx();
+        assert!(union_covers(&ctx, &[], &Polytope::empty(2)));
+    }
+
+    #[test]
+    fn no_cutouts_nonempty_base() {
+        let ctx = ctx();
+        let base = Polytope::from_box(&[0.0], &[1.0]);
+        assert!(!difference_is_empty(&ctx, &base, &[]));
+    }
+}

@@ -1,0 +1,370 @@
+//! LP-backed predicates and transformations on [`Polytope`].
+
+use crate::{Halfspace, Polytope, INTERIOR_TOL, TOL};
+use mpq_lp::{Constraint, LpCtx, LpOutcome};
+
+impl Polytope {
+    fn constraints(&self) -> Vec<Constraint> {
+        self.halfspaces.iter().map(Halfspace::to_constraint).collect()
+    }
+
+    /// Maximizes `w · x` over the polytope.
+    pub fn max_linear(&self, ctx: &LpCtx, w: &[f64]) -> LpOutcome {
+        debug_assert_eq!(w.len(), self.dim());
+        if self.is_trivially_empty() {
+            return LpOutcome::Infeasible;
+        }
+        ctx.maximize(w.to_vec(), self.constraints())
+    }
+
+    /// True iff the polytope is non-empty *as a closed set* (boundary-only
+    /// polytopes count as feasible).
+    pub fn is_feasible(&self, ctx: &LpCtx) -> bool {
+        if self.is_trivially_empty() {
+            return false;
+        }
+        if self.halfspaces.is_empty() {
+            return true;
+        }
+        ctx.solve(&mpq_lp::LpProblem::feasibility(
+            self.dim(),
+            self.constraints(),
+        ))
+        .is_feasible()
+    }
+
+    /// True iff the polytope has empty interior — no ball of radius
+    /// greater than [`INTERIOR_TOL`] fits inside — see the crate-level
+    /// emptiness discussion.
+    ///
+    /// Implemented as a Chebyshev-radius LP: maximize `t` subject to
+    /// `aᵢ · x + t ≤ bᵢ` (the normals are unit vectors) and `t ≤ 1` so the
+    /// objective stays bounded on unbounded polytopes.
+    pub fn is_empty(&self, ctx: &LpCtx) -> bool {
+        if self.is_trivially_empty() {
+            return true;
+        }
+        if self.halfspaces.is_empty() {
+            return false;
+        }
+        let dim = self.dim();
+        // Variables: x (dim entries) followed by the radius t.
+        let mut constraints: Vec<Constraint> = self
+            .halfspaces
+            .iter()
+            .map(|h| {
+                let mut a = h.normal().to_vec();
+                a.push(1.0);
+                Constraint::new(a, h.offset())
+            })
+            .collect();
+        let mut cap = vec![0.0; dim + 1];
+        cap[dim] = 1.0;
+        constraints.push(Constraint::new(cap, 1.0));
+        let mut objective = vec![0.0; dim + 1];
+        objective[dim] = 1.0;
+        match ctx.maximize(objective, constraints) {
+            LpOutcome::Infeasible => true,
+            LpOutcome::Unbounded => false,
+            LpOutcome::Optimal(sol) => sol.value <= INTERIOR_TOL,
+        }
+    }
+
+    /// The Chebyshev centre: a point maximising the radius of an inscribed
+    /// ball (radius capped at `1e6` to stay bounded). Returns `None` for
+    /// empty polytopes.
+    pub fn chebyshev_center(&self, ctx: &LpCtx) -> Option<(Vec<f64>, f64)> {
+        if self.is_trivially_empty() {
+            return None;
+        }
+        let dim = self.dim();
+        if self.halfspaces.is_empty() {
+            return Some((vec![0.0; dim], 1e6));
+        }
+        let mut constraints: Vec<Constraint> = self
+            .halfspaces
+            .iter()
+            .map(|h| {
+                let mut a = h.normal().to_vec();
+                a.push(1.0);
+                Constraint::new(a, h.offset())
+            })
+            .collect();
+        let mut cap = vec![0.0; dim + 1];
+        cap[dim] = 1.0;
+        constraints.push(Constraint::new(cap, 1e6));
+        let mut neg = vec![0.0; dim + 1];
+        neg[dim] = -1.0;
+        constraints.push(Constraint::new(neg, 0.0));
+        let mut objective = vec![0.0; dim + 1];
+        objective[dim] = 1.0;
+        match ctx.maximize(objective, constraints) {
+            LpOutcome::Optimal(mut sol) => {
+                let r = sol.x.pop().expect("radius variable present");
+                Some((sol.x, r))
+            }
+            _ => None,
+        }
+    }
+
+    /// A point in the (relative) interior if one exists.
+    pub fn interior_point(&self, ctx: &LpCtx) -> Option<Vec<f64>> {
+        self.chebyshev_center(ctx)
+            .filter(|(_, r)| *r > INTERIOR_TOL)
+            .map(|(x, _)| x)
+    }
+
+    /// True iff `self ⊇ other` (up to [`TOL`]): every constraint of `self`
+    /// is satisfied by all of `other`, checked with one LP per constraint.
+    ///
+    /// An empty `other` is contained in everything. Containment of an
+    /// unbounded `other` direction fails the max-LP and correctly reports
+    /// `false`.
+    pub fn contains_polytope(&self, ctx: &LpCtx, other: &Polytope) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        if other.is_trivially_empty() || !other.is_feasible(ctx) {
+            return true;
+        }
+        self.halfspaces.iter().all(|h| {
+            match other.max_linear(ctx, h.normal()) {
+                LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
+                LpOutcome::Unbounded => false,
+                // Unreachable: `other` was just proven feasible.
+                LpOutcome::Infeasible => true,
+            }
+        })
+    }
+
+    /// Removes redundant constraints (the paper's first §6.2 refinement):
+    /// a constraint is redundant when it is implied by the remaining ones.
+    ///
+    /// Uses a cheap syntactic pass (duplicate / parallel-weaker constraints)
+    /// followed by one LP per surviving constraint.
+    pub fn remove_redundant(&self, ctx: &LpCtx) -> Polytope {
+        if self.is_trivially_empty() || self.halfspaces.len() <= 1 {
+            return self.clone();
+        }
+        // Syntactic pass: drop constraints implied by a parallel tighter one.
+        let mut kept: Vec<Halfspace> = Vec::with_capacity(self.halfspaces.len());
+        for h in &self.halfspaces {
+            if kept.iter().any(|k| k.implies(h)) {
+                continue;
+            }
+            kept.retain(|k| !h.implies(k));
+            kept.push(h.clone());
+        }
+        // LP pass: maximize the constraint's normal over the others.
+        let mut i = 0;
+        while i < kept.len() && kept.len() > 1 {
+            let candidate = kept[i].clone();
+            let others = Polytope {
+                dim: self.dim,
+                halfspaces: kept
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, h)| h.clone())
+                    .collect(),
+                trivially_empty: false,
+            };
+            let redundant = match others.max_linear(ctx, candidate.normal()) {
+                LpOutcome::Optimal(sol) => sol.value <= candidate.offset() + TOL,
+                LpOutcome::Unbounded => false,
+                LpOutcome::Infeasible => true,
+            };
+            if redundant {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Polytope {
+            dim: self.dim,
+            halfspaces: kept,
+            trivially_empty: false,
+        }
+    }
+
+    /// Smallest axis-aligned bounding box, or `None` if the polytope is
+    /// empty or unbounded in some coordinate.
+    pub fn bounding_box(&self, ctx: &LpCtx) -> Option<(Vec<f64>, Vec<f64>)> {
+        let dim = self.dim();
+        let mut lo = vec![0.0; dim];
+        let mut hi = vec![0.0; dim];
+        for j in 0..dim {
+            let mut w = vec![0.0; dim];
+            w[j] = 1.0;
+            hi[j] = self.max_linear(ctx, &w).optimal()?.value;
+            w[j] = -1.0;
+            lo[j] = -self.max_linear(ctx, &w).optimal()?.value;
+        }
+        Some((lo, hi))
+    }
+
+    /// Vertices of a one- or two-dimensional polytope (for display and
+    /// tests). Returns vertices in no particular order; `None` for higher
+    /// dimensions or unbounded polytopes.
+    pub fn low_dim_vertices(&self, ctx: &LpCtx) -> Option<Vec<Vec<f64>>> {
+        match self.dim() {
+            1 => {
+                let (lo, hi) = self.bounding_box(ctx)?;
+                if (hi[0] - lo[0]).abs() <= TOL {
+                    Some(vec![lo])
+                } else {
+                    Some(vec![lo, hi])
+                }
+            }
+            2 => {
+                self.bounding_box(ctx)?; // reject unbounded polytopes
+                let hs = &self.halfspaces;
+                let mut verts: Vec<Vec<f64>> = Vec::new();
+                for i in 0..hs.len() {
+                    for j in (i + 1)..hs.len() {
+                        let a = vec![hs[i].normal().to_vec(), hs[j].normal().to_vec()];
+                        let b = vec![hs[i].offset(), hs[j].offset()];
+                        if let Some(v) = mpq_lp::dense::solve_linear_system(a, b) {
+                            if self.contains_point(&v)
+                                && !verts
+                                    .iter()
+                                    .any(|u| (u[0] - v[0]).abs() < 1e-6 && (u[1] - v[1]).abs() < 1e-6)
+                            {
+                                verts.push(v);
+                            }
+                        }
+                    }
+                }
+                Some(verts)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polytope;
+
+    fn ctx() -> LpCtx {
+        LpCtx::new()
+    }
+
+    #[test]
+    fn box_is_not_empty() {
+        let p = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!(!p.is_empty(&ctx()));
+        assert!(p.is_feasible(&ctx()));
+    }
+
+    #[test]
+    fn contradictory_constraints_are_empty() {
+        let mut p = Polytope::from_box(&[0.0], &[1.0]);
+        p.add_inequality(vec![1.0], -1.0); // x <= -1 contradicts x >= 0
+        assert!(p.is_empty(&ctx()));
+        assert!(!p.is_feasible(&ctx()));
+    }
+
+    #[test]
+    fn lower_dimensional_polytope_is_empty_but_feasible() {
+        // The segment {x = 0.5} × [0, 1] inside the unit square.
+        let mut p = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        p.add_inequality(vec![1.0, 0.0], 0.5);
+        p.add_inequality(vec![-1.0, 0.0], -0.5);
+        assert!(p.is_empty(&ctx()), "segment has no interior");
+        assert!(p.is_feasible(&ctx()), "segment is non-empty as a set");
+    }
+
+    #[test]
+    fn chebyshev_center_of_unit_square() {
+        let p = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        let (c, r) = p.chebyshev_center(&ctx()).unwrap();
+        assert!((r - 0.5).abs() < 1e-6);
+        assert!((c[0] - 0.5).abs() < 1e-6 && (c[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn containment_of_nested_boxes() {
+        let outer = Polytope::from_box(&[0.0, 0.0], &[4.0, 4.0]);
+        let inner = Polytope::from_box(&[1.0, 1.0], &[2.0, 2.0]);
+        let ctx = ctx();
+        assert!(outer.contains_polytope(&ctx, &inner));
+        assert!(!inner.contains_polytope(&ctx, &outer));
+        // Everything contains the empty set.
+        assert!(inner.contains_polytope(&ctx, &Polytope::empty(2)));
+    }
+
+    #[test]
+    fn containment_of_overlapping_boxes_fails_both_ways() {
+        let a = Polytope::from_box(&[0.0], &[2.0]);
+        let b = Polytope::from_box(&[1.0], &[3.0]);
+        let ctx = ctx();
+        assert!(!a.contains_polytope(&ctx, &b));
+        assert!(!b.contains_polytope(&ctx, &a));
+    }
+
+    #[test]
+    fn redundancy_elimination_keeps_geometry() {
+        let ctx = ctx();
+        let mut p = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+        p.add_inequality(vec![1.0, 0.0], 5.0); // implied by x <= 1
+        p.add_inequality(vec![1.0, 1.0], 10.0); // implied by the box
+        p.add_inequality(vec![1.0, 0.0], 1.0); // duplicate of x <= 1
+        let r = p.remove_redundant(&ctx);
+        assert_eq!(r.num_constraints(), 4, "only the box rows survive");
+        assert!(r.contains_polytope(&ctx, &p));
+        assert!(p.contains_polytope(&ctx, &r));
+    }
+
+    #[test]
+    fn redundancy_on_unbounded_polytope() {
+        let ctx = ctx();
+        // x >= 0 plus a redundant x >= -1.
+        let p = Polytope::from_inequalities(1, vec![(vec![-1.0], 0.0), (vec![-1.0], 1.0)]);
+        let r = p.remove_redundant(&ctx);
+        assert_eq!(r.num_constraints(), 1);
+        assert!(r.contains_point(&[0.5]));
+        assert!(!r.contains_point(&[-0.5]));
+    }
+
+    #[test]
+    fn bounding_box_roundtrip() {
+        let ctx = ctx();
+        let p = Polytope::from_box(&[-1.0, 2.0], &[3.0, 5.0]);
+        let (lo, hi) = p.bounding_box(&ctx).unwrap();
+        assert!((lo[0] + 1.0).abs() < 1e-6 && (hi[0] - 3.0).abs() < 1e-6);
+        assert!((lo[1] - 2.0).abs() < 1e-6 && (hi[1] - 5.0).abs() < 1e-6);
+        // Unbounded polytope has no bounding box.
+        let unbounded = Polytope::from_inequalities(2, vec![(vec![1.0, 0.0], 1.0)]);
+        assert!(unbounded.bounding_box(&ctx).is_none());
+    }
+
+    #[test]
+    fn vertices_of_triangle() {
+        let ctx = ctx();
+        // Triangle x >= 0, y >= 0, x + y <= 1.
+        let p = Polytope::from_inequalities(
+            2,
+            vec![
+                (vec![-1.0, 0.0], 0.0),
+                (vec![0.0, -1.0], 0.0),
+                (vec![1.0, 1.0], 1.0),
+            ],
+        );
+        let mut verts = p.low_dim_vertices(&ctx).unwrap();
+        verts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(verts.len(), 3);
+        assert!((verts[0][0]).abs() < 1e-6 && (verts[0][1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interior_point_lies_inside() {
+        let ctx = ctx();
+        let p = Polytope::from_box(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0]);
+        let x = p.interior_point(&ctx).unwrap();
+        assert!(p.contains_point(&x));
+        // Strictly inside: positive slack on every constraint.
+        for h in p.halfspaces() {
+            assert!(h.slack(&x) > 1e-6);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Small dense linear-algebra helpers.
+//!
+//! PWL cost-function construction interpolates a linear function through the
+//! `d + 1` vertices of a grid simplex, which amounts to solving a small
+//! dense linear system. The systems involved are tiny (dimension ≤ 5 or so),
+//! so a straightforward Gaussian elimination with partial pivoting is both
+//! simple and adequate.
+
+/// Solves the square linear system `A x = b` in place.
+///
+/// `a` is a row-major `n × n` matrix; `b` has length `n`. Returns `None`
+/// when the matrix is (numerically) singular.
+///
+/// # Example
+/// ```
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+/// let x = mpq_lp::dense::solve_linear_system(a, vec![5.0, 10.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining entry into position.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("pivot magnitudes are comparable")
+            })
+            .expect("non-empty pivot candidates");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split borrows: the pivot row is disjoint from `row`.
+            let (pivot_slice, rest) = a.split_at_mut(col + 1);
+            let pivot_row = &pivot_slice[col];
+            let target = &mut rest[row - col - 1];
+            for (t, p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear_system(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        let a = vec![
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ];
+        let x = solve_linear_system(a.clone(), vec![1.0, 0.0, 1.0]).unwrap();
+        // Verify A x = b.
+        for (row, &bi) in a.iter().zip(&[1.0, 0.0, 1.0]) {
+            assert!((dot(row, &x) - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear_system(a, vec![2.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Dense linear programming for multi-objective parametric query optimization.
+//!
+//! The MPQ paper (Trummer & Koch, VLDB 2014) implements PWL-RRPA on top of
+//! Gurobi; every elementary operation of the algorithm — emptiness checks on
+//! relevance regions, dominance-region construction, redundant-constraint
+//! elimination — reduces to small linear programs over the parameter space,
+//! and Figure 12 of the paper reports the *number of solved LPs* as one of
+//! its three evaluation metrics.
+//!
+//! This crate provides the substitute substrate: a from-scratch dense
+//! two-phase simplex solver ([`solve`]) sized for the problems PWL-RRPA
+//! produces (a handful of variables, tens of constraints), a solve-counting
+//! context ([`LpCtx`]) that backs the Figure 12 metric, and a small dense
+//! linear-system solver ([`dense::solve_linear_system`]) used to interpolate
+//! linear cost functions on grid simplices.
+//!
+//! # Problem form
+//!
+//! All problems are stated as
+//!
+//! ```text
+//! maximize  c · x
+//! subject to  aᵢ · x ≤ bᵢ   for every constraint i
+//! ```
+//!
+//! with `x ∈ Rⁿ` **free** (unrestricted in sign). Parameter-space polytopes
+//! carry their own bound constraints, so no implicit non-negativity is
+//! assumed.
+//!
+//! # Example
+//!
+//! ```
+//! use mpq_lp::{Constraint, LpCtx, LpOutcome, LpProblem};
+//!
+//! // maximize x + y s.t. x <= 2, y <= 3, x + y <= 4
+//! let problem = LpProblem::new(
+//!     vec![1.0, 1.0],
+//!     vec![
+//!         Constraint::new(vec![1.0, 0.0], 2.0),
+//!         Constraint::new(vec![0.0, 1.0], 3.0),
+//!         Constraint::new(vec![1.0, 1.0], 4.0),
+//!     ],
+//! );
+//! let ctx = LpCtx::default();
+//! match ctx.solve(&problem) {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.value - 4.0).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! assert_eq!(ctx.solved(), 1);
+//! ```
+
+pub mod dense;
+mod simplex;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Numerical tolerance used throughout the solver.
+///
+/// Constraint data produced by the geometry layer is normalised (unit-norm
+/// constraint rows), which keeps a single absolute tolerance meaningful.
+pub const EPS: f64 = 1e-9;
+
+/// A single linear inequality `a · x ≤ b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficient vector `a` (one entry per variable).
+    pub a: Vec<f64>,
+    /// Right-hand side `b`.
+    pub b: f64,
+}
+
+impl Constraint {
+    /// Creates the constraint `a · x ≤ b`.
+    pub fn new(a: Vec<f64>, b: f64) -> Self {
+        Self { a, b }
+    }
+
+    /// Evaluates the slack `b - a · x`; non-negative iff `x` satisfies the
+    /// constraint.
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(self.a.len(), x.len());
+        self.b - self.a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>()
+    }
+}
+
+/// A linear program in the form `maximize c·x subject to A x ≤ b`, `x` free.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients `c` (the number of variables is `c.len()`).
+    pub objective: Vec<f64>,
+    /// Inequality constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates a new maximization problem.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a constraint's arity differs from the
+    /// objective's.
+    pub fn new(objective: Vec<f64>, constraints: Vec<Constraint>) -> Self {
+        debug_assert!(constraints.iter().all(|c| c.a.len() == objective.len()));
+        Self {
+            objective,
+            constraints,
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// A pure feasibility problem (zero objective) over the given
+    /// constraints.
+    pub fn feasibility(num_vars: usize, constraints: Vec<Constraint>) -> Self {
+        Self::new(vec![0.0; num_vars], constraints)
+    }
+}
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// An optimal point.
+    pub x: Vec<f64>,
+    /// The optimal objective value `c · x`.
+    pub value: f64,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(LpSolution),
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Returns the optimal solution, if any.
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(sol) => Some(sol),
+            _ => None,
+        }
+    }
+
+    /// True iff the problem is feasible (optimal or unbounded).
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, LpOutcome::Infeasible)
+    }
+}
+
+/// Solves a linear program without touching any statistics counter.
+///
+/// Prefer [`LpCtx::solve`] inside the optimizer so that the solved-LP count
+/// reported by the experiment harness stays accurate.
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    simplex::solve(problem)
+}
+
+/// Statistics-carrying solver context.
+///
+/// The MPQ evaluation (Figure 12) reports the number of LPs solved during
+/// optimization; all geometry and cost-function operations route their
+/// solves through a shared `LpCtx` so the harness can read the count. The
+/// counter is atomic, so one context can be shared across worker threads.
+#[derive(Debug, Default)]
+pub struct LpCtx {
+    solved: AtomicU64,
+}
+
+impl LpCtx {
+    /// Creates a fresh context with a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves `problem`, incrementing the solved-LP counter.
+    pub fn solve(&self, problem: &LpProblem) -> LpOutcome {
+        self.solved.fetch_add(1, Ordering::Relaxed);
+        simplex::solve(problem)
+    }
+
+    /// Maximizes `objective` subject to `constraints`.
+    pub fn maximize(&self, objective: Vec<f64>, constraints: Vec<Constraint>) -> LpOutcome {
+        self.solve(&LpProblem::new(objective, constraints))
+    }
+
+    /// Number of LPs solved through this context so far.
+    pub fn solved(&self) -> u64 {
+        self.solved.load(Ordering::Relaxed)
+    }
+
+    /// Resets the solved-LP counter to zero.
+    pub fn reset(&self) {
+        self.solved.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(a: Vec<f64>, b: f64) -> Constraint {
+        Constraint::new(a, b)
+    }
+
+    #[test]
+    fn maximize_simple_box() {
+        let p = LpProblem::new(
+            vec![3.0, 2.0],
+            vec![
+                c(vec![1.0, 0.0], 4.0),
+                c(vec![0.0, 1.0], 5.0),
+                c(vec![-1.0, 0.0], 0.0),
+                c(vec![0.0, -1.0], 0.0),
+            ],
+        );
+        let sol = solve(&p).optimal().expect("optimal");
+        assert!((sol.value - 22.0).abs() < 1e-7, "value = {}", sol.value);
+        assert!((sol.x[0] - 4.0).abs() < 1e-7);
+        assert!((sol.x[1] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variables_negative_optimum() {
+        // maximize -x s.t. x >= 3  (i.e. -x <= -3); optimum at x = 3.
+        let p = LpProblem::new(vec![-1.0], vec![c(vec![-1.0], -3.0), c(vec![1.0], 10.0)]);
+        let sol = solve(&p).optimal().expect("optimal");
+        assert!((sol.value + 3.0).abs() < 1e-7);
+        assert!((sol.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2.
+        let p = LpProblem::feasibility(1, vec![c(vec![1.0], 1.0), c(vec![-1.0], -2.0)]);
+        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // maximize x s.t. x >= 0 — unbounded above.
+        let p = LpProblem::new(vec![1.0], vec![c(vec![-1.0], 0.0)]);
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn feasibility_with_zero_objective_is_optimal() {
+        let p = LpProblem::feasibility(2, vec![c(vec![1.0, 1.0], 1.0)]);
+        match solve(&p) {
+            LpOutcome::Optimal(sol) => assert!(sol.value.abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_equality_via_two_inequalities() {
+        // x + y <= 1 and x + y >= 1, maximize x with 0 <= x,y.
+        let p = LpProblem::new(
+            vec![1.0, 0.0],
+            vec![
+                c(vec![1.0, 1.0], 1.0),
+                c(vec![-1.0, -1.0], -1.0),
+                c(vec![-1.0, 0.0], 0.0),
+                c(vec![0.0, -1.0], 0.0),
+            ],
+        );
+        let sol = solve(&p).optimal().expect("optimal");
+        assert!((sol.value - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn no_constraints_zero_objective() {
+        let p = LpProblem::feasibility(2, vec![]);
+        assert!(solve(&p).is_feasible());
+    }
+
+    #[test]
+    fn no_constraints_nonzero_objective_unbounded() {
+        let p = LpProblem::new(vec![1.0, -1.0], vec![]);
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn ctx_counts_solves() {
+        let ctx = LpCtx::new();
+        let p = LpProblem::feasibility(1, vec![c(vec![1.0], 1.0)]);
+        ctx.solve(&p);
+        ctx.solve(&p);
+        assert_eq!(ctx.solved(), 2);
+        ctx.reset();
+        assert_eq!(ctx.solved(), 0);
+    }
+
+    #[test]
+    fn negative_rhs_requires_phase_one() {
+        // Feasible region: x >= 1, x <= 2 written with a negative RHS row.
+        let p = LpProblem::new(vec![1.0], vec![c(vec![-1.0], -1.0), c(vec![1.0], 2.0)]);
+        let sol = solve(&p).optimal().expect("optimal");
+        assert!((sol.value - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        let p = LpProblem::new(
+            vec![1.0, 2.0, -1.0],
+            vec![
+                c(vec![1.0, 1.0, 1.0], 6.0),
+                c(vec![1.0, -1.0, 2.0], 4.0),
+                c(vec![-1.0, 0.0, 0.0], 0.0),
+                c(vec![0.0, -1.0, 0.0], 0.0),
+                c(vec![0.0, 0.0, -1.0], 0.0),
+            ],
+        );
+        let sol = solve(&p).optimal().expect("optimal");
+        for con in &p.constraints {
+            assert!(con.slack(&sol.x) >= -1e-7, "violated: {con:?} at {:?}", sol.x);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Two-phase dense simplex.
+//!
+//! Free decision variables are split into differences of non-negative
+//! variables (`x = u − v`), one slack variable is added per inequality and
+//! artificial variables are introduced for rows whose right-hand side is
+//! negative. Phase 1 maximizes the negated sum of artificials; phase 2
+//! maximizes the real objective. Pivoting uses Dantzig's rule with a
+//! fallback to Bland's rule after a fixed iteration budget, which guarantees
+//! termination on degenerate problems.
+
+use crate::{LpOutcome, LpProblem, LpSolution, EPS};
+
+/// Feasibility tolerance for the phase-1 optimum (looser than [`EPS`] to
+/// absorb accumulated floating-point error over many pivots).
+const FEAS_EPS: f64 = 1e-7;
+
+/// Minimum acceptable magnitude for a pivot element.
+const PIVOT_EPS: f64 = 1e-11;
+
+struct Tableau {
+    /// `rows[i][j]` — coefficient of column `j` in row `i` (`B⁻¹ A`).
+    rows: Vec<Vec<f64>>,
+    /// Right-hand sides (`B⁻¹ b`), kept non-negative.
+    rhs: Vec<f64>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    ncols: usize,
+}
+
+enum RunResult {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize, z: &mut [f64]) {
+        let pivot = self.rows[row][col];
+        debug_assert!(pivot.abs() > PIVOT_EPS);
+        let inv = 1.0 / pivot;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[row] *= inv;
+        // Re-borrow trick: split the pivot row out to eliminate from others.
+        let pivot_row = std::mem::take(&mut self.rows[row]);
+        let pivot_rhs = self.rhs[row];
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > PIVOT_EPS {
+                for (v, pv) in r.iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
+                }
+                r[col] = 0.0;
+                self.rhs[i] -= factor * pivot_rhs;
+                if self.rhs[i] < 0.0 && self.rhs[i] > -FEAS_EPS {
+                    self.rhs[i] = 0.0;
+                }
+            }
+        }
+        let factor = z[col];
+        if factor.abs() > PIVOT_EPS {
+            for (v, pv) in z.iter_mut().zip(&pivot_row) {
+                *v -= factor * pv;
+            }
+            z[col] = 0.0;
+        }
+        self.rows[row] = pivot_row;
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex method to optimality for the given cost vector
+    /// (maximization), starting from the current basic feasible solution.
+    ///
+    /// With `bounded_objective`, the caller guarantees the objective is
+    /// bounded above (true for phase 1, whose optimum is at most 0); an
+    /// entering column without a valid ratio row is then floating-point
+    /// noise in the reduced costs and is skipped rather than reported as
+    /// unbounded.
+    fn run(&mut self, cost: &[f64], bounded_objective: bool) -> RunResult {
+        // Reduced-cost row: z[j] = c_B · B⁻¹ A_j − c_j.
+        let mut z: Vec<f64> = cost.iter().map(|c| -c).collect();
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                for (zj, rj) in z.iter_mut().zip(&self.rows[i]) {
+                    *zj += cb * rj;
+                }
+            }
+        }
+        let bland_after = 200 + 20 * (self.rows.len() + self.ncols);
+        let mut iter = 0usize;
+        let mut skipped: Vec<bool> = vec![false; self.ncols];
+        loop {
+            let use_bland = iter > bland_after;
+            // Entering column: most negative reduced cost (Dantzig) or the
+            // first negative one (Bland, termination-safe).
+            let mut entering: Option<usize> = None;
+            let mut best = -EPS;
+            for (j, &zj) in z.iter().enumerate() {
+                if zj < best && !skipped[j] {
+                    entering = Some(j);
+                    if use_bland {
+                        break;
+                    }
+                    best = zj;
+                }
+            }
+            let Some(e) = entering else {
+                return RunResult::Optimal;
+            };
+            // Ratio test; ties broken by smallest basis index (Bland-compatible).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.rows.len() {
+                let coeff = self.rows[i][e];
+                if coeff > EPS {
+                    let ratio = self.rhs[i] / coeff;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                if bounded_objective {
+                    // Impossible ray for a bounded objective: reduced-cost
+                    // noise. Exclude the column and continue.
+                    skipped[e] = true;
+                    continue;
+                }
+                return RunResult::Unbounded;
+            };
+            // A pivot invalidates the noise exclusions (reduced costs are
+            // recomputed implicitly through the eliminations).
+            if skipped.iter().any(|&s| s) {
+                skipped.fill(false);
+            }
+            self.pivot(r, e, &mut z);
+            iter += 1;
+            assert!(
+                iter < 1_000_000,
+                "simplex failed to terminate (numerical issue)"
+            );
+        }
+    }
+
+    /// Current value of column `col` in the basic solution.
+    fn column_value(&self, col: usize) -> f64 {
+        self.basis
+            .iter()
+            .position(|&b| b == col)
+            .map_or(0.0, |i| self.rhs[i])
+    }
+}
+
+pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
+    let n = problem.num_vars();
+    let m = problem.constraints.len();
+
+    // Trivial cases without constraints (or without variables).
+    if m == 0 {
+        return if problem.objective.iter().all(|&c| c.abs() <= EPS) {
+            LpOutcome::Optimal(LpSolution {
+                x: vec![0.0; n],
+                value: 0.0,
+            })
+        } else {
+            LpOutcome::Unbounded
+        };
+    }
+    if n == 0 {
+        // Constraints read `0 ≤ b`.
+        return if problem.constraints.iter().all(|c| c.b >= -EPS) {
+            LpOutcome::Optimal(LpSolution {
+                x: vec![],
+                value: 0.0,
+            })
+        } else {
+            LpOutcome::Infeasible
+        };
+    }
+
+    // Column layout: [u (n) | v (n) | slack (m) | artificial (n_art)].
+    let slack0 = 2 * n;
+    let art0 = slack0 + m;
+    let mut art_rows: Vec<usize> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    for (i, con) in problem.constraints.iter().enumerate() {
+        let negate = con.b < 0.0;
+        let sign = if negate { -1.0 } else { 1.0 };
+        let mut row = vec![0.0; art0];
+        for (j, &aj) in con.a.iter().enumerate() {
+            row[j] = sign * aj;
+            row[n + j] = -sign * aj;
+        }
+        row[slack0 + i] = sign;
+        rows.push(row);
+        rhs.push(sign * con.b);
+        if negate {
+            art_rows.push(i);
+        }
+    }
+    let n_art = art_rows.len();
+    let ncols = art0 + n_art;
+    let mut basis = vec![0usize; m];
+    for row in rows.iter_mut() {
+        row.resize(ncols, 0.0);
+    }
+    for (i, b) in basis.iter_mut().enumerate() {
+        *b = slack0 + i;
+    }
+    for (k, &i) in art_rows.iter().enumerate() {
+        rows[i][art0 + k] = 1.0;
+        basis[i] = art0 + k;
+    }
+
+    let mut t = Tableau {
+        rows,
+        rhs,
+        basis,
+        ncols,
+    };
+
+    // Phase 1: drive artificials to zero.
+    if n_art > 0 {
+        let mut cost = vec![0.0; ncols];
+        for c in cost.iter_mut().skip(art0) {
+            *c = -1.0;
+        }
+        match t.run(&cost, true) {
+            RunResult::Unbounded => unreachable!("phase-1 objective is bounded above by 0"),
+            RunResult::Optimal => {}
+        }
+        let art_sum: f64 = (art0..ncols).map(|c| t.column_value(c)).sum();
+        if art_sum > FEAS_EPS {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any degenerate artificial out of the basis, or drop its row.
+        let mut i = 0;
+        while i < t.rows.len() {
+            if t.basis[i] >= art0 {
+                let col = (0..art0).find(|&j| t.rows[i][j].abs() > 1e-9);
+                match col {
+                    Some(j) => {
+                        let mut dummy = vec![0.0; t.ncols];
+                        t.pivot(i, j, &mut dummy);
+                        i += 1;
+                    }
+                    None => {
+                        // Redundant row: remove it.
+                        t.rows.swap_remove(i);
+                        t.rhs.swap_remove(i);
+                        t.basis.swap_remove(i);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Remove artificial columns.
+        for row in t.rows.iter_mut() {
+            row.truncate(art0);
+        }
+        t.ncols = art0;
+    }
+
+    // Phase 2: the real objective over [u | v | slack].
+    let mut cost = vec![0.0; t.ncols];
+    for (j, &cj) in problem.objective.iter().enumerate() {
+        cost[j] = cj;
+        cost[n + j] = -cj;
+    }
+    match t.run(&cost, false) {
+        RunResult::Unbounded => LpOutcome::Unbounded,
+        RunResult::Optimal => {
+            let mut x = vec![0.0; n];
+            for (i, &b) in t.basis.iter().enumerate() {
+                if b < n {
+                    x[b] += t.rhs[i];
+                } else if b < 2 * n {
+                    x[b - n] -= t.rhs[i];
+                }
+            }
+            let value = problem
+                .objective
+                .iter()
+                .zip(&x)
+                .map(|(c, xi)| c * xi)
+                .sum();
+            LpOutcome::Optimal(LpSolution { x, value })
+        }
+    }
+}

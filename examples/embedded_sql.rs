@@ -1,0 +1,98 @@
+//! Scenario 2 of the paper: embedded SQL with approximate query
+//! processing — execution time traded against **result precision**.
+//!
+//! Embedded queries are optimized once at compile time; at run time the
+//! concrete parameter values *and a policy* (e.g. a minimum-precision
+//! requirement that depends on system load) select the plan. Precision is
+//! a quality (higher is better), so it is modelled as *precision loss*
+//! per Section 2 of the paper.
+//!
+//! Run with: `cargo run --release --example embedded_sql`
+
+use mpq::catalog::generator::{generate, GeneratorConfig};
+use mpq::catalog::graph::Topology;
+use mpq::cloud::approx_model::{ApproxCostModel, METRIC_LOSS};
+use mpq::cloud::METRIC_TIME;
+use mpq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The embedded query template: 3 tables, one run-time predicate.
+    let mut query = generate(
+        &GeneratorConfig::paper(3, Topology::Chain, 1),
+        &mut StdRng::seed_from_u64(3),
+    );
+    for t in &mut query.tables {
+        t.rows = t.rows.max(60_000.0);
+    }
+
+    // Compile time: optimize with time and precision-loss metrics. The
+    // model offers exact scans and sampled scans at several rates.
+    let model = ApproxCostModel::default();
+    let config = OptimizerConfig::default_for(query.num_params);
+    let space = GridSpace::for_unit_box(query.num_params, &config, 2)
+        .expect("valid grid configuration");
+    let solution = optimize(&query, &model, &space, &config);
+    println!(
+        "compile-time optimization: {} plans retained ({})",
+        solution.plans.len(),
+        solution.stats.summary()
+    );
+
+    // Run time: the parameter value arrives together with a policy.
+    let x = [0.6];
+    println!("\nPareto frontier at selectivity {} (time vs precision loss):", x[0]);
+    let mut frontier = solution.frontier_at(&space, &x);
+    frontier.sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
+    for (plan, cost) in &frontier {
+        println!(
+            "  {:8.3} s  loss {:4.2}  {}",
+            cost[METRIC_TIME],
+            cost[METRIC_LOSS],
+            solution.arena.display(*plan, &query)
+        );
+    }
+
+    // Policy A: an interactive dashboard under heavy load — answer fast,
+    // tolerate up to 1.5 units of precision loss.
+    println!("\npolicy A (dashboard, loss <= 1.5):");
+    match solution.select_plan(&space, &x, METRIC_TIME, &[None, Some(1.5)]) {
+        Some((plan, cost)) => println!(
+            "  -> {} ({:.3} s, loss {:.2})",
+            solution.arena.display(plan, &query),
+            cost[METRIC_TIME],
+            cost[METRIC_LOSS]
+        ),
+        None => println!("  -> no plan satisfies the policy"),
+    }
+
+    // Policy B: a monthly report — exact answers only (zero loss), take
+    // whatever time it needs.
+    println!("policy B (report, loss = 0):");
+    match solution.select_plan(&space, &x, METRIC_TIME, &[None, Some(0.0)]) {
+        Some((plan, cost)) => println!(
+            "  -> {} ({:.3} s, loss {:.2})",
+            solution.arena.display(plan, &query),
+            cost[METRIC_TIME],
+            cost[METRIC_LOSS]
+        ),
+        None => println!("  -> no plan satisfies the policy"),
+    }
+
+    // Policy C: minimize loss under a latency SLO.
+    let slo = frontier
+        .first()
+        .map(|(_, c)| c[METRIC_TIME] * 2.0)
+        .unwrap_or(1.0);
+    println!("policy C (SLO, time <= {slo:.3} s, minimal loss):");
+    match solution.select_plan(&space, &x, METRIC_LOSS, &[Some(slo), None]) {
+        Some((plan, cost)) => println!(
+            "  -> {} ({:.3} s, loss {:.2})",
+            solution.arena.display(plan, &query),
+            cost[METRIC_TIME],
+            cost[METRIC_LOSS]
+        ),
+        None => println!("  -> no plan satisfies the policy"),
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: optimize a small query once, select plans at run time.
+//!
+//! Reproduces the paper's workflow (Figure 2): MPQ runs **before** run
+//! time and produces a Pareto plan set; at run time, concrete parameter
+//! values arrive and a plan is picked from the precomputed set with no
+//! further optimization. Also reproduces the Figure 7 pruning story on a
+//! real two-table join: the single-node hash join is better on both
+//! metrics at low selectivity, so the parallel join's relevance region is
+//! an upper selectivity interval.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mpq::catalog::generator::{generate, GeneratorConfig};
+use mpq::catalog::graph::Topology;
+use mpq::cloud::model::CloudCostModel;
+use mpq::cloud::{METRIC_FEES, METRIC_TIME};
+use mpq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Preprocessing time -------------------------------------------
+    // A 3-table chain query; the predicate selectivity on one table is a
+    // parameter in [0, 1], unknown until the user submits a value.
+    let mut query = generate(
+        &GeneratorConfig::paper(3, Topology::Chain, 1),
+        &mut StdRng::seed_from_u64(7),
+    );
+    // Enlarge the tables so a genuine time/fees trade-off appears.
+    for t in &mut query.tables {
+        t.rows = 80_000.0;
+    }
+    println!("Query: {} tables, {} parameter(s)", query.num_tables(), query.num_params);
+    for t in &query.tables {
+        println!("  {}: {:.0} rows x {:.0} B", t.name, t.rows, t.row_bytes);
+    }
+
+    let model = CloudCostModel::default();
+    let config = OptimizerConfig::default_for(query.num_params);
+    let space = GridSpace::for_unit_box(query.num_params, &config, 2)
+        .expect("valid grid configuration");
+    let solution = optimize(&query, &model, &space, &config);
+
+    println!("\nOptimization: {}", solution.stats.summary());
+    println!(
+        "Pareto plan set: {} plan(s) cover every selectivity in [0, 1]",
+        solution.plans.len()
+    );
+    for p in &solution.plans {
+        println!("  - {}", solution.arena.display(p.plan, &query));
+    }
+
+    // --- Run time ------------------------------------------------------
+    // The user submits a predicate; its selectivity becomes known.
+    for selectivity in [0.05, 0.5, 0.95] {
+        let x = [selectivity];
+        println!("\nAt selectivity {selectivity}: time/fees trade-offs");
+        let mut frontier = solution.frontier_at(&space, &x);
+        frontier.sort_by(|(_, a), (_, b)| {
+            a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite")
+        });
+        for (plan, cost) in &frontier {
+            println!(
+                "  {:8.3} s  {:10.6} USD  {}",
+                cost[METRIC_TIME],
+                cost[METRIC_FEES],
+                solution.arena.display(*plan, &query)
+            );
+        }
+        // Pick the fastest plan within a fee budget: halfway between the
+        // cheapest and the priciest frontier plan at this point.
+        let (fmin, fmax) = frontier.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), (_, c)| {
+            (lo.min(c[METRIC_FEES]), hi.max(c[METRIC_FEES]))
+        });
+        let budget = (fmin + fmax) / 2.0;
+        match solution.select_plan(&space, &x, METRIC_TIME, &[None, Some(budget)]) {
+            Some((plan, cost)) => println!(
+                "  fastest under {budget:.6} USD: {} ({:.3} s, {:.6} USD)",
+                solution.arena.display(plan, &query),
+                cost[METRIC_TIME],
+                cost[METRIC_FEES]
+            ),
+            None => println!("  no plan fits the {budget:.6} USD budget"),
+        }
+    }
+}

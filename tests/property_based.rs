@@ -1,0 +1,140 @@
+//! Cross-crate property-based tests: RRPA invariants on randomly generated
+//! queries.
+
+use mpq::catalog::generator::{generate, GeneratorConfig};
+use mpq::catalog::graph::Topology;
+use mpq::cloud::model::{CloudCostModel, ParametricCostModel};
+use mpq::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Chain),
+        Just(Topology::Star),
+        Just(Topology::Cycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The PPS property at grid vertices for arbitrary small queries:
+    /// strict agreement with the exact fixed-point multi-objective DP.
+    #[test]
+    fn pps_complete_at_grid_vertices(
+        n in 2usize..5,
+        topology in topology_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let query = generate(
+            &GeneratorConfig::paper(n, topology, 1),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, model.num_metrics()).expect("grid");
+        let solution = optimize(&query, &model, &space, &config);
+        for v in space.grid().vertex_points() {
+            mpq::core::validate::check_pps_at(
+                &solution, &space, &query, &model, &v, 1e-7, true,
+            )
+            .map_err(|e| TestCaseError::fail(format!("seed {seed} {topology}: {e}")))?;
+        }
+    }
+
+    /// The final plan set is mutually non-dominated at every probe point
+    /// where both plans are relevant (no strictly dominated junk).
+    #[test]
+    fn frontier_plans_mutually_nondominated(
+        n in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let query = generate(
+            &GeneratorConfig::paper(n, Topology::Chain, 1),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).expect("grid");
+        let solution = optimize(&query, &model, &space, &config);
+        for xv in [0.1, 0.5, 0.9] {
+            let frontier = solution.frontier_at(&space, &[xv]);
+            for (i, (_, a)) in frontier.iter().enumerate() {
+                for (j, (_, b)) in frontier.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(
+                            !mpq::cost::strictly_dominates(a, b, 1e-9),
+                            "dominated frontier entry at {xv} (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plan count accounting: created = pruned + survivors across all
+    /// DP tables; the final set is never larger than the biggest table.
+    #[test]
+    fn stats_accounting_consistent(
+        n in 2usize..6,
+        topology in topology_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let query = generate(
+            &GeneratorConfig::paper(n, topology, 1),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).expect("grid");
+        let solution = optimize(&query, &model, &space, &config);
+        prop_assert!(solution.stats.plans_pruned <= solution.stats.plans_created);
+        prop_assert!(solution.stats.final_plan_count <= solution.stats.max_plans_per_set);
+        prop_assert_eq!(solution.stats.final_plan_count, solution.plans.len());
+        prop_assert!(solution.stats.plans_created >= solution.plans.len() as u64);
+    }
+
+    /// Disabling every refinement must not change the *result* (only the
+    /// work done): frontiers agree with the default configuration.
+    #[test]
+    fn refinements_do_not_change_results(
+        seed in 0u64..200,
+    ) {
+        let query = generate(
+            &GeneratorConfig::paper(4, Topology::Chain, 1),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let model = CloudCostModel::default();
+        let fast = OptimizerConfig::default_for(1);
+        let bare = OptimizerConfig {
+            relevance_points: false,
+            redundant_cutout_removal: false,
+            redundant_constraint_removal: false,
+            pvi_fastpath: false,
+            ..fast.clone()
+        };
+        let s1 = GridSpace::for_unit_box(1, &fast, 2).expect("grid");
+        let sol1 = optimize(&query, &model, &s1, &fast);
+        let s2 = GridSpace::for_unit_box(1, &bare, 2).expect("grid");
+        let sol2 = optimize(&query, &model, &s2, &bare);
+        for xv in [0.0, 0.3, 0.7, 1.0] {
+            let f1: Vec<Vec<f64>> = sol1
+                .frontier_at(&s1, &[xv])
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            let f2: Vec<Vec<f64>> = sol2
+                .frontier_at(&s2, &[xv])
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            prop_assert!(
+                mpq::core::pareto::covers_frontier(&f1, &f2, 1e-6)
+                    && mpq::core::pareto::covers_frontier(&f2, &f1, 1e-6),
+                "refinements changed the frontier at {xv} (seed {seed})"
+            );
+        }
+    }
+}
