@@ -17,9 +17,7 @@ fn box_with_cuts(dim: usize, cuts: usize) -> LpProblem {
         constraints.push(Constraint::new(down, 0.0));
     }
     for i in 0..cuts {
-        let a: Vec<f64> = (0..dim)
-            .map(|j| ((i + j) as f64 * 0.37).sin())
-            .collect();
+        let a: Vec<f64> = (0..dim).map(|j| ((i + j) as f64 * 0.37).sin()).collect();
         constraints.push(Constraint::new(a, 0.8));
     }
     LpProblem::new(vec![1.0; dim], constraints)

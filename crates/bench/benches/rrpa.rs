@@ -1,0 +1,36 @@
+//! Criterion macro-benchmarks for `rrpa::optimize` — the end-to-end hot
+//! path (candidate generation, pruning, LP solves) on fixed queries, so
+//! macro regressions are visible next to the `lp` micro-benchmarks.
+//!
+//! Run with: cargo bench -p mpq-bench --bench rrpa
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpq_bench::run_once;
+use mpq_catalog::graph::Topology;
+use mpq_core::OptimizerConfig;
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rrpa/optimize");
+    group.sample_size(10);
+    for (topology, name) in [(Topology::Chain, "chain"), (Topology::Star, "star")] {
+        for num_tables in [4usize, 6, 8] {
+            let config = OptimizerConfig::default_for(1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}1"), num_tables),
+                &num_tables,
+                |b, &n| {
+                    b.iter(|| run_once(n, topology, 1, 1, &config));
+                },
+            );
+        }
+    }
+    // The 2-parameter configuration exercises the 2-D grid geometry.
+    let config = OptimizerConfig::default_for(2);
+    group.bench_with_input(BenchmarkId::new("chain2", 6), &6usize, |b, &n| {
+        b.iter(|| run_once(n, Topology::Chain, 2, 1, &config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

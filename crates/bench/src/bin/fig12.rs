@@ -45,9 +45,7 @@ fn main() {
     let max_override: Option<Vec<usize>> = std::env::var("MPQ_FIG12_MAX")
         .ok()
         .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect());
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = mpq_bench::harness::sweep_threads(None);
 
     println!("# Figure 12 reproduction — PWL-RRPA on random queries");
     println!(
@@ -55,8 +53,10 @@ fn main() {
          (time x fees); {threads} worker threads"
     );
 
-    for (topology, tname) in [(Topology::Chain, "Chain queries"), (Topology::Star, "Star queries")]
-    {
+    for (topology, tname) in [
+        (Topology::Chain, "Chain queries"),
+        (Topology::Star, "Star queries"),
+    ] {
         for num_params in [1usize, 2] {
             // Sweep limits: the paper reaches 12 tables (1 param) and 10
             // tables (2 params). Our heavy-tail limits (see EXPERIMENTS.md)

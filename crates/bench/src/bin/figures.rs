@@ -46,13 +46,22 @@ fn fig1() {
     let config = OptimizerConfig::default_for(2);
     let space = GridSpace::for_unit_box(2, &config, 2).expect("grid");
     let sol = optimize(&query, &model, &space, &config);
-    println!("plan set: {} plans precomputed for [0,1]^2", sol.plans.len());
+    println!(
+        "plan set: {} plans precomputed for [0,1]^2",
+        sol.plans.len()
+    );
     for x in [[0.15, 0.30], [0.85, 0.70]] {
         let mut frontier = sol.frontier_at(&space, &x);
-        frontier.sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
+        frontier
+            .sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
         println!("\nPareto frontier at x = {x:?} (time s, fees USD):");
         for (i, (_, c)) in frontier.iter().enumerate() {
-            println!("  p{}: ({:.3}, {:.6})", i + 1, c[METRIC_TIME], c[METRIC_FEES]);
+            println!(
+                "  p{}: ({:.3}, {:.6})",
+                i + 1,
+                c[METRIC_TIME],
+                c[METRIC_FEES]
+            );
         }
     }
     println!();
@@ -137,7 +146,14 @@ fn fig10() {
     );
     for (i, p) in pieces.iter().enumerate() {
         let (lo, hi) = p.bounding_box(&ctx).expect("bounded piece");
-        println!("  piece {}: bounding box [{:.2},{:.2}] x [{:.2},{:.2}]", i + 1, lo[0], hi[0], lo[1], hi[1]);
+        println!(
+            "  piece {}: bounding box [{:.2},{:.2}] x [{:.2},{:.2}]",
+            i + 1,
+            lo[0],
+            hi[0],
+            lo[1],
+            hi[1]
+        );
     }
     println!(
         "emptiness: region minus cutout empty? {} (correct: the triangle\n\
@@ -275,9 +291,7 @@ fn pq_vs_mpq() {
         sol.plans
             .iter()
             .filter(|p| sp.region_contains(&p.region, &x))
-            .map(|p| {
-                mpq_core::validate::exact_plan_cost(&query, &model, &sol.arena, p.plan, &x)
-            })
+            .map(|p| mpq_core::validate::exact_plan_cost(&query, &model, &sol.arena, p.plan, &x))
             .collect()
     };
     let time_set = both(&pq_time, &t_space);

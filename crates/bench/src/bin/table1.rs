@@ -112,7 +112,9 @@ fn main() {
         "M1/M3a: Pareto plans at sigma = 0.5 / 1.5 / 2.5: {:?} / {:?} / {:?}",
         outer_l, middle, outer_r
     );
-    assert!(outer_l.contains(&"Plan 2") && outer_r.contains(&"Plan 2") && !middle.contains(&"Plan 2"));
+    assert!(
+        outer_l.contains(&"Plan 2") && outer_r.contains(&"Plan 2") && !middle.contains(&"Plan 2")
+    );
     println!(
         "        -> Plan 2 Pareto-optimal at two points but not in between: \
          M1 and M3a CONFIRMED"
@@ -139,7 +141,9 @@ fn main() {
         "M3b:    Pareto plans at 0.25 / 1.0 / 1.75: {:?} / {:?} / {:?}",
         ends.0, inside, ends.1
     );
-    assert!(!ends.0.contains(&"Plan 3") && !ends.1.contains(&"Plan 3") && inside.contains(&"Plan 3"));
+    assert!(
+        !ends.0.contains(&"Plan 3") && !ends.1.contains(&"Plan 3") && inside.contains(&"Plan 3")
+    );
     println!(
         "        -> Plan 3 Pareto-optimal inside a region but at none of its\n\
          \u{20}          vertices: M3b CONFIRMED"

@@ -42,7 +42,11 @@ pub fn figure4_plans() -> Vec<(&'static str, MultiCostFn)> {
             "Plan 2",
             MultiCostFn::new(vec![
                 linear(x, 0.0, 1.0),
-                pwl(&[(0.0, 1.0, 0.0, 0.5), (1.0, 2.0, 0.0, 2.0), (2.0, 3.0, 0.0, 0.1)]),
+                pwl(&[
+                    (0.0, 1.0, 0.0, 0.5),
+                    (1.0, 2.0, 0.0, 2.0),
+                    (2.0, 3.0, 0.0, 0.1),
+                ]),
             ]),
         ),
     ]
@@ -78,11 +82,17 @@ pub fn figure6_plans() -> Vec<(&'static str, MultiCostFn)> {
     vec![
         (
             "Plan 1",
-            MultiCostFn::new(vec![linear(x.clone(), -1.0, 2.0), linear(x.clone(), 1.0, 0.0)]),
+            MultiCostFn::new(vec![
+                linear(x.clone(), -1.0, 2.0),
+                linear(x.clone(), 1.0, 0.0),
+            ]),
         ),
         (
             "Plan 2",
-            MultiCostFn::new(vec![linear(x.clone(), 1.0, 0.0), linear(x.clone(), -1.0, 2.0)]),
+            MultiCostFn::new(vec![
+                linear(x.clone(), 1.0, 0.0),
+                linear(x.clone(), -1.0, 2.0),
+            ]),
         ),
         (
             "Plan 3",
@@ -128,7 +138,10 @@ mod tests {
     fn figure6_table_matches_paper() {
         let plans = figure6_plans();
         assert_eq!(pareto_at(&plans, &[0.25]), vec!["Plan 1", "Plan 2"]);
-        assert_eq!(pareto_at(&plans, &[1.0]), vec!["Plan 1", "Plan 2", "Plan 3"]);
+        assert_eq!(
+            pareto_at(&plans, &[1.0]),
+            vec!["Plan 1", "Plan 2", "Plan 3"]
+        );
         assert_eq!(pareto_at(&plans, &[0.75]).len(), 3);
         assert_eq!(pareto_at(&plans, &[1.75]), vec!["Plan 1", "Plan 2"]);
     }

@@ -1,4 +1,11 @@
-//! Experiment execution: single runs, seed sweeps, medians.
+//! Experiment execution: single runs, seed sweeps, medians, and the
+//! machine-readable `BENCH_rrpa.json` baseline writer.
+//!
+//! Seed sweeps fan out over a rayon-style parallel iterator; every seed is
+//! an independent optimization, so records are bitwise identical for any
+//! thread count. [`sweep_threads`] resolves the worker count from an
+//! explicit `--threads` value or the `RAYON_NUM_THREADS` environment
+//! variable, falling back to the machine's parallelism.
 
 use mpq_catalog::generator::{generate, GeneratorConfig};
 use mpq_catalog::graph::Topology;
@@ -8,7 +15,7 @@ use mpq_core::rrpa::optimize;
 use mpq_core::OptimizerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rayon::prelude::*;
 
 /// Metrics of a single optimization run (one random query).
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +60,23 @@ fn model_num_metrics(model: &CloudCostModel) -> usize {
     model.num_metrics()
 }
 
+/// Resolves the worker-thread count for seed sweeps: an explicit request
+/// (e.g. a `--threads` CLI value) wins, then `RAYON_NUM_THREADS`, then the
+/// machine's available parallelism.
+pub fn sweep_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested.filter(|&n| n > 0) {
+        return n;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Median of a float sample (empty samples yield NaN).
 pub fn median(values: &mut [f64]) -> f64 {
     if values.is_empty() {
@@ -82,6 +106,44 @@ pub struct Fig12Row {
     pub final_plans: f64,
 }
 
+/// Runs the seed sweep for one configuration on `threads` worker threads
+/// and returns the per-seed records in seed order.
+pub fn sweep_records(
+    num_tables: usize,
+    topology: Topology,
+    num_params: usize,
+    seeds: usize,
+    config: &OptimizerConfig,
+    threads: usize,
+) -> Vec<RunRecord> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("sweep thread pool");
+    pool.install(|| {
+        (0..seeds)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|s| run_once(num_tables, topology, num_params, s as u64, config))
+            .collect()
+    })
+}
+
+/// Per-metric medians of a run-record sample: `(time_ms, plans_created,
+/// lps_solved, final_plans)`.
+pub fn record_medians(records: &[RunRecord]) -> (f64, f64, f64, f64) {
+    let mut time: Vec<f64> = records.iter().map(|r| r.time_ms).collect();
+    let mut plans: Vec<f64> = records.iter().map(|r| r.plans_created as f64).collect();
+    let mut lps: Vec<f64> = records.iter().map(|r| r.lps_solved as f64).collect();
+    let mut fin: Vec<f64> = records.iter().map(|r| r.final_plans as f64).collect();
+    (
+        median(&mut time),
+        median(&mut plans),
+        median(&mut lps),
+        median(&mut fin),
+    )
+}
+
 /// Computes one Figure 12 row, running the seed sweep on `threads` worker
 /// threads (each seed is an independent optimization).
 pub fn fig12_row(
@@ -92,45 +154,74 @@ pub fn fig12_row(
     config: &OptimizerConfig,
     threads: usize,
 ) -> Fig12Row {
-    let records: Vec<RunRecord> = if threads <= 1 {
-        (0..seeds)
-            .map(|s| run_once(num_tables, topology, num_params, s as u64, config))
-            .collect()
-    } else {
-        // Work queue over seed indices; each worker claims the next seed.
-        let next = AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(vec![None; seeds]);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(seeds) {
-                scope.spawn(|_| loop {
-                    let s = next.fetch_add(1, Ordering::Relaxed);
-                    if s >= seeds {
-                        break;
-                    }
-                    let rec = run_once(num_tables, topology, num_params, s as u64, config);
-                    results.lock().expect("result slots")[s] = Some(rec);
-                });
-            }
-        })
-        .expect("seed sweep workers");
-        results
-            .into_inner()
-            .expect("result slots")
-            .into_iter()
-            .map(|r| r.expect("all seeds ran"))
-            .collect()
-    };
-    let mut time: Vec<f64> = records.iter().map(|r| r.time_ms).collect();
-    let mut plans: Vec<f64> = records.iter().map(|r| r.plans_created as f64).collect();
-    let mut lps: Vec<f64> = records.iter().map(|r| r.lps_solved as f64).collect();
-    let mut fin: Vec<f64> = records.iter().map(|r| r.final_plans as f64).collect();
+    let records = sweep_records(num_tables, topology, num_params, seeds, config, threads);
+    let (time_ms, plans_created, lps_solved, final_plans) = record_medians(&records);
     Fig12Row {
         num_tables,
-        time_ms: median(&mut time),
-        plans_created: median(&mut plans),
-        lps_solved: median(&mut lps),
-        final_plans: median(&mut fin),
+        time_ms,
+        plans_created,
+        lps_solved,
+        final_plans,
     }
+}
+
+/// One measured configuration of the `BENCH_rrpa.json` baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Workload topology (`"chain"` / `"star"`).
+    pub workload: String,
+    /// Number of tables joined.
+    pub num_tables: usize,
+    /// Number of parameters.
+    pub num_params: usize,
+    /// Worker threads used *inside* each optimization run.
+    pub optimizer_threads: usize,
+    /// Median optimization wall time (milliseconds) over the seeds.
+    pub median_time_ms: f64,
+    /// Median created plans.
+    pub plans_created: f64,
+    /// Median solved LPs.
+    pub lps_solved: f64,
+    /// Median final Pareto-plan-set size.
+    pub final_plans: f64,
+    /// Number of random queries (seeds) measured.
+    pub seeds: usize,
+}
+
+impl BaselineEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"workload\": \"{}\", \"num_tables\": {}, \"num_params\": {}, \
+             \"optimizer_threads\": {}, \"median_time_ms\": {:.3}, \
+             \"plans_created\": {:.0}, \"lps_solved\": {:.0}, \"final_plans\": {:.0}, \
+             \"seeds\": {}}}",
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.optimizer_threads,
+            self.median_time_ms,
+            self.plans_created,
+            self.lps_solved,
+            self.final_plans,
+            self.seeds
+        )
+    }
+}
+
+/// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
+/// JSON: the workspace has no serde backend).
+pub fn baseline_json(meta: &[(&str, String)], entries: &[BaselineEntry]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        out.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -161,5 +252,30 @@ mod tests {
         let parallel = fig12_row(3, Topology::Star, 1, 4, &config, 4);
         assert_eq!(serial.plans_created, parallel.plans_created);
         assert_eq!(serial.lps_solved, parallel.lps_solved);
+    }
+
+    #[test]
+    fn sweep_threads_resolution_order() {
+        assert_eq!(sweep_threads(Some(3)), 3);
+        assert!(sweep_threads(None) >= 1);
+    }
+
+    #[test]
+    fn baseline_json_shape() {
+        let entries = vec![BaselineEntry {
+            workload: "chain".into(),
+            num_tables: 10,
+            num_params: 2,
+            optimizer_threads: 4,
+            median_time_ms: 12.5,
+            plans_created: 100.0,
+            lps_solved: 50.0,
+            final_plans: 3.0,
+            seeds: 5,
+        }];
+        let json = baseline_json(&[("schema_version", "1".to_string())], &entries);
+        assert!(json.contains("\"workload\": \"chain\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.trim_end().ends_with('}'));
     }
 }

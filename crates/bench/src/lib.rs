@@ -13,7 +13,7 @@
 //!   resolution sweep.
 //!
 //! This library crate holds the pieces those binaries share: single-run
-//! execution, seed sweeps with medians (parallelised with crossbeam), and
+//! execution, seed sweeps with medians (fanned out on worker threads), and
 //! the paper's counterexample cost functions.
 
 pub mod counterexamples;

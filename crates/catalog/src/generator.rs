@@ -77,8 +77,7 @@ pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Query {
     );
     let tables: Vec<Table> = (0..cfg.num_tables)
         .map(|i| {
-            let log_rows =
-                rng.gen_range(cfg.min_rows.ln()..=cfg.max_rows.ln());
+            let log_rows = rng.gen_range(cfg.min_rows.ln()..=cfg.max_rows.ln());
             Table {
                 name: format!("T{i}"),
                 rows: log_rows.exp().round(),
@@ -141,7 +140,12 @@ mod tests {
     fn generated_queries_validate() {
         let mut rng = StdRng::seed_from_u64(7);
         for n in 1..=10 {
-            for topo in [Topology::Chain, Topology::Star, Topology::Cycle, Topology::Clique] {
+            for topo in [
+                Topology::Chain,
+                Topology::Star,
+                Topology::Cycle,
+                Topology::Clique,
+            ] {
                 let cfg = GeneratorConfig::paper(n, topo, n.min(2));
                 let q = generate(&cfg, &mut rng);
                 assert_eq!(q.validate(), Ok(()), "{topo} with {n} tables");

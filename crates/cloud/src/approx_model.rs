@@ -97,8 +97,10 @@ impl ParametricCostModel for ApproxCostModel {
         // sampled fraction.
         for &rate in &self.sampling_rates {
             debug_assert!((0.0..1.0).contains(&rate) && rate > 0.0);
-            let cost =
-                with_loss(table_scan_cost(&self.cluster, rows * rate, row_bytes), self.loss_scale * (1.0 - rate));
+            let cost = with_loss(
+                table_scan_cost(&self.cluster, rows * rate, row_bytes),
+                self.loss_scale * (1.0 - rate),
+            );
             out.push(ScanAlternative {
                 op: ScanOp::SampledScan {
                     permille: (rate * 1000.0).round() as u32,

@@ -87,10 +87,7 @@ pub fn parallel_hash_join_cost(c: &ClusterConfig, s: &JoinStats) -> Vec<f64> {
     };
     let spill_per_node = per_node.spill_work(c, c.node_memory_bytes);
 
-    let wall = c.startup_sec_per_node
-        + shuffle_work / n
-        + cpu_work / n
-        + spill_per_node;
+    let wall = c.startup_sec_per_node + shuffle_work / n + cpu_work / n + spill_per_node;
     let machine = n * c.startup_sec_per_node + shuffle_work + cpu_work + n * spill_per_node;
 
     let mut out = vec![0.0; NUM_METRICS];

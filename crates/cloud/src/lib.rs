@@ -83,12 +83,12 @@ impl Default for ClusterConfig {
         Self {
             node_memory_bytes: 3.75e9,
             price_per_node_hour: 0.087,
-            scan_bytes_per_sec: 1.0e8,       // 100 MB/s sequential
-            index_seek_sec_per_row: 4.0e-6,  // amortised random access
+            scan_bytes_per_sec: 1.0e8,      // 100 MB/s sequential
+            index_seek_sec_per_row: 4.0e-6, // amortised random access
             cpu_tuple_sec: 2.0e-7,
             hash_build_sec: 1.0e-6,
             hash_probe_sec: 5.0e-7,
-            network_bytes_per_sec: 1.25e8,   // 1 Gbit/s
+            network_bytes_per_sec: 1.25e8, // 1 Gbit/s
             parallel_nodes: 8,
             startup_sec_per_node: 0.02,
             spill_penalty: 2.0,

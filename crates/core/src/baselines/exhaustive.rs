@@ -60,7 +60,10 @@ pub fn enumerate_at<M: ParametricCostModel + ?Sized>(
             .into_iter()
             .map(|alt| {
                 (
-                    arena.push(PlanNode::Scan { table: t, op: alt.op }),
+                    arena.push(PlanNode::Scan {
+                        table: t,
+                        op: alt.op,
+                    }),
                     (alt.cost)(x),
                 )
             })
@@ -183,8 +186,7 @@ mod tests {
                     .map(|(_, c)| c)
                     .collect();
                 let dp = crate::baselines::mq::optimize_at(&query, &model, &x, true);
-                let dp_costs: Vec<Vec<f64>> =
-                    dp.frontier.iter().map(|(_, c)| c.clone()).collect();
+                let dp_costs: Vec<Vec<f64>> = dp.frontier.iter().map(|(_, c)| c.clone()).collect();
                 assert!(
                     covers_frontier(&dp_costs, &truth_frontier, 1e-6),
                     "DP missed part of the true frontier (seed {seed}, x {xv})"

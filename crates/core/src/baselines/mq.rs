@@ -36,7 +36,8 @@ fn pareto_insert(plans: &mut Vec<(PlanId, Vec<f64>)>, plan: PlanId, cost: Vec<f6
     // Non-strict but unequal domination also removes the old plan: the new
     // one is at least as good everywhere and they are not tied (a tie would
     // have discarded the newcomer above).
-    plans.retain(|(_, old)| !dominates(&cost, old, PARETO_TOL) || dominates(old, &cost, PARETO_TOL));
+    plans
+        .retain(|(_, old)| !dominates(&cost, old, PARETO_TOL) || dominates(old, &cost, PARETO_TOL));
     plans.push((plan, cost));
 }
 
@@ -58,7 +59,10 @@ pub fn optimize_at<M: ParametricCostModel + ?Sized>(
     for t in 0..n {
         let mut plans = Vec::new();
         for alt in model.scan_alternatives(query, t) {
-            let plan = arena.push(PlanNode::Scan { table: t, op: alt.op });
+            let plan = arena.push(PlanNode::Scan {
+                table: t,
+                op: alt.op,
+            });
             plans_created += 1;
             pareto_insert(&mut plans, plan, (alt.cost)(x));
         }

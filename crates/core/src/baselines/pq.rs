@@ -82,8 +82,8 @@ pub fn optimize_pq<M: ParametricCostModel + ?Sized>(
     config: &OptimizerConfig,
 ) -> (GridSpace, MpqSolution<GridSpace>) {
     let projected = SingleMetricModel::new(model, metric);
-    let space = GridSpace::for_unit_box(query.num_params, config, 1)
-        .expect("valid grid configuration");
+    let space =
+        GridSpace::for_unit_box(query.num_params, config, 1).expect("valid grid configuration");
     let solution = optimize(query, &projected, &space, config);
     (space, solution)
 }
@@ -168,8 +168,7 @@ mod tests {
                 .fold(f64::INFINITY, f64::min);
             // No single plan achieves both minima simultaneously.
             let both = full.frontier.iter().any(|(_, c)| {
-                (c[METRIC_TIME] - min_time).abs() < 1e-9
-                    && (c[METRIC_FEES] - min_fees).abs() < 1e-9
+                (c[METRIC_TIME] - min_time).abs() < 1e-9 && (c[METRIC_FEES] - min_fees).abs() < 1e-9
             });
             assert!(!both, "frontier of size ≥ 2 must reflect a conflict");
         }

@@ -174,7 +174,12 @@ impl GridSpace {
 
     /// Adds a cutout (simplex ∩ halfspaces) to one simplex's region,
     /// applying the configured refinements.
-    fn add_cutout(&self, state: &mut SimplexRegion, simplex: usize, mut halfspaces: Vec<Halfspace>) {
+    fn add_cutout(
+        &self,
+        state: &mut SimplexRegion,
+        simplex: usize,
+        mut halfspaces: Vec<Halfspace>,
+    ) {
         debug_assert!(!halfspaces.is_empty());
         // With several split metrics the intersection can be empty; one LP
         // avoids accumulating junk cutouts. (A single proper split always
@@ -378,9 +383,8 @@ impl MpqSpace for GridSpace {
         if check(located) {
             return true;
         }
-        (0..self.grid.num_simplices()).any(|s| {
-            s != located && self.grid.simplex(s).polytope.contains_point(x) && check(s)
-        })
+        (0..self.grid.num_simplices())
+            .any(|s| s != located && self.grid.simplex(s).polytope.contains_point(x) && check(s))
     }
 
     fn lps_solved(&self) -> u64 {
@@ -433,7 +437,10 @@ mod tests {
         let b = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
         let mut rr = space.full_region();
         space.subtract_dominated(&mut rr, &b, &a, false);
-        assert!(space.region_is_empty(&mut rr), "equal-cost plan must be pruned");
+        assert!(
+            space.region_is_empty(&mut rr),
+            "equal-cost plan must be pruned"
+        );
         assert!(space.dominates_everywhere(&a, &b));
         assert!(space.dominates_everywhere(&b, &a));
     }

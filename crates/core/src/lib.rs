@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn config_defaults_scale_with_dimension() {
-        assert!(OptimizerConfig::default_for(1).grid_resolution > OptimizerConfig::default_for(3).grid_resolution);
+        assert!(
+            OptimizerConfig::default_for(1).grid_resolution
+                > OptimizerConfig::default_for(3).grid_resolution
+        );
         let c = OptimizerConfig::default();
         assert!(c.relevance_points && c.pvi_fastpath && c.postpone_cartesian);
     }

@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn pareto_filter_keeps_payloads() {
-        let items = vec![("a", vec![1.0, 2.0]), ("b", vec![2.0, 1.0]), ("c", vec![3.0, 3.0])];
+        let items = vec![
+            ("a", vec![1.0, 2.0]),
+            ("b", vec![2.0, 1.0]),
+            ("c", vec![3.0, 3.0]),
+        ];
         let kept = pareto_filter(&items);
         let names: Vec<&str> = kept.iter().map(|(n, _)| *n).collect();
         assert_eq!(names, vec!["a", "b"]);

@@ -81,9 +81,7 @@ impl PlanArena {
     pub fn plan_size(&self, id: PlanId) -> usize {
         match self.node(id) {
             PlanNode::Scan { .. } => 1,
-            PlanNode::Join { left, right, .. } => {
-                1 + self.plan_size(left) + self.plan_size(right)
-            }
+            PlanNode::Join { left, right, .. } => 1 + self.plan_size(left) + self.plan_size(right),
         }
     }
 

@@ -226,11 +226,7 @@ impl MpqSpace for PwlSpace {
     fn region_contains(&self, region: &PwlRegion, x: &[f64]) -> bool {
         // Cutouts are open for membership: dominance-boundary points (ties)
         // remain members.
-        !region.known_empty
-            && !region
-                .cutouts
-                .iter()
-                .any(|c| c.strictly_contains_point(x))
+        !region.known_empty && !region.cutouts.iter().any(|c| c.strictly_contains_point(x))
     }
 
     fn lps_solved(&self) -> u64 {

@@ -106,11 +106,7 @@ impl<S: MpqSpace> MpqSolution<S> {
                     .zip(bounds)
                     .all(|(v, b)| b.is_none_or(|limit| *v <= limit))
             })
-            .min_by(|(_, a), (_, b)| {
-                a[metric]
-                    .partial_cmp(&b[metric])
-                    .expect("finite costs")
-            })
+            .min_by(|(_, a), (_, b)| a[metric].partial_cmp(&b[metric]).expect("finite costs"))
     }
 }
 
@@ -145,7 +141,10 @@ pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
         let mut plans: Vec<ParetoPlan<S>> = Vec::new();
         for alt in model.scan_alternatives(query, t) {
             let cost = space.lift(&*alt.cost);
-            let plan = arena.push(PlanNode::Scan { table: t, op: alt.op });
+            let plan = arena.push(PlanNode::Scan {
+                table: t,
+                op: alt.op,
+            });
             stats.plans_created += 1;
             prune(space, config, &mut plans, plan, cost, &mut stats);
         }
@@ -170,8 +169,7 @@ pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
                 if config.postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
                     continue;
                 }
-                let (Some(left_plans), Some(right_plans)) = (best.get(&q1), best.get(&q2))
-                else {
+                let (Some(left_plans), Some(right_plans)) = (best.get(&q1), best.get(&q2)) else {
                     continue;
                 };
                 if left_plans.is_empty() || right_plans.is_empty() {
@@ -185,8 +183,7 @@ pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
                         Vec::with_capacity(left_plans.len() * right_plans.len());
                     for p1 in left_plans {
                         for p2 in right_plans {
-                            let cost =
-                                space.add(&space.add(&p1.cost, &p2.cost), &join_cost);
+                            let cost = space.add(&space.add(&p1.cost, &p2.cost), &join_cost);
                             let plan = arena.push(PlanNode::Join {
                                 op: alt.op,
                                 left: p1.plan,
@@ -257,11 +254,7 @@ fn prune<S: MpqSpace>(
         }
         true
     });
-    plans.push(ParetoPlan {
-        plan,
-        cost,
-        region,
-    });
+    plans.push(ParetoPlan { plan, cost, region });
 }
 
 #[cfg(test)]
@@ -372,8 +365,11 @@ mod tests {
         // products never help when the graph is connected and costs are
         // monotone in input sizes).
         for x in [[0.2], [0.8]] {
-            let f_with: Vec<Vec<f64>> =
-                with.frontier_at(&space, &x).into_iter().map(|(_, c)| c).collect();
+            let f_with: Vec<Vec<f64>> = with
+                .frontier_at(&space, &x)
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
             let f_without: Vec<Vec<f64>> = without
                 .frontier_at(&space2, &x)
                 .into_iter()

@@ -96,12 +96,8 @@ impl SampledSpace {
 
     /// Index of the sample point nearest to `x` (Euclidean).
     pub fn nearest_point(&self, x: &[f64]) -> usize {
-        let dist2 = |p: &[f64]| -> f64 {
-            p.iter()
-                .zip(x)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-        };
+        let dist2 =
+            |p: &[f64]| -> f64 { p.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() };
         (0..self.points.len())
             .min_by(|&i, &j| {
                 dist2(&self.points[i])
@@ -136,12 +132,7 @@ impl MpqSpace for SampledSpace {
 
     fn add(&self, a: &SampledCost, b: &SampledCost) -> SampledCost {
         SampledCost {
-            values: a
-                .values
-                .iter()
-                .zip(&b.values)
-                .map(|(x, y)| x + y)
-                .collect(),
+            values: a.values.iter().zip(&b.values).map(|(x, y)| x + y).collect(),
         }
     }
 

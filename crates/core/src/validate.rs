@@ -63,9 +63,7 @@ pub fn exact_plan_cost<M: ParametricCostModel + ?Sized>(
 
 /// `a` dominates `b` within a relative tolerance (plus an absolute floor).
 fn dominates_rel(a: &[f64], b: &[f64], rel: f64) -> bool {
-    a.iter()
-        .zip(b)
-        .all(|(x, y)| *x <= *y * (1.0 + rel) + 1e-9)
+    a.iter().zip(b).all(|(x, y)| *x <= *y * (1.0 + rel) + 1e-9)
 }
 
 /// Checks the PPS property at one parameter point: every plan on the exact

@@ -64,14 +64,9 @@ pub fn approximate_scalar(grid: &ParamGrid, mut f: impl FnMut(&[f64]) -> f64) ->
             let values: Vec<f64> = s
                 .vertices
                 .iter()
-                .map(|v| {
-                    *cache
-                        .entry(vertex_key(grid, v))
-                        .or_insert_with(|| f(v))
-                })
+                .map(|v| *cache.entry(vertex_key(grid, v)).or_insert_with(|| f(v)))
                 .collect();
-            interpolate_simplex(s, &values)
-                .expect("grid simplices are non-degenerate")
+            interpolate_simplex(s, &values).expect("grid simplices are non-degenerate")
         })
         .collect()
 }

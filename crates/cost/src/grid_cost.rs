@@ -173,7 +173,12 @@ impl GridCost {
     /// Classifies metric `m` of `self` against `other` on one simplex by
     /// comparing vertex values (exact — a linear function on a simplex
     /// attains its extrema at vertices).
-    pub fn classify_metric(&self, other: &GridCost, metric: usize, simplex: usize) -> MetricOnSimplex {
+    pub fn classify_metric(
+        &self,
+        other: &GridCost,
+        metric: usize,
+        simplex: usize,
+    ) -> MetricOnSimplex {
         let mine = &self.metrics[metric][simplex];
         let theirs = &other.metrics[metric][simplex];
         let d = mine.sub(theirs);
@@ -274,12 +279,8 @@ impl GridCost {
     /// at-most-equal per metric at every simplex vertex. Exact and LP-free.
     pub fn dominates_everywhere(&self, other: &GridCost) -> bool {
         (0..self.num_metrics()).all(|m| {
-            (0..self.grid.num_simplices()).all(|s| {
-                matches!(
-                    self.classify_metric(other, m, s),
-                    MetricOnSimplex::AlwaysLe
-                )
-            })
+            (0..self.grid.num_simplices())
+                .all(|s| matches!(self.classify_metric(other, m, s), MetricOnSimplex::AlwaysLe))
         })
     }
 

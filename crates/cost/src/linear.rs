@@ -87,12 +87,7 @@ impl LinearFn {
     /// every weight and the base cost of `self` are ≤ those of `other`,
     /// which implies `self(x) ≤ other(x)` for all non-negative `x`.
     pub fn dominates_pvi(&self, other: &LinearFn, tol: f64) -> bool {
-        self.b <= other.b + tol
-            && self
-                .w
-                .iter()
-                .zip(&other.w)
-                .all(|(a, b)| *a <= *b + tol)
+        self.b <= other.b + tol && self.w.iter().zip(&other.w).all(|(a, b)| *a <= *b + tol)
     }
 
     /// Exact box dominance: true iff `self(x) ≤ other(x)` for every `x` in
@@ -122,7 +117,10 @@ mod tests {
         assert_eq!(f.eval(&[1.0, 1.0]), 4.0);
         let g = LinearFn::new(vec![1.0, 1.0], -1.0);
         let s = f.add(&g);
-        assert_eq!(s.eval(&[1.0, 1.0]), f.eval(&[1.0, 1.0]) + g.eval(&[1.0, 1.0]));
+        assert_eq!(
+            s.eval(&[1.0, 1.0]),
+            f.eval(&[1.0, 1.0]) + g.eval(&[1.0, 1.0])
+        );
     }
 
     #[test]

@@ -146,10 +146,7 @@ mod tests {
             lin(x.clone(), vec![0.0], 2.0),
             lin(x.clone(), vec![0.0], 3.0),
         ]);
-        let p2 = MultiCostFn::new(vec![
-            lin(x.clone(), vec![1.0], 0.5),
-            lin(x, vec![0.0], 2.0),
-        ]);
+        let p2 = MultiCostFn::new(vec![lin(x.clone(), vec![1.0], 0.5), lin(x, vec![0.0], 2.0)]);
         (p1, p2)
     }
 
@@ -230,10 +227,7 @@ mod tests {
             lin(x.clone(), vec![1.0], 0.0),
             lin(x.clone(), vec![0.0], 1.0),
         ]);
-        let b = MultiCostFn::new(vec![
-            lin(x.clone(), vec![0.0], 2.0),
-            lin(x, vec![2.0], 0.0),
-        ]);
+        let b = MultiCostFn::new(vec![lin(x.clone(), vec![0.0], 2.0), lin(x, vec![2.0], 0.0)]);
         let s = a.add(&b, &ctx);
         let v = s.eval(&[0.5]).unwrap();
         assert!((v[0] - 2.5).abs() < 1e-9);

@@ -29,17 +29,16 @@ pub struct PwlFn {
 impl PwlFn {
     /// A function made of explicit pieces.
     pub fn new(dim: usize, pieces: Vec<LinearPiece>) -> Self {
-        debug_assert!(pieces.iter().all(|p| p.region.dim() == dim && p.f.dim() == dim));
+        debug_assert!(pieces
+            .iter()
+            .all(|p| p.region.dim() == dim && p.f.dim() == dim));
         Self { dim, pieces }
     }
 
     /// A single-piece (linear) function on `region`.
     pub fn from_linear(region: Polytope, f: LinearFn) -> Self {
         let dim = region.dim();
-        Self::new(
-            dim,
-            vec![LinearPiece { region, f }],
-        )
+        Self::new(dim, vec![LinearPiece { region, f }])
     }
 
     /// The constant function `c` on `region`.

@@ -132,7 +132,11 @@ mod tests {
         let base = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
         let left = Polytope::from_box(&[0.0, 0.0], &[0.6, 1.0]);
         let right = Polytope::from_box(&[0.5, 0.0], &[1.0, 1.0]);
-        assert!(difference_is_empty(&ctx, &base, &[left.clone(), right.clone()]));
+        assert!(difference_is_empty(
+            &ctx,
+            &base,
+            &[left.clone(), right.clone()]
+        ));
         // A single half does not cover.
         assert!(!difference_is_empty(&ctx, &base, &[left]));
     }
@@ -144,7 +148,11 @@ mod tests {
         // Cover all but the top-right quarter.
         let bottom = Polytope::from_box(&[0.0, 0.0], &[1.0, 0.5]);
         let left = Polytope::from_box(&[0.0, 0.0], &[0.5, 1.0]);
-        assert!(!difference_is_empty(&ctx, &base, &[bottom.clone(), left.clone()]));
+        assert!(!difference_is_empty(
+            &ctx,
+            &base,
+            &[bottom.clone(), left.clone()]
+        ));
         let quarter = Polytope::from_box(&[0.5, 0.5], &[1.0, 1.0]);
         assert!(difference_is_empty(&ctx, &base, &[bottom, left, quarter]));
     }

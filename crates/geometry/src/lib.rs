@@ -78,7 +78,7 @@ pub enum HalfspaceKind {
 impl Halfspace {
     /// Builds `a · x ≤ b`, normalising `‖a‖₂` to one.
     #[allow(clippy::new_ret_no_self)] // construction may degenerate, so the
-    // kind enum is the honest return type
+                                      // kind enum is the honest return type
     pub fn new(a: Vec<f64>, b: f64) -> HalfspaceKind {
         let norm = a.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm <= EPS {

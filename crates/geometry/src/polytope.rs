@@ -5,7 +5,10 @@ use mpq_lp::{Constraint, LpCtx, LpOutcome};
 
 impl Polytope {
     fn constraints(&self) -> Vec<Constraint> {
-        self.halfspaces.iter().map(Halfspace::to_constraint).collect()
+        self.halfspaces
+            .iter()
+            .map(Halfspace::to_constraint)
+            .collect()
     }
 
     /// Maximizes `w · x` over the polytope.
@@ -224,9 +227,9 @@ impl Polytope {
                         let b = vec![hs[i].offset(), hs[j].offset()];
                         if let Some(v) = mpq_lp::dense::solve_linear_system(a, b) {
                             if self.contains_point(&v)
-                                && !verts
-                                    .iter()
-                                    .any(|u| (u[0] - v[0]).abs() < 1e-6 && (u[1] - v[1]).abs() < 1e-6)
+                                && !verts.iter().any(|u| {
+                                    (u[0] - v[0]).abs() < 1e-6 && (u[1] - v[1]).abs() < 1e-6
+                                })
                             {
                                 verts.push(v);
                             }

@@ -320,7 +320,11 @@ mod tests {
         );
         let sol = solve(&p).optimal().expect("optimal");
         for con in &p.constraints {
-            assert!(con.slack(&sol.x) >= -1e-7, "violated: {con:?} at {:?}", sol.x);
+            assert!(
+                con.slack(&sol.x) >= -1e-7,
+                "violated: {con:?} at {:?}",
+                sol.x
+            );
         }
     }
 }

@@ -288,12 +288,7 @@ pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
                     x[b - n] -= t.rhs[i];
                 }
             }
-            let value = problem
-                .objective
-                .iter()
-                .zip(&x)
-                .map(|(c, xi)| c * xi)
-                .sum();
+            let value = problem.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
             LpOutcome::Optimal(LpSolution { x, value })
         }
     }

@@ -14,11 +14,7 @@ use proptest::prelude::*;
 
 /// Builds a problem whose feasible set is a box `[-5, 5]^n` intersected with
 /// random halfspaces shifted to keep the origin feasible.
-fn bounded_problem(
-    n: usize,
-    objective: Vec<f64>,
-    cuts: Vec<(Vec<f64>, f64)>,
-) -> LpProblem {
+fn bounded_problem(n: usize, objective: Vec<f64>, cuts: Vec<(Vec<f64>, f64)>) -> LpProblem {
     let mut constraints = Vec::new();
     for j in 0..n {
         let mut lo = vec![0.0; n];

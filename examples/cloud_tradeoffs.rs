@@ -61,8 +61,8 @@ fn main() {
     println!("== Preprocessing (provider side) ==");
     let model = CloudCostModel::default();
     let config = OptimizerConfig::default_for(query.num_params);
-    let space = GridSpace::for_unit_box(query.num_params, &config, 2)
-        .expect("valid grid configuration");
+    let space =
+        GridSpace::for_unit_box(query.num_params, &config, 2).expect("valid grid configuration");
     let solution = optimize(&query, &model, &space, &config);
     println!(
         "precomputed {} Pareto plans over the unit square ({})",
@@ -71,12 +71,14 @@ fn main() {
     );
 
     // Two users submit different predicates (Figure 1b vs 1c).
-    for (label, x) in [("x1 = (0.15, 0.30)", [0.15, 0.30]), ("x2 = (0.85, 0.70)", [0.85, 0.70])] {
+    for (label, x) in [
+        ("x1 = (0.15, 0.30)", [0.15, 0.30]),
+        ("x2 = (0.85, 0.70)", [0.85, 0.70]),
+    ] {
         println!("\n== User query at {label} ==");
         let mut frontier = solution.frontier_at(&space, &x);
-        frontier.sort_by(|(_, a), (_, b)| {
-            a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite")
-        });
+        frontier
+            .sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
         for (i, (plan, cost)) in frontier.iter().enumerate() {
             println!(
                 "  p{} {:9.3} s  {:10.6} USD  {}",

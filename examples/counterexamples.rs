@@ -55,10 +55,16 @@ fn pareto_at(plans: &[(&str, &MultiCostFn)], x: &[f64]) -> Vec<String> {
 }
 
 fn show_table(plans: &[(&str, &MultiCostFn)], ranges: &[(f64, f64)]) {
-    println!("  {:<16} Pareto plans (computed at range midpoint)", "range");
+    println!(
+        "  {:<16} Pareto plans (computed at range midpoint)",
+        "range"
+    );
     for &(lo, hi) in ranges {
         let mid = [(lo + hi) / 2.0];
-        println!("  [{lo:>4.2}, {hi:>4.2}]    {}", pareto_at(plans, &mid).join(", "));
+        println!(
+            "  [{lo:>4.2}, {hi:>4.2}]    {}",
+            pareto_at(plans, &mid).join(", ")
+        );
     }
 }
 
@@ -75,7 +81,11 @@ fn figure4() {
     ]);
     let plan2 = MultiCostFn::new(vec![
         linear(x, 0.0, 1.0),
-        pwl(&[(0.0, 1.0, 0.0, 0.5), (1.0, 2.0, 0.0, 2.0), (2.0, 3.0, 0.0, 0.1)]),
+        pwl(&[
+            (0.0, 1.0, 0.0, 0.5),
+            (1.0, 2.0, 0.0, 2.0),
+            (2.0, 3.0, 0.0, 0.1),
+        ]),
     ]);
     println!("== Figure 4 / statements M1 and M3a ==");
     show_table(
@@ -83,7 +93,10 @@ fn figure4() {
         &[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)],
     );
     assert_eq!(pareto_at(&[("1", &plan1), ("2", &plan2)], &[0.5]).len(), 2);
-    assert_eq!(pareto_at(&[("1", &plan1), ("2", &plan2)], &[1.5]), vec!["1"]);
+    assert_eq!(
+        pareto_at(&[("1", &plan1), ("2", &plan2)], &[1.5]),
+        vec!["1"]
+    );
     assert_eq!(pareto_at(&[("1", &plan1), ("2", &plan2)], &[2.5]).len(), 2);
     println!(
         "  -> Plan 2 is Pareto-optimal on the outer ranges but NOT between\n\
@@ -126,9 +139,7 @@ fn figure5() {
         member(&mid)
     );
     assert!(member(&a) && member(&b) && !member(&mid));
-    println!(
-        "  -> the Pareto region of plan 2 is NOT convex (S2 fails; M2 holds).\n"
-    );
+    println!("  -> the Pareto region of plan 2 is NOT convex (S2 fails; M2 holds).\n");
 }
 
 /// Figure 6 — statement M3b: a plan can be Pareto-optimal strictly inside
@@ -138,8 +149,14 @@ fn figure6() {
     // Plan 1: (2−σ, σ); plan 2: (σ, 2−σ);
     // plan 3: metric 1 dips to 0.3 at σ = 1 (tent 0.3 + 0.4·|σ−1|),
     //         metric 2 is a high constant 2.0.
-    let plan1 = MultiCostFn::new(vec![linear(x.clone(), -1.0, 2.0), linear(x.clone(), 1.0, 0.0)]);
-    let plan2 = MultiCostFn::new(vec![linear(x.clone(), 1.0, 0.0), linear(x.clone(), -1.0, 2.0)]);
+    let plan1 = MultiCostFn::new(vec![
+        linear(x.clone(), -1.0, 2.0),
+        linear(x.clone(), 1.0, 0.0),
+    ]);
+    let plan2 = MultiCostFn::new(vec![
+        linear(x.clone(), 1.0, 0.0),
+        linear(x.clone(), -1.0, 2.0),
+    ]);
     let plan3 = MultiCostFn::new(vec![
         pwl(&[(0.0, 1.0, -0.4, 0.7), (1.0, 2.0, 0.4, -0.1)]),
         linear(x, 0.0, 2.0),

@@ -31,8 +31,8 @@ fn main() {
     // model offers exact scans and sampled scans at several rates.
     let model = ApproxCostModel::default();
     let config = OptimizerConfig::default_for(query.num_params);
-    let space = GridSpace::for_unit_box(query.num_params, &config, 2)
-        .expect("valid grid configuration");
+    let space =
+        GridSpace::for_unit_box(query.num_params, &config, 2).expect("valid grid configuration");
     let solution = optimize(&query, &model, &space, &config);
     println!(
         "compile-time optimization: {} plans retained ({})",
@@ -42,7 +42,10 @@ fn main() {
 
     // Run time: the parameter value arrives together with a policy.
     let x = [0.6];
-    println!("\nPareto frontier at selectivity {} (time vs precision loss):", x[0]);
+    println!(
+        "\nPareto frontier at selectivity {} (time vs precision loss):",
+        x[0]
+    );
     let mut frontier = solution.frontier_at(&space, &x);
     frontier.sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
     for (plan, cost) in &frontier {

@@ -12,9 +12,7 @@
 //! Run with: `cargo run --release --example generic_nonlinear`
 
 use mpq::catalog::{JoinEdge, Predicate, Query, Selectivity, Table, TableSet};
-use mpq::cloud::model::{
-    CostClosure, JoinAlternative, ParametricCostModel, ScanAlternative,
-};
+use mpq::cloud::model::{CostClosure, JoinAlternative, ParametricCostModel, ScanAlternative};
 use mpq::cloud::ops::{JoinOp, ScanOp};
 use mpq::prelude::*;
 
@@ -90,14 +88,37 @@ impl ParametricCostModel for NonlinearModel {
 fn query() -> Query {
     Query {
         tables: vec![
-            Table { name: "R".into(), rows: 60_000.0, row_bytes: 100.0 },
-            Table { name: "S".into(), rows: 40_000.0, row_bytes: 100.0 },
-            Table { name: "T".into(), rows: 90_000.0, row_bytes: 100.0 },
+            Table {
+                name: "R".into(),
+                rows: 60_000.0,
+                row_bytes: 100.0,
+            },
+            Table {
+                name: "S".into(),
+                rows: 40_000.0,
+                row_bytes: 100.0,
+            },
+            Table {
+                name: "T".into(),
+                rows: 90_000.0,
+                row_bytes: 100.0,
+            },
         ],
-        predicates: vec![Predicate { table: 0, selectivity: Selectivity::Param(0) }],
+        predicates: vec![Predicate {
+            table: 0,
+            selectivity: Selectivity::Param(0),
+        }],
         joins: vec![
-            JoinEdge { t1: 0, t2: 1, selectivity: 1e-4 },
-            JoinEdge { t1: 1, t2: 2, selectivity: 5e-5 },
+            JoinEdge {
+                t1: 0,
+                t2: 1,
+                selectivity: 1e-4,
+            },
+            JoinEdge {
+                t1: 1,
+                t2: 2,
+                selectivity: 5e-5,
+            },
         ],
         num_params: 1,
     }
@@ -118,8 +139,8 @@ fn main() {
     );
 
     // PWL-RRPA: the same non-linear closures approximated on the grid.
-    let grid = GridSpace::for_unit_box(query.num_params, &config, 2)
-        .expect("valid grid configuration");
+    let grid =
+        GridSpace::for_unit_box(query.num_params, &config, 2).expect("valid grid configuration");
     let sol_pwl = optimize(&query, &model, &grid, &config);
     println!(
         "PWL-RRPA (grid space):        {} plans, {}",

@@ -30,15 +30,19 @@ fn main() {
     for t in &mut query.tables {
         t.rows = 80_000.0;
     }
-    println!("Query: {} tables, {} parameter(s)", query.num_tables(), query.num_params);
+    println!(
+        "Query: {} tables, {} parameter(s)",
+        query.num_tables(),
+        query.num_params
+    );
     for t in &query.tables {
         println!("  {}: {:.0} rows x {:.0} B", t.name, t.rows, t.row_bytes);
     }
 
     let model = CloudCostModel::default();
     let config = OptimizerConfig::default_for(query.num_params);
-    let space = GridSpace::for_unit_box(query.num_params, &config, 2)
-        .expect("valid grid configuration");
+    let space =
+        GridSpace::for_unit_box(query.num_params, &config, 2).expect("valid grid configuration");
     let solution = optimize(&query, &model, &space, &config);
 
     println!("\nOptimization: {}", solution.stats.summary());
@@ -56,9 +60,8 @@ fn main() {
         let x = [selectivity];
         println!("\nAt selectivity {selectivity}: time/fees trade-offs");
         let mut frontier = solution.frontier_at(&space, &x);
-        frontier.sort_by(|(_, a), (_, b)| {
-            a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite")
-        });
+        frontier
+            .sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
         for (plan, cost) in &frontier {
             println!(
                 "  {:8.3} s  {:10.6} USD  {}",
@@ -69,9 +72,11 @@ fn main() {
         }
         // Pick the fastest plan within a fee budget: halfway between the
         // cheapest and the priciest frontier plan at this point.
-        let (fmin, fmax) = frontier.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), (_, c)| {
-            (lo.min(c[METRIC_FEES]), hi.max(c[METRIC_FEES]))
-        });
+        let (fmin, fmax) = frontier
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), (_, c)| {
+                (lo.min(c[METRIC_FEES]), hi.max(c[METRIC_FEES]))
+            });
         let budget = (fmin + fmax) / 2.0;
         match solution.select_plan(&space, &x, METRIC_TIME, &[None, Some(budget)]) {
             Some((plan, cost)) => println!(

@@ -1,0 +1,279 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides `Criterion`, `criterion_group!` / `criterion_main!`,
+//! benchmark groups, `BenchmarkId` and `black_box`, backed by a simple
+//! median-of-samples timer instead of criterion's statistical machinery.
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! bench  <name>  median <t> (<samples> samples)
+//! ```
+//!
+//! Honouring `--bench` invocation conventions: unrecognised CLI arguments
+//! (test-harness flags, filters) are treated as substring filters on the
+//! benchmark name, and `--test` runs each benchmark once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Formats a duration with an adaptive unit.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Timing loop driver passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    last_median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median over the configured samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            self.last_median = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up plus calibration: find an iteration count that makes one
+        // sample take ≳1 ms so timer resolution is irrelevant.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort();
+        self.last_median = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Identifier combining a function name and a parameter, as in criterion.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        Self {
+            filters,
+            test_mode,
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op, for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one(&self, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples,
+            test_mode: self.test_mode,
+            last_median: None,
+        };
+        f(&mut b);
+        match b.last_median {
+            Some(m) if !self.test_mode => {
+                println!(
+                    "bench  {name}  median {} ({samples} samples)",
+                    fmt_duration(m)
+                );
+            }
+            _ => println!("bench  {name}  ok (test mode)"),
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, self.default_samples, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    /// Sets the target measurement time (ignored by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.samples.unwrap_or(self.criterion.default_samples)
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        self.criterion.run_one(&name, samples, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        self.criterion.run_one(&name, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            test_mode: false,
+            last_median: None,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.last_median.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains(" s"));
+    }
+}

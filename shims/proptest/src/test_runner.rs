@@ -1,0 +1,115 @@
+//! Deterministic case execution.
+
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The error type a `proptest!` body returns on assertion failure.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The generated input was rejected by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(r) => write!(f, "test case failed: {r}"),
+            Self::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies: deterministic in (test name, case index).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Maximum rejected cases before a test aborts (mirrors proptest's global
+/// rejection cap).
+const MAX_REJECTS: u32 = 65_536;
+
+/// Runs `body` against generated inputs until `config.cases` cases pass.
+///
+/// # Panics
+/// Panics on the first failing case (reporting its index and message) or
+/// when too many cases are rejected.
+pub fn run_cases(
+    test_name: &str,
+    config: &Config,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case: u64 = 0;
+    while accepted < config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < MAX_REJECTS,
+                    "proptest '{test_name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case #{case} of '{test_name}' failed: {msg}");
+            }
+        }
+        case += 1;
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline shim for the `rand` crate (0.8-style API subset).
+//!
+//! Provides `StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range`
+//! over the integer and float range types this workspace samples. The
+//! generator is xoshiro256++, seeded through SplitMix64 — deterministic
+//! across platforms, which is all the experiment harness requires (nothing
+//! in the workspace depends on matching the real `rand`'s streams).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of generators.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array for `StdRng`).
+    type Seed;
+
+    /// Builds a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64` (SplitMix64 key expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A value type samplable uniformly from a range by an RNG.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[lo, hi)`; `inclusive` widens to `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        // 53-bit mantissa in [0, 1); the closed upper bound is a measure-zero
+        // distinction that nothing downstream observes.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range called with an empty range");
+                // Modulo bias is ~2^-64 for the tiny spans used here.
+                lo + (rng.next_u64() as i128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform boolean with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_range(self, 0.0, 1.0, false) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator state.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 1; // the all-zero state is a fixed point
+        }
+        Self { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut key = state;
+        Self {
+            s: [
+                splitmix64(&mut key),
+                splitmix64(&mut key),
+                splitmix64(&mut key),
+                splitmix64(&mut key),
+            ],
+        }
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256++ here).
+    pub type StdRng = super::Xoshiro256PlusPlus;
+    /// A small fast generator (same engine in this shim).
+    pub type SmallRng = super::Xoshiro256PlusPlus;
+}
+
+/// The `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..5).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.5..3.5);
+            assert!((2.5..3.5).contains(&f));
+            let g = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let u = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&u));
+            let v = rng.gen_range(5u64..=5);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..200).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert!(samples.iter().any(|&x| x < 0.2));
+        assert!(samples.iter().any(|&x| x > 0.8));
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_gen_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        let x = dynrng.gen_range(1.0..=2.0);
+        assert!((1.0..=2.0).contains(&x));
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the data-parallel subset this workspace uses — `par_iter()`
+//! / `into_par_iter()` with `map` + `collect`/`for_each` — on top of
+//! `std::thread::scope` with dynamic (atomic-counter) work claiming, so
+//! skewed work distributions still balance across cores. Results preserve
+//! input order exactly like the real crate's indexed parallel iterators.
+//!
+//! Differences from real rayon, none observable to this workspace:
+//!
+//! * `map` executes eagerly (at the adaptor call) instead of lazily at
+//!   `collect`; every in-tree pipeline is `map` directly followed by a
+//!   consumer.
+//! * there is no global work-stealing pool; each parallel call spawns
+//!   scoped worker threads. Work units here are whole optimizer runs or
+//!   per-table-set DP steps, so spawn cost is noise.
+//! * nested parallel calls run sequentially on the calling worker (real
+//!   rayon would steal; sequential nesting is the deterministic subset).
+//!
+//! Thread counts honour `RAYON_NUM_THREADS`, then
+//! `ThreadPoolBuilder::num_threads`, then the machine's parallelism.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set inside worker threads: nested parallel calls degrade to serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    if let Some(n) = POOL_THREADS.with(|p| p.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the number of worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped "pool": parallel calls made inside [`ThreadPool::install`] use
+/// this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the parallelism override.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|p| p.set(prev));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Runs `f` over each item, in parallel, preserving order of results.
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Dynamic claiming: each worker grabs the next unprocessed index, so
+    // skewed per-item costs balance. Items are parked in per-index slots
+    // (uncontended mutexes) because `T` moves by value into `f`.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let next = &next;
+    let mut results: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("work slot poisoned")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    for (i, r) in chunks.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+/// An indexed parallel iterator over owned items (eager adaptors).
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParIter<R> {
+        ParIter {
+            items: run_parallel(self.items, f),
+        }
+    }
+
+    /// Applies `f` and keeps the `Some` results (order preserved).
+    pub fn filter_map<R: Send>(self, f: impl Fn(T) -> Option<R> + Sync) -> ParIter<R> {
+        ParIter {
+            items: run_parallel(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        run_parallel(self.items, f);
+    }
+
+    /// Collects the items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Types convertible into an owned parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `.par_iter()` over borrowed slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1, 2, 3, 4];
+        let sum: i32 = data
+            .par_iter()
+            .map(|&x| x * x)
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        assert_eq!(sum, 30);
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        let out: Vec<Vec<usize>> = (0..4usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..3usize)
+                    .into_par_iter()
+                    .map(move |j| i * 10 + j)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(out[2], vec![20, 21, 22]);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let out: Vec<usize> = (0..10usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(out.len(), 10);
+        });
+    }
+
+    #[test]
+    fn filter_map_drops_nones() {
+        let out: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 2 == 0).then_some(i))
+            .collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+}

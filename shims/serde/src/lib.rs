@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as marker traits together with
+//! no-op derive macros, which is all this workspace needs: the catalog and
+//! cloud types declare serializability for downstream users, but nothing
+//! in-tree serializes through serde (the bench harness writes its JSON by
+//! hand). Replacing the shim with the real crate is a manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}

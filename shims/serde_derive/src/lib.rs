@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations — no code path serializes through serde (JSON output is
+//! hand-written). The shim keeps those derives compiling without pulling
+//! in the real proc-macro stack, which is unavailable offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,411 @@
+//! Offline shim for the `smallvec` crate.
+//!
+//! Implements the subset of the real API this workspace uses: a vector
+//! that stores up to `N` elements inline (no heap allocation) and spills
+//! to a `Vec` beyond that. The type parameter mirrors the real crate's
+//! `SmallVec<[T; N]>` spelling so swapping in the real dependency is a
+//! manifest-only change.
+
+use std::fmt;
+use std::iter::FromIterator;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// Backing-array marker trait (`[T; N]`), as in the real crate.
+///
+/// # Safety
+/// `size()` must equal the array length of `Self`.
+pub unsafe trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity.
+    fn size() -> usize;
+}
+
+unsafe impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    fn size() -> usize {
+        N
+    }
+}
+
+enum Repr<A: Array> {
+    Inline { buf: MaybeUninit<A>, len: usize },
+    Heap(Vec<A::Item>),
+}
+
+/// A vector storing up to `A::size()` elements inline.
+pub struct SmallVec<A: Array> {
+    repr: Repr<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector (inline storage).
+    pub fn new() -> Self {
+        Self {
+            repr: Repr::Inline {
+                buf: MaybeUninit::uninit(),
+                len: 0,
+            },
+        }
+    }
+
+    /// An empty vector; spills to the heap immediately when `cap` exceeds
+    /// the inline capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap > A::size() {
+            Self {
+                repr: Repr::Heap(Vec::with_capacity(cap)),
+            }
+        } else {
+            Self::new()
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// True iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff the elements are stored on the heap.
+    pub fn spilled(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
+    fn inline_ptr(buf: &MaybeUninit<A>) -> *const A::Item {
+        buf.as_ptr() as *const A::Item
+    }
+
+    fn inline_ptr_mut(buf: &mut MaybeUninit<A>) -> *mut A::Item {
+        buf.as_mut_ptr() as *mut A::Item
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[A::Item] {
+        match &self.repr {
+            Repr::Inline { buf, len } => unsafe {
+                std::slice::from_raw_parts(Self::inline_ptr(buf), *len)
+            },
+            Repr::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => unsafe {
+                std::slice::from_raw_parts_mut(Self::inline_ptr_mut(buf), *len)
+            },
+            Repr::Heap(v) => v.as_mut_slice(),
+        }
+    }
+
+    fn spill(&mut self, extra: usize) {
+        if let Repr::Inline { buf, len } = &mut self.repr {
+            let n = *len;
+            let mut v = Vec::with_capacity(n + extra.max(n));
+            unsafe {
+                let src = Self::inline_ptr(buf);
+                for i in 0..n {
+                    v.push(std::ptr::read(src.add(i)));
+                }
+            }
+            // The inline elements were moved out; forget them by zeroing len
+            // before the repr swap (no drop of moved-out values).
+            self.repr = Repr::Heap(v);
+        }
+    }
+
+    /// Appends an element, spilling to the heap when the inline capacity is
+    /// exhausted.
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < A::size() {
+                    unsafe {
+                        std::ptr::write(Self::inline_ptr_mut(buf).add(*len), value);
+                    }
+                    *len += 1;
+                } else {
+                    self.spill(1);
+                    match &mut self.repr {
+                        Repr::Heap(v) => v.push(value),
+                        Repr::Inline { .. } => unreachable!("just spilled"),
+                    }
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(unsafe { std::ptr::read(Self::inline_ptr(buf).add(*len)) })
+                }
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
+    /// Removes and returns the element at `index`, shifting the tail left.
+    pub fn remove(&mut self, index: usize) -> A::Item {
+        let n = self.len();
+        assert!(index < n, "remove index out of bounds");
+        match &mut self.repr {
+            Repr::Heap(v) => v.remove(index),
+            Repr::Inline { buf, len } => unsafe {
+                let p = Self::inline_ptr_mut(buf);
+                let out = std::ptr::read(p.add(index));
+                std::ptr::copy(p.add(index + 1), p.add(index), n - index - 1);
+                *len -= 1;
+                out
+            },
+        }
+    }
+
+    /// Inserts `value` at `index`, shifting the tail right.
+    pub fn insert(&mut self, index: usize, value: A::Item) {
+        let n = self.len();
+        assert!(index <= n, "insert index out of bounds");
+        self.push(value);
+        self.as_mut_slice()[index..].rotate_right(1);
+    }
+
+    /// Drops all elements.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Heap(v) => v.clear(),
+            Repr::Inline { buf, len } => unsafe {
+                let p = Self::inline_ptr_mut(buf);
+                let n = *len;
+                *len = 0;
+                for i in 0..n {
+                    std::ptr::drop_in_place(p.add(i));
+                }
+            },
+        }
+    }
+
+    /// Keeps only the elements for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(&mut A::Item) -> bool) {
+        let mut i = 0;
+        while i < self.len() {
+            if keep(&mut self.as_mut_slice()[i]) {
+                i += 1;
+            } else {
+                self.remove(i);
+            }
+        }
+    }
+
+    /// Copies the elements into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<A::Item>
+    where
+        A::Item: Clone,
+    {
+        self.as_slice().to_vec()
+    }
+
+    /// Moves the elements into a plain `Vec`.
+    pub fn into_vec(mut self) -> Vec<A::Item> {
+        match &mut self.repr {
+            Repr::Heap(v) => std::mem::take(v),
+            Repr::Inline { .. } => {
+                let mut v = Vec::with_capacity(self.len());
+                while let Some(x) = self.pop() {
+                    v.push(x);
+                }
+                v.reverse();
+                v
+            }
+        }
+    }
+
+    /// Builds from a slice of cloneable elements.
+    pub fn from_slice(slice: &[A::Item]) -> Self
+    where
+        A::Item: Clone,
+    {
+        slice.iter().cloned().collect()
+    }
+}
+
+impl<A: Array> Drop for SmallVec<A> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        self.as_slice()
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        self.as_mut_slice()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for x in iter {
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(v: Vec<A::Item>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_vec().into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// `smallvec![a, b, c]` constructor macro, as in the real crate.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $( v.push($x); )+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut v: SmallVec<[i32; 2]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert!(!v.spilled());
+        v.push(3);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_and_clone_with_heap_elements() {
+        let mut v: SmallVec<[String; 2]> = SmallVec::new();
+        v.push("a".to_string());
+        v.push("b".to_string());
+        let w = v.clone();
+        v.push("c".to_string());
+        assert_eq!(w.len(), 2);
+        assert_eq!(v.len(), 3);
+        drop(v);
+        assert_eq!(w.as_slice(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn remove_retain_pop() {
+        let mut v: SmallVec<[i32; 4]> = smallvec![1, 2, 3, 4];
+        assert_eq!(v.remove(1), 2);
+        assert_eq!(v.as_slice(), &[1, 3, 4]);
+        v.retain(|x| *x != 3);
+        assert_eq!(v.as_slice(), &[1, 4]);
+        assert_eq!(v.pop(), Some(4));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn insert_shifts_tail() {
+        let mut v: SmallVec<[i32; 2]> = smallvec![1, 3];
+        v.insert(1, 2); // spills
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        v.insert(0, 0);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.insert(4, 9);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: SmallVec<[f64; 4]> = vec![1.0, 2.0].into();
+        assert_eq!(v.to_vec(), vec![1.0, 2.0]);
+        let back: Vec<f64> = v.into_vec();
+        assert_eq!(back, vec![1.0, 2.0]);
+        let w: SmallVec<[f64; 1]> = [5.0, 6.0].iter().copied().collect();
+        assert!(w.spilled());
+        assert_eq!(w.into_vec(), vec![5.0, 6.0]);
+    }
+}

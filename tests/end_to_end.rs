@@ -103,10 +103,7 @@ fn pps_completeness_against_runtime_optimizer() {
         let space = GridSpace::for_unit_box(params, &config, 2).expect("grid");
         let solution = optimize(&query, &model, &space, &config);
         let vertices = space.grid().vertex_points();
-        let midpoints: Vec<Vec<f64>> = vec![
-            vec![0.21; params.max(1)],
-            vec![0.68; params.max(1)],
-        ];
+        let midpoints: Vec<Vec<f64>> = vec![vec![0.21; params.max(1)], vec![0.68; params.max(1)]];
         mpq::core::validate::check_pps_on_lattice(
             &solution, &space, &query, &model, &vertices, &midpoints, 0.05, true,
         )
@@ -165,8 +162,7 @@ fn sampled_space_matches_at_sample_points() {
     let solution = optimize(&query, &model, &space, &config);
     for x in space.points().to_vec() {
         let truth = mpq::core::baselines::mq::optimize_at(&query, &model, &x, true);
-        let truth_costs: Vec<Vec<f64>> =
-            truth.frontier.iter().map(|(_, c)| c.clone()).collect();
+        let truth_costs: Vec<Vec<f64>> = truth.frontier.iter().map(|(_, c)| c.clone()).collect();
         let candidates: Vec<Vec<f64>> = solution
             .relevant_at(&space, &x)
             .into_iter()
@@ -194,7 +190,10 @@ fn approx_model_offers_precision_tradeoffs() {
     // The frontier must include a zero-loss (exact) plan and at least one
     // lossy-but-faster plan.
     let exact = frontier.iter().find(|(_, c)| c[METRIC_LOSS] <= 1e-9);
-    assert!(exact.is_some(), "an exact plan must always be on the frontier");
+    assert!(
+        exact.is_some(),
+        "an exact plan must always be on the frontier"
+    );
     if frontier.len() > 1 {
         let fastest = frontier
             .iter()
@@ -221,9 +220,8 @@ fn fees_ordering_invariant() {
     let (_, space, solution) = optimize_generated(4, Topology::Chain, 1, 7);
     for xv in [0.2, 0.8] {
         let mut frontier = solution.frontier_at(&space, &[xv]);
-        frontier.sort_by(|(_, a), (_, b)| {
-            a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite")
-        });
+        frontier
+            .sort_by(|(_, a), (_, b)| a[METRIC_TIME].partial_cmp(&b[METRIC_TIME]).expect("finite"));
         for pair in frontier.windows(2) {
             assert!(
                 pair[0].1[METRIC_FEES] >= pair[1].1[METRIC_FEES] - 1e-12,
