@@ -1,0 +1,214 @@
+//! RRPA performance baseline writer: measures the paper's chain and star
+//! workloads at one or more optimizer thread counts and emits a
+//! machine-readable `BENCH_rrpa.json`, so every future performance PR has
+//! a trajectory to beat.
+//!
+//! Usage:
+//!   cargo run --release -p mpq-bench --bin bench_rrpa -- \
+//!       [--seeds N] [--threads 1,4] [--out BENCH_rrpa.json] [--quick] \
+//!       [--baseline-note "text"] [--baseline FILE]
+//!
+//! * `--seeds` — random queries per configuration (default 5; medians are
+//!   reported).
+//! * `--threads` — comma-separated optimizer thread counts to measure
+//!   (default `1,4`); `RAYON_NUM_THREADS` is honoured when the list is
+//!   omitted. Seed sweeps always run sequentially so wall-clock numbers
+//!   are not polluted by concurrent runs.
+//! * `--baseline` — a previously written `BENCH_rrpa.json` whose entries
+//!   are embedded verbatim as the `baseline` section (used to carry the
+//!   post-manifest-fix reference numbers forward).
+//! * `--quick` — a smaller sweep for smoke-testing the harness.
+//!
+//! Interpreting the output: every entry carries the median optimization
+//! wall time, created plans, solved LPs and final Pareto-set size for one
+//! `(workload, tables, params, optimizer_threads)` configuration. Created
+//! plans and final plan counts must be identical across thread counts
+//! (the parallel DP is deterministic); wall time is the only column that
+//! may change.
+
+use mpq_bench::harness::{baseline_json, record_medians, run_once, sweep_threads, BaselineEntry};
+use mpq_catalog::graph::Topology;
+use mpq_core::OptimizerConfig;
+
+struct Args {
+    seeds: usize,
+    threads: Vec<usize>,
+    out: String,
+    quick: bool,
+    baseline_file: Option<String>,
+    baseline_note: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_rrpa: {msg}");
+    eprintln!(
+        "usage: bench_rrpa [--seeds N] [--threads N[,M...]] [--out PATH] \
+         [--quick] [--baseline FILE] [--baseline-note TEXT]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 5,
+        threads: vec![1, 4],
+        out: "BENCH_rrpa.json".to_string(),
+        quick: false,
+        baseline_file: None,
+        baseline_note: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seeds expects a number"));
+            }
+            "--threads" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--threads expects a comma-separated list"));
+                args.threads = list
+                    .split(',')
+                    .map(|s| match s.trim().parse::<usize>() {
+                        Ok(n) => sweep_threads(Some(n)),
+                        Err(_) => die("--threads expects numbers, e.g. 1,4"),
+                    })
+                    .collect();
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out expects a path"));
+            }
+            "--quick" => args.quick = true,
+            "--baseline" => {
+                args.baseline_file = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--baseline expects a file")),
+                );
+            }
+            "--baseline-note" => {
+                args.baseline_note = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--baseline-note expects text")),
+                );
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+/// The measured workload matrix: the paper's heavy configurations, led by
+/// the 10-table chain / 2-parameter acceptance config.
+fn configs(quick: bool) -> Vec<(Topology, &'static str, usize, usize)> {
+    if quick {
+        vec![
+            (Topology::Chain, "chain", 6, 2),
+            (Topology::Star, "star", 5, 2),
+        ]
+    } else {
+        vec![
+            (Topology::Chain, "chain", 10, 2),
+            (Topology::Star, "star", 8, 2),
+            (Topology::Chain, "chain", 10, 1),
+            (Topology::Star, "star", 10, 1),
+        ]
+    }
+}
+
+fn measure(
+    topology: Topology,
+    workload: &str,
+    num_tables: usize,
+    num_params: usize,
+    threads: usize,
+    seeds: usize,
+) -> BaselineEntry {
+    let mut config = OptimizerConfig::default_for(num_params);
+    config.threads = Some(threads);
+    let records: Vec<_> = (0..seeds)
+        .map(|s| {
+            let r = run_once(num_tables, topology, num_params, s as u64, &config);
+            eprintln!(
+                "  {workload} n={num_tables} p={num_params} t={threads} seed={s}: \
+                 {:.0}ms plans={} lps={} final={}",
+                r.time_ms, r.plans_created, r.lps_solved, r.final_plans
+            );
+            r
+        })
+        .collect();
+    let (median_time_ms, plans_created, lps_solved, final_plans) = record_medians(&records);
+    BaselineEntry {
+        workload: workload.to_string(),
+        num_tables,
+        num_params,
+        optimizer_threads: threads,
+        median_time_ms,
+        plans_created,
+        lps_solved,
+        final_plans,
+        seeds,
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    if args.seeds == 0 {
+        die("--seeds must be at least 1");
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "# bench_rrpa: seeds={} threads={:?} host_cores={cores}",
+        args.seeds, args.threads
+    );
+    let mut entries = Vec::new();
+    for (topology, workload, n, p) in configs(args.quick) {
+        for &t in &args.threads {
+            entries.push(measure(topology, workload, n, p, t, args.seeds));
+        }
+    }
+    let mut meta: Vec<(&str, String)> = vec![
+        ("schema_version", "1".to_string()),
+        (
+            "command",
+            format!(
+                "\"cargo run --release -p mpq-bench --bin bench_rrpa -- --seeds {} --threads {}\"",
+                args.seeds,
+                args.threads
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        ),
+        ("host_cores", cores.to_string()),
+    ];
+    if let Some(note) = &args.baseline_note {
+        meta.push(("baseline_note", format!("\"{}\"", json_escape(note))));
+    }
+    if let Some(path) = &args.baseline_file {
+        // Embed the reference measurement verbatim under "baseline".
+        let baseline = std::fs::read_to_string(path).expect("readable --baseline file");
+        meta.push(("baseline", baseline.trim_end().to_string()));
+    }
+    let json = baseline_json(&meta, &entries);
+    std::fs::write(&args.out, &json).expect("writable --out path");
+    eprintln!("wrote {}", args.out);
+    print!("{json}");
+}

@@ -14,24 +14,31 @@
 //! * a relevance region is empty iff it is empty within every simplex.
 //!
 //! Because every cutout of a simplex shares that simplex's polytope,
-//! cutouts are stored as just their metric halfspaces. That makes the
-//! §6.2 refinements cheap: redundant-constraint removal only examines the
-//! metric halfspaces (the simplex facets are already irredundant), and
-//! cutout-containment tests cost one LP per metric halfspace. Emptiness
-//! verdicts are cached per simplex and only re-examined after new cutouts
-//! arrive.
+//! cutouts are stored as just their metric halfspaces (inline in a
+//! [`HalfspaceList`] — no heap traffic for the common one- and
+//! two-halfspace cutouts). That makes the §6.2 refinements cheap:
+//! redundant-constraint removal only examines the metric halfspaces (the
+//! simplex facets are already irredundant), and cutout-containment tests
+//! cost one LP per metric halfspace, solved directly over the shared
+//! simplex polytope plus borrowed extras ([`Polytope::max_linear_with`])
+//! without cloning any geometry. Emptiness verdicts are cached per simplex
+//! and only re-examined after new cutouts arrive.
 //!
-//! The three §6.2 refinements are implemented here: redundant-constraint
-//! elimination on cutouts, redundant-cutout elimination, and relevance
-//! points (simplex vertices + centroid) that make most emptiness checks
-//! free.
+//! Relevance points (§6.2 refinement 3) are stored as *indices* into the
+//! simplex's vertices + centroid rather than copied coordinates, so
+//! entering the `Partial` state allocates nothing.
+//!
+//! The space is `Sync`: the LP context and the emptiness counters are
+//! atomic, so one `GridSpace` can serve all worker threads of a parallel
+//! RRPA run.
 
 use crate::space::MpqSpace;
 use crate::OptimizerConfig;
-use mpq_cost::{DominanceHalfspaces, GridCost};
+use mpq_cost::{DominanceHalfspaces, GridCost, HalfspaceList};
 use mpq_geometry::grid::{GridError, ParamGrid};
-use mpq_geometry::{union_covers, Halfspace, Polytope, TOL};
+use mpq_geometry::{Halfspace, Polytope, TOL};
 use mpq_lp::{LpCtx, LpOutcome};
+use smallvec::SmallVec;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,7 +47,7 @@ use std::sync::Arc;
 /// shared and implied).
 #[derive(Debug, Clone)]
 struct Cutout {
-    halfspaces: Vec<Halfspace>,
+    halfspaces: HalfspaceList,
 }
 
 impl Cutout {
@@ -57,6 +64,65 @@ impl Cutout {
     }
 }
 
+/// Indices of surviving relevance points: `0..=dim` are simplex vertices,
+/// `dim + 1` is the centroid. Inline for every supported dimension
+/// ([`mpq_geometry::grid::MAX_DIM`] + 2 ≤ 8).
+type PointSet = SmallVec<[u8; 8]>;
+
+/// Where the ball of radius `TOL + WITNESS_MARGIN` around `w` sits in
+/// `cutout`'s worklist subdivision (scanning the cutout's halfspaces in
+/// order, as the coverage check's `subtract` does):
+///
+/// * `Some(true)` — the ball lies wholly in a cell *outside* the cutout
+///   (each halfspace cleared by the margin, the first outside-side one
+///   certifying avoidance);
+/// * `Some(false)` — the ball lies wholly inside the cutout;
+/// * `None` — a boundary straddles the ball, so the subdivision could
+///   slice it into sub-tolerance slivers that a coverage re-check would
+///   drop.
+///
+/// A witness certifies future non-emptiness verdicts only while every
+/// cutout places it at `Some(true)` — that keeps witness-based verdicts
+/// exactly consistent with re-running the piecewise coverage check.
+fn cell_placement(cutout: &Cutout, w: &[f64]) -> Option<bool> {
+    for h in &cutout.halfspaces {
+        let s = h.slack(w);
+        if s <= -(TOL + mpq_geometry::WITNESS_MARGIN) {
+            return Some(true);
+        }
+        if s < TOL + mpq_geometry::WITNESS_MARGIN {
+            return None;
+        }
+    }
+    Some(false)
+}
+
+/// Safety margin for the LP-free vertex fast paths: geometric queries
+/// whose decisive quantity sits within this distance of its tolerance
+/// threshold are answered by the LP solver instead, so fast-path verdicts
+/// can never disagree with solver verdicts (LP round-off is ≤ ~1e-7;
+/// the margin is an order of magnitude above it).
+const FASTPATH_MARGIN: f64 = 1e-6;
+
+/// Sound two-sided bounds on a region's linear maximum — see
+/// [`GridSpace::exact_region_max`] for which verdict each side certifies.
+#[derive(Default)]
+struct RegionMaxBounds {
+    /// Max over `-TOL`-inclusive candidates (`None` = region empty).
+    upper: Option<f64>,
+    /// Max over exactly feasible candidates (`None` = no certified point).
+    lower: Option<f64>,
+}
+
+impl RegionMaxBounds {
+    fn take(&mut self, value: f64, exactly_feasible: bool) {
+        self.upper = Some(self.upper.map_or(value, |b| b.max(value)));
+        if exactly_feasible {
+            self.lower = Some(self.lower.map_or(value, |b| b.max(value)));
+        }
+    }
+}
+
 /// Relevance-region state within one simplex.
 #[derive(Debug, Clone)]
 enum SimplexRegion {
@@ -65,8 +131,14 @@ enum SimplexRegion {
     /// The simplex minus the cutouts is relevant.
     Partial {
         cutouts: Vec<Cutout>,
-        /// Surviving relevance points (witnesses of non-emptiness).
-        points: Vec<Vec<f64>>,
+        /// Surviving relevance points (witnesses of non-emptiness),
+        /// as indices into the simplex's vertices + centroid.
+        points: PointSet,
+        /// Interior witness extracted from the last coverage check: the
+        /// centre of a ball of radius > `INTERIOR_TOL` inside the
+        /// remainder. Stays valid — and keeps emptiness checks free —
+        /// until some cutout contains it.
+        witness: Option<Vec<f64>>,
         /// A completed coverage check proved the remainder non-empty and
         /// no cutout has been added since (cached verdict).
         verified_nonempty: bool,
@@ -147,25 +219,160 @@ impl GridSpace {
         )
     }
 
-    /// Initial relevance points of a simplex: its vertices plus centroid.
-    fn initial_points(&self, simplex: usize) -> Vec<Vec<f64>> {
+    /// Initial relevance points of a simplex: its vertices plus centroid
+    /// (by index — nothing is copied).
+    fn initial_points(&self) -> PointSet {
         if !self.relevance_points {
-            return Vec::new();
+            return PointSet::new();
         }
+        (0..=(self.grid.dim() + 1) as u8).collect()
+    }
+
+    /// Coordinates of relevance point `idx` of `simplex`.
+    fn point_coords(&self, simplex: usize, idx: u8) -> &[f64] {
         let s = self.grid.simplex(simplex);
-        let mut pts = s.vertices.clone();
-        pts.push(s.centroid.clone());
-        pts
+        let idx = idx as usize;
+        if idx <= self.grid.dim() {
+            &s.vertices[idx]
+        } else {
+            &s.centroid
+        }
+    }
+
+    /// Exact bounds on the maximum of `w · x` over `simplex ∩ extra`, by
+    /// enumerating the region's vertex set (a bounded polytope attains
+    /// linear maxima at vertices). Supported for at most one extra
+    /// halfspace in any dimension, and two extras in two dimensions —
+    /// which covers every cutout the two-metric workloads produce.
+    /// Returns `None` for unsupported shapes; otherwise
+    /// `Some(RegionMaxBounds)` with:
+    ///
+    /// * `upper` — max over candidates accepted with the inclusive `-TOL`
+    ///   slack threshold. A true region vertex is never missed and any
+    ///   overstatement is bounded by `TOL`, so `upper` soundly certifies
+    ///   **"covered"** verdicts (and `upper == None` certifies the region
+    ///   empty — the LP would report `Infeasible`).
+    /// * `lower` — max over candidates that are *exactly* feasible
+    ///   (slack ≥ 0), hence true region points: soundly certifies
+    ///   **"not covered"** verdicts. `None` when no candidate is exactly
+    ///   feasible (the region may still be a tolerance-band sliver, so
+    ///   nothing can be concluded in the "not covered" direction).
+    fn exact_region_max(
+        &self,
+        simplex: usize,
+        extra: &[Halfspace],
+        w: &[f64],
+    ) -> Option<RegionMaxBounds> {
+        use mpq_lp::dense::dot;
+        let s = self.grid.simplex(simplex);
+        let verts = &s.vertices;
+        let nv = verts.len();
+        let mut bounds = RegionMaxBounds::default();
+        match extra.len() {
+            0 => {
+                for v in verts {
+                    bounds.take(dot(w, v), true);
+                }
+            }
+            1 => {
+                let e = &extra[0];
+                let slacks: SmallVec<[f64; 8]> = verts.iter().map(|v| e.slack(v)).collect();
+                let values: SmallVec<[f64; 8]> = verts.iter().map(|v| dot(w, v)).collect();
+                for i in 0..nv {
+                    if slacks[i] >= -TOL {
+                        bounds.take(values[i], slacks[i] >= 0.0);
+                    }
+                }
+                // Edge crossings of the halfspace boundary (exactly on it).
+                for i in 0..nv {
+                    for j in (i + 1)..nv {
+                        if (slacks[i] > 0.0 && slacks[j] < 0.0)
+                            || (slacks[i] < 0.0 && slacks[j] > 0.0)
+                        {
+                            let t = slacks[i] / (slacks[i] - slacks[j]);
+                            bounds.take(values[i] + t * (values[j] - values[i]), true);
+                        }
+                    }
+                }
+            }
+            2 if self.grid.dim() == 2 => {
+                let (e1, e2) = (&extra[0], &extra[1]);
+                let s1: SmallVec<[f64; 8]> = verts.iter().map(|v| e1.slack(v)).collect();
+                let s2: SmallVec<[f64; 8]> = verts.iter().map(|v| e2.slack(v)).collect();
+                for i in 0..nv {
+                    if s1[i] >= -TOL && s2[i] >= -TOL {
+                        bounds.take(dot(w, &verts[i]), s1[i] >= 0.0 && s2[i] >= 0.0);
+                    }
+                }
+                // Edge crossings of either boundary that satisfy the other.
+                let mut edge_crossings = |sa: &[f64], other: &Halfspace| {
+                    for i in 0..nv {
+                        for j in (i + 1)..nv {
+                            if (sa[i] > 0.0 && sa[j] < 0.0) || (sa[i] < 0.0 && sa[j] > 0.0) {
+                                let t = sa[i] / (sa[i] - sa[j]);
+                                let p = [
+                                    verts[i][0] + t * (verts[j][0] - verts[i][0]),
+                                    verts[i][1] + t * (verts[j][1] - verts[i][1]),
+                                ];
+                                let other_slack = other.slack(&p);
+                                if other_slack >= -TOL {
+                                    bounds.take(dot(w, &p), other_slack >= 0.0);
+                                }
+                            }
+                        }
+                    }
+                };
+                edge_crossings(&s1, e2);
+                edge_crossings(&s2, e1);
+                // Intersection of the two boundaries, if inside the simplex.
+                let (n1, n2) = (e1.normal(), e2.normal());
+                let det = n1[0] * n2[1] - n1[1] * n2[0];
+                if det.abs() > 1e-12 {
+                    let p = [
+                        (e1.offset() * n2[1] - e2.offset() * n1[1]) / det,
+                        (n1[0] * e2.offset() - n2[0] * e1.offset()) / det,
+                    ];
+                    let min_slack = s
+                        .polytope
+                        .halfspaces()
+                        .iter()
+                        .map(|f| f.slack(&p))
+                        .fold(f64::INFINITY, f64::min);
+                    if min_slack >= -TOL {
+                        bounds.take(dot(w, &p), min_slack >= 0.0);
+                    }
+                }
+            }
+            _ => return None,
+        }
+        Some(bounds)
     }
 
     /// Maximum of `h.normal() · x` over `simplex ∩ extra`, compared to the
     /// halfspace offset: true iff the halfspace contains that region.
+    ///
+    /// The exact vertex enumeration ([`Self::exact_region_max`]) answers
+    /// decisive queries without an LP, each verdict certified by the bound
+    /// that is sound for its direction; unsupported shapes and queries
+    /// within [`FASTPATH_MARGIN`] of the `offset + TOL` threshold — where
+    /// LP round-off could disagree — fall through to the solver.
     fn halfspace_covers(&self, simplex: usize, extra: &[Halfspace], h: &Halfspace) -> bool {
-        let mut poly = self.grid.simplex(simplex).polytope.clone();
-        for e in extra {
-            poly.push(e.clone());
+        if let Some(bounds) = self.exact_region_max(simplex, extra, h.normal()) {
+            match bounds.upper {
+                // Empty region: vacuously covered (the LP reports
+                // Infeasible).
+                None => return true,
+                Some(upper) if upper <= h.offset() + TOL - FASTPATH_MARGIN => return true,
+                _ => {}
+            }
+            if let Some(lower) = bounds.lower {
+                if lower > h.offset() + TOL + FASTPATH_MARGIN {
+                    return false;
+                }
+            }
         }
-        match poly.max_linear(&self.ctx, h.normal()) {
+        let poly = &self.grid.simplex(simplex).polytope;
+        match poly.max_linear_with(&self.ctx, h.normal(), extra) {
             LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
             LpOutcome::Unbounded => false,
             LpOutcome::Infeasible => true,
@@ -174,69 +381,81 @@ impl GridSpace {
 
     /// Adds a cutout (simplex ∩ halfspaces) to one simplex's region,
     /// applying the configured refinements.
-    fn add_cutout(
-        &self,
-        state: &mut SimplexRegion,
-        simplex: usize,
-        mut halfspaces: Vec<Halfspace>,
-    ) {
+    fn add_cutout(&self, state: &mut SimplexRegion, simplex: usize, mut halfspaces: HalfspaceList) {
         debug_assert!(!halfspaces.is_empty());
         // With several split metrics the intersection can be empty; one LP
         // avoids accumulating junk cutouts. (A single proper split always
         // has interior on both sides — its vertex classification saw both
-        // signs.)
+        // signs.) A ball certificate around a candidate interior point
+        // settles the common non-empty case without the LP: all normals
+        // are unit vectors, so a point with slack > r on every constraint
+        // admits an inscribed ball of radius r.
         if halfspaces.len() >= 2 {
-            let mut poly = self.grid.simplex(simplex).polytope.clone();
-            for h in &halfspaces {
-                poly.push(h.clone());
-            }
-            if poly.is_empty(&self.ctx) {
+            let s = self.grid.simplex(simplex);
+            // Only the centroid can certify: vertices sit on the facets.
+            let certified_nonempty = {
+                let r = s
+                    .polytope
+                    .halfspaces()
+                    .iter()
+                    .chain(&halfspaces)
+                    .map(|h| h.slack(&s.centroid))
+                    .fold(f64::INFINITY, f64::min);
+                r > mpq_geometry::INTERIOR_TOL + FASTPATH_MARGIN
+            };
+            if !certified_nonempty
+                && self
+                    .grid
+                    .simplex(simplex)
+                    .polytope
+                    .is_empty_with(&self.ctx, &halfspaces)
+            {
                 return;
             }
         }
         // §6.2 refinement 1 (targeted): the simplex facets are already
         // irredundant, so only metric halfspaces can be redundant against
-        // the simplex + the other halfspaces.
+        // the simplex + the other halfspaces. The candidate is popped off
+        // the list, so "the others" are simply the remaining entries — no
+        // scratch copies.
         if self.redundant_constraint_removal && halfspaces.len() >= 2 {
             let mut i = 0;
             while i < halfspaces.len() && halfspaces.len() > 1 {
-                let candidate = halfspaces[i].clone();
-                let others: Vec<Halfspace> = halfspaces
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, h)| h.clone())
-                    .collect();
-                if self.halfspace_covers(simplex, &others, &candidate) {
-                    halfspaces.remove(i);
+                let candidate = halfspaces.remove(i);
+                if self.halfspace_covers(simplex, &halfspaces, &candidate) {
+                    // Redundant: leave it out.
                 } else {
+                    halfspaces.insert(i, candidate);
                     i += 1;
                 }
             }
         }
         let cutout = Cutout { halfspaces };
-        let (cutouts, points, verified) = match state {
+        let (cutouts, points, witness, verified) = match state {
             SimplexRegion::Empty => return,
             SimplexRegion::Full => {
                 *state = SimplexRegion::Partial {
                     cutouts: Vec::with_capacity(4),
-                    points: self.initial_points(simplex),
+                    points: self.initial_points(),
+                    witness: None,
                     verified_nonempty: false,
                 };
                 match state {
                     SimplexRegion::Partial {
                         cutouts,
                         points,
+                        witness,
                         verified_nonempty,
-                    } => (cutouts, points, verified_nonempty),
+                    } => (cutouts, points, witness, verified_nonempty),
                     _ => unreachable!(),
                 }
             }
             SimplexRegion::Partial {
                 cutouts,
                 points,
+                witness,
                 verified_nonempty,
-            } => (cutouts, points, verified_nonempty),
+            } => (cutouts, points, witness, verified_nonempty),
         };
         // §6.2 refinement 2: drop cutouts covered by another cutout.
         // Containment between cutouts of one simplex only needs the metric
@@ -252,7 +471,19 @@ impl GridSpace {
             }
             cutouts.retain(|c| !covers(&cutout, c));
         }
-        points.retain(|p| !cutout.contains(p));
+        points.retain(|&mut p| !cutout.contains(self.point_coords(simplex, p)));
+        // The witness stays valid only while its margin ball lands
+        // wholly inside an *outside-the-cutout* cell of the new cutout's
+        // subdivision; anything else (straddled boundary, covered) could
+        // make a re-run coverage check — which tests decomposition
+        // pieces individually — reach a different verdict, so the
+        // witness is dropped and the next emptiness query runs for real.
+        if witness
+            .as_ref()
+            .is_some_and(|w| cell_placement(&cutout, w) != Some(true))
+        {
+            *witness = None;
+        }
         cutouts.push(cutout);
         *verified = false;
     }
@@ -276,6 +507,10 @@ impl MpqSpace for GridSpace {
 
     fn add(&self, a: &GridCost, b: &GridCost) -> GridCost {
         a.add(b)
+    }
+
+    fn add3(&self, a: &GridCost, b: &GridCost, c: &GridCost) -> GridCost {
+        a.sum3(b, c)
     }
 
     fn eval(&self, cost: &GridCost, x: &[f64]) -> Vec<f64> {
@@ -326,10 +561,17 @@ impl MpqSpace for GridSpace {
                 SimplexRegion::Partial {
                     cutouts,
                     points,
+                    witness,
                     verified_nonempty,
                 } => {
                     if self.relevance_points && !points.is_empty() {
-                        // A surviving witness point proves non-emptiness.
+                        // A surviving relevance point proves non-emptiness.
+                        self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    if witness.is_some() {
+                        // The interior witness of the last coverage check
+                        // is uncovered by every cutout added since.
                         self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
                         return false;
                     }
@@ -350,11 +592,25 @@ impl MpqSpace for GridSpace {
                             p
                         })
                         .collect();
-                    if union_covers(&self.ctx, &polys, simplex_poly) {
-                        region.per_simplex[s] = SimplexRegion::Empty;
-                    } else {
-                        *verified_nonempty = true;
-                        return false;
+                    match mpq_geometry::difference_witness(&self.ctx, simplex_poly, &polys) {
+                        mpq_geometry::DifferenceWitness::Empty => {
+                            region.per_simplex[s] = SimplexRegion::Empty;
+                        }
+                        mpq_geometry::DifferenceWitness::NonEmpty(w) => {
+                            // Trust the witness for future skips only if
+                            // its ball sits wholly inside one cell of
+                            // every existing cutout's subdivision (see
+                            // `ball_in_one_cell` in `add_cutout`): the
+                            // worklist's miss fast path lets a piece
+                            // penetrate a cutout by a sub-tolerance cap,
+                            // so creation-time placement must be
+                            // re-certified against all cutouts.
+                            *witness = w.filter(|w| {
+                                cutouts.iter().all(|c| cell_placement(c, w) == Some(true))
+                            });
+                            *verified_nonempty = true;
+                            return false;
+                        }
                     }
                 }
             }
@@ -561,5 +817,18 @@ mod tests {
         assert!(!space.region_is_empty(&mut rr));
         assert!(space.region_contains(&rr, &[0.1, 0.1]));
         assert!(!space.region_contains(&rr, &[0.9, 0.9]));
+    }
+
+    #[test]
+    fn add3_matches_nested_adds() {
+        let space = space_1d();
+        let a = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
+        let b = space.lift(&|x: &[f64]| vec![2.0 * x[0], 2.0]);
+        let c = space.lift(&|x: &[f64]| vec![3.0 - x[0], 0.5]);
+        let fused = space.add3(&a, &b, &c);
+        let nested = space.add(&space.add(&a, &b), &c);
+        for x in [[0.0], [0.33], [1.0]] {
+            assert_eq!(space.eval(&fused, &x), space.eval(&nested, &x));
+        }
     }
 }

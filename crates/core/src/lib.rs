@@ -107,6 +107,11 @@ pub struct OptimizerConfig {
     /// Postpone Cartesian products (only join table sets connected by a
     /// join predicate), as in the paper's experiments and Postgres.
     pub postpone_cartesian: bool,
+    /// Worker threads for the per-level DP fan-out of [`rrpa::optimize`]:
+    /// `Some(1)` forces sequential execution, `None` uses the rayon
+    /// default (`RAYON_NUM_THREADS` or the machine's parallelism). The
+    /// result is identical for every value — only wall time changes.
+    pub threads: Option<usize>,
 }
 
 impl OptimizerConfig {
@@ -126,6 +131,7 @@ impl OptimizerConfig {
             redundant_constraint_removal: true,
             pvi_fastpath: true,
             postpone_cartesian: true,
+            threads: None,
         }
     }
 }

@@ -24,6 +24,23 @@
 //! disconnected queries fall back to unrestricted splits. The completeness
 //! guarantee (Theorem 3) then applies to the cross-product-free plan
 //! space, exactly as in the paper's evaluation.
+//!
+//! # Parallel execution
+//!
+//! Table sets of one cardinality depend only on strictly smaller sets, so
+//! each DP level fans out over a rayon-style parallel iterator: every
+//! table set's Pareto set is computed independently (reading the previous
+//! levels immutably), then the level's results are merged **in
+//! deterministic table-set order**. Within one table set the candidate
+//! enumeration and pruning order is exactly the sequential order, so the
+//! final Pareto plan sets, all [`OptStats`] counters, and the solved-LP
+//! count are identical for every thread count (see
+//! [`OptimizerConfig::threads`]).
+//!
+//! Plan-arena registration is deferred to pruning survivors: pruned
+//! candidates never touch the arena, which keeps it small and lets worker
+//! threads run without synchronising on it (ids are assigned during the
+//! deterministic merge).
 
 use crate::pareto::pareto_indices;
 use crate::plan::{PlanArena, PlanId, PlanNode};
@@ -32,6 +49,7 @@ use crate::stats::OptStats;
 use crate::OptimizerConfig;
 use mpq_catalog::{Query, TableSet};
 use mpq_cloud::model::ParametricCostModel;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -53,6 +71,23 @@ impl<S: MpqSpace> Clone for ParetoPlan<S> {
             region: self.region.clone(),
         }
     }
+}
+
+/// A retained plan before arena registration: the operator node is kept
+/// inline until the plan survives pruning of its table set, at which point
+/// the deterministic merge assigns `reserved_id`.
+struct PendingPlan<S: MpqSpace> {
+    node: PlanNode,
+    cost: S::Cost,
+    region: S::Region,
+    reserved_id: Option<PlanId>,
+}
+
+/// Per-table-set statistics, merged deterministically after each level.
+#[derive(Default)]
+struct Tally {
+    plans_created: u64,
+    plans_pruned: u64,
 }
 
 /// Result of one optimization run: the Pareto plan set of the full query.
@@ -110,17 +145,83 @@ impl<S: MpqSpace> MpqSolution<S> {
     }
 }
 
-/// Runs RRPA and returns the Pareto plan set for `query`.
-///
-/// # Panics
-/// Panics if the query is invalid (`query.validate()` fails) or the model
-/// reports a different metric count than the space.
-pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
+/// Computes the Pareto plan set of one table set `q` from the retained
+/// plans of its sub-sets — the per-work-item body of the parallel DP.
+/// Candidate enumeration and pruning order equal the sequential algorithm.
+fn optimize_set<S: MpqSpace, M: ParametricCostModel + ?Sized>(
     query: &Query,
     model: &M,
     space: &S,
     config: &OptimizerConfig,
-) -> MpqSolution<S> {
+    best: &HashMap<TableSet, Vec<PendingPlan<S>>>,
+    q: TableSet,
+    q_connected: bool,
+) -> (Vec<PendingPlan<S>>, Tally) {
+    let mut plans: Vec<PendingPlan<S>> = Vec::new();
+    let mut tally = Tally::default();
+    for q1 in q.proper_subsets() {
+        let q2 = q.minus(q1);
+        if config.postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
+            continue;
+        }
+        let (Some(left_plans), Some(right_plans)) = (best.get(&q1), best.get(&q2)) else {
+            continue;
+        };
+        if left_plans.is_empty() || right_plans.is_empty() {
+            continue;
+        }
+        for alt in model.join_alternatives(query, q1, q2) {
+            // The join's own cost depends only on the operand sets
+            // (their cardinalities), so lift it once per operator.
+            let join_cost = space.lift(&*alt.cost);
+            for p1 in left_plans {
+                for p2 in right_plans {
+                    // Fused accumulation: left + right + join in one pass.
+                    let cost = space.add3(&p1.cost, &p2.cost, &join_cost);
+                    let node = PlanNode::Join {
+                        op: alt.op,
+                        left: p1.node_id(),
+                        right: p2.node_id(),
+                    };
+                    tally.plans_created += 1;
+                    prune(space, config, &mut plans, node, cost, &mut tally);
+                }
+            }
+        }
+    }
+    (plans, tally)
+}
+
+impl<S: MpqSpace> PendingPlan<S> {
+    /// The arena id this plan will have — assigned before its level runs
+    /// (see the merge step in [`optimize`]), stored in the node of every
+    /// dependent plan of later levels.
+    fn node_id(&self) -> PlanId {
+        self.reserved_id
+            .expect("sub-plans of previous levels carry their reserved arena id")
+    }
+}
+
+/// Runs RRPA and returns the Pareto plan set for `query`.
+///
+/// DP levels fan out over worker threads (see the module docs); results
+/// are bitwise identical for every thread count.
+///
+/// # Panics
+/// Panics if the query is invalid (`query.validate()` fails) or the model
+/// reports a different metric count than the space.
+pub fn optimize<S, M>(
+    query: &Query,
+    model: &M,
+    space: &S,
+    config: &OptimizerConfig,
+) -> MpqSolution<S>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
     query
         .validate()
         .unwrap_or_else(|e| panic!("invalid query: {e}"));
@@ -130,82 +231,83 @@ pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
         "cost model and space disagree on the number of metrics"
     );
     let start = Instant::now();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.threads.unwrap_or(0))
+        .build()
+        .expect("optimizer thread pool");
     let n = query.num_tables();
     let mut arena = PlanArena::new();
     let mut stats = OptStats::default();
-    let mut best: HashMap<TableSet, Vec<ParetoPlan<S>>> = HashMap::new();
+    let mut best: HashMap<TableSet, Vec<PendingPlan<S>>> = HashMap::new();
 
     // Base tables: all access paths, pruned against each other
     // (Algorithm 1 lines 3–6).
     for t in 0..n {
-        let mut plans: Vec<ParetoPlan<S>> = Vec::new();
+        let mut plans: Vec<PendingPlan<S>> = Vec::new();
+        let mut tally = Tally::default();
         for alt in model.scan_alternatives(query, t) {
             let cost = space.lift(&*alt.cost);
-            let plan = arena.push(PlanNode::Scan {
+            let node = PlanNode::Scan {
                 table: t,
                 op: alt.op,
-            });
-            stats.plans_created += 1;
-            prune(space, config, &mut plans, plan, cost, &mut stats);
+            };
+            tally.plans_created += 1;
+            prune(space, config, &mut plans, node, cost, &mut tally);
         }
-        stats.max_plans_per_set = stats.max_plans_per_set.max(plans.len());
-        best.insert(TableSet::singleton(t), plans);
+        register_level_result(
+            &mut arena,
+            &mut stats,
+            &mut best,
+            TableSet::singleton(t),
+            plans,
+            tally,
+        );
     }
 
     let full_connected = query.is_connected(query.all_tables());
 
-    // Table sets of increasing cardinality (lines 8–13).
+    // Table sets of increasing cardinality (lines 8–13); sets within one
+    // cardinality are independent and run in parallel.
     for k in 2..=n {
-        for q in TableSet::subsets_of_size(n, k) {
-            let q_connected = query.is_connected(q);
-            if config.postpone_cartesian && full_connected && !q_connected {
-                // Never needed: connected supersets split into connected,
-                // mutually joined parts.
-                continue;
-            }
-            let mut plans: Vec<ParetoPlan<S>> = Vec::new();
-            for q1 in q.proper_subsets() {
-                let q2 = q.minus(q1);
-                if config.postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
-                    continue;
+        let sets: Vec<(TableSet, bool)> = TableSet::subsets_of_size(n, k)
+            .filter_map(|q| {
+                let q_connected = query.is_connected(q);
+                if config.postpone_cartesian && full_connected && !q_connected {
+                    // Never needed: connected supersets split into
+                    // connected, mutually joined parts.
+                    None
+                } else {
+                    Some((q, q_connected))
                 }
-                let (Some(left_plans), Some(right_plans)) = (best.get(&q1), best.get(&q2)) else {
-                    continue;
-                };
-                if left_plans.is_empty() || right_plans.is_empty() {
-                    continue;
-                }
-                for alt in model.join_alternatives(query, q1, q2) {
-                    // The join's own cost depends only on the operand sets
-                    // (their cardinalities), so lift it once per operator.
-                    let join_cost = space.lift(&*alt.cost);
-                    let mut candidates: Vec<(PlanId, S::Cost)> =
-                        Vec::with_capacity(left_plans.len() * right_plans.len());
-                    for p1 in left_plans {
-                        for p2 in right_plans {
-                            let cost = space.add(&space.add(&p1.cost, &p2.cost), &join_cost);
-                            let plan = arena.push(PlanNode::Join {
-                                op: alt.op,
-                                left: p1.plan,
-                                right: p2.plan,
-                            });
-                            stats.plans_created += 1;
-                            candidates.push((plan, cost));
-                        }
-                    }
-                    for (plan, cost) in candidates {
-                        prune(space, config, &mut plans, plan, cost, &mut stats);
-                    }
-                }
-            }
-            stats.max_plans_per_set = stats.max_plans_per_set.max(plans.len());
-            best.insert(q, plans);
+            })
+            .collect();
+        let results: Vec<(TableSet, Vec<PendingPlan<S>>, Tally)> = pool.install(|| {
+            sets.par_iter()
+                .map(|&(q, q_connected)| {
+                    let (plans, tally) =
+                        optimize_set(query, model, space, config, &best, q, q_connected);
+                    (q, plans, tally)
+                })
+                .collect()
+        });
+        // Deterministic merge: arena ids and stats are assigned in
+        // table-set order, independent of worker scheduling.
+        for (q, plans, tally) in results {
+            register_level_result(&mut arena, &mut stats, &mut best, q, plans, tally);
         }
     }
 
-    let plans = best
+    let pending = best
         .remove(&query.all_tables())
         .expect("full table set was optimized");
+    let plans: Vec<ParetoPlan<S>> = pending
+        .into_iter()
+        .map(|p| ParetoPlan {
+            plan: p.node_id(),
+            cost: p.cost,
+            region: p.region,
+        })
+        .collect();
     stats.final_plan_count = plans.len();
     stats.lps_solved = space.lps_solved();
     stats.elapsed = start.elapsed();
@@ -216,45 +318,69 @@ pub fn optimize<S: MpqSpace, M: ParametricCostModel + ?Sized>(
     }
 }
 
+/// Registers one table set's surviving plans: assigns their arena ids (in
+/// survivor order) and merges the tally into the global stats.
+fn register_level_result<S: MpqSpace>(
+    arena: &mut PlanArena,
+    stats: &mut OptStats,
+    best: &mut HashMap<TableSet, Vec<PendingPlan<S>>>,
+    q: TableSet,
+    mut plans: Vec<PendingPlan<S>>,
+    tally: Tally,
+) {
+    for p in plans.iter_mut() {
+        p.reserved_id = Some(arena.push(p.node));
+    }
+    stats.plans_created += tally.plans_created;
+    stats.plans_pruned += tally.plans_pruned;
+    stats.max_plans_per_set = stats.max_plans_per_set.max(plans.len());
+    best.insert(q, plans);
+}
+
 /// The pruning procedure of Algorithm 1 (lines 33–57), with the §6.3-style
 /// whole-space dominance fast path.
 fn prune<S: MpqSpace>(
     space: &S,
     config: &OptimizerConfig,
-    plans: &mut Vec<ParetoPlan<S>>,
-    plan: PlanId,
+    plans: &mut Vec<PendingPlan<S>>,
+    node: PlanNode,
     cost: S::Cost,
-    stats: &mut OptStats,
+    tally: &mut Tally,
 ) {
     // Shrink the new plan's RR by every retained plan (lines 36–44).
     let mut region = space.full_region();
     for old in plans.iter() {
         if config.pvi_fastpath && space.dominates_everywhere(&old.cost, &cost) {
-            stats.plans_pruned += 1;
+            tally.plans_pruned += 1;
             return;
         }
         if space.subtract_dominated(&mut region, &cost, &old.cost, false)
             && space.region_is_empty(&mut region)
         {
-            stats.plans_pruned += 1;
+            tally.plans_pruned += 1;
             return;
         }
     }
     // The new plan survives: shrink retained plans' RRs (lines 46–54).
     plans.retain_mut(|old| {
         if config.pvi_fastpath && space.dominates_everywhere(&cost, &old.cost) {
-            stats.plans_pruned += 1;
+            tally.plans_pruned += 1;
             return false;
         }
         if space.subtract_dominated(&mut old.region, &old.cost, &cost, true)
             && space.region_is_empty(&mut old.region)
         {
-            stats.plans_pruned += 1;
+            tally.plans_pruned += 1;
             return false;
         }
         true
     });
-    plans.push(ParetoPlan { plan, cost, region });
+    plans.push(PendingPlan {
+        node,
+        cost,
+        region,
+        reserved_id: None,
+    });
 }
 
 #[cfg(test)]
@@ -434,5 +560,56 @@ mod tests {
         assert!(sol.stats.final_plan_count == sol.plans.len());
         assert!(sol.stats.max_plans_per_set >= sol.plans.len());
         assert!(sol.stats.lps_solved > 0, "grid space must have solved LPs");
+    }
+
+    /// The concurrency-sensitive invariant: a parallel run retains exactly
+    /// the same final Pareto plan set (count, cost functions, and exact
+    /// stats counters) as a forced single-thread run.
+    #[test]
+    fn parallel_run_matches_single_thread_exactly() {
+        for (n, topology, params, seed) in [
+            (5usize, Topology::Chain, 1usize, 3u64),
+            (5, Topology::Star, 1, 7),
+            (4, Topology::Chain, 2, 1),
+        ] {
+            let query = small_query(n, topology, params, seed);
+            let model = CloudCostModel::default();
+            let mut config = OptimizerConfig::default_for(params);
+            config.threads = Some(1);
+            let space1 = GridSpace::for_unit_box(params, &config, 2).unwrap();
+            let serial = optimize(&query, &model, &space1, &config);
+
+            config.threads = Some(4);
+            let space4 = GridSpace::for_unit_box(params, &config, 2).unwrap();
+            let parallel = optimize(&query, &model, &space4, &config);
+
+            assert_eq!(serial.plans.len(), parallel.plans.len(), "final plan count");
+            assert_eq!(serial.stats.plans_created, parallel.stats.plans_created);
+            assert_eq!(serial.stats.plans_pruned, parallel.stats.plans_pruned);
+            assert_eq!(serial.stats.lps_solved, parallel.stats.lps_solved);
+            assert_eq!(
+                serial.stats.final_plan_count,
+                parallel.stats.final_plan_count
+            );
+            assert_eq!(
+                serial.stats.max_plans_per_set,
+                parallel.stats.max_plans_per_set
+            );
+            // Identical cost functions at probe points, plan for plan.
+            let probes: Vec<Vec<f64>> = if params == 1 {
+                vec![vec![0.1], vec![0.5], vec![0.9]]
+            } else {
+                vec![vec![0.1, 0.8], vec![0.6, 0.4]]
+            };
+            for (a, b) in serial.plans.iter().zip(&parallel.plans) {
+                for x in &probes {
+                    assert_eq!(
+                        space1.eval(&a.cost, x),
+                        space4.eval(&b.cost, x),
+                        "plan cost diverged between thread counts"
+                    );
+                }
+            }
+        }
     }
 }

@@ -46,6 +46,14 @@ pub trait MpqSpace {
     /// Algorithm 1 / Algorithm 3).
     fn add(&self, a: &Self::Cost, b: &Self::Cost) -> Self::Cost;
 
+    /// Fused accumulation `(a + b) + c` — the per-candidate cost of RRPA
+    /// (left sub-plan + right sub-plan + join operator). Implementations
+    /// can override this to skip the intermediate sum; the default matches
+    /// the nested form exactly (including float association order).
+    fn add3(&self, a: &Self::Cost, b: &Self::Cost, c: &Self::Cost) -> Self::Cost {
+        self.add(&self.add(a, b), c)
+    }
+
     /// Evaluates a cost function at a parameter point.
     fn eval(&self, cost: &Self::Cost, x: &[f64]) -> Vec<f64>;
 

@@ -27,16 +27,13 @@ use std::collections::HashMap;
 pub fn interpolate_simplex(simplex: &GridSimplex, values: &[f64]) -> Option<LinearFn> {
     let d = simplex.vertices[0].len();
     debug_assert_eq!(values.len(), d + 1);
-    // Solve  [vᵢ 1] · [w; b] = valuesᵢ  for i = 0..d.
-    let a: Vec<Vec<f64>> = simplex
-        .vertices
-        .iter()
-        .map(|v| {
-            let mut row = v.clone();
-            row.push(1.0);
-            row
-        })
-        .collect();
+    // Solve  [vᵢ 1] · [w; b] = valuesᵢ  for i = 0..d, staged as one flat
+    // row-major matrix.
+    let mut a = Vec::with_capacity((d + 1) * (d + 1));
+    for v in &simplex.vertices {
+        a.extend_from_slice(v);
+        a.push(1.0);
+    }
     let sol = mpq_lp::dense::solve_linear_system(a, values.to_vec())?;
     let (w, b) = sol.split_at(d);
     Some(LinearFn::new(w.to_vec(), b[0]))

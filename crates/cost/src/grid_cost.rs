@@ -15,10 +15,23 @@
 //!   halfspace per metric (Theorem 2), and because a linear function on a
 //!   simplex attains its extrema at the vertices, many dominance questions
 //!   are answered exactly by comparing vertex values — no LP at all.
+//!
+//! # Storage
+//!
+//! All pieces of all metrics live in **one flat `f64` buffer** laid out as
+//! `[metric][simplex][w₀ … w_{d−1}, b]`. Cost accumulation — executed once
+//! or twice per candidate plan of the RRPA dynamic program — is a single
+//! fused loop over that buffer and performs exactly one allocation (the
+//! result buffer); no per-piece or per-metric vectors exist. Dominance
+//! classification materialises per-simplex differences in a stack-allocated
+//! [`SmallVec`], so the candidate-pruning hot path does not allocate until
+//! an actual split halfspace must be produced.
 
 use crate::{approx, CostVec, LinearFn, LinearPiece, MultiCostFn, PwlFn};
 use mpq_geometry::grid::ParamGrid;
 use mpq_geometry::{Halfspace, HalfspaceKind, Polytope};
+use mpq_lp::dense::dot;
+use smallvec::SmallVec;
 use std::sync::Arc;
 
 /// Comparison tolerance for cost values: absolute floor plus a relative
@@ -54,6 +67,10 @@ pub enum SimplexDominance {
     Partial(Polytope),
 }
 
+/// Inline capacity for per-simplex halfspace lists: the paper's workloads
+/// have two metrics, so cutouts almost never exceed two halfspaces.
+pub type HalfspaceList = SmallVec<[Halfspace; 2]>;
+
 /// Halfspace-level form of [`SimplexDominance`]: the dominance region is
 /// the simplex intersected with the carried halfspaces. Storing only the
 /// halfspaces lets relevance regions share the simplex polytope across all
@@ -67,18 +84,38 @@ pub enum DominanceHalfspaces {
     Empty,
     /// Dominates on `simplex ∩ halfspaces` (one halfspace per split
     /// metric; may have empty interior when several metrics split).
-    Split(Vec<Halfspace>),
+    Split(HalfspaceList),
 }
 
 /// A multi-objective cost function linear on each simplex of a shared grid.
 #[derive(Debug, Clone)]
 pub struct GridCost {
     grid: Arc<ParamGrid>,
-    /// `metrics[m][s]` — the linear function of metric `m` on simplex `s`.
-    metrics: Vec<Vec<LinearFn>>,
+    num_metrics: usize,
+    /// Flat piece table `[metric][simplex][w₀ … w_{d−1}, b]`.
+    data: Vec<f64>,
 }
 
 impl GridCost {
+    /// Entries per piece: the weight vector plus the base cost.
+    #[inline]
+    fn stride(&self) -> usize {
+        self.grid.dim() + 1
+    }
+
+    /// Offset of piece `(metric, simplex)` in the flat table.
+    #[inline]
+    fn offset(&self, metric: usize, simplex: usize) -> usize {
+        (metric * self.grid.num_simplices() + simplex) * self.stride()
+    }
+
+    /// The `[w₀ … w_{d−1}, b]` slice of one piece.
+    #[inline]
+    fn piece_slice(&self, metric: usize, simplex: usize) -> &[f64] {
+        let o = self.offset(metric, simplex);
+        &self.data[o..o + self.stride()]
+    }
+
     /// Builds a cost function from per-metric, per-simplex linear pieces.
     ///
     /// # Panics
@@ -86,7 +123,20 @@ impl GridCost {
     pub fn new(grid: Arc<ParamGrid>, metrics: Vec<Vec<LinearFn>>) -> Self {
         assert!(!metrics.is_empty(), "at least one cost metric is required");
         assert!(metrics.iter().all(|m| m.len() == grid.num_simplices()));
-        Self { grid, metrics }
+        let dim = grid.dim();
+        let mut data = Vec::with_capacity(metrics.len() * grid.num_simplices() * (dim + 1));
+        for per_simplex in &metrics {
+            for f in per_simplex {
+                debug_assert_eq!(f.dim(), dim);
+                data.extend_from_slice(&f.w);
+                data.push(f.b);
+            }
+        }
+        Self {
+            grid,
+            num_metrics: metrics.len(),
+            data,
+        }
     }
 
     /// Approximates the vector-valued closure `f` on the grid (exact at
@@ -110,10 +160,13 @@ impl GridCost {
 
     /// The zero cost function.
     pub fn zero(grid: Arc<ParamGrid>, num_metrics: usize) -> Self {
-        let dim = grid.dim();
-        let n = grid.num_simplices();
-        let metrics = vec![vec![LinearFn::constant(dim, 0.0); n]; num_metrics];
-        Self::new(grid, metrics)
+        assert!(num_metrics > 0, "at least one cost metric is required");
+        let len = num_metrics * grid.num_simplices() * (grid.dim() + 1);
+        Self {
+            grid,
+            num_metrics,
+            data: vec![0.0; len],
+        }
     }
 
     /// The shared grid.
@@ -123,50 +176,86 @@ impl GridCost {
 
     /// Number of metrics.
     pub fn num_metrics(&self) -> usize {
-        self.metrics.len()
+        self.num_metrics
     }
 
-    /// The linear function of `metric` on `simplex`.
-    pub fn piece(&self, metric: usize, simplex: usize) -> &LinearFn {
-        &self.metrics[metric][simplex]
+    /// The linear function of `metric` on `simplex` (materialised from the
+    /// flat piece table; intended for display and interop, not hot paths).
+    pub fn piece(&self, metric: usize, simplex: usize) -> LinearFn {
+        let s = self.piece_slice(metric, simplex);
+        let (w, b) = s.split_at(self.grid.dim());
+        LinearFn::new(w.to_vec(), b[0])
+    }
+
+    /// Evaluates piece `(metric, simplex)` at `x`.
+    #[inline]
+    fn eval_piece(&self, metric: usize, simplex: usize, x: &[f64]) -> f64 {
+        let s = self.piece_slice(metric, simplex);
+        let (w, b) = s.split_at(self.grid.dim());
+        b[0] + dot(w, x)
     }
 
     /// Evaluates all metrics at `x` (clamped into the grid box).
     pub fn eval(&self, x: &[f64]) -> CostVec {
         let s = self.grid.locate(x);
-        self.metrics.iter().map(|m| m[s].eval(x)).collect()
+        (0..self.num_metrics)
+            .map(|m| self.eval_piece(m, s, x))
+            .collect()
     }
 
-    /// Metric-wise, simplex-wise sum — the LP-free accumulation step.
-    ///
-    /// # Panics
-    /// Panics if the operands use different grids or metric counts.
-    pub fn add(&self, other: &GridCost) -> GridCost {
+    fn assert_compatible(&self, other: &GridCost) {
         assert!(
             Arc::ptr_eq(&self.grid, &other.grid),
             "GridCost operands must share one ParamGrid"
         );
-        assert_eq!(self.num_metrics(), other.num_metrics());
-        let metrics = self
-            .metrics
-            .iter()
-            .zip(&other.metrics)
-            .map(|(a, b)| a.iter().zip(b).map(|(f, g)| f.add(g)).collect())
-            .collect();
+        assert_eq!(self.num_metrics, other.num_metrics);
+    }
+
+    /// Metric-wise, simplex-wise sum — the LP-free accumulation step.
+    /// One fused pass over the flat piece tables; a single allocation.
+    ///
+    /// # Panics
+    /// Panics if the operands use different grids or metric counts.
+    pub fn add(&self, other: &GridCost) -> GridCost {
+        self.assert_compatible(other);
         GridCost {
             grid: Arc::clone(&self.grid),
-            metrics,
+            num_metrics: self.num_metrics,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Fused three-way sum `(self + other) + third`: one pass, one
+    /// allocation — the per-candidate accumulation of RRPA (left sub-plan
+    /// + right sub-plan + join operator) without the intermediate sum.
+    ///
+    /// Floating-point association order matches `self.add(other).add(third)`.
+    pub fn sum3(&self, other: &GridCost, third: &GridCost) -> GridCost {
+        self.assert_compatible(other);
+        self.assert_compatible(third);
+        GridCost {
+            grid: Arc::clone(&self.grid),
+            num_metrics: self.num_metrics,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .zip(&third.data)
+                .map(|((a, b), c)| (a + b) + c)
+                .collect(),
         }
     }
 
     /// In-place version of [`GridCost::add`].
     pub fn add_assign(&mut self, other: &GridCost) {
-        assert!(Arc::ptr_eq(&self.grid, &other.grid));
-        assert_eq!(self.num_metrics(), other.num_metrics());
-        for (a, b) in self.metrics.iter_mut().zip(&other.metrics) {
-            for (f, g) in a.iter_mut().zip(b) {
-                f.add_assign(g);
-            }
+        self.assert_compatible(other);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
         }
     }
 
@@ -179,14 +268,25 @@ impl GridCost {
         metric: usize,
         simplex: usize,
     ) -> MetricOnSimplex {
-        let mine = &self.metrics[metric][simplex];
-        let theirs = &other.metrics[metric][simplex];
-        let d = mine.sub(theirs);
+        let dim = self.grid.dim();
+        let mine = self.piece_slice(metric, simplex);
+        let theirs = other.piece_slice(metric, simplex);
+        // The difference piece `d = mine − theirs`, evaluated term-fused —
+        // identical float association to materialising `dw` and dotting.
+        let db = mine[dim] - theirs[dim];
+        let d_eval = |v: &[f64]| {
+            db + mine[..dim]
+                .iter()
+                .zip(&theirs[..dim])
+                .zip(v)
+                .map(|((a, b), x)| (a - b) * x)
+                .sum::<f64>()
+        };
         let verts = &self.grid.simplex(simplex).vertices;
         let mut any_le = false;
         let mut any_gt = false;
         for v in verts {
-            if cost_le(d.eval(v), 0.0) {
+            if cost_le(d_eval(v), 0.0) {
                 any_le = true;
             } else {
                 any_gt = true;
@@ -196,8 +296,14 @@ impl GridCost {
             (true, false) => MetricOnSimplex::AlwaysLe,
             (false, _) => MetricOnSimplex::NeverLe,
             (true, true) => {
-                // d(x) ≤ 0  ⇔  d.w · x ≤ −d.b.
-                match Halfspace::new(d.w.clone(), -d.b) {
+                // d(x) ≤ 0  ⇔  dw · x ≤ −db. The weight difference is only
+                // materialised for this (rare) split case.
+                let dw: SmallVec<[f64; 8]> = mine[..dim]
+                    .iter()
+                    .zip(&theirs[..dim])
+                    .map(|(a, b)| a - b)
+                    .collect();
+                match Halfspace::new(&dw[..], -db) {
                     HalfspaceKind::Proper(h) => MetricOnSimplex::Split(h),
                     // Degenerate cases are covered by the vertex test above.
                     HalfspaceKind::AlwaysTrue => MetricOnSimplex::AlwaysLe,
@@ -212,11 +318,12 @@ impl GridCost {
     /// the simplex by linearity.
     pub fn identical_on_simplex(&self, other: &GridCost, simplex: usize) -> bool {
         let verts = &self.grid.simplex(simplex).vertices;
-        (0..self.num_metrics()).all(|m| {
-            let mine = &self.metrics[m][simplex];
-            let theirs = &other.metrics[m][simplex];
+        (0..self.num_metrics).all(|m| {
             verts.iter().all(|v| {
-                let (a, b) = (mine.eval(v), theirs.eval(v));
+                let (a, b) = (
+                    self.eval_piece(m, simplex, v),
+                    other.eval_piece(m, simplex, v),
+                );
                 cost_le(a, b) && cost_le(b, a)
             })
         })
@@ -239,8 +346,8 @@ impl GridCost {
         if strict && self.identical_on_simplex(other, simplex) {
             return DominanceHalfspaces::Empty;
         }
-        let mut halfspaces: Vec<Halfspace> = Vec::new();
-        for m in 0..self.num_metrics() {
+        let mut halfspaces = HalfspaceList::new();
+        for m in 0..self.num_metrics {
             match self.classify_metric(other, m, simplex) {
                 MetricOnSimplex::NeverLe => return DominanceHalfspaces::Empty,
                 MetricOnSimplex::AlwaysLe => {}
@@ -278,7 +385,7 @@ impl GridCost {
     /// True iff `self` dominates `other` over the entire parameter space —
     /// at-most-equal per metric at every simplex vertex. Exact and LP-free.
     pub fn dominates_everywhere(&self, other: &GridCost) -> bool {
-        (0..self.num_metrics()).all(|m| {
+        (0..self.num_metrics).all(|m| {
             (0..self.grid.num_simplices())
                 .all(|s| matches!(self.classify_metric(other, m, s), MetricOnSimplex::AlwaysLe))
         })
@@ -296,18 +403,15 @@ impl GridCost {
     /// metric) for interop with [`MultiCostFn`]-based code and tests.
     pub fn to_multi_cost_fn(&self) -> MultiCostFn {
         let dim = self.grid.dim();
-        let metrics = self
-            .metrics
-            .iter()
-            .map(|per_simplex| {
+        let metrics = (0..self.num_metrics)
+            .map(|m| {
                 let pieces = self
                     .grid
                     .simplices()
                     .iter()
-                    .zip(per_simplex)
-                    .map(|(s, f)| LinearPiece {
+                    .map(|s| LinearPiece {
                         region: s.polytope.clone(),
-                        f: f.clone(),
+                        f: self.piece(m, s.id),
                     })
                     .collect();
                 PwlFn::new(dim, pieces)
@@ -334,6 +438,17 @@ mod tests {
         let v = s.eval(&[0.3]);
         assert!((v[0] - 1.0).abs() < 1e-9);
         assert!((v[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum3_matches_chained_adds() {
+        let grid = grid1d(3);
+        let a = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![x[0], 1.0]);
+        let b = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![2.0 * x[0], 0.5]);
+        let c = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![1.0 - x[0], 3.0]);
+        let fused = a.sum3(&b, &c);
+        let chained = a.add(&b).add(&c);
+        assert_eq!(fused.data, chained.data, "identical association order");
     }
 
     #[test]
@@ -400,6 +515,20 @@ mod tests {
             let mv = mc.eval(&p).unwrap();
             assert!((gv[0] - mv[0]).abs() < 1e-9 && (gv[1] - mv[1]).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn piece_roundtrips_through_flat_storage() {
+        let grid = grid1d(2);
+        let f = GridCost::new(
+            Arc::clone(&grid),
+            vec![vec![
+                LinearFn::new(vec![1.5], 0.5),
+                LinearFn::new(vec![-2.0], 3.0),
+            ]],
+        );
+        assert_eq!(f.piece(0, 0), LinearFn::new(vec![1.5], 0.5));
+        assert_eq!(f.piece(0, 1), LinearFn::new(vec![-2.0], 3.0));
     }
 
     #[test]

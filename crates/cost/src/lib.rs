@@ -28,7 +28,9 @@ mod linear;
 mod multi;
 mod pwl;
 
-pub use grid_cost::{DominanceHalfspaces, GridCost, MetricOnSimplex, SimplexDominance};
+pub use grid_cost::{
+    DominanceHalfspaces, GridCost, HalfspaceList, MetricOnSimplex, SimplexDominance,
+};
 pub use linear::LinearFn;
 pub use multi::MultiCostFn;
 pub use pwl::{LinearPiece, PwlFn};

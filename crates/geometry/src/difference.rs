@@ -50,13 +50,62 @@ pub fn subtract(ctx: &LpCtx, base: &Polytope, minus: &Polytope) -> Vec<Polytope>
 /// drains. Runs in output-sensitive time: pieces that no cutout intersects
 /// survive and cause an early `false`.
 pub fn difference_is_empty(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> bool {
+    difference_remainder(ctx, base, cutouts).is_empty()
+}
+
+/// Safety margin for reusable witnesses: a witness certifies later
+/// non-emptiness verdicts only while its inscribed ball clears
+/// [`crate::INTERIOR_TOL`] by at least this much, so a witness-based
+/// verdict can never disagree with what the Chebyshev-radius LP (round-off
+/// ≤ ~1e-7) would have concluded on a tolerance-band sliver.
+pub const WITNESS_MARGIN: f64 = 1e-6;
+
+/// Result of [`difference_witness`].
+#[derive(Debug, Clone)]
+pub enum DifferenceWitness {
+    /// The difference has empty interior.
+    Empty,
+    /// The difference has interior; if a surviving piece admits a ball of
+    /// radius comfortably above the tolerance (`INTERIOR_TOL` +
+    /// [`WITNESS_MARGIN`]), its centre is carried as a reusable witness.
+    /// `None` means the remainder is a tolerance-band sliver: non-empty
+    /// *now*, but too thin to certify verdicts after further cutouts.
+    NonEmpty(Option<Vec<f64>>),
+}
+
+/// Like [`difference_is_empty`], additionally extracting an interior
+/// witness point from the remainder when one exists with margin.
+///
+/// The returned witness certifies non-emptiness *incrementally*: any later
+/// cutout that stays further than [`crate::TOL`] + [`WITNESS_MARGIN`] from
+/// the witness leaves a ball of radius well above the interior tolerance
+/// uncovered, so the region provably stays non-empty without re-running
+/// the coverage check — the refresh mechanism behind the optimizer's
+/// relevance points.
+pub fn difference_witness(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> DifferenceWitness {
+    let remaining = difference_remainder(ctx, base, cutouts);
+    if remaining.is_empty() {
+        return DifferenceWitness::Empty;
+    }
+    let witness = remaining.iter().find_map(|piece| {
+        piece
+            .chebyshev_center(ctx)
+            .filter(|(_, r)| *r > crate::INTERIOR_TOL + WITNESS_MARGIN)
+            .map(|(x, _)| x)
+    });
+    DifferenceWitness::NonEmpty(witness)
+}
+
+/// The worklist decomposition of `base ∖ ⋃ cutouts` into convex pieces
+/// with non-empty interior (empty iff the difference has empty interior).
+fn difference_remainder(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> Vec<Polytope> {
     if base.is_trivially_empty() || base.is_empty(ctx) {
-        return true;
+        return Vec::new();
     }
     let mut remaining = vec![base.clone()];
     for cutout in cutouts {
         if remaining.is_empty() {
-            return true;
+            return remaining;
         }
         if cutout.is_trivially_empty() {
             continue;
@@ -64,7 +113,7 @@ pub fn difference_is_empty(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -
         let mut next = Vec::with_capacity(remaining.len());
         for piece in &remaining {
             // Fast path: cutout misses the piece entirely.
-            if piece.intersect(cutout).is_empty(ctx) {
+            if piece.is_empty_with(ctx, cutout.halfspaces()) {
                 next.push(piece.clone());
             } else {
                 next.extend(subtract(ctx, piece, cutout));
@@ -72,7 +121,7 @@ pub fn difference_is_empty(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -
         }
         remaining = next;
     }
-    remaining.is_empty()
+    remaining
 }
 
 /// True iff `⋃ polys ⊇ target` up to measure zero (the uncovered part has

@@ -40,9 +40,13 @@ pub mod grid;
 mod polytope;
 
 pub use convexity::{envelope, union_convex_polytope};
-pub use difference::{difference_is_empty, subtract, union_covers};
+pub use difference::{
+    difference_is_empty, difference_witness, subtract, union_covers, DifferenceWitness,
+    WITNESS_MARGIN,
+};
 
 use mpq_lp::EPS;
+use smallvec::SmallVec;
 
 /// Geometric tolerance for predicates on normalised halfspaces.
 pub const TOL: f64 = 1e-7;
@@ -50,6 +54,11 @@ pub const TOL: f64 = 1e-7;
 /// Minimum interior (Chebyshev) radius for a polytope to count as
 /// non-empty; see the crate-level discussion of emptiness semantics.
 pub const INTERIOR_TOL: f64 = 1e-7;
+
+/// Inline storage for halfspace normals: parameter dimensions are at most
+/// [`grid::MAX_DIM`], so cloning a halfspace never allocates (higher
+/// dimensions spill to the heap transparently).
+type NormalVec = SmallVec<[f64; 8]>;
 
 /// A closed halfspace `a · x ≤ b` with `‖a‖₂ = 1`.
 ///
@@ -60,7 +69,7 @@ pub const INTERIOR_TOL: f64 = 1e-7;
 /// which.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Halfspace {
-    a: Vec<f64>,
+    a: NormalVec,
     b: f64,
 }
 
@@ -79,7 +88,8 @@ impl Halfspace {
     /// Builds `a · x ≤ b`, normalising `‖a‖₂` to one.
     #[allow(clippy::new_ret_no_self)] // construction may degenerate, so the
                                       // kind enum is the honest return type
-    pub fn new(a: Vec<f64>, b: f64) -> HalfspaceKind {
+    pub fn new(a: impl AsRef<[f64]>, b: f64) -> HalfspaceKind {
+        let a = a.as_ref();
         let norm = a.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm <= EPS {
             return if b >= -TOL {
@@ -89,7 +99,7 @@ impl Halfspace {
             };
         }
         HalfspaceKind::Proper(Halfspace {
-            a: a.into_iter().map(|v| v / norm).collect(),
+            a: a.iter().map(|v| v / norm).collect(),
             b: b / norm,
         })
     }
@@ -151,7 +161,7 @@ impl Halfspace {
 
     /// Converts to an [`mpq_lp::Constraint`].
     pub fn to_constraint(&self) -> mpq_lp::Constraint {
-        mpq_lp::Constraint::new(self.a.clone(), self.b)
+        mpq_lp::Constraint::new(self.a.to_vec(), self.b)
     }
 }
 

@@ -1,23 +1,30 @@
 //! LP-backed predicates and transformations on [`Polytope`].
 
 use crate::{Halfspace, Polytope, INTERIOR_TOL, TOL};
-use mpq_lp::{Constraint, LpCtx, LpOutcome};
+use mpq_lp::{LpCtx, LpOutcome};
+use smallvec::SmallVec;
+
+/// Stack-allocated objective buffer (parameter dimensions are tiny).
+type ObjBuf = SmallVec<[f64; 8]>;
 
 impl Polytope {
-    fn constraints(&self) -> Vec<Constraint> {
-        self.halfspaces
-            .iter()
-            .map(Halfspace::to_constraint)
-            .collect()
-    }
-
     /// Maximizes `w · x` over the polytope.
     pub fn max_linear(&self, ctx: &LpCtx, w: &[f64]) -> LpOutcome {
+        self.max_linear_with(ctx, w, &[])
+    }
+
+    /// Maximizes `w · x` over `self ∩ extra` without materialising the
+    /// intersection — the hot predicate behind cutout-redundancy tests.
+    pub fn max_linear_with(&self, ctx: &LpCtx, w: &[f64], extra: &[Halfspace]) -> LpOutcome {
         debug_assert_eq!(w.len(), self.dim());
         if self.is_trivially_empty() {
             return LpOutcome::Infeasible;
         }
-        ctx.maximize(w.to_vec(), self.constraints())
+        ctx.solve_staged(w, |stage| {
+            for h in self.halfspaces.iter().chain(extra) {
+                stage.push_row(h.normal(), h.offset());
+            }
+        })
     }
 
     /// True iff the polytope is non-empty *as a closed set* (boundary-only
@@ -29,10 +36,12 @@ impl Polytope {
         if self.halfspaces.is_empty() {
             return true;
         }
-        ctx.solve(&mpq_lp::LpProblem::feasibility(
-            self.dim(),
-            self.constraints(),
-        ))
+        let objective: ObjBuf = std::iter::repeat_n(0.0, self.dim()).collect();
+        ctx.solve_staged(&objective, |stage| {
+            for h in &self.halfspaces {
+                stage.push_row(h.normal(), h.offset());
+            }
+        })
         .is_feasible()
     }
 
@@ -44,29 +53,31 @@ impl Polytope {
     /// `aᵢ · x + t ≤ bᵢ` (the normals are unit vectors) and `t ≤ 1` so the
     /// objective stays bounded on unbounded polytopes.
     pub fn is_empty(&self, ctx: &LpCtx) -> bool {
+        self.is_empty_with(ctx, &[])
+    }
+
+    /// True iff `self ∩ extra` has empty interior, without materialising
+    /// the intersection.
+    pub fn is_empty_with(&self, ctx: &LpCtx, extra: &[Halfspace]) -> bool {
         if self.is_trivially_empty() {
             return true;
         }
-        if self.halfspaces.is_empty() {
+        if self.halfspaces.is_empty() && extra.is_empty() {
             return false;
         }
         let dim = self.dim();
         // Variables: x (dim entries) followed by the radius t.
-        let mut constraints: Vec<Constraint> = self
-            .halfspaces
-            .iter()
-            .map(|h| {
-                let mut a = h.normal().to_vec();
-                a.push(1.0);
-                Constraint::new(a, h.offset())
-            })
-            .collect();
-        let mut cap = vec![0.0; dim + 1];
-        cap[dim] = 1.0;
-        constraints.push(Constraint::new(cap, 1.0));
-        let mut objective = vec![0.0; dim + 1];
+        let mut objective: ObjBuf = std::iter::repeat_n(0.0, dim + 1).collect();
         objective[dim] = 1.0;
-        match ctx.maximize(objective, constraints) {
+        let outcome = ctx.solve_staged(&objective, |stage| {
+            for h in self.halfspaces.iter().chain(extra) {
+                stage.push_row_aug(h.normal(), 1.0, h.offset());
+            }
+            // Cap the radius so the objective stays bounded.
+            let zeros: ObjBuf = std::iter::repeat_n(0.0, dim).collect();
+            stage.push_row_aug(&zeros, 1.0, 1.0);
+        });
+        match outcome {
             LpOutcome::Infeasible => true,
             LpOutcome::Unbounded => false,
             LpOutcome::Optimal(sol) => sol.value <= INTERIOR_TOL,
@@ -84,24 +95,17 @@ impl Polytope {
         if self.halfspaces.is_empty() {
             return Some((vec![0.0; dim], 1e6));
         }
-        let mut constraints: Vec<Constraint> = self
-            .halfspaces
-            .iter()
-            .map(|h| {
-                let mut a = h.normal().to_vec();
-                a.push(1.0);
-                Constraint::new(a, h.offset())
-            })
-            .collect();
-        let mut cap = vec![0.0; dim + 1];
-        cap[dim] = 1.0;
-        constraints.push(Constraint::new(cap, 1e6));
-        let mut neg = vec![0.0; dim + 1];
-        neg[dim] = -1.0;
-        constraints.push(Constraint::new(neg, 0.0));
-        let mut objective = vec![0.0; dim + 1];
+        let mut objective: ObjBuf = std::iter::repeat_n(0.0, dim + 1).collect();
         objective[dim] = 1.0;
-        match ctx.maximize(objective, constraints) {
+        let outcome = ctx.solve_staged(&objective, |stage| {
+            for h in &self.halfspaces {
+                stage.push_row_aug(h.normal(), 1.0, h.offset());
+            }
+            let zeros: ObjBuf = std::iter::repeat_n(0.0, dim).collect();
+            stage.push_row_aug(&zeros, 1.0, 1e6); // cap the radius
+            stage.push_row_aug(&zeros, -1.0, 0.0); // radius >= 0
+        });
+        match outcome {
             LpOutcome::Optimal(mut sol) => {
                 let r = sol.x.pop().expect("radius variable present");
                 Some((sol.x, r))
@@ -156,21 +160,19 @@ impl Polytope {
             kept.retain(|k| !h.implies(k));
             kept.push(h.clone());
         }
-        // LP pass: maximize the constraint's normal over the others.
+        // LP pass: maximize the constraint's normal over the others
+        // (staged directly — no intermediate polytope).
         let mut i = 0;
         while i < kept.len() && kept.len() > 1 {
-            let candidate = kept[i].clone();
-            let others = Polytope {
-                dim: self.dim,
-                halfspaces: kept
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, h)| h.clone())
-                    .collect(),
-                trivially_empty: false,
-            };
-            let redundant = match others.max_linear(ctx, candidate.normal()) {
+            let candidate = &kept[i];
+            let outcome = ctx.solve_staged(candidate.normal(), |stage| {
+                for (j, h) in kept.iter().enumerate() {
+                    if j != i {
+                        stage.push_row(h.normal(), h.offset());
+                    }
+                }
+            });
+            let redundant = match outcome {
                 LpOutcome::Optimal(sol) => sol.value <= candidate.offset() + TOL,
                 LpOutcome::Unbounded => false,
                 LpOutcome::Infeasible => true,
@@ -223,7 +225,9 @@ impl Polytope {
                 let mut verts: Vec<Vec<f64>> = Vec::new();
                 for i in 0..hs.len() {
                     for j in (i + 1)..hs.len() {
-                        let a = vec![hs[i].normal().to_vec(), hs[j].normal().to_vec()];
+                        let mut a = Vec::with_capacity(4);
+                        a.extend_from_slice(hs[i].normal());
+                        a.extend_from_slice(hs[j].normal());
                         let b = vec![hs[i].offset(), hs[j].offset()];
                         if let Some(v) = mpq_lp::dense::solve_linear_system(a, b) {
                             if self.contains_point(&v)

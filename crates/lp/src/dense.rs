@@ -4,64 +4,83 @@
 //! `d + 1` vertices of a grid simplex, which amounts to solving a small
 //! dense linear system. The systems involved are tiny (dimension ≤ 5 or so),
 //! so a straightforward Gaussian elimination with partial pivoting is both
-//! simple and adequate.
+//! simple and adequate. The matrix is stored as a **flat row-major slice**
+//! (`a[row * n + col]`) so callers can stage systems in reusable buffers
+//! without nested allocations.
 
 /// Solves the square linear system `A x = b` in place.
 ///
-/// `a` is a row-major `n × n` matrix; `b` has length `n`. Returns `None`
-/// when the matrix is (numerically) singular.
-///
-/// # Example
-/// ```
-/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
-/// let x = mpq_lp::dense::solve_linear_system(a, vec![5.0, 10.0]).unwrap();
-/// assert!((x[0] - 1.0).abs() < 1e-12);
-/// assert!((x[1] - 3.0).abs() < 1e-12);
-/// ```
-pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+/// `a` is a flat row-major `n × n` matrix; `b` has length `n` and is
+/// overwritten with the solution `x` on success. Returns `false` (leaving
+/// `a`/`b` in a partially eliminated state) when the matrix is
+/// (numerically) singular.
+pub fn solve_linear_system_in_place(a: &mut [f64], b: &mut [f64]) -> bool {
     let n = b.len();
-    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    debug_assert_eq!(a.len(), n * n);
     for col in 0..n {
         // Partial pivoting: bring the largest remaining entry into position.
         let pivot_row = (col..n)
             .max_by(|&i, &j| {
-                a[i][col]
+                a[i * n + col]
                     .abs()
-                    .partial_cmp(&a[j][col].abs())
+                    .partial_cmp(&a[j * n + col].abs())
                     .expect("pivot magnitudes are comparable")
             })
             .expect("non-empty pivot candidates");
-        if a[pivot_row][col].abs() < 1e-12 {
-            return None;
+        if a[pivot_row * n + col].abs() < 1e-12 {
+            return false;
         }
-        a.swap(col, pivot_row);
-        b.swap(col, pivot_row);
-        let pivot = a[col][col];
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
         for row in (col + 1)..n {
-            let factor = a[row][col] / pivot;
+            let factor = a[row * n + col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            // Split borrows: the pivot row is disjoint from `row`.
-            let (pivot_slice, rest) = a.split_at_mut(col + 1);
-            let pivot_row = &pivot_slice[col];
-            let target = &mut rest[row - col - 1];
-            for (t, p) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+            // Split borrows: the pivot row precedes `row` in the flat store.
+            let (pivot_part, rest) = a.split_at_mut((col + 1) * n);
+            let pivot_row_slice = &pivot_part[col * n..];
+            let target = &mut rest[(row - col - 1) * n..(row - col) * n];
+            for (t, p) in target[col..].iter_mut().zip(&pivot_row_slice[col..]) {
                 *t -= factor * p;
             }
             b[row] -= factor * b[col];
         }
     }
-    // Back substitution.
-    let mut x = vec![0.0; n];
+    // Back substitution, overwriting `b` with `x`.
     for row in (0..n).rev() {
         let mut acc = b[row];
         for k in (row + 1)..n {
-            acc -= a[row][k] * x[k];
+            acc -= a[row * n + k] * b[k];
         }
-        x[row] = acc / a[row][row];
+        b[row] = acc / a[row * n + row];
     }
-    Some(x)
+    true
+}
+
+/// Solves the square linear system `A x = b`.
+///
+/// `a` is a flat row-major `n × n` matrix (`n = b.len()`). Returns `None`
+/// when the matrix is (numerically) singular.
+///
+/// # Example
+/// ```
+/// let a = vec![2.0, 1.0, 1.0, 3.0]; // [[2, 1], [1, 3]] row-major
+/// let x = mpq_lp::dense::solve_linear_system(a, vec![5.0, 10.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn solve_linear_system(mut a: Vec<f64>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    if solve_linear_system_in_place(&mut a, &mut b) {
+        Some(b)
+    } else {
+        None
+    }
 }
 
 /// Dot product of two equal-length slices.
@@ -77,38 +96,48 @@ mod tests {
 
     #[test]
     fn solves_identity() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let a = vec![1.0, 0.0, 0.0, 1.0];
         let x = solve_linear_system(a, vec![3.0, -4.0]).unwrap();
         assert_eq!(x, vec![3.0, -4.0]);
     }
 
     #[test]
     fn solves_3x3() {
+        #[rustfmt::skip]
         let a = vec![
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
+            2.0, -1.0, 0.0,
+            -1.0, 2.0, -1.0,
+            0.0, -1.0, 2.0,
         ];
-        let x = solve_linear_system(a.clone(), vec![1.0, 0.0, 1.0]).unwrap();
+        let b = [1.0, 0.0, 1.0];
+        let x = solve_linear_system(a.clone(), b.to_vec()).unwrap();
         // Verify A x = b.
-        for (row, &bi) in a.iter().zip(&[1.0, 0.0, 1.0]) {
+        for (row, &bi) in a.chunks(3).zip(&b) {
             assert!((dot(row, &x) - bi).abs() < 1e-10);
         }
     }
 
     #[test]
     fn rejects_singular() {
-        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let a = vec![1.0, 2.0, 2.0, 4.0];
         assert!(solve_linear_system(a, vec![1.0, 2.0]).is_none());
     }
 
     #[test]
     fn needs_pivoting() {
         // Zero on the diagonal forces a row swap.
-        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let a = vec![0.0, 1.0, 1.0, 0.0];
         let x = solve_linear_system(a, vec![2.0, 5.0]).unwrap();
         assert!((x[0] - 5.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_reuses_buffers() {
+        let mut a = vec![3.0, 0.0, 0.0, 2.0];
+        let mut b = vec![6.0, 8.0];
+        assert!(solve_linear_system_in_place(&mut a, &mut b));
+        assert!((b[0] - 2.0).abs() < 1e-12 && (b[1] - 4.0).abs() < 1e-12);
     }
 
     #[test]

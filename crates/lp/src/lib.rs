@@ -54,6 +54,8 @@
 pub mod dense;
 mod simplex;
 
+pub use simplex::RowStage;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Numerical tolerance used throughout the solver.
@@ -163,6 +165,17 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     simplex::solve(problem)
 }
 
+/// Solves `maximize objective · x` subject to rows staged by `fill`,
+/// without touching any statistics counter.
+///
+/// This is the allocation-lean entry point: constraint rows are written
+/// directly into per-thread scratch memory instead of being materialised
+/// as [`Constraint`] values. Prefer [`LpCtx::solve_staged`] inside the
+/// optimizer so the solved-LP count stays accurate.
+pub fn solve_staged(objective: &[f64], fill: impl FnOnce(&mut RowStage)) -> LpOutcome {
+    simplex::solve_staged(objective, fill)
+}
+
 /// Statistics-carrying solver context.
 ///
 /// The MPQ evaluation (Figure 12) reports the number of LPs solved during
@@ -189,6 +202,13 @@ impl LpCtx {
     /// Maximizes `objective` subject to `constraints`.
     pub fn maximize(&self, objective: Vec<f64>, constraints: Vec<Constraint>) -> LpOutcome {
         self.solve(&LpProblem::new(objective, constraints))
+    }
+
+    /// Solves `maximize objective · x` subject to rows staged by `fill`,
+    /// incrementing the solved-LP counter. See [`solve_staged`].
+    pub fn solve_staged(&self, objective: &[f64], fill: impl FnOnce(&mut RowStage)) -> LpOutcome {
+        self.solved.fetch_add(1, Ordering::Relaxed);
+        simplex::solve_staged(objective, fill)
     }
 
     /// Number of LPs solved through this context so far.

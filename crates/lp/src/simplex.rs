@@ -1,4 +1,4 @@
-//! Two-phase dense simplex.
+//! Two-phase dense simplex over reusable flat scratch memory.
 //!
 //! Free decision variables are split into differences of non-negative
 //! variables (`x = u − v`), one slack variable is added per inequality and
@@ -7,8 +7,20 @@
 //! maximizes the real objective. Pivoting uses Dantzig's rule with a
 //! fallback to Bland's rule after a fixed iteration budget, which guarantees
 //! termination on degenerate problems.
+//!
+//! # Memory
+//!
+//! PWL-RRPA solves millions of tiny LPs per optimization (Figure 12 of the
+//! paper); allocating a fresh tableau per solve dominated the profile. All
+//! working storage — the staged constraint rows, the tableau (a flat
+//! row-major matrix), right-hand sides, basis, reduced costs — lives in a
+//! per-thread [`Scratch`] that is reused across solves, so the steady
+//! state allocates only the returned solution vector. Callers stage
+//! constraint rows directly via [`solve_staged`], which avoids
+//! materialising `LpProblem`/`Constraint` values entirely.
 
 use crate::{LpOutcome, LpProblem, LpSolution, EPS};
+use std::cell::RefCell;
 
 /// Feasibility tolerance for the phase-1 optimum (looser than [`EPS`] to
 /// absorb accumulated floating-point error over many pivots).
@@ -17,14 +29,67 @@ const FEAS_EPS: f64 = 1e-7;
 /// Minimum acceptable magnitude for a pivot element.
 const PIVOT_EPS: f64 = 1e-11;
 
-struct Tableau {
-    /// `rows[i][j]` — coefficient of column `j` in row `i` (`B⁻¹ A`).
-    rows: Vec<Vec<f64>>,
-    /// Right-hand sides (`B⁻¹ b`), kept non-negative.
+/// Reusable per-thread working memory for the solver.
+#[derive(Default)]
+struct Scratch {
+    /// Staged constraint coefficients, row-major `m × n`.
+    stage: Vec<f64>,
+    /// Staged right-hand sides, length `m`.
+    stage_rhs: Vec<f64>,
+    /// Tableau `B⁻¹ A`, row-major `m × ncols`.
+    tab: Vec<f64>,
+    /// `B⁻¹ b`, kept non-negative.
     rhs: Vec<f64>,
     /// Column index of the basic variable of each row.
     basis: Vec<usize>,
-    ncols: usize,
+    /// Rows that received an artificial variable.
+    art_rows: Vec<usize>,
+    /// Reduced-cost row.
+    z: Vec<f64>,
+    /// Cost vector of the current phase.
+    cost: Vec<f64>,
+    /// Columns excluded as reduced-cost noise (phase 1).
+    skipped: Vec<bool>,
+    /// Copy of the normalised pivot row during eliminations.
+    pivot_buf: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Staging area for constraint rows, borrowed from the per-thread scratch.
+///
+/// Rows are `a · x ≤ b`; [`RowStage::push_row_aug`] appends one extra
+/// trailing coefficient, which lets callers state augmented systems (e.g.
+/// Chebyshev-radius LPs over `[x | t]`) without building temporary rows.
+pub struct RowStage<'a> {
+    coeffs: &'a mut Vec<f64>,
+    rhs: &'a mut Vec<f64>,
+    num_vars: usize,
+}
+
+impl RowStage<'_> {
+    /// Number of decision variables rows must match.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Stages the constraint `a · x ≤ b`.
+    pub fn push_row(&mut self, a: &[f64], b: f64) {
+        debug_assert_eq!(a.len(), self.num_vars);
+        self.coeffs.extend_from_slice(a);
+        self.rhs.push(b);
+    }
+
+    /// Stages `a · x + extra · x_last ≤ b` where `a` covers all variables
+    /// but the last (an augmented system over `[x | t]`).
+    pub fn push_row_aug(&mut self, a: &[f64], extra: f64, b: f64) {
+        debug_assert_eq!(a.len() + 1, self.num_vars);
+        self.coeffs.extend_from_slice(a);
+        self.coeffs.push(extra);
+        self.rhs.push(b);
+    }
 }
 
 enum RunResult {
@@ -32,25 +97,53 @@ enum RunResult {
     Unbounded,
 }
 
-impl Tableau {
+/// Tableau view over scratch storage; `ncols` is the row stride.
+struct Tableau<'a> {
+    tab: &'a mut Vec<f64>,
+    rhs: &'a mut Vec<f64>,
+    basis: &'a mut Vec<usize>,
+    pivot_buf: &'a mut Vec<f64>,
+    ncols: usize,
+}
+
+impl Tableau<'_> {
+    fn num_rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.tab[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.tab[i * self.ncols..(i + 1) * self.ncols]
+    }
+
     fn pivot(&mut self, row: usize, col: usize, z: &mut [f64]) {
-        let pivot = self.rows[row][col];
+        let nc = self.ncols;
+        let pivot = self.tab[row * nc + col];
         debug_assert!(pivot.abs() > PIVOT_EPS);
         let inv = 1.0 / pivot;
-        for v in self.rows[row].iter_mut() {
+        for v in self.row_mut(row) {
             *v *= inv;
         }
         self.rhs[row] *= inv;
-        // Re-borrow trick: split the pivot row out to eliminate from others.
-        let pivot_row = std::mem::take(&mut self.rows[row]);
+        // Copy the normalised pivot row out so other rows can be eliminated
+        // against it without aliasing.
+        self.pivot_buf.clear();
+        self.pivot_buf
+            .extend_from_slice(&self.tab[row * nc..(row + 1) * nc]);
         let pivot_rhs = self.rhs[row];
-        for (i, r) in self.rows.iter_mut().enumerate() {
+        for i in 0..self.num_rows() {
             if i == row {
                 continue;
             }
-            let factor = r[col];
+            let factor = self.tab[i * nc + col];
             if factor.abs() > PIVOT_EPS {
-                for (v, pv) in r.iter_mut().zip(&pivot_row) {
+                let r = &mut self.tab[i * nc..(i + 1) * nc];
+                for (v, pv) in r.iter_mut().zip(self.pivot_buf.iter()) {
                     *v -= factor * pv;
                 }
                 r[col] = 0.0;
@@ -62,12 +155,11 @@ impl Tableau {
         }
         let factor = z[col];
         if factor.abs() > PIVOT_EPS {
-            for (v, pv) in z.iter_mut().zip(&pivot_row) {
+            for (v, pv) in z.iter_mut().zip(self.pivot_buf.iter()) {
                 *v -= factor * pv;
             }
             z[col] = 0.0;
         }
-        self.rows[row] = pivot_row;
         self.basis[row] = col;
     }
 
@@ -79,20 +171,29 @@ impl Tableau {
     /// entering column without a valid ratio row is then floating-point
     /// noise in the reduced costs and is skipped rather than reported as
     /// unbounded.
-    fn run(&mut self, cost: &[f64], bounded_objective: bool) -> RunResult {
+    fn run(
+        &mut self,
+        cost: &[f64],
+        bounded_objective: bool,
+        z: &mut Vec<f64>,
+        skipped: &mut Vec<bool>,
+    ) -> RunResult {
         // Reduced-cost row: z[j] = c_B · B⁻¹ A_j − c_j.
-        let mut z: Vec<f64> = cost.iter().map(|c| -c).collect();
-        for (i, &b) in self.basis.iter().enumerate() {
-            let cb = cost[b];
+        z.clear();
+        z.extend(cost.iter().map(|c| -c));
+        for i in 0..self.num_rows() {
+            let cb = cost[self.basis[i]];
             if cb != 0.0 {
-                for (zj, rj) in z.iter_mut().zip(&self.rows[i]) {
+                for (zj, rj) in z.iter_mut().zip(self.row(i)) {
                     *zj += cb * rj;
                 }
             }
         }
-        let bland_after = 200 + 20 * (self.rows.len() + self.ncols);
+        let bland_after = 200 + 20 * (self.num_rows() + self.ncols);
         let mut iter = 0usize;
-        let mut skipped: Vec<bool> = vec![false; self.ncols];
+        skipped.clear();
+        skipped.resize(self.ncols, false);
+        let mut any_skipped = false;
         loop {
             let use_bland = iter > bland_after;
             // Entering column: most negative reduced cost (Dantzig) or the
@@ -114,8 +215,8 @@ impl Tableau {
             // Ratio test; ties broken by smallest basis index (Bland-compatible).
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
-            for i in 0..self.rows.len() {
-                let coeff = self.rows[i][e];
+            for i in 0..self.num_rows() {
+                let coeff = self.tab[i * self.ncols + e];
                 if coeff > EPS {
                     let ratio = self.rhs[i] / coeff;
                     let better = ratio < best_ratio - EPS
@@ -132,16 +233,18 @@ impl Tableau {
                     // Impossible ray for a bounded objective: reduced-cost
                     // noise. Exclude the column and continue.
                     skipped[e] = true;
+                    any_skipped = true;
                     continue;
                 }
                 return RunResult::Unbounded;
             };
             // A pivot invalidates the noise exclusions (reduced costs are
             // recomputed implicitly through the eliminations).
-            if skipped.iter().any(|&s| s) {
+            if any_skipped {
                 skipped.fill(false);
+                any_skipped = false;
             }
-            self.pivot(r, e, &mut z);
+            self.pivot(r, e, z);
             iter += 1;
             assert!(
                 iter < 1_000_000,
@@ -160,12 +263,48 @@ impl Tableau {
 }
 
 pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
-    let n = problem.num_vars();
-    let m = problem.constraints.len();
+    solve_staged(&problem.objective, |stage| {
+        for con in &problem.constraints {
+            stage.push_row(&con.a, con.b);
+        }
+    })
+}
+
+/// Solves `maximize objective · x` subject to the rows staged by `fill`,
+/// using per-thread scratch memory (no steady-state allocation beyond the
+/// returned solution).
+pub(crate) fn solve_staged(objective: &[f64], fill: impl FnOnce(&mut RowStage)) -> LpOutcome {
+    SCRATCH.with(|cell| {
+        // Re-entrant callers (a `fill` that itself solves an LP) fall back
+        // to fresh scratch; the hot paths never do this.
+        match cell.try_borrow_mut() {
+            Ok(mut scratch) => solve_in(&mut scratch, objective, fill),
+            Err(_) => solve_in(&mut Scratch::default(), objective, fill),
+        }
+    })
+}
+
+fn solve_in(
+    scratch: &mut Scratch,
+    objective: &[f64],
+    fill: impl FnOnce(&mut RowStage),
+) -> LpOutcome {
+    let n = objective.len();
+    scratch.stage.clear();
+    scratch.stage_rhs.clear();
+    {
+        let mut stage = RowStage {
+            coeffs: &mut scratch.stage,
+            rhs: &mut scratch.stage_rhs,
+            num_vars: n,
+        };
+        fill(&mut stage);
+    }
+    let m = scratch.stage_rhs.len();
 
     // Trivial cases without constraints (or without variables).
     if m == 0 {
-        return if problem.objective.iter().all(|&c| c.abs() <= EPS) {
+        return if objective.iter().all(|&c| c.abs() <= EPS) {
             LpOutcome::Optimal(LpSolution {
                 x: vec![0.0; n],
                 value: 0.0,
@@ -176,7 +315,7 @@ pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
     }
     if n == 0 {
         // Constraints read `0 ≤ b`.
-        return if problem.constraints.iter().all(|c| c.b >= -EPS) {
+        return if scratch.stage_rhs.iter().all(|&b| b >= -EPS) {
             LpOutcome::Optimal(LpSolution {
                 x: vec![],
                 value: 0.0,
@@ -189,52 +328,56 @@ pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
     // Column layout: [u (n) | v (n) | slack (m) | artificial (n_art)].
     let slack0 = 2 * n;
     let art0 = slack0 + m;
-    let mut art_rows: Vec<usize> = Vec::new();
-    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut rhs: Vec<f64> = Vec::with_capacity(m);
-    for (i, con) in problem.constraints.iter().enumerate() {
-        let negate = con.b < 0.0;
+    scratch.art_rows.clear();
+    for (i, &b) in scratch.stage_rhs.iter().enumerate() {
+        if b < 0.0 {
+            scratch.art_rows.push(i);
+        }
+    }
+    let n_art = scratch.art_rows.len();
+    let ncols = art0 + n_art;
+
+    scratch.tab.clear();
+    scratch.tab.resize(m * ncols, 0.0);
+    scratch.rhs.clear();
+    scratch.basis.clear();
+    for i in 0..m {
+        let b = scratch.stage_rhs[i];
+        let negate = b < 0.0;
         let sign = if negate { -1.0 } else { 1.0 };
-        let mut row = vec![0.0; art0];
-        for (j, &aj) in con.a.iter().enumerate() {
+        let row = &mut scratch.tab[i * ncols..(i + 1) * ncols];
+        for (j, &aj) in scratch.stage[i * n..(i + 1) * n].iter().enumerate() {
             row[j] = sign * aj;
             row[n + j] = -sign * aj;
         }
         row[slack0 + i] = sign;
-        rows.push(row);
-        rhs.push(sign * con.b);
-        if negate {
-            art_rows.push(i);
-        }
+        scratch.rhs.push(sign * b);
+        scratch.basis.push(slack0 + i);
     }
-    let n_art = art_rows.len();
-    let ncols = art0 + n_art;
-    let mut basis = vec![0usize; m];
-    for row in rows.iter_mut() {
-        row.resize(ncols, 0.0);
-    }
-    for (i, b) in basis.iter_mut().enumerate() {
-        *b = slack0 + i;
-    }
-    for (k, &i) in art_rows.iter().enumerate() {
-        rows[i][art0 + k] = 1.0;
-        basis[i] = art0 + k;
+    for (k, &i) in scratch.art_rows.iter().enumerate() {
+        scratch.tab[i * ncols + art0 + k] = 1.0;
+        scratch.basis[i] = art0 + k;
     }
 
     let mut t = Tableau {
-        rows,
-        rhs,
-        basis,
+        tab: &mut scratch.tab,
+        rhs: &mut scratch.rhs,
+        basis: &mut scratch.basis,
+        pivot_buf: &mut scratch.pivot_buf,
         ncols,
     };
+    let z = &mut scratch.z;
+    let skipped = &mut scratch.skipped;
+    let cost = &mut scratch.cost;
 
     // Phase 1: drive artificials to zero.
     if n_art > 0 {
-        let mut cost = vec![0.0; ncols];
+        cost.clear();
+        cost.resize(ncols, 0.0);
         for c in cost.iter_mut().skip(art0) {
             *c = -1.0;
         }
-        match t.run(&cost, true) {
+        match t.run(cost, true, z, skipped) {
             RunResult::Unbounded => unreachable!("phase-1 objective is bounded above by 0"),
             RunResult::Optimal => {}
         }
@@ -244,18 +387,24 @@ pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
         }
         // Drive any degenerate artificial out of the basis, or drop its row.
         let mut i = 0;
-        while i < t.rows.len() {
+        while i < t.num_rows() {
             if t.basis[i] >= art0 {
-                let col = (0..art0).find(|&j| t.rows[i][j].abs() > 1e-9);
+                let col = (0..art0).find(|&j| t.tab[i * ncols + j].abs() > 1e-9);
                 match col {
                     Some(j) => {
-                        let mut dummy = vec![0.0; t.ncols];
-                        t.pivot(i, j, &mut dummy);
+                        z.clear();
+                        z.resize(ncols, 0.0);
+                        t.pivot(i, j, z);
                         i += 1;
                     }
                     None => {
-                        // Redundant row: remove it.
-                        t.rows.swap_remove(i);
+                        // Redundant row: remove it (move the last row in).
+                        let last = t.num_rows() - 1;
+                        if i != last {
+                            let (head, tail) = t.tab.split_at_mut(last * ncols);
+                            head[i * ncols..(i + 1) * ncols].copy_from_slice(&tail[..ncols]);
+                        }
+                        t.tab.truncate(last * ncols);
                         t.rhs.swap_remove(i);
                         t.basis.swap_remove(i);
                     }
@@ -264,20 +413,26 @@ pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
                 i += 1;
             }
         }
-        // Remove artificial columns.
-        for row in t.rows.iter_mut() {
-            row.truncate(art0);
+        // Remove artificial columns by compacting each row to `art0` wide.
+        let rows = t.num_rows();
+        for i in 0..rows {
+            for j in 0..art0 {
+                t.tab[i * art0 + j] = t.tab[i * ncols + j];
+            }
         }
+        t.tab.truncate(rows * art0);
         t.ncols = art0;
     }
 
     // Phase 2: the real objective over [u | v | slack].
-    let mut cost = vec![0.0; t.ncols];
-    for (j, &cj) in problem.objective.iter().enumerate() {
+    let ncols2 = t.ncols;
+    cost.clear();
+    cost.resize(ncols2, 0.0);
+    for (j, &cj) in objective.iter().enumerate() {
         cost[j] = cj;
         cost[n + j] = -cj;
     }
-    match t.run(&cost, false) {
+    match t.run(cost, false, z, skipped) {
         RunResult::Unbounded => LpOutcome::Unbounded,
         RunResult::Optimal => {
             let mut x = vec![0.0; n];
@@ -288,7 +443,7 @@ pub(crate) fn solve(problem: &LpProblem) -> LpOutcome {
                     x[b - n] -= t.rhs[i];
                 }
             }
-            let value = problem.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+            let value = objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
             LpOutcome::Optimal(LpSolution { x, value })
         }
     }
