@@ -5,9 +5,14 @@
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_rrpa -- \
-//!       [--seeds N] [--threads 1,4] [--out BENCH_rrpa.json] [--quick] \
+//!       [--space grid,pwl] [--seeds N] [--threads 1,4] \
+//!       [--out BENCH_rrpa.json] [--quick] \
 //!       [--baseline-note "text"] [--baseline FILE]
 //!
+//! * `--space` — comma-separated space backends to measure (default
+//!   `grid`). The `pwl` backend (Algorithms 2/3 verbatim) runs a smaller
+//!   1-parameter matrix — its piece-decomposition costs grow faster than
+//!   the grid backend's.
 //! * `--seeds` — random queries per configuration (default 5; medians are
 //!   reported).
 //! * `--threads` — comma-separated optimizer thread counts to measure
@@ -26,11 +31,14 @@
 //! (the parallel DP is deterministic); wall time is the only column that
 //! may change.
 
-use mpq_bench::harness::{baseline_json, record_medians, run_once, sweep_threads, BaselineEntry};
+use mpq_bench::harness::{
+    baseline_json, record_medians, run_once_in, sweep_threads, BaselineEntry, SpaceKind,
+};
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
 
 struct Args {
+    spaces: Vec<SpaceKind>,
     seeds: usize,
     threads: Vec<usize>,
     out: String,
@@ -42,7 +50,7 @@ struct Args {
 fn die(msg: &str) -> ! {
     eprintln!("bench_rrpa: {msg}");
     eprintln!(
-        "usage: bench_rrpa [--seeds N] [--threads N[,M...]] [--out PATH] \
+        "usage: bench_rrpa [--space grid[,pwl]] [--seeds N] [--threads N[,M...]] [--out PATH] \
          [--quick] [--baseline FILE] [--baseline-note TEXT]"
     );
     std::process::exit(2);
@@ -50,6 +58,7 @@ fn die(msg: &str) -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args {
+        spaces: vec![SpaceKind::Grid],
         seeds: 5,
         threads: vec![1, 4],
         out: "BENCH_rrpa.json".to_string(),
@@ -60,6 +69,18 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--space" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--space expects a comma-separated list"));
+                args.spaces = list
+                    .split(',')
+                    .map(|s| {
+                        SpaceKind::parse(s.trim())
+                            .unwrap_or_else(|| die("--space expects grid and/or pwl"))
+                    })
+                    .collect();
+            }
             "--seeds" => {
                 args.seeds = it
                     .next()
@@ -100,25 +121,34 @@ fn parse_args() -> Args {
     args
 }
 
-/// The measured workload matrix: the paper's heavy configurations, led by
-/// the 10-table chain / 2-parameter acceptance config.
-fn configs(quick: bool) -> Vec<(Topology, &'static str, usize, usize)> {
-    if quick {
-        vec![
+/// The measured workload matrix per space backend: the paper's heavy
+/// configurations for the grid backend (led by the 10-table chain /
+/// 2-parameter acceptance config) and the 1-parameter chain/star configs
+/// for the exact `pwl` backend.
+fn configs(space: SpaceKind, quick: bool) -> Vec<(Topology, &'static str, usize, usize)> {
+    match (space, quick) {
+        (SpaceKind::Grid, true) => vec![
             (Topology::Chain, "chain", 6, 2),
             (Topology::Star, "star", 5, 2),
-        ]
-    } else {
-        vec![
+        ],
+        (SpaceKind::Grid, false) => vec![
             (Topology::Chain, "chain", 10, 2),
             (Topology::Star, "star", 8, 2),
             (Topology::Chain, "chain", 10, 1),
             (Topology::Star, "star", 10, 1),
-        ]
+        ],
+        (SpaceKind::Pwl, true) => vec![(Topology::Chain, "chain", 4, 1)],
+        (SpaceKind::Pwl, false) => vec![
+            (Topology::Chain, "chain", 6, 1),
+            (Topology::Star, "star", 5, 1),
+            (Topology::Chain, "chain", 10, 1),
+            (Topology::Star, "star", 8, 1),
+        ],
     }
 }
 
 fn measure(
+    space: SpaceKind,
     topology: Topology,
     workload: &str,
     num_tables: usize,
@@ -130,17 +160,22 @@ fn measure(
     config.threads = Some(threads);
     let records: Vec<_> = (0..seeds)
         .map(|s| {
-            let r = run_once(num_tables, topology, num_params, s as u64, &config);
+            let r = run_once_in(space, num_tables, topology, num_params, s as u64, &config);
             eprintln!(
-                "  {workload} n={num_tables} p={num_params} t={threads} seed={s}: \
+                "  {} {workload} n={num_tables} p={num_params} t={threads} seed={s}: \
                  {:.0}ms plans={} lps={} final={}",
-                r.time_ms, r.plans_created, r.lps_solved, r.final_plans
+                space.name(),
+                r.time_ms,
+                r.plans_created,
+                r.lps_solved,
+                r.final_plans
             );
             r
         })
         .collect();
     let (median_time_ms, plans_created, lps_solved, final_plans) = record_medians(&records);
     BaselineEntry {
+        space: space.name().to_string(),
         workload: workload.to_string(),
         num_tables,
         num_params,
@@ -173,22 +208,38 @@ fn main() {
         die("--seeds must be at least 1");
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let space_list = args
+        .spaces
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     eprintln!(
-        "# bench_rrpa: seeds={} threads={:?} host_cores={cores}",
+        "# bench_rrpa: spaces={space_list} seeds={} threads={:?} host_cores={cores}",
         args.seeds, args.threads
     );
     let mut entries = Vec::new();
-    for (topology, workload, n, p) in configs(args.quick) {
-        for &t in &args.threads {
-            entries.push(measure(topology, workload, n, p, t, args.seeds));
+    for &space in &args.spaces {
+        for (topology, workload, n, p) in configs(space, args.quick) {
+            // The pwl backend is measured single-thread only: its matrix is
+            // sized for the exact path and thread counts change nothing but
+            // wall time (and the measurement rules are single-core anyway).
+            let threads: &[usize] = match space {
+                SpaceKind::Grid => &args.threads,
+                SpaceKind::Pwl => &[1],
+            };
+            for &t in threads {
+                entries.push(measure(space, topology, workload, n, p, t, args.seeds));
+            }
         }
     }
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "1".to_string()),
+        ("schema_version", "2".to_string()),
         (
             "command",
             format!(
-                "\"cargo run --release -p mpq-bench --bin bench_rrpa -- --seeds {} --threads {}\"",
+                "\"cargo run --release -p mpq-bench --bin bench_rrpa -- --space {space_list} \
+                 --seeds {} --threads {}\"",
                 args.seeds,
                 args.threads
                     .iter()

@@ -11,11 +11,40 @@ use mpq_catalog::generator::{generate, GeneratorConfig};
 use mpq_catalog::graph::Topology;
 use mpq_cloud::model::CloudCostModel;
 use mpq_core::grid_space::GridSpace;
+use mpq_core::pwl_space::PwlSpace;
 use mpq_core::rrpa::optimize;
 use mpq_core::OptimizerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+
+/// Which [`mpq_core::space::MpqSpace`] backend a benchmark run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceKind {
+    /// [`GridSpace`] — grid-aligned PWL-RRPA (the default).
+    Grid,
+    /// [`PwlSpace`] — the paper-faithful Algorithms 2/3 backend.
+    Pwl,
+}
+
+impl SpaceKind {
+    /// Parses a `--space` CLI value.
+    pub fn parse(s: &str) -> Option<SpaceKind> {
+        match s {
+            "grid" => Some(SpaceKind::Grid),
+            "pwl" => Some(SpaceKind::Pwl),
+            _ => None,
+        }
+    }
+
+    /// The CLI / JSON name of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpaceKind::Grid => "grid",
+            SpaceKind::Pwl => "pwl",
+        }
+    }
+}
 
 /// Metrics of a single optimization run (one random query).
 #[derive(Debug, Clone, Copy)]
@@ -39,19 +68,49 @@ pub fn run_once(
     seed: u64,
     config: &OptimizerConfig,
 ) -> RunRecord {
+    run_once_in(
+        SpaceKind::Grid,
+        num_tables,
+        topology,
+        num_params,
+        seed,
+        config,
+    )
+}
+
+/// Runs RRPA on one random query from the paper's generator setup, using
+/// the requested space backend.
+pub fn run_once_in(
+    kind: SpaceKind,
+    num_tables: usize,
+    topology: Topology,
+    num_params: usize,
+    seed: u64,
+    config: &OptimizerConfig,
+) -> RunRecord {
     let query = generate(
         &GeneratorConfig::paper(num_tables, topology, num_params),
         &mut StdRng::seed_from_u64(seed),
     );
     let model = CloudCostModel::default();
-    let space = GridSpace::for_unit_box(num_params, config, model_num_metrics(&model))
-        .expect("valid grid configuration");
-    let solution = optimize(&query, &model, &space, config);
+    let metrics = model_num_metrics(&model);
+    let solution_stats = match kind {
+        SpaceKind::Grid => {
+            let space = GridSpace::for_unit_box(num_params, config, metrics)
+                .expect("valid grid configuration");
+            optimize(&query, &model, &space, config).stats
+        }
+        SpaceKind::Pwl => {
+            let space = PwlSpace::for_unit_box(num_params, config, metrics)
+                .expect("valid grid configuration");
+            optimize(&query, &model, &space, config).stats
+        }
+    };
     RunRecord {
-        time_ms: solution.stats.elapsed.as_secs_f64() * 1e3,
-        plans_created: solution.stats.plans_created,
-        lps_solved: solution.stats.lps_solved,
-        final_plans: solution.stats.final_plan_count,
+        time_ms: solution_stats.elapsed.as_secs_f64() * 1e3,
+        plans_created: solution_stats.plans_created,
+        lps_solved: solution_stats.lps_solved,
+        final_plans: solution_stats.final_plan_count,
     }
 }
 
@@ -168,6 +227,8 @@ pub fn fig12_row(
 /// One measured configuration of the `BENCH_rrpa.json` baseline.
 #[derive(Debug, Clone)]
 pub struct BaselineEntry {
+    /// Space backend (`"grid"` / `"pwl"`).
+    pub space: String,
     /// Workload topology (`"chain"` / `"star"`).
     pub workload: String,
     /// Number of tables joined.
@@ -191,10 +252,12 @@ pub struct BaselineEntry {
 impl BaselineEntry {
     fn to_json(&self) -> String {
         format!(
-            "    {{\"workload\": \"{}\", \"num_tables\": {}, \"num_params\": {}, \
+            "    {{\"space\": \"{}\", \"workload\": \"{}\", \"num_tables\": {}, \
+             \"num_params\": {}, \
              \"optimizer_threads\": {}, \"median_time_ms\": {:.3}, \
              \"plans_created\": {:.0}, \"lps_solved\": {:.0}, \"final_plans\": {:.0}, \
              \"seeds\": {}}}",
+            self.space,
             self.workload,
             self.num_tables,
             self.num_params,
@@ -246,6 +309,24 @@ mod tests {
     }
 
     #[test]
+    fn pwl_backend_runs_and_is_deterministic() {
+        let config = OptimizerConfig::default_for(1);
+        let a = run_once_in(SpaceKind::Pwl, 2, Topology::Chain, 1, 3, &config);
+        let b = run_once_in(SpaceKind::Pwl, 2, Topology::Chain, 1, 3, &config);
+        assert_eq!(a.plans_created, b.plans_created);
+        assert_eq!(a.final_plans, b.final_plans);
+        assert!(a.final_plans > 0);
+    }
+
+    #[test]
+    fn space_kind_parses_cli_names() {
+        assert_eq!(SpaceKind::parse("grid"), Some(SpaceKind::Grid));
+        assert_eq!(SpaceKind::parse("pwl"), Some(SpaceKind::Pwl));
+        assert_eq!(SpaceKind::parse("exact"), None);
+        assert_eq!(SpaceKind::Pwl.name(), "pwl");
+    }
+
+    #[test]
     fn parallel_sweep_matches_serial() {
         let config = OptimizerConfig::default_for(1);
         let serial = fig12_row(3, Topology::Star, 1, 4, &config, 1);
@@ -263,6 +344,7 @@ mod tests {
     #[test]
     fn baseline_json_shape() {
         let entries = vec![BaselineEntry {
+            space: "grid".into(),
             workload: "chain".into(),
             num_tables: 10,
             num_params: 2,

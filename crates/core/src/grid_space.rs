@@ -13,178 +13,77 @@
 //!   per-simplex regions;
 //! * a relevance region is empty iff it is empty within every simplex.
 //!
-//! Because every cutout of a simplex shares that simplex's polytope,
-//! cutouts are stored as just their metric halfspaces (inline in a
-//! [`HalfspaceList`] — no heap traffic for the common one- and
-//! two-halfspace cutouts). That makes the §6.2 refinements cheap:
-//! redundant-constraint removal only examines the metric halfspaces (the
-//! simplex facets are already irredundant), and cutout-containment tests
-//! cost one LP per metric halfspace, solved directly over the shared
-//! simplex polytope plus borrowed extras ([`Polytope::max_linear_with`])
-//! without cloning any geometry. Emptiness verdicts are cached per simplex
-//! and only re-examined after new cutouts arrive.
+//! The cutout bookkeeping itself — inline halfspace lists sharing the
+//! simplex polytope, relevance points stored as probe indices, exact
+//! vertex fast paths for the §6.2 refinements with LP fallback only in the
+//! ambiguous band, margin-certified interior witnesses that keep emptiness
+//! checks free — lives in the shared
+//! [`mpq_geometry::region::RegionEngine`]; this space contributes one
+//! [`RegionBase`] per simplex (its polytope, vertices, and
+//! vertices-plus-centroid probe set) and the per-simplex fan-out.
 //!
-//! Relevance points (§6.2 refinement 3) are stored as *indices* into the
-//! simplex's vertices + centroid rather than copied coordinates, so
-//! entering the `Partial` state allocates nothing.
-//!
-//! The space is `Sync`: the LP context and the emptiness counters are
-//! atomic, so one `GridSpace` can serve all worker threads of a parallel
-//! RRPA run.
+//! The space is `Sync`: the LP context and the engine's emptiness counters
+//! are atomic, so one `GridSpace` can serve all worker threads of a
+//! parallel RRPA run.
 
 use crate::space::MpqSpace;
 use crate::OptimizerConfig;
-use mpq_cost::{DominanceHalfspaces, GridCost, HalfspaceList};
+use mpq_cost::{DominanceHalfspaces, GridCost};
 use mpq_geometry::grid::{GridError, ParamGrid};
-use mpq_geometry::{Halfspace, Polytope, TOL};
-use mpq_lp::{LpCtx, LpOutcome};
-use smallvec::SmallVec;
-use std::sync::atomic::{AtomicU64, Ordering};
+use mpq_geometry::{CutoutRegion, RegionBase, RegionEngine};
+use mpq_lp::LpCtx;
 use std::sync::Arc;
-
-/// One cutout within a simplex: the subtracted region is the simplex
-/// intersected with these halfspaces (the simplex polytope itself is
-/// shared and implied).
-#[derive(Debug, Clone)]
-struct Cutout {
-    halfspaces: HalfspaceList,
-}
-
-impl Cutout {
-    /// True iff `x` (already inside the simplex) lies strictly inside the
-    /// cutout's halfspaces. Open semantics: dominance-boundary points
-    /// (ties) are not considered removed.
-    fn strictly_contains(&self, x: &[f64]) -> bool {
-        self.halfspaces.iter().all(|h| h.slack(x) > TOL)
-    }
-
-    /// True iff `x` lies in the closed cutout.
-    fn contains(&self, x: &[f64]) -> bool {
-        self.halfspaces.iter().all(|h| h.contains(x))
-    }
-}
-
-/// Indices of surviving relevance points: `0..=dim` are simplex vertices,
-/// `dim + 1` is the centroid. Inline for every supported dimension
-/// ([`mpq_geometry::grid::MAX_DIM`] + 2 ≤ 8).
-type PointSet = SmallVec<[u8; 8]>;
-
-/// Where the ball of radius `TOL + WITNESS_MARGIN` around `w` sits in
-/// `cutout`'s worklist subdivision (scanning the cutout's halfspaces in
-/// order, as the coverage check's `subtract` does):
-///
-/// * `Some(true)` — the ball lies wholly in a cell *outside* the cutout
-///   (each halfspace cleared by the margin, the first outside-side one
-///   certifying avoidance);
-/// * `Some(false)` — the ball lies wholly inside the cutout;
-/// * `None` — a boundary straddles the ball, so the subdivision could
-///   slice it into sub-tolerance slivers that a coverage re-check would
-///   drop.
-///
-/// A witness certifies future non-emptiness verdicts only while every
-/// cutout places it at `Some(true)` — that keeps witness-based verdicts
-/// exactly consistent with re-running the piecewise coverage check.
-fn cell_placement(cutout: &Cutout, w: &[f64]) -> Option<bool> {
-    for h in &cutout.halfspaces {
-        let s = h.slack(w);
-        if s <= -(TOL + mpq_geometry::WITNESS_MARGIN) {
-            return Some(true);
-        }
-        if s < TOL + mpq_geometry::WITNESS_MARGIN {
-            return None;
-        }
-    }
-    Some(false)
-}
-
-/// Safety margin for the LP-free vertex fast paths: geometric queries
-/// whose decisive quantity sits within this distance of its tolerance
-/// threshold are answered by the LP solver instead, so fast-path verdicts
-/// can never disagree with solver verdicts (LP round-off is ≤ ~1e-7;
-/// the margin is an order of magnitude above it).
-const FASTPATH_MARGIN: f64 = 1e-6;
-
-/// Sound two-sided bounds on a region's linear maximum — see
-/// [`GridSpace::exact_region_max`] for which verdict each side certifies.
-#[derive(Default)]
-struct RegionMaxBounds {
-    /// Max over `-TOL`-inclusive candidates (`None` = region empty).
-    upper: Option<f64>,
-    /// Max over exactly feasible candidates (`None` = no certified point).
-    lower: Option<f64>,
-}
-
-impl RegionMaxBounds {
-    fn take(&mut self, value: f64, exactly_feasible: bool) {
-        self.upper = Some(self.upper.map_or(value, |b| b.max(value)));
-        if exactly_feasible {
-            self.lower = Some(self.lower.map_or(value, |b| b.max(value)));
-        }
-    }
-}
-
-/// Relevance-region state within one simplex.
-#[derive(Debug, Clone)]
-enum SimplexRegion {
-    /// The whole simplex is relevant.
-    Full,
-    /// The simplex minus the cutouts is relevant.
-    Partial {
-        cutouts: Vec<Cutout>,
-        /// Surviving relevance points (witnesses of non-emptiness),
-        /// as indices into the simplex's vertices + centroid.
-        points: PointSet,
-        /// Interior witness extracted from the last coverage check: the
-        /// centre of a ball of radius > `INTERIOR_TOL` inside the
-        /// remainder. Stays valid — and keeps emptiness checks free —
-        /// until some cutout contains it.
-        witness: Option<Vec<f64>>,
-        /// A completed coverage check proved the remainder non-empty and
-        /// no cutout has been added since (cached verdict).
-        verified_nonempty: bool,
-    },
-    /// Nothing of the simplex is relevant.
-    Empty,
-}
 
 /// A relevance region factorised over grid simplices.
 #[derive(Debug, Clone)]
 pub struct GridRegion {
-    per_simplex: Vec<SimplexRegion>,
-}
-
-impl GridRegion {
-    fn all_empty(&self) -> bool {
-        self.per_simplex
-            .iter()
-            .all(|s| matches!(s, SimplexRegion::Empty))
-    }
+    per_simplex: Vec<CutoutRegion>,
 }
 
 /// The grid-aligned PWL-RRPA space.
 pub struct GridSpace {
     grid: Arc<ParamGrid>,
     ctx: Arc<LpCtx>,
+    engine: RegionEngine,
+    /// One base region per simplex, in simplex-id order.
+    bases: Vec<RegionBase>,
     num_metrics: usize,
-    relevance_points: bool,
-    redundant_cutout_removal: bool,
-    redundant_constraint_removal: bool,
-    emptiness_checks: AtomicU64,
-    emptiness_skipped: AtomicU64,
 }
 
 impl GridSpace {
     /// Builds a space over an existing grid.
     pub fn new(grid: Arc<ParamGrid>, num_metrics: usize, config: &OptimizerConfig) -> Self {
+        let bases = grid
+            .simplices()
+            .iter()
+            .map(|s| {
+                // Probes are the simplex vertices plus the centroid — PWL
+                // functions interpolated on the grid are exact at the
+                // vertices, and the centroid is interior.
+                let mut probes = s.vertices.clone();
+                probes.push(s.centroid.clone());
+                RegionBase::new(
+                    s.polytope.clone(),
+                    s.vertices.clone(),
+                    probes,
+                    s.centroid.clone(),
+                )
+            })
+            .collect();
         Self {
             grid,
             ctx: Arc::new(LpCtx::new()),
+            // The 1-D interval fast paths stay off: the vertex fast paths
+            // already cover every query shape this space produces, and the
+            // committed LP-count trajectory stays bit-identical.
+            engine: RegionEngine::new(
+                config.relevance_points,
+                config.redundant_cutout_removal,
+                config.redundant_constraint_removal,
+                false,
+            ),
+            bases,
             num_metrics,
-            relevance_points: config.relevance_points,
-            redundant_cutout_removal: config.redundant_cutout_removal,
-            redundant_constraint_removal: config.redundant_constraint_removal,
-            emptiness_checks: AtomicU64::new(0),
-            emptiness_skipped: AtomicU64::new(0),
         }
     }
 
@@ -213,279 +112,7 @@ impl GridSpace {
 
     /// Emptiness checks executed / skipped via relevance points.
     pub fn emptiness_counters(&self) -> (u64, u64) {
-        (
-            self.emptiness_checks.load(Ordering::Relaxed),
-            self.emptiness_skipped.load(Ordering::Relaxed),
-        )
-    }
-
-    /// Initial relevance points of a simplex: its vertices plus centroid
-    /// (by index — nothing is copied).
-    fn initial_points(&self) -> PointSet {
-        if !self.relevance_points {
-            return PointSet::new();
-        }
-        (0..=(self.grid.dim() + 1) as u8).collect()
-    }
-
-    /// Coordinates of relevance point `idx` of `simplex`.
-    fn point_coords(&self, simplex: usize, idx: u8) -> &[f64] {
-        let s = self.grid.simplex(simplex);
-        let idx = idx as usize;
-        if idx <= self.grid.dim() {
-            &s.vertices[idx]
-        } else {
-            &s.centroid
-        }
-    }
-
-    /// Exact bounds on the maximum of `w · x` over `simplex ∩ extra`, by
-    /// enumerating the region's vertex set (a bounded polytope attains
-    /// linear maxima at vertices). Supported for at most one extra
-    /// halfspace in any dimension, and two extras in two dimensions —
-    /// which covers every cutout the two-metric workloads produce.
-    /// Returns `None` for unsupported shapes; otherwise
-    /// `Some(RegionMaxBounds)` with:
-    ///
-    /// * `upper` — max over candidates accepted with the inclusive `-TOL`
-    ///   slack threshold. A true region vertex is never missed and any
-    ///   overstatement is bounded by `TOL`, so `upper` soundly certifies
-    ///   **"covered"** verdicts (and `upper == None` certifies the region
-    ///   empty — the LP would report `Infeasible`).
-    /// * `lower` — max over candidates that are *exactly* feasible
-    ///   (slack ≥ 0), hence true region points: soundly certifies
-    ///   **"not covered"** verdicts. `None` when no candidate is exactly
-    ///   feasible (the region may still be a tolerance-band sliver, so
-    ///   nothing can be concluded in the "not covered" direction).
-    fn exact_region_max(
-        &self,
-        simplex: usize,
-        extra: &[Halfspace],
-        w: &[f64],
-    ) -> Option<RegionMaxBounds> {
-        use mpq_lp::dense::dot;
-        let s = self.grid.simplex(simplex);
-        let verts = &s.vertices;
-        let nv = verts.len();
-        let mut bounds = RegionMaxBounds::default();
-        match extra.len() {
-            0 => {
-                for v in verts {
-                    bounds.take(dot(w, v), true);
-                }
-            }
-            1 => {
-                let e = &extra[0];
-                let slacks: SmallVec<[f64; 8]> = verts.iter().map(|v| e.slack(v)).collect();
-                let values: SmallVec<[f64; 8]> = verts.iter().map(|v| dot(w, v)).collect();
-                for i in 0..nv {
-                    if slacks[i] >= -TOL {
-                        bounds.take(values[i], slacks[i] >= 0.0);
-                    }
-                }
-                // Edge crossings of the halfspace boundary (exactly on it).
-                for i in 0..nv {
-                    for j in (i + 1)..nv {
-                        if (slacks[i] > 0.0 && slacks[j] < 0.0)
-                            || (slacks[i] < 0.0 && slacks[j] > 0.0)
-                        {
-                            let t = slacks[i] / (slacks[i] - slacks[j]);
-                            bounds.take(values[i] + t * (values[j] - values[i]), true);
-                        }
-                    }
-                }
-            }
-            2 if self.grid.dim() == 2 => {
-                let (e1, e2) = (&extra[0], &extra[1]);
-                let s1: SmallVec<[f64; 8]> = verts.iter().map(|v| e1.slack(v)).collect();
-                let s2: SmallVec<[f64; 8]> = verts.iter().map(|v| e2.slack(v)).collect();
-                for i in 0..nv {
-                    if s1[i] >= -TOL && s2[i] >= -TOL {
-                        bounds.take(dot(w, &verts[i]), s1[i] >= 0.0 && s2[i] >= 0.0);
-                    }
-                }
-                // Edge crossings of either boundary that satisfy the other.
-                let mut edge_crossings = |sa: &[f64], other: &Halfspace| {
-                    for i in 0..nv {
-                        for j in (i + 1)..nv {
-                            if (sa[i] > 0.0 && sa[j] < 0.0) || (sa[i] < 0.0 && sa[j] > 0.0) {
-                                let t = sa[i] / (sa[i] - sa[j]);
-                                let p = [
-                                    verts[i][0] + t * (verts[j][0] - verts[i][0]),
-                                    verts[i][1] + t * (verts[j][1] - verts[i][1]),
-                                ];
-                                let other_slack = other.slack(&p);
-                                if other_slack >= -TOL {
-                                    bounds.take(dot(w, &p), other_slack >= 0.0);
-                                }
-                            }
-                        }
-                    }
-                };
-                edge_crossings(&s1, e2);
-                edge_crossings(&s2, e1);
-                // Intersection of the two boundaries, if inside the simplex.
-                let (n1, n2) = (e1.normal(), e2.normal());
-                let det = n1[0] * n2[1] - n1[1] * n2[0];
-                if det.abs() > 1e-12 {
-                    let p = [
-                        (e1.offset() * n2[1] - e2.offset() * n1[1]) / det,
-                        (n1[0] * e2.offset() - n2[0] * e1.offset()) / det,
-                    ];
-                    let min_slack = s
-                        .polytope
-                        .halfspaces()
-                        .iter()
-                        .map(|f| f.slack(&p))
-                        .fold(f64::INFINITY, f64::min);
-                    if min_slack >= -TOL {
-                        bounds.take(dot(w, &p), min_slack >= 0.0);
-                    }
-                }
-            }
-            _ => return None,
-        }
-        Some(bounds)
-    }
-
-    /// Maximum of `h.normal() · x` over `simplex ∩ extra`, compared to the
-    /// halfspace offset: true iff the halfspace contains that region.
-    ///
-    /// The exact vertex enumeration ([`Self::exact_region_max`]) answers
-    /// decisive queries without an LP, each verdict certified by the bound
-    /// that is sound for its direction; unsupported shapes and queries
-    /// within [`FASTPATH_MARGIN`] of the `offset + TOL` threshold — where
-    /// LP round-off could disagree — fall through to the solver.
-    fn halfspace_covers(&self, simplex: usize, extra: &[Halfspace], h: &Halfspace) -> bool {
-        if let Some(bounds) = self.exact_region_max(simplex, extra, h.normal()) {
-            match bounds.upper {
-                // Empty region: vacuously covered (the LP reports
-                // Infeasible).
-                None => return true,
-                Some(upper) if upper <= h.offset() + TOL - FASTPATH_MARGIN => return true,
-                _ => {}
-            }
-            if let Some(lower) = bounds.lower {
-                if lower > h.offset() + TOL + FASTPATH_MARGIN {
-                    return false;
-                }
-            }
-        }
-        let poly = &self.grid.simplex(simplex).polytope;
-        match poly.max_linear_with(&self.ctx, h.normal(), extra) {
-            LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
-            LpOutcome::Unbounded => false,
-            LpOutcome::Infeasible => true,
-        }
-    }
-
-    /// Adds a cutout (simplex ∩ halfspaces) to one simplex's region,
-    /// applying the configured refinements.
-    fn add_cutout(&self, state: &mut SimplexRegion, simplex: usize, mut halfspaces: HalfspaceList) {
-        debug_assert!(!halfspaces.is_empty());
-        // With several split metrics the intersection can be empty; one LP
-        // avoids accumulating junk cutouts. (A single proper split always
-        // has interior on both sides — its vertex classification saw both
-        // signs.) A ball certificate around a candidate interior point
-        // settles the common non-empty case without the LP: all normals
-        // are unit vectors, so a point with slack > r on every constraint
-        // admits an inscribed ball of radius r.
-        if halfspaces.len() >= 2 {
-            let s = self.grid.simplex(simplex);
-            // Only the centroid can certify: vertices sit on the facets.
-            let certified_nonempty = {
-                let r = s
-                    .polytope
-                    .halfspaces()
-                    .iter()
-                    .chain(&halfspaces)
-                    .map(|h| h.slack(&s.centroid))
-                    .fold(f64::INFINITY, f64::min);
-                r > mpq_geometry::INTERIOR_TOL + FASTPATH_MARGIN
-            };
-            if !certified_nonempty
-                && self
-                    .grid
-                    .simplex(simplex)
-                    .polytope
-                    .is_empty_with(&self.ctx, &halfspaces)
-            {
-                return;
-            }
-        }
-        // §6.2 refinement 1 (targeted): the simplex facets are already
-        // irredundant, so only metric halfspaces can be redundant against
-        // the simplex + the other halfspaces. The candidate is popped off
-        // the list, so "the others" are simply the remaining entries — no
-        // scratch copies.
-        if self.redundant_constraint_removal && halfspaces.len() >= 2 {
-            let mut i = 0;
-            while i < halfspaces.len() && halfspaces.len() > 1 {
-                let candidate = halfspaces.remove(i);
-                if self.halfspace_covers(simplex, &halfspaces, &candidate) {
-                    // Redundant: leave it out.
-                } else {
-                    halfspaces.insert(i, candidate);
-                    i += 1;
-                }
-            }
-        }
-        let cutout = Cutout { halfspaces };
-        let (cutouts, points, witness, verified) = match state {
-            SimplexRegion::Empty => return,
-            SimplexRegion::Full => {
-                *state = SimplexRegion::Partial {
-                    cutouts: Vec::with_capacity(4),
-                    points: self.initial_points(),
-                    witness: None,
-                    verified_nonempty: false,
-                };
-                match state {
-                    SimplexRegion::Partial {
-                        cutouts,
-                        points,
-                        witness,
-                        verified_nonempty,
-                    } => (cutouts, points, witness, verified_nonempty),
-                    _ => unreachable!(),
-                }
-            }
-            SimplexRegion::Partial {
-                cutouts,
-                points,
-                witness,
-                verified_nonempty,
-            } => (cutouts, points, witness, verified_nonempty),
-        };
-        // §6.2 refinement 2: drop cutouts covered by another cutout.
-        // Containment between cutouts of one simplex only needs the metric
-        // halfspaces of the candidate container.
-        if self.redundant_cutout_removal {
-            let covers = |a: &Cutout, b: &Cutout| -> bool {
-                a.halfspaces
-                    .iter()
-                    .all(|h| self.halfspace_covers(simplex, &b.halfspaces, h))
-            };
-            if cutouts.iter().any(|c| covers(c, &cutout)) {
-                return;
-            }
-            cutouts.retain(|c| !covers(&cutout, c));
-        }
-        points.retain(|&mut p| !cutout.contains(self.point_coords(simplex, p)));
-        // The witness stays valid only while its margin ball lands
-        // wholly inside an *outside-the-cutout* cell of the new cutout's
-        // subdivision; anything else (straddled boundary, covered) could
-        // make a re-run coverage check — which tests decomposition
-        // pieces individually — reach a different verdict, so the
-        // witness is dropped and the next emptiness query runs for real.
-        if witness
-            .as_ref()
-            .is_some_and(|w| cell_placement(&cutout, w) != Some(true))
-        {
-            *witness = None;
-        }
-        cutouts.push(cutout);
-        *verified = false;
+        self.engine.emptiness_counters()
     }
 }
 
@@ -519,7 +146,7 @@ impl MpqSpace for GridSpace {
 
     fn full_region(&self) -> GridRegion {
         GridRegion {
-            per_simplex: vec![SimplexRegion::Full; self.grid.num_simplices()],
+            per_simplex: vec![CutoutRegion::Full; self.grid.num_simplices()],
         }
     }
 
@@ -532,17 +159,23 @@ impl MpqSpace for GridSpace {
     ) -> bool {
         let mut changed = false;
         for s in 0..self.grid.num_simplices() {
-            if matches!(region.per_simplex[s], SimplexRegion::Empty) {
+            if region.per_simplex[s].is_marked_empty() {
                 continue;
             }
             match competitor.dominance_halfspaces(own, s, strict) {
                 DominanceHalfspaces::Empty => {}
                 DominanceHalfspaces::Full => {
-                    region.per_simplex[s] = SimplexRegion::Empty;
+                    region.per_simplex[s].mark_empty();
                     changed = true;
                 }
                 DominanceHalfspaces::Split(halfspaces) => {
-                    self.add_cutout(&mut region.per_simplex[s], s, halfspaces);
+                    self.engine.add_cutout(
+                        &self.ctx,
+                        &self.bases[s],
+                        &mut region.per_simplex[s],
+                        halfspaces,
+                        false,
+                    );
                     changed = true;
                 }
             }
@@ -551,68 +184,12 @@ impl MpqSpace for GridSpace {
     }
 
     fn region_is_empty(&self, region: &mut GridRegion) -> bool {
-        if region.all_empty() {
-            return true;
-        }
         for s in 0..region.per_simplex.len() {
-            match &mut region.per_simplex[s] {
-                SimplexRegion::Empty => {}
-                SimplexRegion::Full => return false,
-                SimplexRegion::Partial {
-                    cutouts,
-                    points,
-                    witness,
-                    verified_nonempty,
-                } => {
-                    if self.relevance_points && !points.is_empty() {
-                        // A surviving relevance point proves non-emptiness.
-                        self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
-                        return false;
-                    }
-                    if witness.is_some() {
-                        // The interior witness of the last coverage check
-                        // is uncovered by every cutout added since.
-                        self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
-                        return false;
-                    }
-                    if *verified_nonempty {
-                        // Nothing was subtracted since the last check.
-                        self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
-                        return false;
-                    }
-                    self.emptiness_checks.fetch_add(1, Ordering::Relaxed);
-                    let simplex_poly = &self.grid.simplex(s).polytope;
-                    let polys: Vec<Polytope> = cutouts
-                        .iter()
-                        .map(|c| {
-                            let mut p = simplex_poly.clone();
-                            for h in &c.halfspaces {
-                                p.push(h.clone());
-                            }
-                            p
-                        })
-                        .collect();
-                    match mpq_geometry::difference_witness(&self.ctx, simplex_poly, &polys) {
-                        mpq_geometry::DifferenceWitness::Empty => {
-                            region.per_simplex[s] = SimplexRegion::Empty;
-                        }
-                        mpq_geometry::DifferenceWitness::NonEmpty(w) => {
-                            // Trust the witness for future skips only if
-                            // its ball sits wholly inside one cell of
-                            // every existing cutout's subdivision (see
-                            // `ball_in_one_cell` in `add_cutout`): the
-                            // worklist's miss fast path lets a piece
-                            // penetrate a cutout by a sub-tolerance cap,
-                            // so creation-time placement must be
-                            // re-certified against all cutouts.
-                            *witness = w.filter(|w| {
-                                cutouts.iter().all(|c| cell_placement(c, w) == Some(true))
-                            });
-                            *verified_nonempty = true;
-                            return false;
-                        }
-                    }
-                }
+            if !self
+                .engine
+                .region_is_empty(&self.ctx, &self.bases[s], &mut region.per_simplex[s])
+            {
+                return false;
             }
         }
         true
@@ -628,13 +205,7 @@ impl MpqSpace for GridSpace {
         // membership holds if ANY containing simplex grants it. Cutouts use
         // open (strict) containment so that dominance-boundary points —
         // where the competitor merely ties — stay members.
-        let check = |s: usize| match &region.per_simplex[s] {
-            SimplexRegion::Full => true,
-            SimplexRegion::Empty => false,
-            SimplexRegion::Partial { cutouts, .. } => {
-                !cutouts.iter().any(|c| c.strictly_contains(x))
-            }
-        };
+        let check = |s: usize| region.per_simplex[s].contains(x);
         let located = self.grid.locate(x);
         if check(located) {
             return true;

@@ -6,40 +6,45 @@
 //! (Algorithm 3, `AccumulateCost`), dominance regions come from
 //! `Dom` (Algorithm 3), and relevance regions are **globally** tracked as
 //! the complement of a cutout list (Figure 8). `IsEmpty` follows
-//! Algorithm 2: the union of cutouts is tested for convexity with the
-//! Bemporad–Fukuda–Torrisi procedure and, if convex, compared against the
-//! parameter space with a polytope-containment check.
+//! Algorithm 2: the region is empty iff the cutout union covers the
+//! parameter space — decided by the shared
+//! [`mpq_geometry::region::RegionEngine`]'s piecewise coverage check,
+//! which coincides with the paper's Bemporad–Fukuda–Torrisi formulation
+//! because dominance cutouts are contained in the parameter space (the
+//! union covers X iff it *equals* X, in which case it is convex and the
+//! BFT envelope is X itself).
 //!
 //! This space is the faithful rendition of the paper's §6 pseudo-code. It
 //! is asymptotically slower than [`crate::grid_space::GridSpace`] (piece
-//! counts multiply under accumulation), so it is used for the paper's
-//! hand-crafted examples, for small queries, and for differential testing
-//! against the grid space.
+//! counts multiply under accumulation and cutouts are global), but it
+//! shares the engine's witness points, relevance-point indices, and exact
+//! fast paths — and a **probe set cached at construction** (grid vertices
+//! plus simplex centroids) backs both `StD` equality testing and the
+//! initial relevance points — so the paper's 1-parameter chain and star
+//! workloads run end-to-end, giving real grid-vs-exact differential
+//! coverage at scale.
 
 use crate::space::MpqSpace;
 use crate::OptimizerConfig;
 use mpq_cost::{approx, MultiCostFn};
 use mpq_geometry::grid::{GridError, ParamGrid};
-use mpq_geometry::{union_convex_polytope, Polytope};
+use mpq_geometry::{Cutout, CutoutRegion, HalfspaceList, RegionBase, RegionEngine};
 use mpq_lp::LpCtx;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A relevance region as the complement of a set of convex cutouts
-/// (Theorem 4 of the paper).
+/// (Theorem 4 of the paper), tracked by the shared region engine over the
+/// whole parameter box.
 #[derive(Debug, Clone)]
 pub struct PwlRegion {
-    cutouts: Vec<Polytope>,
-    /// Surviving relevance points (§6.2 refinement 3).
-    points: Vec<Vec<f64>>,
-    /// Cached verdict of a successful emptiness check.
-    known_empty: bool,
+    state: CutoutRegion,
 }
 
 impl PwlRegion {
-    /// The cutouts subtracted so far.
-    pub fn cutouts(&self) -> &[Polytope] {
-        &self.cutouts
+    /// The cutouts subtracted so far (halfspaces relative to the parameter
+    /// box).
+    pub fn cutouts(&self) -> &[Cutout] {
+        self.state.cutouts()
     }
 }
 
@@ -47,30 +52,45 @@ impl PwlRegion {
 pub struct PwlSpace {
     grid: Arc<ParamGrid>,
     ctx: Arc<LpCtx>,
-    x_poly: Polytope,
+    engine: RegionEngine,
+    /// The parameter box with its corners and the cached probe set (grid
+    /// vertices + simplex centroids), shared by every region.
+    base: RegionBase,
     num_metrics: usize,
-    relevance_points: bool,
-    redundant_cutout_removal: bool,
-    redundant_constraint_removal: bool,
-    emptiness_checks: AtomicU64,
-    emptiness_skipped: AtomicU64,
 }
 
 impl PwlSpace {
     /// Builds a space over an existing grid (the grid provides the lifting
-    /// triangulation and relevance points; cutouts are global).
+    /// triangulation and the probe set; cutouts are global).
     pub fn new(grid: Arc<ParamGrid>, num_metrics: usize, config: &OptimizerConfig) -> Self {
-        let x_poly = grid.box_polytope();
+        // Probe set, computed once: PWL functions lifted on the grid are
+        // exact at the vertices, and the centroids probe every simplex's
+        // interior. Backs `probably_identical` and the initial relevance
+        // points of every region.
+        let mut probes = grid.vertex_points();
+        probes.extend(grid.simplices().iter().map(|s| s.centroid.clone()));
+        let corners = mpq_geometry::grid::lattice(grid.lo(), grid.hi(), 2);
+        let center: Vec<f64> = grid
+            .lo()
+            .iter()
+            .zip(grid.hi())
+            .map(|(l, h)| (l + h) / 2.0)
+            .collect();
+        let base = RegionBase::new(grid.box_polytope(), corners, probes, center);
         Self {
             grid,
             ctx: Arc::new(LpCtx::new()),
-            x_poly,
+            // The exact 1-D interval paths are on: general cutouts carry
+            // piece-region constraints, which the vertex fast paths (≤ 2
+            // extras) cannot cover.
+            engine: RegionEngine::new(
+                config.relevance_points,
+                config.redundant_cutout_removal,
+                config.redundant_constraint_removal,
+                true,
+            ),
+            base,
             num_metrics,
-            relevance_points: config.relevance_points,
-            redundant_cutout_removal: config.redundant_cutout_removal,
-            redundant_constraint_removal: config.redundant_constraint_removal,
-            emptiness_checks: AtomicU64::new(0),
-            emptiness_skipped: AtomicU64::new(0),
         }
     }
 
@@ -92,32 +112,22 @@ impl PwlSpace {
 
     /// Emptiness checks executed / skipped via relevance points.
     pub fn emptiness_counters(&self) -> (u64, u64) {
-        (
-            self.emptiness_checks.load(Ordering::Relaxed),
-            self.emptiness_skipped.load(Ordering::Relaxed),
-        )
+        self.engine.emptiness_counters()
     }
 
-    /// Probe-set equality test backing strict (`StD`) subtraction.
+    /// Probe-set equality test backing strict (`StD`) subtraction, over
+    /// the probe set cached at construction.
     fn probably_identical(&self, a: &MultiCostFn, b: &MultiCostFn) -> bool {
-        let mut probes = self.grid.vertex_points();
-        probes.extend(self.grid.simplices().iter().map(|s| s.centroid.clone()));
-        probes.iter().all(|p| match (a.eval(p), b.eval(p)) {
-            (Some(va), Some(vb)) => va
-                .iter()
-                .zip(&vb)
-                .all(|(x, y)| (x - y).abs() <= 1e-9 + 1e-12 * x.abs().max(y.abs())),
-            _ => false,
-        })
-    }
-
-    fn initial_points(&self) -> Vec<Vec<f64>> {
-        if !self.relevance_points {
-            return Vec::new();
-        }
-        let mut pts = self.grid.vertex_points();
-        pts.extend(self.grid.simplices().iter().map(|s| s.centroid.clone()));
-        pts
+        self.base
+            .probes()
+            .iter()
+            .all(|p| match (a.eval(p), b.eval(p)) {
+                (Some(va), Some(vb)) => va
+                    .iter()
+                    .zip(&vb)
+                    .all(|(x, y)| (x - y).abs() <= 1e-9 + 1e-12 * x.abs().max(y.abs())),
+                _ => false,
+            })
     }
 }
 
@@ -148,14 +158,13 @@ impl MpqSpace for PwlSpace {
 
     fn full_region(&self) -> PwlRegion {
         PwlRegion {
-            cutouts: Vec::new(),
-            points: self.initial_points(),
-            known_empty: false,
+            state: CutoutRegion::Full,
         }
     }
 
     /// `SubtractPolys` of Algorithm 2: dominance polytopes are added as
-    /// cutouts (Figure 10), with the §6.2 refinements applied.
+    /// cutouts (Figure 10), with the §6.2 refinements applied by the
+    /// shared engine.
     fn subtract_dominated(
         &self,
         region: &mut PwlRegion,
@@ -163,7 +172,7 @@ impl MpqSpace for PwlSpace {
         competitor: &MultiCostFn,
         strict: bool,
     ) -> bool {
-        if region.known_empty {
+        if region.state.is_marked_empty() {
             return false;
         }
         // StD semantics for retained plans: if the two functions agree on
@@ -177,56 +186,39 @@ impl MpqSpace for PwlSpace {
         if dom.is_empty() {
             return false;
         }
-        for mut poly in dom {
-            if self.redundant_constraint_removal {
-                poly = poly.remove_redundant(&self.ctx);
+        for poly in dom {
+            if region.state.is_marked_empty() {
+                break;
             }
-            if self.redundant_cutout_removal {
-                if region
-                    .cutouts
-                    .iter()
-                    .any(|c| c.contains_polytope(&self.ctx, &poly))
-                {
-                    continue;
-                }
-                region
-                    .cutouts
-                    .retain(|c| !poly.contains_polytope(&self.ctx, c));
+            let halfspaces: HalfspaceList = poly.halfspaces().iter().cloned().collect();
+            if halfspaces.is_empty() {
+                // An unconstrained dominance polytope covers the whole
+                // parameter space.
+                region.state.mark_empty();
+                continue;
             }
-            region.points.retain(|p| !poly.contains_point(p));
-            region.cutouts.push(poly);
+            // Algorithm 3 already verified the polytope has interior, so
+            // the engine skips its emptiness precheck.
+            self.engine
+                .add_cutout(&self.ctx, &self.base, &mut region.state, halfspaces, true);
         }
         true
     }
 
     /// `IsEmpty` of Algorithm 2: the region is empty iff the union of its
-    /// cutouts is convex (Bemporad–Fukuda–Torrisi) **and** the resulting
-    /// polytope covers the parameter space.
+    /// cutouts covers the parameter space (see the module docs for why the
+    /// engine's coverage check coincides with the paper's BFT
+    /// formulation). Relevance points, margin-certified witnesses and
+    /// cached verdicts keep repeat checks free.
     fn region_is_empty(&self, region: &mut PwlRegion) -> bool {
-        if region.known_empty {
-            return true;
-        }
-        if region.cutouts.is_empty() {
-            return false;
-        }
-        if self.relevance_points && !region.points.is_empty() {
-            self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
-        self.emptiness_checks.fetch_add(1, Ordering::Relaxed);
-        if let Some(union) = union_convex_polytope(&self.ctx, &region.cutouts) {
-            if union.contains_polytope(&self.ctx, &self.x_poly) {
-                region.known_empty = true;
-                return true;
-            }
-        }
-        false
+        self.engine
+            .region_is_empty(&self.ctx, &self.base, &mut region.state)
     }
 
     fn region_contains(&self, region: &PwlRegion, x: &[f64]) -> bool {
         // Cutouts are open for membership: dominance-boundary points (ties)
         // remain members.
-        !region.known_empty && !region.cutouts.iter().any(|c| c.strictly_contains_point(x))
+        region.state.contains(x)
     }
 
     fn lps_solved(&self) -> u64 {
@@ -259,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn emptiness_via_bft_union() {
+    fn emptiness_via_joint_coverage() {
         let space = space_1d();
         // Two competitors covering [0, 0.6] and [0.5, 1] respectively.
         let own = space.lift(&|_x: &[f64]| vec![1.0, 1.0]);
@@ -294,6 +286,17 @@ mod tests {
     }
 
     #[test]
+    fn strict_subtraction_keeps_identical_costs() {
+        let space = space_1d();
+        let a = space.lift(&|x: &[f64]| vec![x[0] + 1.0, 2.0]);
+        let b = space.lift(&|x: &[f64]| vec![x[0] + 1.0, 2.0]);
+        let mut rr = space.full_region();
+        assert!(!space.subtract_dominated(&mut rr, &a, &b, true));
+        assert!(!space.region_is_empty(&mut rr));
+        assert!(space.region_contains(&rr, &[0.5]));
+    }
+
+    #[test]
     fn add_matches_pointwise_sum() {
         let space = space_1d();
         let a = space.lift(&|x: &[f64]| vec![x[0], 1.0]);
@@ -304,5 +307,20 @@ mod tests {
             assert!((v[0] - 3.0 * x).abs() < 1e-9);
             assert!((v[1] - 4.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn repeated_emptiness_checks_are_cached() {
+        let space = space_1d();
+        let own = space.lift(&|_x: &[f64]| vec![1.0, 1.0]);
+        let left = space.lift(&|x: &[f64]| vec![2.0 * x[0], 2.0 * x[0]]);
+        let mut rr = space.full_region();
+        space.subtract_dominated(&mut rr, &own, &left, false);
+        assert!(!space.region_is_empty(&mut rr));
+        let (checks_before, _) = space.emptiness_counters();
+        assert!(!space.region_is_empty(&mut rr));
+        let (checks_after, skipped) = space.emptiness_counters();
+        assert_eq!(checks_before, checks_after, "verdict should be cached");
+        assert!(skipped > 0);
     }
 }

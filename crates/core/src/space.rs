@@ -7,7 +7,11 @@
 //! operations the algorithm needs; the three implementations
 //! ([`crate::grid_space::GridSpace`], [`crate::pwl_space::PwlSpace`],
 //! [`crate::sampled::SampledSpace`]) realise PWL-RRPA in two variants and
-//! the generic RRPA respectively.
+//! the generic RRPA respectively. The two PWL variants differ only in
+//! their cost representation and region granularity — the
+//! cutout/witness/emptiness machinery behind `subtract_dominated` and
+//! `region_is_empty` is one shared implementation, the
+//! [`mpq_geometry::region::RegionEngine`].
 //!
 //! # Ties and strictness
 //!

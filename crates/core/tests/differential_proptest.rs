@@ -1,0 +1,117 @@
+//! Property-based differential tests between the two PWL backends.
+//!
+//! [`GridSpace`] (grid-aligned PWL-RRPA) and [`PwlSpace`] (Algorithms 2/3
+//! verbatim with general piece decompositions and global cutouts) realise
+//! the same algorithm on the same lifted cost functions, so on any query
+//! they must retain the same plans: equal candidate counts, equal final
+//! Pareto-set sizes, plan-for-plan equal cost functions, and agreeing
+//! relevance-region membership at sampled parameter points.
+
+use mpq_catalog::generator::{generate, GeneratorConfig};
+use mpq_catalog::graph::Topology;
+use mpq_cloud::model::{CloudCostModel, ParametricCostModel};
+use mpq_core::grid_space::GridSpace;
+use mpq_core::pwl_space::PwlSpace;
+use mpq_core::rrpa::optimize;
+use mpq_core::space::MpqSpace;
+use mpq_core::OptimizerConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // Each case runs two full optimizations; the exact backend is the
+    // costly one, so the case count is modest but the queries vary in
+    // size, topology, shape and seed.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grid_and_pwl_backends_retain_the_same_plans(
+        num_tables in 2usize..=4,
+        topo in 0usize..=1,
+        seed in 0u64..1000,
+    ) {
+        let topology = if topo == 1 { Topology::Star } else { Topology::Chain };
+        let query = generate(
+            &GeneratorConfig::paper(num_tables, topology, 1),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let model = CloudCostModel::default();
+        // A coarser grid keeps the exact backend's piece algebra small
+        // while still splitting most dominance comparisons.
+        let config = OptimizerConfig {
+            grid_resolution: 4,
+            ..OptimizerConfig::default_for(1)
+        };
+        let grid_space = GridSpace::for_unit_box(1, &config, model.num_metrics()).expect("grid");
+        let grid_sol = optimize(&query, &model, &grid_space, &config);
+        let pwl_space = PwlSpace::for_unit_box(1, &config, model.num_metrics()).expect("grid");
+        let pwl_sol = optimize(&query, &model, &pwl_space, &config);
+
+        // Identical enumeration and identical pruning verdicts.
+        prop_assert_eq!(grid_sol.stats.plans_created, pwl_sol.stats.plans_created);
+        prop_assert_eq!(grid_sol.plans.len(), pwl_sol.plans.len(),
+            "final Pareto-set sizes diverged (seed {})", seed);
+
+        // Plan-for-plan: same cost functions (the retained sets come out
+        // in the same candidate order when every verdict agrees) and
+        // agreeing region membership at sampled parameter points.
+        let sample_xs: Vec<f64> = (0..=16).map(|i| i as f64 / 16.0).collect();
+        for (i, (g, p)) in grid_sol.plans.iter().zip(&pwl_sol.plans).enumerate() {
+            for &xv in &sample_xs {
+                let x = [xv];
+                let gc = grid_space.eval(&g.cost, &x);
+                let pc = pwl_space.eval(&p.cost, &x);
+                for (a, b) in gc.iter().zip(&pc) {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs())),
+                        "plan {} cost diverged at {}: {} vs {}", i, xv, a, b
+                    );
+                }
+                // Membership verdicts agree away from cutout boundaries;
+                // exactly on a dominance boundary the two backends may
+                // resolve the measure-zero tie differently, so disagreeing
+                // points must at least be covered by *some* retained plan
+                // in both solutions (the PPS guarantee).
+                let in_grid = grid_space.region_contains(&g.region, &x);
+                let in_pwl = pwl_space.region_contains(&p.region, &x);
+                if in_grid != in_pwl {
+                    let grid_any = grid_sol.plans.iter()
+                        .any(|q| grid_space.region_contains(&q.region, &x));
+                    let pwl_any = pwl_sol.plans.iter()
+                        .any(|q| pwl_space.region_contains(&q.region, &x));
+                    prop_assert!(grid_any && pwl_any,
+                        "membership diverged at {} and left the point uncovered", xv);
+                }
+            }
+        }
+
+        // Whole-solution membership: at every sample, the *set* of
+        // relevant plan indices must agree between the backends.
+        for &xv in &sample_xs {
+            let x = [xv];
+            let grid_rel: Vec<usize> = grid_sol.plans.iter().enumerate()
+                .filter(|(_, p)| grid_space.region_contains(&p.region, &x))
+                .map(|(i, _)| i)
+                .collect();
+            let pwl_rel: Vec<usize> = pwl_sol.plans.iter().enumerate()
+                .filter(|(_, p)| pwl_space.region_contains(&p.region, &x))
+                .map(|(i, _)| i)
+                .collect();
+            // Compare frontiers instead of raw index sets: membership at
+            // tie boundaries is representation-dependent, but the Pareto
+            // frontier offered to the user must coincide.
+            let gf: Vec<Vec<f64>> = grid_rel.iter()
+                .map(|&i| grid_space.eval(&grid_sol.plans[i].cost, &x))
+                .collect();
+            let pf: Vec<Vec<f64>> = pwl_rel.iter()
+                .map(|&i| pwl_space.eval(&pwl_sol.plans[i].cost, &x))
+                .collect();
+            prop_assert!(
+                mpq_core::pareto::covers_frontier(&gf, &pf, 1e-6)
+                    && mpq_core::pareto::covers_frontier(&pf, &gf, 1e-6),
+                "relevant-plan frontiers diverged at {}", xv
+            );
+        }
+    }
+}

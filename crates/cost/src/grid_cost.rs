@@ -67,9 +67,11 @@ pub enum SimplexDominance {
     Partial(Polytope),
 }
 
-/// Inline capacity for per-simplex halfspace lists: the paper's workloads
-/// have two metrics, so cutouts almost never exceed two halfspaces.
-pub type HalfspaceList = SmallVec<[Halfspace; 2]>;
+/// Inline halfspace list for per-simplex dominance constraints — the
+/// shared region engine's cutout representation ([`mpq_geometry::region`]),
+/// re-exported so dominance classification hands its halfspaces to the
+/// engine without conversion.
+pub use mpq_geometry::HalfspaceList;
 
 /// Halfspace-level form of [`SimplexDominance`]: the dominance region is
 /// the simplex intersected with the carried halfspaces. Storing only the

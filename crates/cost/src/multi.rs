@@ -65,6 +65,13 @@ impl MultiCostFn {
     /// `reg₁ ∩ reg₂ ∩ {(w₁ − w₂) · x ≤ b₂ − b₁}`; the per-metric polytope
     /// sets are then intersected combinatorially (line 56 of Algorithm 3).
     /// Empty-interior members are dropped throughout.
+    ///
+    /// Emptiness pruning is borrow-based (constraints are staged into the
+    /// LP directly, nothing is materialised for pairs that die) and takes
+    /// the exact one-dimensional fast path
+    /// ([`Polytope::intersection_is_empty`]) first, so grid-aligned piece
+    /// decompositions — where almost every cross pair is empty — prune
+    /// without solving LPs.
     pub fn dominance_regions(&self, other: &MultiCostFn, ctx: &LpCtx) -> Vec<Polytope> {
         debug_assert_eq!(self.num_metrics(), other.num_metrics());
         let dim = self.dim();
@@ -73,18 +80,19 @@ impl MultiCostFn {
             let mut polys = Vec::new();
             for p1 in mine.pieces() {
                 for p2 in theirs.pieces() {
-                    let r = p1.region.intersect(&p2.region);
-                    if r.is_empty(ctx) {
+                    if p1.region.intersection_is_empty(ctx, &p2.region) {
                         continue;
                     }
                     let d = p1.f.sub(&p2.f);
                     match Halfspace::new(d.w.clone(), -d.b) {
-                        HalfspaceKind::AlwaysTrue => polys.push(r),
+                        HalfspaceKind::AlwaysTrue => {
+                            polys.push(p1.region.intersect_dedup(&p2.region))
+                        }
                         HalfspaceKind::AlwaysFalse => {}
                         HalfspaceKind::Proper(h) => {
-                            let dom = r.with(h);
-                            if !dom.is_empty(ctx) {
-                                polys.push(dom);
+                            let r = p1.region.intersect_dedup(&p2.region);
+                            if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&h)) {
+                                polys.push(r.with(h));
                             }
                         }
                     }
@@ -102,9 +110,8 @@ impl MultiCostFn {
             let mut next = Vec::with_capacity(acc.len() * polys.len());
             for a in &acc {
                 for p in polys {
-                    let r = a.intersect(p);
-                    if !r.is_empty(ctx) {
-                        next.push(r);
+                    if !a.intersection_is_empty(ctx, p) {
+                        next.push(a.intersect_dedup(p));
                     }
                 }
             }

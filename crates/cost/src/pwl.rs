@@ -143,17 +143,16 @@ impl PwlFn {
                 }],
                 HalfspaceKind::Proper(h) => {
                     let mut out = Vec::with_capacity(2);
-                    let above = r.with(h.clone());
-                    if !above.is_empty(ctx) {
+                    if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&h)) {
                         out.push(LinearPiece {
-                            region: above,
+                            region: r.with(h.clone()),
                             f: upper.clone(),
                         });
                     }
-                    let below = r.with(h.complement());
-                    if !below.is_empty(ctx) {
+                    let hc = h.complement();
+                    if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&hc)) {
                         out.push(LinearPiece {
-                            region: below,
+                            region: r.with(hc),
                             f: lower.clone(),
                         });
                     }
@@ -173,9 +172,11 @@ impl PwlFn {
         let mut pieces = Vec::with_capacity(self.pieces.len().max(other.pieces.len()));
         for p1 in &self.pieces {
             for p2 in &other.pieces {
-                let r = p1.region.intersect(&p2.region);
-                if !r.is_empty(ctx) {
-                    pieces.extend(make(r, &p1.f, &p2.f));
+                // Borrow-based emptiness (with the exact 1-D fast path)
+                // before materialising: aligned decompositions kill almost
+                // every cross pair here, without LPs or clones.
+                if !p1.region.intersection_is_empty(ctx, &p2.region) {
+                    pieces.extend(make(p1.region.intersect_dedup(&p2.region), &p1.f, &p2.f));
                 }
             }
         }

@@ -13,6 +13,15 @@
 //! other `Pⱼ`. Every `Pᵢ` lies inside the envelope, hence so does the
 //! union, and the envelope is convex. The union is convex **iff**
 //! `envelope ∖ ⋃ᵢ Pᵢ` is empty — in which case the envelope *is* the union.
+//!
+//! The optimizer's `IsEmpty` no longer calls this module directly: both
+//! PWL backends route emptiness through the shared
+//! [`crate::region::RegionEngine`], whose coverage check
+//! ([`crate::difference_witness`]) gives the same verdict because
+//! relevance-region cutouts are contained in the parameter space — their
+//! union covers the space iff it *equals* it, in which case it is convex
+//! and the BFT envelope is the space itself. The procedure stays exported
+//! for general unions (and is property-tested against point sampling).
 
 use crate::{difference_is_empty, Polytope, TOL};
 use mpq_lp::{LpCtx, LpOutcome};

@@ -38,11 +38,15 @@ mod convexity;
 mod difference;
 pub mod grid;
 mod polytope;
+pub mod region;
 
 pub use convexity::{envelope, union_convex_polytope};
 pub use difference::{
     difference_is_empty, difference_witness, subtract, union_covers, DifferenceWitness,
     WITNESS_MARGIN,
+};
+pub use region::{
+    Cutout, CutoutRegion, HalfspaceList, ProbeSet, RegionBase, RegionEngine, FASTPATH_MARGIN,
 };
 
 use mpq_lp::EPS;

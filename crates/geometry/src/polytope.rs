@@ -1,6 +1,7 @@
-//! LP-backed predicates and transformations on [`Polytope`].
+//! LP-backed predicates and transformations on [`Polytope`], plus exact
+//! one-dimensional fast paths that answer decisive queries without an LP.
 
-use crate::{Halfspace, Polytope, INTERIOR_TOL, TOL};
+use crate::{Halfspace, Polytope, FASTPATH_MARGIN, INTERIOR_TOL, TOL};
 use mpq_lp::{LpCtx, LpOutcome};
 use smallvec::SmallVec;
 
@@ -8,6 +9,91 @@ use smallvec::SmallVec;
 type ObjBuf = SmallVec<[f64; 8]>;
 
 impl Polytope {
+    /// Exact interval `[lo, hi]` of a one-dimensional polytope intersected
+    /// with `extra` (normals are unit, so every constraint is `x ≤ b` or
+    /// `−x ≤ b` exactly; unbounded sides are infinite).
+    ///
+    /// # Panics
+    /// Debug-asserts `dim == 1`.
+    #[inline]
+    pub(crate) fn interval_1d(&self, extra: &[Halfspace]) -> (f64, f64) {
+        debug_assert_eq!(self.dim(), 1);
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for h in self.halfspaces.iter().chain(extra) {
+            if h.normal()[0] > 0.0 {
+                hi = hi.min(h.offset());
+            } else {
+                lo = lo.max(-h.offset());
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Exact fast path for [`Polytope::is_empty_with`]: `Some(verdict)`
+    /// when the verdict is certain without an LP, `None` when the query is
+    /// unsupported (dimension > 1) or the inscribed radius sits within the
+    /// ambiguous band around [`INTERIOR_TOL`] where LP round-off could
+    /// disagree.
+    ///
+    /// The empty-side margin is tight (`1e-9`): the interval arithmetic is
+    /// exact and the Chebyshev LP on these two-variable problems resolves
+    /// far below it, so exactly-adjacent regions (radius 0) — the dominant
+    /// case in piecewise cost algebra — are answered for free.
+    #[inline]
+    pub fn quick_is_empty_with(&self, extra: &[Halfspace]) -> Option<bool> {
+        if self.is_trivially_empty() {
+            return Some(true);
+        }
+        if self.dim() != 1 {
+            return None;
+        }
+        let (lo, hi) = self.interval_1d(extra);
+        let radius = (hi - lo) / 2.0; // may be infinite (unbounded sides)
+        if radius <= INTERIOR_TOL - 1e-9 {
+            Some(true)
+        } else if radius > INTERIOR_TOL + FASTPATH_MARGIN {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// [`Polytope::is_empty_with`] behind the exact fast path: only
+    /// ambiguous or unsupported queries reach the LP solver. Callers on
+    /// LP-count-stable paths (the grid backend) use `is_empty_with`
+    /// directly instead.
+    #[inline]
+    pub fn is_empty_with_fastpath(&self, ctx: &LpCtx, extra: &[Halfspace]) -> bool {
+        self.quick_is_empty_with(extra)
+            .unwrap_or_else(|| self.is_empty_with(ctx, extra))
+    }
+
+    /// True iff `self ∩ other` has empty interior, without materialising
+    /// the intersection and — in one dimension — usually without an LP.
+    #[inline]
+    pub fn intersection_is_empty(&self, ctx: &LpCtx, other: &Polytope) -> bool {
+        if self.is_trivially_empty() || other.is_trivially_empty() {
+            return true;
+        }
+        self.is_empty_with_fastpath(ctx, other.halfspaces())
+    }
+
+    /// Intersection of two polytopes, skipping constraints of `other` that
+    /// are exactly present in `self` (piecewise cost algebra intersects
+    /// many regions sharing identical rows; duplicates only slow every
+    /// downstream predicate).
+    pub fn intersect_dedup(&self, other: &Polytope) -> Polytope {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut out = self.clone();
+        for h in other.halfspaces() {
+            if !out.halfspaces.contains(h) {
+                out.halfspaces.push(h.clone());
+            }
+        }
+        out.trivially_empty |= other.trivially_empty;
+        out
+    }
     /// Maximizes `w · x` over the polytope.
     pub fn max_linear(&self, ctx: &LpCtx, w: &[f64]) -> LpOutcome {
         self.max_linear_with(ctx, w, &[])
@@ -159,6 +245,17 @@ impl Polytope {
             }
             kept.retain(|k| !h.implies(k));
             kept.push(h.clone());
+        }
+        // One dimension is fully resolved syntactically: all normals are
+        // ±1, so at most the tightest bound per direction survives, and
+        // the LP pass never removes either of an opposite-direction pair
+        // (maximising one over the other alone is unbounded).
+        if self.dim == 1 {
+            return Polytope {
+                dim: self.dim,
+                halfspaces: kept,
+                trivially_empty: false,
+            };
         }
         // LP pass: maximize the constraint's normal over the others
         // (staged directly — no intermediate polytope).

@@ -1,0 +1,836 @@
+//! The shared region engine: cutout bookkeeping, relevance points,
+//! interior witnesses, and emptiness decisions over a convex base region.
+//!
+//! Both PWL backends of the optimizer track relevance regions as a convex
+//! **base** region minus a list of convex **cutouts** (Theorem 4 of the
+//! MPQ paper). The grid-aligned space keeps one such state per grid
+//! simplex (base = the simplex; every cutout is the simplex intersected
+//! with at most one halfspace per metric, Theorem 2). The general space
+//! keeps one global state (base = the whole parameter box; cutouts are
+//! the dominance polytopes of Algorithm 3). This module is the single
+//! audited implementation of "subtract a dominance polytope and decide
+//! emptiness" shared by both:
+//!
+//! * cutouts are stored as just their **extra halfspaces** relative to the
+//!   base (inline in a [`HalfspaceList`] — no heap traffic for the common
+//!   one- and two-halfspace cutouts, and the base polytope is never
+//!   cloned per cutout);
+//! * the §6.2 refinements (redundant-constraint and redundant-cutout
+//!   removal) are answered by **exact vertex-enumeration fast paths**
+//!   over the base's known vertex set whenever the decisive margin clears
+//!   [`FASTPATH_MARGIN`]; only ambiguous-band queries reach the LP solver
+//!   ([`Polytope::max_linear_with`], staged and borrow-based);
+//! * relevance points (§6.2 refinement 3) are stored as **indices** into a
+//!   probe set owned by the base, so shrinking a region allocates nothing;
+//! * emptiness runs the piecewise coverage check
+//!   ([`crate::difference_witness`]) and extracts a margin-certified
+//!   **interior witness** that keeps later checks free until a cutout
+//!   actually covers it. For cutouts contained in the base — true for
+//!   both backends — this verdict coincides with the paper's Algorithm 2
+//!   (Bemporad–Fukuda–Torrisi convexity of the cutout union followed by a
+//!   containment test): the union covers the base iff it *equals* the
+//!   base, in which case it is convex.
+
+use crate::{Halfspace, Polytope, INTERIOR_TOL, TOL, WITNESS_MARGIN};
+use mpq_lp::{dense::dot, LpCtx, LpOutcome};
+use smallvec::SmallVec;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Inline storage for cutout halfspace lists: two-metric workloads almost
+/// never produce cutouts with more than two extra halfspaces over a grid
+/// simplex (general dominance polytopes spill to the heap transparently).
+pub type HalfspaceList = SmallVec<[Halfspace; 2]>;
+
+/// Surviving relevance points, as indices into the base's probe set.
+/// Inline for the grid backend's `dim + 2` probes per simplex; the general
+/// backend's global probe sets spill to the heap once per region.
+pub type ProbeSet = SmallVec<[u16; 8]>;
+
+/// Safety margin for the LP-free fast paths: geometric queries whose
+/// decisive quantity sits within this distance of its tolerance threshold
+/// are answered by the LP solver instead, so fast-path verdicts can never
+/// disagree with solver verdicts (LP round-off is ≤ ~1e-7; the margin is
+/// an order of magnitude above it).
+pub const FASTPATH_MARGIN: f64 = 1e-6;
+
+/// A convex base region with the exact metadata the engine's fast paths
+/// need: the vertex set (linear functionals attain extrema there), an
+/// interior point for inscribed-ball certificates, and the probe set that
+/// seeds relevance points.
+#[derive(Debug, Clone)]
+pub struct RegionBase {
+    polytope: Polytope,
+    vertices: Vec<Vec<f64>>,
+    probes: Vec<Vec<f64>>,
+    interior: Vec<f64>,
+}
+
+impl RegionBase {
+    /// Builds a base region.
+    ///
+    /// `vertices` must be the exact vertex set of `polytope` (used by the
+    /// LP-free fast paths), `interior` an interior point (used for ball
+    /// certificates — a centroid works), and `probes` the relevance-point
+    /// candidates (at most `u16::MAX` of them).
+    pub fn new(
+        polytope: Polytope,
+        vertices: Vec<Vec<f64>>,
+        probes: Vec<Vec<f64>>,
+        interior: Vec<f64>,
+    ) -> Self {
+        debug_assert!(vertices.iter().all(|v| v.len() == polytope.dim()));
+        debug_assert!(probes.iter().all(|p| p.len() == polytope.dim()));
+        debug_assert_eq!(interior.len(), polytope.dim());
+        debug_assert!(probes.len() <= u16::MAX as usize);
+        Self {
+            polytope,
+            vertices,
+            probes,
+            interior,
+        }
+    }
+
+    /// The base polytope.
+    pub fn polytope(&self) -> &Polytope {
+        &self.polytope
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.polytope.dim()
+    }
+
+    /// The probe (relevance-point candidate) coordinates.
+    pub fn probes(&self) -> &[Vec<f64>] {
+        &self.probes
+    }
+
+    /// Coordinates of probe `idx`.
+    #[inline]
+    fn probe(&self, idx: u16) -> &[f64] {
+        &self.probes[idx as usize]
+    }
+}
+
+/// One cutout: the subtracted region is the base intersected with these
+/// halfspaces (the base polytope itself is shared and implied).
+#[derive(Debug, Clone)]
+pub struct Cutout {
+    halfspaces: HalfspaceList,
+}
+
+impl Cutout {
+    /// The extra halfspaces over the base.
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    /// True iff `x` (already inside the base) lies strictly inside the
+    /// cutout's halfspaces. Open semantics: dominance-boundary points
+    /// (ties) are not considered removed.
+    #[inline]
+    fn strictly_contains(&self, x: &[f64]) -> bool {
+        self.halfspaces.iter().all(|h| h.slack(x) > TOL)
+    }
+
+    /// True iff `x` lies in the closed cutout.
+    #[inline]
+    fn contains(&self, x: &[f64]) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(x))
+    }
+}
+
+/// Where the ball of radius `TOL + WITNESS_MARGIN` around `w` sits in
+/// `cutout`'s worklist subdivision (scanning the cutout's halfspaces in
+/// order, as the coverage check's `subtract` does):
+///
+/// * `Some(true)` — the ball lies wholly in a cell *outside* the cutout
+///   (each halfspace cleared by the margin, the first outside-side one
+///   certifying avoidance);
+/// * `Some(false)` — the ball lies wholly inside the cutout;
+/// * `None` — a boundary straddles the ball, so the subdivision could
+///   slice it into sub-tolerance slivers that a coverage re-check would
+///   drop.
+///
+/// A witness certifies future non-emptiness verdicts only while every
+/// cutout places it at `Some(true)` — that keeps witness-based verdicts
+/// exactly consistent with re-running the piecewise coverage check.
+#[inline]
+fn cell_placement(cutout: &Cutout, w: &[f64]) -> Option<bool> {
+    for h in &cutout.halfspaces {
+        let s = h.slack(w);
+        if s <= -(TOL + WITNESS_MARGIN) {
+            return Some(true);
+        }
+        if s < TOL + WITNESS_MARGIN {
+            return None;
+        }
+    }
+    Some(false)
+}
+
+/// Sound two-sided bounds on a region's linear maximum — see
+/// [`RegionEngine::exact_region_max`] for which verdict each side
+/// certifies.
+#[derive(Default)]
+struct RegionMaxBounds {
+    /// Max over `-TOL`-inclusive candidates (`None` = region empty).
+    upper: Option<f64>,
+    /// Max over exactly feasible candidates (`None` = no certified point).
+    lower: Option<f64>,
+}
+
+impl RegionMaxBounds {
+    #[inline]
+    fn take(&mut self, value: f64, exactly_feasible: bool) {
+        self.upper = Some(self.upper.map_or(value, |b| b.max(value)));
+        if exactly_feasible {
+            self.lower = Some(self.lower.map_or(value, |b| b.max(value)));
+        }
+    }
+}
+
+/// Relevance-region state over one base.
+#[derive(Debug, Clone)]
+pub enum CutoutRegion {
+    /// The whole base is relevant.
+    Full,
+    /// The base minus the cutouts is relevant.
+    Partial {
+        /// The subtracted cutouts.
+        cutouts: Vec<Cutout>,
+        /// Surviving relevance points (witnesses of non-emptiness), as
+        /// indices into the base's probe set.
+        points: ProbeSet,
+        /// Interior witness extracted from the last coverage check: the
+        /// centre of a ball of radius > `INTERIOR_TOL` inside the
+        /// remainder. Stays valid — and keeps emptiness checks free —
+        /// until some cutout contains it.
+        witness: Option<Vec<f64>>,
+        /// A completed coverage check proved the remainder non-empty and
+        /// no cutout has been added since (cached verdict).
+        verified_nonempty: bool,
+    },
+    /// Nothing of the base is relevant.
+    Empty,
+}
+
+impl CutoutRegion {
+    /// True iff the region is known to be empty.
+    #[inline]
+    pub fn is_marked_empty(&self) -> bool {
+        matches!(self, CutoutRegion::Empty)
+    }
+
+    /// Marks the region empty without any geometry.
+    #[inline]
+    pub fn mark_empty(&mut self) {
+        *self = CutoutRegion::Empty;
+    }
+
+    /// The cutouts subtracted so far (empty for `Full` and `Empty`).
+    pub fn cutouts(&self) -> &[Cutout] {
+        match self {
+            CutoutRegion::Partial { cutouts, .. } => cutouts,
+            _ => &[],
+        }
+    }
+
+    /// True iff `x` (a point of the base) belongs to the region. Cutouts
+    /// are open for membership: dominance-boundary points (ties) remain
+    /// members.
+    #[inline]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        match self {
+            CutoutRegion::Full => true,
+            CutoutRegion::Empty => false,
+            CutoutRegion::Partial { cutouts, .. } => {
+                !cutouts.iter().any(|c| c.strictly_contains(x))
+            }
+        }
+    }
+}
+
+/// The shared cutout/witness/emptiness machinery. One engine serves all
+/// regions of an optimization run; it is `Sync` (the LP context is shared
+/// by reference and the emptiness counters are atomic), so worker threads
+/// of a parallel RRPA run use one engine concurrently.
+#[derive(Debug)]
+pub struct RegionEngine {
+    /// §6.2 refinement 3: keep relevance points, skip emptiness checks
+    /// while any survives.
+    relevance_points: bool,
+    /// §6.2 refinement 2: drop cutouts covered by another cutout.
+    redundant_cutout_removal: bool,
+    /// §6.2 refinement 1: drop cutout halfspaces implied by the base and
+    /// the cutout's other halfspaces.
+    redundant_constraint_removal: bool,
+    /// Answer one-dimensional queries by exact interval arithmetic for any
+    /// number of extra halfspaces (the vertex fast paths handle at most
+    /// two). Off for the grid backend to keep its committed LP-count
+    /// trajectory bit-identical; on for the general backend.
+    exact_intervals_1d: bool,
+    emptiness_checks: AtomicU64,
+    emptiness_skipped: AtomicU64,
+}
+
+impl RegionEngine {
+    /// Builds an engine with the given refinement switches.
+    pub fn new(
+        relevance_points: bool,
+        redundant_cutout_removal: bool,
+        redundant_constraint_removal: bool,
+        exact_intervals_1d: bool,
+    ) -> Self {
+        Self {
+            relevance_points,
+            redundant_cutout_removal,
+            redundant_constraint_removal,
+            exact_intervals_1d,
+            emptiness_checks: AtomicU64::new(0),
+            emptiness_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Emptiness checks executed / skipped via relevance points, witnesses
+    /// and cached verdicts.
+    pub fn emptiness_counters(&self) -> (u64, u64) {
+        (
+            self.emptiness_checks.load(Ordering::Relaxed),
+            self.emptiness_skipped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Initial relevance points of a base: all its probes (by index —
+    /// nothing is copied).
+    #[inline]
+    fn initial_points(&self, base: &RegionBase) -> ProbeSet {
+        if !self.relevance_points {
+            return ProbeSet::new();
+        }
+        (0..base.probes.len() as u16).collect()
+    }
+
+    /// Exact bounds on the maximum of `w · x` over `base ∩ extra`, by
+    /// enumerating the region's vertex set (a bounded polytope attains
+    /// linear maxima at vertices). Supported for at most one extra
+    /// halfspace in any dimension, two extras in two dimensions, and —
+    /// with [`Self::exact_intervals_1d`] — any number of extras in one
+    /// dimension. Returns `None` for unsupported shapes; otherwise
+    /// `Some(RegionMaxBounds)` with:
+    ///
+    /// * `upper` — max over candidates accepted with the inclusive `-TOL`
+    ///   slack threshold. A true region vertex is never missed and any
+    ///   overstatement is bounded by `TOL`, so `upper` soundly certifies
+    ///   **"covered"** verdicts (and `upper == None` certifies the region
+    ///   empty — the LP would report `Infeasible`).
+    /// * `lower` — max over candidates that are *exactly* feasible
+    ///   (slack ≥ 0), hence true region points: soundly certifies
+    ///   **"not covered"** verdicts. `None` when no candidate is exactly
+    ///   feasible (the region may still be a tolerance-band sliver, so
+    ///   nothing can be concluded in the "not covered" direction).
+    #[inline]
+    fn exact_region_max(
+        &self,
+        base: &RegionBase,
+        extra: &[Halfspace],
+        w: &[f64],
+    ) -> Option<RegionMaxBounds> {
+        let verts = &base.vertices;
+        let nv = verts.len();
+        let mut bounds = RegionMaxBounds::default();
+        match extra.len() {
+            0 => {
+                for v in verts {
+                    bounds.take(dot(w, v), true);
+                }
+            }
+            1 => {
+                let e = &extra[0];
+                let slacks: SmallVec<[f64; 8]> = verts.iter().map(|v| e.slack(v)).collect();
+                let values: SmallVec<[f64; 8]> = verts.iter().map(|v| dot(w, v)).collect();
+                for i in 0..nv {
+                    if slacks[i] >= -TOL {
+                        bounds.take(values[i], slacks[i] >= 0.0);
+                    }
+                }
+                // Edge crossings of the halfspace boundary (exactly on it).
+                for i in 0..nv {
+                    for j in (i + 1)..nv {
+                        if (slacks[i] > 0.0 && slacks[j] < 0.0)
+                            || (slacks[i] < 0.0 && slacks[j] > 0.0)
+                        {
+                            let t = slacks[i] / (slacks[i] - slacks[j]);
+                            bounds.take(values[i] + t * (values[j] - values[i]), true);
+                        }
+                    }
+                }
+            }
+            2 if base.dim() == 2 => {
+                let (e1, e2) = (&extra[0], &extra[1]);
+                let s1: SmallVec<[f64; 8]> = verts.iter().map(|v| e1.slack(v)).collect();
+                let s2: SmallVec<[f64; 8]> = verts.iter().map(|v| e2.slack(v)).collect();
+                for i in 0..nv {
+                    if s1[i] >= -TOL && s2[i] >= -TOL {
+                        bounds.take(dot(w, &verts[i]), s1[i] >= 0.0 && s2[i] >= 0.0);
+                    }
+                }
+                // Edge crossings of either boundary that satisfy the other.
+                let mut edge_crossings = |sa: &[f64], other: &Halfspace| {
+                    for i in 0..nv {
+                        for j in (i + 1)..nv {
+                            if (sa[i] > 0.0 && sa[j] < 0.0) || (sa[i] < 0.0 && sa[j] > 0.0) {
+                                let t = sa[i] / (sa[i] - sa[j]);
+                                let p = [
+                                    verts[i][0] + t * (verts[j][0] - verts[i][0]),
+                                    verts[i][1] + t * (verts[j][1] - verts[i][1]),
+                                ];
+                                let other_slack = other.slack(&p);
+                                if other_slack >= -TOL {
+                                    bounds.take(dot(w, &p), other_slack >= 0.0);
+                                }
+                            }
+                        }
+                    }
+                };
+                edge_crossings(&s1, e2);
+                edge_crossings(&s2, e1);
+                // Intersection of the two boundaries, if inside the base.
+                let (n1, n2) = (e1.normal(), e2.normal());
+                let det = n1[0] * n2[1] - n1[1] * n2[0];
+                if det.abs() > 1e-12 {
+                    let p = [
+                        (e1.offset() * n2[1] - e2.offset() * n1[1]) / det,
+                        (n1[0] * e2.offset() - n2[0] * e1.offset()) / det,
+                    ];
+                    let min_slack = base
+                        .polytope
+                        .halfspaces()
+                        .iter()
+                        .map(|f| f.slack(&p))
+                        .fold(f64::INFINITY, f64::min);
+                    if min_slack >= -TOL {
+                        bounds.take(dot(w, &p), min_slack >= 0.0);
+                    }
+                }
+            }
+            _ if self.exact_intervals_1d && base.dim() == 1 => {
+                let (lo, hi) = base.polytope.interval_1d(extra);
+                if lo > hi + FASTPATH_MARGIN {
+                    // Certainly empty: leave `upper` at None.
+                } else if hi >= lo {
+                    // The exact feasible interval: both endpoints are true
+                    // region points. Unbounded sides fall back to the LP
+                    // (never the case for optimizer bases, which are
+                    // bounded boxes and simplices).
+                    if !lo.is_finite() || !hi.is_finite() {
+                        return None;
+                    }
+                    bounds.take(w[0] * lo, true);
+                    bounds.take(w[0] * hi, true);
+                } else {
+                    // Tolerance-band sliver: ambiguous, use the LP.
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+        Some(bounds)
+    }
+
+    /// Maximum of `h.normal() · x` over `base ∩ extra`, compared to the
+    /// halfspace offset: true iff the halfspace contains that region.
+    ///
+    /// The exact enumeration ([`Self::exact_region_max`]) answers decisive
+    /// queries without an LP, each verdict certified by the bound that is
+    /// sound for its direction; unsupported shapes and queries within
+    /// [`FASTPATH_MARGIN`] of the `offset + TOL` threshold — where LP
+    /// round-off could disagree — fall through to the solver.
+    #[inline]
+    fn halfspace_covers(
+        &self,
+        ctx: &LpCtx,
+        base: &RegionBase,
+        extra: &[Halfspace],
+        h: &Halfspace,
+    ) -> bool {
+        if let Some(bounds) = self.exact_region_max(base, extra, h.normal()) {
+            match bounds.upper {
+                // Empty region: vacuously covered (the LP reports
+                // Infeasible).
+                None => return true,
+                Some(upper) if upper <= h.offset() + TOL - FASTPATH_MARGIN => return true,
+                _ => {}
+            }
+            if let Some(lower) = bounds.lower {
+                if lower > h.offset() + TOL + FASTPATH_MARGIN {
+                    return false;
+                }
+            }
+        }
+        match base.polytope.max_linear_with(ctx, h.normal(), extra) {
+            LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
+            LpOutcome::Unbounded => false,
+            LpOutcome::Infeasible => true,
+        }
+    }
+
+    /// Adds a cutout (base ∩ halfspaces) to a region, applying the
+    /// configured refinements. `known_nonempty` skips the emptiness
+    /// precheck when the caller has already verified the cutout has
+    /// interior (as Algorithm 3's dominance-region construction does).
+    #[inline]
+    pub fn add_cutout(
+        &self,
+        ctx: &LpCtx,
+        base: &RegionBase,
+        state: &mut CutoutRegion,
+        mut halfspaces: HalfspaceList,
+        known_nonempty: bool,
+    ) {
+        debug_assert!(!halfspaces.is_empty());
+        if state.is_marked_empty() {
+            return;
+        }
+        // With several extra halfspaces the intersection can be empty; one
+        // LP avoids accumulating junk cutouts. (A single proper split
+        // always has interior on both sides.) A ball certificate around a
+        // candidate interior point settles the common non-empty case
+        // without the LP: all normals are unit vectors, so a point with
+        // slack > r on every constraint admits an inscribed ball of
+        // radius r.
+        if !known_nonempty && halfspaces.len() >= 2 {
+            // Only an interior point can certify: vertices sit on facets.
+            let certified_nonempty = {
+                let r = base
+                    .polytope
+                    .halfspaces()
+                    .iter()
+                    .chain(&halfspaces)
+                    .map(|h| h.slack(&base.interior))
+                    .fold(f64::INFINITY, f64::min);
+                r > INTERIOR_TOL + FASTPATH_MARGIN
+            };
+            if !certified_nonempty {
+                let empty = if self.exact_intervals_1d && base.dim() == 1 {
+                    // The exact 1-D fast path shares the tolerance band of
+                    // the piece-algebra predicates.
+                    base.polytope.is_empty_with_fastpath(ctx, &halfspaces)
+                } else {
+                    base.polytope.is_empty_with(ctx, &halfspaces)
+                };
+                if empty {
+                    return;
+                }
+            }
+        }
+        // §6.2 refinement 1 (targeted): the base facets are kept
+        // irredundant by construction, so only the extra halfspaces can be
+        // redundant against the base + the other extras. The candidate is
+        // popped off the list, so "the others" are simply the remaining
+        // entries — no scratch copies.
+        if self.redundant_constraint_removal && halfspaces.len() >= 2 {
+            let mut i = 0;
+            while i < halfspaces.len() && halfspaces.len() > 1 {
+                let candidate = halfspaces.remove(i);
+                if self.halfspace_covers(ctx, base, &halfspaces, &candidate) {
+                    // Redundant: leave it out.
+                } else {
+                    halfspaces.insert(i, candidate);
+                    i += 1;
+                }
+            }
+        }
+        let cutout = Cutout { halfspaces };
+        let (cutouts, points, witness, verified) = match state {
+            CutoutRegion::Empty => return,
+            CutoutRegion::Full => {
+                *state = CutoutRegion::Partial {
+                    cutouts: Vec::with_capacity(4),
+                    points: self.initial_points(base),
+                    witness: None,
+                    verified_nonempty: false,
+                };
+                match state {
+                    CutoutRegion::Partial {
+                        cutouts,
+                        points,
+                        witness,
+                        verified_nonempty,
+                    } => (cutouts, points, witness, verified_nonempty),
+                    _ => unreachable!(),
+                }
+            }
+            CutoutRegion::Partial {
+                cutouts,
+                points,
+                witness,
+                verified_nonempty,
+            } => (cutouts, points, witness, verified_nonempty),
+        };
+        // §6.2 refinement 2: drop cutouts covered by another cutout.
+        // Containment between cutouts of one base only needs the extra
+        // halfspaces of the candidate container.
+        if self.redundant_cutout_removal {
+            let covers = |a: &Cutout, b: &Cutout| -> bool {
+                a.halfspaces
+                    .iter()
+                    .all(|h| self.halfspace_covers(ctx, base, &b.halfspaces, h))
+            };
+            if cutouts.iter().any(|c| covers(c, &cutout)) {
+                return;
+            }
+            cutouts.retain(|c| !covers(&cutout, c));
+        }
+        points.retain(|&mut p| !cutout.contains(base.probe(p)));
+        // The witness stays valid only while its margin ball lands wholly
+        // inside an *outside-the-cutout* cell of the new cutout's
+        // subdivision; anything else (straddled boundary, covered) could
+        // make a re-run coverage check — which tests decomposition pieces
+        // individually — reach a different verdict, so the witness is
+        // dropped and the next emptiness query runs for real.
+        if witness
+            .as_ref()
+            .is_some_and(|w| cell_placement(&cutout, w) != Some(true))
+        {
+            *witness = None;
+        }
+        cutouts.push(cutout);
+        *verified = false;
+    }
+
+    /// True iff the region is empty: the cutouts cover the base up to
+    /// measure zero. Skips the coverage check whenever a relevance point,
+    /// a margin-certified witness, or a cached verdict proves
+    /// non-emptiness; a coverage verdict of "covered" marks the state
+    /// [`CutoutRegion::Empty`].
+    #[inline]
+    pub fn region_is_empty(
+        &self,
+        ctx: &LpCtx,
+        base: &RegionBase,
+        state: &mut CutoutRegion,
+    ) -> bool {
+        match state {
+            CutoutRegion::Empty => true,
+            CutoutRegion::Full => false,
+            CutoutRegion::Partial {
+                cutouts,
+                points,
+                witness,
+                verified_nonempty,
+            } => {
+                if self.relevance_points && !points.is_empty() {
+                    // A surviving relevance point proves non-emptiness.
+                    self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                if witness.is_some() {
+                    // The interior witness of the last coverage check is
+                    // uncovered by every cutout added since.
+                    self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                if *verified_nonempty {
+                    // Nothing was subtracted since the last check.
+                    self.emptiness_skipped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                self.emptiness_checks.fetch_add(1, Ordering::Relaxed);
+                let polys: Vec<Polytope> = cutouts
+                    .iter()
+                    .map(|c| {
+                        let mut p = base.polytope.clone();
+                        for h in &c.halfspaces {
+                            p.push(h.clone());
+                        }
+                        p
+                    })
+                    .collect();
+                match crate::difference_witness(ctx, &base.polytope, &polys) {
+                    crate::DifferenceWitness::Empty => {
+                        *state = CutoutRegion::Empty;
+                        true
+                    }
+                    crate::DifferenceWitness::NonEmpty(w) => {
+                        // Trust the witness for future skips only if its
+                        // ball sits wholly inside one cell of every
+                        // existing cutout's subdivision (see
+                        // `cell_placement`): the worklist's miss fast path
+                        // lets a piece penetrate a cutout by a
+                        // sub-tolerance cap, so creation-time placement
+                        // must be re-certified against all cutouts.
+                        *witness = w
+                            .filter(|w| cutouts.iter().all(|c| cell_placement(c, w) == Some(true)));
+                        *verified_nonempty = true;
+                        false
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_lp::LpCtx;
+
+    fn interval_base(lo: f64, hi: f64) -> RegionBase {
+        RegionBase::new(
+            Polytope::from_box(&[lo], &[hi]),
+            vec![vec![lo], vec![hi]],
+            vec![vec![lo], vec![hi], vec![(lo + hi) / 2.0]],
+            vec![(lo + hi) / 2.0],
+        )
+    }
+
+    fn engine() -> RegionEngine {
+        RegionEngine::new(true, true, true, false)
+    }
+
+    fn hs(a: f64, b: f64) -> Halfspace {
+        Halfspace::proper(vec![a], b)
+    }
+
+    #[test]
+    fn full_region_is_nonempty_and_contains() {
+        let ctx = LpCtx::new();
+        let base = interval_base(0.0, 1.0);
+        let eng = engine();
+        let mut state = CutoutRegion::Full;
+        assert!(!eng.region_is_empty(&ctx, &base, &mut state));
+        assert!(state.contains(&[0.5]));
+    }
+
+    #[test]
+    fn cutouts_cover_base_jointly() {
+        let ctx = LpCtx::new();
+        let base = interval_base(0.0, 1.0);
+        let eng = engine();
+        let mut state = CutoutRegion::Full;
+        // Cut out [0, 0.6]: region keeps (0.6, 1].
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(1.0, 0.6)]),
+            false,
+        );
+        assert!(!eng.region_is_empty(&ctx, &base, &mut state));
+        assert!(!state.contains(&[0.3]));
+        assert!(state.contains(&[0.9]));
+        // Cut out [0.5, 1]: nothing remains.
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(-1.0, -0.5)]),
+            false,
+        );
+        assert!(eng.region_is_empty(&ctx, &base, &mut state));
+        assert!(state.is_marked_empty());
+    }
+
+    #[test]
+    fn relevance_points_skip_coverage_checks() {
+        let ctx = LpCtx::new();
+        let base = interval_base(0.0, 1.0);
+        let eng = engine();
+        let mut state = CutoutRegion::Full;
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(1.0, 0.25)]),
+            false,
+        );
+        // Probes at 0.5 and 1.0 survive, so no coverage check runs.
+        assert!(!eng.region_is_empty(&ctx, &base, &mut state));
+        let (checks, skipped) = eng.emptiness_counters();
+        assert_eq!(checks, 0);
+        assert!(skipped > 0);
+    }
+
+    #[test]
+    fn empty_intersection_cutout_is_dropped() {
+        let ctx = LpCtx::new();
+        let base = interval_base(0.0, 1.0);
+        let eng = engine();
+        let mut state = CutoutRegion::Full;
+        // x ≥ 0.8 and x ≤ 0.2 — empty within the base.
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(-1.0, -0.8), hs(1.0, 0.2)]),
+            false,
+        );
+        assert!(matches!(state, CutoutRegion::Full));
+    }
+
+    #[test]
+    fn redundant_cutout_is_absorbed() {
+        let ctx = LpCtx::new();
+        let base = interval_base(0.0, 1.0);
+        let eng = engine();
+        let mut state = CutoutRegion::Full;
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(1.0, 0.6)]),
+            false,
+        );
+        // Covered by the first cutout: must not be stored.
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(1.0, 0.3)]),
+            false,
+        );
+        assert_eq!(state.cutouts().len(), 1);
+    }
+
+    #[test]
+    fn exact_interval_mode_matches_lp_mode() {
+        // The same cutout script must produce identical verdicts with and
+        // without the 1-D interval fast paths.
+        for exact in [false, true] {
+            let ctx = LpCtx::new();
+            let base = interval_base(0.0, 1.0);
+            let eng = RegionEngine::new(true, true, true, exact);
+            let mut state = CutoutRegion::Full;
+            eng.add_cutout(
+                &ctx,
+                &base,
+                &mut state,
+                HalfspaceList::from_iter([hs(1.0, 0.5), hs(-1.0, -0.1)]),
+                false,
+            );
+            assert!(
+                !eng.region_is_empty(&ctx, &base, &mut state),
+                "exact={exact}"
+            );
+            eng.add_cutout(
+                &ctx,
+                &base,
+                &mut state,
+                HalfspaceList::from_iter([hs(-1.0, -0.4)]),
+                false,
+            );
+            eng.add_cutout(
+                &ctx,
+                &base,
+                &mut state,
+                HalfspaceList::from_iter([hs(1.0, 0.15)]),
+                false,
+            );
+            assert!(
+                eng.region_is_empty(&ctx, &base, &mut state),
+                "exact={exact}"
+            );
+        }
+    }
+}
