@@ -1,12 +1,14 @@
 //! RRPA performance baseline writer: measures the paper's chain and star
-//! workloads at one or more optimizer thread counts and emits a
+//! workloads at one or more optimizer thread counts — plus batched
+//! multi-query workloads with a shared cost-lifting cache — and emits a
 //! machine-readable `BENCH_rrpa.json`, so every future performance PR has
 //! a trajectory to beat.
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_rrpa -- \
 //!       [--space grid,pwl] [--seeds N] [--threads 1,4] \
-//!       [--out BENCH_rrpa.json] [--quick] \
+//!       [--batch N] [--overlap R,R...] \
+//!       [--out BENCH_rrpa.json] [--quick] [--smoke] \
 //!       [--baseline-note "text"] [--baseline FILE]
 //!
 //! * `--space` — comma-separated space backends to measure (default
@@ -19,20 +21,34 @@
 //!   (default `1,4`); `RAYON_NUM_THREADS` is honoured when the list is
 //!   omitted. Seed sweeps always run sequentially so wall-clock numbers
 //!   are not polluted by concurrent runs.
+//! * `--batch` — queries per batched workload (default 16; `0` disables
+//!   the batch rows). Batched rows measure whole batches through one
+//!   `OptimizerSession`, cached *and* uncached, at every `--overlap`
+//!   ratio — single-threaded, so `speedup` isolates cost-lifting reuse.
+//! * `--overlap` — comma-separated table-overlap ratios for the batch
+//!   rows (default `0,0.5,1`).
 //! * `--baseline` — a previously written `BENCH_rrpa.json` whose entries
 //!   are embedded verbatim as the `baseline` section (used to carry the
 //!   post-manifest-fix reference numbers forward).
 //! * `--quick` — a smaller sweep for smoke-testing the harness.
+//! * `--smoke` — CI mode: one tiny batched workload, asserting that the
+//!   cache hits, that cached/uncached/one-by-one plan counters agree, and
+//!   that the JSON writer round-trips. Writes no file (`--out` is
+//!   ignored); exits non-zero on violation.
 //!
 //! Interpreting the output: every entry carries the median optimization
 //! wall time, created plans, solved LPs and final Pareto-set size for one
 //! `(workload, tables, params, optimizer_threads)` configuration. Created
 //! plans and final plan counts must be identical across thread counts
 //! (the parallel DP is deterministic); wall time is the only column that
-//! may change.
+//! may change. `batch_entries` rows additionally carry the uncached
+//! median, the cost-lifting `speedup`, and cache hit/miss counts; their
+//! `plans_created`/`final_plans` must match `batch` × the one-by-one runs
+//! seed for seed (batching is bit-identical).
 
 use mpq_bench::harness::{
-    baseline_json, record_medians, run_once_in, sweep_threads, BaselineEntry, SpaceKind,
+    baseline_json, record_medians, run_once, run_once_in, run_workload_in, sweep_threads,
+    BaselineEntry, BatchBaselineEntry, BatchRecord, SpaceKind, WorkloadSpec,
 };
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
@@ -41,8 +57,11 @@ struct Args {
     spaces: Vec<SpaceKind>,
     seeds: usize,
     threads: Vec<usize>,
-    out: String,
+    batch: usize,
+    overlaps: Vec<f64>,
+    out: Option<String>,
     quick: bool,
+    smoke: bool,
     baseline_file: Option<String>,
     baseline_note: Option<String>,
 }
@@ -50,8 +69,9 @@ struct Args {
 fn die(msg: &str) -> ! {
     eprintln!("bench_rrpa: {msg}");
     eprintln!(
-        "usage: bench_rrpa [--space grid[,pwl]] [--seeds N] [--threads N[,M...]] [--out PATH] \
-         [--quick] [--baseline FILE] [--baseline-note TEXT]"
+        "usage: bench_rrpa [--space grid[,pwl]] [--seeds N] [--threads N[,M...]] \
+         [--batch N] [--overlap R[,R...]] [--out PATH] [--quick] [--smoke] \
+         [--baseline FILE] [--baseline-note TEXT]"
     );
     std::process::exit(2);
 }
@@ -61,8 +81,11 @@ fn parse_args() -> Args {
         spaces: vec![SpaceKind::Grid],
         seeds: 5,
         threads: vec![1, 4],
-        out: "BENCH_rrpa.json".to_string(),
+        batch: 16,
+        overlaps: vec![0.0, 0.5, 1.0],
+        out: None,
         quick: false,
+        smoke: false,
         baseline_file: None,
         baseline_note: None,
     };
@@ -99,10 +122,29 @@ fn parse_args() -> Args {
                     })
                     .collect();
             }
+            "--batch" => {
+                args.batch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--batch expects a number"));
+            }
+            "--overlap" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--overlap expects a comma-separated list"));
+                args.overlaps = list
+                    .split(',')
+                    .map(|s| match s.trim().parse::<f64>() {
+                        Ok(r) if (0.0..=1.0).contains(&r) => r,
+                        _ => die("--overlap expects ratios in [0, 1], e.g. 0,0.5,1"),
+                    })
+                    .collect();
+            }
             "--out" => {
-                args.out = it.next().unwrap_or_else(|| die("--out expects a path"));
+                args.out = Some(it.next().unwrap_or_else(|| die("--out expects a path")));
             }
             "--quick" => args.quick = true,
+            "--smoke" => args.smoke = true,
             "--baseline" => {
                 args.baseline_file = Some(
                     it.next()
@@ -188,6 +230,142 @@ fn measure(
     }
 }
 
+/// The batched-workload matrix: *small* queries in volume — the
+/// production batching regime, where cost lifting is a visible slice of
+/// the per-query work. (Large analytical joins are dominated by candidate
+/// pruning; their batch rows would measure noise, so they stay in the
+/// single-query matrix.)
+fn batch_configs(space: SpaceKind, quick: bool) -> Vec<(Topology, &'static str, usize, usize)> {
+    match (space, quick) {
+        (SpaceKind::Grid, true) => vec![(Topology::Chain, "chain", 3, 2)],
+        (SpaceKind::Grid, false) => vec![
+            (Topology::Chain, "chain", 3, 2),
+            (Topology::Chain, "chain", 4, 1),
+            (Topology::Star, "star", 4, 1),
+        ],
+        (SpaceKind::Pwl, _) => vec![(Topology::Chain, "chain", 3, 1)],
+    }
+}
+
+/// Measures one batched-workload cell: cached and uncached medians over
+/// the seeds, single-threaded (per the measurement rules, and so that
+/// `speedup` isolates cost-lifting reuse).
+fn measure_batch(
+    space: SpaceKind,
+    workload: &str,
+    spec: &WorkloadSpec,
+    seeds: usize,
+) -> BatchBaselineEntry {
+    let mut config = OptimizerConfig::default_for(spec.num_params);
+    config.threads = Some(1);
+    let mut cached_records = Vec::with_capacity(seeds);
+    let mut nocache_times = Vec::with_capacity(seeds);
+    for s in 0..seeds {
+        let cached = run_workload_in(space, spec, s as u64, &config, true);
+        let nocache = run_workload_in(space, spec, s as u64, &config, false);
+        assert_eq!(
+            (cached.plans_created, cached.final_plans, cached.lps_solved),
+            (
+                nocache.plans_created,
+                nocache.final_plans,
+                nocache.lps_solved
+            ),
+            "cached and uncached batches must agree exactly"
+        );
+        eprintln!(
+            "  {} {workload} n={} p={} batch={} overlap={} \
+             seed={s}: {:.0}ms (nocache {:.0}ms) plans={} hits={} misses={}",
+            space.name(),
+            spec.num_tables,
+            spec.num_params,
+            spec.batch,
+            spec.overlap,
+            cached.time_ms,
+            nocache.time_ms,
+            cached.plans_created,
+            cached.cache_hits,
+            cached.cache_misses,
+        );
+        nocache_times.push(nocache.time_ms);
+        cached_records.push(cached);
+    }
+    let med = |f: &dyn Fn(&BatchRecord) -> f64| record_batch_median(&cached_records, f);
+    let median_time_ms = med(&|r| r.time_ms);
+    let median_time_nocache_ms = mpq_bench::harness::median(&mut nocache_times);
+    BatchBaselineEntry {
+        space: space.name().to_string(),
+        workload: workload.to_string(),
+        num_tables: spec.num_tables,
+        num_params: spec.num_params,
+        batch: spec.batch,
+        overlap: spec.overlap,
+        optimizer_threads: 1,
+        median_time_ms,
+        median_time_nocache_ms,
+        speedup: median_time_nocache_ms / median_time_ms,
+        cache_hits: med(&|r| r.cache_hits as f64),
+        cache_misses: med(&|r| r.cache_misses as f64),
+        plans_created: med(&|r| r.plans_created as f64),
+        final_plans: med(&|r| r.final_plans as f64),
+        seeds,
+    }
+}
+
+fn record_batch_median(records: &[BatchRecord], f: &dyn Fn(&BatchRecord) -> f64) -> f64 {
+    let mut values: Vec<f64> = records.iter().map(f).collect();
+    mpq_bench::harness::median(&mut values)
+}
+
+/// CI smoke mode: one tiny batched workload; asserts the new path's
+/// invariants end to end (see the module docs) and prints a summary.
+fn run_smoke() {
+    let (topology, workload, n, p) = batch_configs(SpaceKind::Grid, true)[0];
+    let batch = 3;
+    let spec = WorkloadSpec {
+        num_tables: n,
+        topology,
+        num_params: p,
+        batch,
+        overlap: 1.0,
+    };
+    let mut config = OptimizerConfig::default_for(p);
+    config.threads = Some(1);
+    let cached = run_workload_in(SpaceKind::Grid, &spec, 0, &config, true);
+    let nocache = run_workload_in(SpaceKind::Grid, &spec, 0, &config, false);
+    assert_eq!(
+        (cached.plans_created, cached.final_plans, cached.lps_solved),
+        (
+            nocache.plans_created,
+            nocache.final_plans,
+            nocache.lps_solved
+        ),
+        "smoke: cached and uncached batches diverged"
+    );
+    assert!(
+        cached.cache_hits > 0,
+        "smoke: an overlap-1.0 batch must hit the lifting cache"
+    );
+    // Batching is bit-identical to one-by-one: an overlap-1.0 workload is
+    // `batch` copies of the base query, so counters are exact multiples.
+    let solo = run_once(n, topology, p, 0, &config);
+    assert_eq!(cached.plans_created, solo.plans_created * batch as u64);
+    assert_eq!(cached.final_plans, solo.final_plans as u64 * batch as u64);
+    assert_eq!(cached.lps_solved, solo.lps_solved * batch as u64);
+    // The JSON writer keeps its schema-v3 shape.
+    let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
+    let json = baseline_json(&[("schema_version", "3".to_string())], &[], &[entry]);
+    assert!(json.contains("\"batch_entries\"") && json.trim_end().ends_with('}'));
+    eprintln!(
+        "smoke ok: {workload} n={n} p={p} batch={batch} plans={} hits={} misses={} \
+         ({:.0}ms cached / {:.0}ms uncached)",
+        cached.plans_created,
+        cached.cache_hits,
+        cached.cache_misses,
+        cached.time_ms,
+        nocache.time_ms
+    );
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     s.chars()
@@ -204,6 +382,10 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let args = parse_args();
+    if args.smoke {
+        run_smoke();
+        return;
+    }
     if args.seeds == 0 {
         die("--seeds must be at least 1");
     }
@@ -215,8 +397,9 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",");
     eprintln!(
-        "# bench_rrpa: spaces={space_list} seeds={} threads={:?} host_cores={cores}",
-        args.seeds, args.threads
+        "# bench_rrpa: spaces={space_list} seeds={} threads={:?} batch={} overlaps={:?} \
+         host_cores={cores}",
+        args.seeds, args.threads, args.batch, args.overlaps
     );
     let mut entries = Vec::new();
     for &space in &args.spaces {
@@ -233,19 +416,43 @@ fn main() {
             }
         }
     }
+    let mut batch_entries = Vec::new();
+    if args.batch > 0 {
+        for &space in &args.spaces {
+            for (topology, workload, n, p) in batch_configs(space, args.quick) {
+                for &overlap in &args.overlaps {
+                    let spec = WorkloadSpec {
+                        num_tables: n,
+                        topology,
+                        num_params: p,
+                        batch: args.batch,
+                        overlap,
+                    };
+                    batch_entries.push(measure_batch(space, workload, &spec, args.seeds));
+                }
+            }
+        }
+    }
+    let overlap_list = args
+        .overlaps
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "2".to_string()),
+        ("schema_version", "3".to_string()),
         (
             "command",
             format!(
                 "\"cargo run --release -p mpq-bench --bin bench_rrpa -- --space {space_list} \
-                 --seeds {} --threads {}\"",
+                 --seeds {} --threads {} --batch {} --overlap {overlap_list}\"",
                 args.seeds,
                 args.threads
                     .iter()
                     .map(|t| t.to_string())
                     .collect::<Vec<_>>()
-                    .join(",")
+                    .join(","),
+                args.batch,
             ),
         ),
         ("host_cores", cores.to_string()),
@@ -258,8 +465,9 @@ fn main() {
         let baseline = std::fs::read_to_string(path).expect("readable --baseline file");
         meta.push(("baseline", baseline.trim_end().to_string()));
     }
-    let json = baseline_json(&meta, &entries);
-    std::fs::write(&args.out, &json).expect("writable --out path");
-    eprintln!("wrote {}", args.out);
+    let json = baseline_json(&meta, &entries, &batch_entries);
+    let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
+    std::fs::write(out, &json).expect("writable --out path");
+    eprintln!("wrote {out}");
     print!("{json}");
 }

@@ -19,7 +19,7 @@ pub fn pwl(pieces: &[(f64, f64, f64, f64)]) -> PwlFn {
         pieces
             .iter()
             .map(|&(lo, hi, w, b)| LinearPiece {
-                region: interval(lo, hi),
+                region: std::sync::Arc::new(interval(lo, hi)),
                 f: LinearFn::new(vec![w], b),
             })
             .collect(),

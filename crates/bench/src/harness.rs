@@ -7,16 +7,19 @@
 //! explicit `--threads` value or the `RAYON_NUM_THREADS` environment
 //! variable, falling back to the machine's parallelism.
 
-use mpq_catalog::generator::{generate, GeneratorConfig};
+use mpq_catalog::generator::{generate, generate_workload, GeneratorConfig, WorkloadConfig};
 use mpq_catalog::graph::Topology;
 use mpq_cloud::model::CloudCostModel;
 use mpq_core::grid_space::GridSpace;
 use mpq_core::pwl_space::PwlSpace;
 use mpq_core::rrpa::optimize;
+use mpq_core::session::OptimizerSession;
+use mpq_core::space::MpqSpace;
 use mpq_core::OptimizerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Which [`mpq_core::space::MpqSpace`] backend a benchmark run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +120,108 @@ pub fn run_once_in(
 fn model_num_metrics(model: &CloudCostModel) -> usize {
     use mpq_cloud::model::ParametricCostModel;
     model.num_metrics()
+}
+
+/// Metrics of one batched workload run (a whole batch through one
+/// [`OptimizerSession`]). Counters are summed over the batch's queries;
+/// LPs come from the session-shared space, hits/misses from the session
+/// cache (zero for uncached sessions).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRecord {
+    /// Whole-batch wall time in milliseconds.
+    pub time_ms: f64,
+    /// Plans generated over all queries.
+    pub plans_created: u64,
+    /// Linear programs solved over all queries.
+    pub lps_solved: u64,
+    /// Final Pareto-set sizes summed over all queries.
+    pub final_plans: u64,
+    /// Cost-lifting cache hits.
+    pub cache_hits: u64,
+    /// Cost-lifting cache misses (= distinct operator cost shapes).
+    pub cache_misses: u64,
+}
+
+/// One batched-workload configuration: the per-query shape plus the batch
+/// size and table-overlap ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Join-graph topology.
+    pub topology: Topology,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Table-overlap ratio (`0.0` = independent, `1.0` = identical).
+    pub overlap: f64,
+}
+
+/// Runs one batched workload — [`WorkloadSpec::batch`] random queries with
+/// the given table-overlap ratio — through an [`OptimizerSession`], with
+/// or without the cost-lifting cache.
+pub fn run_workload_in(
+    kind: SpaceKind,
+    spec: &WorkloadSpec,
+    seed: u64,
+    config: &OptimizerConfig,
+    cached: bool,
+) -> BatchRecord {
+    let wcfg = WorkloadConfig::uniform(
+        GeneratorConfig::paper(spec.num_tables, spec.topology, spec.num_params),
+        spec.batch,
+        spec.overlap,
+    );
+    let workload = generate_workload(&wcfg, &mut StdRng::seed_from_u64(seed));
+    let model = CloudCostModel::default();
+    let metrics = model_num_metrics(&model);
+    match kind {
+        SpaceKind::Grid => {
+            let space = GridSpace::for_unit_box(spec.num_params, config, metrics)
+                .expect("valid grid configuration");
+            run_batch(space, &model, config, &workload.queries, cached)
+        }
+        SpaceKind::Pwl => {
+            let space = PwlSpace::for_unit_box(spec.num_params, config, metrics)
+                .expect("valid grid configuration");
+            run_batch(space, &model, config, &workload.queries, cached)
+        }
+    }
+}
+
+fn run_batch<S>(
+    space: S,
+    model: &CloudCostModel,
+    config: &OptimizerConfig,
+    queries: &[mpq_catalog::Query],
+    cached: bool,
+) -> BatchRecord
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+{
+    let session = if cached {
+        OptimizerSession::new(space, model, config.clone())
+    } else {
+        OptimizerSession::without_cache(space, model, config.clone())
+    };
+    let start = Instant::now();
+    let solutions = session.optimize_batch(queries);
+    let time_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = session.cache_stats();
+    BatchRecord {
+        time_ms,
+        plans_created: solutions.iter().map(|s| s.stats.plans_created).sum(),
+        lps_solved: session.space().lps_solved(),
+        final_plans: solutions
+            .iter()
+            .map(|s| s.stats.final_plan_count as u64)
+            .sum(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
 }
 
 /// Resolves the worker-thread count for seed sweeps: an explicit request
@@ -271,9 +376,87 @@ impl BaselineEntry {
     }
 }
 
+/// One measured batched-workload configuration of the schema-v3
+/// `BENCH_rrpa.json`: medians over the seeds for a
+/// `(space, workload, tables, params, batch, overlap)` cell, with the
+/// uncached counterpart and the resulting cost-lifting speedup.
+#[derive(Debug, Clone)]
+pub struct BatchBaselineEntry {
+    /// Space backend (`"grid"` / `"pwl"`).
+    pub space: String,
+    /// Workload topology (`"chain"` / `"star"`).
+    pub workload: String,
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Table-overlap ratio of the workload generator.
+    pub overlap: f64,
+    /// Worker threads inside the session.
+    pub optimizer_threads: usize,
+    /// Median whole-batch wall time with the cost-lifting cache.
+    pub median_time_ms: f64,
+    /// Median whole-batch wall time without the cache.
+    pub median_time_nocache_ms: f64,
+    /// `median_time_nocache_ms / median_time_ms`.
+    pub speedup: f64,
+    /// Median cache hits per batch.
+    pub cache_hits: f64,
+    /// Median cache misses (distinct shapes) per batch.
+    pub cache_misses: f64,
+    /// Median summed created plans per batch (must match the uncached and
+    /// the one-by-one runs).
+    pub plans_created: f64,
+    /// Median summed final Pareto-set sizes per batch.
+    pub final_plans: f64,
+    /// Number of random workloads (seeds) measured.
+    pub seeds: usize,
+}
+
+impl BatchBaselineEntry {
+    fn to_json(&self) -> String {
+        let hit_rate = if self.cache_hits + self.cache_misses > 0.0 {
+            self.cache_hits / (self.cache_hits + self.cache_misses)
+        } else {
+            0.0
+        };
+        format!(
+            "    {{\"space\": \"{}\", \"workload\": \"{}\", \"num_tables\": {}, \
+             \"num_params\": {}, \"batch\": {}, \"overlap\": {}, \"optimizer_threads\": {}, \
+             \"median_time_ms\": {:.3}, \"median_time_nocache_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"cache_hits\": {:.0}, \"cache_misses\": {:.0}, \
+             \"cache_hit_rate\": {:.3}, \"plans_created\": {:.0}, \"final_plans\": {:.0}, \
+             \"seeds\": {}}}",
+            self.space,
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.batch,
+            self.overlap,
+            self.optimizer_threads,
+            self.median_time_ms,
+            self.median_time_nocache_ms,
+            self.speedup,
+            self.cache_hits,
+            self.cache_misses,
+            hit_rate,
+            self.plans_created,
+            self.final_plans,
+            self.seeds
+        )
+    }
+}
+
 /// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
-/// JSON: the workspace has no serde backend).
-pub fn baseline_json(meta: &[(&str, String)], entries: &[BaselineEntry]) -> String {
+/// JSON: the workspace has no serde backend). `batch_entries` is the
+/// schema-v3 batched-workload section; pass `&[]` to omit it.
+pub fn baseline_json(
+    meta: &[(&str, String)],
+    entries: &[BaselineEntry],
+    batch_entries: &[BatchBaselineEntry],
+) -> String {
     let mut out = String::from("{\n");
     for (k, v) in meta {
         out.push_str(&format!("  \"{k}\": {v},\n"));
@@ -282,6 +465,19 @@ pub fn baseline_json(meta: &[(&str, String)], entries: &[BaselineEntry]) -> Stri
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&e.to_json());
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    if batch_entries.is_empty() {
+        out.push_str("  ]\n}\n");
+        return out;
+    }
+    out.push_str("  ],\n  \"batch_entries\": [\n");
+    for (i, e) in batch_entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < batch_entries.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -355,9 +551,55 @@ mod tests {
             final_plans: 3.0,
             seeds: 5,
         }];
-        let json = baseline_json(&[("schema_version", "1".to_string())], &entries);
+        let json = baseline_json(&[("schema_version", "1".to_string())], &entries, &[]);
         assert!(json.contains("\"workload\": \"chain\""));
         assert!(json.contains("\"schema_version\": 1"));
+        assert!(!json.contains("batch_entries"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn batch_run_matches_one_by_one_counters() {
+        let config = OptimizerConfig::default_for(1);
+        let spec = WorkloadSpec {
+            num_tables: 3,
+            topology: Topology::Chain,
+            num_params: 1,
+            batch: 3,
+            overlap: 1.0,
+        };
+        let cached = run_workload_in(SpaceKind::Grid, &spec, 5, &config, true);
+        let uncached = run_workload_in(SpaceKind::Grid, &spec, 5, &config, false);
+        assert_eq!(cached.plans_created, uncached.plans_created);
+        assert_eq!(cached.final_plans, uncached.final_plans);
+        assert_eq!(cached.lps_solved, uncached.lps_solved);
+        assert!(cached.cache_hits > 0, "identical queries must share lifts");
+        assert_eq!(uncached.cache_hits + uncached.cache_misses, 0);
+    }
+
+    #[test]
+    fn batch_baseline_json_shape() {
+        let batch = vec![BatchBaselineEntry {
+            space: "grid".into(),
+            workload: "chain".into(),
+            num_tables: 5,
+            num_params: 2,
+            batch: 8,
+            overlap: 1.0,
+            optimizer_threads: 1,
+            median_time_ms: 10.0,
+            median_time_nocache_ms: 14.0,
+            speedup: 1.4,
+            cache_hits: 100.0,
+            cache_misses: 20.0,
+            plans_created: 500.0,
+            final_plans: 12.0,
+            seeds: 5,
+        }];
+        let json = baseline_json(&[("schema_version", "3".to_string())], &[], &batch);
+        assert!(json.contains("\"batch_entries\""));
+        assert!(json.contains("\"overlap\": 1"));
+        assert!(json.contains("\"cache_hit_rate\": 0.833"));
         assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -20,9 +20,21 @@
 //!
 //! All randomness flows through the caller-provided RNG, so experiments are
 //! reproducible from a seed.
+//!
+//! # Workloads
+//!
+//! [`generate_workload`] emits a *batch* of queries with a controllable
+//! **table-overlap ratio**: each non-base query redraws every table with
+//! probability `1 − overlap` and otherwise reuses the base query's table
+//! statistics (and, where both endpoints are shared, its join
+//! selectivities and predicate placement). At `overlap = 1` the batch is
+//! `num_queries` copies of the base query — every operator cost shape
+//! repeats — and at `overlap = 0` the queries are independent. This is the
+//! scenario axis exercised by batched multi-query optimization with a
+//! shared cost-lifting cache.
 
 use crate::graph::Topology;
-use crate::{JoinEdge, Predicate, Query, Selectivity, Table};
+use crate::{JoinEdge, Predicate, Query, Selectivity, Table, Workload};
 use rand::Rng;
 
 /// Configuration for the random query generator.
@@ -64,6 +76,25 @@ impl GeneratorConfig {
     }
 }
 
+/// Draws table `i`'s statistics (log-uniform cardinality, uniform row
+/// width) — shared by the single-query and workload generators so their
+/// statistics models can never diverge.
+fn draw_table(cfg: &GeneratorConfig, rng: &mut impl Rng, i: usize) -> Table {
+    let log_rows = rng.gen_range(cfg.min_rows.ln()..=cfg.max_rows.ln());
+    Table {
+        name: format!("T{i}"),
+        rows: log_rows.exp().round(),
+        row_bytes: rng.gen_range(cfg.min_row_bytes..=cfg.max_row_bytes).round(),
+    }
+}
+
+/// Draws a join column's distinct-value count (uniform in
+/// `[1, max_distinct_fraction · rows]`).
+fn draw_distinct(cfg: &GeneratorConfig, rng: &mut impl Rng, rows: f64) -> f64 {
+    let max_d = (rows * cfg.max_distinct_fraction).max(1.0);
+    rng.gen_range(1.0..=max_d).round().max(1.0)
+}
+
 /// Generates one random query.
 ///
 /// # Panics
@@ -76,14 +107,7 @@ pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Query {
         "each parameterised predicate needs a distinct table"
     );
     let tables: Vec<Table> = (0..cfg.num_tables)
-        .map(|i| {
-            let log_rows = rng.gen_range(cfg.min_rows.ln()..=cfg.max_rows.ln());
-            Table {
-                name: format!("T{i}"),
-                rows: log_rows.exp().round(),
-                row_bytes: rng.gen_range(cfg.min_row_bytes..=cfg.max_row_bytes).round(),
-            }
-        })
+        .map(|i| draw_table(cfg, rng, i))
         .collect();
 
     // Choose the parameterised tables: a random subset of distinct indices.
@@ -100,17 +124,13 @@ pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Query {
         .collect();
 
     // Join selectivities from distinct-value counts (equality joins).
-    let distinct = |rng: &mut dyn rand::RngCore, rows: f64| -> f64 {
-        let max_d = (rows * cfg.max_distinct_fraction).max(1.0);
-        rng.gen_range(1.0..=max_d).round().max(1.0)
-    };
     let joins = cfg
         .topology
         .edge_pairs(cfg.num_tables)
         .into_iter()
         .map(|(t1, t2)| {
-            let d1 = distinct(rng, tables[t1].rows);
-            let d2 = distinct(rng, tables[t2].rows);
+            let d1 = draw_distinct(cfg, rng, tables[t1].rows);
+            let d2 = draw_distinct(cfg, rng, tables[t2].rows);
             JoinEdge {
                 t1,
                 t2,
@@ -127,6 +147,162 @@ pub fn generate(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Query {
     };
     debug_assert_eq!(query.validate(), Ok(()));
     query
+}
+
+/// Configuration for the batch (workload) generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Shape of each query (tables, parameters, statistics ranges). The
+    /// topology is overridden per query when [`topologies`] is non-empty.
+    ///
+    /// [`topologies`]: WorkloadConfig::topologies
+    pub query: GeneratorConfig,
+    /// Number of queries in the batch.
+    pub num_queries: usize,
+    /// Probability that a non-base query reuses a base table (statistics
+    /// and, transitively, join selectivities and predicate placement) —
+    /// `0.0` = independent queries, `1.0` = identical queries.
+    pub overlap: f64,
+    /// Topology cycle for mixed workloads (query `j` uses
+    /// `topologies[j % len]`); empty = every query uses `query.topology`.
+    pub topologies: Vec<Topology>,
+}
+
+impl WorkloadConfig {
+    /// A homogeneous workload of `num_queries` queries shaped like `query`
+    /// with the given table-overlap ratio.
+    pub fn uniform(query: GeneratorConfig, num_queries: usize, overlap: f64) -> Self {
+        Self {
+            query,
+            num_queries,
+            overlap,
+            topologies: Vec::new(),
+        }
+    }
+
+    /// A workload alternating between chain and star queries.
+    pub fn mixed(query: GeneratorConfig, num_queries: usize, overlap: f64) -> Self {
+        Self {
+            query,
+            num_queries,
+            overlap,
+            topologies: vec![Topology::Chain, Topology::Star],
+        }
+    }
+
+    fn topology(&self, j: usize) -> Topology {
+        if self.topologies.is_empty() {
+            self.query.topology
+        } else {
+            self.topologies[j % self.topologies.len()]
+        }
+    }
+}
+
+/// Generates a workload: a base query plus `num_queries − 1` variants that
+/// share each base table with probability `overlap` (see the module docs).
+///
+/// # Panics
+/// Panics if `num_queries` is zero or `overlap` lies outside `[0, 1]`
+/// (and propagates [`generate`]'s panics on a bad per-query shape).
+pub fn generate_workload(cfg: &WorkloadConfig, rng: &mut impl Rng) -> Workload {
+    assert!(cfg.num_queries >= 1, "a workload needs at least one query");
+    assert!(
+        (0.0..=1.0).contains(&cfg.overlap),
+        "overlap must lie in [0, 1]"
+    );
+    let n = cfg.query.num_tables;
+    let base_cfg = GeneratorConfig {
+        topology: cfg.topology(0),
+        ..cfg.query.clone()
+    };
+    let base = generate(&base_cfg, rng);
+    let mut queries = Vec::with_capacity(cfg.num_queries);
+    queries.push(base.clone());
+
+    for j in 1..cfg.num_queries {
+        let topology = cfg.topology(j);
+        let shared: Vec<bool> = (0..n)
+            .map(|_| rng.gen_range(0.0..1.0) < cfg.overlap)
+            .collect();
+        // Tables: copy shared statistics, redraw the rest.
+        let tables: Vec<Table> = (0..n)
+            .map(|i| {
+                if shared[i] {
+                    base.tables[i].clone()
+                } else {
+                    draw_table(&cfg.query, rng, i)
+                }
+            })
+            .collect();
+        // Predicates: a parameter stays on its base table while that table
+        // is shared (so the scan cost shape repeats); otherwise it moves
+        // to a random still-free table.
+        let mut taken = vec![false; n];
+        let mut placement: Vec<Option<usize>> = vec![None; cfg.query.num_params];
+        for p in &base.predicates {
+            if let Selectivity::Param(i) = p.selectivity {
+                if shared[p.table] {
+                    placement[i] = Some(p.table);
+                    taken[p.table] = true;
+                }
+            }
+        }
+        for slot in placement.iter_mut() {
+            if slot.is_none() {
+                let free: Vec<usize> = (0..n).filter(|&t| !taken[t]).collect();
+                let t = free[rng.gen_range(0..free.len())];
+                *slot = Some(t);
+                taken[t] = true;
+            }
+        }
+        let predicates: Vec<Predicate> = placement
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Predicate {
+                table: t.expect("every parameter was placed"),
+                selectivity: Selectivity::Param(i),
+            })
+            .collect();
+        // Joins: edges between two shared tables reuse the base
+        // selectivity when the base has the same edge (always true for a
+        // homogeneous topology); everything else is derived fresh.
+        let joins: Vec<JoinEdge> = topology
+            .edge_pairs(n)
+            .into_iter()
+            .map(|(t1, t2)| {
+                let reused = (shared[t1] && shared[t2])
+                    .then(|| {
+                        base.joins
+                            .iter()
+                            .find(|e| (e.t1 == t1 && e.t2 == t2) || (e.t1 == t2 && e.t2 == t1))
+                    })
+                    .flatten();
+                let selectivity = match reused {
+                    Some(e) => e.selectivity,
+                    None => {
+                        let d1 = draw_distinct(&cfg.query, rng, tables[t1].rows);
+                        let d2 = draw_distinct(&cfg.query, rng, tables[t2].rows);
+                        1.0 / d1.max(d2)
+                    }
+                };
+                JoinEdge {
+                    t1,
+                    t2,
+                    selectivity,
+                }
+            })
+            .collect();
+        let query = Query {
+            tables,
+            predicates,
+            joins,
+            num_params: cfg.query.num_params,
+        };
+        debug_assert_eq!(query.validate(), Ok(()));
+        queries.push(query);
+    }
+    Workload { queries }
 }
 
 #[cfg(test)]

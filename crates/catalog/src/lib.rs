@@ -148,6 +148,34 @@ impl Query {
     }
 }
 
+/// A batch of queries optimized together through one optimizer session
+/// (shared parameter space, cost-lifting cache and worker pool). Produced
+/// by [`generator::generate_workload`] with a controllable table-overlap
+/// ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// The queries, in submission order.
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff the workload holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The largest parameter count over the queries (the dimension the
+    /// session's shared parameter space must cover).
+    pub fn max_params(&self) -> usize {
+        self.queries.iter().map(|q| q.num_params).max().unwrap_or(0)
+    }
+}
+
 /// A set of tables, packed into a `u64` bitmask. Bit `i` set means table
 /// `i` is a member. This is the dynamic-programming key of RRPA
 /// (Algorithm 1 iterates over table sets of increasing cardinality).

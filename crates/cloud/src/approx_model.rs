@@ -27,11 +27,19 @@ use crate::join::{parallel_hash_join_cost, single_node_hash_join_cost, JoinStats
 use crate::model::{CostClosure, JoinAlternative, ParametricCostModel, ScanAlternative};
 use crate::ops::{JoinOp, ScanOp};
 use crate::scan::{index_seek_cost, table_scan_cost};
+use crate::shape::{tag, OpShape};
 use crate::ClusterConfig;
 use mpq_catalog::{Query, TableSet};
 
 /// Metric index of precision loss in the approximate model.
 pub const METRIC_LOSS: usize = 1;
+
+/// Shape tags of this model's operators (distinct from the Cloud model's).
+const T_EXACT_SCAN: u64 = tag::APPROX_BASE;
+const T_SEEK: u64 = tag::APPROX_BASE + 1;
+const T_SAMPLED: u64 = tag::APPROX_BASE + 2;
+const T_SINGLE: u64 = tag::APPROX_BASE + 3;
+const T_PARALLEL: u64 = tag::APPROX_BASE + 4;
 
 /// Cost model trading execution time against result-precision loss.
 #[derive(Debug, Clone)]
@@ -81,6 +89,7 @@ impl ParametricCostModel for ApproxCostModel {
         out.push(ScanAlternative {
             op: ScanOp::TableScan,
             cost: Box::new(move |_x| exact.clone()),
+            shape: Some(OpShape::new(T_EXACT_SCAN).scalar(rows).scalar(row_bytes)),
         });
         // Exact index seek when a predicate exists: zero loss, parametric.
         if query.predicates_on(table).next().is_some() {
@@ -91,6 +100,7 @@ impl ParametricCostModel for ApproxCostModel {
                 cost: Box::new(move |x| {
                     with_loss(index_seek_cost(&cluster, matching.eval(x)), 0.0)
                 }),
+                shape: Some(OpShape::new(T_SEEK).card(&matching)),
             });
         }
         // Sampled scans: cheaper, lossy. Modelled as table scans over the
@@ -106,6 +116,12 @@ impl ParametricCostModel for ApproxCostModel {
                     permille: (rate * 1000.0).round() as u32,
                 },
                 cost: Box::new(move |_x| cost.clone()),
+                shape: Some(
+                    OpShape::new(T_SAMPLED)
+                        .scalar(rows)
+                        .scalar(row_bytes)
+                        .scalar(rate),
+                ),
             });
         }
         out
@@ -135,14 +151,26 @@ impl ParametricCostModel for ApproxCostModel {
             Box::new(move |x| with_loss(single_node_hash_join_cost(&c1, &stats_at(x)), 0.0));
         let parallel: CostClosure =
             Box::new(move |x| with_loss(parallel_hash_join_cost(&c2, &stats_at(x)), 0.0));
+        let join_shape = |t: u64| {
+            Some(
+                OpShape::new(t)
+                    .card(&build)
+                    .card(&probe)
+                    .card(&output)
+                    .scalar(build_row_bytes)
+                    .scalar(probe_row_bytes),
+            )
+        };
         vec![
             JoinAlternative {
                 op: JoinOp::SingleNodeHash,
                 cost: single,
+                shape: join_shape(T_SINGLE),
             },
             JoinAlternative {
                 op: JoinOp::ParallelHash,
                 cost: parallel,
+                shape: join_shape(T_PARALLEL),
             },
         ]
     }

@@ -35,6 +35,7 @@ pub mod join;
 pub mod model;
 pub mod ops;
 pub mod scan;
+pub mod shape;
 
 use serde::{Deserialize, Serialize};
 

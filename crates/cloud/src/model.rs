@@ -14,6 +14,7 @@
 use crate::join::{parallel_hash_join_cost, single_node_hash_join_cost, JoinStats};
 use crate::ops::{JoinOp, ScanOp};
 use crate::scan::{index_seek_cost, table_scan_cost};
+use crate::shape::{tag, OpShape};
 use crate::{ClusterConfig, NUM_METRICS};
 use mpq_catalog::{Query, TableSet};
 
@@ -26,6 +27,10 @@ pub struct ScanAlternative {
     pub op: ScanOp,
     /// Full cost of the scan as a function of the parameters.
     pub cost: CostClosure,
+    /// Canonical identity of the cost shape, if the closure's output is
+    /// fully determined by it (see [`crate::shape`]); keys the cross-query
+    /// cost-lifting cache. `None` opts out of caching.
+    pub shape: Option<OpShape>,
 }
 
 /// One physical alternative for the final join of two table sets.
@@ -35,6 +40,9 @@ pub struct JoinAlternative {
     /// Incremental cost of the join operation itself as a function of the
     /// parameters (sub-plan costs are accumulated by the optimizer).
     pub cost: CostClosure,
+    /// Canonical identity of the cost shape (see
+    /// [`ScanAlternative::shape`]).
+    pub shape: Option<OpShape>,
 }
 
 /// Interface between cost models and the optimizer.
@@ -96,6 +104,7 @@ impl ParametricCostModel for CloudCostModel {
         out.push(ScanAlternative {
             op: ScanOp::TableScan,
             cost: Box::new(move |_x| scan_cost.clone()),
+            shape: Some(OpShape::new(tag::TABLE_SCAN).scalar(rows).scalar(row_bytes)),
         });
         // Index seek: only available when the table has a predicate to
         // drive the index (paper: indices exist per predicate column).
@@ -105,6 +114,7 @@ impl ParametricCostModel for CloudCostModel {
             out.push(ScanAlternative {
                 op: ScanOp::IndexSeek,
                 cost: Box::new(move |x| index_seek_cost(&cluster, matching.eval(x))),
+                shape: Some(OpShape::new(tag::INDEX_SEEK).card(&matching)),
             });
         }
         out
@@ -130,14 +140,28 @@ impl ParametricCostModel for CloudCostModel {
         };
         let c1 = self.cluster.clone();
         let c2 = self.cluster.clone();
+        // Both join closures are pure in the operand/output cardinality
+        // monomials and the two row widths.
+        let join_shape = |t: u64| {
+            Some(
+                OpShape::new(t)
+                    .card(&build)
+                    .card(&probe)
+                    .card(&output)
+                    .scalar(build_row_bytes)
+                    .scalar(probe_row_bytes),
+            )
+        };
         vec![
             JoinAlternative {
                 op: JoinOp::SingleNodeHash,
                 cost: Box::new(move |x| single_node_hash_join_cost(&c1, &stats_at(x))),
+                shape: join_shape(tag::SINGLE_NODE_HASH),
             },
             JoinAlternative {
                 op: JoinOp::ParallelHash,
                 cost: Box::new(move |x| parallel_hash_join_cost(&c2, &stats_at(x))),
+                shape: join_shape(tag::PARALLEL_HASH),
             },
         ]
     }

@@ -1,0 +1,125 @@
+//! Canonical, hashable identities of operator cost shapes.
+//!
+//! A scan or join cost closure is a pure function of a handful of numeric
+//! inputs — table cardinalities, row widths, parametric cardinality
+//! monomials — plus the (session-fixed) cluster profile. Two closures with
+//! the same inputs therefore lift to the *same* grid/PWL cost function, no
+//! matter which query produced them. [`OpShape`] packs those inputs into a
+//! canonical word list so identical cost shapes are recognizable across the
+//! queries of a batch: it is the cache key of
+//! `mpq_cost::cache::LiftedCostCache`, the cross-query cost-lifting cache
+//! (the sharing idea of Kathuria & Sudarshan's multi-query optimization,
+//! transferred to MPQ's lifting step).
+//!
+//! # Soundness contract
+//!
+//! A model attaches an `OpShape` to an alternative **only if** the shape
+//! words determine the cost closure's output at every parameter vector,
+//! given the model instance. Everything the closure captures must be
+//! folded in: operator discriminants become [tag](OpShape::new) words,
+//! scalars contribute their exact IEEE bit patterns
+//! ([`OpShape::scalar`]), and parametric cardinalities contribute factor
+//! bits *and* parameter mask ([`OpShape::card`]) — two monomials over
+//! different parameters lift differently even with equal factors. Shapes
+//! are only comparable within one model instance (an
+//! `OptimizerSession` fixes the model, so cluster profiles and sampling
+//! rates never need to enter the key). Alternatives whose cost cannot be
+//! keyed exactly carry `None` and are simply lifted per query.
+
+use mpq_catalog::card::CardExpr;
+
+/// Operator tag words for [`crate::model::CloudCostModel`] shapes.
+pub(crate) mod tag {
+    /// Full table scan (Cloud model).
+    pub const TABLE_SCAN: u64 = 1;
+    /// Index seek (Cloud model).
+    pub const INDEX_SEEK: u64 = 2;
+    /// Single-node hash join (Cloud model).
+    pub const SINGLE_NODE_HASH: u64 = 3;
+    /// Parallel hash join (Cloud model).
+    pub const PARALLEL_HASH: u64 = 4;
+    /// Approximate model operators live in a distinct tag range so a
+    /// Cloud shape can never alias an Approx shape.
+    pub const APPROX_BASE: u64 = 16;
+}
+
+/// Canonical identity of one operator's cost shape: an operator tag
+/// followed by the exact bit patterns of every numeric input the cost
+/// closure captures. `Eq`/`Hash` over the word list makes identical cost
+/// functions recognizable across queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpShape {
+    words: Vec<u64>,
+}
+
+impl OpShape {
+    /// Starts a shape with an operator tag (unique per model + operator
+    /// kind).
+    pub fn new(tag: u64) -> Self {
+        Self { words: vec![tag] }
+    }
+
+    /// Folds in a scalar input by its exact IEEE-754 bit pattern (`0.0`
+    /// and `-0.0` differ — canonicalise upstream if that ever matters;
+    /// catalog statistics are non-negative).
+    pub fn scalar(mut self, v: f64) -> Self {
+        self.words.push(v.to_bits());
+        self
+    }
+
+    /// Folds in a parametric cardinality monomial: constant factor bits
+    /// plus the parameter mask.
+    pub fn card(mut self, c: &CardExpr) -> Self {
+        self.words.push(c.factor.to_bits());
+        self.words.push(c.param_mask);
+        self
+    }
+
+    /// Folds in a raw word (discriminants, projection indices, …).
+    pub fn word(mut self, w: u64) -> Self {
+        self.words.push(w);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_equal_shapes() {
+        let a = OpShape::new(tag::TABLE_SCAN).scalar(100.0).scalar(50.0);
+        let b = OpShape::new(tag::TABLE_SCAN).scalar(100.0).scalar(50.0);
+        assert_eq!(a, b);
+        let c = OpShape::new(tag::TABLE_SCAN).scalar(100.0).scalar(51.0);
+        assert_ne!(a, c);
+        let d = OpShape::new(tag::INDEX_SEEK).scalar(100.0).scalar(50.0);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn card_masks_distinguish_parameters() {
+        let c0 = CardExpr {
+            factor: 10.0,
+            param_mask: 0b01,
+        };
+        let c1 = CardExpr {
+            factor: 10.0,
+            param_mask: 0b10,
+        };
+        assert_ne!(
+            OpShape::new(tag::INDEX_SEEK).card(&c0),
+            OpShape::new(tag::INDEX_SEEK).card(&c1),
+            "same factor, different parameter → different lifted function"
+        );
+    }
+
+    #[test]
+    fn shapes_hash_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(OpShape::new(1).scalar(2.5), "a");
+        assert_eq!(m.get(&OpShape::new(1).scalar(2.5)), Some(&"a"));
+        assert_eq!(m.get(&OpShape::new(1).scalar(2.6)), None);
+    }
+}

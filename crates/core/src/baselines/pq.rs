@@ -16,6 +16,10 @@ use crate::OptimizerConfig;
 use mpq_catalog::{Query, TableSet};
 use mpq_cloud::model::{JoinAlternative, ParametricCostModel, ScanAlternative};
 
+/// Marker word distinguishing metric-projected cost shapes from the
+/// unprojected originals (see [`mpq_cloud::shape::OpShape`]).
+const PROJECTION_WORD: u64 = u64::MAX;
+
 /// A view of a multi-metric cost model keeping only one metric.
 pub struct SingleMetricModel<'a, M: ?Sized> {
     inner: &'a M,
@@ -49,6 +53,9 @@ impl<M: ParametricCostModel + ?Sized> ParametricCostModel for SingleMetricModel<
             .into_iter()
             .map(|alt| ScanAlternative {
                 op: alt.op,
+                // Projecting a keyed shape stays keyable: the projected
+                // cost is determined by the inner shape plus the metric.
+                shape: alt.shape.map(|s| s.word(PROJECTION_WORD).word(m as u64)),
                 cost: Box::new(move |x| vec![(alt.cost)(x)[m]]),
             })
             .collect()
@@ -66,6 +73,7 @@ impl<M: ParametricCostModel + ?Sized> ParametricCostModel for SingleMetricModel<
             .into_iter()
             .map(|alt| JoinAlternative {
                 op: alt.op,
+                shape: alt.shape.map(|s| s.word(PROJECTION_WORD).word(m as u64)),
                 cost: Box::new(move |x| vec![(alt.cost)(x)[m]]),
             })
             .collect()

@@ -36,6 +36,14 @@
 //!   arbitrary (e.g. non-linear) cost functions, exact on a finite sample
 //!   of the parameter space.
 //!
+//! # Workloads
+//!
+//! [`session::OptimizerSession`] optimizes *batches* of queries through
+//! shared state — one parameter grid, a cross-query cost-lifting cache
+//! keyed on canonical operator cost shapes, and a worker pool with a
+//! deterministic ordered merge. Batched results are bit-identical to
+//! one-by-one optimization.
+//!
 //! # Baselines
 //!
 //! [`baselines::mq`] is a fixed-parameter multi-objective DP (the
@@ -68,6 +76,7 @@ pub mod plan;
 pub mod pwl_space;
 pub mod rrpa;
 pub mod sampled;
+pub mod session;
 pub mod space;
 pub mod stats;
 pub mod validate;
@@ -79,6 +88,7 @@ pub mod prelude {
     pub use crate::pwl_space::PwlSpace;
     pub use crate::rrpa::{optimize, MpqSolution, ParetoPlan};
     pub use crate::sampled::SampledSpace;
+    pub use crate::session::OptimizerSession;
     pub use crate::space::MpqSpace;
     pub use crate::stats::OptStats;
     pub use crate::OptimizerConfig;

@@ -76,7 +76,7 @@ impl PwlSpace {
             .zip(grid.hi())
             .map(|(l, h)| (l + h) / 2.0)
             .collect();
-        let base = RegionBase::new(grid.box_polytope(), corners, probes, center);
+        let base = RegionBase::new(Arc::new(grid.box_polytope()), corners, probes, center);
         Self {
             grid,
             ctx: Arc::new(LpCtx::new()),

@@ -49,9 +49,63 @@ use crate::stats::OptStats;
 use crate::OptimizerConfig;
 use mpq_catalog::{Query, TableSet};
 use mpq_cloud::model::ParametricCostModel;
+use mpq_cloud::shape::OpShape;
+use mpq_cost::LiftedCostCache;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// The cross-query cost-lifting cache, specialised to a space's cost
+/// representation: canonical operator cost shapes
+/// ([`mpq_cloud::shape::OpShape`]) map to `Arc`-shared lifted costs. One
+/// cache serves every query of an [`crate::session::OptimizerSession`].
+pub type LiftCache<S> = LiftedCostCache<OpShape, <S as MpqSpace>::Cost>;
+
+/// A lifted operator cost: either an `Arc` shared with the session cache
+/// or a per-query owned value. Borrow-only consumers (join costs feeding
+/// `add3`) deref without copying; plan storage takes [`Self::into_owned`].
+enum LiftedCost<C> {
+    Shared(std::sync::Arc<C>),
+    Owned(C),
+}
+
+impl<C> std::ops::Deref for LiftedCost<C> {
+    type Target = C;
+    fn deref(&self) -> &C {
+        match self {
+            LiftedCost::Shared(c) => c,
+            LiftedCost::Owned(c) => c,
+        }
+    }
+}
+
+impl<C: Clone> LiftedCost<C> {
+    fn into_owned(self) -> C {
+        match self {
+            LiftedCost::Shared(c) => (*c).clone(),
+            LiftedCost::Owned(c) => c,
+        }
+    }
+}
+
+/// Lifts an operator cost closure, through the session cache when both a
+/// cache and a canonical shape are available. Cached lifting is
+/// bit-identical to direct lifting: a lift is a pure function of the
+/// shape (see [`mpq_cloud::shape`]), so whichever query lifts a shape
+/// first produces exactly the value every later query would have.
+fn lift_cost<S: MpqSpace>(
+    space: &S,
+    cache: Option<&LiftCache<S>>,
+    shape: Option<&OpShape>,
+    f: &(dyn Fn(&[f64]) -> Vec<f64> + '_),
+) -> LiftedCost<S::Cost> {
+    match (cache, shape) {
+        (Some(cache), Some(shape)) => {
+            LiftedCost::Shared(cache.get_or_lift(shape, || space.lift(f)))
+        }
+        _ => LiftedCost::Owned(space.lift(f)),
+    }
+}
 
 /// A retained plan with its cost function and relevance region.
 pub struct ParetoPlan<S: MpqSpace> {
@@ -145,14 +199,31 @@ impl<S: MpqSpace> MpqSolution<S> {
     }
 }
 
+/// The immutable per-run context every DP work item reads: the query, the
+/// cost model, the space, the configuration and (for session runs) the
+/// cost-lifting cache.
+struct RunCtx<'a, S: MpqSpace, M: ?Sized> {
+    query: &'a Query,
+    model: &'a M,
+    space: &'a S,
+    config: &'a OptimizerConfig,
+    cache: Option<&'a LiftCache<S>>,
+}
+
+// `#[derive(Clone, Copy)]` would demand `S: Copy`; the context is a pack
+// of references and is always `Copy` itself.
+impl<S: MpqSpace, M: ?Sized> Clone for RunCtx<'_, S, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S: MpqSpace, M: ?Sized> Copy for RunCtx<'_, S, M> {}
+
 /// Computes the Pareto plan set of one table set `q` from the retained
 /// plans of its sub-sets — the per-work-item body of the parallel DP.
 /// Candidate enumeration and pruning order equal the sequential algorithm.
 fn optimize_set<S: MpqSpace, M: ParametricCostModel + ?Sized>(
-    query: &Query,
-    model: &M,
-    space: &S,
-    config: &OptimizerConfig,
+    ctx: RunCtx<'_, S, M>,
     best: &HashMap<TableSet, Vec<PendingPlan<S>>>,
     q: TableSet,
     q_connected: bool,
@@ -161,7 +232,7 @@ fn optimize_set<S: MpqSpace, M: ParametricCostModel + ?Sized>(
     let mut tally = Tally::default();
     for q1 in q.proper_subsets() {
         let q2 = q.minus(q1);
-        if config.postpone_cartesian && q_connected && !query.sets_joined(q1, q2) {
+        if ctx.config.postpone_cartesian && q_connected && !ctx.query.sets_joined(q1, q2) {
             continue;
         }
         let (Some(left_plans), Some(right_plans)) = (best.get(&q1), best.get(&q2)) else {
@@ -170,21 +241,22 @@ fn optimize_set<S: MpqSpace, M: ParametricCostModel + ?Sized>(
         if left_plans.is_empty() || right_plans.is_empty() {
             continue;
         }
-        for alt in model.join_alternatives(query, q1, q2) {
+        for alt in ctx.model.join_alternatives(ctx.query, q1, q2) {
             // The join's own cost depends only on the operand sets
-            // (their cardinalities), so lift it once per operator.
-            let join_cost = space.lift(&*alt.cost);
+            // (their cardinalities), so lift it once per operator — and
+            // through the session cache when its shape is canonical.
+            let join_cost = lift_cost(ctx.space, ctx.cache, alt.shape.as_ref(), &*alt.cost);
             for p1 in left_plans {
                 for p2 in right_plans {
                     // Fused accumulation: left + right + join in one pass.
-                    let cost = space.add3(&p1.cost, &p2.cost, &join_cost);
+                    let cost = ctx.space.add3(&p1.cost, &p2.cost, &join_cost);
                     let node = PlanNode::Join {
                         op: alt.op,
                         left: p1.node_id(),
                         right: p2.node_id(),
                     };
                     tally.plans_created += 1;
-                    prune(space, config, &mut plans, node, cost, &mut tally);
+                    prune(ctx.space, ctx.config, &mut plans, node, cost, &mut tally);
                 }
             }
         }
@@ -222,6 +294,35 @@ where
     S::Region: Send + Sync,
     M: ParametricCostModel + ?Sized,
 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.threads.unwrap_or(0))
+        .build()
+        .expect("optimizer thread pool");
+    optimize_with(query, model, space, config, &pool, None)
+}
+
+/// [`optimize`] over a caller-owned worker pool and optional cost-lifting
+/// cache — the per-query body of a batched
+/// [`crate::session::OptimizerSession`] run. The result is bit-identical
+/// to [`optimize`] for every pool width and cache state (cached lifts are
+/// pure functions of their shape keys; see [`mpq_cloud::shape`]).
+///
+/// # Panics
+/// See [`optimize`].
+pub fn optimize_with<S, M>(
+    query: &Query,
+    model: &M,
+    space: &S,
+    config: &OptimizerConfig,
+    pool: &rayon::ThreadPool,
+    cache: Option<&LiftCache<S>>,
+) -> MpqSolution<S>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
     query
         .validate()
         .unwrap_or_else(|e| panic!("invalid query: {e}"));
@@ -231,29 +332,37 @@ where
         "cost model and space disagree on the number of metrics"
     );
     let start = Instant::now();
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(config.threads.unwrap_or(0))
-        .build()
-        .expect("optimizer thread pool");
+    let ctx = RunCtx {
+        query,
+        model,
+        space,
+        config,
+        cache,
+    };
     let n = query.num_tables();
     let mut arena = PlanArena::new();
     let mut stats = OptStats::default();
     let mut best: HashMap<TableSet, Vec<PendingPlan<S>>> = HashMap::new();
 
     // Base tables: all access paths, pruned against each other
-    // (Algorithm 1 lines 3–6).
+    // (Algorithm 1 lines 3–6). Runs under the pool so every nested
+    // fan-out (e.g. the space's per-simplex subtraction) sees the
+    // configured thread budget, not the machine's.
     for t in 0..n {
-        let mut plans: Vec<PendingPlan<S>> = Vec::new();
-        let mut tally = Tally::default();
-        for alt in model.scan_alternatives(query, t) {
-            let cost = space.lift(&*alt.cost);
-            let node = PlanNode::Scan {
-                table: t,
-                op: alt.op,
-            };
-            tally.plans_created += 1;
-            prune(space, config, &mut plans, node, cost, &mut tally);
-        }
+        let (plans, tally) = pool.install(|| {
+            let mut plans: Vec<PendingPlan<S>> = Vec::new();
+            let mut tally = Tally::default();
+            for alt in model.scan_alternatives(query, t) {
+                let cost = lift_cost(space, cache, alt.shape.as_ref(), &*alt.cost).into_owned();
+                let node = PlanNode::Scan {
+                    table: t,
+                    op: alt.op,
+                };
+                tally.plans_created += 1;
+                prune(space, config, &mut plans, node, cost, &mut tally);
+            }
+            (plans, tally)
+        });
         register_level_result(
             &mut arena,
             &mut stats,
@@ -284,8 +393,7 @@ where
         let results: Vec<(TableSet, Vec<PendingPlan<S>>, Tally)> = pool.install(|| {
             sets.par_iter()
                 .map(|&(q, q_connected)| {
-                    let (plans, tally) =
-                        optimize_set(query, model, space, config, &best, q, q_connected);
+                    let (plans, tally) = optimize_set(ctx, &best, q, q_connected);
                     (q, plans, tally)
                 })
                 .collect()

@@ -1,0 +1,255 @@
+//! Batched multi-query optimization through shared state.
+//!
+//! The paper optimizes one query at a time; a production service sees
+//! *workloads* — batches of queries, many of which scan and join the same
+//! tables. An [`OptimizerSession`] owns everything that is profitably
+//! shared across such a batch:
+//!
+//! * the **space** (one shared parameter grid, so lifted costs are
+//!   compatible across queries),
+//! * the **cost-lifting cache** ([`LiftCache`]): lifting a scan/join cost
+//!   closure onto the grid/PWL representation is pure in the operator's
+//!   cost shape, so queries sharing tables reuse each other's liftings
+//!   (the cross-query sharing idea of Kathuria & Sudarshan's multi-query
+//!   optimization, applied to MPQ's lifting step),
+//! * the **worker pool**: batches fan out across workers with a
+//!   deterministic ordered merge, exactly like the per-level DP fan-out
+//!   inside one query.
+//!
+//! # Determinism
+//!
+//! [`OptimizerSession::optimize_batch`] is **bit-identical to one-by-one
+//! optimization**: per-query `plans_created`/`final_plans` counters,
+//! retained cost functions and frontiers match a sequential
+//! [`optimize`](crate::rrpa::optimize) run for every seed, thread count
+//! and space backend (enforced by `tests/batch_proptest.rs`). Cached
+//! lifts are pure functions of their shape keys, results merge in
+//! submission order, and each query owns its own plan arena. Cache
+//! hit/miss totals are deterministic too — each distinct shape misses
+//! exactly once (see [`mpq_cost::cache`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mpq_core::prelude::*;
+//! use mpq_core::session::OptimizerSession;
+//! use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+//! use mpq_catalog::graph::Topology;
+//! use mpq_cloud::model::CloudCostModel;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 4, 1.0);
+//! let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(1));
+//! let model = CloudCostModel::default();
+//! let config = OptimizerConfig::default_for(1);
+//! let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+//! let session = OptimizerSession::new(space, &model, config);
+//! let solutions = session.optimize_batch(&workload.queries);
+//! assert_eq!(solutions.len(), 4);
+//! assert!(session.cache_stats().hits > 0, "identical queries share lifts");
+//! ```
+
+use crate::rrpa::{optimize_with, LiftCache, MpqSolution};
+use crate::space::MpqSpace;
+use crate::OptimizerConfig;
+use mpq_catalog::Query;
+use mpq_cloud::model::ParametricCostModel;
+use mpq_cost::CacheStats;
+use rayon::prelude::*;
+
+/// Shared state for optimizing a batch of queries: the space, the cost
+/// model, the cost-lifting cache and the worker pool. See the module docs.
+pub struct OptimizerSession<'m, S: MpqSpace, M: ParametricCostModel + ?Sized> {
+    space: S,
+    model: &'m M,
+    config: OptimizerConfig,
+    cache: Option<LiftCache<S>>,
+    pool: rayon::ThreadPool,
+}
+
+impl<'m, S, M> OptimizerSession<'m, S, M>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
+    /// A session over `space` and `model` with the cost-lifting cache
+    /// enabled.
+    ///
+    /// The session owns the space: every query of the batch is lifted
+    /// onto the same grid, which is what makes cached costs compatible
+    /// across queries. Shape keys are canonical *within one model
+    /// instance* (`mpq_cloud::shape`), which the borrow pins down.
+    pub fn new(space: S, model: &'m M, config: OptimizerConfig) -> Self {
+        Self::build(space, model, config, true)
+    }
+
+    /// A session without the cache — every query lifts its own costs.
+    /// Used to measure the cache's contribution (`bench_rrpa --batch`).
+    pub fn without_cache(space: S, model: &'m M, config: OptimizerConfig) -> Self {
+        Self::build(space, model, config, false)
+    }
+
+    fn build(space: S, model: &'m M, config: OptimizerConfig, cached: bool) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(config.threads.unwrap_or(0))
+            .build()
+            .expect("session thread pool");
+        Self {
+            space,
+            model,
+            config,
+            cache: cached.then(LiftCache::<S>::new),
+            pool,
+        }
+    }
+
+    /// The session's space (needed to evaluate returned solutions).
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// Optimizes one query through the session's shared state.
+    ///
+    /// # Panics
+    /// Panics if the query is invalid, the model's metric count differs
+    /// from the space's, or the query references more parameters than
+    /// the session's shared parameter space covers (its cost closures
+    /// would index past the space dimension).
+    pub fn optimize(&self, query: &Query) -> MpqSolution<S> {
+        assert!(
+            query.num_params <= self.space.dim(),
+            "query references {} parameters but the session space covers {} dimension(s)",
+            query.num_params,
+            self.space.dim()
+        );
+        optimize_with(
+            query,
+            self.model,
+            &self.space,
+            &self.config,
+            &self.pool,
+            self.cache.as_ref(),
+        )
+    }
+
+    /// Optimizes a batch of queries, fanning the queries out across the
+    /// session's worker pool and merging results in submission order.
+    /// Per-query results are bit-identical to one-by-one optimization
+    /// (see the module docs); each solution owns its own plan arena.
+    ///
+    /// # Panics
+    /// Panics if any query is invalid (see [`crate::rrpa::optimize`]).
+    pub fn optimize_batch(&self, queries: &[Query]) -> Vec<MpqSolution<S>> {
+        self.pool
+            .install(|| queries.par_iter().map(|q| self.optimize(q)).collect())
+    }
+
+    /// Hit/miss counters of the cost-lifting cache (all-zero for
+    /// [`OptimizerSession::without_cache`] sessions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Number of distinct operator cost shapes lifted so far.
+    pub fn cached_shapes(&self) -> usize {
+        self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid_space::GridSpace;
+    use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+    use mpq_catalog::graph::Topology;
+    use mpq_cloud::model::CloudCostModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session(
+        model: &CloudCostModel,
+        params: usize,
+        cached: bool,
+    ) -> OptimizerSession<'_, GridSpace, CloudCostModel> {
+        let config = OptimizerConfig::default_for(params);
+        let space = GridSpace::for_unit_box(params, &config, 2).unwrap();
+        if cached {
+            OptimizerSession::new(space, model, config)
+        } else {
+            OptimizerSession::without_cache(space, model, config)
+        }
+    }
+
+    /// The satellite requirement: the cache must actually *hit* (not just
+    /// not crash) when two queries share a table.
+    #[test]
+    fn cache_hits_when_queries_share_tables() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 2, 1.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(9));
+        let model = CloudCostModel::default();
+        let s = session(&model, 1, true);
+        let solutions = s.optimize_batch(&workload.queries);
+        assert_eq!(solutions.len(), 2);
+        let stats = s.cache_stats();
+        assert!(stats.misses > 0, "first query must lift");
+        assert!(
+            stats.hits >= stats.misses,
+            "an identical second query must hit every shape the first lifted \
+             (hits {} vs misses {})",
+            stats.hits,
+            stats.misses
+        );
+        assert!(s.cached_shapes() as u64 == stats.misses);
+    }
+
+    #[test]
+    fn disjoint_queries_share_nothing() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 2, 0.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(3));
+        let model = CloudCostModel::default();
+        let s = session(&model, 1, true);
+        let _ = s.optimize_batch(&workload.queries);
+        // Fresh tables draw fresh log-uniform cardinalities; a collision
+        // of every scan and join shape is practically impossible, but a
+        // stray shared *constant* shape would also be a legitimate hit —
+        // so only sanity-check the direction.
+        let stats = s.cache_stats();
+        assert!(stats.misses > stats.hits);
+    }
+
+    /// A batched run must equal the one-by-one run bit for bit.
+    #[test]
+    fn batch_matches_sequential_exactly() {
+        let cfg = WorkloadConfig::mixed(GeneratorConfig::paper(4, Topology::Chain, 1), 3, 0.5);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(17));
+        let model = CloudCostModel::default();
+        let s = session(&model, 1, true);
+        let batched = s.optimize_batch(&workload.queries);
+        for (q, b) in workload.queries.iter().zip(&batched) {
+            let config = OptimizerConfig::default_for(1);
+            let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+            let solo = crate::rrpa::optimize(q, &model, &space, &config);
+            assert_eq!(solo.stats.plans_created, b.stats.plans_created);
+            assert_eq!(solo.stats.plans_pruned, b.stats.plans_pruned);
+            assert_eq!(solo.plans.len(), b.plans.len());
+            for (x, (sp, bp)) in [[0.1], [0.5], [0.9]]
+                .iter()
+                .flat_map(|x| solo.plans.iter().zip(&b.plans).map(move |p| (x, p)))
+            {
+                assert_eq!(space.eval(&sp.cost, x), s.space().eval(&bp.cost, x));
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_session_reports_zero_stats() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(2, Topology::Chain, 1), 2, 1.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(1));
+        let model = CloudCostModel::default();
+        let s = session(&model, 1, false);
+        let _ = s.optimize_batch(&workload.queries);
+        assert_eq!(s.cache_stats(), CacheStats::default());
+    }
+}

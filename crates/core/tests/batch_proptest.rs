@@ -1,0 +1,175 @@
+//! Property-based determinism tests for batched multi-query optimization.
+//!
+//! An `OptimizerSession` batch run shares a cost-lifting cache and a
+//! worker pool across queries, but must be **bit-identical** to
+//! optimizing every query one by one: per-query `plans_created` /
+//! `plans_pruned` / `final_plans` counters, retained plan ids and exact
+//! frontier cost vectors — for every random workload (topology, overlap
+//! ratio, batch size, seed), every thread count, and both PWL space
+//! backends.
+
+use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+use mpq_catalog::graph::Topology;
+use mpq_catalog::Query;
+use mpq_cloud::model::CloudCostModel;
+use mpq_core::grid_space::GridSpace;
+use mpq_core::pwl_space::PwlSpace;
+use mpq_core::rrpa::{optimize, MpqSolution};
+use mpq_core::session::OptimizerSession;
+use mpq_core::space::MpqSpace;
+use mpq_core::OptimizerConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic probe points for frontier comparison.
+fn probes(dim: usize) -> Vec<Vec<f64>> {
+    [0.0, 0.15, 0.5, 0.85, 1.0]
+        .iter()
+        .map(|&v| vec![v; dim])
+        .collect()
+}
+
+/// Per-query facts that must match bit for bit between a batched and a
+/// sequential run.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    plans_created: u64,
+    plans_pruned: u64,
+    final_plans: usize,
+    /// Exact frontier (plan ids and cost vectors) at every probe point.
+    frontiers: Vec<Vec<(mpq_core::plan::PlanId, Vec<f64>)>>,
+}
+
+fn fingerprint<S: MpqSpace>(space: &S, sol: &MpqSolution<S>) -> Fingerprint {
+    Fingerprint {
+        plans_created: sol.stats.plans_created,
+        plans_pruned: sol.stats.plans_pruned,
+        final_plans: sol.stats.final_plan_count,
+        frontiers: probes(space.dim())
+            .iter()
+            .map(|x| sol.frontier_at(space, x))
+            .collect(),
+    }
+}
+
+/// Sequential reference: every query optimized alone, single-threaded, no
+/// cache, fresh space per query.
+fn sequential_reference<S, F>(
+    queries: &[Query],
+    config: &OptimizerConfig,
+    make: F,
+) -> Vec<Fingerprint>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    F: Fn() -> S,
+{
+    let model = CloudCostModel::default();
+    let mut cfg = config.clone();
+    cfg.threads = Some(1);
+    queries
+        .iter()
+        .map(|q| {
+            let space = make();
+            let sol = optimize(q, &model, &space, &cfg);
+            fingerprint(&space, &sol)
+        })
+        .collect()
+}
+
+/// Batched runs at several thread counts, each compared against the
+/// reference.
+fn assert_batched_matches<S, F>(
+    queries: &[Query],
+    config: &OptimizerConfig,
+    make: F,
+    reference: &[Fingerprint],
+    label: &str,
+) -> Result<(), TestCaseError>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    F: Fn() -> S,
+{
+    let model = CloudCostModel::default();
+    for threads in [1usize, 2, 4] {
+        let mut cfg = config.clone();
+        cfg.threads = Some(threads);
+        let session = OptimizerSession::new(make(), &model, cfg);
+        let solutions = session.optimize_batch(queries);
+        prop_assert_eq!(solutions.len(), queries.len());
+        for (i, sol) in solutions.iter().enumerate() {
+            let got = fingerprint(session.space(), sol);
+            prop_assert_eq!(
+                &got,
+                &reference[i],
+                "{} backend diverged from sequential (query {}, {} threads)",
+                label,
+                i,
+                threads
+            );
+        }
+        // The deterministic cache contract: every distinct shape misses
+        // exactly once, regardless of the thread count.
+        let stats = session.cache_stats();
+        prop_assert_eq!(
+            stats.misses,
+            session.cached_shapes() as u64,
+            "cache misses must equal distinct shapes"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // Each case runs 3 sequential + 3×3 batched optimizations per
+    // backend; sizes stay small so the exact pwl backend remains cheap.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batched_equals_sequential_everywhere(
+        num_tables in 2usize..=4,
+        topo in 0usize..=2,
+        params in 1usize..=2,
+        batch in 2usize..=3,
+        overlap_idx in 0usize..=2,
+        seed in 0u64..1000,
+    ) {
+        let overlap = [0.0, 0.5, 1.0][overlap_idx];
+        let params = params.min(num_tables);
+        let gen_cfg = GeneratorConfig::paper(num_tables, Topology::Chain, params);
+        let wcfg = match topo {
+            0 => WorkloadConfig::uniform(gen_cfg, batch, overlap),
+            1 => WorkloadConfig::uniform(
+                GeneratorConfig { topology: Topology::Star, ..gen_cfg },
+                batch,
+                overlap,
+            ),
+            _ => WorkloadConfig::mixed(gen_cfg, batch, overlap),
+        };
+        let workload = generate_workload(&wcfg, &mut StdRng::seed_from_u64(seed));
+        // The session space must cover every query's parameters.
+        prop_assert_eq!(workload.max_params(), params);
+        let config = OptimizerConfig {
+            grid_resolution: 4,
+            ..OptimizerConfig::default_for(params)
+        };
+
+        // Grid backend: every case.
+        let make_grid = || GridSpace::for_unit_box(params, &config, 2).expect("grid space");
+        let reference = sequential_reference(&workload.queries, &config, make_grid);
+        assert_batched_matches(&workload.queries, &config, make_grid, &reference, "grid")?;
+
+        // Exact pwl backend: the 1-parameter cases (its piece algebra is
+        // the costly one; the backend itself is 1-param-sized, matching
+        // the benchmark matrix).
+        if params == 1 && num_tables <= 3 {
+            let make_pwl = || PwlSpace::for_unit_box(params, &config, 2).expect("pwl space");
+            let reference = sequential_reference(&workload.queries, &config, make_pwl);
+            assert_batched_matches(&workload.queries, &config, make_pwl, &reference, "pwl")?;
+        }
+    }
+}

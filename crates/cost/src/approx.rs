@@ -12,12 +12,18 @@
 //!   continuous closures).
 //!
 //! Vertex evaluations are cached across simplices (each interior vertex is
-//! shared by up to `2ᵈ · d!` simplices), so a closure is evaluated exactly
-//! `(resolution + 1)ᵈ` times per metric.
+//! shared by up to `2ᵈ · d!` simplices), and vector-valued closures are
+//! evaluated **once per distinct vertex for all metrics**
+//! ([`approximate_vector`]): a closure is evaluated exactly
+//! `(resolution + 1)ᵈ` times per lift, however many metrics it prices.
+//! Piece regions of general PWL liftings are the grid's interned
+//! (`Arc`-shared) simplex polytopes, so lifting never clones simplex
+//! geometry.
 
 use crate::{CostVec, LinearFn, LinearPiece, MultiCostFn, PwlFn};
 use mpq_geometry::grid::{GridSimplex, ParamGrid};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Interpolates the unique linear function through the simplex vertices
 /// with the given values (`values[i]` at `simplex.vertices[i]`).
@@ -68,36 +74,77 @@ pub fn approximate_scalar(grid: &ParamGrid, mut f: impl FnMut(&[f64]) -> f64) ->
         .collect()
 }
 
-/// Builds a general [`PwlFn`] approximating `f` on the grid.
+/// Evaluates the vector-valued closure `f` **once** per distinct grid
+/// vertex and interpolates every metric's linear function on every
+/// simplex. Returns one `Vec<LinearFn>` per metric, indexed by simplex id
+/// — numerically identical to running [`approximate_scalar`] per metric,
+/// with `num_metrics`× fewer closure evaluations.
+pub fn approximate_vector(
+    grid: &ParamGrid,
+    num_metrics: usize,
+    mut f: impl FnMut(&[f64]) -> CostVec,
+) -> Vec<Vec<LinearFn>> {
+    // Vertex costs live in a flat store; the map resolves a vertex key to
+    // its store index exactly once per (simplex, vertex) — metrics then
+    // read the stored vector by index, so hashing does not scale with the
+    // metric count.
+    let mut ids: HashMap<Vec<i64>, usize> = HashMap::new();
+    let mut store: Vec<CostVec> = Vec::new();
+    let mut metrics: Vec<Vec<LinearFn>> = (0..num_metrics)
+        .map(|_| Vec::with_capacity(grid.num_simplices()))
+        .collect();
+    let mut values = vec![0.0; grid.dim() + 1];
+    let mut vertex_ids = vec![0usize; grid.dim() + 1];
+    for s in grid.simplices() {
+        for (slot, v) in vertex_ids.iter_mut().zip(&s.vertices) {
+            *slot = *ids.entry(vertex_key(grid, v)).or_insert_with(|| {
+                let c = f(v);
+                debug_assert_eq!(c.len(), num_metrics);
+                store.push(c);
+                store.len() - 1
+            });
+        }
+        for m in 0..num_metrics {
+            for (slot, &id) in values.iter_mut().zip(&vertex_ids) {
+                *slot = store[id][m];
+            }
+            metrics[m]
+                .push(interpolate_simplex(s, &values).expect("grid simplices are non-degenerate"));
+        }
+    }
+    metrics
+}
+
+/// Builds a general [`PwlFn`] approximating `f` on the grid. Piece regions
+/// are the grid's interned simplex polytopes.
 pub fn pwl_from_closure(grid: &ParamGrid, f: impl FnMut(&[f64]) -> f64) -> PwlFn {
     let fns = approximate_scalar(grid, f);
-    let pieces = grid
-        .simplices()
-        .iter()
-        .zip(fns)
+    PwlFn::new(grid.dim(), pieces_on_grid(grid, fns))
+}
+
+/// Pairs per-simplex linear functions with the grid's interned simplex
+/// regions.
+fn pieces_on_grid(grid: &ParamGrid, fns: Vec<LinearFn>) -> Vec<LinearPiece> {
+    fns.into_iter()
+        .enumerate()
         .map(|(s, lin)| LinearPiece {
-            region: s.polytope.clone(),
+            region: Arc::clone(grid.simplex_poly(s)),
             f: lin,
         })
-        .collect();
-    PwlFn::new(grid.dim(), pieces)
+        .collect()
 }
 
 /// Builds a [`MultiCostFn`] approximating the vector-valued closure `f`
-/// (which must return `num_metrics` values) on the grid.
+/// (which must return `num_metrics` values) on the grid, evaluating `f`
+/// once per distinct vertex for all metrics.
 pub fn multi_from_closure(
     grid: &ParamGrid,
     num_metrics: usize,
     f: impl Fn(&[f64]) -> CostVec,
 ) -> MultiCostFn {
-    let metrics = (0..num_metrics)
-        .map(|m| {
-            pwl_from_closure(grid, |x| {
-                let v = f(x);
-                debug_assert_eq!(v.len(), num_metrics);
-                v[m]
-            })
-        })
+    let metrics = approximate_vector(grid, num_metrics, f)
+        .into_iter()
+        .map(|fns| PwlFn::new(grid.dim(), pieces_on_grid(grid, fns)))
         .collect();
     MultiCostFn::new(metrics)
 }

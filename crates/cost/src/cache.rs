@@ -1,0 +1,156 @@
+//! The cross-query cost-lifting cache.
+//!
+//! Lifting an operator's cost closure onto the optimizer's representation
+//! — grid interpolation plus one linear solve per simplex per metric — is
+//! pure in the operator's cost *shape* (its numeric inputs), so queries of
+//! a batch that share tables recompute identical liftings today.
+//! [`LiftedCostCache`] memoizes lifted costs behind `Arc`s keyed on a
+//! caller-provided canonical shape key (`mpq_cloud::shape::OpShape` in the
+//! optimizer session): the first query lifts, every later query sharing
+//! the shape clones an `Arc`.
+//!
+//! The cache is generic over both key and value so the grid backend
+//! (`GridCost`), the general PWL backend (`MultiCostFn`) and the sampled
+//! backend share one implementation — whatever `MpqSpace::Cost` is in a
+//! session.
+//!
+//! # Determinism
+//!
+//! Values are built **while holding the map lock**, so every key is lifted
+//! exactly once no matter how many worker threads race on it. Because a
+//! lift is a pure function of its key (the soundness contract of the shape
+//! type), cached results are bit-identical to per-query lifting — and the
+//! hit/miss totals are deterministic for every thread count and batch
+//! schedule: `misses` always equals the number of distinct shapes seen,
+//! `hits` the remaining lookups.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/entry counts of a [`LiftedCostCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to lift (one per distinct shape).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizes lifted operator costs (`K` = canonical cost shape, `V` = the
+/// space's cost representation) behind `Arc`-shared immutable values.
+#[derive(Debug)]
+pub struct LiftedCostCache<K, V> {
+    map: Mutex<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for LiftedCostCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> LiftedCostCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> LiftedCostCache<K, V> {
+    /// The lifted cost for `key`, building it with `lift` on first sight.
+    ///
+    /// `lift` runs under the cache lock: each key is built exactly once,
+    /// which keeps the counters deterministic under concurrency (see the
+    /// module docs). Lifts are pure and allocation-bound, so the critical
+    /// section is short; a contended build blocks only threads asking for
+    /// a cost they are about to need anyway.
+    pub fn get_or_lift(&self, key: &K, lift: impl FnOnce() -> V) -> Arc<V> {
+        let mut map = self.map.lock().expect("lift cache poisoned");
+        if let Some(v) = map.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(lift());
+        map.insert(key.clone(), Arc::clone(&v));
+        v
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("lift cache poisoned").len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifts_once_per_key_and_counts() {
+        let cache: LiftedCostCache<u64, Vec<f64>> = LiftedCostCache::new();
+        let mut built = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_lift(&7, || {
+                built += 1;
+                vec![1.0, 2.0]
+            });
+            assert_eq!(*v, vec![1.0, 2.0]);
+        }
+        assert_eq!(built, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+        assert_eq!(cache.len(), 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_lift_separately() {
+        let cache: LiftedCostCache<u64, u64> = LiftedCostCache::new();
+        assert_eq!(*cache.get_or_lift(&1, || 10), 10);
+        assert_eq!(*cache.get_or_lift(&2, || 20), 20);
+        assert_eq!(*cache.get_or_lift(&1, || 99), 10, "cached value wins");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn shared_values_are_one_allocation() {
+        let cache: LiftedCostCache<u64, Vec<f64>> = LiftedCostCache::new();
+        let a = cache.get_or_lift(&1, || vec![1.0]);
+        let b = cache.get_or_lift(&1, || vec![2.0]);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

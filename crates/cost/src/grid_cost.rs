@@ -142,21 +142,14 @@ impl GridCost {
     }
 
     /// Approximates the vector-valued closure `f` on the grid (exact at
-    /// grid vertices; see [`crate::approx`]).
+    /// grid vertices; see [`crate::approx`]). The closure is evaluated
+    /// once per distinct vertex for all metrics.
     pub fn from_closure(
         grid: Arc<ParamGrid>,
         num_metrics: usize,
         f: impl Fn(&[f64]) -> CostVec,
     ) -> Self {
-        let metrics = (0..num_metrics)
-            .map(|m| {
-                approx::approximate_scalar(&grid, |x| {
-                    let v = f(x);
-                    debug_assert_eq!(v.len(), num_metrics);
-                    v[m]
-                })
-            })
-            .collect();
+        let metrics = approx::approximate_vector(&grid, num_metrics, f);
         Self::new(grid, metrics)
     }
 
@@ -403,6 +396,7 @@ impl GridCost {
 
     /// Converts to the general representation (one piece per simplex per
     /// metric) for interop with [`MultiCostFn`]-based code and tests.
+    /// Piece regions are the grid's interned simplex polytopes.
     pub fn to_multi_cost_fn(&self) -> MultiCostFn {
         let dim = self.grid.dim();
         let metrics = (0..self.num_metrics)
@@ -412,7 +406,7 @@ impl GridCost {
                     .simplices()
                     .iter()
                     .map(|s| LinearPiece {
-                        region: s.polytope.clone(),
+                        region: Arc::clone(self.grid.simplex_poly(s.id)),
                         f: self.piece(m, s.id),
                     })
                     .collect();

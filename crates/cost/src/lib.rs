@@ -23,11 +23,13 @@
 //!   (exact at grid vertices, exact everywhere for affine closures).
 
 pub mod approx;
+pub mod cache;
 mod grid_cost;
 mod linear;
 mod multi;
 mod pwl;
 
+pub use cache::{CacheStats, LiftedCostCache};
 pub use grid_cost::{
     DominanceHalfspaces, GridCost, HalfspaceList, MetricOnSimplex, SimplexDominance,
 };

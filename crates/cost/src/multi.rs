@@ -204,11 +204,11 @@ mod tests {
             1,
             vec![
                 LinearPiece {
-                    region: interval(0.0, 0.5),
+                    region: std::sync::Arc::new(interval(0.0, 0.5)),
                     f: LinearFn::new(vec![1.0], 0.0),
                 },
                 LinearPiece {
-                    region: interval(0.5, 1.0),
+                    region: std::sync::Arc::new(interval(0.5, 1.0)),
                     f: LinearFn::new(vec![-1.0], 1.0),
                 },
             ],

@@ -3,15 +3,34 @@
 use crate::LinearFn;
 use mpq_geometry::{Halfspace, HalfspaceKind, Polytope};
 use mpq_lp::LpCtx;
+use std::sync::Arc;
 
 /// One linear piece: a linear function together with the convex polytope on
 /// which it applies (the `reg`/`w`/`b` triple of Figure 9 in the paper).
+///
+/// The region sits behind an `Arc`: pieces lifted on a shared grid all
+/// point at the grid's interned simplex polytopes, and the piece algebra
+/// keeps that sharing alive — intersecting two pieces whose regions are
+/// the *same* `Arc` (the dominant case for aligned decompositions) just
+/// bumps the reference count instead of cloning constraint lists.
 #[derive(Debug, Clone)]
 pub struct LinearPiece {
     /// The convex region on which `f` applies.
-    pub region: Polytope,
+    pub region: Arc<Polytope>,
     /// The linear function on that region.
     pub f: LinearFn,
+}
+
+/// The intersection of two piece regions, preserving `Arc` sharing:
+/// identical `Arc`s short-circuit to a reference-count bump (content-wise
+/// exactly what [`Polytope::intersect_dedup`] would return, since every
+/// constraint of the other operand is a duplicate).
+fn shared_intersect(a: &Arc<Polytope>, b: &Arc<Polytope>) -> Arc<Polytope> {
+    if Arc::ptr_eq(a, b) {
+        Arc::clone(a)
+    } else {
+        Arc::new(a.intersect_dedup(b))
+    }
 }
 
 /// A piecewise-linear function: linear on convex polytopes whose interiors
@@ -38,7 +57,13 @@ impl PwlFn {
     /// A single-piece (linear) function on `region`.
     pub fn from_linear(region: Polytope, f: LinearFn) -> Self {
         let dim = region.dim();
-        Self::new(dim, vec![LinearPiece { region, f }])
+        Self::new(
+            dim,
+            vec![LinearPiece {
+                region: Arc::new(region),
+                f,
+            }],
+        )
     }
 
     /// The constant function `c` on `region`.
@@ -66,7 +91,7 @@ impl PwlFn {
             .map(|p| p.f.eval(x))
     }
 
-    /// Scales values by `k ≥ 0` (piece regions unchanged).
+    /// Scales values by `k ≥ 0` (piece regions shared, not cloned).
     pub fn scale(&self, k: f64) -> PwlFn {
         debug_assert!(k >= 0.0, "scaling by a negative factor breaks dominance");
         PwlFn {
@@ -75,14 +100,14 @@ impl PwlFn {
                 .pieces
                 .iter()
                 .map(|p| LinearPiece {
-                    region: p.region.clone(),
+                    region: Arc::clone(&p.region),
                     f: p.f.scale(k),
                 })
                 .collect(),
         }
     }
 
-    /// Adds a constant offset.
+    /// Adds a constant offset (piece regions shared, not cloned).
     pub fn add_const(&self, c: f64) -> PwlFn {
         PwlFn {
             dim: self.dim,
@@ -90,7 +115,7 @@ impl PwlFn {
                 .pieces
                 .iter()
                 .map(|p| LinearPiece {
-                    region: p.region.clone(),
+                    region: Arc::clone(&p.region),
                     f: p.f.add_const(c),
                 })
                 .collect(),
@@ -145,14 +170,14 @@ impl PwlFn {
                     let mut out = Vec::with_capacity(2);
                     if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&h)) {
                         out.push(LinearPiece {
-                            region: r.with(h.clone()),
+                            region: Arc::new(r.with(h.clone())),
                             f: upper.clone(),
                         });
                     }
                     let hc = h.complement();
                     if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&hc)) {
                         out.push(LinearPiece {
-                            region: r.with(hc),
+                            region: Arc::new(r.with(hc)),
                             f: lower.clone(),
                         });
                     }
@@ -166,7 +191,7 @@ impl PwlFn {
         &self,
         other: &PwlFn,
         ctx: &LpCtx,
-        mut make: impl FnMut(Polytope, &LinearFn, &LinearFn) -> Vec<LinearPiece>,
+        mut make: impl FnMut(Arc<Polytope>, &LinearFn, &LinearFn) -> Vec<LinearPiece>,
     ) -> PwlFn {
         debug_assert_eq!(self.dim, other.dim);
         let mut pieces = Vec::with_capacity(self.pieces.len().max(other.pieces.len()));
@@ -174,9 +199,10 @@ impl PwlFn {
             for p2 in &other.pieces {
                 // Borrow-based emptiness (with the exact 1-D fast path)
                 // before materialising: aligned decompositions kill almost
-                // every cross pair here, without LPs or clones.
+                // every cross pair here, without LPs or clones — and
+                // interned (`Arc`-identical) regions intersect for free.
                 if !p1.region.intersection_is_empty(ctx, &p2.region) {
-                    pieces.extend(make(p1.region.intersect_dedup(&p2.region), &p1.f, &p2.f));
+                    pieces.extend(make(shared_intersect(&p1.region, &p2.region), &p1.f, &p2.f));
                 }
             }
         }
@@ -202,7 +228,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, f)| LinearPiece {
-                region: interval(breaks[i], breaks[i + 1]),
+                region: Arc::new(interval(breaks[i], breaks[i + 1])),
                 f: f.clone(),
             })
             .collect();

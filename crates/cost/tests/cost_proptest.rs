@@ -28,8 +28,8 @@ proptest! {
         let left = square.clone().with(mpq_geometry::Halfspace::proper(vec![1.0, 0.0], 0.5));
         let right = square.clone().with(mpq_geometry::Halfspace::proper(vec![-1.0, 0.0], -0.5));
         let f = PwlFn::new(2, vec![
-            mpq_cost::LinearPiece { region: left, f: f1.clone() },
-            mpq_cost::LinearPiece { region: right, f: f2.clone() },
+            mpq_cost::LinearPiece { region: left.into(), f: f1.clone() },
+            mpq_cost::LinearPiece { region: right.into(), f: f2.clone() },
         ]);
         let gf = PwlFn::from_linear(square, g.clone());
         let sum = f.add(&gf, &ctx);

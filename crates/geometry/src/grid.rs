@@ -17,6 +17,7 @@
 //!   single simplex, which keeps emptiness checks local.
 
 use crate::Polytope;
+use std::sync::Arc;
 
 /// One simplex of the triangulated parameter grid.
 #[derive(Debug, Clone)]
@@ -55,6 +56,11 @@ pub struct ParamGrid {
     cell_size: Vec<f64>,
     perms: Vec<Vec<usize>>,
     simplices: Vec<GridSimplex>,
+    /// Interned simplex polytopes, in simplex-id order: piecewise cost
+    /// algebra holds piece regions behind these `Arc`s, so aligned
+    /// decompositions share one polytope per simplex instead of cloning it
+    /// per plan per metric.
+    poly_arcs: Vec<Arc<Polytope>>,
 }
 
 /// Largest supported parameter dimension (`d!` growth caps practicality).
@@ -136,6 +142,10 @@ impl ParamGrid {
                 simplices.push(Self::build_simplex(id, &corner, &cell_size, perm, dim));
             }
         }
+        let poly_arcs = simplices
+            .iter()
+            .map(|s| Arc::new(s.polytope.clone()))
+            .collect();
         Ok(Self {
             lo: lo.to_vec(),
             hi: hi.to_vec(),
@@ -144,6 +154,7 @@ impl ParamGrid {
             cell_size,
             perms,
             simplices,
+            poly_arcs,
         })
     }
 
@@ -235,6 +246,13 @@ impl ParamGrid {
     /// The simplex with the given id.
     pub fn simplex(&self, id: usize) -> &GridSimplex {
         &self.simplices[id]
+    }
+
+    /// The interned (`Arc`-shared) polytope of one simplex — identical
+    /// content to [`GridSimplex::polytope`]; piece algebra shares these
+    /// instead of cloning.
+    pub fn simplex_poly(&self, id: usize) -> &Arc<Polytope> {
+        &self.poly_arcs[id]
     }
 
     /// The whole parameter box as a polytope.

@@ -35,6 +35,7 @@ use crate::{Halfspace, Polytope, INTERIOR_TOL, TOL, WITNESS_MARGIN};
 use mpq_lp::{dense::dot, LpCtx, LpOutcome};
 use smallvec::SmallVec;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Inline storage for cutout halfspace lists: two-metric workloads almost
 /// never produce cutouts with more than two extra halfspaces over a grid
@@ -59,7 +60,10 @@ pub const FASTPATH_MARGIN: f64 = 1e-6;
 /// seeds relevance points.
 #[derive(Debug, Clone)]
 pub struct RegionBase {
-    polytope: Polytope,
+    /// `Arc`-shared so bases built over interned grid polytopes
+    /// ([`crate::grid::ParamGrid::simplex_poly`]) do not re-clone the
+    /// constraint lists.
+    polytope: Arc<Polytope>,
     vertices: Vec<Vec<f64>>,
     probes: Vec<Vec<f64>>,
     interior: Vec<f64>,
@@ -73,7 +77,7 @@ impl RegionBase {
     /// certificates — a centroid works), and `probes` the relevance-point
     /// candidates (at most `u16::MAX` of them).
     pub fn new(
-        polytope: Polytope,
+        polytope: Arc<Polytope>,
         vertices: Vec<Vec<f64>>,
         probes: Vec<Vec<f64>>,
         interior: Vec<f64>,
@@ -640,7 +644,7 @@ impl RegionEngine {
                 let polys: Vec<Polytope> = cutouts
                     .iter()
                     .map(|c| {
-                        let mut p = base.polytope.clone();
+                        let mut p = (*base.polytope).clone();
                         for h in &c.halfspaces {
                             p.push(h.clone());
                         }
@@ -678,7 +682,7 @@ mod tests {
 
     fn interval_base(lo: f64, hi: f64) -> RegionBase {
         RegionBase::new(
-            Polytope::from_box(&[lo], &[hi]),
+            Arc::new(Polytope::from_box(&[lo], &[hi])),
             vec![vec![lo], vec![hi]],
             vec![vec![lo], vec![hi], vec![(lo + hi) / 2.0]],
             vec![(lo + hi) / 2.0],

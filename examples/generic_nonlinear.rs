@@ -41,10 +41,12 @@ impl ParametricCostModel for NonlinearModel {
         let mut out = vec![ScanAlternative {
             op: ScanOp::TableScan,
             cost: table_scan,
+            shape: None, // demo model: opt out of the lifting cache
         }];
         if query.predicates_on(table).next().is_some() {
             out.push(ScanAlternative {
                 op: ScanOp::IndexSeek,
+                shape: None,
                 cost: Box::new(move |x| {
                     let m = matching.eval(x);
                     // Non-linear: per-row cost grows as the index degrades.
@@ -66,6 +68,7 @@ impl ParametricCostModel for NonlinearModel {
         vec![
             JoinAlternative {
                 op: JoinOp::SingleNodeHash,
+                shape: None,
                 cost: Box::new(move |x| {
                     let (b, p) = (build.eval(x), probe.eval(x));
                     let work = b * 1e-6 + p * 5e-7;
@@ -74,6 +77,7 @@ impl ParametricCostModel for NonlinearModel {
             },
             JoinAlternative {
                 op: JoinOp::ParallelHash,
+                shape: None,
                 cost: Box::new(move |x| {
                     let (b, p) = (build.eval(x), probe.eval(x));
                     let work = b * 1e-6 + p * 5e-7;

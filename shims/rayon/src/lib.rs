@@ -405,9 +405,45 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// `.par_iter_mut()` over mutably borrowed slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index (the real crate's indexed-iterator
+    /// `enumerate`; eager like the other adaptors here).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+}
+
 /// The commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
@@ -431,6 +467,15 @@ mod tests {
             .iter()
             .sum();
         assert_eq!(sum, 30);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_in_order() {
+        let mut data: Vec<usize> = (0..64).collect();
+        data.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i * 10);
+        assert_eq!(data, (0..64).map(|i| i + i * 10).collect::<Vec<_>>());
     }
 
     #[test]
