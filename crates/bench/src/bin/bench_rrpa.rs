@@ -13,8 +13,10 @@
 //!
 //! * `--space` — comma-separated space backends to measure (default
 //!   `grid`). The `pwl` backend (Algorithms 2/3 verbatim) runs a smaller
-//!   1-parameter matrix — its piece-decomposition costs grow faster than
-//!   the grid backend's.
+//!   matrix — 1-parameter chain/star plus the 2-parameter chain-4 and
+//!   star-4 configs the simplex-aligned piece-algebra fast paths make
+//!   viable — its piece-decomposition costs grow faster than the grid
+//!   backend's.
 //! * `--seeds` — random queries per configuration (default 5; medians are
 //!   reported).
 //! * `--threads` — comma-separated optimizer thread counts to measure
@@ -31,24 +33,31 @@
 //!   are embedded verbatim as the `baseline` section (used to carry the
 //!   post-manifest-fix reference numbers forward).
 //! * `--quick` — a smaller sweep for smoke-testing the harness.
-//! * `--smoke` — CI mode: one tiny batched workload, asserting that the
-//!   cache hits, that cached/uncached/one-by-one plan counters agree, and
-//!   that the JSON writer round-trips. Writes no file (`--out` is
-//!   ignored); exits non-zero on violation.
+//! * `--smoke` — CI mode: one tiny batched workload plus a tiny
+//!   2-parameter pwl config, asserting that the cache hits, that
+//!   cached/uncached/one-by-one plan counters agree, that the exact
+//!   fast paths fire (`lp_breakdown`), that per-query LP deltas are
+//!   recorded, that grid and pwl agree on the 2-param config, and that
+//!   the JSON writer round-trips. Writes no file (`--out` is ignored);
+//!   exits non-zero on violation.
 //!
 //! Interpreting the output: every entry carries the median optimization
-//! wall time, created plans, solved LPs and final Pareto-set size for one
-//! `(workload, tables, params, optimizer_threads)` configuration. Created
-//! plans and final plan counts must be identical across thread counts
-//! (the parallel DP is deterministic); wall time is the only column that
-//! may change. `batch_entries` rows additionally carry the uncached
-//! median, the cost-lifting `speedup`, and cache hit/miss counts; their
-//! `plans_created`/`final_plans` must match `batch` × the one-by-one runs
-//! seed for seed (batching is bit-identical).
+//! wall time, created plans, solved LPs, final Pareto-set size and — as
+//! of schema v4 — the `lp_breakdown` (fast-path hits vs LP fallbacks
+//! per engine call site) for one
+//! `(workload, tables, params, optimizer_threads)` configuration.
+//! Created plans and final plan counts must be identical across thread
+//! counts (the parallel DP is deterministic); wall time is the only
+//! column that may change. `batch_entries` rows additionally carry the
+//! uncached median, the cost-lifting `speedup`, cache hit/miss counts
+//! and `lps_query_median` (exact per-query LP deltas on the
+//! single-threaded batch rows); their `plans_created`/`final_plans`
+//! must match `batch` × the one-by-one runs seed for seed (batching is
+//! bit-identical).
 
 use mpq_bench::harness::{
-    baseline_json, record_medians, run_once, run_once_in, run_workload_in, sweep_threads,
-    BaselineEntry, BatchBaselineEntry, BatchRecord, SpaceKind, WorkloadSpec,
+    baseline_json, breakdown_medians, record_medians, run_once, run_once_in, run_workload_in,
+    sweep_threads, BaselineEntry, BatchBaselineEntry, BatchRecord, SpaceKind, WorkloadSpec,
 };
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
@@ -179,12 +188,20 @@ fn configs(space: SpaceKind, quick: bool) -> Vec<(Topology, &'static str, usize,
             (Topology::Chain, "chain", 10, 1),
             (Topology::Star, "star", 10, 1),
         ],
-        (SpaceKind::Pwl, true) => vec![(Topology::Chain, "chain", 4, 1)],
+        (SpaceKind::Pwl, true) => vec![
+            (Topology::Chain, "chain", 4, 1),
+            (Topology::Chain, "chain", 3, 2),
+        ],
         (SpaceKind::Pwl, false) => vec![
             (Topology::Chain, "chain", 6, 1),
             (Topology::Star, "star", 5, 1),
             (Topology::Chain, "chain", 10, 1),
             (Topology::Star, "star", 8, 1),
+            // 2-parameter rows: viable since the exact simplex-aligned
+            // piece-algebra fast paths (schema v4); previously a single
+            // seed exceeded five minutes.
+            (Topology::Chain, "chain", 4, 2),
+            (Topology::Star, "star", 4, 2),
         ],
     }
 }
@@ -226,6 +243,7 @@ fn measure(
         plans_created,
         lps_solved,
         final_plans,
+        lp_breakdown: breakdown_medians(&records),
         seeds,
     }
 }
@@ -307,6 +325,7 @@ fn measure_batch(
         cache_misses: med(&|r| r.cache_misses as f64),
         plans_created: med(&|r| r.plans_created as f64),
         final_plans: med(&|r| r.final_plans as f64),
+        lps_query_median: med(&|r| r.lps_query_median),
         seeds,
     }
 }
@@ -351,18 +370,50 @@ fn run_smoke() {
     assert_eq!(cached.plans_created, solo.plans_created * batch as u64);
     assert_eq!(cached.final_plans, solo.final_plans as u64 * batch as u64);
     assert_eq!(cached.lps_solved, solo.lps_solved * batch as u64);
-    // The JSON writer keeps its schema-v3 shape.
+    // Per-query LP deltas are live (exact for single-threaded batches).
+    assert!(
+        cached.lps_query_median > 0.0,
+        "smoke: per-query LP deltas must be recorded for batch rows"
+    );
+    // The exact fast paths carry the 2-parameter grid work, and the
+    // breakdown records where the remaining LP tail lives.
+    let breakdown = solo.lp_breakdown;
+    assert!(
+        breakdown.total_fast() > 0,
+        "smoke: 2-param grid queries must hit the exact fast paths"
+    );
+    assert!(
+        breakdown.fast[mpq_lp::FastPathSite::CutoutEmptiness as usize] > 0,
+        "smoke: cutout-emptiness prechecks must resolve LP-free"
+    );
+    // Tiny 2-parameter pwl config: the simplex-aligned piece-algebra
+    // fast paths make the exact backend viable on two parameters; the
+    // grid backend must retain exactly the same plans.
+    let pwl = run_once_in(SpaceKind::Pwl, n, topology, p, 0, &config);
+    let grid = run_once_in(SpaceKind::Grid, n, topology, p, 0, &config);
+    assert_eq!(
+        (pwl.plans_created, pwl.final_plans),
+        (grid.plans_created, grid.final_plans),
+        "smoke: grid and pwl backends diverged on the 2-param config"
+    );
+    assert!(
+        pwl.lp_breakdown.fast[mpq_lp::FastPathSite::PieceAlgebra as usize] > 0,
+        "smoke: 2-param piece algebra must resolve cross pairs LP-free"
+    );
+    // The JSON writer keeps its schema-v4 shape.
     let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
-    let json = baseline_json(&[("schema_version", "3".to_string())], &[], &[entry]);
+    let json = baseline_json(&[("schema_version", "4".to_string())], &[], &[entry]);
     assert!(json.contains("\"batch_entries\"") && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"lps_query_median\""));
     eprintln!(
         "smoke ok: {workload} n={n} p={p} batch={batch} plans={} hits={} misses={} \
-         ({:.0}ms cached / {:.0}ms uncached)",
+         ({:.0}ms cached / {:.0}ms uncached; pwl 2-param plans={})",
         cached.plans_created,
         cached.cache_hits,
         cached.cache_misses,
         cached.time_ms,
-        nocache.time_ms
+        nocache.time_ms,
+        pwl.plans_created
     );
 }
 
@@ -440,7 +491,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",");
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "3".to_string()),
+        ("schema_version", "4".to_string()),
         (
             "command",
             format!(

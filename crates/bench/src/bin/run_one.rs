@@ -1,0 +1,70 @@
+//! Debug helper: run one `(space, topology, tables, params, seed)`
+//! configuration and print its counters plus the per-site LP breakdown —
+//! the quickest way to check a single cell of the bench matrix against
+//! `BENCH_rrpa.json` (plans must match seed for seed; `lps_solved` and
+//! the breakdown show where a change moved the LP tail).
+//!
+//! Usage: `cargo run --release -p mpq-bench --bin run_one -- grid star 8 2 0`
+
+use mpq_catalog::generator::{generate, GeneratorConfig};
+use mpq_catalog::graph::Topology;
+use mpq_cloud::model::{CloudCostModel, ParametricCostModel};
+use mpq_core::grid_space::GridSpace;
+use mpq_core::pwl_space::PwlSpace;
+use mpq_core::rrpa::optimize;
+use mpq_core::OptimizerConfig;
+use mpq_lp::FastPathSite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let topology = if args[1] == "star" {
+        Topology::Star
+    } else {
+        Topology::Chain
+    };
+    let tables: usize = args[2].parse().unwrap();
+    let params: usize = args[3].parse().unwrap();
+    let seed: u64 = args[4].parse().unwrap();
+    let mut config = OptimizerConfig::default_for(params);
+    config.threads = Some(1);
+    let query = generate(
+        &GeneratorConfig::paper(tables, topology, params),
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let model = CloudCostModel::default();
+    let metrics = model.num_metrics();
+    let (stats, breakdown) = match args[0].as_str() {
+        "grid" => {
+            let space = GridSpace::for_unit_box(params, &config, metrics).unwrap();
+            let sol = optimize(&query, &model, &space, &config);
+            (sol.stats, space.lp_ctx().fastpath_breakdown())
+        }
+        _ => {
+            let space = PwlSpace::for_unit_box(params, &config, metrics).unwrap();
+            let sol = optimize(&query, &model, &space, &config);
+            (sol.stats, space.lp_ctx().fastpath_breakdown())
+        }
+    };
+    println!(
+        "space={} topo={} n={} p={} seed={}: time={:.0}ms plans={} lps={} final={}",
+        args[0],
+        args[1],
+        tables,
+        params,
+        seed,
+        stats.elapsed.as_secs_f64() * 1e3,
+        stats.plans_created,
+        stats.lps_solved,
+        stats.final_plan_count
+    );
+    for site in FastPathSite::ALL {
+        println!(
+            "  {:>20}: fast={:>10} lp={:>10}",
+            site.name(),
+            breakdown.fast[site as usize],
+            breakdown.lp[site as usize]
+        );
+    }
+}

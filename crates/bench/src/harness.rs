@@ -16,6 +16,7 @@ use mpq_core::rrpa::optimize;
 use mpq_core::session::OptimizerSession;
 use mpq_core::space::MpqSpace;
 use mpq_core::OptimizerConfig;
+use mpq_lp::{FastPathBreakdown, FastPathSite};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -60,6 +61,9 @@ pub struct RunRecord {
     pub lps_solved: u64,
     /// Plans in the final Pareto plan set.
     pub final_plans: usize,
+    /// Per-site fast-path hit / LP-fallback split of the run (where the
+    /// remaining LP tail lives).
+    pub lp_breakdown: FastPathBreakdown,
 }
 
 /// Runs PWL-RRPA (grid space) on one random query from the paper's
@@ -97,16 +101,18 @@ pub fn run_once_in(
     );
     let model = CloudCostModel::default();
     let metrics = model_num_metrics(&model);
-    let solution_stats = match kind {
+    let (solution_stats, lp_breakdown) = match kind {
         SpaceKind::Grid => {
             let space = GridSpace::for_unit_box(num_params, config, metrics)
                 .expect("valid grid configuration");
-            optimize(&query, &model, &space, config).stats
+            let stats = optimize(&query, &model, &space, config).stats;
+            (stats, space.lp_ctx().fastpath_breakdown())
         }
         SpaceKind::Pwl => {
             let space = PwlSpace::for_unit_box(num_params, config, metrics)
                 .expect("valid grid configuration");
-            optimize(&query, &model, &space, config).stats
+            let stats = optimize(&query, &model, &space, config).stats;
+            (stats, space.lp_ctx().fastpath_breakdown())
         }
     };
     RunRecord {
@@ -114,6 +120,7 @@ pub fn run_once_in(
         plans_created: solution_stats.plans_created,
         lps_solved: solution_stats.lps_solved,
         final_plans: solution_stats.final_plan_count,
+        lp_breakdown,
     }
 }
 
@@ -140,6 +147,10 @@ pub struct BatchRecord {
     pub cache_hits: u64,
     /// Cost-lifting cache misses (= distinct operator cost shapes).
     pub cache_misses: u64,
+    /// Median per-query LP count across the batch
+    /// (`OptStats::lps_solved_query`; exact for the single-threaded
+    /// batch measurements).
+    pub lps_query_median: f64,
 }
 
 /// One batched-workload configuration: the per-query shape plus the batch
@@ -211,6 +222,10 @@ where
     let solutions = session.optimize_batch(queries);
     let time_ms = start.elapsed().as_secs_f64() * 1e3;
     let stats = session.cache_stats();
+    let mut per_query: Vec<f64> = solutions
+        .iter()
+        .map(|s| s.stats.lps_solved_query as f64)
+        .collect();
     BatchRecord {
         time_ms,
         plans_created: solutions.iter().map(|s| s.stats.plans_created).sum(),
@@ -221,6 +236,7 @@ where
             .sum(),
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        lps_query_median: median(&mut per_query),
     }
 }
 
@@ -293,6 +309,42 @@ pub fn sweep_records(
     })
 }
 
+/// Per-site medians of the fast-path hit / LP-fallback counters across a
+/// run-record sample.
+pub fn breakdown_medians(records: &[RunRecord]) -> FastPathBreakdown {
+    let mut out = FastPathBreakdown::default();
+    for i in 0..FastPathSite::ALL.len() {
+        let mut fast: Vec<f64> = records
+            .iter()
+            .map(|r| r.lp_breakdown.fast[i] as f64)
+            .collect();
+        let mut lp: Vec<f64> = records
+            .iter()
+            .map(|r| r.lp_breakdown.lp[i] as f64)
+            .collect();
+        out.fast[i] = median(&mut fast) as u64;
+        out.lp[i] = median(&mut lp) as u64;
+    }
+    out
+}
+
+/// Serialises a [`FastPathBreakdown`] as a JSON object
+/// (`{"site": {"fast": F, "lp": L}, ...}`).
+pub fn breakdown_json(b: &FastPathBreakdown) -> String {
+    let fields: Vec<String> = FastPathSite::ALL
+        .iter()
+        .map(|&site| {
+            format!(
+                "\"{}\": {{\"fast\": {}, \"lp\": {}}}",
+                site.name(),
+                b.fast[site as usize],
+                b.lp[site as usize]
+            )
+        })
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
 /// Per-metric medians of a run-record sample: `(time_ms, plans_created,
 /// lps_solved, final_plans)`.
 pub fn record_medians(records: &[RunRecord]) -> (f64, f64, f64, f64) {
@@ -350,6 +402,9 @@ pub struct BaselineEntry {
     pub lps_solved: f64,
     /// Median final Pareto-plan-set size.
     pub final_plans: f64,
+    /// Per-site medians of the fast-path hit / LP-fallback counters
+    /// (schema v4: where the remaining LP tail lives).
+    pub lp_breakdown: FastPathBreakdown,
     /// Number of random queries (seeds) measured.
     pub seeds: usize,
 }
@@ -361,7 +416,7 @@ impl BaselineEntry {
              \"num_params\": {}, \
              \"optimizer_threads\": {}, \"median_time_ms\": {:.3}, \
              \"plans_created\": {:.0}, \"lps_solved\": {:.0}, \"final_plans\": {:.0}, \
-             \"seeds\": {}}}",
+             \"lp_breakdown\": {}, \"seeds\": {}}}",
             self.space,
             self.workload,
             self.num_tables,
@@ -371,6 +426,7 @@ impl BaselineEntry {
             self.plans_created,
             self.lps_solved,
             self.final_plans,
+            breakdown_json(&self.lp_breakdown),
             self.seeds
         )
     }
@@ -411,6 +467,9 @@ pub struct BatchBaselineEntry {
     pub plans_created: f64,
     /// Median summed final Pareto-set sizes per batch.
     pub final_plans: f64,
+    /// Median (over seeds) of the per-batch median per-query LP count
+    /// (schema v4; exact — batch rows are measured single-threaded).
+    pub lps_query_median: f64,
     /// Number of random workloads (seeds) measured.
     pub seeds: usize,
 }
@@ -428,7 +487,7 @@ impl BatchBaselineEntry {
              \"median_time_ms\": {:.3}, \"median_time_nocache_ms\": {:.3}, \
              \"speedup\": {:.3}, \"cache_hits\": {:.0}, \"cache_misses\": {:.0}, \
              \"cache_hit_rate\": {:.3}, \"plans_created\": {:.0}, \"final_plans\": {:.0}, \
-             \"seeds\": {}}}",
+             \"lps_query_median\": {:.0}, \"seeds\": {}}}",
             self.space,
             self.workload,
             self.num_tables,
@@ -444,6 +503,7 @@ impl BatchBaselineEntry {
             hit_rate,
             self.plans_created,
             self.final_plans,
+            self.lps_query_median,
             self.seeds
         )
     }
@@ -549,6 +609,7 @@ mod tests {
             plans_created: 100.0,
             lps_solved: 50.0,
             final_plans: 3.0,
+            lp_breakdown: FastPathBreakdown::default(),
             seeds: 5,
         }];
         let json = baseline_json(&[("schema_version", "1".to_string())], &entries, &[]);
@@ -594,6 +655,7 @@ mod tests {
             cache_misses: 20.0,
             plans_created: 500.0,
             final_plans: 12.0,
+            lps_query_median: 123.0,
             seeds: 5,
         }];
         let json = baseline_json(&[("schema_version", "3".to_string())], &[], &batch);

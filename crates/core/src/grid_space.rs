@@ -86,14 +86,18 @@ impl GridSpace {
         Self {
             grid,
             ctx: Arc::new(LpCtx::new()),
-            // The 1-D interval fast paths stay off: the vertex fast paths
-            // already cover every query shape this space produces, and the
-            // committed LP-count trajectory stays bit-identical.
+            // The exact emptiness fast paths (interval arithmetic in 1-D,
+            // slab tests + Chebyshev triple enumeration in 2-D) are on:
+            // cutout-emptiness prechecks on 2-parameter grids were the
+            // dominant LP site. Verdicts are identical to the LP's — the
+            // ambiguous tolerance band still falls back to the solver —
+            // so the committed plan counts are unchanged while the LP
+            // trajectory is re-baselined (BENCH_rrpa.json schema v4).
             engine: RegionEngine::new(
                 config.relevance_points,
                 config.redundant_cutout_removal,
                 config.redundant_constraint_removal,
-                false,
+                true,
             ),
             bases,
             num_metrics,

@@ -332,6 +332,7 @@ where
         "cost model and space disagree on the number of metrics"
     );
     let start = Instant::now();
+    let thread_lps_before = mpq_lp::thread_solved();
     let ctx = RunCtx {
         query,
         model,
@@ -418,6 +419,7 @@ where
         .collect();
     stats.final_plan_count = plans.len();
     stats.lps_solved = space.lps_solved();
+    stats.lps_solved_query = mpq_lp::thread_solved() - thread_lps_before;
     stats.elapsed = start.elapsed();
     MpqSolution {
         plans,
@@ -668,6 +670,29 @@ mod tests {
         assert!(sol.stats.final_plan_count == sol.plans.len());
         assert!(sol.stats.max_plans_per_set >= sol.plans.len());
         assert!(sol.stats.lps_solved > 0, "grid space must have solved LPs");
+    }
+
+    /// On a single-thread run over a fresh space, the per-query delta
+    /// equals the space's own counter; across a shared space, deltas sum
+    /// to the shared total while `lps_solved` stays cumulative.
+    #[test]
+    fn per_query_lp_delta_is_exact_single_threaded() {
+        let model = CloudCostModel::default();
+        let mut config = OptimizerConfig::default_for(1);
+        config.threads = Some(1);
+        let space = GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let q1 = small_query(3, Topology::Chain, 1, 21);
+        let q2 = small_query(3, Topology::Star, 1, 22);
+        let s1 = optimize(&q1, &model, &space, &config);
+        let s2 = optimize(&q2, &model, &space, &config);
+        assert_eq!(s1.stats.lps_solved_query, s1.stats.lps_solved);
+        assert!(s1.stats.lps_solved_query > 0);
+        // Second query on the shared space: cumulative counter grows,
+        // per-query delta covers only its own solves.
+        assert_eq!(
+            s2.stats.lps_solved,
+            s1.stats.lps_solved + s2.stats.lps_solved_query
+        );
     }
 
     /// The concurrency-sensitive invariant: a parallel run retains exactly

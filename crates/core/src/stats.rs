@@ -15,7 +15,19 @@ pub struct OptStats {
     /// Plans discarded because their relevance region emptied.
     pub plans_pruned: u64,
     /// Linear programs solved (emptiness, dominance, redundancy checks).
+    ///
+    /// Snapshot of the space's shared counter, so **cumulative across a
+    /// batch** when queries share an `OptimizerSession` space; see
+    /// [`OptStats::lps_solved_query`] for the per-query figure.
     pub lps_solved: u64,
+    /// Linear programs solved **by this query alone**, measured as the
+    /// delta of the calling thread's solve counter
+    /// ([`mpq_lp::thread_solved`]) around the run. Exact whenever the
+    /// query executes on one thread — every `threads = 1` configuration,
+    /// including batched sessions whose workers each run whole queries;
+    /// with intra-query fan-out (`threads > 1`) solves claimed by other
+    /// workers are not attributed, so the value is a lower bound.
+    pub lps_solved_query: u64,
     /// Wall-clock optimization time.
     pub elapsed: Duration,
     /// Plans in the final Pareto plan set of the full query.

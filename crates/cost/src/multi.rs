@@ -3,7 +3,7 @@
 
 use crate::{CostVec, PwlFn};
 use mpq_geometry::{Halfspace, HalfspaceKind, Polytope};
-use mpq_lp::LpCtx;
+use mpq_lp::{FastPathSite, LpCtx};
 
 /// A multi-objective PWL cost function: one [`PwlFn`] per cost metric
 /// (the `comps` relationship of Figure 9 in the paper).
@@ -80,7 +80,10 @@ impl MultiCostFn {
             let mut polys = Vec::new();
             for p1 in mine.pieces() {
                 for p2 in theirs.pieces() {
-                    if p1.region.intersection_is_empty(ctx, &p2.region) {
+                    if p1
+                        .region
+                        .intersection_is_empty(ctx, &p2.region, FastPathSite::PieceAlgebra)
+                    {
                         continue;
                     }
                     let d = p1.f.sub(&p2.f);
@@ -91,7 +94,11 @@ impl MultiCostFn {
                         HalfspaceKind::AlwaysFalse => {}
                         HalfspaceKind::Proper(h) => {
                             let r = p1.region.intersect_dedup(&p2.region);
-                            if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&h)) {
+                            if !r.is_empty_with_fastpath(
+                                ctx,
+                                std::slice::from_ref(&h),
+                                FastPathSite::PieceAlgebra,
+                            ) {
                                 polys.push(r.with(h));
                             }
                         }
@@ -110,7 +117,7 @@ impl MultiCostFn {
             let mut next = Vec::with_capacity(acc.len() * polys.len());
             for a in &acc {
                 for p in polys {
-                    if !a.intersection_is_empty(ctx, p) {
+                    if !a.intersection_is_empty(ctx, p, FastPathSite::PieceAlgebra) {
                         next.push(a.intersect_dedup(p));
                     }
                 }

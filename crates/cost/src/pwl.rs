@@ -2,7 +2,7 @@
 
 use crate::LinearFn;
 use mpq_geometry::{Halfspace, HalfspaceKind, Polytope};
-use mpq_lp::LpCtx;
+use mpq_lp::{FastPathSite, LpCtx};
 use std::sync::Arc;
 
 /// One linear piece: a linear function together with the convex polytope on
@@ -168,14 +168,22 @@ impl PwlFn {
                 }],
                 HalfspaceKind::Proper(h) => {
                     let mut out = Vec::with_capacity(2);
-                    if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&h)) {
+                    if !r.is_empty_with_fastpath(
+                        ctx,
+                        std::slice::from_ref(&h),
+                        FastPathSite::PieceAlgebra,
+                    ) {
                         out.push(LinearPiece {
                             region: Arc::new(r.with(h.clone())),
                             f: upper.clone(),
                         });
                     }
                     let hc = h.complement();
-                    if !r.is_empty_with_fastpath(ctx, std::slice::from_ref(&hc)) {
+                    if !r.is_empty_with_fastpath(
+                        ctx,
+                        std::slice::from_ref(&hc),
+                        FastPathSite::PieceAlgebra,
+                    ) {
                         out.push(LinearPiece {
                             region: Arc::new(r.with(hc)),
                             f: lower.clone(),
@@ -201,7 +209,10 @@ impl PwlFn {
                 // before materialising: aligned decompositions kill almost
                 // every cross pair here, without LPs or clones — and
                 // interned (`Arc`-identical) regions intersect for free.
-                if !p1.region.intersection_is_empty(ctx, &p2.region) {
+                if !p1
+                    .region
+                    .intersection_is_empty(ctx, &p2.region, FastPathSite::PieceAlgebra)
+                {
                     pieces.extend(make(shared_intersect(&p1.region, &p2.region), &p1.f, &p2.f));
                 }
             }

@@ -10,7 +10,7 @@
 //! subdivision and testing what remains for (interior) emptiness.
 
 use crate::Polytope;
-use mpq_lp::LpCtx;
+use mpq_lp::{FastPathSite, LpCtx};
 
 /// Decomposes `base ∖ minus` into convex pieces with pairwise disjoint
 /// interiors.
@@ -25,9 +25,21 @@ use mpq_lp::LpCtx;
 /// interior are dropped (see the crate-level emptiness discussion).
 pub fn subtract(ctx: &LpCtx, base: &Polytope, minus: &Polytope) -> Vec<Polytope> {
     debug_assert_eq!(base.dim(), minus.dim());
-    if base.is_trivially_empty() || base.is_empty(ctx) {
+    if base.is_empty_with_fastpath(ctx, &[], FastPathSite::Coverage) {
         return Vec::new();
     }
+    subtract_from_nonempty(ctx, base, minus)
+}
+
+/// [`subtract`] for a `base` already proven non-empty: worklist callers
+/// (the coverage machinery) re-subtract from pieces whose non-emptiness
+/// was established by the exact query that put them on the worklist, so
+/// re-running that check would repeat a deterministic predicate verbatim.
+pub(crate) fn subtract_from_nonempty(
+    ctx: &LpCtx,
+    base: &Polytope,
+    minus: &Polytope,
+) -> Vec<Polytope> {
     if minus.is_trivially_empty() {
         return vec![base.clone()];
     }
@@ -35,7 +47,7 @@ pub fn subtract(ctx: &LpCtx, base: &Polytope, minus: &Polytope) -> Vec<Polytope>
     let mut prefix = base.clone();
     for h in minus.halfspaces() {
         let piece = prefix.with(h.complement());
-        if !piece.is_empty(ctx) {
+        if !piece.is_empty_with_fastpath(ctx, &[], FastPathSite::Coverage) {
             pieces.push(piece);
         }
         prefix.push(h.clone());
@@ -59,6 +71,45 @@ pub fn difference_is_empty(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -
 /// verdict can never disagree with what the Chebyshev-radius LP (round-off
 /// ≤ ~1e-7) would have concluded on a tolerance-band sliver.
 pub const WITNESS_MARGIN: f64 = 1e-6;
+
+/// Subtracts one cutout from every piece of a coverage worklist — the
+/// shared per-cutout step of the worklist decomposition, used by
+/// [`difference_remainder`] **and** the region engine's incremental
+/// coverage check, which resumes a cached worklist and must issue
+/// bit-identical queries to a from-scratch run (keep this the single
+/// copy of the loop body).
+pub(crate) fn subtract_cutout_from_worklist(
+    ctx: &LpCtx,
+    remaining: &[Polytope],
+    cutout: &Polytope,
+) -> Vec<Polytope> {
+    let mut next = Vec::with_capacity(remaining.len());
+    for piece in remaining {
+        // Fast path: the cutout misses the piece entirely.
+        if piece.is_empty_with_fastpath(ctx, cutout.halfspaces(), FastPathSite::Coverage) {
+            next.push(piece.clone());
+        } else {
+            // Worklist pieces are non-empty by construction (the check
+            // that kept them), so the subtraction skips the duplicate
+            // base check.
+            next.extend(subtract_from_nonempty(ctx, piece, cutout));
+        }
+    }
+    next
+}
+
+/// Margin-certified interior witness from a worklist's surviving pieces:
+/// the centre of the first piece admitting a ball comfortably above the
+/// interior tolerance (shared by [`difference_witness`] and the region
+/// engine's incremental coverage check).
+pub(crate) fn worklist_witness(ctx: &LpCtx, remaining: &[Polytope]) -> Option<Vec<f64>> {
+    remaining.iter().find_map(|piece| {
+        piece
+            .chebyshev_center(ctx)
+            .filter(|(_, r)| *r > crate::INTERIOR_TOL + WITNESS_MARGIN)
+            .map(|(x, _)| x)
+    })
+}
 
 /// Result of [`difference_witness`].
 #[derive(Debug, Clone)]
@@ -87,19 +138,13 @@ pub fn difference_witness(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) ->
     if remaining.is_empty() {
         return DifferenceWitness::Empty;
     }
-    let witness = remaining.iter().find_map(|piece| {
-        piece
-            .chebyshev_center(ctx)
-            .filter(|(_, r)| *r > crate::INTERIOR_TOL + WITNESS_MARGIN)
-            .map(|(x, _)| x)
-    });
-    DifferenceWitness::NonEmpty(witness)
+    DifferenceWitness::NonEmpty(worklist_witness(ctx, &remaining))
 }
 
 /// The worklist decomposition of `base ∖ ⋃ cutouts` into convex pieces
 /// with non-empty interior (empty iff the difference has empty interior).
 fn difference_remainder(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> Vec<Polytope> {
-    if base.is_trivially_empty() || base.is_empty(ctx) {
+    if base.is_empty_with_fastpath(ctx, &[], FastPathSite::Coverage) {
         return Vec::new();
     }
     let mut remaining = vec![base.clone()];
@@ -110,16 +155,7 @@ fn difference_remainder(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> V
         if cutout.is_trivially_empty() {
             continue;
         }
-        let mut next = Vec::with_capacity(remaining.len());
-        for piece in &remaining {
-            // Fast path: cutout misses the piece entirely.
-            if piece.is_empty_with(ctx, cutout.halfspaces()) {
-                next.push(piece.clone());
-            } else {
-                next.extend(subtract(ctx, piece, cutout));
-            }
-        }
-        remaining = next;
+        remaining = subtract_cutout_from_worklist(ctx, &remaining, cutout);
     }
     remaining
 }

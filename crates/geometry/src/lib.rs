@@ -55,6 +55,40 @@ use smallvec::SmallVec;
 /// Geometric tolerance for predicates on normalised halfspaces.
 pub const TOL: f64 = 1e-7;
 
+/// Conditioning threshold for the exact-tie fast paths: a pair of 2-D
+/// unit normals is *well-conditioned* when it is exactly parallel
+/// (cross product `== 0.0`, e.g. duplicated or exactly complemented
+/// rows — harmless to the simplex) or crosses cleanly (|cross| at least
+/// this). Near-parallel-but-not-exact pairs are what drive the LP's
+/// round-off far beyond its nominal ~1e-7 bound (observed up to ~5e-6),
+/// so sub-[`FASTPATH_MARGIN`] fast-path verdicts — which must *predict*
+/// the LP's answer — are only taken when every row pair is
+/// well-conditioned.
+pub(crate) const WELL_CONDITIONED_MIN_DET: f64 = 1e-2;
+
+/// Decision margin at which an exact enumeration verdict provably agrees
+/// with the LP on a **well-conditioned** 2-D constraint set: the LP's
+/// round-off there stays near 1e-9, so a 3e-8 clearance leaves an order
+/// of magnitude of headroom while capturing the exact-tie queries
+/// (distance [`TOL`] from their decision boundary) that dominate the
+/// redundancy-check tail.
+pub(crate) const LP_AGREEMENT_MARGIN: f64 = 3e-8;
+
+/// True iff every pair of the given 2-D rows is well-conditioned in the
+/// sense of [`WELL_CONDITIONED_MIN_DET`].
+pub(crate) fn rows_well_conditioned_2d(rows: &[&Halfspace]) -> bool {
+    for (i, a) in rows.iter().enumerate() {
+        for b in &rows[i + 1..] {
+            let (na, nb) = (a.normal(), b.normal());
+            let det = na[0] * nb[1] - na[1] * nb[0];
+            if det != 0.0 && det.abs() < WELL_CONDITIONED_MIN_DET {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// Minimum interior (Chebyshev) radius for a polytope to count as
 /// non-empty; see the crate-level discussion of emptiness semantics.
 pub const INTERIOR_TOL: f64 = 1e-7;

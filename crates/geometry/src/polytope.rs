@@ -1,12 +1,147 @@
 //! LP-backed predicates and transformations on [`Polytope`], plus exact
-//! one-dimensional fast paths that answer decisive queries without an LP.
+//! one- and two-dimensional fast paths that answer decisive queries
+//! without an LP.
 
 use crate::{Halfspace, Polytope, FASTPATH_MARGIN, INTERIOR_TOL, TOL};
-use mpq_lp::{LpCtx, LpOutcome};
+use mpq_lp::{FastPathSite, LpCtx, LpOutcome};
 use smallvec::SmallVec;
 
 /// Stack-allocated objective buffer (parameter dimensions are tiny).
 type ObjBuf = SmallVec<[f64; 8]>;
+
+/// Row cap for the 2-D exact emptiness fast path: beyond it the O(k³)
+/// active-triple enumeration stops beating the simplex solver, and the
+/// optimizer's piece regions and cutouts stay far below it anyway.
+const QUICK2D_MAX_ROWS: usize = 24;
+
+/// Candidate-feasibility slack for exactly enumerated active-set points:
+/// a true vertex satisfies its constraints exactly, so anything beyond
+/// solve round-off is a genuine violation.
+const QUICK2D_FEAS_EPS: f64 = 1e-9;
+
+/// Exact 2-D constraint-redundancy test for [`Polytope::remove_redundant`]:
+/// decides whether `kept[i]` is implied by the other rows by enumerating
+/// the vertices of the region they define (all pairwise boundary
+/// intersections, feasibility-filtered) and comparing the maximum of the
+/// candidate's normal against its offset.
+///
+/// Sound on both sides with the usual two-bound discipline: the `-TOL`
+/// inclusive maximum never misses a true vertex (certifies "redundant"),
+/// the exactly-feasible maximum only uses true region points (certifies
+/// "not redundant"), and verdicts within [`FASTPATH_MARGIN`] of the
+/// threshold fall back to the LP. The enumeration requires the region to
+/// be bounded, which is certified by exact axis-aligned bounds on both
+/// coordinates — present in every optimizer region (parameter boxes and
+/// grid cells); unbounded or oversized shapes return `None`.
+fn quick_redundant_2d(kept: &[Halfspace], i: usize) -> Option<bool> {
+    if kept[0].dim() != 2 || kept.len() > QUICK2D_MAX_ROWS + 1 {
+        return None;
+    }
+    let rows: SmallVec<[&Halfspace; QUICK2D_MAX_ROWS]> = kept
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, h)| h)
+        .collect();
+    let mut bounded = [[false; 2]; 2];
+    for r in &rows {
+        let n = r.normal();
+        for axis in 0..2 {
+            if n[axis] == 1.0 && n[1 - axis] == 0.0 {
+                bounded[axis][0] = true;
+            } else if n[axis] == -1.0 && n[1 - axis] == 0.0 {
+                bounded[axis][1] = true;
+            }
+        }
+    }
+    if !bounded.iter().all(|b| b[0] && b[1]) {
+        return None;
+    }
+    let w = kept[i].normal();
+    let threshold = kept[i].offset() + TOL;
+    let mut upper: Option<f64> = None;
+    let mut lower: Option<f64> = None;
+    for a in 0..rows.len() {
+        for b in (a + 1)..rows.len() {
+            let (na, nb) = (rows[a].normal(), rows[b].normal());
+            let det = na[0] * nb[1] - na[1] * nb[0];
+            if det == 0.0 {
+                // Exactly parallel: no crossing to enumerate (a vertex on
+                // such a pair is also a crossing of better-conditioned
+                // rows).
+                continue;
+            }
+            if det.abs() < crate::WELL_CONDITIONED_MIN_DET {
+                // Near-parallel: the crossing solve loses up to
+                // ~1e-16/det of accuracy, so the candidate (possibly the
+                // true maximum vertex — a thin wedge's tip) could fail
+                // the feasibility filter and silently understate `upper`.
+                // No sound verdict without it: leave the query to the LP.
+                return None;
+            }
+            let p = [
+                (rows[a].offset() * nb[1] - rows[b].offset() * na[1]) / det,
+                (na[0] * rows[b].offset() - nb[0] * rows[a].offset()) / det,
+            ];
+            let min_slack = rows
+                .iter()
+                .map(|r| r.slack(&p))
+                .fold(f64::INFINITY, f64::min);
+            if min_slack >= -TOL {
+                let v = w[0] * p[0] + w[1] * p[1];
+                upper = Some(upper.map_or(v, |u| u.max(v)));
+                if min_slack >= 0.0 {
+                    lower = Some(lower.map_or(v, |l| l.max(v)));
+                }
+            }
+        }
+    }
+    match upper {
+        // No feasible vertex of a bounded region: empty within tolerance,
+        // so the candidate is vacuously implied (the LP is infeasible).
+        None => Some(true),
+        Some(u) if u <= threshold - FASTPATH_MARGIN => Some(true),
+        _ => match lower {
+            Some(l) if l > threshold + FASTPATH_MARGIN => Some(false),
+            _ => None,
+        },
+    }
+}
+
+/// Solves the 3×3 system `m · x = b` by Gaussian elimination with partial
+/// pivoting; `None` when (numerically) singular.
+#[inline]
+fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| m[i][col].abs().partial_cmp(&m[j][col].abs()).unwrap())
+            .unwrap();
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let f = m[row][col] / m[col][col];
+            if f != 0.0 {
+                #[allow(clippy::needless_range_loop)] // m[row] and m[col] alias
+                for k in col..3 {
+                    m[row][k] -= f * m[col][k];
+                }
+                b[row] -= f * b[col];
+            }
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut v = b[row];
+        for k in (row + 1)..3 {
+            v -= m[row][k] * x[k];
+        }
+        x[row] = v / m[row][row];
+    }
+    Some(x)
+}
 
 impl Polytope {
     /// Exact interval `[lo, hi]` of a one-dimensional polytope intersected
@@ -32,51 +167,324 @@ impl Polytope {
 
     /// Exact fast path for [`Polytope::is_empty_with`]: `Some(verdict)`
     /// when the verdict is certain without an LP, `None` when the query is
-    /// unsupported (dimension > 1) or the inscribed radius sits within the
-    /// ambiguous band around [`INTERIOR_TOL`] where LP round-off could
-    /// disagree.
+    /// unsupported (dimension > 2, or too many distinct constraints in two
+    /// dimensions) or the inscribed radius sits within the ambiguous band
+    /// around [`INTERIOR_TOL`] where LP round-off could disagree.
     ///
-    /// The empty-side margin is tight (`1e-9`): the interval arithmetic is
-    /// exact and the Chebyshev LP on these two-variable problems resolves
-    /// far below it, so exactly-adjacent regions (radius 0) — the dominant
-    /// case in piecewise cost algebra — are answered for free.
+    /// In one dimension the empty-side margin is tight (`1e-9`): the
+    /// interval arithmetic is exact and the Chebyshev LP on these
+    /// two-variable problems resolves far below it, so exactly-adjacent
+    /// regions (radius 0) — the dominant case in piecewise cost algebra —
+    /// are answered for free. Two dimensions use the same tight empty
+    /// margin through the private 2-D arm (`quick_is_empty_2d`): an exact
+    /// opposite-normal slab test plus active-triple Chebyshev enumeration.
+    ///
+    /// **Trajectory note.** On zero-width 2-D slivers with degenerate
+    /// companion rows the Chebyshev LP's accumulated round-off can exceed
+    /// [`INTERIOR_TOL`] and (wrongly) report non-empty; this path reports
+    /// the geometric truth instead. Call sites whose committed counter
+    /// trajectories were recorded against raw LP verdicts must use the
+    /// LP-agreement band of [`Polytope::is_empty_with_fastpath`]
+    /// (conservative sites) rather than this tight predicate.
     #[inline]
     pub fn quick_is_empty_with(&self, extra: &[Halfspace]) -> Option<bool> {
+        self.quick_is_empty_margin(extra, 1e-9)
+    }
+
+    /// [`Polytope::quick_is_empty_with`] with an explicit empty-side
+    /// margin: `Some(true)` only when the inscribed radius is below
+    /// `INTERIOR_TOL - empty_margin`. A margin of [`FASTPATH_MARGIN`]
+    /// yields only verdicts the LP provably agrees with (its round-off is
+    /// an order of magnitude below); the tight `1e-9` margin additionally
+    /// answers exact zero-width slivers.
+    #[inline]
+    fn quick_is_empty_margin(&self, extra: &[Halfspace], empty_margin: f64) -> Option<bool> {
         if self.is_trivially_empty() {
             return Some(true);
         }
-        if self.dim() != 1 {
+        match self.dim() {
+            1 => {
+                let (lo, hi) = self.interval_1d(extra);
+                let radius = (hi - lo) / 2.0; // may be infinite (unbounded sides)
+                if radius <= INTERIOR_TOL - 1e-9 {
+                    Some(true)
+                } else if radius > INTERIOR_TOL + FASTPATH_MARGIN {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            2 => self.quick_is_empty_2d(extra, empty_margin),
+            _ => None,
+        }
+    }
+
+    /// The two-dimensional arm of [`Polytope::quick_is_empty_with`],
+    /// answering `self ∩ extra` interior-emptiness queries exactly:
+    ///
+    /// 1. constraints are deduplicated syntactically — aligned piece
+    ///    regions share most rows, so the effective row count is small;
+    /// 2. any pair of rows with **exactly negated** unit normals bounds
+    ///    the inscribed radius by half the slab width. Grid-aligned
+    ///    geometry produces such pairs for every cell boundary and every
+    ///    Kuhn diagonal (the two triangle orientations of a cell state the
+    ///    diagonal with exactly negated coefficients), and `extremum`
+    ///    splits cut with a halfspace and its exact complement — so
+    ///    adjacent and identical-boundary regions (width ≤ 0) resolve
+    ///    for free with a tight exact-arithmetic margin;
+    /// 3. otherwise the exact Chebyshev radius is enumerated: the optimum
+    ///    of `max t  s.t.  aᵢ·x + t ≤ bᵢ, t ≤ 1` (the LP behind
+    ///    [`Polytope::is_empty_with`]) is attained where three constraints
+    ///    are active, so all O(k³) triples are solved and the best
+    ///    feasible candidate is the radius. Any feasible candidate with
+    ///    `t = r` certifies an inscribed ball of radius `r − ε` (sound
+    ///    "non-empty"); the *maximum* is sound for "empty" only when the
+    ///    region is bounded — guaranteed here by requiring exact
+    ///    axis-aligned bounds on both coordinates, which every optimizer
+    ///    region carries (parameter boxes and grid cells).
+    ///
+    /// Non-empty verdicts inside the [`FASTPATH_MARGIN`] band around
+    /// [`INTERIOR_TOL`], and empty verdicts inside the `empty_margin`
+    /// band, are left to the LP (`None`).
+    fn quick_is_empty_2d(&self, extra: &[Halfspace], empty_margin: f64) -> Option<bool> {
+        debug_assert_eq!(self.dim(), 2);
+        // Cheap first pass over the raw (undeduplicated — duplicates do
+        // not change slack minima or bounds) rows: exact axis bounds, and
+        // bounding-box interior probes. Normals are unit vectors, so
+        // axis-aligned rows have coefficients exactly ±1, and a probe
+        // whose minimum slack clears the conservative bar is an
+        // inscribed-ball certificate — the dominant non-empty case for
+        // genuinely overlapping aligned regions, answered in O(k).
+        let mut lo = [f64::NEG_INFINITY; 2];
+        let mut hi = [f64::INFINITY; 2];
+        for r in self.halfspaces.iter().chain(extra) {
+            let n = r.normal();
+            for axis in 0..2 {
+                if n[axis] == 1.0 && n[1 - axis] == 0.0 {
+                    hi[axis] = hi[axis].min(r.offset());
+                } else if n[axis] == -1.0 && n[1 - axis] == 0.0 {
+                    lo[axis] = lo[axis].max(-r.offset());
+                }
+            }
+        }
+        let is_bounded =
+            lo[0].is_finite() && lo[1].is_finite() && hi[0].is_finite() && hi[1].is_finite();
+        let bar = INTERIOR_TOL + FASTPATH_MARGIN;
+        // Probes cannot clear the bar when the box itself is thinner than
+        // it (a probe's slack is capped by its distance to the box rows),
+        // so sliver queries skip straight to the exact machinery.
+        if is_bounded && (hi[0] - lo[0]).min(hi[1] - lo[1]) > 2.0 * bar {
+            let c = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0];
+            let q = [(hi[0] - lo[0]) / 4.0, (hi[1] - lo[1]) / 4.0];
+            'probe: for probe in [
+                c,
+                [c[0] - q[0], c[1] - q[1]],
+                [c[0] - q[0], c[1] + q[1]],
+                [c[0] + q[0], c[1] - q[1]],
+                [c[0] + q[0], c[1] + q[1]],
+            ] {
+                for h in self.halfspaces.iter().chain(extra) {
+                    if h.slack(&probe) <= bar {
+                        continue 'probe;
+                    }
+                }
+                return Some(false);
+            }
+        }
+        // The heavier exact machinery works on deduplicated rows (aligned
+        // piece regions share most rows, so the effective count is small).
+        let mut rows: SmallVec<[&Halfspace; 16]> = SmallVec::new();
+        for h in self.halfspaces.iter().chain(extra) {
+            if !rows
+                .iter()
+                .any(|r| r.offset() == h.offset() && r.normal() == h.normal())
+            {
+                if rows.len() == QUICK2D_MAX_ROWS {
+                    return None;
+                }
+                rows.push(h);
+            }
+        }
+        // Opposite-normal slab test (exact): aᵢ = −aⱼ forces
+        // 2t ≤ bᵢ + bⱼ in the Chebyshev LP. Near-opposite pairs give the
+        // weaker sound bound 2t ≤ bᵢ + bⱼ + ‖aᵢ + aⱼ‖·‖x‖ (via
+        // Cauchy–Schwarz over the bounding box) — too loose for verdicts,
+        // but enough to prove a triple scan pointless.
+        let diag = if is_bounded {
+            ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2)).sqrt()
+                + lo[0].abs().max(hi[0].abs())
+                + lo[1].abs().max(hi[1].abs())
+        } else {
+            f64::INFINITY
+        };
+        let mut slab_cap = f64::INFINITY;
+        let mut radius_cap = f64::INFINITY;
+        for (i, a) in rows.iter().enumerate() {
+            for b in &rows[i + 1..] {
+                let (na, nb) = (a.normal(), b.normal());
+                if na[0] == -nb[0] && na[1] == -nb[1] {
+                    slab_cap = slab_cap.min((a.offset() + b.offset()) / 2.0);
+                } else if na[0] * nb[0] + na[1] * nb[1] < -0.9 && diag.is_finite() {
+                    let sum_norm = ((na[0] + nb[0]).powi(2) + (na[1] + nb[1]).powi(2)).sqrt();
+                    radius_cap = radius_cap.min((a.offset() + b.offset() + sum_norm * diag) / 2.0);
+                }
+            }
+        }
+        radius_cap = radius_cap.min(slab_cap);
+        // Conservative (LP-trajectory) sites may still take exact empty
+        // verdicts when every row pair is well-conditioned (exactly
+        // parallel or clearly crossing): the Chebyshev LP's round-off
+        // then stays far below INTERIOR_TOL, so it provably agrees. With
+        // ill-conditioned rows the LP has been observed to report radii
+        // ~5e-6 on exactly-empty slivers; those verdicts are pinned
+        // trajectory and keep the LP (an infinite effective margin).
+        let wc = crate::rows_well_conditioned_2d(&rows);
+        let eff_empty = if empty_margin <= 1e-9 {
+            empty_margin
+        } else if wc {
+            crate::LP_AGREEMENT_MARGIN
+        } else {
+            f64::INFINITY
+        };
+        if slab_cap <= INTERIOR_TOL - eff_empty {
+            return Some(true);
+        }
+        let nonempty_bar = INTERIOR_TOL
+            + if wc {
+                crate::LP_AGREEMENT_MARGIN
+            } else {
+                FASTPATH_MARGIN
+            };
+        // Active-triple Chebyshev enumeration, for the shapes the probes
+        // miss: the optimum of `max t s.t. aᵢ·x + t ≤ bᵢ, t ≤ 1` (the LP
+        // behind `is_empty_with`) is attained where three constraints are
+        // active. A feasible candidate clearing the bar certifies
+        // non-emptiness immediately; the full maximum is only needed for
+        // the deeply infeasible empty verdicts. When the empty verdict is
+        // unavailable (ill-conditioned rows at an LP-trajectory site) and
+        // the slab bound already caps the radius below the bar, no triple
+        // can conclude anything — skip the scan and go straight to the
+        // solver.
+        let n = rows.len();
+        if n > 12 || (eff_empty.is_infinite() && radius_cap <= nonempty_bar) {
             return None;
         }
-        let (lo, hi) = self.interval_1d(extra);
-        let radius = (hi - lo) / 2.0; // may be infinite (unbounded sides)
-        if radius <= INTERIOR_TOL - 1e-9 {
-            Some(true)
-        } else if radius > INTERIOR_TOL + FASTPATH_MARGIN {
-            Some(false)
-        } else {
-            None
+        let mut best: Option<f64> = None;
+        // Set when a triple was skipped as near-singular without being
+        // exactly parallel: the enumerated maximum may then miss the true
+        // optimum, so no empty verdict may be taken.
+        let mut missed_triple = false;
+        // Index n stands for the radius cap `t ≤ 1` of the Chebyshev LP.
+        let row3 = |i: usize| -> ([f64; 3], f64) {
+            if i == n {
+                ([0.0, 0.0, 1.0], 1.0)
+            } else {
+                let a = rows[i].normal();
+                ([a[0], a[1], 1.0], rows[i].offset())
+            }
+        };
+        for i in 0..=n {
+            for j in (i + 1)..=n {
+                for k in (j + 1)..=n {
+                    let (ri, bi) = row3(i);
+                    let (rj, bj) = row3(j);
+                    let (rk, bk) = row3(k);
+                    // An exactly singular triple has no unique vertex and
+                    // is safe to skip: any optimum on such a dependent
+                    // face is also attained at an independent triple (the
+                    // region is bounded). Near-singular-but-nonzero
+                    // triples are a genuine candidate loss.
+                    let det3 = ri[0] * (rj[1] * rk[2] - rj[2] * rk[1])
+                        - ri[1] * (rj[0] * rk[2] - rj[2] * rk[0])
+                        + ri[2] * (rj[0] * rk[1] - rj[1] * rk[0]);
+                    if det3 == 0.0 {
+                        continue;
+                    }
+                    let Some([x0, x1, t]) = solve3([ri, rj, rk], [bi, bj, bk]) else {
+                        missed_triple = true;
+                        continue;
+                    };
+                    if best.is_some_and(|b| t <= b) {
+                        continue;
+                    }
+                    let feasible = t <= 1.0 + QUICK2D_FEAS_EPS
+                        && rows.iter().all(|r| {
+                            let a = r.normal();
+                            r.offset() - (a[0] * x0 + a[1] * x1) - t >= -QUICK2D_FEAS_EPS
+                        });
+                    if feasible {
+                        // A feasible candidate with a decisively large
+                        // radius certifies an inscribed ball regardless of
+                        // boundedness.
+                        if t > nonempty_bar {
+                            return Some(false);
+                        }
+                        best = Some(t);
+                    }
+                }
+            }
+        }
+        match best {
+            // The empty verdict needs the enumerated maximum to be the
+            // true optimum: bounded regions only (the `max t` LP is always
+            // feasible — `t` is free downward — and attains its optimum at
+            // an active triple when `x` is bounded), with no candidate
+            // lost to the near-singularity gate.
+            Some(r) if is_bounded && !missed_triple && r <= INTERIOR_TOL - eff_empty.max(1e-9) => {
+                Some(true)
+            }
+            _ => None,
         }
     }
 
     /// [`Polytope::is_empty_with`] behind the exact fast path: only
-    /// ambiguous or unsupported queries reach the LP solver. Callers on
-    /// LP-count-stable paths (the grid backend) use `is_empty_with`
-    /// directly instead.
+    /// ambiguous or unsupported queries reach the LP solver. The verdict
+    /// (LP-free or fallback) is recorded under `site` in the context's
+    /// [`mpq_lp::FastPathBreakdown`].
+    ///
+    /// The empty-side margin depends on the site. Piece-algebra queries
+    /// use the tight exact-geometry margin (zero-width aligned slivers —
+    /// the dominant cross-pair case — answer for free). The engine sites
+    /// (coverage, cutout emptiness) feed counter trajectories that were
+    /// recorded against raw LP verdicts, and on degenerate zero-width
+    /// slivers the LP's accumulated round-off can exceed
+    /// [`INTERIOR_TOL`] and disagree with exact geometry — so those sites
+    /// only take empty verdicts the LP provably reproduces
+    /// ([`FASTPATH_MARGIN`] clear of the threshold).
     #[inline]
-    pub fn is_empty_with_fastpath(&self, ctx: &LpCtx, extra: &[Halfspace]) -> bool {
-        self.quick_is_empty_with(extra)
-            .unwrap_or_else(|| self.is_empty_with(ctx, extra))
+    pub fn is_empty_with_fastpath(
+        &self,
+        ctx: &LpCtx,
+        extra: &[Halfspace],
+        site: FastPathSite,
+    ) -> bool {
+        let empty_margin = match site {
+            FastPathSite::PieceAlgebra => 1e-9,
+            _ => crate::FASTPATH_MARGIN,
+        };
+        match self.quick_is_empty_margin(extra, empty_margin) {
+            Some(verdict) => {
+                ctx.fastpath_hit(site);
+                verdict
+            }
+            None => {
+                ctx.fastpath_fallback(site);
+                self.is_empty_with(ctx, extra)
+            }
+        }
     }
 
     /// True iff `self ∩ other` has empty interior, without materialising
-    /// the intersection and — in one dimension — usually without an LP.
+    /// the intersection and — in one and two dimensions — usually without
+    /// an LP (grid-aligned cross pairs resolve through the exact
+    /// slab/interval tests).
     #[inline]
-    pub fn intersection_is_empty(&self, ctx: &LpCtx, other: &Polytope) -> bool {
+    pub fn intersection_is_empty(&self, ctx: &LpCtx, other: &Polytope, site: FastPathSite) -> bool {
         if self.is_trivially_empty() || other.is_trivially_empty() {
+            ctx.fastpath_hit(site);
             return true;
         }
-        self.is_empty_with_fastpath(ctx, other.halfspaces())
+        self.is_empty_with_fastpath(ctx, other.halfspaces(), site)
     }
 
     /// Intersection of two polytopes, skipping constraints of `other` that
@@ -258,21 +666,32 @@ impl Polytope {
             };
         }
         // LP pass: maximize the constraint's normal over the others
-        // (staged directly — no intermediate polytope).
+        // (staged directly — no intermediate polytope). Two-dimensional
+        // queries try the exact vertex enumeration first; only ambiguous
+        // or unsupported (unbounded-shape) queries reach the solver.
         let mut i = 0;
         while i < kept.len() && kept.len() > 1 {
             let candidate = &kept[i];
-            let outcome = ctx.solve_staged(candidate.normal(), |stage| {
-                for (j, h) in kept.iter().enumerate() {
-                    if j != i {
-                        stage.push_row(h.normal(), h.offset());
+            let redundant = match quick_redundant_2d(&kept, i) {
+                Some(verdict) => {
+                    ctx.fastpath_hit(FastPathSite::PieceAlgebra);
+                    verdict
+                }
+                None => {
+                    ctx.fastpath_fallback(FastPathSite::PieceAlgebra);
+                    let outcome = ctx.solve_staged(candidate.normal(), |stage| {
+                        for (j, h) in kept.iter().enumerate() {
+                            if j != i {
+                                stage.push_row(h.normal(), h.offset());
+                            }
+                        }
+                    });
+                    match outcome {
+                        LpOutcome::Optimal(sol) => sol.value <= candidate.offset() + TOL,
+                        LpOutcome::Unbounded => false,
+                        LpOutcome::Infeasible => true,
                     }
                 }
-            });
-            let redundant = match outcome {
-                LpOutcome::Optimal(sol) => sol.value <= candidate.offset() + TOL,
-                LpOutcome::Unbounded => false,
-                LpOutcome::Infeasible => true,
             };
             if redundant {
                 kept.remove(i);

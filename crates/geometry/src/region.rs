@@ -32,7 +32,7 @@
 //!   base, in which case it is convex.
 
 use crate::{Halfspace, Polytope, INTERIOR_TOL, TOL, WITNESS_MARGIN};
-use mpq_lp::{dense::dot, LpCtx, LpOutcome};
+use mpq_lp::{dense::dot, FastPathSite, LpCtx, LpOutcome};
 use smallvec::SmallVec;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -173,15 +173,30 @@ fn cell_placement(cutout: &Cutout, w: &[f64]) -> Option<bool> {
     Some(false)
 }
 
+/// Sentinel pending-mask: every term undecided (or the halfspace list
+/// exceeded the mask width, so no per-term information was recorded).
+const ALL_PENDING: u64 = u64::MAX;
+
+/// Extra-halfspace cap for the general 2-D vertex enumeration: the
+/// O((nv² + m²)·m) candidate sweep stops beating an LP well above it, and
+/// optimizer cutouts stay far below.
+const VERTEX2D_MAX_EXTRAS: usize = 12;
+
 /// Sound two-sided bounds on a region's linear maximum — see
-/// [`RegionEngine::exact_region_max`] for which verdict each side
+/// [`RegionEngine::region_max_bounds`] for which verdict each side
 /// certifies.
-#[derive(Default)]
-struct RegionMaxBounds {
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RegionMaxBounds {
     /// Max over `-TOL`-inclusive candidates (`None` = region empty).
-    upper: Option<f64>,
+    pub upper: Option<f64>,
     /// Max over exactly feasible candidates (`None` = no certified point).
-    lower: Option<f64>,
+    pub lower: Option<f64>,
+    /// A candidate generator was skipped for conditioning reasons (a
+    /// near-parallel boundary pair below the determinant gate), so `upper`
+    /// may understate the true maximum by more than enumeration round-off.
+    /// Verdicts with sub-[`FASTPATH_MARGIN`] margins (the exact-tie rule)
+    /// must not trust such bounds.
+    pub degenerate: bool,
 }
 
 impl RegionMaxBounds {
@@ -214,6 +229,15 @@ pub enum CutoutRegion {
         /// A completed coverage check proved the remainder non-empty and
         /// no cutout has been added since (cached verdict).
         verified_nonempty: bool,
+        /// Incremental coverage state: the worklist decomposition of
+        /// `base ∖ cutouts[..processed]` left by the last coverage check
+        /// (`processed` = first element). The worklist loop is
+        /// cutout-at-a-time, so a later check resumes here and only
+        /// subtracts the cutouts appended since — re-running the prefix
+        /// would repeat bit-identical deterministic queries. Invalidated
+        /// whenever the cutout list changes other than by appending
+        /// (redundant-cutout removal).
+        remainder: Option<(usize, Vec<Polytope>)>,
     },
     /// Nothing of the base is relevant.
     Empty,
@@ -269,11 +293,14 @@ pub struct RegionEngine {
     /// §6.2 refinement 1: drop cutout halfspaces implied by the base and
     /// the cutout's other halfspaces.
     redundant_constraint_removal: bool,
-    /// Answer one-dimensional queries by exact interval arithmetic for any
-    /// number of extra halfspaces (the vertex fast paths handle at most
-    /// two). Off for the grid backend to keep its committed LP-count
-    /// trajectory bit-identical; on for the general backend.
-    exact_intervals_1d: bool,
+    /// Answer emptiness-style queries through the exact fast paths of
+    /// [`Polytope::quick_is_empty_with`] (interval arithmetic in 1-D,
+    /// slab tests + Chebyshev triple enumeration in 2-D) and
+    /// one-dimensional linear maxima by exact interval arithmetic for any
+    /// number of extra halfspaces. On for both optimizer backends; the
+    /// `false` setting keeps the raw-LP behaviour available for
+    /// differential tests.
+    exact_empty_fastpaths: bool,
     emptiness_checks: AtomicU64,
     emptiness_skipped: AtomicU64,
 }
@@ -284,13 +311,13 @@ impl RegionEngine {
         relevance_points: bool,
         redundant_cutout_removal: bool,
         redundant_constraint_removal: bool,
-        exact_intervals_1d: bool,
+        exact_empty_fastpaths: bool,
     ) -> Self {
         Self {
             relevance_points,
             redundant_cutout_removal,
             redundant_constraint_removal,
-            exact_intervals_1d,
+            exact_empty_fastpaths,
             emptiness_checks: AtomicU64::new(0),
             emptiness_skipped: AtomicU64::new(0),
         }
@@ -318,9 +345,9 @@ impl RegionEngine {
     /// Exact bounds on the maximum of `w · x` over `base ∩ extra`, by
     /// enumerating the region's vertex set (a bounded polytope attains
     /// linear maxima at vertices). Supported for at most one extra
-    /// halfspace in any dimension, two extras in two dimensions, and —
-    /// with [`Self::exact_intervals_1d`] — any number of extras in one
-    /// dimension. Returns `None` for unsupported shapes; otherwise
+    /// halfspace in any dimension, any number of extras (up to an
+    /// internal cap of 12) in two dimensions, and — with the engine's
+    /// exact-fast-path switch — any number of extras in one dimension. Returns `None` for unsupported shapes; otherwise
     /// `Some(RegionMaxBounds)` with:
     ///
     /// * `upper` — max over candidates accepted with the inclusive `-TOL`
@@ -333,8 +360,12 @@ impl RegionEngine {
     ///   **"not covered"** verdicts. `None` when no candidate is exactly
     ///   feasible (the region may still be a tolerance-band sliver, so
     ///   nothing can be concluded in the "not covered" direction).
+    ///
+    /// Public for differential testing against the LP answer
+    /// (`tests/vertex_enum_proptest.rs`); the optimizer consumes it only
+    /// through the engine's verdict paths.
     #[inline]
-    fn exact_region_max(
+    pub fn region_max_bounds(
         &self,
         base: &RegionBase,
         extra: &[Halfspace],
@@ -416,9 +447,85 @@ impl RegionEngine {
                     if min_slack >= -TOL {
                         bounds.take(dot(w, &p), min_slack >= 0.0);
                     }
+                } else {
+                    bounds.degenerate = true;
                 }
             }
-            _ if self.exact_intervals_1d && base.dim() == 1 => {
+            // General 2-D enumeration (three or more extras): vertices of
+            // `base ∩ extra` are base vertices surviving every extra,
+            // base-edge crossings of one extra boundary surviving the
+            // others, or pairwise extra-boundary intersections inside the
+            // base and the remaining extras.
+            m if base.dim() == 2 && m <= VERTEX2D_MAX_EXTRAS => {
+                // Base vertices.
+                for v in verts {
+                    let min_slack = extra
+                        .iter()
+                        .map(|e| e.slack(v))
+                        .fold(f64::INFINITY, f64::min);
+                    if min_slack >= -TOL {
+                        bounds.take(dot(w, v), min_slack >= 0.0);
+                    }
+                }
+                // Base-edge crossings of each extra boundary.
+                for (ei, e) in extra.iter().enumerate() {
+                    let slacks: SmallVec<[f64; 8]> = verts.iter().map(|v| e.slack(v)).collect();
+                    for i in 0..nv {
+                        for j in (i + 1)..nv {
+                            if (slacks[i] > 0.0 && slacks[j] < 0.0)
+                                || (slacks[i] < 0.0 && slacks[j] > 0.0)
+                            {
+                                let t = slacks[i] / (slacks[i] - slacks[j]);
+                                let p = [
+                                    verts[i][0] + t * (verts[j][0] - verts[i][0]),
+                                    verts[i][1] + t * (verts[j][1] - verts[i][1]),
+                                ];
+                                let others = extra
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(oi, _)| oi != ei)
+                                    .map(|(_, o)| o.slack(&p))
+                                    .fold(f64::INFINITY, f64::min);
+                                if others >= -TOL {
+                                    bounds.take(dot(w, &p), others >= 0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Pairwise extra-boundary intersections.
+                for ei in 0..extra.len() {
+                    for ej in (ei + 1)..extra.len() {
+                        let (n1, n2) = (extra[ei].normal(), extra[ej].normal());
+                        let det = n1[0] * n2[1] - n1[1] * n2[0];
+                        if det.abs() <= 1e-12 {
+                            bounds.degenerate = true;
+                            continue;
+                        }
+                        let p = [
+                            (extra[ei].offset() * n2[1] - extra[ej].offset() * n1[1]) / det,
+                            (n1[0] * extra[ej].offset() - n2[0] * extra[ei].offset()) / det,
+                        ];
+                        let min_slack = base
+                            .polytope
+                            .halfspaces()
+                            .iter()
+                            .chain(
+                                extra
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(oi, _)| oi != ei && oi != ej)
+                                    .map(|(_, o)| o),
+                            )
+                            .map(|f| f.slack(&p))
+                            .fold(f64::INFINITY, f64::min);
+                        if min_slack >= -TOL {
+                            bounds.take(dot(w, &p), min_slack >= 0.0);
+                        }
+                    }
+                }
+            }
+            _ if self.exact_empty_fastpaths && base.dim() == 1 => {
                 let (lo, hi) = base.polytope.interval_1d(extra);
                 if lo > hi + FASTPATH_MARGIN {
                     // Certainly empty: leave `upper` at None.
@@ -442,14 +549,100 @@ impl RegionEngine {
         Some(bounds)
     }
 
+    /// LP-free arm of [`Self::halfspace_covers`]: `Some(verdict)` when the
+    /// exact enumeration decides the query, `None` when only the solver
+    /// can (unsupported shape, or inside the ambiguous band).
+    #[inline]
+    fn halfspace_covers_fast(
+        &self,
+        base: &RegionBase,
+        extra: &[Halfspace],
+        h: &Halfspace,
+    ) -> Option<bool> {
+        let bounds = self.region_max_bounds(base, extra, h.normal())?;
+        // The 0–2-extras arms keep their historical behaviour bit for bit
+        // (their verdicts are pinned trajectory); the general arm (3+
+        // extras, new in schema v4) additionally refuses "covered"
+        // verdicts when a candidate generator was conditioning-skipped —
+        // `upper` may then understate the true maximum by more than any
+        // margin absorbs (a thin wedge's missed tip).
+        let trust_upper = extra.len() <= 2 || !bounds.degenerate;
+        match bounds.upper {
+            // Empty region: vacuously covered (the LP reports
+            // Infeasible).
+            None if trust_upper => return Some(true),
+            Some(upper) if trust_upper && upper <= h.offset() + TOL - FASTPATH_MARGIN => {
+                return Some(true)
+            }
+            _ => {}
+        }
+        if let Some(lower) = bounds.lower {
+            if lower > h.offset() + TOL + FASTPATH_MARGIN {
+                return Some(false);
+            }
+        }
+        // Narrow-band rule: shared sub-plans make a large share of
+        // redundancy queries tie exactly at the halfspace offset —
+        // distance `TOL` inside the decision boundary, which the
+        // symmetric [`FASTPATH_MARGIN`] above cannot take. The LP's
+        // verdict is still predictable there: with every row pair
+        // well-conditioned (exactly parallel or clearly crossing — see
+        // [`crate::rows_well_conditioned_2d`]) its round-off stays
+        // orders of magnitude below `TOL`, so both verdicts can be
+        // taken at a `3e-8` margin. Enumeration bounds are trusted at
+        // this granularity only when no candidate generator was
+        // conditioning-skipped (`degenerate`); ill-conditioned inputs
+        // have been observed to push the LP ~5e-6 past the true
+        // maximum, and those verdicts (right or wrong) are pinned
+        // trajectory, so they keep the LP.
+        if base.dim() == 2 && !bounds.degenerate {
+            let decisive = match (bounds.upper, bounds.lower) {
+                (Some(u), _) if u <= h.offset() + TOL - crate::LP_AGREEMENT_MARGIN => Some(true),
+                (_, Some(l)) if l > h.offset() + TOL + crate::LP_AGREEMENT_MARGIN => Some(false),
+                _ => None,
+            };
+            if decisive.is_some() {
+                let rows: SmallVec<[&Halfspace; 8]> = base
+                    .polytope
+                    .halfspaces()
+                    .iter()
+                    .chain(extra)
+                    .chain(std::iter::once(h))
+                    .collect();
+                if crate::rows_well_conditioned_2d(&rows) {
+                    return decisive;
+                }
+            }
+        }
+        None
+    }
+
+    /// LP arm of [`Self::halfspace_covers`], for queries the exact
+    /// enumeration left undecided.
+    #[inline]
+    fn halfspace_covers_lp(
+        &self,
+        ctx: &LpCtx,
+        base: &RegionBase,
+        extra: &[Halfspace],
+        h: &Halfspace,
+    ) -> bool {
+        ctx.fastpath_fallback(FastPathSite::CutoutRedundancy);
+        match base.polytope.max_linear_with(ctx, h.normal(), extra) {
+            LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
+            LpOutcome::Unbounded => false,
+            LpOutcome::Infeasible => true,
+        }
+    }
+
     /// Maximum of `h.normal() · x` over `base ∩ extra`, compared to the
     /// halfspace offset: true iff the halfspace contains that region.
     ///
-    /// The exact enumeration ([`Self::exact_region_max`]) answers decisive
-    /// queries without an LP, each verdict certified by the bound that is
-    /// sound for its direction; unsupported shapes and queries within
-    /// [`FASTPATH_MARGIN`] of the `offset + TOL` threshold — where LP
-    /// round-off could disagree — fall through to the solver.
+    /// The exact enumeration ([`Self::region_max_bounds`]) answers
+    /// decisive queries without an LP, each verdict certified by the bound
+    /// that is sound for its direction; unsupported shapes and queries
+    /// within [`FASTPATH_MARGIN`] of the `offset + TOL` threshold — where
+    /// LP round-off could disagree — fall through to the solver.
     #[inline]
     fn halfspace_covers(
         &self,
@@ -458,24 +651,77 @@ impl RegionEngine {
         extra: &[Halfspace],
         h: &Halfspace,
     ) -> bool {
-        if let Some(bounds) = self.exact_region_max(base, extra, h.normal()) {
-            match bounds.upper {
-                // Empty region: vacuously covered (the LP reports
-                // Infeasible).
-                None => return true,
-                Some(upper) if upper <= h.offset() + TOL - FASTPATH_MARGIN => return true,
-                _ => {}
+        match self.halfspace_covers_fast(base, extra, h) {
+            Some(verdict) => {
+                ctx.fastpath_hit(FastPathSite::CutoutRedundancy);
+                verdict
             }
-            if let Some(lower) = bounds.lower {
-                if lower > h.offset() + TOL + FASTPATH_MARGIN {
+            None => self.halfspace_covers_lp(ctx, base, extra, h),
+        }
+    }
+
+    /// Conjunction `∀ h ∈ hs: halfspace_covers(base ∩ extra ⊆ h)`,
+    /// evaluated LP-last: every term is a deterministic predicate, so the
+    /// conjunction's value does not depend on evaluation order — a
+    /// decisive LP-free `false` on any term settles the query before the
+    /// ambiguous terms pay their solver calls.
+    #[inline]
+    fn halfspaces_cover(
+        &self,
+        ctx: &LpCtx,
+        base: &RegionBase,
+        extra: &[Halfspace],
+        hs: &[Halfspace],
+    ) -> bool {
+        let mut pending: SmallVec<[&Halfspace; 2]> = SmallVec::new();
+        for h in hs {
+            match self.halfspace_covers_fast(base, extra, h) {
+                Some(false) => {
+                    ctx.fastpath_hit(FastPathSite::CutoutRedundancy);
                     return false;
                 }
+                Some(true) => ctx.fastpath_hit(FastPathSite::CutoutRedundancy),
+                None => pending.push(h),
             }
         }
-        match base.polytope.max_linear_with(ctx, h.normal(), extra) {
-            LpOutcome::Optimal(sol) => sol.value <= h.offset() + TOL,
-            LpOutcome::Unbounded => false,
-            LpOutcome::Infeasible => true,
+        pending
+            .iter()
+            .all(|h| self.halfspace_covers_lp(ctx, base, extra, h))
+    }
+
+    /// LP-free arm of [`Self::halfspaces_cover`]: `Ok(verdict)` when every
+    /// term (or a decisive `false`) resolves without the solver;
+    /// `Err(mask)` with the bitmask of undecided terms otherwise, so the
+    /// caller can solve exactly those without re-enumerating the rest.
+    /// Halfspace lists beyond the mask width (never produced by either
+    /// backend, but not structurally impossible for general dominance
+    /// polytopes) report everything undecided via [`ALL_PENDING`].
+    #[inline]
+    fn halfspaces_cover_fast(
+        &self,
+        ctx: &LpCtx,
+        base: &RegionBase,
+        extra: &[Halfspace],
+        hs: &[Halfspace],
+    ) -> Result<bool, u64> {
+        if hs.len() > u64::BITS as usize {
+            return Err(ALL_PENDING);
+        }
+        let mut pending: u64 = 0;
+        for (i, h) in hs.iter().enumerate() {
+            match self.halfspace_covers_fast(base, extra, h) {
+                Some(false) => {
+                    ctx.fastpath_hit(FastPathSite::CutoutRedundancy);
+                    return Ok(false);
+                }
+                Some(true) => ctx.fastpath_hit(FastPathSite::CutoutRedundancy),
+                None => pending |= 1 << i,
+            }
+        }
+        if pending == 0 {
+            Ok(true)
+        } else {
+            Err(pending)
         }
     }
 
@@ -515,12 +761,20 @@ impl RegionEngine {
                     .fold(f64::INFINITY, f64::min);
                 r > INTERIOR_TOL + FASTPATH_MARGIN
             };
-            if !certified_nonempty {
-                let empty = if self.exact_intervals_1d && base.dim() == 1 {
-                    // The exact 1-D fast path shares the tolerance band of
-                    // the piece-algebra predicates.
-                    base.polytope.is_empty_with_fastpath(ctx, &halfspaces)
+            if certified_nonempty {
+                ctx.fastpath_hit(FastPathSite::CutoutEmptiness);
+            } else {
+                let empty = if self.exact_empty_fastpaths {
+                    // The exact interval (1-D) / slab-and-triple (2-D)
+                    // fast paths share the tolerance band of the
+                    // piece-algebra predicates.
+                    base.polytope.is_empty_with_fastpath(
+                        ctx,
+                        &halfspaces,
+                        FastPathSite::CutoutEmptiness,
+                    )
                 } else {
+                    ctx.fastpath_fallback(FastPathSite::CutoutEmptiness);
                     base.polytope.is_empty_with(ctx, &halfspaces)
                 };
                 if empty {
@@ -546,7 +800,7 @@ impl RegionEngine {
             }
         }
         let cutout = Cutout { halfspaces };
-        let (cutouts, points, witness, verified) = match state {
+        let (cutouts, points, witness, verified, remainder) = match state {
             CutoutRegion::Empty => return,
             CutoutRegion::Full => {
                 *state = CutoutRegion::Partial {
@@ -554,6 +808,7 @@ impl RegionEngine {
                     points: self.initial_points(base),
                     witness: None,
                     verified_nonempty: false,
+                    remainder: None,
                 };
                 match state {
                     CutoutRegion::Partial {
@@ -561,7 +816,8 @@ impl RegionEngine {
                         points,
                         witness,
                         verified_nonempty,
-                    } => (cutouts, points, witness, verified_nonempty),
+                        remainder,
+                    } => (cutouts, points, witness, verified_nonempty, remainder),
                     _ => unreachable!(),
                 }
             }
@@ -570,21 +826,60 @@ impl RegionEngine {
                 points,
                 witness,
                 verified_nonempty,
-            } => (cutouts, points, witness, verified_nonempty),
+                remainder,
+            } => (cutouts, points, witness, verified_nonempty, remainder),
         };
         // §6.2 refinement 2: drop cutouts covered by another cutout.
         // Containment between cutouts of one base only needs the extra
-        // halfspaces of the candidate container.
+        // halfspaces of the candidate container. The absorption test is a
+        // disjunction of deterministic predicates, so it runs LP-last:
+        // any existing cutout that covers the candidate LP-free absorbs
+        // it before other cutouts' ambiguous terms pay their solver
+        // calls; only then do the undecided candidates solve.
         if self.redundant_cutout_removal {
-            let covers = |a: &Cutout, b: &Cutout| -> bool {
-                a.halfspaces
-                    .iter()
-                    .all(|h| self.halfspace_covers(ctx, base, &b.halfspaces, h))
-            };
-            if cutouts.iter().any(|c| covers(c, &cutout)) {
+            let mut absorbed = false;
+            let mut pending: SmallVec<[(usize, u64); 8]> = SmallVec::new();
+            for (i, c) in cutouts.iter().enumerate() {
+                match self.halfspaces_cover_fast(ctx, base, &cutout.halfspaces, &c.halfspaces) {
+                    Ok(true) => {
+                        absorbed = true;
+                        break;
+                    }
+                    Ok(false) => {}
+                    Err(mask) => pending.push((i, mask)),
+                }
+            }
+            if !absorbed {
+                absorbed = pending.iter().any(|&(i, mask)| {
+                    if mask == ALL_PENDING {
+                        // Oversized halfspace list: no per-term mask was
+                        // recorded, re-run the full conjunction.
+                        return self.halfspaces_cover(
+                            ctx,
+                            base,
+                            &cutout.halfspaces,
+                            &cutouts[i].halfspaces,
+                        );
+                    }
+                    cutouts[i]
+                        .halfspaces
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| mask & (1 << j) != 0)
+                        .all(|(_, h)| self.halfspace_covers_lp(ctx, base, &cutout.halfspaces, h))
+                });
+            }
+            if absorbed {
                 return;
             }
-            cutouts.retain(|c| !covers(&cutout, c));
+            let before = cutouts.len();
+            cutouts
+                .retain(|c| !self.halfspaces_cover(ctx, base, &c.halfspaces, &cutout.halfspaces));
+            if cutouts.len() != before {
+                // The cached coverage worklist is a prefix decomposition
+                // of the (ordered) cutout list; removals invalidate it.
+                *remainder = None;
+            }
         }
         points.retain(|&mut p| !cutout.contains(base.probe(p)));
         // The witness stays valid only while its margin ball lands wholly
@@ -608,6 +903,16 @@ impl RegionEngine {
     /// a margin-certified witness, or a cached verdict proves
     /// non-emptiness; a coverage verdict of "covered" marks the state
     /// [`CutoutRegion::Empty`].
+    ///
+    /// The coverage check itself is **incremental**: the worklist
+    /// decomposition left by the last check is cached in the region state
+    /// and — as long as the cutout list only grew by appends since — the
+    /// check resumes there and subtracts only the new cutouts. The
+    /// worklist loop processes one cutout at a time, so the resumed run
+    /// issues exactly the queries a from-scratch run would issue for the
+    /// suffix, and every skipped prefix query is a bit-identical repeat
+    /// of a deterministic predicate: verdicts (and therefore retained
+    /// plans) are unchanged, only the duplicate LP volume disappears.
     #[inline]
     pub fn region_is_empty(
         &self,
@@ -615,14 +920,15 @@ impl RegionEngine {
         base: &RegionBase,
         state: &mut CutoutRegion,
     ) -> bool {
-        match state {
-            CutoutRegion::Empty => true,
-            CutoutRegion::Full => false,
+        let covered = match state {
+            CutoutRegion::Empty => return true,
+            CutoutRegion::Full => return false,
             CutoutRegion::Partial {
                 cutouts,
                 points,
                 witness,
                 verified_nonempty,
+                remainder,
             } => {
                 if self.relevance_points && !points.is_empty() {
                     // A surviving relevance point proves non-emptiness.
@@ -641,37 +947,55 @@ impl RegionEngine {
                     return false;
                 }
                 self.emptiness_checks.fetch_add(1, Ordering::Relaxed);
-                let polys: Vec<Polytope> = cutouts
-                    .iter()
-                    .map(|c| {
-                        let mut p = (*base.polytope).clone();
-                        for h in &c.halfspaces {
-                            p.push(h.clone());
-                        }
-                        p
-                    })
-                    .collect();
-                match crate::difference_witness(ctx, &base.polytope, &polys) {
-                    crate::DifferenceWitness::Empty => {
-                        *state = CutoutRegion::Empty;
-                        true
+                // Resume the cached worklist, or start from the base
+                // (optimizer bases are boxes and simplices — never empty,
+                // but the entry check mirrors the standalone coverage
+                // routine).
+                let (processed, mut remaining) = match remainder.take() {
+                    Some((done, pieces)) => (done, pieces),
+                    None if base.polytope.is_empty_with_fastpath(
+                        ctx,
+                        &[],
+                        FastPathSite::Coverage,
+                    ) =>
+                    {
+                        (cutouts.len(), Vec::new())
                     }
-                    crate::DifferenceWitness::NonEmpty(w) => {
-                        // Trust the witness for future skips only if its
-                        // ball sits wholly inside one cell of every
-                        // existing cutout's subdivision (see
-                        // `cell_placement`): the worklist's miss fast path
-                        // lets a piece penetrate a cutout by a
-                        // sub-tolerance cap, so creation-time placement
-                        // must be re-certified against all cutouts.
-                        *witness = w
-                            .filter(|w| cutouts.iter().all(|c| cell_placement(c, w) == Some(true)));
-                        *verified_nonempty = true;
-                        false
+                    None => (0, vec![(*base.polytope).clone()]),
+                };
+                for c in &cutouts[processed..] {
+                    if remaining.is_empty() {
+                        break;
                     }
+                    let mut poly = (*base.polytope).clone();
+                    for h in &c.halfspaces {
+                        poly.push(h.clone());
+                    }
+                    remaining =
+                        crate::difference::subtract_cutout_from_worklist(ctx, &remaining, &poly);
+                }
+                if remaining.is_empty() {
+                    true
+                } else {
+                    // Trust the witness for future skips only if its ball
+                    // sits wholly inside one cell of every existing
+                    // cutout's subdivision (see `cell_placement`): the
+                    // worklist's miss fast path lets a piece penetrate a
+                    // cutout by a sub-tolerance cap, so creation-time
+                    // placement must be re-certified against all cutouts.
+                    let w = crate::difference::worklist_witness(ctx, &remaining);
+                    *witness =
+                        w.filter(|w| cutouts.iter().all(|c| cell_placement(c, w) == Some(true)));
+                    *verified_nonempty = true;
+                    *remainder = Some((cutouts.len(), remaining));
+                    false
                 }
             }
+        };
+        if covered {
+            *state = CutoutRegion::Empty;
         }
+        covered
     }
 }
 

@@ -1,0 +1,190 @@
+//! Differential tests of the region engine's 2-D vertex enumeration
+//! ([`RegionEngine::region_max_bounds`]) against the LP answer.
+//!
+//! The enumeration returns two-sided bounds on `max w·x` over
+//! `base ∩ extra`:
+//!
+//! * `upper` never misses a true vertex (candidates are accepted with an
+//!   inclusive `-TOL` slack), so the LP optimum can exceed it by at most
+//!   enumeration round-off — unless a candidate generator was skipped for
+//!   conditioning reasons, which the `degenerate` flag reports;
+//! * `lower` only uses exactly feasible candidates, so it is always an
+//!   achievable objective value.
+//!
+//! Randomized halfspace sets include exact duplicates of base facets,
+//! exact complements (zero-width slivers), near-parallel pairs and
+//! ambiguity-band offsets — the degenerate shapes the optimizer actually
+//! produces.
+
+use mpq_geometry::{Halfspace, Polytope, RegionBase, RegionEngine};
+use mpq_lp::{LpCtx, LpOutcome};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Unit-square base with its exact vertex set.
+fn square_base() -> RegionBase {
+    let poly = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+    let verts = vec![
+        vec![0.0, 0.0],
+        vec![1.0, 0.0],
+        vec![0.0, 1.0],
+        vec![1.0, 1.0],
+    ];
+    RegionBase::new(Arc::new(poly), verts.clone(), verts, vec![0.5, 0.5])
+}
+
+/// Kuhn lower-triangle base (`y ≤ x` within the unit square) with its
+/// exact vertex set — the grid backend's per-simplex shape.
+fn triangle_base() -> RegionBase {
+    let mut poly = Polytope::from_box(&[0.0, 0.0], &[1.0, 1.0]);
+    poly.add_inequality(vec![-1.0, 1.0], 0.0); // y <= x
+    let verts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+    RegionBase::new(
+        Arc::new(poly),
+        verts.clone(),
+        verts,
+        vec![2.0 / 3.0, 1.0 / 3.0],
+    )
+}
+
+/// Raw halfspace ingredients: a normal picked from a pool that includes
+/// axis directions, diagonals and near-parallel perturbations, plus an
+/// offset pool that includes exact ties and band-width values.
+fn extra_halfspace() -> impl Strategy<Value = Halfspace> {
+    let normal = (0usize..8, -1.0..1.0f64);
+    let offset = (0usize..6, -0.5..1.5f64);
+    (normal, offset).prop_map(|((nk, nr), (ok, or))| {
+        let a = match nk {
+            0 => vec![1.0, 0.0],
+            1 => vec![-1.0, 0.0],
+            2 => vec![0.0, 1.0],
+            3 => vec![0.0, -1.0],
+            4 => vec![1.0, -1.0],
+            5 => vec![-1.0, 1.0],
+            6 => vec![1.0, 1e-6], // near-parallel to a base facet
+            _ => vec![nr, 1.0 - nr.abs()],
+        };
+        let b = match ok {
+            0 => 0.0,
+            1 => 0.5,
+            2 => -1e-8,      // ambiguity band
+            3 => 0.5 + 1e-7, // tolerance-distance tie
+            4 => -0.25,      // empty-leaning
+            _ => or,
+        };
+        Halfspace::proper(a, b)
+    })
+}
+
+fn check_bounds_against_lp(
+    base: &RegionBase,
+    extras: &[Halfspace],
+    w: &[f64],
+) -> Result<(), TestCaseError> {
+    let engine = RegionEngine::new(true, true, true, true);
+    let Some(bounds) = engine.region_max_bounds(base, extras, w) else {
+        return Ok(()); // unsupported shape: nothing to compare
+    };
+    let ctx = LpCtx::new();
+    let outcome = base.polytope().max_linear_with(&ctx, w, extras);
+    match outcome {
+        LpOutcome::Optimal(sol) => {
+            if let Some(lower) = bounds.lower {
+                // `lower` is achieved by a true region point; the LP
+                // optimum cannot be decisively below it.
+                prop_assert!(
+                    sol.value >= lower - 1e-6,
+                    "LP value {} below achievable lower bound {}",
+                    sol.value,
+                    lower
+                );
+            }
+            if let Some(upper) = bounds.upper {
+                if !bounds.degenerate {
+                    // No candidate generator was skipped, so every true
+                    // vertex was enumerated: the optimum cannot
+                    // decisively exceed the upper bound.
+                    prop_assert!(
+                        sol.value <= upper + 1e-6,
+                        "LP value {} above sound upper bound {} (extras {:?})",
+                        sol.value,
+                        upper,
+                        extras
+                    );
+                }
+            } else {
+                // upper == None certifies emptiness; a clearly feasible
+                // LP optimum contradicts it. (Tolerance-band slivers may
+                // legitimately differ, hence the margin.)
+                prop_assert!(
+                    extras.iter().any(|e| e.slack(&sol.x) < 1e-6)
+                        || base
+                            .polytope()
+                            .halfspaces()
+                            .iter()
+                            .any(|h| h.slack(&sol.x) < 1e-6),
+                    "LP found interior optimum {:?} in a region certified empty",
+                    sol.x
+                );
+            }
+        }
+        LpOutcome::Infeasible => {
+            // The region is empty as a closed set: no exactly feasible
+            // candidate may exist.
+            prop_assert!(
+                bounds.lower.is_none(),
+                "enumeration certified point {:?} in an LP-infeasible region",
+                bounds.lower
+            );
+        }
+        LpOutcome::Unbounded => {
+            // Bases are bounded boxes/triangles; unbounded cannot happen.
+            prop_assert!(false, "unbounded LP over a bounded base");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn vertex_enumeration_bounds_agree_with_lp(
+        use_triangle in 0usize..2,
+        extras in prop::collection::vec(extra_halfspace(), 0..6),
+        wk in 0usize..6,
+    ) {
+        let base = if use_triangle == 1 {
+            triangle_base()
+        } else {
+            square_base()
+        };
+        let w = match wk {
+            0 => vec![1.0, 0.0],
+            1 => vec![0.0, -1.0],
+            2 => vec![1.0, 1.0],
+            3 => vec![-1.0, 1.0],
+            4 => vec![0.6, -0.8],
+            _ => vec![-0.7071067811865475, -0.7071067811865475],
+        };
+        check_bounds_against_lp(&base, &extras, &w)?;
+    }
+
+    #[test]
+    fn vertex_enumeration_handles_duplicate_and_complement_extras(
+        offset in 0.0..1.0f64,
+        extras in prop::collection::vec(extra_halfspace(), 0..3),
+    ) {
+        // Exact duplicate of a base facet plus its exact complement: a
+        // zero-width sliver at `x = offset` — the aligned-adjacency case.
+        let base = square_base();
+        let mut all = vec![
+            Halfspace::proper(vec![1.0, 0.0], offset),
+            Halfspace::proper(vec![-1.0, 0.0], -offset),
+        ];
+        all.extend(extras);
+        for w in [[1.0, 0.0], [0.0, 1.0], [0.7071067811865475, -0.7071067811865475]] {
+            check_bounds_against_lp(&base, &all, &w)?;
+        }
+    }
+}

@@ -56,7 +56,28 @@ mod simplex;
 
 pub use simplex::RowStage;
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Per-thread count of LPs solved through any [`LpCtx`] on this
+    /// thread. Backs per-query LP deltas: a query that executes on one
+    /// thread (every `threads = 1` run — the shim pool runs single-width
+    /// fan-outs inline on the caller) sees exactly its own solves here,
+    /// even while other queries of a batch run concurrently elsewhere.
+    static THREAD_SOLVED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// LPs solved through any [`LpCtx`] **on the calling thread** so far.
+///
+/// Deltas of this counter around a region of work give that region's own
+/// LP count, unpolluted by concurrent work on other threads — the
+/// per-query counter behind `OptStats::lps_solved_query`. Work that fans
+/// out to other threads is not attributed to the submitting thread, so
+/// deltas are exact only for single-threaded regions.
+pub fn thread_solved() -> u64 {
+    THREAD_SOLVED.with(|c| c.get())
+}
 
 /// Numerical tolerance used throughout the solver.
 ///
@@ -176,15 +197,92 @@ pub fn solve_staged(objective: &[f64], fill: impl FnOnce(&mut RowStage)) -> LpOu
     simplex::solve_staged(objective, fill)
 }
 
+/// The call sites whose exact geometric fast paths the context tracks:
+/// each site answers a predicate either LP-free (a *hit*) or by falling
+/// back to the solver (a *fallback*), and the per-site split tells future
+/// optimization work where the remaining LP tail lives.
+///
+/// The sites themselves live in the geometry layer (`mpq-geometry`) and
+/// the piecewise cost algebra (`mpq-cost`); the enum is defined here
+/// because the shared `LpCtx` is the one object every such call site
+/// already holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPathSite {
+    /// Cutout-redundancy and halfspace-coverage queries of the region
+    /// engine (`RegionEngine::halfspace_covers`), answered by exact
+    /// vertex enumeration when decisive.
+    CutoutRedundancy = 0,
+    /// Cutout-emptiness prechecks when a multi-halfspace cutout is added
+    /// (`RegionEngine::add_cutout`), answered by inscribed-ball
+    /// certificates and exact interval/vertex emptiness.
+    CutoutEmptiness = 1,
+    /// Per-piece emptiness checks of the coverage (polytope-difference)
+    /// machinery behind `IsEmpty`.
+    Coverage = 2,
+    /// Piecewise cost algebra (`combine` / `intersect_dedup` /
+    /// `dominance_regions`): cross-pair and cut emptiness over piece
+    /// regions.
+    PieceAlgebra = 3,
+}
+
+impl FastPathSite {
+    /// All sites, in counter order.
+    pub const ALL: [FastPathSite; 4] = [
+        FastPathSite::CutoutRedundancy,
+        FastPathSite::CutoutEmptiness,
+        FastPathSite::Coverage,
+        FastPathSite::PieceAlgebra,
+    ];
+
+    /// Stable snake_case name (used as a JSON key by the bench harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            FastPathSite::CutoutRedundancy => "cutout_redundancy",
+            FastPathSite::CutoutEmptiness => "cutout_emptiness",
+            FastPathSite::Coverage => "coverage",
+            FastPathSite::PieceAlgebra => "piece_algebra",
+        }
+    }
+}
+
+/// Snapshot of the per-site fast-path hit / LP-fallback counters of an
+/// [`LpCtx`], indexed by `FastPathSite as usize`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathBreakdown {
+    /// Queries answered without an LP, per site.
+    pub fast: [u64; FastPathSite::ALL.len()],
+    /// Queries that fell back to the LP solver, per site.
+    pub lp: [u64; FastPathSite::ALL.len()],
+}
+
+impl FastPathBreakdown {
+    /// Total LP-free answers across all sites.
+    pub fn total_fast(&self) -> u64 {
+        self.fast.iter().sum()
+    }
+
+    /// Total LP fallbacks across all sites.
+    pub fn total_lp(&self) -> u64 {
+        self.lp.iter().sum()
+    }
+}
+
 /// Statistics-carrying solver context.
 ///
 /// The MPQ evaluation (Figure 12) reports the number of LPs solved during
 /// optimization; all geometry and cost-function operations route their
 /// solves through a shared `LpCtx` so the harness can read the count. The
 /// counter is atomic, so one context can be shared across worker threads.
+///
+/// The context also carries the per-site fast-path breakdown
+/// ([`FastPathBreakdown`]): geometry predicates report whether they were
+/// answered LP-free or fell back to the solver, giving the bench harness
+/// an exact map of where the remaining LP tail lives.
 #[derive(Debug, Default)]
 pub struct LpCtx {
     solved: AtomicU64,
+    fastpath_fast: [AtomicU64; FastPathSite::ALL.len()],
+    fastpath_lp: [AtomicU64; FastPathSite::ALL.len()],
 }
 
 impl LpCtx {
@@ -196,6 +294,7 @@ impl LpCtx {
     /// Solves `problem`, incrementing the solved-LP counter.
     pub fn solve(&self, problem: &LpProblem) -> LpOutcome {
         self.solved.fetch_add(1, Ordering::Relaxed);
+        THREAD_SOLVED.with(|c| c.set(c.get() + 1));
         simplex::solve(problem)
     }
 
@@ -208,6 +307,7 @@ impl LpCtx {
     /// incrementing the solved-LP counter. See [`solve_staged`].
     pub fn solve_staged(&self, objective: &[f64], fill: impl FnOnce(&mut RowStage)) -> LpOutcome {
         self.solved.fetch_add(1, Ordering::Relaxed);
+        THREAD_SOLVED.with(|c| c.set(c.get() + 1));
         simplex::solve_staged(objective, fill)
     }
 
@@ -216,9 +316,35 @@ impl LpCtx {
         self.solved.load(Ordering::Relaxed)
     }
 
-    /// Resets the solved-LP counter to zero.
+    /// Records that `site` answered a predicate without an LP.
+    #[inline]
+    pub fn fastpath_hit(&self, site: FastPathSite) {
+        self.fastpath_fast[site as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that `site` fell back to the LP solver for a predicate.
+    #[inline]
+    pub fn fastpath_fallback(&self, site: FastPathSite) {
+        self.fastpath_lp[site as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the per-site fast-path breakdown.
+    pub fn fastpath_breakdown(&self) -> FastPathBreakdown {
+        let mut out = FastPathBreakdown::default();
+        for i in 0..FastPathSite::ALL.len() {
+            out.fast[i] = self.fastpath_fast[i].load(Ordering::Relaxed);
+            out.lp[i] = self.fastpath_lp[i].load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Resets the solved-LP counter and the fast-path breakdown to zero.
     pub fn reset(&self) {
         self.solved.store(0, Ordering::Relaxed);
+        for i in 0..FastPathSite::ALL.len() {
+            self.fastpath_fast[i].store(0, Ordering::Relaxed);
+            self.fastpath_lp[i].store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -316,6 +442,35 @@ mod tests {
         assert_eq!(ctx.solved(), 2);
         ctx.reset();
         assert_eq!(ctx.solved(), 0);
+    }
+
+    #[test]
+    fn fastpath_breakdown_counts_per_site() {
+        let ctx = LpCtx::new();
+        ctx.fastpath_hit(FastPathSite::Coverage);
+        ctx.fastpath_hit(FastPathSite::Coverage);
+        ctx.fastpath_fallback(FastPathSite::PieceAlgebra);
+        let b = ctx.fastpath_breakdown();
+        assert_eq!(b.fast[FastPathSite::Coverage as usize], 2);
+        assert_eq!(b.lp[FastPathSite::PieceAlgebra as usize], 1);
+        assert_eq!(b.total_fast(), 2);
+        assert_eq!(b.total_lp(), 1);
+        ctx.reset();
+        assert_eq!(ctx.fastpath_breakdown(), FastPathBreakdown::default());
+    }
+
+    #[test]
+    fn thread_solved_tracks_ctx_solves() {
+        let ctx = LpCtx::new();
+        let p = LpProblem::feasibility(1, vec![c(vec![1.0], 1.0)]);
+        let before = thread_solved();
+        ctx.solve(&p);
+        ctx.solve_staged(&[0.0], |stage| stage.push_row(&[1.0], 1.0));
+        assert_eq!(thread_solved() - before, 2);
+        // Resetting the context does not rewind the thread counter (it is
+        // monotonic; consumers take deltas).
+        ctx.reset();
+        assert_eq!(thread_solved() - before, 2);
     }
 
     #[test]

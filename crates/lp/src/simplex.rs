@@ -1,12 +1,31 @@
-//! Two-phase dense simplex over reusable flat scratch memory.
+//! Two-phase dense simplex over reusable flat scratch memory, with a
+//! **folded tableau**: free decision variables are still modelled as
+//! differences of non-negative variables (`x = u − v`), but the `v`
+//! columns are not stored. While neither member of a `u/v` pair has ever
+//! been pivoted on, the `v` column is the exact bitwise negation of the
+//! `u` column — every tableau update preserves this (IEEE rounding is
+//! symmetric under negation) — so reads resolve through a sign flip. The
+//! first pivot on either member of a pair breaks the invariant (the
+//! entering column is explicitly zeroed, its twin picks up elimination
+//! round-off), so the twin column is **materialised** (appended as a real
+//! column, as the exact negation it still is at that moment) immediately
+//! before such a pivot. Pairs the optimum never touches — common for the
+//! geometry layer's sign-mixed objectives — never pay for their `v`
+//! column, shaving up to `n` of the `2n + m` tableau columns from every
+//! elimination.
 //!
-//! Free decision variables are split into differences of non-negative
-//! variables (`x = u − v`), one slack variable is added per inequality and
-//! artificial variables are introduced for rows whose right-hand side is
-//! negative. Phase 1 maximizes the negated sum of artificials; phase 2
-//! maximizes the real objective. Pivoting uses Dantzig's rule with a
-//! fallback to Bland's rule after a fixed iteration budget, which guarantees
-//! termination on degenerate problems.
+//! Pivot selection (Dantzig with a Bland fallback), the ratio test, and
+//! every arithmetic operation scan **logical** columns in the exact order
+//! of the unfolded layout `[u | v | slack | artificial]`, and all stored
+//! values equal the unfolded tableau's bit for bit (negation reads are
+//! exact), so pivot sequences — and therefore every outcome, solution
+//! vector and verdict — are bit-identical to the unfolded solver
+//! (asserted against a reference implementation by
+//! `tests/folded_proptest.rs`).
+//!
+//! Phase 1 maximizes the negated sum of artificials; phase 2 maximizes
+//! the real objective. The Bland fallback after a fixed iteration budget
+//! guarantees termination on degenerate problems.
 //!
 //! # Memory
 //!
@@ -36,22 +55,25 @@ struct Scratch {
     stage: Vec<f64>,
     /// Staged right-hand sides, length `m`.
     stage_rhs: Vec<f64>,
-    /// Tableau `B⁻¹ A`, row-major `m × ncols`.
+    /// Folded tableau `B⁻¹ A`, row-major `m × stride`.
     tab: Vec<f64>,
     /// `B⁻¹ b`, kept non-negative.
     rhs: Vec<f64>,
-    /// Column index of the basic variable of each row.
+    /// **Logical** column index of the basic variable of each row.
     basis: Vec<usize>,
     /// Rows that received an artificial variable.
     art_rows: Vec<usize>,
-    /// Reduced-cost row.
+    /// Reduced-cost row over **physical** columns.
     z: Vec<f64>,
-    /// Cost vector of the current phase.
-    cost: Vec<f64>,
-    /// Columns excluded as reduced-cost noise (phase 1).
+    /// Logical columns excluded as reduced-cost noise (phase 1).
     skipped: Vec<bool>,
     /// Copy of the normalised pivot row during eliminations.
     pivot_buf: Vec<f64>,
+    /// Physical column of each variable's materialised `v` twin
+    /// (`usize::MAX` while folded).
+    twin: Vec<usize>,
+    /// Variable index owning each materialised twin, in append order.
+    twin_owner: Vec<usize>,
 }
 
 thread_local! {
@@ -97,13 +119,63 @@ enum RunResult {
     Unbounded,
 }
 
-/// Tableau view over scratch storage; `ncols` is the row stride.
+/// The cost vector of the current phase, evaluated on demand over
+/// logical columns (never materialised).
+#[derive(Clone, Copy)]
+enum Cost<'a> {
+    /// Phase 1: `−1` on artificial columns (`art0_logical..`), `0`
+    /// elsewhere.
+    Phase1 { art0_logical: usize },
+    /// Phase 2: the real objective over `u`/`v`, `0` on slacks.
+    Phase2 { objective: &'a [f64] },
+}
+
+impl Cost<'_> {
+    #[inline]
+    fn at(&self, logical: usize, nvars: usize) -> f64 {
+        match *self {
+            Cost::Phase1 { art0_logical } => {
+                if logical >= art0_logical {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Cost::Phase2 { objective } => {
+                if logical < nvars {
+                    objective[logical]
+                } else if logical < 2 * nvars {
+                    -objective[logical - nvars]
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Folded tableau view over scratch storage.
+///
+/// Physical layout per row: `[x (nvars) | slack (nslack) | artificial
+/// (nart) | twins (in materialisation order)]`, `stride` is the row
+/// stride (the worst-case width), `active` the live physical width.
+/// Logical columns keep the unfolded numbering `[u (nvars) | v (nvars) |
+/// slack | artificial]`; [`Tableau::basis`] stores logical indices.
 struct Tableau<'a> {
     tab: &'a mut Vec<f64>,
     rhs: &'a mut Vec<f64>,
     basis: &'a mut Vec<usize>,
     pivot_buf: &'a mut Vec<f64>,
-    ncols: usize,
+    twin: &'a mut Vec<usize>,
+    twin_owner: &'a mut Vec<usize>,
+    stride: usize,
+    active: usize,
+    nvars: usize,
+    nslack: usize,
+    /// Physical artificial columns still present (zeroed after phase 1).
+    nart: usize,
+    /// Logical column count of the current phase.
+    logical_ncols: usize,
 }
 
 impl Tableau<'_> {
@@ -111,22 +183,112 @@ impl Tableau<'_> {
         self.rhs.len()
     }
 
+    /// First physical twin column.
     #[inline]
-    fn row(&self, i: usize) -> &[f64] {
-        &self.tab[i * self.ncols..(i + 1) * self.ncols]
+    fn twin_base(&self) -> usize {
+        self.nvars + self.nslack + self.nart
     }
 
+    /// Resolves a logical column to `(physical column, negated)`.
+    /// `negated` is only ever true for the `v` member of a still-folded
+    /// pair.
     #[inline]
-    fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        &mut self.tab[i * self.ncols..(i + 1) * self.ncols]
+    fn resolve(&self, logical: usize) -> (usize, bool) {
+        if logical < self.nvars {
+            (logical, false)
+        } else if logical < 2 * self.nvars {
+            let j = logical - self.nvars;
+            let t = self.twin[j];
+            if t == usize::MAX {
+                (j, true)
+            } else {
+                (t, false)
+            }
+        } else {
+            // Slack and artificial columns sit right after the variables.
+            (logical - self.nvars, false)
+        }
     }
 
-    fn pivot(&mut self, row: usize, col: usize, z: &mut [f64]) {
-        let nc = self.ncols;
-        let pivot = self.tab[row * nc + col];
+    /// The logical column a physical column currently represents.
+    #[inline]
+    fn logical_of(&self, phys: usize) -> usize {
+        if phys < self.nvars {
+            phys
+        } else if phys < self.twin_base() {
+            self.nvars + phys
+        } else {
+            self.nvars + self.twin_owner[phys - self.twin_base()]
+        }
+    }
+
+    /// Tableau value of `(row, logical column)`, resolved through the
+    /// fold (exact: negation is bitwise).
+    #[inline]
+    fn value(&self, row: usize, logical: usize) -> f64 {
+        let (p, neg) = self.resolve(logical);
+        let v = self.tab[row * self.stride + p];
+        if neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Reduced cost of a logical column.
+    #[inline]
+    fn z_at(&self, z: &[f64], logical: usize) -> f64 {
+        let (p, neg) = self.resolve(logical);
+        let v = z[p];
+        if neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Ensures the logical column can be pivoted on in place: pivoting on
+    /// either member of a folded pair breaks the negation invariant, so
+    /// the `v` twin is materialised first — appended as the exact
+    /// negation it still is at this moment, after which both columns
+    /// evolve independently exactly like the unfolded tableau's.
+    fn unfold_for_pivot(&mut self, logical: usize, z: &mut Vec<f64>) -> usize {
+        if logical >= 2 * self.nvars {
+            return logical - self.nvars; // slack/artificial: direct
+        }
+        let j = if logical < self.nvars {
+            logical
+        } else {
+            logical - self.nvars
+        };
+        if self.twin[j] == usize::MAX {
+            let p = self.active;
+            debug_assert!(p < self.stride);
+            for i in 0..self.num_rows() {
+                self.tab[i * self.stride + p] = -self.tab[i * self.stride + j];
+            }
+            if z.len() <= p {
+                z.resize(p + 1, 0.0);
+            }
+            z[p] = -z[j];
+            self.twin[j] = p;
+            self.twin_owner.push(j);
+            self.active += 1;
+        }
+        let (p, neg) = self.resolve(logical);
+        debug_assert!(!neg);
+        p
+    }
+
+    /// Pivots on `(row, logical column)`, updating the reduced-cost row.
+    fn pivot(&mut self, row: usize, logical: usize, z: &mut Vec<f64>) {
+        let col = self.unfold_for_pivot(logical, z);
+        let stride = self.stride;
+        let active = self.active;
+        let pivot = self.tab[row * stride + col];
         debug_assert!(pivot.abs() > PIVOT_EPS);
         let inv = 1.0 / pivot;
-        for v in self.row_mut(row) {
+        for v in &mut self.tab[row * stride..row * stride + active] {
             *v *= inv;
         }
         self.rhs[row] *= inv;
@@ -134,15 +296,15 @@ impl Tableau<'_> {
         // against it without aliasing.
         self.pivot_buf.clear();
         self.pivot_buf
-            .extend_from_slice(&self.tab[row * nc..(row + 1) * nc]);
+            .extend_from_slice(&self.tab[row * stride..row * stride + active]);
         let pivot_rhs = self.rhs[row];
         for i in 0..self.num_rows() {
             if i == row {
                 continue;
             }
-            let factor = self.tab[i * nc + col];
+            let factor = self.tab[i * stride + col];
             if factor.abs() > PIVOT_EPS {
-                let r = &mut self.tab[i * nc..(i + 1) * nc];
+                let r = &mut self.tab[i * stride..i * stride + active];
                 for (v, pv) in r.iter_mut().zip(self.pivot_buf.iter()) {
                     *v -= factor * pv;
                 }
@@ -160,7 +322,7 @@ impl Tableau<'_> {
             }
             z[col] = 0.0;
         }
-        self.basis[row] = col;
+        self.basis[row] = logical;
     }
 
     /// Runs the simplex method to optimality for the given cost vector
@@ -173,34 +335,43 @@ impl Tableau<'_> {
     /// unbounded.
     fn run(
         &mut self,
-        cost: &[f64],
+        cost: Cost<'_>,
         bounded_objective: bool,
         z: &mut Vec<f64>,
         skipped: &mut Vec<bool>,
     ) -> RunResult {
-        // Reduced-cost row: z[j] = c_B · B⁻¹ A_j − c_j.
+        // Reduced-cost row over physical columns:
+        // z[p] = c_B · B⁻¹ A_p − c_p, accumulated row by row exactly like
+        // the unfolded solver (folded `v` values are exact negations of
+        // their `u` entries throughout, by symmetry of IEEE rounding).
         z.clear();
-        z.extend(cost.iter().map(|c| -c));
+        for p in 0..self.active {
+            z.push(-cost.at(self.logical_of(p), self.nvars));
+        }
         for i in 0..self.num_rows() {
-            let cb = cost[self.basis[i]];
+            let cb = cost.at(self.basis[i], self.nvars);
             if cb != 0.0 {
-                for (zj, rj) in z.iter_mut().zip(self.row(i)) {
+                let row = &self.tab[i * self.stride..i * self.stride + self.active];
+                for (zj, rj) in z.iter_mut().zip(row) {
                     *zj += cb * rj;
                 }
             }
         }
-        let bland_after = 200 + 20 * (self.num_rows() + self.ncols);
+        let bland_after = 200 + 20 * (self.num_rows() + self.logical_ncols);
         let mut iter = 0usize;
         skipped.clear();
-        skipped.resize(self.ncols, false);
+        skipped.resize(self.logical_ncols, false);
         let mut any_skipped = false;
         loop {
             let use_bland = iter > bland_after;
             // Entering column: most negative reduced cost (Dantzig) or the
-            // first negative one (Bland, termination-safe).
+            // first negative one (Bland, termination-safe), scanning
+            // logical columns in unfolded order.
             let mut entering: Option<usize> = None;
             let mut best = -EPS;
-            for (j, &zj) in z.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)] // z is indexed through the fold, not by j
+            for j in 0..self.logical_ncols {
+                let zj = self.z_at(z, j);
                 if zj < best && !skipped[j] {
                     entering = Some(j);
                     if use_bland {
@@ -216,7 +387,7 @@ impl Tableau<'_> {
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for i in 0..self.num_rows() {
-                let coeff = self.tab[i * self.ncols + e];
+                let coeff = self.value(i, e);
                 if coeff > EPS {
                     let ratio = self.rhs[i] / coeff;
                     let better = ratio < best_ratio - EPS
@@ -253,11 +424,11 @@ impl Tableau<'_> {
         }
     }
 
-    /// Current value of column `col` in the basic solution.
-    fn column_value(&self, col: usize) -> f64 {
+    /// Current value of a logical column in the basic solution.
+    fn column_value(&self, logical: usize) -> f64 {
         self.basis
             .iter()
-            .position(|&b| b == col)
+            .position(|&b| b == logical)
             .map_or(0.0, |i| self.rhs[i])
     }
 }
@@ -325,9 +496,8 @@ fn solve_in(
         };
     }
 
-    // Column layout: [u (n) | v (n) | slack (m) | artificial (n_art)].
+    // Logical layout: [u (n) | v (n) | slack (m) | artificial (n_art)].
     let slack0 = 2 * n;
-    let art0 = slack0 + m;
     scratch.art_rows.clear();
     for (i, &b) in scratch.stage_rhs.iter().enumerate() {
         if b < 0.0 {
@@ -335,27 +505,34 @@ fn solve_in(
         }
     }
     let n_art = scratch.art_rows.len();
-    let ncols = art0 + n_art;
+    let art0 = slack0 + m;
+    let logical_ncols = art0 + n_art;
+    // Physical layout: [x (n) | slack (m) | artificial (n_art) | up to n
+    // lazily materialised twins]; stride is the worst-case width.
+    let phys0 = n + m + n_art;
+    let stride = phys0 + n;
 
     scratch.tab.clear();
-    scratch.tab.resize(m * ncols, 0.0);
+    scratch.tab.resize(m * stride, 0.0);
     scratch.rhs.clear();
     scratch.basis.clear();
+    scratch.twin.clear();
+    scratch.twin.resize(n, usize::MAX);
+    scratch.twin_owner.clear();
     for i in 0..m {
         let b = scratch.stage_rhs[i];
         let negate = b < 0.0;
         let sign = if negate { -1.0 } else { 1.0 };
-        let row = &mut scratch.tab[i * ncols..(i + 1) * ncols];
+        let row = &mut scratch.tab[i * stride..(i + 1) * stride];
         for (j, &aj) in scratch.stage[i * n..(i + 1) * n].iter().enumerate() {
             row[j] = sign * aj;
-            row[n + j] = -sign * aj;
         }
-        row[slack0 + i] = sign;
+        row[n + i] = sign;
         scratch.rhs.push(sign * b);
         scratch.basis.push(slack0 + i);
     }
     for (k, &i) in scratch.art_rows.iter().enumerate() {
-        scratch.tab[i * ncols + art0 + k] = 1.0;
+        scratch.tab[i * stride + n + m + k] = 1.0;
         scratch.basis[i] = art0 + k;
     }
 
@@ -364,24 +541,25 @@ fn solve_in(
         rhs: &mut scratch.rhs,
         basis: &mut scratch.basis,
         pivot_buf: &mut scratch.pivot_buf,
-        ncols,
+        twin: &mut scratch.twin,
+        twin_owner: &mut scratch.twin_owner,
+        stride,
+        active: phys0,
+        nvars: n,
+        nslack: m,
+        nart: n_art,
+        logical_ncols,
     };
     let z = &mut scratch.z;
     let skipped = &mut scratch.skipped;
-    let cost = &mut scratch.cost;
 
     // Phase 1: drive artificials to zero.
     if n_art > 0 {
-        cost.clear();
-        cost.resize(ncols, 0.0);
-        for c in cost.iter_mut().skip(art0) {
-            *c = -1.0;
-        }
-        match t.run(cost, true, z, skipped) {
+        match t.run(Cost::Phase1 { art0_logical: art0 }, true, z, skipped) {
             RunResult::Unbounded => unreachable!("phase-1 objective is bounded above by 0"),
             RunResult::Optimal => {}
         }
-        let art_sum: f64 = (art0..ncols).map(|c| t.column_value(c)).sum();
+        let art_sum: f64 = (art0..logical_ncols).map(|c| t.column_value(c)).sum();
         if art_sum > FEAS_EPS {
             return LpOutcome::Infeasible;
         }
@@ -389,11 +567,11 @@ fn solve_in(
         let mut i = 0;
         while i < t.num_rows() {
             if t.basis[i] >= art0 {
-                let col = (0..art0).find(|&j| t.tab[i * ncols + j].abs() > 1e-9);
+                let col = (0..art0).find(|&j| t.value(i, j).abs() > 1e-9);
                 match col {
                     Some(j) => {
                         z.clear();
-                        z.resize(ncols, 0.0);
+                        z.resize(t.active, 0.0);
                         t.pivot(i, j, z);
                         i += 1;
                     }
@@ -401,10 +579,10 @@ fn solve_in(
                         // Redundant row: remove it (move the last row in).
                         let last = t.num_rows() - 1;
                         if i != last {
-                            let (head, tail) = t.tab.split_at_mut(last * ncols);
-                            head[i * ncols..(i + 1) * ncols].copy_from_slice(&tail[..ncols]);
+                            let (head, tail) = t.tab.split_at_mut(last * stride);
+                            head[i * stride..i * stride + stride].copy_from_slice(&tail[..stride]);
                         }
-                        t.tab.truncate(last * ncols);
+                        t.tab.truncate(last * stride);
                         t.rhs.swap_remove(i);
                         t.basis.swap_remove(i);
                     }
@@ -413,26 +591,29 @@ fn solve_in(
                 i += 1;
             }
         }
-        // Remove artificial columns by compacting each row to `art0` wide.
+        // Remove the artificial columns: compact each row so the twin
+        // block moves down over the artificial block, and re-point the
+        // twin map.
+        let twin_count = t.twin_owner.len();
+        let old_twin_base = t.twin_base();
         let rows = t.num_rows();
         for i in 0..rows {
-            for j in 0..art0 {
-                t.tab[i * art0 + j] = t.tab[i * ncols + j];
+            for k in 0..twin_count {
+                t.tab[i * stride + n + m + k] = t.tab[i * stride + old_twin_base + k];
             }
         }
-        t.tab.truncate(rows * art0);
-        t.ncols = art0;
+        for tw in t.twin.iter_mut() {
+            if *tw != usize::MAX {
+                *tw -= n_art;
+            }
+        }
+        t.nart = 0;
+        t.active -= n_art;
+        t.logical_ncols = art0;
     }
 
     // Phase 2: the real objective over [u | v | slack].
-    let ncols2 = t.ncols;
-    cost.clear();
-    cost.resize(ncols2, 0.0);
-    for (j, &cj) in objective.iter().enumerate() {
-        cost[j] = cj;
-        cost[n + j] = -cj;
-    }
-    match t.run(cost, false, z, skipped) {
+    match t.run(Cost::Phase2 { objective }, false, z, skipped) {
         RunResult::Unbounded => LpOutcome::Unbounded,
         RunResult::Optimal => {
             let mut x = vec![0.0; n];
