@@ -386,6 +386,16 @@ fn run_smoke() {
         breakdown.fast[mpq_lp::FastPathSite::CutoutEmptiness as usize] > 0,
         "smoke: cutout-emptiness prechecks must resolve LP-free"
     );
+    // Coverage must not regress: the exact per-piece fast paths and the
+    // cached Chebyshev witness verdicts keep the coverage site
+    // overwhelmingly LP-free (the witness cache answers re-extractions
+    // over surviving pieces without re-running `chebyshev_center`).
+    let coverage_fast = breakdown.fast[mpq_lp::FastPathSite::Coverage as usize];
+    let coverage_lp = breakdown.lp[mpq_lp::FastPathSite::Coverage as usize];
+    assert!(
+        coverage_fast > coverage_lp,
+        "smoke: coverage breakdown regressed (fast {coverage_fast} vs lp {coverage_lp})"
+    );
     // Tiny 2-parameter pwl config: the simplex-aligned piece-algebra
     // fast paths make the exact backend viable on two parameters; the
     // grid backend must retain exactly the same plans.
@@ -400,9 +410,9 @@ fn run_smoke() {
         pwl.lp_breakdown.fast[mpq_lp::FastPathSite::PieceAlgebra as usize] > 0,
         "smoke: 2-param piece algebra must resolve cross pairs LP-free"
     );
-    // The JSON writer keeps its schema-v4 shape.
+    // The JSON writer keeps its schema-v5 shape.
     let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
-    let json = baseline_json(&[("schema_version", "4".to_string())], &[], &[entry]);
+    let json = baseline_json(&[("schema_version", "5".to_string())], &[], &[entry], &[]);
     assert!(json.contains("\"batch_entries\"") && json.trim_end().ends_with('}'));
     assert!(json.contains("\"lps_query_median\""));
     eprintln!(
@@ -491,7 +501,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",");
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "4".to_string()),
+        ("schema_version", "5".to_string()),
         (
             "command",
             format!(
@@ -516,8 +526,22 @@ fn main() {
         let baseline = std::fs::read_to_string(path).expect("readable --baseline file");
         meta.push(("baseline", baseline.trim_end().to_string()));
     }
-    let json = baseline_json(&meta, &entries, &batch_entries);
+    // Service rows (`service_entries`) are measured and merged in by the
+    // `bench_service` bin, which owns the service matrix.
+    let mut json = baseline_json(&meta, &entries, &batch_entries, &[]);
     let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
+    // Re-running this bin must not destroy service rows a previous
+    // `bench_service --merge` spliced into the same file: carry the
+    // existing trailing service block forward verbatim.
+    if let Ok(prev) = std::fs::read_to_string(out) {
+        if let Some(pos) = prev.find(",\n  \"service_command\"") {
+            let end = prev.rfind('}').expect("existing baseline is a JSON object");
+            let block = prev[pos..end].trim_end();
+            let insert = json.rfind('}').expect("baseline_json emits an object");
+            json = format!("{}{}\n}}\n", json[..insert].trim_end(), block);
+            eprintln!("carried the existing service_entries block forward (re-measure with bench_service)");
+        }
+    }
     std::fs::write(out, &json).expect("writable --out path");
     eprintln!("wrote {out}");
     print!("{json}");

@@ -1,0 +1,371 @@
+//! Service baseline writer: drives seeded open-loop arrival traces
+//! through the `mpq-service` front-end (batch accumulation → sharded
+//! sessions → bounded caches) and merges the measured `service_entries`
+//! into `BENCH_rrpa.json` (schema v5).
+//!
+//! Usage:
+//!   cargo run --release -p mpq-bench --bin bench_service -- \
+//!       [--seeds N] [--trace N] [--overlap R,R...] [--shards N,N...] \
+//!       [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
+//!       [--capacity N] [--merge BENCH_rrpa.json] [--smoke]
+//!
+//! * Traces replay under a **virtual service clock** stepped to each
+//!   arrival (`mpq_catalog::generator::generate_trace` — seeded, no
+//!   wall-clock), so batching decisions, trigger mixes and cache counters
+//!   are bit-reproducible; `median_time_ms` is the real wall time of the
+//!   whole run, and `p50_ms`/`p95_ms` are approximate (completion stamps
+//!   race the driver advancing the virtual clock).
+//! * `--merge` (default `BENCH_rrpa.json`) splices the measured rows into
+//!   an existing baseline file: the previous `service_entries` block (if
+//!   any) is replaced, everything else is preserved verbatim, and the
+//!   schema version is bumped to 5.
+//! * `--smoke` — CI mode: one tiny trace at two shard counts; asserts
+//!   the trigger mix is sane (every batch carries exactly one trigger,
+//!   both size and drain fire), that busy shards hit their lifting
+//!   caches at overlap 1.0, and that the service's summed counters —
+//!   plans created, final plans, *and* the per-batch LP deltas — equal
+//!   the same queries run one-by-one through a plain session. Writes no
+//!   file; exits non-zero on violation.
+
+use mpq_bench::harness::{run_service_trace, ServiceBaselineEntry, ServiceRecord, ServiceSpec};
+use mpq_catalog::generator::GeneratorConfig;
+use mpq_catalog::generator::{generate_trace, TraceConfig, WorkloadConfig};
+use mpq_catalog::graph::Topology;
+use mpq_cloud::model::CloudCostModel;
+use mpq_core::grid_space::GridSpace;
+use mpq_core::session::OptimizerSession;
+use mpq_core::OptimizerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    seeds: usize,
+    trace: usize,
+    overlaps: Vec<f64>,
+    shards: Vec<usize>,
+    max_batch: usize,
+    max_wait_us: u64,
+    mean_gap_us: u64,
+    capacity: Option<usize>,
+    merge: String,
+    smoke: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_service: {msg}");
+    eprintln!(
+        "usage: bench_service [--seeds N] [--trace N] [--overlap R[,R...]] \
+         [--shards N[,N...]] [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
+         [--capacity N] [--merge FILE] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 5,
+        trace: 48,
+        overlaps: vec![0.0, 1.0],
+        shards: vec![1, 2, 4],
+        max_batch: 8,
+        max_wait_us: 400,
+        mean_gap_us: 150,
+        capacity: None,
+        merge: "BENCH_rrpa.json".to_string(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{name} expects a number")))
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = num("--seeds"),
+            "--trace" => args.trace = num("--trace"),
+            "--max-batch" => args.max_batch = num("--max-batch"),
+            "--max-wait-us" => args.max_wait_us = num("--max-wait-us") as u64,
+            "--mean-gap-us" => args.mean_gap_us = num("--mean-gap-us") as u64,
+            "--capacity" => args.capacity = Some(num("--capacity")),
+            "--overlap" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--overlap expects a comma-separated list"));
+                args.overlaps = list
+                    .split(',')
+                    .map(|s| match s.trim().parse::<f64>() {
+                        Ok(r) if (0.0..=1.0).contains(&r) => r,
+                        _ => die("--overlap expects ratios in [0, 1]"),
+                    })
+                    .collect();
+            }
+            "--shards" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--shards expects a comma-separated list"));
+                args.shards = list
+                    .split(',')
+                    .map(|s| match s.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => die("--shards expects positive numbers"),
+                    })
+                    .collect();
+            }
+            "--merge" => {
+                args.merge = it.next().unwrap_or_else(|| die("--merge expects a path"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+/// The service workload matrix: small queries in volume (the regime the
+/// batching/sharding front-end targets — see the `bench_rrpa` batch
+/// matrix), chain and star.
+fn service_configs() -> Vec<(Topology, &'static str, usize, usize)> {
+    vec![
+        (Topology::Chain, "chain", 4, 1),
+        (Topology::Star, "star", 4, 1),
+        (Topology::Chain, "chain", 3, 2),
+    ]
+}
+
+fn measure(spec: &ServiceSpec, workload: &str, seeds: usize) -> ServiceBaselineEntry {
+    let mut config = OptimizerConfig::default_for(spec.num_params);
+    config.threads = Some(1);
+    let records: Vec<ServiceRecord> = (0..seeds)
+        .map(|s| {
+            let r = run_service_trace(spec, s as u64, &config);
+            eprintln!(
+                "  {workload} n={} p={} trace={} overlap={} shards={} seed={s}: \
+                 {:.0}ms batches={} (size {}/deadline {}/drain {}) hits={} misses={} \
+                 evictions={} plans={} p95={:.2}ms",
+                spec.num_tables,
+                spec.num_params,
+                spec.trace,
+                spec.overlap,
+                spec.shards,
+                r.time_ms,
+                r.batches,
+                r.size_triggered,
+                r.deadline_triggered,
+                r.drain_triggered,
+                r.cache_hits,
+                r.cache_misses,
+                r.evictions,
+                r.plans_created,
+                r.p95_ms,
+            );
+            r
+        })
+        .collect();
+    ServiceBaselineEntry::from_records(spec, workload, &records)
+}
+
+/// CI smoke: a tiny trace, deterministic under the virtual clock,
+/// checked end to end against plain one-by-one sessions.
+fn run_smoke() {
+    let (topology, n, p) = (Topology::Chain, 3, 1);
+    let trace_len = 10;
+    let mut config = OptimizerConfig::default_for(p);
+    config.threads = Some(1);
+    for shards in [1usize, 2] {
+        let spec = ServiceSpec {
+            num_tables: n,
+            topology,
+            num_params: p,
+            trace: trace_len,
+            overlap: 1.0,
+            shards,
+            max_batch: 3,
+            max_wait_us: 120,
+            mean_gap_us: 100,
+            capacity: None,
+        };
+        let r = run_service_trace(&spec, 0, &config);
+        // Trigger mix sane: every batch carries exactly one trigger, the
+        // size trigger fires (10 arrivals, batches of 3) and shutdown
+        // drains the tail.
+        assert_eq!(
+            r.batches,
+            r.size_triggered + r.deadline_triggered + r.drain_triggered,
+            "smoke: triggers must partition the batches"
+        );
+        assert!(r.batches > 1, "smoke: the trace must form several batches");
+        assert!(
+            r.size_triggered > 0,
+            "smoke: max_batch 3 over 10 arrivals must size-trigger"
+        );
+        // Per-shard sharing: an overlap-1.0 trace is copies of one query,
+        // so every busy shard must hit its lifting cache.
+        assert!(
+            r.cache_hits > 0,
+            "smoke: overlap-1.0 trace must hit the shard caches"
+        );
+        // Service-vs-session counter equality: the same queries, one by
+        // one through a plain session (fresh space per query — the
+        // determinism contract's reference), must produce exactly the
+        // same summed plans and LP volume. The LP comparison uses the
+        // per-batch delta accessor on both sides, so the assertion is
+        // self-describing (no session-cumulative snapshots involved).
+        let trace = generate_trace(
+            &TraceConfig {
+                workload: WorkloadConfig::uniform(
+                    GeneratorConfig::paper(n, topology, p),
+                    trace_len,
+                    1.0,
+                ),
+                mean_gap: spec.mean_gap_us as f64 * 1e-6,
+            },
+            &mut StdRng::seed_from_u64(0),
+        );
+        let model = CloudCostModel::default();
+        let mut plans = 0u64;
+        let mut final_plans = 0u64;
+        let mut lps = 0u64;
+        for q in &trace.queries {
+            let space = GridSpace::for_unit_box(p, &config, 2).expect("grid space");
+            let session = OptimizerSession::new(space, &model, config.clone());
+            let (solutions, batch_lps) = session.optimize_batch_counted(std::slice::from_ref(q));
+            plans += solutions[0].stats.plans_created;
+            final_plans += solutions[0].stats.final_plan_count as u64;
+            lps += batch_lps;
+        }
+        assert_eq!(
+            (r.plans_created, r.final_plans),
+            (plans, final_plans),
+            "smoke: service plans diverged from one-by-one sessions ({shards} shards)"
+        );
+        assert_eq!(
+            r.lps_solved, lps,
+            "smoke: service per-batch LP deltas diverged from one-by-one ({shards} shards)"
+        );
+        // Per-query attribution (the per-run atomic) is live on service
+        // rows.
+        assert!(
+            r.lps_query_median > 0.0,
+            "smoke: per-query LP attribution must be recorded for service rows"
+        );
+        eprintln!(
+            "smoke ok: shards={shards} batches={} (size {}/deadline {}/drain {}) \
+             hits={} plans={}",
+            r.batches,
+            r.size_triggered,
+            r.deadline_triggered,
+            r.drain_triggered,
+            r.cache_hits,
+            r.plans_created
+        );
+    }
+}
+
+/// Replaces the `service_entries` section of an existing baseline file,
+/// preserving everything else verbatim and bumping the schema to v5.
+fn merge_into(path: &str, service_command: &str, entries: &[ServiceBaselineEntry]) -> String {
+    let mut text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read --merge file {path}: {e}")));
+    // Drop a previous service block (ours is always the trailing
+    // section).
+    if let Some(pos) = text.find(",\n  \"service_command\"") {
+        text.truncate(pos);
+        text.push_str("\n}\n");
+    }
+    // Bump the top-level schema number to 5 whatever it was before (the
+    // spliced file now carries v5 sections).
+    const KEY: &str = "\"schema_version\": ";
+    if let Some(pos) = text.find(KEY) {
+        let start = pos + KEY.len();
+        let digits = text[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .count();
+        if digits > 0 {
+            text.replace_range(start..start + digits, "5");
+        }
+    }
+    let end = text
+        .rfind('}')
+        .unwrap_or_else(|| die("--merge file is not a JSON object"));
+    let mut out = text[..end].trim_end().to_string();
+    out.push_str(&format!(
+        ",\n  \"service_command\": \"{service_command}\",\n  \"service_entries\": [\n"
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        run_smoke();
+        return;
+    }
+    if args.seeds == 0 {
+        die("--seeds must be at least 1");
+    }
+    let mut entries = Vec::new();
+    for (topology, workload, n, p) in service_configs() {
+        for &overlap in &args.overlaps {
+            for &shards in &args.shards {
+                let spec = ServiceSpec {
+                    num_tables: n,
+                    topology,
+                    num_params: p,
+                    trace: args.trace,
+                    overlap,
+                    shards,
+                    max_batch: args.max_batch,
+                    max_wait_us: args.max_wait_us,
+                    mean_gap_us: args.mean_gap_us,
+                    capacity: args.capacity,
+                };
+                entries.push(measure(&spec, workload, args.seeds));
+            }
+        }
+    }
+    // One bounded-cache row per workload: the eviction path measured
+    // under the hottest sharing (overlap 1.0, one shard, tiny capacity).
+    for (topology, workload, n, p) in service_configs() {
+        let spec = ServiceSpec {
+            num_tables: n,
+            topology,
+            num_params: p,
+            trace: args.trace,
+            overlap: 1.0,
+            shards: 1,
+            max_batch: args.max_batch,
+            max_wait_us: args.max_wait_us,
+            mean_gap_us: args.mean_gap_us,
+            capacity: Some(4),
+        };
+        entries.push(measure(&spec, workload, args.seeds));
+    }
+    let overlap_list = args
+        .overlaps
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let shard_list = args
+        .shards
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let command = format!(
+        "cargo run --release -p mpq-bench --bin bench_service -- --seeds {} --trace {} \
+         --overlap {overlap_list} --shards {shard_list} --max-batch {} --max-wait-us {} \
+         --mean-gap-us {}",
+        args.seeds, args.trace, args.max_batch, args.max_wait_us, args.mean_gap_us,
+    );
+    let json = merge_into(&args.merge, &command, &entries);
+    std::fs::write(&args.merge, &json).expect("writable --merge path");
+    eprintln!("merged {} service rows into {}", entries.len(), args.merge);
+}

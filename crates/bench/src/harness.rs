@@ -139,7 +139,9 @@ pub struct BatchRecord {
     pub time_ms: f64,
     /// Plans generated over all queries.
     pub plans_created: u64,
-    /// Linear programs solved over all queries.
+    /// Linear programs solved over all queries (the exact **per-batch
+    /// delta** of the session's shared counter, via
+    /// [`OptimizerSession::optimize_batch_counted`]).
     pub lps_solved: u64,
     /// Final Pareto-set sizes summed over all queries.
     pub final_plans: u64,
@@ -219,7 +221,10 @@ where
         OptimizerSession::without_cache(space, model, config.clone())
     };
     let start = Instant::now();
-    let solutions = session.optimize_batch(queries);
+    // The per-batch delta accessor: self-describing (per-solution
+    // `stats.lps_solved` snapshots the session-cumulative counter, which
+    // only happens to equal the batch cost on a fresh session).
+    let (solutions, batch_lps) = session.optimize_batch_counted(queries);
     let time_ms = start.elapsed().as_secs_f64() * 1e3;
     let stats = session.cache_stats();
     let mut per_query: Vec<f64> = solutions
@@ -229,7 +234,7 @@ where
     BatchRecord {
         time_ms,
         plans_created: solutions.iter().map(|s| s.stats.plans_created).sum(),
-        lps_solved: session.space().lps_solved(),
+        lps_solved: batch_lps,
         final_plans: solutions
             .iter()
             .map(|s| s.stats.final_plan_count as u64)
@@ -509,13 +514,290 @@ impl BatchBaselineEntry {
     }
 }
 
+/// One open-loop service-trace configuration: the per-query shape, the
+/// arrival process, the batch policy and the shard layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceSpec {
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Join-graph topology.
+    pub topology: Topology,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Arrivals per trace.
+    pub trace: usize,
+    /// Table-overlap ratio of the trace's workload.
+    pub overlap: f64,
+    /// Shard (session) count.
+    pub shards: usize,
+    /// Batch size trigger.
+    pub max_batch: usize,
+    /// Batch deadline trigger, in microseconds of the service clock.
+    pub max_wait_us: u64,
+    /// Mean inter-arrival gap of the trace, in virtual microseconds.
+    pub mean_gap_us: u64,
+    /// Cost-lifting cache capacity per shard (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+/// Metrics of one service-trace run (grid backend, single-threaded
+/// optimizer — the measurement rules of this repository).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceRecord {
+    /// Wall time of the whole run (submit → last drain), milliseconds.
+    pub time_ms: f64,
+    /// Plans created, summed over all responses.
+    pub plans_created: u64,
+    /// Final Pareto-set sizes, summed over all responses.
+    pub final_plans: u64,
+    /// LPs solved (summed per-batch deltas).
+    pub lps_solved: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Size-triggered batches.
+    pub size_triggered: u64,
+    /// Deadline-triggered batches.
+    pub deadline_triggered: u64,
+    /// Drain-flushed batches.
+    pub drain_triggered: u64,
+    /// Cache hits, summed over shards.
+    pub cache_hits: u64,
+    /// Cache misses, summed over shards.
+    pub cache_misses: u64,
+    /// Cache evictions, summed over shards.
+    pub evictions: u64,
+    /// Median **per-query** LP count across the trace's responses
+    /// (`OptStats::lps_solved_query` — the per-run atomic, exact at
+    /// every thread count).
+    pub lps_query_median: f64,
+    /// Median submit→completion latency (service-clock milliseconds).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (service-clock milliseconds).
+    pub p95_ms: f64,
+}
+
+/// Runs one open-loop arrival trace through the optimizer service (grid
+/// backend): the trace's virtual arrival times drive a **virtual service
+/// clock** — stepped to each arrival at submit, exactly the replayable
+/// no-wall-clock regime the trace generator promises — while `time_ms`
+/// measures real wall time of the whole run.
+pub fn run_service_trace(spec: &ServiceSpec, seed: u64, config: &OptimizerConfig) -> ServiceRecord {
+    use mpq_catalog::generator::{generate_trace, TraceConfig};
+    use mpq_core::session::{SessionConfig, ShardedSession};
+    use mpq_service::{serve, BatchPolicy, ServiceConfig, VirtualClock};
+    use std::time::Duration;
+
+    let trace_cfg = TraceConfig {
+        workload: WorkloadConfig::uniform(
+            GeneratorConfig::paper(spec.num_tables, spec.topology, spec.num_params),
+            spec.trace,
+            spec.overlap,
+        ),
+        mean_gap: spec.mean_gap_us as f64 * 1e-6,
+    };
+    let trace = generate_trace(&trace_cfg, &mut StdRng::seed_from_u64(seed));
+    let model = CloudCostModel::default();
+    let metrics = model_num_metrics(&model);
+    let mut session_cfg = SessionConfig::new(config.clone());
+    session_cfg.cache_capacity = spec.capacity;
+    let sessions = ShardedSession::build(spec.shards, &model, &session_cfg, || {
+        GridSpace::for_unit_box(spec.num_params, config, metrics).expect("valid grid configuration")
+    });
+    let vclock = VirtualClock::new();
+    let service_cfg = ServiceConfig::new(BatchPolicy::new(
+        spec.max_batch,
+        Duration::from_micros(spec.max_wait_us),
+    ))
+    .with_clock(vclock.clock());
+    let start = Instant::now();
+    let (tickets, stats) = serve(&sessions, service_cfg, |handle| {
+        trace
+            .queries
+            .iter()
+            .zip(&trace.arrivals)
+            .map(|(q, &at)| {
+                vclock.advance_to_secs(at);
+                handle.submit(q.clone())
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut plans_created = 0u64;
+    let mut final_plans = 0u64;
+    let mut lps_query: Vec<f64> = Vec::new();
+    for ticket in tickets {
+        let resp = ticket.wait();
+        plans_created += resp.solution.stats.plans_created;
+        final_plans += resp.solution.stats.final_plan_count as u64;
+        lps_query.push(resp.solution.stats.lps_solved_query as f64);
+    }
+    let time_ms = start.elapsed().as_secs_f64() * 1e3;
+    let cache: Vec<_> = stats.per_shard.iter().map(|s| s.cache).collect();
+    ServiceRecord {
+        time_ms,
+        plans_created,
+        final_plans,
+        lps_solved: stats.lps_solved,
+        batches: stats.batches,
+        size_triggered: stats.size_triggered,
+        deadline_triggered: stats.deadline_triggered,
+        drain_triggered: stats.drain_triggered,
+        cache_hits: cache.iter().map(|c| c.hits).sum(),
+        cache_misses: cache.iter().map(|c| c.misses).sum(),
+        evictions: cache.iter().map(|c| c.evictions).sum(),
+        lps_query_median: median(&mut lps_query),
+        p50_ms: stats.latency_p50 * 1e3,
+        p95_ms: stats.latency_p95 * 1e3,
+    }
+}
+
+/// One measured service-trace configuration of the schema-v5
+/// `BENCH_rrpa.json` (`service_entries`): medians over the seeds.
+#[derive(Debug, Clone)]
+pub struct ServiceBaselineEntry {
+    /// Space backend (the service rows measure `"grid"`).
+    pub space: String,
+    /// Workload topology.
+    pub workload: String,
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Arrivals per trace.
+    pub trace: usize,
+    /// Table-overlap ratio.
+    pub overlap: f64,
+    /// Shard count.
+    pub shards: usize,
+    /// Batch size trigger.
+    pub max_batch: usize,
+    /// Batch deadline trigger (µs, service clock).
+    pub max_wait_us: u64,
+    /// Mean inter-arrival gap (virtual µs).
+    pub mean_gap_us: u64,
+    /// Per-shard cache capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Median wall time of the whole run.
+    pub median_time_ms: f64,
+    /// Median dispatched batches.
+    pub batches: f64,
+    /// Median size-triggered batches.
+    pub size_triggered: f64,
+    /// Median deadline-triggered batches.
+    pub deadline_triggered: f64,
+    /// Median drain-flushed batches.
+    pub drain_triggered: f64,
+    /// Median cache hits (summed over shards).
+    pub cache_hits: f64,
+    /// Median cache misses.
+    pub cache_misses: f64,
+    /// Median cache evictions.
+    pub evictions: f64,
+    /// Median summed created plans (must equal the one-by-one runs).
+    pub plans_created: f64,
+    /// Median summed final Pareto-set sizes.
+    pub final_plans: f64,
+    /// Median summed per-batch LP deltas.
+    pub lps_solved: f64,
+    /// Median of the per-trace median **per-query** LP count
+    /// (`OptStats::lps_solved_query` — exact per-run attribution).
+    pub lps_query_median: f64,
+    /// Median p50 latency (service-clock ms).
+    pub p50_ms: f64,
+    /// Median p95 latency (service-clock ms).
+    pub p95_ms: f64,
+    /// Number of random traces (seeds) measured.
+    pub seeds: usize,
+}
+
+impl ServiceBaselineEntry {
+    /// Medians over a per-seed record sample for one configuration.
+    pub fn from_records(spec: &ServiceSpec, workload: &str, records: &[ServiceRecord]) -> Self {
+        let med = |f: &dyn Fn(&ServiceRecord) -> f64| {
+            let mut v: Vec<f64> = records.iter().map(f).collect();
+            median(&mut v)
+        };
+        Self {
+            space: "grid".to_string(),
+            workload: workload.to_string(),
+            num_tables: spec.num_tables,
+            num_params: spec.num_params,
+            trace: spec.trace,
+            overlap: spec.overlap,
+            shards: spec.shards,
+            max_batch: spec.max_batch,
+            max_wait_us: spec.max_wait_us,
+            mean_gap_us: spec.mean_gap_us,
+            capacity: spec.capacity,
+            median_time_ms: med(&|r| r.time_ms),
+            batches: med(&|r| r.batches as f64),
+            size_triggered: med(&|r| r.size_triggered as f64),
+            deadline_triggered: med(&|r| r.deadline_triggered as f64),
+            drain_triggered: med(&|r| r.drain_triggered as f64),
+            cache_hits: med(&|r| r.cache_hits as f64),
+            cache_misses: med(&|r| r.cache_misses as f64),
+            evictions: med(&|r| r.evictions as f64),
+            plans_created: med(&|r| r.plans_created as f64),
+            final_plans: med(&|r| r.final_plans as f64),
+            lps_solved: med(&|r| r.lps_solved as f64),
+            lps_query_median: med(&|r| r.lps_query_median),
+            p50_ms: med(&|r| r.p50_ms),
+            p95_ms: med(&|r| r.p95_ms),
+            seeds: records.len(),
+        }
+    }
+
+    /// One `service_entries` row.
+    pub fn to_json(&self) -> String {
+        let capacity = self.capacity.map_or("null".to_string(), |c| c.to_string());
+        format!(
+            "    {{\"space\": \"{}\", \"workload\": \"{}\", \"num_tables\": {}, \
+             \"num_params\": {}, \"trace\": {}, \"overlap\": {}, \"shards\": {}, \
+             \"max_batch\": {}, \"max_wait_us\": {}, \"mean_gap_us\": {}, \
+             \"capacity\": {}, \"median_time_ms\": {:.3}, \"batches\": {:.0}, \
+             \"size_triggered\": {:.0}, \"deadline_triggered\": {:.0}, \
+             \"drain_triggered\": {:.0}, \"cache_hits\": {:.0}, \"cache_misses\": {:.0}, \
+             \"evictions\": {:.0}, \"plans_created\": {:.0}, \"final_plans\": {:.0}, \
+             \"lps_solved\": {:.0}, \"lps_query_median\": {:.0}, \"p50_ms\": {:.4}, \
+             \"p95_ms\": {:.4}, \"seeds\": {}}}",
+            self.space,
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.trace,
+            self.overlap,
+            self.shards,
+            self.max_batch,
+            self.max_wait_us,
+            self.mean_gap_us,
+            capacity,
+            self.median_time_ms,
+            self.batches,
+            self.size_triggered,
+            self.deadline_triggered,
+            self.drain_triggered,
+            self.cache_hits,
+            self.cache_misses,
+            self.evictions,
+            self.plans_created,
+            self.final_plans,
+            self.lps_solved,
+            self.lps_query_median,
+            self.p50_ms,
+            self.p95_ms,
+            self.seeds
+        )
+    }
+}
+
 /// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
 /// JSON: the workspace has no serde backend). `batch_entries` is the
-/// schema-v3 batched-workload section; pass `&[]` to omit it.
+/// schema-v3 batched-workload section and `service_entries` the
+/// schema-v5 service section; pass `&[]` to omit either.
 pub fn baseline_json(
     meta: &[(&str, String)],
     entries: &[BaselineEntry],
     batch_entries: &[BatchBaselineEntry],
+    service_entries: &[ServiceBaselineEntry],
 ) -> String {
     let mut out = String::from("{\n");
     for (k, v) in meta {
@@ -526,20 +808,32 @@ pub fn baseline_json(
         out.push_str(&e.to_json());
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
-    if batch_entries.is_empty() {
-        out.push_str("  ]\n}\n");
-        return out;
+    out.push_str("  ]");
+    if !batch_entries.is_empty() {
+        out.push_str(",\n  \"batch_entries\": [\n");
+        for (i, e) in batch_entries.iter().enumerate() {
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < batch_entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
     }
-    out.push_str("  ],\n  \"batch_entries\": [\n");
-    for (i, e) in batch_entries.iter().enumerate() {
-        out.push_str(&e.to_json());
-        out.push_str(if i + 1 < batch_entries.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
+    if !service_entries.is_empty() {
+        out.push_str(",\n  \"service_entries\": [\n");
+        for (i, e) in service_entries.iter().enumerate() {
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < service_entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("\n}\n");
     out
 }
 
@@ -612,10 +906,11 @@ mod tests {
             lp_breakdown: FastPathBreakdown::default(),
             seeds: 5,
         }];
-        let json = baseline_json(&[("schema_version", "1".to_string())], &entries, &[]);
+        let json = baseline_json(&[("schema_version", "1".to_string())], &entries, &[], &[]);
         assert!(json.contains("\"workload\": \"chain\""));
         assert!(json.contains("\"schema_version\": 1"));
         assert!(!json.contains("batch_entries"));
+        assert!(!json.contains("service_entries"));
         assert!(json.trim_end().ends_with('}'));
     }
 
@@ -658,10 +953,80 @@ mod tests {
             lps_query_median: 123.0,
             seeds: 5,
         }];
-        let json = baseline_json(&[("schema_version", "3".to_string())], &[], &batch);
+        let json = baseline_json(&[("schema_version", "3".to_string())], &[], &batch, &[]);
         assert!(json.contains("\"batch_entries\""));
         assert!(json.contains("\"overlap\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.833"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    fn tiny_service_spec() -> ServiceSpec {
+        ServiceSpec {
+            num_tables: 3,
+            topology: Topology::Chain,
+            num_params: 1,
+            trace: 6,
+            overlap: 1.0,
+            shards: 2,
+            max_batch: 2,
+            max_wait_us: 100,
+            mean_gap_us: 50,
+            capacity: None,
+        }
+    }
+
+    /// Virtual-clock service traces replay bit-identically: every counter
+    /// (including the trigger mix) repeats run for run.
+    #[test]
+    fn service_trace_is_deterministic() {
+        let mut config = OptimizerConfig::default_for(1);
+        config.threads = Some(1);
+        let spec = tiny_service_spec();
+        let a = run_service_trace(&spec, 3, &config);
+        let b = run_service_trace(&spec, 3, &config);
+        assert_eq!(a.plans_created, b.plans_created);
+        assert_eq!(a.final_plans, b.final_plans);
+        assert_eq!(a.lps_solved, b.lps_solved);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(
+            (a.size_triggered, a.deadline_triggered, a.drain_triggered),
+            (b.size_triggered, b.deadline_triggered, b.drain_triggered),
+            "virtual-clock trigger mix replays exactly"
+        );
+        assert_eq!(
+            (a.cache_hits, a.cache_misses),
+            (b.cache_hits, b.cache_misses)
+        );
+        assert_eq!(
+            a.batches,
+            a.size_triggered + a.deadline_triggered + a.drain_triggered
+        );
+        assert!(a.cache_hits > 0, "overlap-1.0 trace must share lifts");
+    }
+
+    #[test]
+    fn service_baseline_json_shape() {
+        let mut config = OptimizerConfig::default_for(1);
+        config.threads = Some(1);
+        let spec = ServiceSpec {
+            capacity: Some(8),
+            ..tiny_service_spec()
+        };
+        let rec = run_service_trace(&spec, 1, &config);
+        let entry = ServiceBaselineEntry::from_records(&spec, "chain", &[rec]);
+        let json = baseline_json(&[("schema_version", "5".to_string())], &[], &[], &[entry]);
+        assert!(json.contains("\"service_entries\""));
+        assert!(json.contains("\"capacity\": 8"));
+        assert!(json.contains("\"p95_ms\""));
+        assert!(json.trim_end().ends_with('}'));
+        // Unbounded capacity serialises as null.
+        let spec = tiny_service_spec();
+        let entry = ServiceBaselineEntry::from_records(
+            &spec,
+            "chain",
+            &[run_service_trace(&spec, 1, &config)],
+        );
+        let json = baseline_json(&[], &[], &[], &[entry]);
+        assert!(json.contains("\"capacity\": null"));
     }
 }

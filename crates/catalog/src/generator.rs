@@ -305,6 +305,80 @@ pub fn generate_workload(cfg: &WorkloadConfig, rng: &mut impl Rng) -> Workload {
     Workload { queries }
 }
 
+/// Configuration for the arrival-trace generator: a workload shape plus
+/// an open-loop arrival process.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// The queries of the trace (shape, count, table-overlap ratio).
+    pub workload: WorkloadConfig,
+    /// Mean inter-arrival gap in **virtual seconds** (the exponential
+    /// distribution's mean — a Poisson process with rate `1 / mean_gap`).
+    pub mean_gap: f64,
+}
+
+/// An open-loop arrival trace: `queries[i]` arrives at virtual time
+/// `arrivals[i]` (non-decreasing, seconds). Arrival times are *virtual* —
+/// drawn from the seeded RNG, never from a wall clock — so a trace replays
+/// bit-identically: drive a service with a virtual clock stepped to each
+/// arrival time and the batching decisions repeat exactly.
+#[derive(Debug, Clone)]
+pub struct ArrivalTrace {
+    /// The queries, in arrival order.
+    pub queries: Vec<Query>,
+    /// Virtual arrival time of each query (non-decreasing).
+    pub arrivals: Vec<f64>,
+}
+
+impl ArrivalTrace {
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Generates an arrival trace: a workload (with the table-overlap knob of
+/// [`generate_workload`]) whose queries are **interleaved** — shuffled
+/// into a random arrival order, so overlapping queries spread across the
+/// trace instead of arriving as a block — and stamped with Poisson-ish
+/// arrival times (independent exponential gaps of mean
+/// [`TraceConfig::mean_gap`]). Entirely seeded: no wall-clock enters the
+/// trace.
+///
+/// # Panics
+/// Propagates [`generate_workload`]'s panics, and panics if `mean_gap` is
+/// negative or non-finite.
+pub fn generate_trace(cfg: &TraceConfig, rng: &mut impl Rng) -> ArrivalTrace {
+    assert!(
+        cfg.mean_gap.is_finite() && cfg.mean_gap >= 0.0,
+        "mean_gap must be a non-negative finite virtual duration"
+    );
+    let workload = generate_workload(&cfg.workload, rng);
+    let mut queries = workload.queries;
+    // Fisher–Yates interleave (the workload generator emits base +
+    // variants in cluster order).
+    for i in (1..queries.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        queries.swap(i, j);
+    }
+    let mut t = 0.0;
+    let arrivals = queries
+        .iter()
+        .map(|_| {
+            // Inverse-CDF exponential gap; `1 - u` keeps ln's argument in
+            // (0, 1].
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -cfg.mean_gap * (1.0 - u).ln();
+            t
+        })
+        .collect();
+    ArrivalTrace { queries, arrivals }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +442,48 @@ mod tests {
             dedup.dedup();
             assert_eq!(dedup.len(), tables.len(), "duplicate predicate table");
         }
+    }
+
+    #[test]
+    fn traces_are_seeded_sorted_and_interleaved() {
+        let cfg = TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(3, Topology::Chain, 1),
+                16,
+                0.5,
+            ),
+            mean_gap: 0.01,
+        };
+        let t1 = generate_trace(&cfg, &mut StdRng::seed_from_u64(7));
+        let t2 = generate_trace(&cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(t1.len(), 16);
+        assert_eq!(format!("{:?}", t1.queries), format!("{:?}", t2.queries));
+        assert_eq!(t1.arrivals, t2.arrivals, "traces replay bit-identically");
+        assert!(
+            t1.arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "non-decreasing"
+        );
+        assert!(t1.arrivals.iter().all(|&a| a.is_finite() && a >= 0.0));
+        let t3 = generate_trace(&cfg, &mut StdRng::seed_from_u64(8));
+        assert_ne!(t1.arrivals, t3.arrivals, "seed changes the process");
+        // Gaps average near the configured mean (loose statistical check).
+        let mean = t1.arrivals.last().unwrap() / t1.len() as f64;
+        assert!(mean > 0.001 && mean < 0.1, "mean gap {mean} out of band");
+    }
+
+    #[test]
+    fn zero_gap_trace_arrives_at_once() {
+        let cfg = TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(2, Topology::Chain, 1),
+                4,
+                1.0,
+            ),
+            mean_gap: 0.0,
+        };
+        let t = generate_trace(&cfg, &mut StdRng::seed_from_u64(1));
+        assert!(t.arrivals.iter().all(|&a| a == 0.0));
+        assert!(!t.is_empty());
     }
 
     #[test]

@@ -80,6 +80,44 @@ impl OpShape {
         self.words.push(w);
         self
     }
+
+    /// A **stable** 64-bit digest of the shape (FNV-1a over the word
+    /// list): unlike `std::hash::Hash` — whose output is explicitly
+    /// unspecified across releases and processes — this value is a pure
+    /// function of the shape words, so it can route work across processes
+    /// or machines. It keys *shard affinity*: queries whose operators
+    /// share shapes hash to the same shard, co-locating with the shard's
+    /// cached lifts (see `mpq_core::session`).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &w in &self.words {
+            h = fnv1a_word(h, w);
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a step over a 64-bit word (byte-at-a-time, little-endian — the
+/// byte order is pinned so the digest is identical on every platform).
+fn fnv1a_word(mut h: u64, w: u64) -> u64 {
+    for b in w.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Order-dependent combination of stable shape hashes into one affinity
+/// word (FNV-1a over the digests). Used to derive a query's shard
+/// affinity from the shapes of its operators.
+pub fn combine_stable(hashes: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for x in hashes {
+        h = fnv1a_word(h, x);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -112,6 +150,31 @@ mod tests {
             OpShape::new(tag::INDEX_SEEK).card(&c1),
             "same factor, different parameter → different lifted function"
         );
+    }
+
+    #[test]
+    fn stable_hash_is_pinned_and_input_sensitive() {
+        let a = OpShape::new(tag::TABLE_SCAN).scalar(100.0).scalar(50.0);
+        let b = OpShape::new(tag::TABLE_SCAN).scalar(100.0).scalar(50.0);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        let c = OpShape::new(tag::TABLE_SCAN).scalar(100.0).scalar(51.0);
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        // The digest is part of the cross-process sharding contract —
+        // changing the function silently re-shards every deployed
+        // workload, so the empty-input value (the FNV-1a offset basis)
+        // and the word-fold equivalence are pinned here.
+        assert_eq!(combine_stable([]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            OpShape::new(1).word(2).word(3).stable_hash(),
+            combine_stable([1, 2, 3]),
+            "shape digest folds its words exactly like combine_stable"
+        );
+    }
+
+    #[test]
+    fn combine_stable_is_order_dependent() {
+        assert_ne!(combine_stable([1, 2]), combine_stable([2, 1]));
+        assert_eq!(combine_stable([7, 8, 9]), combine_stable([7, 8, 9]));
     }
 
     #[test]

@@ -221,11 +221,18 @@ impl MpqSpace for GridSpace {
         let n = self.grid.num_simplices();
         if self.par_subtract && n >= PAR_SUBTRACT_MIN_SIMPLICES && rayon::current_num_threads() > 1
         {
+            // Nested fan-out: re-install the submitting scope's per-run
+            // LP attribution on every worker item, so solves claimed by
+            // other threads still charge the owning query exactly.
+            let attr = mpq_lp::current_attribution();
             let changed: Vec<bool> = region
                 .per_simplex
                 .par_iter_mut()
                 .enumerate()
-                .map(|(s, state)| self.subtract_in_simplex(s, state, own, competitor, strict))
+                .map(|(s, state)| {
+                    let _attr = attr.clone().map(mpq_lp::attribute_solves);
+                    self.subtract_in_simplex(s, state, own, competitor, strict)
+                })
                 .collect();
             return changed.into_iter().any(|c| c);
         }

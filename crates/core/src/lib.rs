@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::pwl_space::PwlSpace;
     pub use crate::rrpa::{optimize, MpqSolution, ParetoPlan};
     pub use crate::sampled::SampledSpace;
-    pub use crate::session::OptimizerSession;
+    pub use crate::session::{OptimizerSession, SessionConfig, ShardedSession};
     pub use crate::space::MpqSpace;
     pub use crate::stats::OptStats;
     pub use crate::OptimizerConfig;

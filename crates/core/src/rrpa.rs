@@ -53,6 +53,8 @@ use mpq_cloud::shape::OpShape;
 use mpq_cost::LiftedCostCache;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The cross-query cost-lifting cache, specialised to a space's cost
@@ -208,6 +210,15 @@ struct RunCtx<'a, S: MpqSpace, M: ?Sized> {
     space: &'a S,
     config: &'a OptimizerConfig,
     cache: Option<&'a LiftCache<S>>,
+    /// Per-run LP attribution: every DP work item installs this counter
+    /// as its thread's attribution target
+    /// ([`mpq_lp::attribute_solves`]), and nested fan-outs (the
+    /// per-simplex subtraction) re-install it on their workers — so the
+    /// total is **exact for this query** even when the run fans out
+    /// across worker threads and shares its `LpCtx` (and its threads)
+    /// with a whole session batch. Increments are sums, so the value is
+    /// schedule-independent and deterministic for every thread count.
+    run_lps: &'a Arc<AtomicU64>,
 }
 
 // `#[derive(Clone, Copy)]` would demand `S: Copy`; the context is a pack
@@ -332,13 +343,14 @@ where
         "cost model and space disagree on the number of metrics"
     );
     let start = Instant::now();
-    let thread_lps_before = mpq_lp::thread_solved();
+    let run_lps = Arc::new(AtomicU64::new(0));
     let ctx = RunCtx {
         query,
         model,
         space,
         config,
         cache,
+        run_lps: &run_lps,
     };
     let n = query.num_tables();
     let mut arena = PlanArena::new();
@@ -351,6 +363,7 @@ where
     // configured thread budget, not the machine's.
     for t in 0..n {
         let (plans, tally) = pool.install(|| {
+            let _attr = mpq_lp::attribute_solves(Arc::clone(&run_lps));
             let mut plans: Vec<PendingPlan<S>> = Vec::new();
             let mut tally = Tally::default();
             for alt in model.scan_alternatives(query, t) {
@@ -394,6 +407,7 @@ where
         let results: Vec<(TableSet, Vec<PendingPlan<S>>, Tally)> = pool.install(|| {
             sets.par_iter()
                 .map(|&(q, q_connected)| {
+                    let _attr = mpq_lp::attribute_solves(Arc::clone(ctx.run_lps));
                     let (plans, tally) = optimize_set(ctx, &best, q, q_connected);
                     (q, plans, tally)
                 })
@@ -419,7 +433,7 @@ where
         .collect();
     stats.final_plan_count = plans.len();
     stats.lps_solved = space.lps_solved();
-    stats.lps_solved_query = mpq_lp::thread_solved() - thread_lps_before;
+    stats.lps_solved_query = run_lps.load(Ordering::Relaxed);
     stats.elapsed = start.elapsed();
     MpqSolution {
         plans,
@@ -720,6 +734,13 @@ mod tests {
             assert_eq!(serial.stats.plans_created, parallel.stats.plans_created);
             assert_eq!(serial.stats.plans_pruned, parallel.stats.plans_pruned);
             assert_eq!(serial.stats.lps_solved, parallel.stats.lps_solved);
+            // Per-run attribution is exact under intra-query fan-out: the
+            // per-item deltas sum to the same total on every schedule.
+            assert_eq!(
+                serial.stats.lps_solved_query,
+                parallel.stats.lps_solved_query
+            );
+            assert_eq!(serial.stats.lps_solved_query, serial.stats.lps_solved);
             assert_eq!(
                 serial.stats.final_plan_count,
                 parallel.stats.final_plan_count

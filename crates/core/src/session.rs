@@ -54,8 +54,68 @@ use crate::space::MpqSpace;
 use crate::OptimizerConfig;
 use mpq_catalog::Query;
 use mpq_cloud::model::ParametricCostModel;
-use mpq_cost::CacheStats;
+use mpq_cloud::shape::combine_stable;
+use mpq_cost::{CacheStats, LiftedCostCache};
 use rayon::prelude::*;
+
+/// Session-level configuration: the per-query optimizer knobs plus the
+/// shared-state policy (whether to cache lifted costs, and how many
+/// entries the cache may hold — `None` = unbounded, the batch-run
+/// default; a long-lived service bounds it, see
+/// [`mpq_cost::cache`](mpq_cost::LiftedCostCache) for the deterministic
+/// second-chance eviction policy).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Per-query optimizer configuration (grid resolution, refinements,
+    /// worker threads).
+    pub optimizer: OptimizerConfig,
+    /// Enable the cross-query cost-lifting cache.
+    pub cached: bool,
+    /// Entry bound of the cost-lifting cache (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl SessionConfig {
+    /// Cached, unbounded session over the given optimizer configuration —
+    /// the behaviour of [`OptimizerSession::new`].
+    pub fn new(optimizer: OptimizerConfig) -> Self {
+        Self {
+            optimizer,
+            cached: true,
+            cache_capacity: None,
+        }
+    }
+
+    /// Bounds the cost-lifting cache to `capacity` entries.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+}
+
+/// The **shard affinity** of a query: a stable digest of its scan cost
+/// shapes ([`mpq_cloud::shape::OpShape::stable_hash`], folded in table
+/// order). Queries over the same tables — the ones whose lifted costs a
+/// shard cache can share — produce equal affinities, so routing by
+/// `affinity % shards` co-locates hot shapes with their cached lifts. The
+/// digest is stable across processes and platforms (unlike
+/// `std::hash::Hash`), so the same routing works for sharding a workload
+/// across machines. Operators without a canonical shape fold in a fixed
+/// word (they cannot share lifts anyway).
+///
+/// Cost: builds the scan alternative lists (a few heap allocations per
+/// table) to reach their shapes — microseconds per query, negligible
+/// next to the optimization the routing dispatches. If routing ever
+/// dominates a dispatch path, the lever is a model hook exposing shape
+/// digests without materialising alternatives.
+pub fn query_affinity<M: ParametricCostModel + ?Sized>(query: &Query, model: &M) -> u64 {
+    combine_stable((0..query.num_tables()).flat_map(|t| {
+        model
+            .scan_alternatives(query, t)
+            .into_iter()
+            .map(|alt| alt.shape.as_ref().map_or(0, |s| s.stable_hash()))
+    }))
+}
 
 /// Shared state for optimizing a batch of queries: the space, the cost
 /// model, the cost-lifting cache and the worker pool. See the module docs.
@@ -82,25 +142,37 @@ where
     /// across queries. Shape keys are canonical *within one model
     /// instance* (`mpq_cloud::shape`), which the borrow pins down.
     pub fn new(space: S, model: &'m M, config: OptimizerConfig) -> Self {
-        Self::build(space, model, config, true)
+        Self::with_config(space, model, SessionConfig::new(config))
     }
 
     /// A session without the cache — every query lifts its own costs.
     /// Used to measure the cache's contribution (`bench_rrpa --batch`).
     pub fn without_cache(space: S, model: &'m M, config: OptimizerConfig) -> Self {
-        Self::build(space, model, config, false)
+        Self::with_config(
+            space,
+            model,
+            SessionConfig {
+                cached: false,
+                ..SessionConfig::new(config)
+            },
+        )
     }
 
-    fn build(space: S, model: &'m M, config: OptimizerConfig, cached: bool) -> Self {
+    /// A session over an explicit [`SessionConfig`] — the entry point that
+    /// threads the cache capacity through (long-lived services bound the
+    /// cache; batch runs leave it unbounded).
+    pub fn with_config(space: S, model: &'m M, config: SessionConfig) -> Self {
         let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(config.threads.unwrap_or(0))
+            .num_threads(config.optimizer.threads.unwrap_or(0))
             .build()
             .expect("session thread pool");
         Self {
             space,
             model,
-            config,
-            cache: cached.then(LiftCache::<S>::new),
+            config: config.optimizer,
+            cache: config
+                .cached
+                .then(|| LiftedCostCache::with_capacity(config.cache_capacity)),
             pool,
         }
     }
@@ -146,6 +218,28 @@ where
             .install(|| queries.par_iter().map(|q| self.optimize(q)).collect())
     }
 
+    /// [`Self::optimize_batch`] plus the **per-batch LP delta**: the
+    /// number of LPs the space solved during exactly this batch.
+    ///
+    /// The per-solution `stats.lps_solved` snapshots the session's
+    /// *cumulative* space counter (documented caveat of the batch layer),
+    /// so "how many LPs did this batch cost" needs a delta around the
+    /// batch — which this accessor takes, making consumers (the bench
+    /// smoke checks, service rows) self-describing. Exact as long as no
+    /// other batch runs concurrently on the *same session* (a sharded
+    /// service runs one batch at a time per shard); per-query exact
+    /// attribution is [`crate::stats::OptStats::lps_solved_query`].
+    pub fn optimize_batch_counted(&self, queries: &[Query]) -> (Vec<MpqSolution<S>>, u64) {
+        let before = self.space.lps_solved();
+        let solutions = self.optimize_batch(queries);
+        (solutions, self.space.lps_solved() - before)
+    }
+
+    /// Cumulative LPs solved through the session's shared space.
+    pub fn lps_solved(&self) -> u64 {
+        self.space.lps_solved()
+    }
+
     /// Hit/miss counters of the cost-lifting cache (all-zero for
     /// [`OptimizerSession::without_cache`] sessions).
     pub fn cache_stats(&self) -> CacheStats {
@@ -155,6 +249,108 @@ where
     /// Number of distinct operator cost shapes lifted so far.
     pub fn cached_shapes(&self) -> usize {
         self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// The shard affinity of `query` under this session's model (see
+    /// [`query_affinity`]).
+    pub fn affinity(&self, query: &Query) -> u64 {
+        query_affinity(query, self.model)
+    }
+}
+
+/// A workload sharded across `N` independent [`OptimizerSession`]s —
+/// the in-process form of sharding a workload across machines: each shard
+/// owns its space, cost-lifting cache and worker pool, and queries route
+/// to shards by **stable shape-derived affinity** ([`query_affinity`]),
+/// so queries sharing tables land on the shard that already cached their
+/// lifts.
+///
+/// # Determinism
+///
+/// Every query is optimized by exactly one session, and a session run is
+/// bit-identical to a standalone [`crate::rrpa::optimize`] run, so the
+/// sharded result equals the one-by-one result **per query** no matter
+/// how many shards exist; [`ShardedSession::optimize_batch`] additionally
+/// merges per-shard results back in **submission order**, so the returned
+/// vector is bit-identical to a single-session batch for every shard
+/// count. Only per-shard cache hit/miss totals depend on the shard count.
+pub struct ShardedSession<'m, S: MpqSpace, M: ParametricCostModel + ?Sized> {
+    shards: Vec<OptimizerSession<'m, S, M>>,
+}
+
+impl<'m, S, M> ShardedSession<'m, S, M>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
+    /// Builds `num_shards` sessions over one model and session
+    /// configuration; `make_space` constructs each shard's space (shard
+    /// spaces must be identical for results to be shard-count-invariant —
+    /// pass the same construction every time).
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn build(
+        num_shards: usize,
+        model: &'m M,
+        config: &SessionConfig,
+        mut make_space: impl FnMut() -> S,
+    ) -> Self {
+        assert!(
+            num_shards >= 1,
+            "a sharded session needs at least one shard"
+        );
+        Self {
+            shards: (0..num_shards)
+                .map(|_| OptimizerSession::with_config(make_space(), model, config.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a query routes to: `affinity % num_shards`.
+    pub fn shard_of(&self, query: &Query) -> usize {
+        (self.shards[0].affinity(query) % self.shards.len() as u64) as usize
+    }
+
+    /// Shard `i`'s session.
+    pub fn shard(&self, i: usize) -> &OptimizerSession<'m, S, M> {
+        &self.shards[i]
+    }
+
+    /// Optimizes a batch across the shards: queries are partitioned by
+    /// [`Self::shard_of`], each shard optimizes its partition as one
+    /// session batch, and results merge back **in submission order** —
+    /// bit-identical to a one-shard run for every shard count (see the
+    /// type docs).
+    pub fn optimize_batch(&self, queries: &[Query]) -> Vec<MpqSolution<S>> {
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, q) in queries.iter().enumerate() {
+            partitions[self.shard_of(q)].push(i);
+        }
+        let mut merged: Vec<Option<MpqSolution<S>>> = (0..queries.len()).map(|_| None).collect();
+        for (shard, indices) in partitions.iter().enumerate() {
+            let part: Vec<Query> = indices.iter().map(|&i| queries[i].clone()).collect();
+            let solutions = self.shards[shard].optimize_batch(&part);
+            for (&i, sol) in indices.iter().zip(solutions) {
+                merged[i] = Some(sol);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|s| s.expect("every query was assigned to exactly one shard"))
+            .collect()
+    }
+
+    /// Per-shard cost-lifting cache counters.
+    pub fn cache_stats_per_shard(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.cache_stats()).collect()
     }
 }
 
@@ -241,6 +437,94 @@ mod tests {
                 assert_eq!(space.eval(&sp.cost, x), s.space().eval(&bp.cost, x));
             }
         }
+    }
+
+    /// A bounded session returns bit-identical results to an unbounded
+    /// one — eviction only trades hits for re-lifts.
+    #[test]
+    fn tiny_cache_capacity_changes_counters_not_results() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 4, 1.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(9));
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = || GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let unbounded = OptimizerSession::new(space(), &model, config.clone());
+        let bounded = OptimizerSession::with_config(
+            space(),
+            &model,
+            SessionConfig::new(config.clone()).with_cache_capacity(2),
+        );
+        let a = unbounded.optimize_batch(&workload.queries);
+        let b = bounded.optimize_batch(&workload.queries);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats.plans_created, y.stats.plans_created);
+            assert_eq!(x.plans.len(), y.plans.len());
+        }
+        assert!(bounded.cache_stats().evictions > 0, "capacity 2 must evict");
+        assert_eq!(unbounded.cache_stats().evictions, 0);
+        assert!(bounded.cached_shapes() <= 2);
+    }
+
+    /// Sharded batches merge in submission order and equal the one-shard
+    /// run bit for bit, at every shard count.
+    #[test]
+    fn sharded_batch_matches_single_shard_exactly() {
+        let cfg = WorkloadConfig::mixed(GeneratorConfig::paper(3, Topology::Chain, 1), 6, 0.5);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(21));
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let session_cfg = SessionConfig::new(config.clone());
+        let make = || GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let reference =
+            ShardedSession::build(1, &model, &session_cfg, make).optimize_batch(&workload.queries);
+        for shards in [2usize, 4] {
+            let sharded = ShardedSession::build(shards, &model, &session_cfg, make);
+            let got = sharded.optimize_batch(&workload.queries);
+            assert_eq!(got.len(), reference.len());
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(a.stats.plans_created, b.stats.plans_created, "query {i}");
+                assert_eq!(a.stats.plans_pruned, b.stats.plans_pruned, "query {i}");
+                assert_eq!(a.plans.len(), b.plans.len(), "query {i}");
+            }
+        }
+    }
+
+    /// Identical queries share an affinity (co-locating their cached
+    /// lifts); the digest is deterministic across session instances.
+    #[test]
+    fn affinity_is_stable_and_groups_identical_queries() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 3, 1.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(4));
+        let model = CloudCostModel::default();
+        let a0 = query_affinity(&workload.queries[0], &model);
+        for q in &workload.queries {
+            assert_eq!(query_affinity(q, &model), a0, "overlap-1.0 copies");
+        }
+        let other = generate_workload(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_ne!(
+            query_affinity(&other.queries[0], &model),
+            a0,
+            "fresh tables draw fresh statistics, so shapes (and affinity) differ"
+        );
+    }
+
+    /// The per-batch LP delta sums consecutive batches to the cumulative
+    /// counter (the PR 3 `lps_solved` caveat, made self-describing).
+    #[test]
+    fn batch_lp_delta_is_exact_per_batch() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 2, 0.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(2));
+        let model = CloudCostModel::default();
+        let s = session(&model, 1, true);
+        let (_, d1) = s.optimize_batch_counted(&workload.queries);
+        let (_, d2) = s.optimize_batch_counted(&workload.queries);
+        assert!(d1 > 0);
+        assert_eq!(d1, d2, "identical batches solve identical LP counts");
+        assert_eq!(
+            s.lps_solved(),
+            d1 + d2,
+            "deltas partition the cumulative counter"
+        );
     }
 
     #[test]

@@ -20,13 +20,12 @@ pub struct OptStats {
     /// batch** when queries share an `OptimizerSession` space; see
     /// [`OptStats::lps_solved_query`] for the per-query figure.
     pub lps_solved: u64,
-    /// Linear programs solved **by this query alone**, measured as the
-    /// delta of the calling thread's solve counter
-    /// ([`mpq_lp::thread_solved`]) around the run. Exact whenever the
-    /// query executes on one thread — every `threads = 1` configuration,
-    /// including batched sessions whose workers each run whole queries;
-    /// with intra-query fan-out (`threads > 1`) solves claimed by other
-    /// workers are not attributed, so the value is a lower bound.
+    /// Linear programs solved **by this query alone**: every DP work item
+    /// of the run charges its thread-local solve delta
+    /// ([`mpq_lp::thread_solved`]) to a per-run atomic, so the total is
+    /// exact — and deterministic — for every thread count and batch
+    /// schedule, including intra-query fan-out where items execute on
+    /// many workers concurrently with other queries of a session.
     pub lps_solved_query: u64,
     /// Wall-clock optimization time.
     pub elapsed: Duration,

@@ -17,25 +17,46 @@
 //! # Determinism
 //!
 //! Values are built **while holding the map lock**, so every key is lifted
-//! exactly once no matter how many worker threads race on it. Because a
-//! lift is a pure function of its key (the soundness contract of the shape
-//! type), cached results are bit-identical to per-query lifting — and the
-//! hit/miss totals are deterministic for every thread count and batch
-//! schedule: `misses` always equals the number of distinct shapes seen,
-//! `hits` the remaining lookups.
+//! exactly once per residency no matter how many worker threads race on
+//! it. Because a lift is a pure function of its key (the soundness
+//! contract of the shape type), cached results are bit-identical to
+//! per-query lifting — and for an *unbounded* cache the hit/miss totals
+//! are deterministic for every thread count and batch schedule: `misses`
+//! always equals the number of distinct shapes seen, `hits` the remaining
+//! lookups.
+//!
+//! # Bounded operation (eviction)
+//!
+//! A batch run lifts a bounded set of shapes, but a long-lived service
+//! would grow the map forever. [`LiftedCostCache::with_capacity`] bounds
+//! the cache to a fixed number of entries with a **second-chance (CLOCK)**
+//! policy over insertion order: every resident entry carries a reference
+//! bit, set on each hit; on insertion into a full cache a clock hand
+//! sweeps the slots in insertion order, clearing set bits and evicting the
+//! first entry whose bit is already clear. The policy is a pure function
+//! of the *access sequence* — no wall-clock time, no hash-iteration order
+//! — so a fixed sequence of lookups always caches, hits and evicts
+//! identically. Evicting never changes *values*: a re-lifted shape
+//! reproduces the evicted value bit for bit (lifts are pure), so bounded
+//! and unbounded sessions return identical results and differ only in
+//! hit/miss/eviction counters and peak memory.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Hit/miss/entry counts of a [`LiftedCostCache`].
+/// Hit/miss/eviction counts of a [`LiftedCostCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to lift (one per distinct shape).
+    /// Lookups that had to lift (one per distinct shape *residency* — a
+    /// shape re-admitted after eviction misses again).
     pub misses: u64,
+    /// Entries evicted by the second-chance policy (0 for unbounded
+    /// caches).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -50,13 +71,37 @@ impl CacheStats {
     }
 }
 
+/// One resident entry of the CLOCK ring: the key (to unmap on eviction),
+/// the shared value, and the second-chance reference bit.
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: Arc<V>,
+    referenced: bool,
+}
+
+/// The lock-protected state: the key → ring-slot index map, the ring
+/// itself (insertion order), and the clock hand.
+#[derive(Debug)]
+struct Ring<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    hand: usize,
+}
+
 /// Memoizes lifted operator costs (`K` = canonical cost shape, `V` = the
-/// space's cost representation) behind `Arc`-shared immutable values.
+/// space's cost representation) behind `Arc`-shared immutable values,
+/// optionally bounded by a deterministic second-chance eviction policy
+/// (see the module docs).
 #[derive(Debug)]
 pub struct LiftedCostCache<K, V> {
-    map: Mutex<HashMap<K, Arc<V>>>,
+    ring: Mutex<Ring<K, V>>,
+    /// `None` = unbounded (batch mode); `Some(n)` = at most `n` resident
+    /// entries (service mode).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K, V> Default for LiftedCostCache<K, V> {
@@ -66,47 +111,107 @@ impl<K, V> Default for LiftedCostCache<K, V> {
 }
 
 impl<K, V> LiftedCostCache<K, V> {
-    /// An empty cache.
+    /// An empty, unbounded cache (the batch-run default: a batch lifts a
+    /// bounded set of shapes).
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// An empty cache holding at most `capacity` entries (`None` =
+    /// unbounded). A capacity of `Some(0)` degenerates to a pass-through:
+    /// every lookup misses and nothing is retained.
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
-            map: Mutex::new(HashMap::new()),
+            ring: Mutex::new(Ring {
+                map: HashMap::new(),
+                slots: Vec::new(),
+                hand: 0,
+            }),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Current hit/miss counters.
+    /// The entry bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
 
 impl<K: Eq + Hash + Clone, V> LiftedCostCache<K, V> {
-    /// The lifted cost for `key`, building it with `lift` on first sight.
+    /// The lifted cost for `key`, building it with `lift` on first sight
+    /// (or on re-admission after eviction).
     ///
-    /// `lift` runs under the cache lock: each key is built exactly once,
-    /// which keeps the counters deterministic under concurrency (see the
-    /// module docs). Lifts are pure and allocation-bound, so the critical
-    /// section is short; a contended build blocks only threads asking for
-    /// a cost they are about to need anyway.
+    /// `lift` runs under the cache lock: each key is built exactly once
+    /// per residency, which keeps the counters deterministic under
+    /// concurrency (see the module docs). Lifts are pure and
+    /// allocation-bound, so the critical section is short; a contended
+    /// build blocks only threads asking for a cost they are about to need
+    /// anyway.
     pub fn get_or_lift(&self, key: &K, lift: impl FnOnce() -> V) -> Arc<V> {
-        let mut map = self.map.lock().expect("lift cache poisoned");
-        if let Some(v) = map.get(key) {
+        let mut ring = self.ring.lock().expect("lift cache poisoned");
+        if let Some(&slot) = ring.map.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            ring.slots[slot].referenced = true;
+            return Arc::clone(&ring.slots[slot].value);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = Arc::new(lift());
-        map.insert(key.clone(), Arc::clone(&v));
-        v
+        let value = Arc::new(lift());
+        match self.capacity {
+            Some(0) => {} // pass-through: never resident
+            Some(cap) if ring.slots.len() >= cap => {
+                // Second chance: sweep in insertion order from the hand,
+                // clearing reference bits until an unreferenced victim
+                // turns up (bounded: after one full sweep every bit is
+                // clear).
+                let victim = loop {
+                    let i = ring.hand;
+                    ring.hand = (ring.hand + 1) % ring.slots.len();
+                    if ring.slots[i].referenced {
+                        ring.slots[i].referenced = false;
+                    } else {
+                        break i;
+                    }
+                };
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                let old = std::mem::replace(
+                    &mut ring.slots[victim],
+                    Slot {
+                        key: key.clone(),
+                        value: Arc::clone(&value),
+                        referenced: false,
+                    },
+                );
+                ring.map.remove(&old.key);
+                ring.map.insert(key.clone(), victim);
+            }
+            _ => {
+                let slot = ring.slots.len();
+                ring.slots.push(Slot {
+                    key: key.clone(),
+                    value: Arc::clone(&value),
+                    referenced: false,
+                });
+                ring.map.insert(key.clone(), slot);
+            }
+        }
+        value
     }
 
-    /// Number of cached shapes.
+    /// Number of resident shapes.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("lift cache poisoned").len()
+        self.ring.lock().expect("lift cache poisoned").map.len()
     }
 
     /// True iff nothing is cached.
@@ -132,7 +237,7 @@ mod tests {
         }
         assert_eq!(built, 1);
         let stats = cache.stats();
-        assert_eq!((stats.misses, stats.hits), (1, 2));
+        assert_eq!((stats.misses, stats.hits, stats.evictions), (1, 2, 0));
         assert_eq!(cache.len(), 1);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -152,5 +257,82 @@ mod tests {
         let a = cache.get_or_lift(&1, || vec![1.0]);
         let b = cache.get_or_lift(&1, || vec![2.0]);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    /// CLOCK evicts in insertion order when no entry was re-referenced.
+    #[test]
+    fn eviction_follows_insertion_order_without_hits() {
+        let cache: LiftedCostCache<u64, u64> = LiftedCostCache::with_capacity(Some(2));
+        cache.get_or_lift(&1, || 10);
+        cache.get_or_lift(&2, || 20);
+        cache.get_or_lift(&3, || 30); // evicts 1 (oldest, unreferenced)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*cache.get_or_lift(&2, || 99), 20, "2 still resident");
+        assert_eq!(*cache.get_or_lift(&1, || 11), 11, "1 was evicted, re-lifts");
+        let stats = cache.stats();
+        assert!(
+            stats.evictions >= 2,
+            "3 admitted + 1 re-admitted over cap 2"
+        );
+    }
+
+    /// A hit sets the reference bit, granting a second chance: the hand
+    /// skips the hit entry and evicts the next unreferenced one.
+    #[test]
+    fn second_chance_protects_hit_entries() {
+        let cache: LiftedCostCache<u64, u64> = LiftedCostCache::with_capacity(Some(2));
+        cache.get_or_lift(&1, || 10);
+        cache.get_or_lift(&2, || 20);
+        cache.get_or_lift(&1, || 99); // hit: reference 1
+        cache.get_or_lift(&3, || 30); // hand clears 1's bit, evicts 2
+        assert_eq!(*cache.get_or_lift(&1, || 99), 10, "hit entry survived");
+        assert_eq!(
+            *cache.get_or_lift(&2, || 21),
+            21,
+            "unreferenced entry evicted"
+        );
+    }
+
+    /// Replaying the same access sequence produces identical counters —
+    /// the policy depends only on the access sequence.
+    #[test]
+    fn eviction_is_deterministic_per_access_sequence() {
+        let run = || {
+            let cache: LiftedCostCache<u64, u64> = LiftedCostCache::with_capacity(Some(3));
+            for &k in &[5u64, 1, 9, 5, 2, 7, 1, 5, 9, 3, 3, 2] {
+                cache.get_or_lift(&k, || k * 10);
+            }
+            cache.stats()
+        };
+        assert_eq!(run(), run());
+        assert!(run().evictions > 0);
+    }
+
+    /// A zero-capacity cache still returns correct values (pass-through).
+    #[test]
+    fn zero_capacity_passes_through() {
+        let cache: LiftedCostCache<u64, u64> = LiftedCostCache::with_capacity(Some(0));
+        assert_eq!(*cache.get_or_lift(&1, || 10), 10);
+        assert_eq!(*cache.get_or_lift(&1, || 11), 11, "nothing retained");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 2, 0));
+        assert!(cache.is_empty());
+    }
+
+    /// Values are identical whether or not eviction occurred in between —
+    /// the bounded cache can only change counters, never results.
+    #[test]
+    fn bounded_and_unbounded_agree_on_values() {
+        let bounded: LiftedCostCache<u64, u64> = LiftedCostCache::with_capacity(Some(1));
+        let unbounded: LiftedCostCache<u64, u64> = LiftedCostCache::new();
+        let lift = |k: u64| move || k * k;
+        for &k in &[4u64, 9, 4, 2, 9, 4] {
+            assert_eq!(
+                *bounded.get_or_lift(&k, lift(k)),
+                *unbounded.get_or_lift(&k, lift(k))
+            );
+        }
+        assert!(bounded.stats().evictions > 0);
+        assert_eq!(unbounded.stats().evictions, 0);
     }
 }

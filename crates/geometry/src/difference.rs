@@ -72,6 +72,35 @@ pub fn difference_is_empty(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -
 /// ≤ ~1e-7) would have concluded on a tolerance-band sliver.
 pub const WITNESS_MARGIN: f64 = 1e-6;
 
+/// One convex piece of a coverage worklist, carrying its **cached
+/// Chebyshev verdict**: the margin-certified witness extraction of
+/// `worklist_witness` is a pure function of the piece polytope, so a
+/// piece that survives a resumed coverage check unchanged (the miss fast
+/// path of `subtract_cutout_from_worklist` clones it verbatim) keeps
+/// its verdict and never re-runs the `chebyshev_center` LP. Caching
+/// changes only the LP *count* — verdicts, witnesses and therefore
+/// retained plans are bit-identical to recomputation.
+#[derive(Debug, Clone)]
+pub struct CoveragePiece {
+    poly: Polytope,
+    /// Cached witness verdict: `None` = not yet computed; `Some(None)` =
+    /// no ball above `INTERIOR_TOL + WITNESS_MARGIN`; `Some(Some(x))` =
+    /// the certified ball centre.
+    cheb: Option<Option<Vec<f64>>>,
+}
+
+impl CoveragePiece {
+    /// Wraps a polytope piece with no verdict computed yet.
+    pub fn new(poly: Polytope) -> Self {
+        Self { poly, cheb: None }
+    }
+
+    /// The piece polytope.
+    pub fn polytope(&self) -> &Polytope {
+        &self.poly
+    }
+}
+
 /// Subtracts one cutout from every piece of a coverage worklist — the
 /// shared per-cutout step of the worklist decomposition, used by
 /// [`difference_remainder`] **and** the region engine's incremental
@@ -80,19 +109,27 @@ pub const WITNESS_MARGIN: f64 = 1e-6;
 /// copy of the loop body).
 pub(crate) fn subtract_cutout_from_worklist(
     ctx: &LpCtx,
-    remaining: &[Polytope],
+    remaining: &[CoveragePiece],
     cutout: &Polytope,
-) -> Vec<Polytope> {
+) -> Vec<CoveragePiece> {
     let mut next = Vec::with_capacity(remaining.len());
     for piece in remaining {
-        // Fast path: the cutout misses the piece entirely.
-        if piece.is_empty_with_fastpath(ctx, cutout.halfspaces(), FastPathSite::Coverage) {
+        // Fast path: the cutout misses the piece entirely — the piece
+        // survives verbatim, cached Chebyshev verdict included.
+        if piece
+            .poly
+            .is_empty_with_fastpath(ctx, cutout.halfspaces(), FastPathSite::Coverage)
+        {
             next.push(piece.clone());
         } else {
             // Worklist pieces are non-empty by construction (the check
             // that kept them), so the subtraction skips the duplicate
-            // base check.
-            next.extend(subtract_from_nonempty(ctx, piece, cutout));
+            // base check. Freshly cut pieces have no verdict yet.
+            next.extend(
+                subtract_from_nonempty(ctx, &piece.poly, cutout)
+                    .into_iter()
+                    .map(CoveragePiece::new),
+            );
         }
     }
     next
@@ -102,13 +139,34 @@ pub(crate) fn subtract_cutout_from_worklist(
 /// the centre of the first piece admitting a ball comfortably above the
 /// interior tolerance (shared by [`difference_witness`] and the region
 /// engine's incremental coverage check).
-pub(crate) fn worklist_witness(ctx: &LpCtx, remaining: &[Polytope]) -> Option<Vec<f64>> {
-    remaining.iter().find_map(|piece| {
-        piece
-            .chebyshev_center(ctx)
-            .filter(|(_, r)| *r > crate::INTERIOR_TOL + WITNESS_MARGIN)
-            .map(|(x, _)| x)
-    })
+///
+/// Per-piece verdicts are **cached** on the pieces: a piece whose verdict
+/// was computed by an earlier extraction (and survived resumption
+/// unchanged) answers from the cache — counted as a
+/// [`FastPathSite::Coverage`] fast-path hit, against the fallback counted
+/// for each `chebyshev_center` LP actually run.
+pub(crate) fn worklist_witness(ctx: &LpCtx, remaining: &mut [CoveragePiece]) -> Option<Vec<f64>> {
+    for piece in remaining.iter_mut() {
+        let verdict = match &piece.cheb {
+            Some(v) => {
+                ctx.fastpath_hit(FastPathSite::Coverage);
+                v
+            }
+            None => {
+                ctx.fastpath_fallback(FastPathSite::Coverage);
+                let v = piece
+                    .poly
+                    .chebyshev_center(ctx)
+                    .filter(|(_, r)| *r > crate::INTERIOR_TOL + WITNESS_MARGIN)
+                    .map(|(x, _)| x);
+                piece.cheb.insert(v)
+            }
+        };
+        if let Some(w) = verdict {
+            return Some(w.clone());
+        }
+    }
+    None
 }
 
 /// Result of [`difference_witness`].
@@ -134,20 +192,20 @@ pub enum DifferenceWitness {
 /// the coverage check — the refresh mechanism behind the optimizer's
 /// relevance points.
 pub fn difference_witness(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> DifferenceWitness {
-    let remaining = difference_remainder(ctx, base, cutouts);
+    let mut remaining = difference_remainder(ctx, base, cutouts);
     if remaining.is_empty() {
         return DifferenceWitness::Empty;
     }
-    DifferenceWitness::NonEmpty(worklist_witness(ctx, &remaining))
+    DifferenceWitness::NonEmpty(worklist_witness(ctx, &mut remaining))
 }
 
 /// The worklist decomposition of `base ∖ ⋃ cutouts` into convex pieces
 /// with non-empty interior (empty iff the difference has empty interior).
-fn difference_remainder(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> Vec<Polytope> {
+fn difference_remainder(ctx: &LpCtx, base: &Polytope, cutouts: &[Polytope]) -> Vec<CoveragePiece> {
     if base.is_empty_with_fastpath(ctx, &[], FastPathSite::Coverage) {
         return Vec::new();
     }
-    let mut remaining = vec![base.clone()];
+    let mut remaining = vec![CoveragePiece::new(base.clone())];
     for cutout in cutouts {
         if remaining.is_empty() {
             return remaining;
@@ -278,5 +336,41 @@ mod tests {
         let ctx = ctx();
         let base = Polytope::from_box(&[0.0], &[1.0]);
         assert!(!difference_is_empty(&ctx, &base, &[]));
+    }
+
+    /// The per-piece Chebyshev cache: a second witness extraction over the
+    /// same worklist answers every piece from its cached verdict — zero
+    /// new LPs, bit-identical witness.
+    #[test]
+    fn witness_extraction_caches_per_piece_verdicts() {
+        let ctx = ctx();
+        // A sliver with no qualifying ball followed by a fat piece: the
+        // extraction must compute (and cache) a verdict for both.
+        let sliver = Polytope::from_box(&[0.0], &[1e-8]);
+        let fat = Polytope::from_box(&[0.2], &[0.8]);
+        let mut worklist = vec![CoveragePiece::new(sliver), CoveragePiece::new(fat)];
+        let before = ctx.solved();
+        let w1 = worklist_witness(&ctx, &mut worklist).expect("fat piece has interior");
+        let first_cost = ctx.solved() - before;
+        assert!(first_cost >= 2, "both pieces ran the chebyshev LP");
+        let hits_before = ctx.fastpath_breakdown().fast[FastPathSite::Coverage as usize];
+        let before = ctx.solved();
+        let w2 = worklist_witness(&ctx, &mut worklist).expect("verdicts are cached");
+        assert_eq!(ctx.solved() - before, 0, "cached verdicts solve no LPs");
+        assert_eq!(w1, w2, "cached witness is bit-identical");
+        let hits_after = ctx.fastpath_breakdown().fast[FastPathSite::Coverage as usize];
+        assert_eq!(
+            hits_after - hits_before,
+            2,
+            "both pieces counted as coverage hits"
+        );
+        // A piece surviving a disjoint-cutout subtraction keeps its
+        // cached verdict (the miss fast path clones it verbatim).
+        let disjoint = Polytope::from_box(&[0.9], &[1.0]);
+        let mut survived = subtract_cutout_from_worklist(&ctx, &worklist, &disjoint);
+        let before = ctx.solved();
+        let w3 = worklist_witness(&ctx, &mut survived).expect("pieces survived");
+        assert_eq!(ctx.solved() - before, 0, "survivors reuse cached verdicts");
+        assert_eq!(w1, w3);
     }
 }

@@ -42,8 +42,8 @@ pub mod region;
 
 pub use convexity::{envelope, union_convex_polytope};
 pub use difference::{
-    difference_is_empty, difference_witness, subtract, union_covers, DifferenceWitness,
-    WITNESS_MARGIN,
+    difference_is_empty, difference_witness, subtract, union_covers, CoveragePiece,
+    DifferenceWitness, WITNESS_MARGIN,
 };
 pub use region::{
     Cutout, CutoutRegion, HalfspaceList, ProbeSet, RegionBase, RegionEngine, FASTPATH_MARGIN,

@@ -234,10 +234,13 @@ pub enum CutoutRegion {
         /// (`processed` = first element). The worklist loop is
         /// cutout-at-a-time, so a later check resumes here and only
         /// subtracts the cutouts appended since — re-running the prefix
-        /// would repeat bit-identical deterministic queries. Invalidated
-        /// whenever the cutout list changes other than by appending
-        /// (redundant-cutout removal).
-        remainder: Option<(usize, Vec<Polytope>)>,
+        /// would repeat bit-identical deterministic queries. Pieces carry
+        /// their cached Chebyshev witness verdicts
+        /// ([`crate::difference::CoveragePiece`]), so witness extraction
+        /// over pieces surviving a resumption never re-runs the
+        /// `chebyshev_center` LP. Invalidated whenever the cutout list
+        /// changes other than by appending (redundant-cutout removal).
+        remainder: Option<(usize, Vec<crate::difference::CoveragePiece>)>,
     },
     /// Nothing of the base is relevant.
     Empty,
@@ -961,7 +964,12 @@ impl RegionEngine {
                     {
                         (cutouts.len(), Vec::new())
                     }
-                    None => (0, vec![(*base.polytope).clone()]),
+                    None => (
+                        0,
+                        vec![crate::difference::CoveragePiece::new(
+                            (*base.polytope).clone(),
+                        )],
+                    ),
                 };
                 for c in &cutouts[processed..] {
                     if remaining.is_empty() {
@@ -983,7 +991,7 @@ impl RegionEngine {
                     // worklist's miss fast path lets a piece penetrate a
                     // cutout by a sub-tolerance cap, so creation-time
                     // placement must be re-certified against all cutouts.
-                    let w = crate::difference::worklist_witness(ctx, &remaining);
+                    let w = crate::difference::worklist_witness(ctx, &mut remaining);
                     *witness =
                         w.filter(|w| cutouts.iter().all(|c| cell_placement(c, w) == Some(true)));
                     *verified_nonempty = true;

@@ -71,12 +71,72 @@ thread_local! {
 /// LPs solved through any [`LpCtx`] **on the calling thread** so far.
 ///
 /// Deltas of this counter around a region of work give that region's own
-/// LP count, unpolluted by concurrent work on other threads — the
-/// per-query counter behind `OptStats::lps_solved_query`. Work that fans
-/// out to other threads is not attributed to the submitting thread, so
-/// deltas are exact only for single-threaded regions.
+/// LP count, unpolluted by concurrent work on other threads. Work that
+/// fans out to other threads is not attributed to the submitting thread,
+/// so deltas are exact only for single-threaded regions; multi-threaded
+/// runs attribute through [`attribute_solves`] instead.
 pub fn thread_solved() -> u64 {
     THREAD_SOLVED.with(|c| c.get())
+}
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    /// The per-run attribution counter installed on this thread (if any):
+    /// every solve on the thread also increments it. Backs exact
+    /// per-query LP attribution under fan-out — each worker item of a run
+    /// installs the run's counter for its own scope, so solves are
+    /// charged to the run no matter which thread executes them.
+    static RUN_SOLVED: RefCell<Option<Arc<AtomicU64>>> = const { RefCell::new(None) };
+}
+
+/// Scope guard of [`attribute_solves`]: restores the previously installed
+/// attribution counter on drop (stack discipline, so nested scopes — e.g.
+/// a work-stealing worker picking up an item of another run — attribute
+/// correctly).
+pub struct SolveAttribution {
+    prev: Option<Arc<AtomicU64>>,
+}
+
+impl Drop for SolveAttribution {
+    fn drop(&mut self) {
+        RUN_SOLVED.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `counter` as the calling thread's solve-attribution target
+/// until the returned guard drops: every [`LpCtx`] solve on this thread
+/// additionally increments it.
+///
+/// Counters are atomic and increments are sums, so a run that installs
+/// one counter around each of its fan-out items gets an **exact,
+/// schedule-independent** total even when its items run concurrently with
+/// other runs on the same threads. Nested fan-outs must re-install the
+/// submitting scope's counter ([`current_attribution`]) on their workers.
+pub fn attribute_solves(counter: Arc<AtomicU64>) -> SolveAttribution {
+    SolveAttribution {
+        prev: RUN_SOLVED.with(|c| c.borrow_mut().replace(counter)),
+    }
+}
+
+/// The attribution counter currently installed on this thread, for
+/// propagation into nested fan-outs (each nested work item re-installs it
+/// via [`attribute_solves`]).
+pub fn current_attribution() -> Option<Arc<AtomicU64>> {
+    RUN_SOLVED.with(|c| c.borrow().clone())
+}
+
+/// One solve happened on this thread: bump the thread-local counter and
+/// the installed attribution counter, if any.
+#[inline]
+fn record_solve() {
+    THREAD_SOLVED.with(|c| c.set(c.get() + 1));
+    RUN_SOLVED.with(|c| {
+        if let Some(run) = c.borrow().as_ref() {
+            run.fetch_add(1, Ordering::Relaxed);
+        }
+    });
 }
 
 /// Numerical tolerance used throughout the solver.
@@ -217,7 +277,9 @@ pub enum FastPathSite {
     /// certificates and exact interval/vertex emptiness.
     CutoutEmptiness = 1,
     /// Per-piece emptiness checks of the coverage (polytope-difference)
-    /// machinery behind `IsEmpty`.
+    /// machinery behind `IsEmpty`, plus per-piece Chebyshev witness
+    /// verdicts in witness extraction (a cached-verdict reuse is a hit, a
+    /// fresh `chebyshev_center` LP a fallback).
     Coverage = 2,
     /// Piecewise cost algebra (`combine` / `intersect_dedup` /
     /// `dominance_regions`): cross-pair and cut emptiness over piece
@@ -294,7 +356,7 @@ impl LpCtx {
     /// Solves `problem`, incrementing the solved-LP counter.
     pub fn solve(&self, problem: &LpProblem) -> LpOutcome {
         self.solved.fetch_add(1, Ordering::Relaxed);
-        THREAD_SOLVED.with(|c| c.set(c.get() + 1));
+        record_solve();
         simplex::solve(problem)
     }
 
@@ -307,7 +369,7 @@ impl LpCtx {
     /// incrementing the solved-LP counter. See [`solve_staged`].
     pub fn solve_staged(&self, objective: &[f64], fill: impl FnOnce(&mut RowStage)) -> LpOutcome {
         self.solved.fetch_add(1, Ordering::Relaxed);
-        THREAD_SOLVED.with(|c| c.set(c.get() + 1));
+        record_solve();
         simplex::solve_staged(objective, fill)
     }
 

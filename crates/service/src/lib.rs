@@ -1,0 +1,889 @@
+//! `mpq-service`: a long-running, concurrent optimizer service.
+//!
+//! The paper's value proposition is server-side: optimize once per
+//! (query, shape), reuse the result across parameter instantiations and
+//! arriving clients. The batch layer (`mpq_core::session`) already shares
+//! cost lifts across the queries of one batch; this crate adds the
+//! *service front-end* that turns arriving queries into batches:
+//!
+//! * **Batch accumulation** — arriving [`SubmittedQuery`]s buffer per
+//!   shard and dispatch when either trigger of the [`BatchPolicy`] fires:
+//!   the buffer reaches `max_batch` (*size* trigger) or the oldest
+//!   buffered request has waited `max_wait` (*deadline* trigger —
+//!   Trummer & Koch's randomized-MPQ line frames exactly this
+//!   latency/quality trade-off: waiting longer buys more sharing).
+//!   Shutdown flushes the rest (*drain* trigger).
+//! * **Sharded sessions** — batches dispatch to one of N
+//!   [`ShardedSession`] shards, chosen by the stable `OpShape`-derived
+//!   affinity (`mpq_core::session::query_affinity`), so queries over the
+//!   same tables land on the shard that already cached their lifted
+//!   costs (the in-process form of sharding a workload across machines).
+//! * **Completion tickets** — every submission returns a
+//!   [`ServiceTicket`]; [`ServiceTicket::wait`] blocks on the request's
+//!   own completion channel.
+//! * **Bounded caches** — shard sessions built with a
+//!   `SessionConfig::cache_capacity` evict deterministically
+//!   (second-chance CLOCK, see `mpq_cost`), so a service that runs
+//!   forever holds bounded memory.
+//! * **Observability** — [`ServiceStats`] snapshots queue depth, batches
+//!   formed, the trigger mix, per-shard cache hit/miss and p50/p95
+//!   latency measured under a **caller-supplied clock**. With a
+//!   [`VirtualClock`] stepped from a seeded arrival trace, batching
+//!   decisions — batch contents and the trigger mix — replay
+//!   bit-identically with no wall-clock dependence; the latency
+//!   *percentiles* are approximate there (completion times are read
+//!   while the submitter may still be advancing the clock), so treat
+//!   them like any other measured-duration metric.
+//!
+//! # Determinism contract
+//!
+//! For a fixed set of queries, the service's **per-query plans, counters
+//! and frontiers are bit-identical to optimizing the same queries one by
+//! one through a plain `OptimizerSession`** — independent of batch
+//! grouping, shard count, trigger timing and cache evictions. Batching
+//! only regroups independent deterministic optimizations; shard spaces
+//! are constructed identically; evicted lifts re-lift to bit-identical
+//! values (lifts are pure in their shape). Only throughput counters
+//! (`lps_solved` snapshots, cache hit/miss/eviction totals) depend on the
+//! grouping. Enforced by `tests/service_proptest.rs` across random
+//! traces × policies × shard counts × cache capacities.
+//!
+//! # Example
+//!
+//! ```
+//! use mpq_core::prelude::*;
+//! use mpq_core::session::SessionConfig;
+//! use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+//! use mpq_catalog::graph::Topology;
+//! use mpq_cloud::model::CloudCostModel;
+//! use mpq_service::{serve, BatchPolicy, ServiceConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::time::Duration;
+//!
+//! let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(3, Topology::Chain, 1), 4, 1.0);
+//! let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(1));
+//! let model = CloudCostModel::default();
+//! let opt = OptimizerConfig::default_for(1);
+//! let sessions = ShardedSession::build(2, &model, &SessionConfig::new(opt.clone()), || {
+//!     GridSpace::for_unit_box(1, &opt, 2).unwrap()
+//! });
+//! let config = ServiceConfig::new(BatchPolicy::new(2, Duration::from_millis(5)));
+//! let (solutions, stats) = serve(&sessions, config, |handle| {
+//!     let tickets: Vec<_> = workload.queries.iter()
+//!         .map(|q| handle.submit(q.clone()))
+//!         .collect();
+//!     tickets.into_iter().map(|t| t.wait().solution).collect::<Vec<_>>()
+//! });
+//! assert_eq!(solutions.len(), 4);
+//! assert_eq!(stats.completed, 4);
+//! assert!(stats.batches >= 1);
+//! ```
+
+use mpq_catalog::Query;
+use mpq_cloud::model::ParametricCostModel;
+use mpq_core::rrpa::MpqSolution;
+use mpq_core::session::ShardedSession;
+use mpq_core::space::MpqSpace;
+use mpq_cost::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// When an accumulating batch dispatches to its shard.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests buffered (size trigger).
+    pub max_batch: usize,
+    /// Dispatch once the oldest buffered request has waited this long
+    /// under the service clock (deadline trigger) — the latency bound a
+    /// request pays for batching.
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// A policy with the given size and deadline triggers.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+        assert!(max_batch >= 1, "a batch needs room for at least one query");
+        Self {
+            max_batch,
+            max_wait,
+        }
+    }
+}
+
+/// The service's notion of *now*, in seconds from an arbitrary origin.
+/// Monotone non-decreasing by contract. The default is wall-clock
+/// ([`ServiceConfig::new`]); tests and trace replays install a
+/// [`VirtualClock`] ([`ServiceConfig::with_clock`]) that advances only
+/// when told to, making deadline triggers replayable with no wall-clock
+/// dependence.
+pub type ServiceClock = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+/// A deterministic service clock for tests and trace replays: virtual
+/// **microseconds**, advanced explicitly by the driver and read by the
+/// service as seconds. Advancing takes a max, so the clock is monotone
+/// even if drivers race. One `VirtualClock` pins the unit convention for
+/// every replay site (the bench harness, unit tests, proptests).
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock to `us` virtual microseconds (no-op if the
+    /// clock is already past it).
+    pub fn advance_to_micros(&self, us: u64) {
+        self.micros.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Advances the clock to `secs` virtual seconds.
+    pub fn advance_to_secs(&self, secs: f64) {
+        self.advance_to_micros((secs * 1e6) as u64);
+    }
+
+    /// The current virtual time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+
+    /// The [`ServiceClock`] view of this clock (pass to
+    /// [`ServiceConfig::with_clock`]).
+    pub fn clock(&self) -> ServiceClock {
+        let micros = Arc::clone(&self.micros);
+        Arc::new(move || micros.load(Ordering::Relaxed) as f64 * 1e-6)
+    }
+}
+
+/// Service configuration: the batch policy plus the clock.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Batch dispatch triggers.
+    pub policy: BatchPolicy,
+    /// The service clock (`None` = wall clock anchored at service start).
+    pub clock: Option<ServiceClock>,
+}
+
+impl ServiceConfig {
+    /// Wall-clock service over the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self {
+            policy,
+            clock: None,
+        }
+    }
+
+    /// Installs a caller-supplied clock (see [`ServiceClock`]).
+    pub fn with_clock(mut self, clock: ServiceClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+}
+
+/// A query submitted to the service. (A struct, not a bare `Query`, so
+/// per-request options — priorities, deadlines — can grow without
+/// breaking the submit API.)
+#[derive(Debug, Clone)]
+pub struct SubmittedQuery {
+    /// The query to optimize.
+    pub query: Query,
+}
+
+impl From<Query> for SubmittedQuery {
+    fn from(query: Query) -> Self {
+        Self { query }
+    }
+}
+
+/// Why a batch dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchTrigger {
+    /// The buffer reached `max_batch`.
+    Size,
+    /// The oldest buffered request waited `max_wait`.
+    Deadline,
+    /// Service shutdown flushed the remainder.
+    Drain,
+}
+
+/// One completed request: the solution plus how it travelled through the
+/// service.
+pub struct QueryResponse<S: MpqSpace> {
+    /// The optimization result — bit-identical to a plain
+    /// `OptimizerSession` run of the same query (the determinism
+    /// contract; see the crate docs).
+    pub solution: MpqSolution<S>,
+    /// The shard that optimized the request.
+    pub shard: usize,
+    /// Sequence number of the batch it rode in.
+    pub batch_seq: u64,
+    /// Number of requests in that batch.
+    pub batch_size: usize,
+    /// Why the batch dispatched.
+    pub trigger: BatchTrigger,
+    /// Submit-to-completion latency in service-clock seconds.
+    pub latency: f64,
+}
+
+/// Completion handle of one submission: a per-request channel the shard
+/// worker answers exactly once.
+pub struct ServiceTicket<S: MpqSpace> {
+    rx: mpsc::Receiver<QueryResponse<S>>,
+}
+
+impl<S: MpqSpace> ServiceTicket<S> {
+    /// Blocks until the request completes.
+    ///
+    /// A ticket outlives the service: responses buffer in the ticket's
+    /// channel, so tickets can be waited **after** [`serve`] returns —
+    /// shutdown drains every buffer first. That is also the safe pattern
+    /// under a [`VirtualClock`] (or any non-advancing clock): waiting
+    /// *inside* the `serve` body for a request whose batch has neither
+    /// size-triggered nor passed its (frozen-clock) deadline blocks
+    /// forever, because the drain flush only runs once the body returns.
+    ///
+    /// # Panics
+    /// Panics if the service died before answering (a worker panic —
+    /// which also propagates out of [`serve`] itself when its scope
+    /// joins).
+    pub fn wait(self) -> QueryResponse<S> {
+        self.rx
+            .recv()
+            .expect("service terminated without answering the ticket")
+    }
+
+    /// Non-blocking poll: `Some` once the response is ready.
+    pub fn try_wait(&self) -> Option<QueryResponse<S>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Per-shard service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Requests optimized by this shard.
+    pub queries: u64,
+    /// Batches dispatched to this shard.
+    pub batches: u64,
+    /// The shard session's cost-lifting cache counters
+    /// (hit/miss/evictions).
+    pub cache: CacheStats,
+}
+
+/// Snapshot of the service counters (see [`ServiceHandle::stats`] /
+/// [`serve`]'s return value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Requests accepted.
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests currently buffered (accumulating, not yet dispatched).
+    pub queue_depth: u64,
+    /// Largest buffered count observed.
+    pub queue_depth_peak: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches dispatched by the size trigger.
+    pub size_triggered: u64,
+    /// Batches dispatched by the deadline trigger.
+    pub deadline_triggered: u64,
+    /// Batches flushed at shutdown.
+    pub drain_triggered: u64,
+    /// LPs solved across all dispatched batches (summed per-batch deltas
+    /// — exact: shards run one batch at a time).
+    pub lps_solved: u64,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+    /// Median submit-to-completion latency in service-clock seconds over
+    /// the most recent [`LATENCY_WINDOW`] completions (NaN before the
+    /// first completion).
+    pub latency_p50: f64,
+    /// 95th-percentile latency in service-clock seconds over the same
+    /// window (NaN before the first completion).
+    pub latency_p95: f64,
+}
+
+/// Latency samples retained for the percentile snapshot: a ring of the
+/// most recent completions, so a service that runs forever holds bounded
+/// memory and `stats()` sorts a bounded sample.
+pub const LATENCY_WINDOW: usize = 1 << 16;
+
+/// Fixed-capacity ring of the most recent latency samples.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<f64>,
+    /// Slot the next sample overwrites once the ring is full.
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, v: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// The lock/atomic-backed live counters behind [`ServiceStats`].
+struct StatsShared {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    batches: AtomicU64,
+    size_triggered: AtomicU64,
+    deadline_triggered: AtomicU64,
+    drain_triggered: AtomicU64,
+    lps_solved: AtomicU64,
+    shard_queries: Vec<AtomicU64>,
+    shard_batches: Vec<AtomicU64>,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl StatsShared {
+    fn new(shards: usize) -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            size_triggered: AtomicU64::new(0),
+            deadline_triggered: AtomicU64::new(0),
+            drain_triggered: AtomicU64::new(0),
+            lps_solved: AtomicU64::new(0),
+            shard_queries: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            latencies: Mutex::new(LatencyRing::default()),
+        }
+    }
+
+    fn snapshot(&self, caches: Vec<CacheStats>) -> ServiceStats {
+        let mut latencies = self
+            .latencies
+            .lock()
+            .expect("latency log poisoned")
+            .samples
+            .clone();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let quantile = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                return f64::NAN;
+            }
+            // Nearest-rank on the sorted sample.
+            let rank = ((latencies.len() as f64) * q).ceil() as usize;
+            latencies[rank.clamp(1, latencies.len()) - 1]
+        };
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            size_triggered: self.size_triggered.load(Ordering::Relaxed),
+            deadline_triggered: self.deadline_triggered.load(Ordering::Relaxed),
+            drain_triggered: self.drain_triggered.load(Ordering::Relaxed),
+            lps_solved: self.lps_solved.load(Ordering::Relaxed),
+            per_shard: caches
+                .into_iter()
+                .enumerate()
+                .map(|(i, cache)| ShardStats {
+                    queries: self.shard_queries[i].load(Ordering::Relaxed),
+                    batches: self.shard_batches[i].load(Ordering::Relaxed),
+                    cache,
+                })
+                .collect(),
+            latency_p50: quantile(0.50),
+            latency_p95: quantile(0.95),
+        }
+    }
+}
+
+/// One buffered request travelling batcher → shard worker.
+struct Pending<S: MpqSpace> {
+    query: Query,
+    submitted_at: f64,
+    reply: mpsc::Sender<QueryResponse<S>>,
+}
+
+/// One dispatched batch.
+struct ShardBatch<S: MpqSpace> {
+    seq: u64,
+    trigger: BatchTrigger,
+    requests: Vec<Pending<S>>,
+}
+
+/// The submit-side handle passed to [`serve`]'s body closure.
+pub struct ServiceHandle<'a, S: MpqSpace, M: ParametricCostModel + ?Sized> {
+    // `mpsc::Sender` is `Send` but not `Sync`; the mutex makes the handle
+    // shareable across client threads (submission rate is far below the
+    // lock's throughput).
+    tx: Mutex<mpsc::Sender<Pending<S>>>,
+    clock: ServiceClock,
+    stats: Arc<StatsShared>,
+    sessions: &'a ShardedSession<'a, S, M>,
+}
+
+impl<S, M> ServiceHandle<'_, S, M>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
+    /// Submits a query; returns the completion ticket. Accepts anything
+    /// convertible into a [`SubmittedQuery`] (a bare `Query` works).
+    pub fn submit(&self, query: impl Into<SubmittedQuery>) -> ServiceTicket<S> {
+        let submitted = query.into();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let pending = Pending {
+            query: submitted.query,
+            submitted_at: (self.clock)(),
+            reply: reply_tx,
+        };
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .lock()
+            .expect("submit channel poisoned")
+            .send(pending)
+            .expect("service batcher terminated early");
+        ServiceTicket { rx: reply_rx }
+    }
+
+    /// A live snapshot of the service counters (queue depth, batches,
+    /// trigger mix, per-shard cache hit/miss, latency percentiles).
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot(self.sessions.cache_stats_per_shard())
+    }
+
+    /// The service clock (useful for clients that want to timestamp their
+    /// own records consistently).
+    pub fn now(&self) -> f64 {
+        (self.clock)()
+    }
+}
+
+/// One shard's accumulating buffer.
+struct ShardBuffer<S: MpqSpace> {
+    requests: Vec<Pending<S>>,
+    /// Service-clock deadline of the oldest buffered request
+    /// (`submitted_at + max_wait`); meaningless while empty.
+    deadline: f64,
+}
+
+/// Runs the service for the duration of `body`: spawns the batcher and
+/// one worker per shard of `sessions` (scoped threads — the sessions and
+/// their model are borrowed, not `'static`), hands `body` the submit
+/// handle, and on return drains the buffers, joins every thread and
+/// returns `body`'s result together with the final [`ServiceStats`].
+///
+/// Batching, sharding and eviction never change per-query results — see
+/// the crate-level determinism contract.
+pub fn serve<S, M, R>(
+    sessions: &ShardedSession<'_, S, M>,
+    config: ServiceConfig,
+    body: impl FnOnce(&ServiceHandle<'_, S, M>) -> R,
+) -> (R, ServiceStats)
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
+    let shards = sessions.num_shards();
+    let policy = config.policy;
+    assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+    let clock: ServiceClock = config.clock.unwrap_or_else(|| {
+        let start = Instant::now();
+        Arc::new(move || start.elapsed().as_secs_f64())
+    });
+    let stats = Arc::new(StatsShared::new(shards));
+
+    let out = std::thread::scope(|scope| {
+        let (sub_tx, sub_rx) = mpsc::channel::<Pending<S>>();
+        let mut batch_txs = Vec::with_capacity(shards);
+        // Shard workers: one thread per shard, each draining its own
+        // batch channel through its own session. One batch at a time per
+        // shard keeps the per-batch LP delta exact.
+        for shard in 0..shards {
+            let (batch_tx, batch_rx) = mpsc::channel::<ShardBatch<S>>();
+            batch_txs.push(batch_tx);
+            let stats = Arc::clone(&stats);
+            let clock = Arc::clone(&clock);
+            let session = sessions.shard(shard);
+            scope.spawn(move || {
+                for batch in batch_rx {
+                    let queries: Vec<Query> =
+                        batch.requests.iter().map(|p| p.query.clone()).collect();
+                    let (solutions, lps) = session.optimize_batch_counted(&queries);
+                    stats.lps_solved.fetch_add(lps, Ordering::Relaxed);
+                    stats.shard_batches[shard].fetch_add(1, Ordering::Relaxed);
+                    stats.shard_queries[shard]
+                        .fetch_add(batch.requests.len() as u64, Ordering::Relaxed);
+                    let batch_size = batch.requests.len();
+                    let now = clock();
+                    for (pending, solution) in batch.requests.into_iter().zip(solutions) {
+                        let latency = now - pending.submitted_at;
+                        stats
+                            .latencies
+                            .lock()
+                            .expect("latency log poisoned")
+                            .push(latency);
+                        stats.completed.fetch_add(1, Ordering::Relaxed);
+                        // A dropped ticket is fine — the client walked
+                        // away from the response.
+                        let _ = pending.reply.send(QueryResponse {
+                            solution,
+                            shard,
+                            batch_seq: batch.seq,
+                            batch_size,
+                            trigger: batch.trigger,
+                            latency,
+                        });
+                    }
+                }
+            });
+        }
+
+        // The batcher: accumulates per-shard buffers and dispatches on
+        // size, deadline, or drain.
+        {
+            let stats = Arc::clone(&stats);
+            let clock = Arc::clone(&clock);
+            scope.spawn(move || {
+                let max_wait_secs = policy.max_wait.as_secs_f64();
+                let mut buffers: Vec<ShardBuffer<S>> = (0..shards)
+                    .map(|_| ShardBuffer {
+                        requests: Vec::new(),
+                        deadline: 0.0,
+                    })
+                    .collect();
+                let mut seq = 0u64;
+                let mut flush =
+                    |buffers: &mut Vec<ShardBuffer<S>>, shard: usize, trigger: BatchTrigger| {
+                        let requests = std::mem::take(&mut buffers[shard].requests);
+                        if requests.is_empty() {
+                            return;
+                        }
+                        stats
+                            .queue_depth
+                            .fetch_sub(requests.len() as u64, Ordering::Relaxed);
+                        stats.batches.fetch_add(1, Ordering::Relaxed);
+                        match trigger {
+                            BatchTrigger::Size => &stats.size_triggered,
+                            BatchTrigger::Deadline => &stats.deadline_triggered,
+                            BatchTrigger::Drain => &stats.drain_triggered,
+                        }
+                        .fetch_add(1, Ordering::Relaxed);
+                        batch_txs[shard]
+                            .send(ShardBatch {
+                                seq,
+                                trigger,
+                                requests,
+                            })
+                            .expect("shard worker terminated early");
+                        seq += 1;
+                    };
+                loop {
+                    // Blocking recv while idle; with buffered requests,
+                    // sleep only until the earliest buffered deadline
+                    // (floored at 1 ms scheduling granularity, capped at
+                    // `max_wait`), so wall-clock deadlines overshoot by
+                    // at most that floor plus batch processing — even
+                    // while other shards keep receiving traffic, every
+                    // iteration recomputes the remaining time. Virtual
+                    // clocks advance only at submissions, so for them
+                    // the timeout wake re-reads an unchanged `now` — its
+                    // sweep only ever fires on an *empty* channel (all
+                    // sent arrivals admitted), which makes it equivalent
+                    // to the next arrival's sweep: batch contents stay a
+                    // pure function of the submission sequence.
+                    let earliest = buffers
+                        .iter()
+                        .filter(|b| !b.requests.is_empty())
+                        .map(|b| b.deadline)
+                        .fold(f64::INFINITY, f64::min);
+                    let received = if earliest.is_finite() {
+                        let remaining = Duration::from_secs_f64((earliest - clock()).max(0.0));
+                        let timeout = remaining.min(policy.max_wait).max(Duration::from_millis(1));
+                        match sub_rx.recv_timeout(timeout) {
+                            Ok(p) => Some(p),
+                            Err(mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    } else {
+                        match sub_rx.recv() {
+                            Ok(p) => Some(p),
+                            Err(_) => break,
+                        }
+                    };
+                    match received {
+                        Some(pending) => {
+                            // Deadline sweep *before* admitting the new
+                            // arrival, keyed on its submit timestamp: an
+                            // expired buffer dispatches without the new
+                            // request, exactly as if the timeout wake had
+                            // won the race — batch contents are a pure
+                            // function of the submission sequence.
+                            let t = pending.submitted_at;
+                            for shard in 0..shards {
+                                if !buffers[shard].requests.is_empty()
+                                    && buffers[shard].deadline <= t
+                                {
+                                    flush(&mut buffers, shard, BatchTrigger::Deadline);
+                                }
+                            }
+                            let shard = sessions.shard_of(&pending.query);
+                            if buffers[shard].requests.is_empty() {
+                                buffers[shard].deadline = pending.submitted_at + max_wait_secs;
+                            }
+                            buffers[shard].requests.push(pending);
+                            let depth = stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                            stats.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+                            if buffers[shard].requests.len() >= policy.max_batch {
+                                flush(&mut buffers, shard, BatchTrigger::Size);
+                            }
+                        }
+                        None => {
+                            // Timeout wake: flush whatever expired. The
+                            // channel was empty for the whole timeout, so
+                            // no admitted-but-unswept arrival exists and
+                            // the sweep matches what the next arrival
+                            // would do.
+                            let now = clock();
+                            for shard in 0..shards {
+                                if !buffers[shard].requests.is_empty()
+                                    && buffers[shard].deadline <= now
+                                {
+                                    flush(&mut buffers, shard, BatchTrigger::Deadline);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Shutdown: drain whatever is left, in shard order.
+                for shard in 0..shards {
+                    flush(&mut buffers, shard, BatchTrigger::Drain);
+                }
+                // `batch_txs` drop here, terminating the shard workers.
+            });
+        }
+
+        let handle = ServiceHandle {
+            tx: Mutex::new(sub_tx),
+            clock: Arc::clone(&clock),
+            stats: Arc::clone(&stats),
+            sessions,
+        };
+        let out = body(&handle);
+        // Dropping the handle closes the submit channel: the batcher
+        // drains and exits, the workers follow, and the scope joins them.
+        drop(handle);
+        out
+    });
+    let final_stats = stats.snapshot(sessions.cache_stats_per_shard());
+    (out, final_stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+    use mpq_catalog::graph::Topology;
+    use mpq_cloud::model::CloudCostModel;
+    use mpq_core::grid_space::GridSpace;
+    use mpq_core::session::{OptimizerSession, SessionConfig};
+    use mpq_core::OptimizerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(n: usize, batch: usize, overlap: f64, seed: u64) -> Vec<Query> {
+        let cfg = WorkloadConfig::uniform(
+            GeneratorConfig::paper(n, Topology::Chain, 1),
+            batch,
+            overlap,
+        );
+        generate_workload(&cfg, &mut StdRng::seed_from_u64(seed)).queries
+    }
+
+    fn sessions<'m>(
+        model: &'m CloudCostModel,
+        shards: usize,
+        capacity: Option<usize>,
+    ) -> ShardedSession<'m, GridSpace, CloudCostModel> {
+        let opt = OptimizerConfig::default_for(1);
+        let mut cfg = SessionConfig::new(opt.clone());
+        cfg.cache_capacity = capacity;
+        ShardedSession::build(shards, model, &cfg, move || {
+            GridSpace::for_unit_box(1, &opt, 2).unwrap()
+        })
+    }
+
+    /// Service responses equal plain one-by-one session runs bit for bit.
+    #[test]
+    fn service_matches_plain_session() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 5, 0.5, 11);
+        let opt = OptimizerConfig::default_for(1);
+        let reference: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let space = GridSpace::for_unit_box(1, &opt, 2).unwrap();
+                let session = OptimizerSession::new(space, &model, opt.clone());
+                session.optimize(q)
+            })
+            .collect();
+        let shard_sessions = sessions(&model, 2, None);
+        let config = ServiceConfig::new(BatchPolicy::new(2, Duration::from_millis(1)));
+        let (responses, stats) = serve(&shard_sessions, config, |handle| {
+            let tickets: Vec<_> = queries.iter().map(|q| handle.submit(q.clone())).collect();
+            tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>()
+        });
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(
+            stats.size_triggered + stats.deadline_triggered + stats.drain_triggered,
+            stats.batches,
+            "every batch carries exactly one trigger"
+        );
+        for (resp, reference) in responses.iter().zip(&reference) {
+            assert_eq!(
+                resp.solution.stats.plans_created,
+                reference.stats.plans_created
+            );
+            assert_eq!(
+                resp.solution.stats.plans_pruned,
+                reference.stats.plans_pruned
+            );
+            assert_eq!(resp.solution.plans.len(), reference.plans.len());
+            assert!(resp.latency >= 0.0);
+            assert!(resp.shard < 2);
+        }
+    }
+
+    /// With a virtual clock frozen at 0, only the size trigger (and the
+    /// final drain) can fire, and batch sizes obey `max_batch`.
+    #[test]
+    fn size_trigger_bounds_batches() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 7, 1.0, 3);
+        let shard_sessions = sessions(&model, 2, None);
+        let config = ServiceConfig::new(BatchPolicy::new(3, Duration::from_secs(3600)))
+            .with_clock(VirtualClock::new().clock());
+        // The 7th request only flushes at drain, so tickets are waited
+        // *after* `serve` (responses buffer in their channels).
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            queries
+                .iter()
+                .map(|q| handle.submit(q.clone()))
+                .collect::<Vec<_>>()
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(stats.deadline_triggered, 0, "frozen clock, huge deadline");
+        // Identical queries share one affinity → one shard takes all 7:
+        // two size batches of 3 and a drained single.
+        assert_eq!(stats.size_triggered, 2);
+        assert_eq!(stats.drain_triggered, 1);
+        for resp in &responses {
+            assert!(resp.batch_size <= 3);
+            assert_eq!(resp.latency, 0.0, "virtual clock never advanced");
+        }
+        let busy: Vec<&ShardStats> = stats.per_shard.iter().filter(|s| s.queries > 0).collect();
+        assert_eq!(busy.len(), 1, "one affinity → one shard");
+        assert_eq!(busy[0].queries, 7);
+        assert!(busy[0].cache.hits > 0, "identical queries share lifts");
+    }
+
+    /// Advancing the virtual clock past the deadline dispatches a partial
+    /// batch on the next arrival.
+    #[test]
+    fn deadline_trigger_fires_on_virtual_clock() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 3, 1.0, 5);
+        let shard_sessions = sessions(&model, 1, None);
+        let vclock = VirtualClock::new();
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_micros(50)))
+            .with_clock(vclock.clock());
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            let t0 = handle.submit(queries[0].clone());
+            // Advance the clock past the 50µs deadline; the next arrival
+            // sweeps the expired buffer before joining it.
+            vclock.advance_to_micros(100);
+            let t1 = handle.submit(queries[1].clone());
+            let t2 = handle.submit(queries[2].clone());
+            // t0 completes in-flight; t1/t2 flush at drain, so all waits
+            // happen after `serve`.
+            vec![t0, t1, t2]
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].trigger, BatchTrigger::Deadline);
+        assert_eq!(responses[0].batch_size, 1);
+        assert!((responses[0].latency - 1e-4).abs() < 1e-9);
+        assert_eq!(responses[1].trigger, BatchTrigger::Drain);
+        assert_eq!(responses[2].trigger, BatchTrigger::Drain);
+        assert_eq!(stats.deadline_triggered, 1);
+        assert_eq!(stats.drain_triggered, 1);
+        assert_eq!(stats.queue_depth, 0, "nothing left buffered");
+        assert_eq!(stats.queue_depth_peak, 2);
+    }
+
+    /// Tiny cache capacities evict but never change results.
+    #[test]
+    fn tiny_capacity_identical_results() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 6, 1.0, 9);
+        let run = |capacity: Option<usize>| {
+            let shard_sessions = sessions(&model, 2, capacity);
+            let config = ServiceConfig::new(BatchPolicy::new(2, Duration::from_millis(1)));
+            serve(&shard_sessions, config, |handle| {
+                let tickets: Vec<_> = queries.iter().map(|q| handle.submit(q.clone())).collect();
+                tickets
+                    .into_iter()
+                    .map(|t| {
+                        let r = t.wait();
+                        (r.solution.stats.plans_created, r.solution.plans.len())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let (unbounded, _) = run(None);
+        let (bounded, stats) = run(Some(1));
+        assert_eq!(unbounded, bounded);
+        let evictions: u64 = stats.per_shard.iter().map(|s| s.cache.evictions).sum();
+        assert!(evictions > 0, "capacity 1 must evict on 6 shared queries");
+    }
+
+    /// Mid-run stats snapshots are coherent and percentiles ordered.
+    #[test]
+    fn stats_snapshot_mid_run() {
+        let model = CloudCostModel::default();
+        let queries = workload(2, 4, 0.0, 7);
+        let shard_sessions = sessions(&model, 4, None);
+        let config = ServiceConfig::new(BatchPolicy::new(1, Duration::from_millis(1)));
+        let ((), stats) = serve(&shard_sessions, config, |handle| {
+            let tickets: Vec<_> = queries.iter().map(|q| handle.submit(q.clone())).collect();
+            for t in tickets {
+                t.wait();
+            }
+            let mid = handle.stats();
+            assert_eq!(mid.completed, 4);
+            assert!(mid.latency_p50 <= mid.latency_p95);
+            assert!(mid.lps_solved > 0);
+        });
+        assert_eq!(stats.batches, 4, "max_batch 1 → one batch per query");
+        assert_eq!(stats.size_triggered, 4);
+        let shard_queries: u64 = stats.per_shard.iter().map(|s| s.queries).sum();
+        assert_eq!(shard_queries, 4);
+    }
+}

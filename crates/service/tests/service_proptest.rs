@@ -1,0 +1,157 @@
+//! Property-based determinism tests for the optimizer service.
+//!
+//! The service contract (crate docs of `mpq_service`): for a fixed trace,
+//! per-query plans, counters and frontiers are **bit-identical** to
+//! optimizing the same queries one by one through a plain session —
+//! independent of the batch policy (size/deadline triggers), the shard
+//! count, and the cost-lifting cache capacity (unbounded or tiny, i.e.
+//! evicting constantly). Random traces × policies × shard counts
+//! {1, 2, 4} × capacities {∞, 1, 0} are exercised here; a tiny capacity
+//! must also *terminate* (eviction cannot livelock a batch) with the
+//! identical plans.
+
+use mpq_catalog::generator::{generate_trace, GeneratorConfig, TraceConfig, WorkloadConfig};
+use mpq_catalog::graph::Topology;
+use mpq_cloud::model::CloudCostModel;
+use mpq_core::grid_space::GridSpace;
+use mpq_core::rrpa::{optimize, MpqSolution};
+use mpq_core::session::{SessionConfig, ShardedSession};
+use mpq_core::space::MpqSpace;
+use mpq_core::OptimizerConfig;
+use mpq_service::{serve, BatchPolicy, ServiceConfig, VirtualClock};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Deterministic probe points for frontier comparison.
+fn probes() -> Vec<Vec<f64>> {
+    [0.0, 0.15, 0.5, 0.85, 1.0]
+        .iter()
+        .map(|&v| vec![v])
+        .collect()
+}
+
+/// Per-query facts that must match bit for bit between the service and
+/// the sequential reference.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    plans_created: u64,
+    plans_pruned: u64,
+    final_plans: usize,
+    frontiers: Vec<Vec<(mpq_core::plan::PlanId, Vec<f64>)>>,
+}
+
+fn fingerprint<S: MpqSpace>(space: &S, sol: &MpqSolution<S>) -> Fingerprint {
+    Fingerprint {
+        plans_created: sol.stats.plans_created,
+        plans_pruned: sol.stats.plans_pruned,
+        final_plans: sol.stats.final_plan_count,
+        frontiers: probes().iter().map(|x| sol.frontier_at(space, x)).collect(),
+    }
+}
+
+proptest! {
+    // Each case runs one sequential reference plus 3 shard counts × the
+    // capacity set through the full service stack; sizes stay small so
+    // the suite remains seconds, not minutes.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn service_equals_one_by_one_session(
+        num_tables in 2usize..=3,
+        star in 0usize..=1,
+        trace_len in 3usize..=6,
+        overlap_idx in 0usize..=2,
+        max_batch in 1usize..=4,
+        max_wait_us in prop_oneof![Just(0u64), Just(40), Just(1_000_000)],
+        mean_gap_us in prop_oneof![Just(0u64), Just(25), Just(100)],
+        seed in 0u64..1000,
+    ) {
+        let overlap = [0.0, 0.5, 1.0][overlap_idx];
+        let topology = if star == 1 { Topology::Star } else { Topology::Chain };
+        let trace_cfg = TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(num_tables, topology, 1),
+                trace_len,
+                overlap,
+            ),
+            mean_gap: mean_gap_us as f64 * 1e-6,
+        };
+        let trace = generate_trace(&trace_cfg, &mut StdRng::seed_from_u64(seed));
+        let model = CloudCostModel::default();
+        let opt = OptimizerConfig {
+            grid_resolution: 4,
+            threads: Some(1),
+            ..OptimizerConfig::default_for(1)
+        };
+
+        // Sequential reference: every query alone on a fresh space.
+        let reference: Vec<Fingerprint> = trace
+            .queries
+            .iter()
+            .map(|q| {
+                let space = GridSpace::for_unit_box(1, &opt, 2).expect("grid space");
+                let sol = optimize(q, &model, &space, &opt);
+                fingerprint(&space, &sol)
+            })
+            .collect();
+
+        for shards in [1usize, 2, 4] {
+            for capacity in [None, Some(1), Some(0)] {
+                let mut session_cfg = SessionConfig::new(opt.clone());
+                session_cfg.cache_capacity = capacity;
+                let sessions = ShardedSession::build(shards, &model, &session_cfg, || {
+                    GridSpace::for_unit_box(1, &opt, 2).expect("grid space")
+                });
+                // Virtual clock stepped to each arrival: the batching
+                // decisions replay the trace deterministically, and a
+                // huge `max_wait` cannot stall the run (tickets are
+                // waited after `serve`, when everything has drained).
+                let vclock = VirtualClock::new();
+                let config = ServiceConfig::new(BatchPolicy::new(
+                    max_batch,
+                    Duration::from_micros(max_wait_us),
+                ))
+                .with_clock(vclock.clock());
+                let (tickets, stats) = serve(&sessions, config, |handle| {
+                    trace
+                        .queries
+                        .iter()
+                        .zip(&trace.arrivals)
+                        .map(|(q, &at)| {
+                            vclock.advance_to_secs(at);
+                            handle.submit(q.clone())
+                        })
+                        .collect::<Vec<_>>()
+                });
+                prop_assert_eq!(stats.completed, trace.len() as u64, "all answered");
+                prop_assert_eq!(
+                    stats.batches,
+                    stats.size_triggered + stats.deadline_triggered + stats.drain_triggered
+                );
+                let evictions: u64 =
+                    stats.per_shard.iter().map(|s| s.cache.evictions).sum();
+                if capacity == Some(1) && overlap == 0.0 && trace_len > 2 {
+                    // Independent queries produce many distinct shapes: a
+                    // one-entry cache must evict (and still terminate
+                    // with identical plans, asserted below).
+                    prop_assert!(evictions > 0, "capacity 1 under distinct shapes");
+                }
+                for (i, ticket) in tickets.into_iter().enumerate() {
+                    let resp = ticket.wait();
+                    prop_assert!(resp.shard < shards);
+                    let got = fingerprint(sessions.shard(resp.shard).space(), &resp.solution);
+                    prop_assert_eq!(
+                        &got,
+                        &reference[i],
+                        "service diverged from one-by-one (query {}, {} shards, capacity {:?})",
+                        i,
+                        shards,
+                        capacity
+                    );
+                }
+            }
+        }
+    }
+}

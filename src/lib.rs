@@ -17,6 +17,7 @@
 //! | [`catalog`] | `mpq-catalog` | tables, queries, join graphs, workload generator |
 //! | [`cloud`] | `mpq-cloud` | cost models: time × fees and time × precision-loss |
 //! | [`core`] | `mpq-core` | RRPA, PWL-RRPA, spaces, baselines, validation |
+//! | [`service`] | `mpq-service` | optimizer service: batch accumulation, sharded sessions, tickets |
 //!
 //! ## Quick start
 //!
@@ -52,6 +53,7 @@ pub use mpq_core as core;
 pub use mpq_cost as cost;
 pub use mpq_geometry as geometry;
 pub use mpq_lp as lp;
+pub use mpq_service as service;
 
 /// The commonly used API surface (re-export of [`mpq_core::prelude`]).
 pub mod prelude {
