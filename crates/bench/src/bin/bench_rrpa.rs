@@ -410,9 +410,15 @@ fn run_smoke() {
         pwl.lp_breakdown.fast[mpq_lp::FastPathSite::PieceAlgebra as usize] > 0,
         "smoke: 2-param piece algebra must resolve cross pairs LP-free"
     );
-    // The JSON writer keeps its schema-v5 shape.
+    // The JSON writer keeps its schema-v6 shape.
     let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
-    let json = baseline_json(&[("schema_version", "5".to_string())], &[], &[entry], &[]);
+    let json = baseline_json(
+        &[("schema_version", "6".to_string())],
+        &[],
+        &[entry],
+        &[],
+        &[],
+    );
     assert!(json.contains("\"batch_entries\"") && json.trim_end().ends_with('}'));
     assert!(json.contains("\"lps_query_median\""));
     eprintln!(
@@ -501,7 +507,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",");
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "5".to_string()),
+        ("schema_version", "6".to_string()),
         (
             "command",
             format!(
@@ -526,20 +532,27 @@ fn main() {
         let baseline = std::fs::read_to_string(path).expect("readable --baseline file");
         meta.push(("baseline", baseline.trim_end().to_string()));
     }
-    // Service rows (`service_entries`) are measured and merged in by the
-    // `bench_service` bin, which owns the service matrix.
-    let mut json = baseline_json(&meta, &entries, &batch_entries, &[]);
+    // Service rows (`service_entries`) and fault-injection rows
+    // (`chaos_entries`) are measured and merged in by the `bench_service`
+    // bin, which owns the service matrix.
+    let mut json = baseline_json(&meta, &entries, &batch_entries, &[], &[]);
     let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
-    // Re-running this bin must not destroy service rows a previous
+    // Re-running this bin must not destroy service/chaos rows a previous
     // `bench_service --merge` spliced into the same file: carry the
-    // existing trailing service block forward verbatim.
+    // existing trailing blocks forward verbatim (the service block, when
+    // present, always precedes the chaos block).
     if let Ok(prev) = std::fs::read_to_string(out) {
-        if let Some(pos) = prev.find(",\n  \"service_command\"") {
+        let pos = prev
+            .find(",\n  \"service_command\"")
+            .or_else(|| prev.find(",\n  \"chaos_command\""));
+        if let Some(pos) = pos {
             let end = prev.rfind('}').expect("existing baseline is a JSON object");
             let block = prev[pos..end].trim_end();
             let insert = json.rfind('}').expect("baseline_json emits an object");
             json = format!("{}{}\n}}\n", json[..insert].trim_end(), block);
-            eprintln!("carried the existing service_entries block forward (re-measure with bench_service)");
+            eprintln!(
+                "carried the existing service/chaos blocks forward (re-measure with bench_service)"
+            );
         }
     }
     std::fs::write(out, &json).expect("writable --out path");

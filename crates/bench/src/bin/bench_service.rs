@@ -1,13 +1,15 @@
 //! Service baseline writer: drives seeded open-loop arrival traces
 //! through the `mpq-service` front-end (batch accumulation → sharded
-//! sessions → bounded caches) and merges the measured `service_entries`
-//! into `BENCH_rrpa.json` (schema v5).
+//! sessions → bounded caches → panic quarantine) and merges the measured
+//! `service_entries` / `chaos_entries` into `BENCH_rrpa.json` (schema
+//! v6).
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_service -- \
 //!       [--seeds N] [--trace N] [--overlap R,R...] [--shards N,N...] \
 //!       [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
-//!       [--capacity N] [--merge BENCH_rrpa.json] [--smoke]
+//!       [--capacity N] [--fault-rate R,R...] [--chaos] \
+//!       [--merge BENCH_rrpa.json] [--smoke] [--smoke-chaos]
 //!
 //! * Traces replay under a **virtual service clock** stepped to each
 //!   arrival (`mpq_catalog::generator::generate_trace` — seeded, no
@@ -16,9 +18,16 @@
 //!   whole run, and `p50_ms`/`p95_ms` are approximate (completion stamps
 //!   race the driver advancing the virtual clock).
 //! * `--merge` (default `BENCH_rrpa.json`) splices the measured rows into
-//!   an existing baseline file: the previous `service_entries` block (if
-//!   any) is replaced, everything else is preserved verbatim, and the
-//!   schema version is bumped to 5.
+//!   an existing baseline file: the previous `service_entries` block (or
+//!   `chaos_entries` under `--chaos`) is replaced, everything else —
+//!   including the *other* trailing block — is preserved verbatim, and
+//!   the schema version is bumped to 6.
+//! * `--chaos` — measure the fault-injection matrix instead of the
+//!   fault-free service matrix: seeded fault plans poison `--fault-rate`
+//!   of each trace's queries; rows record quarantine counts, worker
+//!   restarts, healthy-query latency percentiles, and healthy plan
+//!   counts (asserted bit-identical to one-by-one sessions at measure
+//!   time — `run_chaos_trace` panics on any contract violation).
 //! * `--smoke` — CI mode: one tiny trace at two shard counts; asserts
 //!   the trigger mix is sane (every batch carries exactly one trigger,
 //!   both size and drain fire), that busy shards hit their lifting
@@ -26,8 +35,18 @@
 //!   plans created, final plans, *and* the per-batch LP deltas — equal
 //!   the same queries run one-by-one through a plain session. Writes no
 //!   file; exits non-zero on violation.
+//! * `--smoke-chaos` — CI mode: one tiny trace under a seeded fault plan
+//!   at shard counts {1, 2, 4}; `run_chaos_trace` asserts outcome
+//!   accounting (exactly one outcome per query, quarantine = poison
+//!   count, restarts ≥ quarantines) and healthy-query plan equality
+//!   against plain sessions; the smoke additionally requires that the
+//!   plan actually poisons something and that healthy queries survive.
+//!   Writes no file; exits non-zero on violation.
 
-use mpq_bench::harness::{run_service_trace, ServiceBaselineEntry, ServiceRecord, ServiceSpec};
+use mpq_bench::harness::{
+    run_chaos_trace, run_service_trace, ChaosBaselineEntry, ChaosRecord, ServiceBaselineEntry,
+    ServiceRecord, ServiceSpec,
+};
 use mpq_catalog::generator::GeneratorConfig;
 use mpq_catalog::generator::{generate_trace, TraceConfig, WorkloadConfig};
 use mpq_catalog::graph::Topology;
@@ -47,8 +66,11 @@ struct Args {
     max_wait_us: u64,
     mean_gap_us: u64,
     capacity: Option<usize>,
+    fault_rates: Vec<f64>,
+    chaos: bool,
     merge: String,
     smoke: bool,
+    smoke_chaos: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -56,9 +78,19 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: bench_service [--seeds N] [--trace N] [--overlap R[,R...]] \
          [--shards N[,N...]] [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
-         [--capacity N] [--merge FILE] [--smoke]"
+         [--capacity N] [--fault-rate R[,R...]] [--chaos] [--merge FILE] \
+         [--smoke] [--smoke-chaos]"
     );
     std::process::exit(2);
+}
+
+fn parse_ratio_list(list: &str, what: &str) -> Vec<f64> {
+    list.split(',')
+        .map(|s| match s.trim().parse::<f64>() {
+            Ok(r) if (0.0..=1.0).contains(&r) => r,
+            _ => die(&format!("{what} expects ratios in [0, 1]")),
+        })
+        .collect()
 }
 
 fn parse_args() -> Args {
@@ -71,8 +103,11 @@ fn parse_args() -> Args {
         max_wait_us: 400,
         mean_gap_us: 150,
         capacity: None,
+        fault_rates: vec![0.1, 0.3],
+        chaos: false,
         merge: "BENCH_rrpa.json".to_string(),
         smoke: false,
+        smoke_chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -92,13 +127,13 @@ fn parse_args() -> Args {
                 let list = it
                     .next()
                     .unwrap_or_else(|| die("--overlap expects a comma-separated list"));
-                args.overlaps = list
-                    .split(',')
-                    .map(|s| match s.trim().parse::<f64>() {
-                        Ok(r) if (0.0..=1.0).contains(&r) => r,
-                        _ => die("--overlap expects ratios in [0, 1]"),
-                    })
-                    .collect();
+                args.overlaps = parse_ratio_list(&list, "--overlap");
+            }
+            "--fault-rate" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--fault-rate expects a comma-separated list"));
+                args.fault_rates = parse_ratio_list(&list, "--fault-rate");
             }
             "--shards" => {
                 let list = it
@@ -115,7 +150,9 @@ fn parse_args() -> Args {
             "--merge" => {
                 args.merge = it.next().unwrap_or_else(|| die("--merge expects a path"));
             }
+            "--chaos" => args.chaos = true,
             "--smoke" => args.smoke = true,
+            "--smoke-chaos" => args.smoke_chaos = true,
             other => die(&format!("unknown argument: {other}")),
         }
     }
@@ -262,42 +299,161 @@ fn run_smoke() {
     }
 }
 
-/// Replaces the `service_entries` section of an existing baseline file,
-/// preserving everything else verbatim and bumping the schema to v5.
-fn merge_into(path: &str, service_command: &str, entries: &[ServiceBaselineEntry]) -> String {
-    let mut text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read --merge file {path}: {e}")));
-    // Drop a previous service block (ours is always the trailing
-    // section).
-    if let Some(pos) = text.find(",\n  \"service_command\"") {
-        text.truncate(pos);
-        text.push_str("\n}\n");
+/// CI chaos smoke: the same tiny trace, now with a seeded fault plan
+/// poisoning ~30% of it, at every acceptance shard count {1, 2, 4}.
+/// `run_chaos_trace` itself asserts the robustness contract (exactly
+/// one outcome per query, quarantined == poisoned, restarts ≥
+/// quarantines, healthy plans bit-identical to plain sessions); the
+/// smoke adds that the plan is non-trivial on both sides — something
+/// was poisoned *and* something healthy survived it.
+fn run_smoke_chaos() {
+    let (topology, n, p) = (Topology::Chain, 3, 1);
+    let mut config = OptimizerConfig::default_for(p);
+    config.threads = Some(1);
+    for shards in [1usize, 2, 4] {
+        let spec = ServiceSpec {
+            num_tables: n,
+            topology,
+            num_params: p,
+            trace: 10,
+            // Distinct shapes: poison identity is a content digest, so
+            // overlap 0.0 keeps "which query is poisoned" well-defined.
+            overlap: 0.0,
+            shards,
+            max_batch: 3,
+            max_wait_us: 120,
+            mean_gap_us: 100,
+            capacity: None,
+        };
+        let r = run_chaos_trace(&spec, 0.3, 0, &config);
+        assert!(
+            r.quarantined > 0,
+            "chaos smoke: rate 0.3 over 10 queries must poison something"
+        );
+        assert!(
+            r.healthy > 0,
+            "chaos smoke: healthy queries must survive their poisoned batchmates"
+        );
+        eprintln!(
+            "chaos smoke ok: shards={shards} healthy={} quarantined={} restarts={} \
+             batches={} plans={}",
+            r.healthy, r.quarantined, r.restarts, r.batches, r.healthy_plans_created
+        );
     }
-    // Bump the top-level schema number to 5 whatever it was before (the
-    // spliced file now carries v5 sections).
-    const KEY: &str = "\"schema_version\": ";
-    if let Some(pos) = text.find(KEY) {
-        let start = pos + KEY.len();
-        let digits = text[start..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .count();
-        if digits > 0 {
-            text.replace_range(start..start + digits, "5");
-        }
-    }
-    let end = text
-        .rfind('}')
-        .unwrap_or_else(|| die("--merge file is not a JSON object"));
-    let mut out = text[..end].trim_end().to_string();
-    out.push_str(&format!(
-        ",\n  \"service_command\": \"{service_command}\",\n  \"service_entries\": [\n"
-    ));
+}
+
+/// Runs one chaos configuration over all seeds and reduces to a
+/// baseline row. Every underlying run re-asserts the robustness
+/// contract (see [`run_chaos_trace`]).
+fn measure_chaos(
+    spec: &ServiceSpec,
+    workload: &str,
+    fault_rate: f64,
+    seeds: usize,
+) -> ChaosBaselineEntry {
+    let mut config = OptimizerConfig::default_for(spec.num_params);
+    config.threads = Some(1);
+    let records: Vec<ChaosRecord> = (0..seeds)
+        .map(|s| {
+            let r = run_chaos_trace(spec, fault_rate, s as u64, &config);
+            eprintln!(
+                "  {workload} n={} trace={} overlap={} shards={} rate={} seed={s}: \
+                 {:.0}ms healthy={} quarantined={} restarts={} batches={} p95={:.2}ms",
+                spec.num_tables,
+                spec.trace,
+                spec.overlap,
+                spec.shards,
+                fault_rate,
+                r.time_ms,
+                r.healthy,
+                r.quarantined,
+                r.restarts,
+                r.batches,
+                r.p95_ms,
+            );
+            r
+        })
+        .collect();
+    ChaosBaselineEntry::from_records(spec, workload, fault_rate, &records)
+}
+
+const SERVICE_MARKER: &str = ",\n  \"service_command\"";
+const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
+
+/// Renders the trailing `service_command`/`service_entries` section
+/// (starting with the separator comma, no trailing newline).
+fn render_service_block(command: &str, entries: &[ServiceBaselineEntry]) -> String {
+    let mut out = format!(",\n  \"service_command\": \"{command}\",\n  \"service_entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&e.to_json());
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    out
+}
+
+/// Renders the trailing `chaos_command`/`chaos_entries` section.
+fn render_chaos_block(command: &str, entries: &[ChaosBaselineEntry]) -> String {
+    let mut out = format!(",\n  \"chaos_command\": \"{command}\",\n  \"chaos_entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Replaces one trailing section (`service_*` or `chaos_*`, per
+/// `new_block`'s marker) of an existing baseline file, preserving
+/// everything else — including the *other* trailing section — verbatim,
+/// re-ordering service-before-chaos, and bumping the schema to v6.
+fn merge_into(path: &str, new_block: &str) -> String {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read --merge file {path}: {e}")));
+    let end = text
+        .rfind('}')
+        .unwrap_or_else(|| die("--merge file is not a JSON object"));
+    let svc_pos = text.find(SERVICE_MARKER).filter(|&p| p < end);
+    let chaos_pos = text.find(CHAOS_MARKER).filter(|&p| p < end);
+    // Head = everything before the first trailing block (or before the
+    // final `}` when there is none yet).
+    let head_end = svc_pos.unwrap_or(end).min(chaos_pos.unwrap_or(end));
+    // A block runs from its marker to the next marker or the final `}`.
+    let slice = |pos: Option<usize>, other: Option<usize>| {
+        pos.map(|p| {
+            let stop = other.filter(|&o| o > p).unwrap_or(end);
+            text[p..stop].trim_end().to_string()
+        })
+    };
+    let existing_service = slice(svc_pos, chaos_pos);
+    let existing_chaos = slice(chaos_pos, svc_pos);
+    let replacing_chaos = new_block.starts_with(CHAOS_MARKER);
+    let (service_block, chaos_block) = if replacing_chaos {
+        (existing_service, Some(new_block.to_string()))
+    } else {
+        (Some(new_block.to_string()), existing_chaos)
+    };
+    let mut out = text[..head_end].trim_end().to_string();
+    // Bump the top-level schema number to 6 whatever it was before (the
+    // spliced file now carries v6 sections).
+    const KEY: &str = "\"schema_version\": ";
+    if let Some(pos) = out.find(KEY) {
+        let start = pos + KEY.len();
+        let digits = out[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .count();
+        if digits > 0 {
+            out.replace_range(start..start + digits, "6");
+        }
+    }
+    if let Some(b) = service_block {
+        out.push_str(&b);
+    }
+    if let Some(b) = chaos_block {
+        out.push_str(&b);
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -307,8 +463,16 @@ fn main() {
         run_smoke();
         return;
     }
+    if args.smoke_chaos {
+        run_smoke_chaos();
+        return;
+    }
     if args.seeds == 0 {
         die("--seeds must be at least 1");
+    }
+    if args.chaos {
+        run_chaos_matrix(&args);
+        return;
     }
     let mut entries = Vec::new();
     for (topology, workload, n, p) in service_configs() {
@@ -365,7 +529,63 @@ fn main() {
          --mean-gap-us {}",
         args.seeds, args.trace, args.max_batch, args.max_wait_us, args.mean_gap_us,
     );
-    let json = merge_into(&args.merge, &command, &entries);
+    let json = merge_into(&args.merge, &render_service_block(&command, &entries));
     std::fs::write(&args.merge, &json).expect("writable --merge path");
     eprintln!("merged {} service rows into {}", entries.len(), args.merge);
+}
+
+/// The `--chaos` matrix: every service configuration × fault rate ×
+/// overlap × shard count, reduced to `chaos_entries` rows and merged
+/// into the baseline file (the fault-free `service_entries` block is
+/// preserved verbatim).
+fn run_chaos_matrix(args: &Args) {
+    let mut entries = Vec::new();
+    for (topology, workload, n, p) in service_configs() {
+        for &fault_rate in &args.fault_rates {
+            for &overlap in &args.overlaps {
+                for &shards in &args.shards {
+                    let spec = ServiceSpec {
+                        num_tables: n,
+                        topology,
+                        num_params: p,
+                        trace: args.trace,
+                        overlap,
+                        shards,
+                        max_batch: args.max_batch,
+                        max_wait_us: args.max_wait_us,
+                        mean_gap_us: args.mean_gap_us,
+                        capacity: args.capacity,
+                    };
+                    entries.push(measure_chaos(&spec, workload, fault_rate, args.seeds));
+                }
+            }
+        }
+    }
+    let overlap_list = args
+        .overlaps
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let shard_list = args
+        .shards
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let rate_list = args
+        .fault_rates
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let command = format!(
+        "cargo run --release -p mpq-bench --bin bench_service -- --chaos --seeds {} \
+         --trace {} --overlap {overlap_list} --shards {shard_list} --fault-rate {rate_list} \
+         --max-batch {} --max-wait-us {} --mean-gap-us {}",
+        args.seeds, args.trace, args.max_batch, args.max_wait_us, args.mean_gap_us,
+    );
+    let json = merge_into(&args.merge, &render_chaos_block(&command, &entries));
+    std::fs::write(&args.merge, &json).expect("writable --merge path");
+    eprintln!("merged {} chaos rows into {}", entries.len(), args.merge);
 }

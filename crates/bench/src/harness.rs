@@ -625,10 +625,10 @@ pub fn run_service_trace(spec: &ServiceSpec, seed: u64, config: &OptimizerConfig
     let mut final_plans = 0u64;
     let mut lps_query: Vec<f64> = Vec::new();
     for ticket in tickets {
-        let resp = ticket.wait();
-        plans_created += resp.solution.stats.plans_created;
-        final_plans += resp.solution.stats.final_plan_count as u64;
-        lps_query.push(resp.solution.stats.lps_solved_query as f64);
+        let solution = ticket.wait().expect_ok();
+        plans_created += solution.stats.plans_created;
+        final_plans += solution.stats.final_plan_count as u64;
+        lps_query.push(solution.stats.lps_solved_query as f64);
     }
     let time_ms = start.elapsed().as_secs_f64() * 1e3;
     let cache: Vec<_> = stats.per_shard.iter().map(|s| s.cache).collect();
@@ -647,6 +647,295 @@ pub fn run_service_trace(spec: &ServiceSpec, seed: u64, config: &OptimizerConfig
         lps_query_median: median(&mut lps_query),
         p50_ms: stats.latency_p50 * 1e3,
         p95_ms: stats.latency_p95 * 1e3,
+    }
+}
+
+/// Salt decorrelating the fault plan's random stream from the trace's
+/// (same seed, independent draws) — shared with the service chaos tests.
+pub const FAULT_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Metrics of one fault-injected ("chaos") service-trace run: the
+/// fault-free metrics that still apply, plus quarantine accounting.
+/// Latency percentiles cover **healthy** completions only (the service
+/// excludes quarantined requests from its latency ring).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosRecord {
+    /// Wall time of the whole run (submit → last drain), milliseconds.
+    pub time_ms: f64,
+    /// Healthy queries answered `Ok`.
+    pub healthy: u64,
+    /// Poison queries quarantined (`Panicked`).
+    pub quarantined: u64,
+    /// Worker panics caught across all shards (bisection attempts).
+    pub restarts: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Plans created, summed over healthy responses.
+    pub healthy_plans_created: u64,
+    /// Final Pareto-set sizes, summed over healthy responses.
+    pub healthy_final_plans: u64,
+    /// LPs solved (per-batch deltas, including work burned by panicked
+    /// bisection attempts).
+    pub lps_solved: u64,
+    /// Median healthy-query latency (service-clock milliseconds).
+    pub p50_ms: f64,
+    /// 95th-percentile healthy-query latency (service-clock ms).
+    pub p95_ms: f64,
+}
+
+/// Runs one open-loop arrival trace through the service under a seeded
+/// fault plan that poisons ~`fault_rate` of the trace's queries
+/// (`FaultConfig::poison_only`), and **asserts the robustness contract**
+/// while measuring: every poisoned query resolves `Panicked`, every
+/// healthy query resolves `Ok` with plans/counters bit-identical to a
+/// plain one-by-one session, and the outcome counters conserve. A
+/// violated contract panics — this runner doubles as the chaos smoke
+/// check in CI.
+pub fn run_chaos_trace(
+    spec: &ServiceSpec,
+    fault_rate: f64,
+    seed: u64,
+    config: &OptimizerConfig,
+) -> ChaosRecord {
+    use mpq_catalog::fault::{silence_injected_panics, FaultConfig, FaultPlan};
+    use mpq_catalog::generator::{generate_trace, TraceConfig};
+    use mpq_core::session::{SessionConfig, ShardedSession};
+    use mpq_service::{serve, BatchPolicy, OutcomeKind, ServiceConfig, VirtualClock};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    silence_injected_panics();
+    let trace_cfg = TraceConfig {
+        workload: WorkloadConfig::uniform(
+            GeneratorConfig::paper(spec.num_tables, spec.topology, spec.num_params),
+            spec.trace,
+            spec.overlap,
+        ),
+        mean_gap: spec.mean_gap_us as f64 * 1e-6,
+    };
+    let trace = generate_trace(&trace_cfg, &mut StdRng::seed_from_u64(seed));
+    let plan = Arc::new(FaultPlan::generate(
+        &trace,
+        &FaultConfig::poison_only(fault_rate),
+        &mut StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+    ));
+    let poisoned: Vec<bool> = trace.queries.iter().map(|q| plan.is_poisoned(q)).collect();
+    let model = CloudCostModel::default();
+    let metrics = model_num_metrics(&model);
+    let mut session_cfg = SessionConfig::new(config.clone());
+    session_cfg.cache_capacity = spec.capacity;
+    session_cfg.fault_hook = Some(plan.hook(|_| {}));
+    let sessions = ShardedSession::build(spec.shards, &model, &session_cfg, || {
+        GridSpace::for_unit_box(spec.num_params, config, metrics).expect("valid grid configuration")
+    });
+    let vclock = VirtualClock::new();
+    let service_cfg = ServiceConfig::new(BatchPolicy::new(
+        spec.max_batch,
+        Duration::from_micros(spec.max_wait_us),
+    ))
+    .with_clock(vclock.clock());
+    let start = Instant::now();
+    let (tickets, stats) = serve(&sessions, service_cfg, |handle| {
+        trace
+            .queries
+            .iter()
+            .zip(&trace.arrivals)
+            .map(|(q, &at)| {
+                vclock.advance_to_secs(at);
+                handle.submit(q.clone())
+            })
+            .collect::<Vec<_>>()
+    });
+    let time_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut healthy_plans_created = 0u64;
+    let mut healthy_final_plans = 0u64;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait();
+        if poisoned[i] {
+            assert_eq!(
+                resp.kind(),
+                OutcomeKind::Panicked,
+                "chaos: poisoned query {i} must be quarantined"
+            );
+            continue;
+        }
+        let solution = resp
+            .outcome
+            .ok()
+            .expect("chaos: healthy query must complete");
+        // Healthy-query determinism under fire: bit-identical to the
+        // same query alone on a fresh space.
+        let space = GridSpace::for_unit_box(spec.num_params, config, metrics).expect("grid space");
+        let reference = optimize(&trace.queries[i], &model, &space, config);
+        assert_eq!(
+            (
+                solution.stats.plans_created,
+                solution.stats.plans_pruned,
+                solution.stats.final_plan_count
+            ),
+            (
+                reference.stats.plans_created,
+                reference.stats.plans_pruned,
+                reference.stats.final_plan_count
+            ),
+            "chaos: healthy query {i} diverged from a one-by-one session"
+        );
+        healthy_plans_created += solution.stats.plans_created;
+        healthy_final_plans += solution.stats.final_plan_count as u64;
+    }
+    let n_poisoned = poisoned.iter().filter(|&&p| p).count() as u64;
+    assert_eq!(
+        stats.quarantined, n_poisoned,
+        "chaos: quarantine accounting"
+    );
+    assert_eq!(
+        stats.completed + stats.quarantined,
+        spec.trace as u64,
+        "chaos: every query resolves exactly once"
+    );
+    let restarts: u64 = stats.per_shard.iter().map(|s| s.restarts).sum();
+    assert!(
+        restarts >= stats.quarantined,
+        "chaos: each quarantined poison costs at least its leaf restart"
+    );
+    ChaosRecord {
+        time_ms,
+        healthy: stats.completed,
+        quarantined: stats.quarantined,
+        restarts,
+        batches: stats.batches,
+        healthy_plans_created,
+        healthy_final_plans,
+        lps_solved: stats.lps_solved,
+        p50_ms: stats.latency_p50 * 1e3,
+        p95_ms: stats.latency_p95 * 1e3,
+    }
+}
+
+/// One measured chaos configuration of the schema-v6 `BENCH_rrpa.json`
+/// (`chaos_entries`): medians over the seeds at one fault rate ×
+/// overlap × shard count.
+#[derive(Debug, Clone)]
+pub struct ChaosBaselineEntry {
+    /// Space backend (the chaos rows measure `"grid"`).
+    pub space: String,
+    /// Workload topology.
+    pub workload: String,
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Arrivals per trace.
+    pub trace: usize,
+    /// Table-overlap ratio.
+    pub overlap: f64,
+    /// Shard count.
+    pub shards: usize,
+    /// Batch size trigger.
+    pub max_batch: usize,
+    /// Batch deadline trigger (µs, service clock).
+    pub max_wait_us: u64,
+    /// Mean inter-arrival gap (virtual µs).
+    pub mean_gap_us: u64,
+    /// Poison probability per distinct trace query.
+    pub fault_rate: f64,
+    /// Median wall time of the whole run.
+    pub median_time_ms: f64,
+    /// Median healthy completions.
+    pub healthy: f64,
+    /// Median quarantined poisons.
+    pub quarantined: f64,
+    /// Median caught worker panics (bisection attempts).
+    pub restarts: f64,
+    /// Median dispatched batches.
+    pub batches: f64,
+    /// Median summed healthy created plans (equal to the one-by-one
+    /// runs of the healthy queries — asserted at measure time).
+    pub healthy_plans_created: f64,
+    /// Median summed healthy final Pareto-set sizes.
+    pub healthy_final_plans: f64,
+    /// Median summed per-batch LP deltas (includes burned attempts).
+    pub lps_solved: f64,
+    /// Median healthy-query p50 latency (service-clock ms).
+    pub p50_ms: f64,
+    /// Median healthy-query p95 latency (service-clock ms).
+    pub p95_ms: f64,
+    /// Number of random traces (seeds) measured.
+    pub seeds: usize,
+}
+
+impl ChaosBaselineEntry {
+    /// Medians over a per-seed record sample for one configuration.
+    pub fn from_records(
+        spec: &ServiceSpec,
+        workload: &str,
+        fault_rate: f64,
+        records: &[ChaosRecord],
+    ) -> Self {
+        let med = |f: &dyn Fn(&ChaosRecord) -> f64| {
+            let mut v: Vec<f64> = records.iter().map(f).collect();
+            median(&mut v)
+        };
+        Self {
+            space: "grid".to_string(),
+            workload: workload.to_string(),
+            num_tables: spec.num_tables,
+            num_params: spec.num_params,
+            trace: spec.trace,
+            overlap: spec.overlap,
+            shards: spec.shards,
+            max_batch: spec.max_batch,
+            max_wait_us: spec.max_wait_us,
+            mean_gap_us: spec.mean_gap_us,
+            fault_rate,
+            median_time_ms: med(&|r| r.time_ms),
+            healthy: med(&|r| r.healthy as f64),
+            quarantined: med(&|r| r.quarantined as f64),
+            restarts: med(&|r| r.restarts as f64),
+            batches: med(&|r| r.batches as f64),
+            healthy_plans_created: med(&|r| r.healthy_plans_created as f64),
+            healthy_final_plans: med(&|r| r.healthy_final_plans as f64),
+            lps_solved: med(&|r| r.lps_solved as f64),
+            p50_ms: med(&|r| r.p50_ms),
+            p95_ms: med(&|r| r.p95_ms),
+            seeds: records.len(),
+        }
+    }
+
+    /// One `chaos_entries` row.
+    pub fn to_json(&self) -> String {
+        format!(
+            "    {{\"space\": \"{}\", \"workload\": \"{}\", \"num_tables\": {}, \
+             \"num_params\": {}, \"trace\": {}, \"overlap\": {}, \"shards\": {}, \
+             \"max_batch\": {}, \"max_wait_us\": {}, \"mean_gap_us\": {}, \
+             \"fault_rate\": {}, \"median_time_ms\": {:.3}, \"healthy\": {:.0}, \
+             \"quarantined\": {:.0}, \"restarts\": {:.0}, \"batches\": {:.0}, \
+             \"healthy_plans_created\": {:.0}, \"healthy_final_plans\": {:.0}, \
+             \"lps_solved\": {:.0}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+             \"seeds\": {}}}",
+            self.space,
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.trace,
+            self.overlap,
+            self.shards,
+            self.max_batch,
+            self.max_wait_us,
+            self.mean_gap_us,
+            self.fault_rate,
+            self.median_time_ms,
+            self.healthy,
+            self.quarantined,
+            self.restarts,
+            self.batches,
+            self.healthy_plans_created,
+            self.healthy_final_plans,
+            self.lps_solved,
+            self.p50_ms,
+            self.p95_ms,
+            self.seeds
+        )
     }
 }
 
@@ -791,13 +1080,15 @@ impl ServiceBaselineEntry {
 
 /// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
 /// JSON: the workspace has no serde backend). `batch_entries` is the
-/// schema-v3 batched-workload section and `service_entries` the
-/// schema-v5 service section; pass `&[]` to omit either.
+/// schema-v3 batched-workload section, `service_entries` the schema-v5
+/// service section and `chaos_entries` the schema-v6 fault-injection
+/// section; pass `&[]` to omit any of them.
 pub fn baseline_json(
     meta: &[(&str, String)],
     entries: &[BaselineEntry],
     batch_entries: &[BatchBaselineEntry],
     service_entries: &[ServiceBaselineEntry],
+    chaos_entries: &[ChaosBaselineEntry],
 ) -> String {
     let mut out = String::from("{\n");
     for (k, v) in meta {
@@ -826,6 +1117,18 @@ pub fn baseline_json(
         for (i, e) in service_entries.iter().enumerate() {
             out.push_str(&e.to_json());
             out.push_str(if i + 1 < service_entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
+    }
+    if !chaos_entries.is_empty() {
+        out.push_str(",\n  \"chaos_entries\": [\n");
+        for (i, e) in chaos_entries.iter().enumerate() {
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < chaos_entries.len() {
                 ",\n"
             } else {
                 "\n"
@@ -906,7 +1209,13 @@ mod tests {
             lp_breakdown: FastPathBreakdown::default(),
             seeds: 5,
         }];
-        let json = baseline_json(&[("schema_version", "1".to_string())], &entries, &[], &[]);
+        let json = baseline_json(
+            &[("schema_version", "1".to_string())],
+            &entries,
+            &[],
+            &[],
+            &[],
+        );
         assert!(json.contains("\"workload\": \"chain\""));
         assert!(json.contains("\"schema_version\": 1"));
         assert!(!json.contains("batch_entries"));
@@ -953,7 +1262,13 @@ mod tests {
             lps_query_median: 123.0,
             seeds: 5,
         }];
-        let json = baseline_json(&[("schema_version", "3".to_string())], &[], &batch, &[]);
+        let json = baseline_json(
+            &[("schema_version", "3".to_string())],
+            &[],
+            &batch,
+            &[],
+            &[],
+        );
         assert!(json.contains("\"batch_entries\""));
         assert!(json.contains("\"overlap\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.833"));
@@ -1014,7 +1329,13 @@ mod tests {
         };
         let rec = run_service_trace(&spec, 1, &config);
         let entry = ServiceBaselineEntry::from_records(&spec, "chain", &[rec]);
-        let json = baseline_json(&[("schema_version", "5".to_string())], &[], &[], &[entry]);
+        let json = baseline_json(
+            &[("schema_version", "5".to_string())],
+            &[],
+            &[],
+            &[entry],
+            &[],
+        );
         assert!(json.contains("\"service_entries\""));
         assert!(json.contains("\"capacity\": 8"));
         assert!(json.contains("\"p95_ms\""));
@@ -1026,7 +1347,65 @@ mod tests {
             "chain",
             &[run_service_trace(&spec, 1, &config)],
         );
-        let json = baseline_json(&[], &[], &[], &[entry]);
+        let json = baseline_json(&[], &[], &[], &[entry], &[]);
         assert!(json.contains("\"capacity\": null"));
+    }
+
+    /// Chaos runs replay bit-identically under the seeded fault plan:
+    /// the same seed poisons the same queries, quarantines the same
+    /// count, and the healthy remainder repeats its plan counters run
+    /// for run. `run_chaos_trace` itself asserts the robustness
+    /// contract, so a green test also certifies outcome accounting and
+    /// healthy-plan equality.
+    #[test]
+    fn chaos_trace_is_deterministic() {
+        let mut config = OptimizerConfig::default_for(1);
+        config.threads = Some(1);
+        // Distinct shapes (overlap 0.0): poison identity is a content
+        // digest, so copies of one query would share a fault fate.
+        let spec = ServiceSpec {
+            overlap: 0.0,
+            trace: 8,
+            ..tiny_service_spec()
+        };
+        let a = run_chaos_trace(&spec, 0.4, 5, &config);
+        let b = run_chaos_trace(&spec, 0.4, 5, &config);
+        assert!(a.quarantined > 0, "rate 0.4 over 8 queries must poison");
+        assert!(a.healthy > 0, "healthy queries must survive");
+        assert_eq!(a.healthy, b.healthy);
+        assert_eq!(a.quarantined, b.quarantined);
+        assert_eq!(a.restarts, b.restarts);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.healthy_plans_created, b.healthy_plans_created);
+        assert_eq!(a.healthy_final_plans, b.healthy_final_plans);
+        assert_eq!(a.lps_solved, b.lps_solved);
+        assert!(a.restarts >= a.quarantined);
+    }
+
+    #[test]
+    fn chaos_baseline_json_shape() {
+        let mut config = OptimizerConfig::default_for(1);
+        config.threads = Some(1);
+        let spec = ServiceSpec {
+            overlap: 0.0,
+            trace: 8,
+            ..tiny_service_spec()
+        };
+        let rec = run_chaos_trace(&spec, 0.4, 5, &config);
+        let entry = ChaosBaselineEntry::from_records(&spec, "chain", 0.4, &[rec]);
+        let json = baseline_json(
+            &[("schema_version", "6".to_string())],
+            &[],
+            &[],
+            &[],
+            &[entry],
+        );
+        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"chaos_entries\""));
+        assert!(json.contains("\"fault_rate\": 0.4"));
+        assert!(json.contains("\"quarantined\""));
+        assert!(json.contains("\"restarts\""));
+        assert!(json.contains("\"p95_ms\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 }

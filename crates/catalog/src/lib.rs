@@ -17,9 +17,14 @@
 //! * [`graph`] — join-graph topologies (chain, star, cycle, clique) and
 //!   connectivity tests used to postpone Cartesian products;
 //! * [`generator`] — the Steinbrunn-style random query generator of the
-//!   paper's experimental setup.
+//!   paper's experimental setup;
+//! * [`fault`] — seeded, wall-clock-free fault plans (poison / transient
+//!   panics, virtual delays) for deterministic chaos testing of the
+//!   service layer, the fault analogue of
+//!   [`generator::generate_trace`].
 
 pub mod card;
+pub mod fault;
 pub mod generator;
 pub mod graph;
 

@@ -57,6 +57,17 @@ use mpq_cloud::model::ParametricCostModel;
 use mpq_cloud::shape::combine_stable;
 use mpq_cost::{CacheStats, LiftedCostCache};
 use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A fault-injection hook called once per optimization *attempt* with the
+/// query about to run, **before** any optimizer state is touched. Test
+/// and chaos harnesses install one (see `mpq_catalog::fault::FaultPlan`)
+/// to panic or burn virtual time deterministically; production sessions
+/// leave it `None`. Because the hook fires before the lift cache or any
+/// internal lock is entered, an injected panic can never poison session
+/// state — the session stays usable for the retry that isolates the
+/// poison query.
+pub type FaultHook = Arc<dyn Fn(&Query) + Send + Sync>;
 
 /// Session-level configuration: the per-query optimizer knobs plus the
 /// shared-state policy (whether to cache lifted costs, and how many
@@ -64,7 +75,7 @@ use rayon::prelude::*;
 /// default; a long-lived service bounds it, see
 /// [`mpq_cost::cache`](mpq_cost::LiftedCostCache) for the deterministic
 /// second-chance eviction policy).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SessionConfig {
     /// Per-query optimizer configuration (grid resolution, refinements,
     /// worker threads).
@@ -73,6 +84,20 @@ pub struct SessionConfig {
     pub cached: bool,
     /// Entry bound of the cost-lifting cache (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Test-only fault-injection hook (see [`FaultHook`]; `None` in
+    /// production).
+    pub fault_hook: Option<FaultHook>,
+}
+
+impl std::fmt::Debug for SessionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionConfig")
+            .field("optimizer", &self.optimizer)
+            .field("cached", &self.cached)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "installed"))
+            .finish()
+    }
 }
 
 impl SessionConfig {
@@ -83,6 +108,7 @@ impl SessionConfig {
             optimizer,
             cached: true,
             cache_capacity: None,
+            fault_hook: None,
         }
     }
 
@@ -125,6 +151,7 @@ pub struct OptimizerSession<'m, S: MpqSpace, M: ParametricCostModel + ?Sized> {
     config: OptimizerConfig,
     cache: Option<LiftCache<S>>,
     pool: rayon::ThreadPool,
+    fault_hook: Option<FaultHook>,
 }
 
 impl<'m, S, M> OptimizerSession<'m, S, M>
@@ -174,6 +201,7 @@ where
                 .cached
                 .then(|| LiftedCostCache::with_capacity(config.cache_capacity)),
             pool,
+            fault_hook: config.fault_hook,
         }
     }
 
@@ -190,6 +218,12 @@ where
     /// the session's shared parameter space covers (its cost closures
     /// would index past the space dimension).
     pub fn optimize(&self, query: &Query) -> MpqSolution<S> {
+        // Fault injection fires before any session state is touched (see
+        // [`FaultHook`]): an injected panic cannot poison the cache or
+        // the space, so callers may catch it and retry other queries.
+        if let Some(hook) = &self.fault_hook {
+            hook(query);
+        }
         assert!(
             query.num_params <= self.space.dim(),
             "query references {} parameters but the session space covers {} dimension(s)",

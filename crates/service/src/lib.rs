@@ -1,4 +1,5 @@
-//! `mpq-service`: a long-running, concurrent optimizer service.
+//! `mpq-service`: a long-running, concurrent, **fault-tolerant**
+//! optimizer service.
 //!
 //! The paper's value proposition is server-side: optimize once per
 //! (query, shape), reuse the result across parameter instantiations and
@@ -20,20 +21,39 @@
 //!   costs (the in-process form of sharding a workload across machines).
 //! * **Completion tickets** — every submission returns a
 //!   [`ServiceTicket`]; [`ServiceTicket::wait`] blocks on the request's
-//!   own completion channel.
+//!   own completion channel and **always returns**: the ticket resolves
+//!   to a [`QueryOutcome`] (`Ok`, `Panicked`, `TimedOut`, `Rejected`,
+//!   `Shutdown`) instead of panicking when the service cannot produce a
+//!   solution.
+//! * **Panic isolation & quarantine** — each batch runs under
+//!   `catch_unwind`. When a query panics mid-batch, the shard worker
+//!   bisects the batch (halving retries, recursion depth ≤ ⌈log₂ n⌉) to
+//!   attribute the panic to the poison queries, answers *them* with
+//!   [`QueryOutcome::Panicked`], re-runs the healthy remainder, and
+//!   stays alive. One bad query can neither abort the process nor lose
+//!   another query's answer.
+//! * **Admission control** — [`ServiceConfig::max_queue`] bounds the
+//!   buffered-but-undispatched request count; beyond it, `submit`
+//!   answers the ticket immediately with [`QueryOutcome::Rejected`]
+//!   (backpressure the caller can see) instead of queueing unboundedly.
+//! * **Deadline budgets** — a per-query absolute deadline
+//!   ([`SubmittedQuery::deadline`], service-clock seconds) is checked
+//!   when the query's batch dispatches: already-expired queries are
+//!   answered [`QueryOutcome::TimedOut`] without burning optimizer time.
 //! * **Bounded caches** — shard sessions built with a
 //!   `SessionConfig::cache_capacity` evict deterministically
 //!   (second-chance CLOCK, see `mpq_cost`), so a service that runs
 //!   forever holds bounded memory.
 //! * **Observability** — [`ServiceStats`] snapshots queue depth, batches
-//!   formed, the trigger mix, per-shard cache hit/miss and p50/p95
-//!   latency measured under a **caller-supplied clock**. With a
-//!   [`VirtualClock`] stepped from a seeded arrival trace, batching
-//!   decisions — batch contents and the trigger mix — replay
-//!   bit-identically with no wall-clock dependence; the latency
-//!   *percentiles* are approximate there (completion times are read
-//!   while the submitter may still be advancing the clock), so treat
-//!   them like any other measured-duration metric.
+//!   formed, the trigger mix, rejected/timed-out/quarantined counts,
+//!   per-shard cache hit/miss and restart counts, and p50/p95 latency
+//!   measured under a **caller-supplied clock**. With a [`VirtualClock`]
+//!   stepped from a seeded arrival trace, batching decisions — batch
+//!   contents and the trigger mix — replay bit-identically with no
+//!   wall-clock dependence; the latency *percentiles* are approximate
+//!   there (completion times are read while the submitter may still be
+//!   advancing the clock), so treat them like any other
+//!   measured-duration metric.
 //!
 //! # Determinism contract
 //!
@@ -45,7 +65,14 @@
 //! are constructed identically; evicted lifts re-lift to bit-identical
 //! values (lifts are pure in their shape). Only throughput counters
 //! (`lps_solved` snapshots, cache hit/miss/eviction totals) depend on the
-//! grouping. Enforced by `tests/service_proptest.rs` across random
+//! grouping. The contract extends **under faults**: with a deterministic
+//! fault plan (`mpq_catalog::fault::FaultPlan`) poisoning some queries,
+//! every *healthy* query's plans/counters/frontiers stay bit-identical
+//! to the plain session — quarantine only removes the poison, it never
+//! perturbs its batch-mates (the fault hook fires before any optimizer
+//! state is touched, and retries of healthy queries are pure replays).
+//! Enforced by `tests/service_proptest.rs` (fault-free) and
+//! `tests/chaos_proptest.rs` (under seeded fault plans) across random
 //! traces × policies × shard counts × cache capacities.
 //!
 //! # Example
@@ -72,21 +99,28 @@
 //!     let tickets: Vec<_> = workload.queries.iter()
 //!         .map(|q| handle.submit(q.clone()))
 //!         .collect();
-//!     tickets.into_iter().map(|t| t.wait().solution).collect::<Vec<_>>()
+//!     tickets.into_iter().map(|t| t.wait().expect_ok()).collect::<Vec<_>>()
 //! });
 //! assert_eq!(solutions.len(), 4);
 //! assert_eq!(stats.completed, 4);
 //! assert!(stats.batches >= 1);
 //! ```
 
+// A service front-end must not take the process down on a recoverable
+// condition; every panic site has to be deliberate. `assert!`/`panic!`
+// for contract violations stay allowed — it is the *implicit* panics
+// (`unwrap`/`expect` on queue plumbing) this crate bans.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use mpq_catalog::Query;
 use mpq_cloud::model::ParametricCostModel;
 use mpq_core::rrpa::MpqSolution;
-use mpq_core::session::ShardedSession;
+use mpq_core::session::{OptimizerSession, ShardedSession};
 use mpq_core::space::MpqSpace;
 use mpq_cost::CacheStats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// When an accumulating batch dispatches to its shard.
@@ -162,27 +196,43 @@ impl VirtualClock {
     }
 }
 
-/// Service configuration: the batch policy plus the clock.
+/// Service configuration: the batch policy, the clock, and the admission
+/// bound.
 #[derive(Clone)]
 pub struct ServiceConfig {
     /// Batch dispatch triggers.
     pub policy: BatchPolicy,
     /// The service clock (`None` = wall clock anchored at service start).
     pub clock: Option<ServiceClock>,
+    /// Admission bound: the maximum number of requests submitted but not
+    /// yet dispatched to a shard worker (accumulating buffers plus the
+    /// submit channel). `None` = unbounded. At the bound, [`submit`]
+    /// answers the ticket immediately with [`QueryOutcome::Rejected`] —
+    /// visible backpressure instead of unbounded queueing.
+    ///
+    /// [`submit`]: ServiceHandle::submit
+    pub max_queue: Option<usize>,
 }
 
 impl ServiceConfig {
-    /// Wall-clock service over the given policy.
+    /// Wall-clock service over the given policy, unbounded admission.
     pub fn new(policy: BatchPolicy) -> Self {
         Self {
             policy,
             clock: None,
+            max_queue: None,
         }
     }
 
     /// Installs a caller-supplied clock (see [`ServiceClock`]).
     pub fn with_clock(mut self, clock: ServiceClock) -> Self {
         self.clock = Some(clock);
+        self
+    }
+
+    /// Bounds the submit queue (see [`ServiceConfig::max_queue`]).
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = Some(max_queue);
         self
     }
 }
@@ -194,11 +244,34 @@ impl ServiceConfig {
 pub struct SubmittedQuery {
     /// The query to optimize.
     pub query: Query,
+    /// Optional absolute deadline in service-clock seconds. Checked when
+    /// the query's batch dispatches: if `now > deadline` at that point,
+    /// the query is answered [`QueryOutcome::TimedOut`] without running
+    /// the optimizer. `None` = no budget. (The check is at *dispatch*,
+    /// not mid-optimization: a query that starts optimizing before its
+    /// deadline completes normally.)
+    pub deadline: Option<f64>,
+}
+
+impl SubmittedQuery {
+    /// A submission with no deadline.
+    pub fn new(query: Query) -> Self {
+        Self {
+            query,
+            deadline: None,
+        }
+    }
+
+    /// Sets the absolute service-clock deadline in seconds.
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 impl From<Query> for SubmittedQuery {
     fn from(query: Query) -> Self {
-        Self { query }
+        Self::new(query)
     }
 }
 
@@ -213,14 +286,14 @@ pub enum BatchTrigger {
     Drain,
 }
 
-/// One completed request: the solution plus how it travelled through the
-/// service.
-pub struct QueryResponse<S: MpqSpace> {
-    /// The optimization result — bit-identical to a plain
-    /// `OptimizerSession` run of the same query (the determinism
-    /// contract; see the crate docs).
-    pub solution: MpqSolution<S>,
-    /// The shard that optimized the request.
+/// How a request travelled through the service: set on outcomes that
+/// reached a shard worker ([`QueryOutcome::Ok`] / [`Panicked`]), absent
+/// on requests turned away earlier (`TimedOut`, `Rejected`, `Shutdown`).
+///
+/// [`Panicked`]: QueryOutcome::Panicked
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRoute {
+    /// The shard that ran the request's batch.
     pub shard: usize,
     /// Sequence number of the batch it rode in.
     pub batch_seq: u64,
@@ -228,18 +301,150 @@ pub struct QueryResponse<S: MpqSpace> {
     pub batch_size: usize,
     /// Why the batch dispatched.
     pub trigger: BatchTrigger,
-    /// Submit-to-completion latency in service-clock seconds.
+}
+
+/// What became of one submitted query. Every ticket resolves to exactly
+/// one outcome — the service never answers a ticket twice and never
+/// leaves one unanswered (shutdown drains every buffer).
+pub enum QueryOutcome<S: MpqSpace> {
+    /// The optimization result — bit-identical to a plain
+    /// `OptimizerSession` run of the same query (the determinism
+    /// contract; see the crate docs).
+    Ok(MpqSolution<S>),
+    /// The query panicked inside the optimizer. The batch bisection
+    /// attributed the panic to *this* query; its batch-mates were re-run
+    /// and answered normally. `message` is the panic payload (or a
+    /// placeholder for non-string payloads).
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The query's [`SubmittedQuery::deadline`] had already passed when
+    /// its batch dispatched; the optimizer never ran it.
+    TimedOut,
+    /// Admission control turned the query away: the submit queue was at
+    /// [`ServiceConfig::max_queue`].
+    Rejected,
+    /// The service shut down before answering (or had already shut down
+    /// at submit time).
+    Shutdown,
+}
+
+/// The discriminant of a [`QueryOutcome`], for matching and counting
+/// without touching the solution payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// Optimized successfully.
+    Ok,
+    /// Quarantined after panicking.
+    Panicked,
+    /// Deadline expired before dispatch.
+    TimedOut,
+    /// Turned away by admission control.
+    Rejected,
+    /// Service terminated without an answer.
+    Shutdown,
+}
+
+impl<S: MpqSpace> QueryOutcome<S> {
+    /// The outcome's discriminant.
+    pub fn kind(&self) -> OutcomeKind {
+        match self {
+            QueryOutcome::Ok(_) => OutcomeKind::Ok,
+            QueryOutcome::Panicked { .. } => OutcomeKind::Panicked,
+            QueryOutcome::TimedOut => OutcomeKind::TimedOut,
+            QueryOutcome::Rejected => OutcomeKind::Rejected,
+            QueryOutcome::Shutdown => OutcomeKind::Shutdown,
+        }
+    }
+
+    /// The solution, if the query completed.
+    pub fn ok(self) -> Option<MpqSolution<S>> {
+        match self {
+            QueryOutcome::Ok(solution) => Some(solution),
+            _ => None,
+        }
+    }
+
+    /// A reference to the solution, if the query completed.
+    pub fn as_ok(&self) -> Option<&MpqSolution<S>> {
+        match self {
+            QueryOutcome::Ok(solution) => Some(solution),
+            _ => None,
+        }
+    }
+}
+
+impl<S: MpqSpace> std::fmt::Debug for QueryOutcome<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryOutcome::Ok(_) => f.write_str("Ok(..)"),
+            QueryOutcome::Panicked { message } => f
+                .debug_struct("Panicked")
+                .field("message", message)
+                .finish(),
+            QueryOutcome::TimedOut => f.write_str("TimedOut"),
+            QueryOutcome::Rejected => f.write_str("Rejected"),
+            QueryOutcome::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
+/// One resolved request: the outcome plus how it travelled through the
+/// service.
+pub struct QueryResponse<S: MpqSpace> {
+    /// What became of the query.
+    pub outcome: QueryOutcome<S>,
+    /// The batch the query rode in — `Some` only for outcomes that
+    /// reached a shard worker (`Ok` / `Panicked`).
+    pub route: Option<BatchRoute>,
+    /// Submit-to-resolution latency in service-clock seconds.
+    /// Meaningful for `Ok`, `Panicked` and `TimedOut`; `0.0` for
+    /// requests turned away at submit time (`Rejected`, `Shutdown`).
     pub latency: f64,
 }
 
-/// Completion handle of one submission: a per-request channel the shard
-/// worker answers exactly once.
+impl<S: MpqSpace> std::fmt::Debug for QueryResponse<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryResponse")
+            .field("outcome", &self.outcome)
+            .field("route", &self.route)
+            .field("latency", &self.latency)
+            .finish()
+    }
+}
+
+impl<S: MpqSpace> QueryResponse<S> {
+    /// The outcome's discriminant.
+    pub fn kind(&self) -> OutcomeKind {
+        self.outcome.kind()
+    }
+
+    /// The solution of an `Ok` outcome.
+    ///
+    /// # Panics
+    /// Panics if the outcome is anything but `Ok` — the convenience for
+    /// fault-free callers (benches, examples) that treat any other
+    /// outcome as a bug.
+    pub fn expect_ok(self) -> MpqSolution<S> {
+        match self.outcome {
+            QueryOutcome::Ok(solution) => solution,
+            other => panic!("query did not complete: outcome {:?}", other.kind()),
+        }
+    }
+}
+
+/// Completion handle of one submission: a per-request channel the
+/// service answers exactly once.
 pub struct ServiceTicket<S: MpqSpace> {
     rx: mpsc::Receiver<QueryResponse<S>>,
 }
 
 impl<S: MpqSpace> ServiceTicket<S> {
-    /// Blocks until the request completes.
+    /// Blocks until the request resolves. Never panics: if the service
+    /// terminated without answering (it was killed, or the ticket's
+    /// response was lost to a send race at teardown), the outcome is
+    /// [`QueryOutcome::Shutdown`].
     ///
     /// A ticket outlives the service: responses buffer in the ticket's
     /// channel, so tickets can be waited **after** [`serve`] returns —
@@ -248,15 +453,12 @@ impl<S: MpqSpace> ServiceTicket<S> {
     /// *inside* the `serve` body for a request whose batch has neither
     /// size-triggered nor passed its (frozen-clock) deadline blocks
     /// forever, because the drain flush only runs once the body returns.
-    ///
-    /// # Panics
-    /// Panics if the service died before answering (a worker panic —
-    /// which also propagates out of [`serve`] itself when its scope
-    /// joins).
     pub fn wait(self) -> QueryResponse<S> {
-        self.rx
-            .recv()
-            .expect("service terminated without answering the ticket")
+        self.rx.recv().unwrap_or_else(|_| QueryResponse {
+            outcome: QueryOutcome::Shutdown,
+            route: None,
+            latency: 0.0,
+        })
     }
 
     /// Non-blocking poll: `Some` once the response is ready.
@@ -268,10 +470,14 @@ impl<S: MpqSpace> ServiceTicket<S> {
 /// Per-shard service counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ShardStats {
-    /// Requests optimized by this shard.
+    /// Requests dispatched to this shard (including quarantined ones).
     pub queries: u64,
     /// Batches dispatched to this shard.
     pub batches: u64,
+    /// Panics this shard's worker caught and recovered from (each
+    /// bisection attempt that panicked counts one — a single poison
+    /// query in a batch of n costs up to ⌈log₂ n⌉ + 1 restarts).
+    pub restarts: u64,
     /// The shard session's cost-lifting cache counters
     /// (hit/miss/evictions).
     pub cache: CacheStats,
@@ -279,12 +485,25 @@ pub struct ShardStats {
 
 /// Snapshot of the service counters (see [`ServiceHandle::stats`] /
 /// [`serve`]'s return value).
+///
+/// Conservation: every submission resolves exactly once, so after
+/// shutdown `submitted == completed + rejected + timed_out + quarantined`
+/// (mid-run, the difference is the in-flight count).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
-    /// Requests accepted.
+    /// Requests submitted (including ones later rejected).
     pub submitted: u64,
-    /// Requests answered.
+    /// Requests answered with a solution ([`QueryOutcome::Ok`]).
     pub completed: u64,
+    /// Requests turned away by admission control
+    /// ([`QueryOutcome::Rejected`]).
+    pub rejected: u64,
+    /// Requests whose deadline expired before dispatch
+    /// ([`QueryOutcome::TimedOut`]).
+    pub timed_out: u64,
+    /// Requests quarantined after panicking
+    /// ([`QueryOutcome::Panicked`]).
+    pub quarantined: u64,
     /// Requests currently buffered (accumulating, not yet dispatched).
     pub queue_depth: u64,
     /// Largest buffered count observed.
@@ -298,13 +517,16 @@ pub struct ServiceStats {
     /// Batches flushed at shutdown.
     pub drain_triggered: u64,
     /// LPs solved across all dispatched batches (summed per-batch deltas
-    /// — exact: shards run one batch at a time).
+    /// — exact: shards run one batch at a time; includes work burned by
+    /// panicked bisection attempts).
     pub lps_solved: u64,
     /// Per-shard counters, indexed by shard.
     pub per_shard: Vec<ShardStats>,
     /// Median submit-to-completion latency in service-clock seconds over
-    /// the most recent [`LATENCY_WINDOW`] completions (NaN before the
-    /// first completion).
+    /// the most recent [`LATENCY_WINDOW`] **successful** completions
+    /// (NaN before the first completion). Quarantined/timed-out/rejected
+    /// requests are excluded, so the percentiles describe healthy-query
+    /// latency even under faults.
     pub latency_p50: f64,
     /// 95th-percentile latency in service-clock seconds over the same
     /// window (NaN before the first completion).
@@ -339,8 +561,17 @@ impl LatencyRing {
 struct StatsShared {
     submitted: AtomicU64,
     completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    quarantined: AtomicU64,
     queue_depth: AtomicU64,
     queue_depth_peak: AtomicU64,
+    /// Admission-control occupancy: requests submitted but not yet
+    /// dispatched to a shard (submit channel + accumulating buffers).
+    /// Kept separate from `queue_depth`, which deliberately counts only
+    /// *buffered* requests so its peak stays a deterministic function of
+    /// the submission sequence under a virtual clock.
+    queued: AtomicU64,
     batches: AtomicU64,
     size_triggered: AtomicU64,
     deadline_triggered: AtomicU64,
@@ -348,6 +579,7 @@ struct StatsShared {
     lps_solved: AtomicU64,
     shard_queries: Vec<AtomicU64>,
     shard_batches: Vec<AtomicU64>,
+    shard_restarts: Vec<AtomicU64>,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -356,8 +588,12 @@ impl StatsShared {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             size_triggered: AtomicU64::new(0),
             deadline_triggered: AtomicU64::new(0),
@@ -365,18 +601,29 @@ impl StatsShared {
             lps_solved: AtomicU64::new(0),
             shard_queries: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_restarts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             latencies: Mutex::new(LatencyRing::default()),
         }
     }
 
-    fn snapshot(&self, caches: Vec<CacheStats>) -> ServiceStats {
-        let mut latencies = self
-            .latencies
+    /// The latency ring, recovering from a poisoned lock. A worker that
+    /// panicked between the ring's two writes leaves `next` at most one
+    /// step stale — every interleaving is a valid ring — so a poisoned
+    /// lock must not cascade the (already-quarantined) panic into the
+    /// stats path.
+    fn latencies(&self) -> MutexGuard<'_, LatencyRing> {
+        self.latencies
             .lock()
-            .expect("latency log poisoned")
-            .samples
-            .clone();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push_latency(&self, v: f64) {
+        self.latencies().push(v);
+    }
+
+    fn snapshot(&self, caches: Vec<CacheStats>) -> ServiceStats {
+        let mut latencies = self.latencies().samples.clone();
+        latencies.sort_by(f64::total_cmp);
         let quantile = |q: f64| -> f64 {
             if latencies.is_empty() {
                 return f64::NAN;
@@ -388,6 +635,9 @@ impl StatsShared {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -401,6 +651,7 @@ impl StatsShared {
                 .map(|(i, cache)| ShardStats {
                     queries: self.shard_queries[i].load(Ordering::Relaxed),
                     batches: self.shard_batches[i].load(Ordering::Relaxed),
+                    restarts: self.shard_restarts[i].load(Ordering::Relaxed),
                     cache,
                 })
                 .collect(),
@@ -413,6 +664,8 @@ impl StatsShared {
 /// One buffered request travelling batcher → shard worker.
 struct Pending<S: MpqSpace> {
     query: Query,
+    /// Absolute service-clock deadline (see [`SubmittedQuery::deadline`]).
+    deadline: Option<f64>,
     submitted_at: f64,
     reply: mpsc::Sender<QueryResponse<S>>,
 }
@@ -424,6 +677,70 @@ struct ShardBatch<S: MpqSpace> {
     requests: Vec<Pending<S>>,
 }
 
+/// Stringifies a caught panic payload (panics carry `&str` or `String`
+/// payloads unless raised via `panic_any`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Per-query result of one batch after panic isolation.
+type BatchItem<S> = Result<MpqSolution<S>, String>;
+
+/// Optimizes `queries[i]` for every `i` in `idx`, isolating panics by
+/// halving bisection: attempt the whole index range as one batch; on a
+/// caught panic, split it and recurse (depth ≤ ⌈log₂ n⌉ — each level
+/// halves the range). A range of one that still panics is the poison —
+/// it is quarantined as `Err(message)`. Healthy queries re-run on the
+/// retry are pure replays (sessions are stateless per query up to
+/// caches, and cached lifts are pure in their shape), so their results
+/// stay bit-identical however often the bisection re-attempts them.
+/// Every caught panic bumps `restarts`.
+///
+/// `AssertUnwindSafe` is justified by the session's design: the fault
+/// hook fires *before* any optimizer state is touched, so an injected
+/// panic cannot poison session internals; a genuine mid-optimize panic
+/// may poison a session-internal lock, in which case the retry's panic
+/// is caught again here and the affected queries are quarantined rather
+/// than taking the process down.
+fn isolate_into<S, M>(
+    session: &OptimizerSession<'_, S, M>,
+    queries: &[Query],
+    idx: &[usize],
+    out: &mut [Option<BatchItem<S>>],
+    restarts: &AtomicU64,
+) where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
+    if idx.is_empty() {
+        return;
+    }
+    let part: Vec<Query> = idx.iter().map(|&i| queries[i].clone()).collect();
+    match catch_unwind(AssertUnwindSafe(|| session.optimize_batch(&part))) {
+        Ok(solutions) => {
+            for (&i, solution) in idx.iter().zip(solutions) {
+                out[i] = Some(Ok(solution));
+            }
+        }
+        Err(payload) => {
+            restarts.fetch_add(1, Ordering::Relaxed);
+            if idx.len() == 1 {
+                out[idx[0]] = Some(Err(panic_message(payload)));
+            } else {
+                let mid = idx.len() / 2;
+                isolate_into(session, queries, &idx[..mid], out, restarts);
+                isolate_into(session, queries, &idx[mid..], out, restarts);
+            }
+        }
+    }
+}
+
 /// The submit-side handle passed to [`serve`]'s body closure.
 pub struct ServiceHandle<'a, S: MpqSpace, M: ParametricCostModel + ?Sized> {
     // `mpsc::Sender` is `Send` but not `Sync`; the mutex makes the handle
@@ -431,6 +748,7 @@ pub struct ServiceHandle<'a, S: MpqSpace, M: ParametricCostModel + ?Sized> {
     // lock's throughput).
     tx: Mutex<mpsc::Sender<Pending<S>>>,
     clock: ServiceClock,
+    max_queue: Option<usize>,
     stats: Arc<StatsShared>,
     sessions: &'a ShardedSession<'a, S, M>,
 }
@@ -443,32 +761,73 @@ where
     M: ParametricCostModel + ?Sized,
 {
     /// Submits a query; returns the completion ticket. Accepts anything
-    /// convertible into a [`SubmittedQuery`] (a bare `Query` works).
+    /// convertible into a [`SubmittedQuery`] (a bare `Query` works; use
+    /// [`SubmittedQuery::with_deadline`] for a latency budget).
+    ///
+    /// Never panics and never blocks on a full service: if admission
+    /// control is at its bound the ticket resolves immediately to
+    /// [`QueryOutcome::Rejected`]; if the service has already shut down
+    /// it resolves to [`QueryOutcome::Shutdown`].
     pub fn submit(&self, query: impl Into<SubmittedQuery>) -> ServiceTicket<S> {
         let submitted = query.into();
         let (reply_tx, reply_rx) = mpsc::channel();
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        // Admission control: reserve a queue slot or reject. The
+        // reservation is released when the request leaves the buffers
+        // (dispatch, expiry, or shutdown drain).
+        let admitted = match self.max_queue {
+            Some(max) => self
+                .stats
+                .queued
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |q| {
+                    (q < max as u64).then_some(q + 1)
+                })
+                .is_ok(),
+            None => {
+                self.stats.queued.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        };
+        if !admitted {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = reply_tx.send(QueryResponse {
+                outcome: QueryOutcome::Rejected,
+                route: None,
+                latency: 0.0,
+            });
+            return ServiceTicket { rx: reply_rx };
+        }
         let pending = Pending {
             query: submitted.query,
+            deadline: submitted.deadline,
             submitted_at: (self.clock)(),
             reply: reply_tx,
         };
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .lock()
-            .expect("submit channel poisoned")
-            .send(pending)
-            .expect("service batcher terminated early");
+        // A poisoned submit lock only means another client thread
+        // panicked *while holding it*; the sender inside is still valid.
+        let sender = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(mpsc::SendError(pending)) = sender.send(pending) {
+            // The batcher is gone — the service is shutting down (or was
+            // killed). Answer the ticket instead of panicking the client.
+            self.stats.queued.fetch_sub(1, Ordering::Relaxed);
+            let _ = pending.reply.send(QueryResponse {
+                outcome: QueryOutcome::Shutdown,
+                route: None,
+                latency: 0.0,
+            });
+        }
         ServiceTicket { rx: reply_rx }
     }
 
     /// A live snapshot of the service counters (queue depth, batches,
-    /// trigger mix, per-shard cache hit/miss, latency percentiles).
+    /// trigger mix, rejection/quarantine counts, per-shard cache
+    /// hit/miss and restarts, latency percentiles).
     pub fn stats(&self) -> ServiceStats {
         self.stats.snapshot(self.sessions.cache_stats_per_shard())
     }
 
     /// The service clock (useful for clients that want to timestamp their
-    /// own records consistently).
+    /// own records consistently — e.g. to compute absolute deadlines).
     pub fn now(&self) -> f64 {
         (self.clock)()
     }
@@ -477,8 +836,9 @@ where
 /// One shard's accumulating buffer.
 struct ShardBuffer<S: MpqSpace> {
     requests: Vec<Pending<S>>,
-    /// Service-clock deadline of the oldest buffered request
-    /// (`submitted_at + max_wait`); meaningless while empty.
+    /// Service-clock *batching* deadline of the oldest buffered request
+    /// (`submitted_at + max_wait`); meaningless while empty. (Distinct
+    /// from the per-query [`SubmittedQuery::deadline`] budget.)
     deadline: f64,
 }
 
@@ -487,6 +847,12 @@ struct ShardBuffer<S: MpqSpace> {
 /// their model are borrowed, not `'static`), hands `body` the submit
 /// handle, and on return drains the buffers, joins every thread and
 /// returns `body`'s result together with the final [`ServiceStats`].
+///
+/// Fault tolerance: a panicking query is quarantined by batch bisection
+/// and answered [`QueryOutcome::Panicked`]; its batch-mates are re-run
+/// and answered normally; the shard worker survives. `serve` itself
+/// only propagates a panic raised by `body` or by the service plumbing
+/// — never one raised inside a query's optimization.
 ///
 /// Batching, sharding and eviction never change per-query results — see
 /// the crate-level determinism contract.
@@ -524,31 +890,62 @@ where
             let session = sessions.shard(shard);
             scope.spawn(move || {
                 for batch in batch_rx {
+                    let batch_size = batch.requests.len();
+                    stats.shard_batches[shard].fetch_add(1, Ordering::Relaxed);
+                    stats.shard_queries[shard].fetch_add(batch_size as u64, Ordering::Relaxed);
                     let queries: Vec<Query> =
                         batch.requests.iter().map(|p| p.query.clone()).collect();
-                    let (solutions, lps) = session.optimize_batch_counted(&queries);
-                    stats.lps_solved.fetch_add(lps, Ordering::Relaxed);
-                    stats.shard_batches[shard].fetch_add(1, Ordering::Relaxed);
-                    stats.shard_queries[shard]
-                        .fetch_add(batch.requests.len() as u64, Ordering::Relaxed);
-                    let batch_size = batch.requests.len();
+                    // LP delta measured around the whole isolation, so
+                    // work burned by panicked attempts is counted too.
+                    let lps_before = session.lps_solved();
+                    let idx: Vec<usize> = (0..batch_size).collect();
+                    let mut results: Vec<Option<BatchItem<S>>> =
+                        (0..batch_size).map(|_| None).collect();
+                    isolate_into(
+                        session,
+                        &queries,
+                        &idx,
+                        &mut results,
+                        &stats.shard_restarts[shard],
+                    );
+                    stats
+                        .lps_solved
+                        .fetch_add(session.lps_solved() - lps_before, Ordering::Relaxed);
                     let now = clock();
-                    for (pending, solution) in batch.requests.into_iter().zip(solutions) {
+                    let route = BatchRoute {
+                        shard,
+                        batch_seq: batch.seq,
+                        batch_size,
+                        trigger: batch.trigger,
+                    };
+                    for (pending, result) in batch.requests.into_iter().zip(results) {
                         let latency = now - pending.submitted_at;
-                        stats
-                            .latencies
-                            .lock()
-                            .expect("latency log poisoned")
-                            .push(latency);
-                        stats.completed.fetch_add(1, Ordering::Relaxed);
+                        let outcome = match result {
+                            Some(Ok(solution)) => {
+                                stats.push_latency(latency);
+                                stats.completed.fetch_add(1, Ordering::Relaxed);
+                                QueryOutcome::Ok(solution)
+                            }
+                            Some(Err(message)) => {
+                                stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                                QueryOutcome::Panicked { message }
+                            }
+                            // Unreachable: `isolate_into` fills every
+                            // index it is given. Kept as a typed answer
+                            // so a logic bug degrades one query, not the
+                            // process.
+                            None => {
+                                stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                                QueryOutcome::Panicked {
+                                    message: "batch isolation missed the query".to_string(),
+                                }
+                            }
+                        };
                         // A dropped ticket is fine — the client walked
                         // away from the response.
                         let _ = pending.reply.send(QueryResponse {
-                            solution,
-                            shard,
-                            batch_seq: batch.seq,
-                            batch_size,
-                            trigger: batch.trigger,
+                            outcome,
+                            route: Some(route),
                             latency,
                         });
                     }
@@ -576,24 +973,62 @@ where
                         if requests.is_empty() {
                             return;
                         }
-                        stats
-                            .queue_depth
-                            .fetch_sub(requests.len() as u64, Ordering::Relaxed);
-                        stats.batches.fetch_add(1, Ordering::Relaxed);
-                        match trigger {
-                            BatchTrigger::Size => &stats.size_triggered,
-                            BatchTrigger::Deadline => &stats.deadline_triggered,
-                            BatchTrigger::Drain => &stats.drain_triggered,
+                        let n = requests.len() as u64;
+                        stats.queue_depth.fetch_sub(n, Ordering::Relaxed);
+                        stats.queued.fetch_sub(n, Ordering::Relaxed);
+                        // Per-query deadline budget, checked at dispatch:
+                        // requests already expired are answered TimedOut
+                        // without burning optimizer time; the batch forms
+                        // from the rest.
+                        let now = clock();
+                        let (live, expired): (Vec<_>, Vec<_>) = requests
+                            .into_iter()
+                            .partition(|p| p.deadline.is_none_or(|d| now <= d));
+                        for pending in expired {
+                            stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                            let latency = now - pending.submitted_at;
+                            let _ = pending.reply.send(QueryResponse {
+                                outcome: QueryOutcome::TimedOut,
+                                route: None,
+                                latency,
+                            });
                         }
-                        .fetch_add(1, Ordering::Relaxed);
-                        batch_txs[shard]
-                            .send(ShardBatch {
-                                seq,
-                                trigger,
-                                requests,
-                            })
-                            .expect("shard worker terminated early");
-                        seq += 1;
+                        if live.is_empty() {
+                            return;
+                        }
+                        match batch_txs[shard].send(ShardBatch {
+                            seq,
+                            trigger,
+                            requests: live,
+                        }) {
+                            Ok(()) => {
+                                seq += 1;
+                                stats.batches.fetch_add(1, Ordering::Relaxed);
+                                match trigger {
+                                    BatchTrigger::Size => &stats.size_triggered,
+                                    BatchTrigger::Deadline => &stats.deadline_triggered,
+                                    BatchTrigger::Drain => &stats.drain_triggered,
+                                }
+                                .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(mpsc::SendError(batch)) => {
+                                // The shard worker is gone without being
+                                // told to stop — it can only have been
+                                // killed from outside (workers catch
+                                // query panics). Answer the whole batch
+                                // as Shutdown rather than panicking the
+                                // batcher and stranding every other
+                                // ticket.
+                                for pending in batch.requests {
+                                    let latency = now - pending.submitted_at;
+                                    let _ = pending.reply.send(QueryResponse {
+                                        outcome: QueryOutcome::Shutdown,
+                                        route: None,
+                                        latency,
+                                    });
+                                }
+                            }
+                        }
                     };
                 loop {
                     // Blocking recv while idle; with buffered requests,
@@ -644,7 +1079,28 @@ where
                                     flush(&mut buffers, shard, BatchTrigger::Deadline);
                                 }
                             }
-                            let shard = sessions.shard_of(&pending.query);
+                            // Routing consults the query's shape; a
+                            // malformed query that panics the affinity
+                            // computation is quarantined right here, so
+                            // it cannot take the batcher down.
+                            let shard = match catch_unwind(AssertUnwindSafe(|| {
+                                sessions.shard_of(&pending.query)
+                            })) {
+                                Ok(shard) => shard,
+                                Err(payload) => {
+                                    stats.queued.fetch_sub(1, Ordering::Relaxed);
+                                    stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                                    let latency = clock() - pending.submitted_at;
+                                    let _ = pending.reply.send(QueryResponse {
+                                        outcome: QueryOutcome::Panicked {
+                                            message: panic_message(payload),
+                                        },
+                                        route: None,
+                                        latency,
+                                    });
+                                    continue;
+                                }
+                            };
                             if buffers[shard].requests.is_empty() {
                                 buffers[shard].deadline = pending.submitted_at + max_wait_secs;
                             }
@@ -672,7 +1128,9 @@ where
                         }
                     }
                 }
-                // Shutdown: drain whatever is left, in shard order.
+                // Shutdown: drain whatever is left, in shard order —
+                // every buffered ticket gets an answer before the
+                // workers are released.
                 for shard in 0..shards {
                     flush(&mut buffers, shard, BatchTrigger::Drain);
                 }
@@ -683,6 +1141,7 @@ where
         let handle = ServiceHandle {
             tx: Mutex::new(sub_tx),
             clock: Arc::clone(&clock),
+            max_queue: config.max_queue,
             stats: Arc::clone(&stats),
             sessions,
         };
@@ -697,8 +1156,10 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use mpq_catalog::fault::{query_digest, silence_injected_panics, Fault, FaultPlan};
     use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
     use mpq_catalog::graph::Topology;
     use mpq_cloud::model::CloudCostModel;
@@ -707,6 +1168,7 @@ mod tests {
     use mpq_core::OptimizerConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     fn workload(n: usize, batch: usize, overlap: f64, seed: u64) -> Vec<Query> {
         let cfg = WorkloadConfig::uniform(
@@ -717,17 +1179,51 @@ mod tests {
         generate_workload(&cfg, &mut StdRng::seed_from_u64(seed)).queries
     }
 
+    /// A workload of digest-distinct queries — fault plans key on the
+    /// content digest, so tests poisoning "query i" need distinctness.
+    fn distinct_workload(n: usize, batch: usize, seed: u64) -> Vec<Query> {
+        let queries = workload(n, batch, 0.0, seed);
+        let digests: HashSet<u64> = queries.iter().map(query_digest).collect();
+        assert_eq!(digests.len(), queries.len(), "pick a different seed");
+        queries
+    }
+
     fn sessions<'m>(
         model: &'m CloudCostModel,
         shards: usize,
         capacity: Option<usize>,
     ) -> ShardedSession<'m, GridSpace, CloudCostModel> {
+        sessions_with_plan(model, shards, capacity, None)
+    }
+
+    fn sessions_with_plan<'m>(
+        model: &'m CloudCostModel,
+        shards: usize,
+        capacity: Option<usize>,
+        plan: Option<&Arc<FaultPlan>>,
+    ) -> ShardedSession<'m, GridSpace, CloudCostModel> {
         let opt = OptimizerConfig::default_for(1);
         let mut cfg = SessionConfig::new(opt.clone());
         cfg.cache_capacity = capacity;
+        if let Some(plan) = plan {
+            cfg.fault_hook = Some(plan.hook(|_| {}));
+        }
         ShardedSession::build(shards, model, &cfg, move || {
             GridSpace::for_unit_box(1, &opt, 2).unwrap()
         })
+    }
+
+    /// Plain one-by-one reference run (the determinism oracle).
+    fn reference(queries: &[Query], model: &CloudCostModel) -> Vec<MpqSolution<GridSpace>> {
+        let opt = OptimizerConfig::default_for(1);
+        queries
+            .iter()
+            .map(|q| {
+                let space = GridSpace::for_unit_box(1, &opt, 2).unwrap();
+                let session = OptimizerSession::new(space, model, opt.clone());
+                session.optimize(q)
+            })
+            .collect()
     }
 
     /// Service responses equal plain one-by-one session runs bit for bit.
@@ -735,15 +1231,7 @@ mod tests {
     fn service_matches_plain_session() {
         let model = CloudCostModel::default();
         let queries = workload(3, 5, 0.5, 11);
-        let opt = OptimizerConfig::default_for(1);
-        let reference: Vec<_> = queries
-            .iter()
-            .map(|q| {
-                let space = GridSpace::for_unit_box(1, &opt, 2).unwrap();
-                let session = OptimizerSession::new(space, &model, opt.clone());
-                session.optimize(q)
-            })
-            .collect();
+        let reference = reference(&queries, &model);
         let shard_sessions = sessions(&model, 2, None);
         let config = ServiceConfig::new(BatchPolicy::new(2, Duration::from_millis(1)));
         let (responses, stats) = serve(&shard_sessions, config, |handle| {
@@ -752,23 +1240,21 @@ mod tests {
         });
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.completed, 5);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.quarantined, 0);
         assert_eq!(
             stats.size_triggered + stats.deadline_triggered + stats.drain_triggered,
             stats.batches,
             "every batch carries exactly one trigger"
         );
-        for (resp, reference) in responses.iter().zip(&reference) {
-            assert_eq!(
-                resp.solution.stats.plans_created,
-                reference.stats.plans_created
-            );
-            assert_eq!(
-                resp.solution.stats.plans_pruned,
-                reference.stats.plans_pruned
-            );
-            assert_eq!(resp.solution.plans.len(), reference.plans.len());
+        for (resp, reference) in responses.into_iter().zip(&reference) {
             assert!(resp.latency >= 0.0);
-            assert!(resp.shard < 2);
+            let route = resp.route.expect("completed response carries a route");
+            assert!(route.shard < 2);
+            let solution = resp.expect_ok();
+            assert_eq!(solution.stats.plans_created, reference.stats.plans_created);
+            assert_eq!(solution.stats.plans_pruned, reference.stats.plans_pruned);
+            assert_eq!(solution.plans.len(), reference.plans.len());
         }
     }
 
@@ -796,12 +1282,14 @@ mod tests {
         assert_eq!(stats.size_triggered, 2);
         assert_eq!(stats.drain_triggered, 1);
         for resp in &responses {
-            assert!(resp.batch_size <= 3);
+            assert_eq!(resp.kind(), OutcomeKind::Ok);
+            assert!(resp.route.unwrap().batch_size <= 3);
             assert_eq!(resp.latency, 0.0, "virtual clock never advanced");
         }
         let busy: Vec<&ShardStats> = stats.per_shard.iter().filter(|s| s.queries > 0).collect();
         assert_eq!(busy.len(), 1, "one affinity → one shard");
         assert_eq!(busy[0].queries, 7);
+        assert_eq!(busy[0].restarts, 0, "no faults, no restarts");
         assert!(busy[0].cache.hits > 0, "identical queries share lifts");
     }
 
@@ -827,11 +1315,12 @@ mod tests {
             vec![t0, t1, t2]
         });
         let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
-        assert_eq!(responses[0].trigger, BatchTrigger::Deadline);
-        assert_eq!(responses[0].batch_size, 1);
+        let routes: Vec<BatchRoute> = responses.iter().map(|r| r.route.unwrap()).collect();
+        assert_eq!(routes[0].trigger, BatchTrigger::Deadline);
+        assert_eq!(routes[0].batch_size, 1);
         assert!((responses[0].latency - 1e-4).abs() < 1e-9);
-        assert_eq!(responses[1].trigger, BatchTrigger::Drain);
-        assert_eq!(responses[2].trigger, BatchTrigger::Drain);
+        assert_eq!(routes[1].trigger, BatchTrigger::Drain);
+        assert_eq!(routes[2].trigger, BatchTrigger::Drain);
         assert_eq!(stats.deadline_triggered, 1);
         assert_eq!(stats.drain_triggered, 1);
         assert_eq!(stats.queue_depth, 0, "nothing left buffered");
@@ -851,8 +1340,8 @@ mod tests {
                 tickets
                     .into_iter()
                     .map(|t| {
-                        let r = t.wait();
-                        (r.solution.stats.plans_created, r.solution.plans.len())
+                        let s = t.wait().expect_ok();
+                        (s.stats.plans_created, s.plans.len())
                     })
                     .collect::<Vec<_>>()
             })
@@ -885,5 +1374,260 @@ mod tests {
         assert_eq!(stats.size_triggered, 4);
         let shard_queries: u64 = stats.per_shard.iter().map(|s| s.queries).sum();
         assert_eq!(shard_queries, 4);
+    }
+
+    /// The acceptance-criterion demo: a poison query submitted alongside
+    /// healthy ones into one shared (drain-triggered) batch neither
+    /// aborts the process nor loses any healthy answer — and the healthy
+    /// answers stay bit-identical to a plain session.
+    #[test]
+    fn poison_query_cannot_kill_healthy_ones() {
+        silence_injected_panics();
+        let model = CloudCostModel::default();
+        let queries = distinct_workload(3, 4, 7);
+        let reference = reference(&queries, &model);
+        let mut plan = FaultPlan::new();
+        plan.mark(&queries[1], Fault::poison());
+        let plan = Arc::new(plan);
+        let shard_sessions = sessions_with_plan(&model, 1, None, Some(&plan));
+        // Frozen clock + huge batch: everything rides one drain batch.
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_secs(3600)))
+            .with_clock(VirtualClock::new().clock());
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            queries
+                .iter()
+                .map(|q| handle.submit(q.clone()))
+                .collect::<Vec<_>>()
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        for (i, (resp, reference)) in responses.into_iter().zip(&reference).enumerate() {
+            let route = resp.route.expect("dispatched responses carry a route");
+            assert_eq!(route.trigger, BatchTrigger::Drain);
+            assert_eq!(route.batch_size, 4, "poison rides the shared batch");
+            if i == 1 {
+                match resp.outcome {
+                    QueryOutcome::Panicked { ref message } => {
+                        assert!(
+                            message.contains(mpq_catalog::fault::INJECTED_FAULT),
+                            "panic payload surfaces to the client: {message}"
+                        );
+                    }
+                    ref other => panic!("poison query got {:?}", other.kind()),
+                }
+            } else {
+                let solution = resp.expect_ok();
+                assert_eq!(solution.stats.plans_created, reference.stats.plans_created);
+                assert_eq!(solution.stats.plans_pruned, reference.stats.plans_pruned);
+                assert_eq!(solution.plans.len(), reference.plans.len());
+            }
+        }
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.submitted, 4);
+        assert!(
+            stats.per_shard[0].restarts >= 1,
+            "the caught panic counts as a restart"
+        );
+    }
+
+    /// Bisection attributes panics exactly: with 1 poison (then 2) in a
+    /// six-query batch, precisely the marked queries are quarantined.
+    #[test]
+    fn bisection_attribution_is_exact() {
+        silence_injected_panics();
+        let model = CloudCostModel::default();
+        let queries = distinct_workload(4, 6, 13);
+        for poisoned in [vec![1usize], vec![1, 4]] {
+            let mut plan = FaultPlan::new();
+            for &i in &poisoned {
+                plan.mark(&queries[i], Fault::poison());
+            }
+            let plan = Arc::new(plan);
+            let shard_sessions = sessions_with_plan(&model, 1, None, Some(&plan));
+            let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_secs(3600)))
+                .with_clock(VirtualClock::new().clock());
+            let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+                queries
+                    .iter()
+                    .map(|q| handle.submit(q.clone()))
+                    .collect::<Vec<_>>()
+            });
+            let kinds: Vec<OutcomeKind> = tickets.into_iter().map(|t| t.wait().kind()).collect();
+            for (i, kind) in kinds.iter().enumerate() {
+                let expected = if poisoned.contains(&i) {
+                    OutcomeKind::Panicked
+                } else {
+                    OutcomeKind::Ok
+                };
+                assert_eq!(*kind, expected, "query {i} with poisons {poisoned:?}");
+            }
+            assert_eq!(stats.quarantined, poisoned.len() as u64);
+            assert_eq!(stats.completed, (queries.len() - poisoned.len()) as u64);
+        }
+    }
+
+    /// A size-triggered batch isolates its poison.
+    #[test]
+    fn size_triggered_batch_isolates_poison() {
+        silence_injected_panics();
+        let model = CloudCostModel::default();
+        let queries = distinct_workload(3, 4, 7);
+        let mut plan = FaultPlan::new();
+        plan.mark(&queries[0], Fault::poison());
+        let plan = Arc::new(plan);
+        let shard_sessions = sessions_with_plan(&model, 1, None, Some(&plan));
+        let config = ServiceConfig::new(BatchPolicy::new(2, Duration::from_secs(3600)))
+            .with_clock(VirtualClock::new().clock());
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            queries
+                .iter()
+                .map(|q| handle.submit(q.clone()))
+                .collect::<Vec<_>>()
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].kind(), OutcomeKind::Panicked);
+        assert_eq!(responses[0].route.unwrap().trigger, BatchTrigger::Size);
+        for resp in &responses[1..] {
+            assert_eq!(resp.kind(), OutcomeKind::Ok);
+        }
+        assert_eq!(stats.size_triggered, 2);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.completed, 3);
+    }
+
+    /// A deadline-triggered batch isolates its poison.
+    #[test]
+    fn deadline_triggered_batch_isolates_poison() {
+        silence_injected_panics();
+        let model = CloudCostModel::default();
+        let queries = distinct_workload(3, 3, 7);
+        let mut plan = FaultPlan::new();
+        plan.mark(&queries[0], Fault::poison());
+        let plan = Arc::new(plan);
+        let shard_sessions = sessions_with_plan(&model, 1, None, Some(&plan));
+        let vclock = VirtualClock::new();
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_micros(50)))
+            .with_clock(vclock.clock());
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            let t0 = handle.submit(queries[0].clone());
+            vclock.advance_to_micros(100);
+            let t1 = handle.submit(queries[1].clone());
+            let t2 = handle.submit(queries[2].clone());
+            vec![t0, t1, t2]
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].kind(), OutcomeKind::Panicked);
+        assert_eq!(responses[0].route.unwrap().trigger, BatchTrigger::Deadline);
+        assert_eq!(responses[1].kind(), OutcomeKind::Ok);
+        assert_eq!(responses[1].route.unwrap().trigger, BatchTrigger::Drain);
+        assert_eq!(responses[2].kind(), OutcomeKind::Ok);
+        assert_eq!(stats.deadline_triggered, 1);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    /// Admission control rejects beyond `max_queue` and the rejected
+    /// tickets resolve immediately, while admitted ones complete.
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 5, 1.0, 3);
+        let shard_sessions = sessions(&model, 1, None);
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_secs(3600)))
+            .with_clock(VirtualClock::new().clock())
+            .with_max_queue(2);
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            let mut tickets: Vec<_> = queries.iter().map(|q| handle.submit(q.clone())).collect();
+            // Rejection is synchronous: the 5th ticket is already
+            // resolved inside the body, long before any drain.
+            // (`try_wait` consumes the response, so the ticket is
+            // dropped here rather than waited again below.)
+            let last = tickets.pop().unwrap();
+            let kind = last.try_wait().map(|r| r.kind());
+            assert_eq!(kind, Some(OutcomeKind::Rejected));
+            tickets
+        });
+        let kinds: Vec<OutcomeKind> = tickets.into_iter().map(|t| t.wait().kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OutcomeKind::Ok,
+                OutcomeKind::Ok,
+                OutcomeKind::Rejected,
+                OutcomeKind::Rejected,
+            ]
+        );
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(
+            stats.queue_depth_peak, 2,
+            "never more than max_queue buffered"
+        );
+    }
+
+    /// An expired per-query deadline resolves `TimedOut` at dispatch,
+    /// without running the optimizer; fresh queries in the same flush
+    /// complete normally.
+    #[test]
+    fn per_query_deadline_times_out_at_dispatch() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 3, 1.0, 5);
+        let shard_sessions = sessions(&model, 1, None);
+        let vclock = VirtualClock::new();
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_secs(3600)))
+            .with_clock(vclock.clock());
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            // 50µs budget; the clock then jumps to 100µs before anything
+            // dispatches, so q0 is dead on arrival at the drain flush.
+            let t0 = handle.submit(SubmittedQuery::new(queries[0].clone()).with_deadline(5e-5));
+            vclock.advance_to_micros(100);
+            let t1 = handle.submit(queries[1].clone());
+            let t2 = handle.submit(queries[2].clone());
+            vec![t0, t1, t2]
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].kind(), OutcomeKind::TimedOut);
+        assert!(responses[0].route.is_none(), "never reached a worker");
+        assert!((responses[0].latency - 1e-4).abs() < 1e-9);
+        assert_eq!(responses[1].kind(), OutcomeKind::Ok);
+        assert_eq!(
+            responses[1].route.unwrap().batch_size,
+            2,
+            "the expired query left the batch before dispatch"
+        );
+        assert_eq!(responses[2].kind(), OutcomeKind::Ok);
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.completed, 2);
+        assert!(stats.lps_solved > 0);
+    }
+
+    /// `wait()` on a ticket whose service died resolves `Shutdown`
+    /// instead of panicking.
+    #[test]
+    fn wait_resolves_shutdown_when_service_died() {
+        let (tx, rx) = mpsc::channel::<QueryResponse<GridSpace>>();
+        drop(tx);
+        let ticket = ServiceTicket { rx };
+        let resp = ticket.wait();
+        assert_eq!(resp.kind(), OutcomeKind::Shutdown);
+        assert!(resp.route.is_none());
+    }
+
+    /// The latency ring survives a poisoned lock: pushes and snapshots
+    /// keep working after a panic while holding the guard.
+    #[test]
+    fn latency_ring_recovers_from_poisoned_lock() {
+        let stats = StatsShared::new(1);
+        let poison = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = stats.latencies.lock().unwrap();
+            panic!("worker died holding the latency lock");
+        }));
+        assert!(poison.is_err());
+        assert!(stats.latencies.lock().is_err(), "lock really is poisoned");
+        stats.push_latency(1.0);
+        let snap = stats.snapshot(vec![CacheStats::default()]);
+        assert_eq!(snap.latency_p50, 1.0);
+        assert_eq!(snap.latency_p95, 1.0);
     }
 }

@@ -140,8 +140,10 @@ proptest! {
                 }
                 for (i, ticket) in tickets.into_iter().enumerate() {
                     let resp = ticket.wait();
-                    prop_assert!(resp.shard < shards);
-                    let got = fingerprint(sessions.shard(resp.shard).space(), &resp.solution);
+                    let route = resp.route.expect("completed response carries a route");
+                    prop_assert!(route.shard < shards);
+                    let solution = resp.outcome.ok().expect("fault-free run completes");
+                    let got = fingerprint(sessions.shard(route.shard).space(), &solution);
                     prop_assert_eq!(
                         &got,
                         &reference[i],
