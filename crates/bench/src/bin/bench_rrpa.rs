@@ -9,6 +9,7 @@
 //!       [--space grid,pwl] [--seeds N] [--threads 1,4] \
 //!       [--batch N] [--overlap R,R...] \
 //!       [--out BENCH_rrpa.json] [--quick] [--smoke] \
+//!       [--merge-mqo BENCH_rrpa.json] \
 //!       [--baseline-note "text"] [--baseline FILE]
 //!
 //! * `--space` — comma-separated space backends to measure (default
@@ -32,10 +33,17 @@
 //! * `--baseline` — a previously written `BENCH_rrpa.json` whose entries
 //!   are embedded verbatim as the `baseline` section (used to carry the
 //!   post-manifest-fix reference numbers forward).
+//! * `--merge-mqo` — measure **only** the shared-subplan (`mqo_entries`)
+//!   matrix and splice it into an existing baseline file, preserving
+//!   every other row byte for byte and bumping the schema to v7. This is
+//!   how subtree-cache rows join a committed baseline without
+//!   re-measuring (and thus perturbing) the other sections.
 //! * `--quick` — a smaller sweep for smoke-testing the harness.
 //! * `--smoke` — CI mode: one tiny batched workload plus a tiny
 //!   2-parameter pwl config, asserting that the cache hits, that
-//!   cached/uncached/one-by-one plan counters agree, that the exact
+//!   cached/uncached/one-by-one plan counters agree, that an
+//!   overlap-1.0 batch hits the subtree cache with plan counters
+//!   bit-identical to the lift-only runs, that the exact
 //!   fast paths fire (`lp_breakdown`), that per-query LP deltas are
 //!   recorded, that grid and pwl agree on the 2-param config, and that
 //!   the JSON writer round-trips. Writes no file (`--out` is ignored);
@@ -57,7 +65,8 @@
 
 use mpq_bench::harness::{
     baseline_json, breakdown_medians, record_medians, run_once, run_once_in, run_workload_in,
-    sweep_threads, BaselineEntry, BatchBaselineEntry, BatchRecord, SpaceKind, WorkloadSpec,
+    run_workload_mqo, sweep_threads, BaselineEntry, BatchBaselineEntry, BatchRecord,
+    MqoBaselineEntry, MqoRecord, SpaceKind, WorkloadSpec,
 };
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
@@ -71,6 +80,7 @@ struct Args {
     out: Option<String>,
     quick: bool,
     smoke: bool,
+    merge_mqo: Option<String>,
     baseline_file: Option<String>,
     baseline_note: Option<String>,
 }
@@ -95,6 +105,7 @@ fn parse_args() -> Args {
         out: None,
         quick: false,
         smoke: false,
+        merge_mqo: None,
         baseline_file: None,
         baseline_note: None,
     };
@@ -154,6 +165,12 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--smoke" => args.smoke = true,
+            "--merge-mqo" => {
+                args.merge_mqo = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--merge-mqo expects a path")),
+                );
+            }
             "--baseline" => {
                 args.baseline_file = Some(
                     it.next()
@@ -335,6 +352,116 @@ fn record_batch_median(records: &[BatchRecord], f: &dyn Fn(&BatchRecord) -> f64)
     mpq_bench::harness::median(&mut values)
 }
 
+/// The shared-subplan (`mqo_entries`) cells per batch configuration: the
+/// full batch and a quarter-size batch through the unbounded subtree
+/// cache, plus a bounded (evicting) and a zero-capacity (pass-through)
+/// row at the full batch size.
+fn mqo_cells(batch: usize) -> Vec<(usize, Option<usize>)> {
+    let mut cells = vec![(batch, None)];
+    let quarter = (batch / 4).max(1);
+    if quarter != batch {
+        cells.push((quarter, None));
+    }
+    cells.push((batch, Some(8)));
+    cells.push((batch, Some(0)));
+    cells
+}
+
+/// Measures one shared-subplan cell: the subtree-cached batch against
+/// the lift-only cached batch (the pre-subtree behaviour `batch_entries`
+/// records), single-threaded, asserting that memoization is pure — plan
+/// counters must agree seed for seed.
+fn measure_mqo(
+    space: SpaceKind,
+    workload: &str,
+    spec: &WorkloadSpec,
+    subtree_capacity: Option<usize>,
+    seeds: usize,
+) -> MqoBaselineEntry {
+    let mut config = OptimizerConfig::default_for(spec.num_params);
+    config.threads = Some(1);
+    let mut mqo_records = Vec::with_capacity(seeds);
+    let mut lift_times = Vec::with_capacity(seeds);
+    for s in 0..seeds {
+        let mqo = run_workload_mqo(space, spec, s as u64, &config, subtree_capacity);
+        let lift = run_workload_in(space, spec, s as u64, &config, true);
+        assert_eq!(
+            (mqo.plans_created, mqo.final_plans),
+            (lift.plans_created, lift.final_plans),
+            "subtree-cached and lift-only batches must agree exactly"
+        );
+        eprintln!(
+            "  {} {workload} n={} p={} batch={} overlap={} cap={:?} \
+             seed={s}: {:.0}ms (lift-only {:.0}ms) plans={} hits={} misses={} evictions={}",
+            space.name(),
+            spec.num_tables,
+            spec.num_params,
+            spec.batch,
+            spec.overlap,
+            subtree_capacity,
+            mqo.time_ms,
+            lift.time_ms,
+            mqo.plans_created,
+            mqo.subtree_hits,
+            mqo.subtree_misses,
+            mqo.subtree_evictions,
+        );
+        lift_times.push(lift.time_ms);
+        mqo_records.push(mqo);
+    }
+    let med = |f: &dyn Fn(&MqoRecord) -> f64| {
+        let mut values: Vec<f64> = mqo_records.iter().map(f).collect();
+        mpq_bench::harness::median(&mut values)
+    };
+    let median_time_ms = med(&|r| r.time_ms);
+    let median_time_lift_ms = mpq_bench::harness::median(&mut lift_times);
+    MqoBaselineEntry {
+        space: space.name().to_string(),
+        workload: workload.to_string(),
+        num_tables: spec.num_tables,
+        num_params: spec.num_params,
+        batch: spec.batch,
+        overlap: spec.overlap,
+        subtree_capacity,
+        optimizer_threads: 1,
+        median_time_ms,
+        median_time_lift_ms,
+        speedup: median_time_lift_ms / median_time_ms,
+        subtree_hits: med(&|r| r.subtree_hits as f64),
+        subtree_misses: med(&|r| r.subtree_misses as f64),
+        subtree_evictions: med(&|r| r.subtree_evictions as f64),
+        plans_created: med(&|r| r.plans_created as f64),
+        final_plans: med(&|r| r.final_plans as f64),
+        seeds,
+    }
+}
+
+/// Measures the whole shared-subplan matrix: every batch configuration ×
+/// overlap × [`mqo_cells`] cell.
+fn measure_mqo_matrix(args: &Args) -> Vec<MqoBaselineEntry> {
+    let mut mqo_entries = Vec::new();
+    if args.batch == 0 {
+        return mqo_entries;
+    }
+    for &space in &args.spaces {
+        for (topology, workload, n, p) in batch_configs(space, args.quick) {
+            for &overlap in &args.overlaps {
+                for (batch, capacity) in mqo_cells(args.batch) {
+                    let spec = WorkloadSpec {
+                        num_tables: n,
+                        topology,
+                        num_params: p,
+                        batch,
+                        overlap,
+                    };
+                    mqo_entries.push(measure_mqo(space, workload, &spec, capacity, args.seeds));
+                }
+            }
+        }
+    }
+    mqo_entries
+}
+
 /// CI smoke mode: one tiny batched workload; asserts the new path's
 /// invariants end to end (see the module docs) and prints a summary.
 fn run_smoke() {
@@ -410,27 +537,115 @@ fn run_smoke() {
         pwl.lp_breakdown.fast[mpq_lp::FastPathSite::PieceAlgebra as usize] > 0,
         "smoke: 2-param piece algebra must resolve cross pairs LP-free"
     );
-    // The JSON writer keeps its schema-v6 shape.
+    // Shared-subplan memoization: an overlap-1.0 batch must replay whole
+    // subtrees through the unbounded subtree cache, with plan counters
+    // bit-identical to the lift-only (and hence the uncached/one-by-one)
+    // runs — memoization is pure.
+    let mqo = run_workload_mqo(SpaceKind::Grid, &spec, 0, &config, None);
+    assert!(
+        mqo.subtree_hits > 0,
+        "smoke: an overlap-1.0 batch must hit the subtree cache"
+    );
+    assert_eq!(
+        (mqo.plans_created, mqo.final_plans),
+        (cached.plans_created, cached.final_plans),
+        "smoke: subtree-cached batch diverged from the lift-only batch"
+    );
+    // The JSON writer keeps its schema-v7 shape.
     let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
+    let mqo_entry = measure_mqo(SpaceKind::Grid, workload, &spec, None, 1);
     let json = baseline_json(
-        &[("schema_version", "6".to_string())],
+        &[("schema_version", "7".to_string())],
         &[],
         &[entry],
+        &[mqo_entry],
         &[],
         &[],
     );
     assert!(json.contains("\"batch_entries\"") && json.trim_end().ends_with('}'));
     assert!(json.contains("\"lps_query_median\""));
+    assert!(json.contains("\"mqo_entries\"") && json.contains("\"subtree_hit_rate\""));
     eprintln!(
         "smoke ok: {workload} n={n} p={p} batch={batch} plans={} hits={} misses={} \
-         ({:.0}ms cached / {:.0}ms uncached; pwl 2-param plans={})",
+         ({:.0}ms cached / {:.0}ms uncached; subtree hits={}; pwl 2-param plans={})",
         cached.plans_created,
         cached.cache_hits,
         cached.cache_misses,
         cached.time_ms,
         nocache.time_ms,
+        mqo.subtree_hits,
         pwl.plans_created
     );
+}
+
+const MQO_MARKER: &str = ",\n  \"mqo_command\"";
+const SERVICE_MARKER: &str = ",\n  \"service_command\"";
+const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
+
+/// Renders the `mqo_command`/`mqo_entries` section (starting with the
+/// separator comma, no trailing newline).
+fn render_mqo_block(command: &str, entries: &[MqoBaselineEntry]) -> String {
+    let mut out = format!(",\n  \"mqo_command\": \"{command}\",\n  \"mqo_entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Splices a freshly measured `mqo_command`/`mqo_entries` section into an
+/// existing baseline file: a previous mqo block is replaced, everything
+/// else — single-query entries, batch rows, the trailing service/chaos
+/// blocks — is preserved byte for byte, and the schema version is bumped
+/// to 7. This is how the subtree-cache rows join a committed baseline
+/// without re-measuring (and thus perturbing) the other sections.
+fn merge_mqo_into(path: &str, new_block: &str) -> String {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read --merge-mqo file {path}: {e}")));
+    let end = text
+        .rfind('}')
+        .unwrap_or_else(|| die("--merge-mqo file is not a JSON object"));
+    let mqo_pos = text.find(MQO_MARKER).filter(|&p| p < end);
+    let svc_pos = text.find(SERVICE_MARKER).filter(|&p| p < end);
+    let chaos_pos = text.find(CHAOS_MARKER).filter(|&p| p < end);
+    // The mqo block precedes the service/chaos blocks; insert it before
+    // the first of them (or before the final `}` when there are none).
+    let trailing = svc_pos.unwrap_or(end).min(chaos_pos.unwrap_or(end));
+    let mut out = if let Some(p) = mqo_pos {
+        let stop = [svc_pos, chaos_pos]
+            .into_iter()
+            .flatten()
+            .filter(|&q| q > p)
+            .min()
+            .unwrap_or(end);
+        format!(
+            "{}{}{}",
+            &text[..p],
+            new_block,
+            text[stop..end].trim_end()
+        )
+    } else {
+        format!(
+            "{}{}{}",
+            text[..trailing].trim_end(),
+            new_block,
+            text[trailing..end].trim_end()
+        )
+    };
+    const KEY: &str = "\"schema_version\": ";
+    if let Some(pos) = out.find(KEY) {
+        let start = pos + KEY.len();
+        let digits = out[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .count();
+        if digits > 0 {
+            out.replace_range(start..start + digits, "7");
+        }
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -468,6 +683,29 @@ fn main() {
          host_cores={cores}",
         args.seeds, args.threads, args.batch, args.overlaps
     );
+    let overlap_list = args
+        .overlaps
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    if let Some(path) = args.merge_mqo.clone() {
+        // Measure only the shared-subplan matrix and splice it into the
+        // existing baseline, leaving every other row byte-identical.
+        let mqo_entries = measure_mqo_matrix(&args);
+        if mqo_entries.is_empty() {
+            die("--merge-mqo needs --batch > 0");
+        }
+        let command = format!(
+            "cargo run --release -p mpq-bench --bin bench_rrpa -- --space {space_list} \
+             --seeds {} --batch {} --overlap {overlap_list} --merge-mqo {path}",
+            args.seeds, args.batch,
+        );
+        let json = merge_mqo_into(&path, &render_mqo_block(&command, &mqo_entries));
+        std::fs::write(&path, &json).expect("writable --merge-mqo path");
+        eprintln!("merged {} mqo rows into {path}", mqo_entries.len());
+        return;
+    }
     let mut entries = Vec::new();
     for &space in &args.spaces {
         for (topology, workload, n, p) in configs(space, args.quick) {
@@ -500,14 +738,9 @@ fn main() {
             }
         }
     }
-    let overlap_list = args
-        .overlaps
-        .iter()
-        .map(|r| r.to_string())
-        .collect::<Vec<_>>()
-        .join(",");
+    let mqo_entries = measure_mqo_matrix(&args);
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "6".to_string()),
+        ("schema_version", "7".to_string()),
         (
             "command",
             format!(
@@ -535,7 +768,7 @@ fn main() {
     // Service rows (`service_entries`) and fault-injection rows
     // (`chaos_entries`) are measured and merged in by the `bench_service`
     // bin, which owns the service matrix.
-    let mut json = baseline_json(&meta, &entries, &batch_entries, &[], &[]);
+    let mut json = baseline_json(&meta, &entries, &batch_entries, &mqo_entries, &[], &[]);
     let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
     // Re-running this bin must not destroy service/chaos rows a previous
     // `bench_service --merge` spliced into the same file: carry the

@@ -2,7 +2,7 @@
 //! through the `mpq-service` front-end (batch accumulation → sharded
 //! sessions → bounded caches → panic quarantine) and merges the measured
 //! `service_entries` / `chaos_entries` into `BENCH_rrpa.json` (schema
-//! v6).
+//! v7).
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_service -- \
@@ -21,7 +21,7 @@
 //!   an existing baseline file: the previous `service_entries` block (or
 //!   `chaos_entries` under `--chaos`) is replaced, everything else —
 //!   including the *other* trailing block — is preserved verbatim, and
-//!   the schema version is bumped to 6.
+//!   the schema version is bumped to 7.
 //! * `--chaos` — measure the fault-injection matrix instead of the
 //!   fault-free service matrix: seeded fault plans poison `--fault-rate`
 //!   of each trace's queries; rows record quarantine counts, worker
@@ -33,7 +33,9 @@
 //!   both size and drain fire), that busy shards hit their lifting
 //!   caches at overlap 1.0, and that the service's summed counters —
 //!   plans created, final plans, *and* the per-batch LP deltas — equal
-//!   the same queries run one-by-one through a plain session. Writes no
+//!   the same queries run one-by-one through a plain session. A second
+//!   pass with the shared-subplan cache enabled must hit subtrees at
+//!   overlap 1.0 while keeping those counters bit-identical. Writes no
 //!   file; exits non-zero on violation.
 //! * `--smoke-chaos` — CI mode: one tiny trace under a seeded fault plan
 //!   at shard counts {1, 2, 4}; `run_chaos_trace` asserts outcome
@@ -221,6 +223,7 @@ fn run_smoke() {
             max_wait_us: 120,
             mean_gap_us: 100,
             capacity: None,
+            subtree: None,
         };
         let r = run_service_trace(&spec, 0, &config);
         // Trigger mix sane: every batch carries exactly one trigger, the
@@ -286,15 +289,37 @@ fn run_smoke() {
             r.lps_query_median > 0.0,
             "smoke: per-query LP attribution must be recorded for service rows"
         );
+        // Shared-subplan pass: the same trace with the subtree cache on
+        // must actually reuse subtrees (overlap 1.0 means the batch is
+        // copies of one query) while the plan counters stay bit-identical
+        // to the cache-off run — memoization is pure.
+        let sub = run_service_trace(
+            &ServiceSpec {
+                subtree: Some(None),
+                ..spec
+            },
+            0,
+            &config,
+        );
+        assert!(
+            sub.subtree_hits > 0,
+            "smoke: overlap-1.0 trace must hit the subtree cache ({shards} shards)"
+        );
+        assert_eq!(
+            (sub.plans_created, sub.final_plans),
+            (r.plans_created, r.final_plans),
+            "smoke: subtree caching changed plan counters ({shards} shards)"
+        );
         eprintln!(
             "smoke ok: shards={shards} batches={} (size {}/deadline {}/drain {}) \
-             hits={} plans={}",
+             hits={} plans={} subtree_hits={}",
             r.batches,
             r.size_triggered,
             r.deadline_triggered,
             r.drain_triggered,
             r.cache_hits,
-            r.plans_created
+            r.plans_created,
+            sub.subtree_hits
         );
     }
 }
@@ -324,6 +349,7 @@ fn run_smoke_chaos() {
             max_wait_us: 120,
             mean_gap_us: 100,
             capacity: None,
+            subtree: None,
         };
         let r = run_chaos_trace(&spec, 0.3, 0, &config);
         assert!(
@@ -406,7 +432,7 @@ fn render_chaos_block(command: &str, entries: &[ChaosBaselineEntry]) -> String {
 /// Replaces one trailing section (`service_*` or `chaos_*`, per
 /// `new_block`'s marker) of an existing baseline file, preserving
 /// everything else — including the *other* trailing section — verbatim,
-/// re-ordering service-before-chaos, and bumping the schema to v6.
+/// re-ordering service-before-chaos, and bumping the schema to v7.
 fn merge_into(path: &str, new_block: &str) -> String {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read --merge file {path}: {e}")));
@@ -434,8 +460,8 @@ fn merge_into(path: &str, new_block: &str) -> String {
         (Some(new_block.to_string()), existing_chaos)
     };
     let mut out = text[..head_end].trim_end().to_string();
-    // Bump the top-level schema number to 6 whatever it was before (the
-    // spliced file now carries v6 sections).
+    // Bump the top-level schema number to 7 whatever it was before (the
+    // spliced file now carries v7 sections).
     const KEY: &str = "\"schema_version\": ";
     if let Some(pos) = out.find(KEY) {
         let start = pos + KEY.len();
@@ -444,7 +470,7 @@ fn merge_into(path: &str, new_block: &str) -> String {
             .take_while(|c| c.is_ascii_digit())
             .count();
         if digits > 0 {
-            out.replace_range(start..start + digits, "6");
+            out.replace_range(start..start + digits, "7");
         }
     }
     if let Some(b) = service_block {
@@ -489,6 +515,7 @@ fn main() {
                     max_wait_us: args.max_wait_us,
                     mean_gap_us: args.mean_gap_us,
                     capacity: args.capacity,
+                    subtree: None,
                 };
                 entries.push(measure(&spec, workload, args.seeds));
             }
@@ -508,6 +535,7 @@ fn main() {
             max_wait_us: args.max_wait_us,
             mean_gap_us: args.mean_gap_us,
             capacity: Some(4),
+            subtree: None,
         };
         entries.push(measure(&spec, workload, args.seeds));
     }
@@ -555,6 +583,7 @@ fn run_chaos_matrix(args: &Args) {
                         max_wait_us: args.max_wait_us,
                         mean_gap_us: args.mean_gap_us,
                         capacity: args.capacity,
+                        subtree: None,
                     };
                     entries.push(measure_chaos(&spec, workload, fault_rate, args.seeds));
                 }

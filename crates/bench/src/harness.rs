@@ -13,7 +13,7 @@ use mpq_cloud::model::CloudCostModel;
 use mpq_core::grid_space::GridSpace;
 use mpq_core::pwl_space::PwlSpace;
 use mpq_core::rrpa::optimize;
-use mpq_core::session::OptimizerSession;
+use mpq_core::session::{OptimizerSession, SessionConfig};
 use mpq_core::space::MpqSpace;
 use mpq_core::OptimizerConfig;
 use mpq_lp::{FastPathBreakdown, FastPathSite};
@@ -242,6 +242,92 @@ where
         cache_hits: stats.hits,
         cache_misses: stats.misses,
         lps_query_median: median(&mut per_query),
+    }
+}
+
+/// Metrics of one shared-subplan ("MQO") workload run: a whole batch
+/// through one [`OptimizerSession`] with **both** the cost-lifting cache
+/// and the subtree-frontier cache enabled. Plans must equal the
+/// lift-only runs bit for bit (memoization is pure); the subtree
+/// counters say how much per-subtree DP work the batch skipped.
+#[derive(Debug, Clone, Copy)]
+pub struct MqoRecord {
+    /// Whole-batch wall time in milliseconds.
+    pub time_ms: f64,
+    /// Plans generated over all queries.
+    pub plans_created: u64,
+    /// Final Pareto-set sizes summed over all queries.
+    pub final_plans: u64,
+    /// Subtree-frontier cache hits (whole table sets replayed).
+    pub subtree_hits: u64,
+    /// Subtree-frontier cache misses (= distinct subtree keys, when the
+    /// cache is unbounded).
+    pub subtree_misses: u64,
+    /// Subtree-frontier cache evictions (bounded capacities only).
+    pub subtree_evictions: u64,
+}
+
+/// Runs one batched workload through an [`OptimizerSession`] with the
+/// shared-subplan cache enabled at the given capacity (`None` =
+/// unbounded, `Some(0)` = pass-through) on top of the default
+/// cost-lifting cache.
+pub fn run_workload_mqo(
+    kind: SpaceKind,
+    spec: &WorkloadSpec,
+    seed: u64,
+    config: &OptimizerConfig,
+    capacity: Option<usize>,
+) -> MqoRecord {
+    let wcfg = WorkloadConfig::uniform(
+        GeneratorConfig::paper(spec.num_tables, spec.topology, spec.num_params),
+        spec.batch,
+        spec.overlap,
+    );
+    let workload = generate_workload(&wcfg, &mut StdRng::seed_from_u64(seed));
+    let model = CloudCostModel::default();
+    let metrics = model_num_metrics(&model);
+    match kind {
+        SpaceKind::Grid => {
+            let space = GridSpace::for_unit_box(spec.num_params, config, metrics)
+                .expect("valid grid configuration");
+            run_batch_mqo(space, &model, config, &workload.queries, capacity)
+        }
+        SpaceKind::Pwl => {
+            let space = PwlSpace::for_unit_box(spec.num_params, config, metrics)
+                .expect("valid grid configuration");
+            run_batch_mqo(space, &model, config, &workload.queries, capacity)
+        }
+    }
+}
+
+fn run_batch_mqo<S>(
+    space: S,
+    model: &CloudCostModel,
+    config: &OptimizerConfig,
+    queries: &[mpq_catalog::Query],
+    capacity: Option<usize>,
+) -> MqoRecord
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+{
+    let session_cfg = SessionConfig::new(config.clone()).with_subtree_cache(capacity);
+    let session = OptimizerSession::with_config(space, model, session_cfg);
+    let start = Instant::now();
+    let solutions = session.optimize_batch(queries);
+    let time_ms = start.elapsed().as_secs_f64() * 1e3;
+    let subtree = session.subtree_cache_stats();
+    MqoRecord {
+        time_ms,
+        plans_created: solutions.iter().map(|s| s.stats.plans_created).sum(),
+        final_plans: solutions
+            .iter()
+            .map(|s| s.stats.final_plan_count as u64)
+            .sum(),
+        subtree_hits: subtree.hits,
+        subtree_misses: subtree.misses,
+        subtree_evictions: subtree.evictions,
     }
 }
 
@@ -514,6 +600,93 @@ impl BatchBaselineEntry {
     }
 }
 
+/// One measured shared-subplan configuration of the schema-v7
+/// `BENCH_rrpa.json` (`mqo_entries`): medians over the seeds for a
+/// `(space, workload, tables, params, batch, overlap, capacity)` cell,
+/// with the lift-only cached counterpart (the pre-subtree batching
+/// behaviour) and the resulting shared-subplan speedup.
+#[derive(Debug, Clone)]
+pub struct MqoBaselineEntry {
+    /// Space backend (`"grid"` / `"pwl"`).
+    pub space: String,
+    /// Workload topology (`"chain"` / `"star"`).
+    pub workload: String,
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Table-overlap ratio of the workload generator.
+    pub overlap: f64,
+    /// Subtree-frontier cache capacity (`None` = unbounded, `0` =
+    /// pass-through).
+    pub subtree_capacity: Option<usize>,
+    /// Worker threads inside the session.
+    pub optimizer_threads: usize,
+    /// Median whole-batch wall time with the subtree cache (on top of
+    /// the cost-lifting cache).
+    pub median_time_ms: f64,
+    /// Median whole-batch wall time with the cost-lifting cache only.
+    pub median_time_lift_ms: f64,
+    /// `median_time_lift_ms / median_time_ms`.
+    pub speedup: f64,
+    /// Median subtree-frontier cache hits per batch.
+    pub subtree_hits: f64,
+    /// Median subtree-frontier cache misses per batch.
+    pub subtree_misses: f64,
+    /// Median subtree-frontier cache evictions per batch.
+    pub subtree_evictions: f64,
+    /// Median summed created plans per batch (must match the lift-only
+    /// and the one-by-one runs — memoization is pure).
+    pub plans_created: f64,
+    /// Median summed final Pareto-set sizes per batch.
+    pub final_plans: f64,
+    /// Number of random workloads (seeds) measured.
+    pub seeds: usize,
+}
+
+impl MqoBaselineEntry {
+    /// One `mqo_entries` row.
+    pub fn to_json(&self) -> String {
+        let hit_rate = if self.subtree_hits + self.subtree_misses > 0.0 {
+            self.subtree_hits / (self.subtree_hits + self.subtree_misses)
+        } else {
+            0.0
+        };
+        let capacity = self
+            .subtree_capacity
+            .map_or("null".to_string(), |c| c.to_string());
+        format!(
+            "    {{\"space\": \"{}\", \"workload\": \"{}\", \"num_tables\": {}, \
+             \"num_params\": {}, \"batch\": {}, \"overlap\": {}, \
+             \"subtree_capacity\": {}, \"optimizer_threads\": {}, \
+             \"median_time_ms\": {:.3}, \"median_time_lift_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"subtree_hits\": {:.0}, \"subtree_misses\": {:.0}, \
+             \"subtree_evictions\": {:.0}, \"subtree_hit_rate\": {:.3}, \
+             \"plans_created\": {:.0}, \"final_plans\": {:.0}, \"seeds\": {}}}",
+            self.space,
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.batch,
+            self.overlap,
+            capacity,
+            self.optimizer_threads,
+            self.median_time_ms,
+            self.median_time_lift_ms,
+            self.speedup,
+            self.subtree_hits,
+            self.subtree_misses,
+            self.subtree_evictions,
+            hit_rate,
+            self.plans_created,
+            self.final_plans,
+            self.seeds
+        )
+    }
+}
+
 /// One open-loop service-trace configuration: the per-query shape, the
 /// arrival process, the batch policy and the shard layout.
 #[derive(Debug, Clone, Copy)]
@@ -538,6 +711,10 @@ pub struct ServiceSpec {
     pub mean_gap_us: u64,
     /// Cost-lifting cache capacity per shard (`None` = unbounded).
     pub capacity: Option<usize>,
+    /// Shared-subplan cache: `None` = disabled (the committed baseline
+    /// behaviour), `Some(cap)` = enabled with per-shard capacity `cap`
+    /// (`None` = unbounded).
+    pub subtree: Option<Option<usize>>,
 }
 
 /// Metrics of one service-trace run (grid backend, single-threaded
@@ -574,6 +751,13 @@ pub struct ServiceRecord {
     pub p50_ms: f64,
     /// 95th-percentile latency (service-clock milliseconds).
     pub p95_ms: f64,
+    /// Subtree-frontier cache hits, summed over shards (zero when the
+    /// shared-subplan cache is disabled).
+    pub subtree_hits: u64,
+    /// Subtree-frontier cache misses, summed over shards.
+    pub subtree_misses: u64,
+    /// Subtree-frontier cache evictions, summed over shards.
+    pub subtree_evictions: u64,
 }
 
 /// Runs one open-loop arrival trace through the optimizer service (grid
@@ -600,6 +784,9 @@ pub fn run_service_trace(spec: &ServiceSpec, seed: u64, config: &OptimizerConfig
     let metrics = model_num_metrics(&model);
     let mut session_cfg = SessionConfig::new(config.clone());
     session_cfg.cache_capacity = spec.capacity;
+    if let Some(subtree_capacity) = spec.subtree {
+        session_cfg = session_cfg.with_subtree_cache(subtree_capacity);
+    }
     let sessions = ShardedSession::build(spec.shards, &model, &session_cfg, || {
         GridSpace::for_unit_box(spec.num_params, config, metrics).expect("valid grid configuration")
     });
@@ -632,6 +819,7 @@ pub fn run_service_trace(spec: &ServiceSpec, seed: u64, config: &OptimizerConfig
     }
     let time_ms = start.elapsed().as_secs_f64() * 1e3;
     let cache: Vec<_> = stats.per_shard.iter().map(|s| s.cache).collect();
+    let subtree: Vec<_> = stats.per_shard.iter().map(|s| s.subtree).collect();
     ServiceRecord {
         time_ms,
         plans_created,
@@ -647,6 +835,9 @@ pub fn run_service_trace(spec: &ServiceSpec, seed: u64, config: &OptimizerConfig
         lps_query_median: median(&mut lps_query),
         p50_ms: stats.latency_p50 * 1e3,
         p95_ms: stats.latency_p95 * 1e3,
+        subtree_hits: subtree.iter().map(|c| c.hits).sum(),
+        subtree_misses: subtree.iter().map(|c| c.misses).sum(),
+        subtree_evictions: subtree.iter().map(|c| c.evictions).sum(),
     }
 }
 
@@ -724,6 +915,9 @@ pub fn run_chaos_trace(
     let metrics = model_num_metrics(&model);
     let mut session_cfg = SessionConfig::new(config.clone());
     session_cfg.cache_capacity = spec.capacity;
+    if let Some(subtree_capacity) = spec.subtree {
+        session_cfg = session_cfg.with_subtree_cache(subtree_capacity);
+    }
     session_cfg.fault_hook = Some(plan.hook(|_| {}));
     let sessions = ShardedSession::build(spec.shards, &model, &session_cfg, || {
         GridSpace::for_unit_box(spec.num_params, config, metrics).expect("valid grid configuration")
@@ -1080,13 +1274,15 @@ impl ServiceBaselineEntry {
 
 /// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
 /// JSON: the workspace has no serde backend). `batch_entries` is the
-/// schema-v3 batched-workload section, `service_entries` the schema-v5
-/// service section and `chaos_entries` the schema-v6 fault-injection
-/// section; pass `&[]` to omit any of them.
+/// schema-v3 batched-workload section, `mqo_entries` the schema-v7
+/// shared-subplan section, `service_entries` the schema-v5 service
+/// section and `chaos_entries` the schema-v6 fault-injection section;
+/// pass `&[]` to omit any of them.
 pub fn baseline_json(
     meta: &[(&str, String)],
     entries: &[BaselineEntry],
     batch_entries: &[BatchBaselineEntry],
+    mqo_entries: &[MqoBaselineEntry],
     service_entries: &[ServiceBaselineEntry],
     chaos_entries: &[ChaosBaselineEntry],
 ) -> String {
@@ -1109,6 +1305,14 @@ pub fn baseline_json(
             } else {
                 "\n"
             });
+        }
+        out.push_str("  ]");
+    }
+    if !mqo_entries.is_empty() {
+        out.push_str(",\n  \"mqo_entries\": [\n");
+        for (i, e) in mqo_entries.iter().enumerate() {
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < mqo_entries.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]");
     }
@@ -1215,6 +1419,7 @@ mod tests {
             &[],
             &[],
             &[],
+            &[],
         );
         assert!(json.contains("\"workload\": \"chain\""));
         assert!(json.contains("\"schema_version\": 1"));
@@ -1268,10 +1473,72 @@ mod tests {
             &batch,
             &[],
             &[],
+            &[],
         );
         assert!(json.contains("\"batch_entries\""));
         assert!(json.contains("\"overlap\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.833"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn mqo_run_matches_lift_only_counters() {
+        let config = OptimizerConfig::default_for(1);
+        let spec = WorkloadSpec {
+            num_tables: 3,
+            topology: Topology::Chain,
+            num_params: 1,
+            batch: 3,
+            overlap: 1.0,
+        };
+        let mqo = run_workload_mqo(SpaceKind::Grid, &spec, 5, &config, None);
+        let lift = run_workload_in(SpaceKind::Grid, &spec, 5, &config, true);
+        assert_eq!(mqo.plans_created, lift.plans_created);
+        assert_eq!(mqo.final_plans, lift.final_plans);
+        assert!(
+            mqo.subtree_hits > 0,
+            "identical queries must replay whole subtrees"
+        );
+        assert_eq!(mqo.subtree_evictions, 0, "unbounded cache never evicts");
+        // Pass-through capacity: no hits, same plans.
+        let passthrough = run_workload_mqo(SpaceKind::Grid, &spec, 5, &config, Some(0));
+        assert_eq!(passthrough.subtree_hits, 0);
+        assert_eq!(passthrough.plans_created, lift.plans_created);
+    }
+
+    #[test]
+    fn mqo_baseline_json_shape() {
+        let mqo = vec![MqoBaselineEntry {
+            space: "grid".into(),
+            workload: "chain".into(),
+            num_tables: 4,
+            num_params: 1,
+            batch: 16,
+            overlap: 1.0,
+            subtree_capacity: None,
+            optimizer_threads: 1,
+            median_time_ms: 2.0,
+            median_time_lift_ms: 8.0,
+            speedup: 4.0,
+            subtree_hits: 90.0,
+            subtree_misses: 10.0,
+            subtree_evictions: 0.0,
+            plans_created: 500.0,
+            final_plans: 12.0,
+            seeds: 5,
+        }];
+        let json = baseline_json(
+            &[("schema_version", "7".to_string())],
+            &[],
+            &[],
+            &mqo,
+            &[],
+            &[],
+        );
+        assert!(json.contains("\"mqo_entries\""));
+        assert!(json.contains("\"subtree_capacity\": null"));
+        assert!(json.contains("\"subtree_hit_rate\": 0.900"));
+        assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.trim_end().ends_with('}'));
     }
 
@@ -1287,6 +1554,7 @@ mod tests {
             max_wait_us: 100,
             mean_gap_us: 50,
             capacity: None,
+            subtree: None,
         }
     }
 
@@ -1333,6 +1601,7 @@ mod tests {
             &[("schema_version", "5".to_string())],
             &[],
             &[],
+            &[],
             &[entry],
             &[],
         );
@@ -1347,7 +1616,7 @@ mod tests {
             "chain",
             &[run_service_trace(&spec, 1, &config)],
         );
-        let json = baseline_json(&[], &[], &[], &[entry], &[]);
+        let json = baseline_json(&[], &[], &[], &[], &[entry], &[]);
         assert!(json.contains("\"capacity\": null"));
     }
 
@@ -1395,6 +1664,7 @@ mod tests {
         let entry = ChaosBaselineEntry::from_records(&spec, "chain", 0.4, &[rec]);
         let json = baseline_json(
             &[("schema_version", "6".to_string())],
+            &[],
             &[],
             &[],
             &[],

@@ -264,6 +264,52 @@ impl TableSet {
         })
     }
 
+    /// The rank of `table` among the set's members in ascending order
+    /// (`None` if `table` is not a member). Ranks are the **local** table
+    /// indices of a subtree: relabeling a set's members by rank is
+    /// monotone, so subset enumeration orders are preserved — the
+    /// embedding-invariance that shared-subplan caching relies on.
+    pub fn rank_of(self, table: usize) -> Option<usize> {
+        if !self.contains(table) {
+            return None;
+        }
+        Some((self.0 & ((1u64 << table) - 1)).count_ones() as usize)
+    }
+
+    /// The member with ascending rank `rank` (`None` if `rank ≥ len`).
+    /// Inverse of [`Self::rank_of`].
+    pub fn member_at(self, rank: usize) -> Option<usize> {
+        self.iter().nth(rank)
+    }
+
+    /// Re-labels the members of `self` (⊆ `parent`) by their rank within
+    /// `parent`: the subtree-local image of a global table set.
+    ///
+    /// # Panics
+    /// Debug-panics if `self ⊄ parent`.
+    pub fn localize_within(self, parent: TableSet) -> TableSet {
+        debug_assert!(self.is_subset_of(parent));
+        self.iter().fold(TableSet::EMPTY, |acc, t| {
+            acc.union(TableSet(
+                1 << parent.rank_of(t).expect("member of parent"),
+            ))
+        })
+    }
+
+    /// Interprets the members of `self` as ranks within `parent` and maps
+    /// them back to `parent`'s global table indices. Inverse of
+    /// [`Self::localize_within`].
+    ///
+    /// # Panics
+    /// Debug-panics if any rank is out of range for `parent`.
+    pub fn delocalize_within(self, parent: TableSet) -> TableSet {
+        self.iter().fold(TableSet::EMPTY, |acc, rank| {
+            acc.union(TableSet::singleton(
+                parent.member_at(rank).expect("rank within parent"),
+            ))
+        })
+    }
+
     /// Iterates over all **proper, non-empty** subsets of `self`.
     ///
     /// Every split of `self` into `(s, self ∖ s)` appears; both orders are
@@ -365,6 +411,41 @@ mod tests {
             assert_eq!(s.len(), 3);
             assert!(s.is_subset_of(TableSet::all(6)));
         }
+    }
+
+    #[test]
+    fn rank_and_member_are_inverse() {
+        let s = TableSet(0b101100); // {2, 3, 5}
+        assert_eq!(s.rank_of(2), Some(0));
+        assert_eq!(s.rank_of(3), Some(1));
+        assert_eq!(s.rank_of(5), Some(2));
+        assert_eq!(s.rank_of(4), None);
+        for (rank, t) in s.iter().enumerate() {
+            assert_eq!(s.rank_of(t), Some(rank));
+            assert_eq!(s.member_at(rank), Some(t));
+        }
+        assert_eq!(s.member_at(3), None);
+    }
+
+    #[test]
+    fn localize_delocalize_roundtrip() {
+        let parent = TableSet(0b101100); // {2, 3, 5}
+        let sub = TableSet(0b100100); // {2, 5}
+        let local = sub.localize_within(parent);
+        assert_eq!(local, TableSet(0b101), "ranks 0 and 2");
+        assert_eq!(local.delocalize_within(parent), sub);
+        // Every subset round-trips.
+        for sub in parent.proper_subsets() {
+            assert_eq!(
+                sub.localize_within(parent).delocalize_within(parent),
+                sub
+            );
+        }
+        assert_eq!(
+            parent.localize_within(parent),
+            TableSet::all(3),
+            "a set is locally contiguous"
+        );
     }
 
     #[test]

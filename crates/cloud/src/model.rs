@@ -16,7 +16,7 @@ use crate::ops::{JoinOp, ScanOp};
 use crate::scan::{index_seek_cost, table_scan_cost};
 use crate::shape::{tag, OpShape};
 use crate::{ClusterConfig, NUM_METRICS};
-use mpq_catalog::{Query, TableSet};
+use mpq_catalog::{Query, Selectivity, TableSet};
 
 /// A cost closure: parameter vector ↦ one value per metric.
 pub type CostClosure = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>;
@@ -68,6 +68,29 @@ pub trait ParametricCostModel: Send + Sync {
         left: TableSet,
         right: TableSet,
     ) -> Vec<JoinAlternative>;
+
+    /// Canonical identity of the **whole optimization subproblem** over
+    /// `tables` of `query` — the key of the shared-subplan cache
+    /// (`mpq_core::rrpa`).
+    ///
+    /// # Soundness contract
+    ///
+    /// A model may return `Some` **only if** the shape words determine —
+    /// given the model instance — every input the per-subtree dynamic
+    /// program reads: all scan alternatives of the member tables, all
+    /// join alternatives of every split of every subset, all internal
+    /// cardinality/row-width statistics (in their *storage order*, since
+    /// floating-point folds are order-sensitive), and the join-graph
+    /// connectivity used for Cartesian-product postponement. Member
+    /// tables are identified by their **rank** within `tables`
+    /// ([`TableSet::rank_of`]) so structurally identical subtrees over
+    /// different base-table indices share a key; parameter indices stay
+    /// **global**, because cached cost functions live in the session's
+    /// shared parameter space. Models that cannot key a subtree exactly
+    /// return `None` (the default) and simply opt out of subplan sharing.
+    fn subtree_shape(&self, _query: &Query, _tables: TableSet) -> Option<OpShape> {
+        None
+    }
 }
 
 /// The paper's Cloud scenario: execution time and monetary fees
@@ -165,6 +188,52 @@ impl ParametricCostModel for CloudCostModel {
             },
         ]
     }
+
+    /// Every Cloud cost input is catalog statistics: per-table
+    /// cardinalities and row widths, predicate selectivities (fixed bits
+    /// or global parameter index) and join-edge selectivities. Folding
+    /// them — members by rank, predicates and edges in storage order —
+    /// therefore determines every scan/join alternative and every
+    /// cardinality monomial the subtree DP can form, which is exactly the
+    /// soundness contract. The cluster profile is fixed per model
+    /// instance, like for operator shapes.
+    fn subtree_shape(&self, query: &Query, tables: TableSet) -> Option<OpShape> {
+        let rank = |t: usize| tables.rank_of(t).expect("subtree member") as u64;
+        let mut shape = OpShape::new(tag::SUBTREE_BASE)
+            .word(tables.len() as u64)
+            .word(query.num_params as u64);
+        for t in tables.iter() {
+            shape = shape
+                .scalar(query.tables[t].rows)
+                .scalar(query.tables[t].row_bytes);
+        }
+        // Section lengths are folded in so adjacent variable-length
+        // sections can never alias across different subtree structures.
+        let preds = query
+            .predicates
+            .iter()
+            .filter(|p| tables.contains(p.table));
+        shape = shape.word(preds.clone().count() as u64);
+        for p in preds {
+            shape = shape.word(rank(p.table));
+            shape = match p.selectivity {
+                Selectivity::Fixed(s) => shape.word(0).scalar(s),
+                Selectivity::Param(i) => shape.word(1).word(i as u64),
+            };
+        }
+        let joins = query
+            .joins
+            .iter()
+            .filter(|j| tables.contains(j.t1) && tables.contains(j.t2));
+        shape = shape.word(joins.clone().count() as u64);
+        for j in joins {
+            shape = shape
+                .word(rank(j.t1))
+                .word(rank(j.t2))
+                .scalar(j.selectivity);
+        }
+        Some(shape)
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +318,81 @@ mod tests {
             .map(|a| (a.cost)(&x))
             .unwrap();
         assert!(parallel[METRIC_FEES] > single[METRIC_FEES]);
+    }
+
+    /// Structurally identical subtrees key identically even when they sit
+    /// on different global table indices — the rank-relabeling at the
+    /// heart of cross-query subplan sharing.
+    #[test]
+    fn subtree_shape_is_embedding_invariant() {
+        let m = CloudCostModel::default();
+        let table = |rows: f64| Table {
+            name: "T".into(),
+            rows,
+            row_bytes: 100.0,
+        };
+        // q1: the subtree lives on tables {0, 1}.
+        let q1 = Query {
+            tables: vec![table(50_000.0), table(80_000.0)],
+            predicates: vec![Predicate {
+                table: 0,
+                selectivity: Selectivity::Param(0),
+            }],
+            joins: vec![JoinEdge {
+                t1: 0,
+                t2: 1,
+                selectivity: 1e-4,
+            }],
+            num_params: 1,
+        };
+        // q2: the same subtree embedded on tables {1, 2} of a wider query.
+        let q2 = Query {
+            tables: vec![table(999.0), table(50_000.0), table(80_000.0)],
+            predicates: vec![Predicate {
+                table: 1,
+                selectivity: Selectivity::Param(0),
+            }],
+            joins: vec![JoinEdge {
+                t1: 1,
+                t2: 2,
+                selectivity: 1e-4,
+            }],
+            num_params: 1,
+        };
+        let s1 = m.subtree_shape(&q1, TableSet(0b011)).unwrap();
+        let s2 = m.subtree_shape(&q2, TableSet(0b110)).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.stable_hash(), s2.stable_hash());
+    }
+
+    #[test]
+    fn subtree_shape_distinguishes_content() {
+        let m = CloudCostModel::default();
+        let q = query();
+        let all = TableSet(0b11);
+        let base = m.subtree_shape(&q, all).unwrap();
+        // Different join selectivity → different key.
+        let mut q2 = q.clone();
+        q2.joins[0].selectivity = 2e-4;
+        assert_ne!(m.subtree_shape(&q2, all).unwrap(), base);
+        // Different global parameter index → different key (cached costs
+        // live in the session's global parameter space).
+        let mut q3 = q.clone();
+        q3.predicates[0].selectivity = Selectivity::Param(1);
+        q3.num_params = 2;
+        assert_ne!(m.subtree_shape(&q3, all).unwrap(), base);
+        // Dropping the predicate changes the key.
+        let mut q4 = q.clone();
+        q4.predicates.clear();
+        q4.num_params = 0;
+        assert_ne!(m.subtree_shape(&q4, all).unwrap(), base);
+        // A single-table subtree ignores content outside the set.
+        let t0 = TableSet(0b01);
+        assert_eq!(
+            m.subtree_shape(&q, t0).unwrap(),
+            m.subtree_shape(&q2, t0).unwrap(),
+            "join selectivity outside the subtree must not leak in"
+        );
     }
 
     #[test]

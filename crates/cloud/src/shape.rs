@@ -41,6 +41,10 @@ pub(crate) mod tag {
     /// Approximate model operators live in a distinct tag range so a
     /// Cloud shape can never alias an Approx shape.
     pub const APPROX_BASE: u64 = 16;
+    /// Join-subtree identity (the shared-subplan cache key, see
+    /// [`crate::model::ParametricCostModel::subtree_shape`]) — its own
+    /// range so a subtree key can never alias an operator shape.
+    pub const SUBTREE_BASE: u64 = 32;
 }
 
 /// Canonical identity of one operator's cost shape: an operator tag

@@ -41,6 +41,26 @@
 //! candidates never touch the arena, which keeps it small and lets worker
 //! threads run without synchronising on it (ids are assigned during the
 //! deterministic merge).
+//!
+//! # Shared-subplan memoization
+//!
+//! [`optimize_with`] optionally consults a per-session [`SubtreeCache`]:
+//! before the DP derives a table set's Pareto set, the set's canonical
+//! **subtree identity**
+//! ([`ParametricCostModel::subtree_shape`] plus the optimizer-config
+//! words that steer the DP) is looked up, and on a hit the cached
+//! frontier — survivor roots in subtree-local form, plus `Arc`-shared
+//! cost functions and relevance regions — is replayed into the current
+//! run instead of re-derived. Reuse is a **pure memoization** of the
+//! per-subtree DP: subset enumeration orders are invariant under the
+//! monotone rank-relabeling of [`TableSet::localize_within`], so a cached
+//! subtree delocalizes to exactly the plans, regions, and
+//! `plans_created`/`plans_pruned` tallies an uncached run would derive —
+//! bit for bit, at every thread count. Arena bookkeeping is remapped
+//! deterministically on replay: survivors register through the same
+//! ordered merge as computed sets, so plan ids and arena contents are
+//! identical to an uncached run. Only LP-solve counters shrink on hits
+//! (the pruning work they meter is skipped).
 
 use crate::pareto::pareto_indices;
 use crate::plan::{PlanArena, PlanId, PlanNode};
@@ -49,6 +69,7 @@ use crate::stats::OptStats;
 use crate::OptimizerConfig;
 use mpq_catalog::{Query, TableSet};
 use mpq_cloud::model::ParametricCostModel;
+use mpq_cloud::ops::{JoinOp, ScanOp};
 use mpq_cloud::shape::OpShape;
 use mpq_cost::LiftedCostCache;
 use rayon::prelude::*;
@@ -62,6 +83,38 @@ use std::time::Instant;
 /// ([`mpq_cloud::shape::OpShape`]) map to `Arc`-shared lifted costs. One
 /// cache serves every query of an [`crate::session::OptimizerSession`].
 pub type LiftCache<S> = LiftedCostCache<OpShape, <S as MpqSpace>::Cost>;
+
+/// The shared-subplan cache: canonical subtree identities map to
+/// `Arc`-shared memoized per-subtree Pareto frontiers (see the module
+/// docs). One cache serves every query of a session, with the same
+/// deterministic CLOCK eviction as the cost-lifting cache.
+pub type SubtreeCache<S> = LiftedCostCache<OpShape, CachedSubtree<S>>;
+
+/// The root operator of one cached survivor, in **subtree-local** form:
+/// scan tables become ranks within the subtree's table set, join children
+/// become (local operand set, survivor index) pairs — everything needed
+/// to replay the survivor into any query embedding the subtree.
+enum CachedRoot {
+    Scan {
+        table_rank: u32,
+        op: ScanOp,
+    },
+    Join {
+        op: JoinOp,
+        left: (TableSet, u32),
+        right: (TableSet, u32),
+    },
+}
+
+/// A memoized per-subtree Pareto frontier: the survivor roots (local
+/// form) with their accumulated cost functions and relevance regions,
+/// plus the subtree's exact pruning tally. Replaying the value into a run
+/// reproduces the uncached DP bit for bit (see the module docs).
+pub struct CachedSubtree<S: MpqSpace> {
+    roots: Vec<(CachedRoot, S::Cost, S::Region)>,
+    plans_created: u64,
+    plans_pruned: u64,
+}
 
 /// A lifted operator cost: either an `Arc` shared with the session cache
 /// or a per-query owned value. Borrow-only consumers (join costs feeding
@@ -140,7 +193,7 @@ struct PendingPlan<S: MpqSpace> {
 }
 
 /// Per-table-set statistics, merged deterministically after each level.
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 struct Tally {
     plans_created: u64,
     plans_pruned: u64,
@@ -285,6 +338,170 @@ impl<S: MpqSpace> PendingPlan<S> {
     }
 }
 
+/// Computes the Pareto plan set of one base table — all access paths,
+/// pruned against each other (Algorithm 1 lines 3–6).
+fn optimize_base<S: MpqSpace, M: ParametricCostModel + ?Sized>(
+    ctx: RunCtx<'_, S, M>,
+    t: usize,
+) -> (Vec<PendingPlan<S>>, Tally) {
+    let mut plans: Vec<PendingPlan<S>> = Vec::new();
+    let mut tally = Tally::default();
+    for alt in ctx.model.scan_alternatives(ctx.query, t) {
+        let cost = lift_cost(ctx.space, ctx.cache, alt.shape.as_ref(), &*alt.cost).into_owned();
+        let node = PlanNode::Scan {
+            table: t,
+            op: alt.op,
+        };
+        tally.plans_created += 1;
+        prune(ctx.space, ctx.config, &mut plans, node, cost, &mut tally);
+    }
+    (plans, tally)
+}
+
+/// The subtree cache key of table set `q`: the model's canonical subtree
+/// identity plus the optimizer-config words that steer the per-subtree DP
+/// — the pruning refinements, Cartesian postponement, and whether the
+/// *full* query is connected (which globally decides if disconnected
+/// subsets exist in `best` at all, changing which splits contribute
+/// candidates). `None` when the model cannot key the subtree exactly.
+fn subtree_key<S: MpqSpace, M: ParametricCostModel + ?Sized>(
+    ctx: RunCtx<'_, S, M>,
+    q: TableSet,
+    full_connected: bool,
+) -> Option<OpShape> {
+    ctx.model.subtree_shape(ctx.query, q).map(|shape| {
+        let c = ctx.config;
+        let flags = (c.postpone_cartesian as u64)
+            | (c.pvi_fastpath as u64) << 1
+            | (c.relevance_points as u64) << 2
+            | (c.redundant_cutout_removal as u64) << 3
+            | (c.redundant_constraint_removal as u64) << 4
+            | (full_connected as u64) << 5;
+        shape.word(flags).word(c.grid_resolution as u64)
+    })
+}
+
+/// Converts one table set's freshly computed survivors into the cached
+/// (subtree-local) form: scan tables become ranks within `q`, join
+/// children become (operand set localized within `q`, survivor index)
+/// via the run's `origins` ledger; costs and regions are cloned into the
+/// cache.
+fn localize<S: MpqSpace>(
+    q: TableSet,
+    plans: &[PendingPlan<S>],
+    tally: Tally,
+    origins: &[(TableSet, u32)],
+) -> CachedSubtree<S> {
+    let roots = plans
+        .iter()
+        .map(|p| {
+            let root = match p.node {
+                PlanNode::Scan { table, op } => CachedRoot::Scan {
+                    table_rank: q.rank_of(table).expect("scan table within its subtree") as u32,
+                    op,
+                },
+                PlanNode::Join { op, left, right } => {
+                    let localized = |id: PlanId| {
+                        let (set, idx) = origins[id.0 as usize];
+                        (set.localize_within(q), idx)
+                    };
+                    CachedRoot::Join {
+                        op,
+                        left: localized(left),
+                        right: localized(right),
+                    }
+                }
+            };
+            (root, p.cost.clone(), p.region.clone())
+        })
+        .collect();
+    CachedSubtree {
+        roots,
+        plans_created: tally.plans_created,
+        plans_pruned: tally.plans_pruned,
+    }
+}
+
+/// Replays a cached subtree into the current run as table set `q`:
+/// delocalizes each survivor root through `q`'s member ranks (join
+/// children resolve to the reserved arena ids of the matching operand
+/// sets in `best`) and clones the cached cost/region. The result is
+/// bit-identical to computing the set, because localizing and replaying a
+/// just-computed set is the identity (see the module docs).
+fn reconstruct<S: MpqSpace>(
+    q: TableSet,
+    cached: &CachedSubtree<S>,
+    best: &HashMap<TableSet, Vec<PendingPlan<S>>>,
+) -> (Vec<PendingPlan<S>>, Tally) {
+    let plans = cached
+        .roots
+        .iter()
+        .map(|(root, cost, region)| {
+            let node = match root {
+                CachedRoot::Scan { table_rank, op } => PlanNode::Scan {
+                    table: q
+                        .member_at(*table_rank as usize)
+                        .expect("cached rank within subtree"),
+                    op: *op,
+                },
+                CachedRoot::Join { op, left, right } => {
+                    let resolve = |(set, idx): (TableSet, u32)| {
+                        best[&set.delocalize_within(q)][idx as usize].node_id()
+                    };
+                    PlanNode::Join {
+                        op: *op,
+                        left: resolve(*left),
+                        right: resolve(*right),
+                    }
+                }
+            };
+            PendingPlan {
+                node,
+                cost: cost.clone(),
+                region: region.clone(),
+                reserved_id: None,
+            }
+        })
+        .collect();
+    (
+        plans,
+        Tally {
+            plans_created: cached.plans_created,
+            plans_pruned: cached.plans_pruned,
+        },
+    )
+}
+
+/// One table set's result, through the shared-subplan cache when enabled
+/// and the model can key the subtree: a hit replays the cached frontier,
+/// a miss runs `compute`, memoizes the localized value, and replays it —
+/// so hit and miss paths emit the same bits by construction.
+fn set_result_cached<S, M>(
+    ctx: RunCtx<'_, S, M>,
+    subtree: Option<&SubtreeCache<S>>,
+    full_connected: bool,
+    best: &HashMap<TableSet, Vec<PendingPlan<S>>>,
+    origins: &[(TableSet, u32)],
+    q: TableSet,
+    compute: impl FnOnce() -> (Vec<PendingPlan<S>>, Tally),
+) -> (Vec<PendingPlan<S>>, Tally)
+where
+    S: MpqSpace,
+    M: ParametricCostModel + ?Sized,
+{
+    let Some(cache) = subtree else {
+        return compute();
+    };
+    let Some(key) = subtree_key(ctx, q, full_connected) else {
+        return compute();
+    };
+    let cached = cache.get_or_lift(&key, || {
+        let (plans, tally) = compute();
+        localize(q, &plans, tally, origins)
+    });
+    reconstruct(q, &cached, best)
+}
+
 /// Runs RRPA and returns the Pareto plan set for `query`.
 ///
 /// DP levels fan out over worker threads (see the module docs); results
@@ -309,14 +526,16 @@ where
         .num_threads(config.threads.unwrap_or(0))
         .build()
         .expect("optimizer thread pool");
-    optimize_with(query, model, space, config, &pool, None)
+    optimize_with(query, model, space, config, &pool, None, None)
 }
 
-/// [`optimize`] over a caller-owned worker pool and optional cost-lifting
-/// cache — the per-query body of a batched
-/// [`crate::session::OptimizerSession`] run. The result is bit-identical
-/// to [`optimize`] for every pool width and cache state (cached lifts are
-/// pure functions of their shape keys; see [`mpq_cloud::shape`]).
+/// [`optimize`] over a caller-owned worker pool, optional cost-lifting
+/// cache, and optional shared-subplan cache — the per-query body of a
+/// batched [`crate::session::OptimizerSession`] run. The result is
+/// bit-identical to [`optimize`] for every pool width and cache state:
+/// cached lifts are pure functions of their shape keys (see
+/// [`mpq_cloud::shape`]), and cached subtrees replay the per-subtree DP
+/// as a pure memoization (see the module docs).
 ///
 /// # Panics
 /// See [`optimize`].
@@ -327,6 +546,7 @@ pub fn optimize_with<S, M>(
     config: &OptimizerConfig,
     pool: &rayon::ThreadPool,
     cache: Option<&LiftCache<S>>,
+    subtree: Option<&SubtreeCache<S>>,
 ) -> MpqSolution<S>
 where
     S: MpqSpace + Sync,
@@ -356,38 +576,27 @@ where
     let mut arena = PlanArena::new();
     let mut stats = OptStats::default();
     let mut best: HashMap<TableSet, Vec<PendingPlan<S>>> = HashMap::new();
+    // The origin ledger of the shared-subplan cache: for every arena id,
+    // which table set registered it and at which survivor index — what
+    // `localize` needs to re-encode join children in subtree-local form.
+    let mut origins: Vec<(TableSet, u32)> = Vec::new();
+
+    let full_connected = query.is_connected(query.all_tables());
 
     // Base tables: all access paths, pruned against each other
     // (Algorithm 1 lines 3–6). Runs under the pool so every nested
     // fan-out (e.g. the space's per-simplex subtraction) sees the
     // configured thread budget, not the machine's.
     for t in 0..n {
+        let q = TableSet::singleton(t);
         let (plans, tally) = pool.install(|| {
             let _attr = mpq_lp::attribute_solves(Arc::clone(&run_lps));
-            let mut plans: Vec<PendingPlan<S>> = Vec::new();
-            let mut tally = Tally::default();
-            for alt in model.scan_alternatives(query, t) {
-                let cost = lift_cost(space, cache, alt.shape.as_ref(), &*alt.cost).into_owned();
-                let node = PlanNode::Scan {
-                    table: t,
-                    op: alt.op,
-                };
-                tally.plans_created += 1;
-                prune(space, config, &mut plans, node, cost, &mut tally);
-            }
-            (plans, tally)
+            set_result_cached(ctx, subtree, full_connected, &best, &origins, q, || {
+                optimize_base(ctx, t)
+            })
         });
-        register_level_result(
-            &mut arena,
-            &mut stats,
-            &mut best,
-            TableSet::singleton(t),
-            plans,
-            tally,
-        );
+        register_level_result(&mut arena, &mut stats, &mut best, &mut origins, q, plans, tally);
     }
-
-    let full_connected = query.is_connected(query.all_tables());
 
     // Table sets of increasing cardinality (lines 8–13); sets within one
     // cardinality are independent and run in parallel.
@@ -408,7 +617,10 @@ where
             sets.par_iter()
                 .map(|&(q, q_connected)| {
                     let _attr = mpq_lp::attribute_solves(Arc::clone(ctx.run_lps));
-                    let (plans, tally) = optimize_set(ctx, &best, q, q_connected);
+                    let (plans, tally) =
+                        set_result_cached(ctx, subtree, full_connected, &best, &origins, q, || {
+                            optimize_set(ctx, &best, q, q_connected)
+                        });
                     (q, plans, tally)
                 })
                 .collect()
@@ -416,7 +628,7 @@ where
         // Deterministic merge: arena ids and stats are assigned in
         // table-set order, independent of worker scheduling.
         for (q, plans, tally) in results {
-            register_level_result(&mut arena, &mut stats, &mut best, q, plans, tally);
+            register_level_result(&mut arena, &mut stats, &mut best, &mut origins, q, plans, tally);
         }
     }
 
@@ -443,17 +655,22 @@ where
 }
 
 /// Registers one table set's surviving plans: assigns their arena ids (in
-/// survivor order) and merges the tally into the global stats.
+/// survivor order), records their origins in the subplan-cache ledger,
+/// and merges the tally into the global stats.
 fn register_level_result<S: MpqSpace>(
     arena: &mut PlanArena,
     stats: &mut OptStats,
     best: &mut HashMap<TableSet, Vec<PendingPlan<S>>>,
+    origins: &mut Vec<(TableSet, u32)>,
     q: TableSet,
     mut plans: Vec<PendingPlan<S>>,
     tally: Tally,
 ) {
-    for p in plans.iter_mut() {
-        p.reserved_id = Some(arena.push(p.node));
+    for (i, p) in plans.iter_mut().enumerate() {
+        let id = arena.push(p.node);
+        p.reserved_id = Some(id);
+        debug_assert_eq!(id.0 as usize, origins.len(), "origins track arena ids");
+        origins.push((q, i as u32));
     }
     stats.plans_created += tally.plans_created;
     stats.plans_pruned += tally.plans_pruned;
@@ -707,6 +924,100 @@ mod tests {
             s2.stats.lps_solved,
             s1.stats.lps_solved + s2.stats.lps_solved_query
         );
+    }
+
+    /// The shared-subplan invariant: runs through a subtree cache — cold,
+    /// warm, or bounded — reproduce an uncached run bit for bit: plan
+    /// counters, the entire arena, and cost functions at probe points.
+    #[test]
+    fn subtree_cache_replays_bit_identically() {
+        for (n, topology, params, seed) in [
+            (5usize, Topology::Chain, 1usize, 3u64),
+            (4, Topology::Star, 1, 7),
+            (4, Topology::Chain, 2, 1),
+        ] {
+            let query = small_query(n, topology, params, seed);
+            let model = CloudCostModel::default();
+            let mut config = OptimizerConfig::default_for(params);
+            config.threads = Some(1);
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            let space_plain = GridSpace::for_unit_box(params, &config, 2).unwrap();
+            let plain = optimize(&query, &model, &space_plain, &config);
+
+            let space = GridSpace::for_unit_box(params, &config, 2).unwrap();
+            let cache: SubtreeCache<GridSpace> = SubtreeCache::new();
+            let cold =
+                optimize_with(&query, &model, &space, &config, &pool, None, Some(&cache));
+            let misses_after_cold = cache.stats().misses;
+            assert!(misses_after_cold > 0, "cold run must populate the cache");
+            let warm =
+                optimize_with(&query, &model, &space, &config, &pool, None, Some(&cache));
+            assert_eq!(
+                cache.stats().misses,
+                misses_after_cold,
+                "a repeat query must hit every subtree"
+            );
+            assert!(cache.stats().hits >= misses_after_cold);
+
+            // A zero-capacity cache degenerates to pass-through but must
+            // still replay identically (every set builds + replays).
+            let passthrough: SubtreeCache<GridSpace> =
+                SubtreeCache::with_capacity(Some(0));
+            let zero = optimize_with(
+                &query,
+                &model,
+                &space,
+                &config,
+                &pool,
+                None,
+                Some(&passthrough),
+            );
+            assert_eq!(passthrough.stats().hits, 0);
+
+            for (label, sol) in [("cold", &cold), ("warm", &warm), ("zero-cap", &zero)] {
+                assert_eq!(
+                    plain.stats.plans_created, sol.stats.plans_created,
+                    "{label} plans_created"
+                );
+                assert_eq!(
+                    plain.stats.plans_pruned, sol.stats.plans_pruned,
+                    "{label} plans_pruned"
+                );
+                assert_eq!(
+                    plain.stats.max_plans_per_set, sol.stats.max_plans_per_set,
+                    "{label} max_plans_per_set"
+                );
+                assert_eq!(plain.plans.len(), sol.plans.len(), "{label} final plans");
+                // The arena — ids, node kinds, children — is remapped
+                // deterministically on replay, so it matches exactly.
+                assert_eq!(plain.arena.len(), sol.arena.len(), "{label} arena size");
+                for i in 0..plain.arena.len() {
+                    assert_eq!(
+                        plain.arena.node(PlanId(i as u32)),
+                        sol.arena.node(PlanId(i as u32)),
+                        "{label} arena node {i}"
+                    );
+                }
+                let probes: Vec<Vec<f64>> = if params == 1 {
+                    vec![vec![0.0], vec![0.15], vec![0.5], vec![0.85], vec![1.0]]
+                } else {
+                    vec![vec![0.1, 0.8], vec![0.6, 0.4], vec![1.0, 1.0]]
+                };
+                for (a, b) in plain.plans.iter().zip(&sol.plans) {
+                    assert_eq!(a.plan, b.plan, "{label} plan id");
+                    for x in &probes {
+                        assert_eq!(
+                            space_plain.eval(&a.cost, x),
+                            space.eval(&b.cost, x),
+                            "{label} plan cost diverged"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// The concurrency-sensitive invariant: a parallel run retains exactly

@@ -49,7 +49,7 @@
 //! assert!(session.cache_stats().hits > 0, "identical queries share lifts");
 //! ```
 
-use crate::rrpa::{optimize_with, LiftCache, MpqSolution};
+use crate::rrpa::{optimize_with, LiftCache, MpqSolution, SubtreeCache};
 use crate::space::MpqSpace;
 use crate::OptimizerConfig;
 use mpq_catalog::Query;
@@ -84,6 +84,18 @@ pub struct SessionConfig {
     pub cached: bool,
     /// Entry bound of the cost-lifting cache (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Enable the shared-subplan cache: per-subtree Pareto frontiers are
+    /// memoized across the session's queries (see
+    /// [`mpq_core::rrpa`](crate::rrpa) — reuse is a pure memoization, so
+    /// per-query plans and frontiers stay bit-identical to an uncached
+    /// session). Off by default: single-query sessions gain nothing, and
+    /// the cache retains cloned cost/region payloads that only pay for
+    /// themselves on overlapping workloads.
+    pub subtree_cached: bool,
+    /// Entry bound of the shared-subplan cache (`None` = unbounded),
+    /// evicted by the same deterministic second-chance policy as the
+    /// lift cache.
+    pub subtree_cache_capacity: Option<usize>,
     /// Test-only fault-injection hook (see [`FaultHook`]; `None` in
     /// production).
     pub fault_hook: Option<FaultHook>,
@@ -95,6 +107,8 @@ impl std::fmt::Debug for SessionConfig {
             .field("optimizer", &self.optimizer)
             .field("cached", &self.cached)
             .field("cache_capacity", &self.cache_capacity)
+            .field("subtree_cached", &self.subtree_cached)
+            .field("subtree_cache_capacity", &self.subtree_cache_capacity)
             .field("fault_hook", &self.fault_hook.as_ref().map(|_| "installed"))
             .finish()
     }
@@ -108,6 +122,8 @@ impl SessionConfig {
             optimizer,
             cached: true,
             cache_capacity: None,
+            subtree_cached: false,
+            subtree_cache_capacity: None,
             fault_hook: None,
         }
     }
@@ -115,6 +131,14 @@ impl SessionConfig {
     /// Bounds the cost-lifting cache to `capacity` entries.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables the shared-subplan cache, bounded to `capacity` entries
+    /// (`None` = unbounded).
+    pub fn with_subtree_cache(mut self, capacity: Option<usize>) -> Self {
+        self.subtree_cached = true;
+        self.subtree_cache_capacity = capacity;
         self
     }
 }
@@ -150,6 +174,7 @@ pub struct OptimizerSession<'m, S: MpqSpace, M: ParametricCostModel + ?Sized> {
     model: &'m M,
     config: OptimizerConfig,
     cache: Option<LiftCache<S>>,
+    subtree: Option<SubtreeCache<S>>,
     pool: rayon::ThreadPool,
     fault_hook: Option<FaultHook>,
 }
@@ -200,6 +225,9 @@ where
             cache: config
                 .cached
                 .then(|| LiftedCostCache::with_capacity(config.cache_capacity)),
+            subtree: config
+                .subtree_cached
+                .then(|| LiftedCostCache::with_capacity(config.subtree_cache_capacity)),
             pool,
             fault_hook: config.fault_hook,
         }
@@ -237,6 +265,7 @@ where
             &self.config,
             &self.pool,
             self.cache.as_ref(),
+            self.subtree.as_ref(),
         )
     }
 
@@ -283,6 +312,17 @@ where
     /// Number of distinct operator cost shapes lifted so far.
     pub fn cached_shapes(&self) -> usize {
         self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Hit/miss counters of the shared-subplan cache (all-zero when
+    /// subtree caching is disabled — the default).
+    pub fn subtree_cache_stats(&self) -> CacheStats {
+        self.subtree.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Number of distinct subtree identities memoized so far.
+    pub fn cached_subtrees(&self) -> usize {
+        self.subtree.as_ref().map(|c| c.len()).unwrap_or(0)
     }
 
     /// The shard affinity of `query` under this session's model (see
@@ -385,6 +425,12 @@ where
     /// Per-shard cost-lifting cache counters.
     pub fn cache_stats_per_shard(&self) -> Vec<CacheStats> {
         self.shards.iter().map(|s| s.cache_stats()).collect()
+    }
+
+    /// Per-shard shared-subplan cache counters (all-zero when subtree
+    /// caching is disabled).
+    pub fn subtree_stats_per_shard(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.subtree_cache_stats()).collect()
     }
 }
 
@@ -559,6 +605,52 @@ mod tests {
             d1 + d2,
             "deltas partition the cumulative counter"
         );
+    }
+
+    /// A subtree-cached session is bit-identical to a plain session and
+    /// actually shares: at overlap 1.0 every query after the first hits
+    /// every subtree.
+    #[test]
+    fn subtree_cached_batch_matches_and_hits() {
+        let cfg = WorkloadConfig::uniform(GeneratorConfig::paper(4, Topology::Chain, 1), 4, 1.0);
+        let workload = generate_workload(&cfg, &mut StdRng::seed_from_u64(13));
+        let model = CloudCostModel::default();
+        let config = OptimizerConfig::default_for(1);
+        let space = || GridSpace::for_unit_box(1, &config, 2).unwrap();
+        let plain = OptimizerSession::new(space(), &model, config.clone());
+        let shared = OptimizerSession::with_config(
+            space(),
+            &model,
+            SessionConfig::new(config.clone()).with_subtree_cache(None),
+        );
+        let a = plain.optimize_batch(&workload.queries);
+        let b = shared.optimize_batch(&workload.queries);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats.plans_created, y.stats.plans_created);
+            assert_eq!(x.stats.plans_pruned, y.stats.plans_pruned);
+            assert_eq!(x.plans.len(), y.plans.len());
+            for ((p, q), probe) in x
+                .plans
+                .iter()
+                .zip(&y.plans)
+                .flat_map(|p| [[0.1], [0.5], [0.9]].map(|x| (p, x)))
+            {
+                assert_eq!(
+                    plain.space().eval(&p.cost, &probe),
+                    shared.space().eval(&q.cost, &probe)
+                );
+            }
+        }
+        let stats = shared.subtree_cache_stats();
+        assert!(stats.misses > 0, "first query must populate");
+        assert!(
+            stats.hits >= 3 * stats.misses,
+            "3 duplicate queries must hit every subtree (hits {} misses {})",
+            stats.hits,
+            stats.misses
+        );
+        assert_eq!(stats.misses, shared.cached_subtrees() as u64);
+        assert_eq!(plain.subtree_cache_stats(), CacheStats::default());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use mpq_cloud::model::CloudCostModel;
 use mpq_core::grid_space::GridSpace;
 use mpq_core::pwl_space::PwlSpace;
 use mpq_core::rrpa::{optimize, MpqSolution};
-use mpq_core::session::OptimizerSession;
+use mpq_core::session::{OptimizerSession, SessionConfig};
 use mpq_core::space::MpqSpace;
 use mpq_core::OptimizerConfig;
 use proptest::prelude::*;
@@ -120,6 +120,52 @@ where
             session.cached_shapes() as u64,
             "cache misses must equal distinct shapes"
         );
+
+        // Shared-subplan memoization is *pure*: at every capacity —
+        // unbounded, small enough to evict, and the pass-through zero —
+        // the per-query counters and probed frontiers stay bit-identical
+        // to the sequential reference.
+        for capacity in [None, Some(2), Some(0)] {
+            let cfg = SessionConfig::new({
+                let mut c = config.clone();
+                c.threads = Some(threads);
+                c
+            })
+            .with_subtree_cache(capacity);
+            let session = OptimizerSession::with_config(make(), &model, cfg);
+            let solutions = session.optimize_batch(queries);
+            prop_assert_eq!(solutions.len(), queries.len());
+            for (i, sol) in solutions.iter().enumerate() {
+                let got = fingerprint(session.space(), sol);
+                prop_assert_eq!(
+                    &got,
+                    &reference[i],
+                    "{} backend diverged under subtree cache {:?} (query {}, {} threads)",
+                    label,
+                    capacity,
+                    i,
+                    threads
+                );
+            }
+            let subtree = session.subtree_cache_stats();
+            match capacity {
+                // Unbounded: the once-cell residency makes miss totals
+                // deterministic at any thread count.
+                None => prop_assert_eq!(
+                    subtree.misses,
+                    session.cached_subtrees() as u64,
+                    "subtree misses must equal distinct subtree keys"
+                ),
+                // Zero capacity passes every lookup through.
+                Some(0) => {
+                    prop_assert_eq!(subtree.hits, 0);
+                    prop_assert_eq!(session.cached_subtrees(), 0);
+                }
+                // Bounded: eviction totals depend on interleaving; only
+                // the bit-purity above is contractual.
+                Some(_) => {}
+            }
+        }
     }
     Ok(())
 }

@@ -16,14 +16,20 @@
 //!
 //! # Determinism
 //!
-//! Values are built **while holding the map lock**, so every key is lifted
+//! A miss **reserves** its slot while holding the map lock (counting the
+//! miss and running the eviction policy right there), then builds the
+//! value **outside** the lock in a per-key once-cell: every key is lifted
 //! exactly once per residency no matter how many worker threads race on
-//! it. Because a lift is a pure function of its key (the soundness
-//! contract of the shape type), cached results are bit-identical to
-//! per-query lifting — and for an *unbounded* cache the hit/miss totals
-//! are deterministic for every thread count and batch schedule: `misses`
-//! always equals the number of distinct shapes seen, `hits` the remaining
-//! lookups.
+//! it, and racers that find an in-flight reservation count a hit and wait
+//! on the cell instead of re-building. Because a lift is a pure function
+//! of its key (the soundness contract of the shape type), cached results
+//! are bit-identical to per-query lifting — and for an *unbounded* cache
+//! the hit/miss totals are deterministic for every thread count and batch
+//! schedule: `misses` always equals the number of distinct shapes seen,
+//! `hits` the remaining lookups. Keeping the build outside the map lock
+//! means a slow lift only blocks threads that need *that* shape; lookups
+//! for other shapes proceed (and may even be issued re-entrantly from
+//! inside a builder).
 //!
 //! # Bounded operation (eviction)
 //!
@@ -44,7 +50,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Hit/miss/eviction counts of a [`LiftedCostCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,12 +77,78 @@ impl CacheStats {
     }
 }
 
+/// A per-key once-cell: reserved under the ring lock by the missing
+/// thread, filled (or poisoned, if the builder unwinds) after the build
+/// completes outside the lock. Racers that find the reservation wait on
+/// `ready`.
+#[derive(Debug)]
+struct LiftCell<V> {
+    state: Mutex<CellState<V>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum CellState<V> {
+    Building,
+    Ready(Arc<V>),
+    Poisoned,
+}
+
+impl<V> LiftCell<V> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CellState::Building),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, value: Arc<V>) {
+        *self.state.lock().expect("lift cell poisoned") = CellState::Ready(value);
+        self.ready.notify_all();
+    }
+
+    fn poison(&self) {
+        // Waiters must not hang on a builder that unwound; flip them to a
+        // panic of their own instead.
+        if let Ok(mut state) = self.state.lock() {
+            *state = CellState::Poisoned;
+        }
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Arc<V> {
+        let mut state = self.state.lock().expect("lift cell poisoned");
+        loop {
+            match &*state {
+                CellState::Ready(v) => return Arc::clone(v),
+                CellState::Poisoned => panic!("lift builder panicked"),
+                CellState::Building => {
+                    state = self.ready.wait(state).expect("lift cell poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// Poisons the reserved cell if the builder unwinds, so waiting threads
+/// panic instead of blocking forever. Disarmed with `mem::forget` once
+/// the value is built.
+struct PoisonGuard<'a, V> {
+    cell: &'a LiftCell<V>,
+}
+
+impl<V> Drop for PoisonGuard<'_, V> {
+    fn drop(&mut self) {
+        self.cell.poison();
+    }
+}
+
 /// One resident entry of the CLOCK ring: the key (to unmap on eviction),
-/// the shared value, and the second-chance reference bit.
+/// the shared once-cell, and the second-chance reference bit.
 #[derive(Debug)]
 struct Slot<K, V> {
     key: K,
-    value: Arc<V>,
+    cell: Arc<LiftCell<V>>,
     referenced: bool,
 }
 
@@ -153,59 +225,71 @@ impl<K: Eq + Hash + Clone, V> LiftedCostCache<K, V> {
     /// The lifted cost for `key`, building it with `lift` on first sight
     /// (or on re-admission after eviction).
     ///
-    /// `lift` runs under the cache lock: each key is built exactly once
-    /// per residency, which keeps the counters deterministic under
-    /// concurrency (see the module docs). Lifts are pure and
-    /// allocation-bound, so the critical section is short; a contended
-    /// build blocks only threads asking for a cost they are about to need
-    /// anyway.
+    /// The miss is counted — and the eviction policy runs — while the
+    /// reservation is made under the ring lock, so counters and evictions
+    /// stay a pure function of the access sequence; `lift` itself runs
+    /// **outside** the lock in the reserved once-cell. Racing lookups for
+    /// the same key count hits and wait on the cell; lookups for other
+    /// keys (including re-entrant ones from inside a builder) proceed
+    /// unblocked. If the builder unwinds, the cell is poisoned and every
+    /// waiter (and later hit on the residency) panics rather than hangs.
     pub fn get_or_lift(&self, key: &K, lift: impl FnOnce() -> V) -> Arc<V> {
-        let mut ring = self.ring.lock().expect("lift cache poisoned");
-        if let Some(&slot) = ring.map.get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            ring.slots[slot].referenced = true;
-            return Arc::clone(&ring.slots[slot].value);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(lift());
-        match self.capacity {
-            Some(0) => {} // pass-through: never resident
-            Some(cap) if ring.slots.len() >= cap => {
-                // Second chance: sweep in insertion order from the hand,
-                // clearing reference bits until an unreferenced victim
-                // turns up (bounded: after one full sweep every bit is
-                // clear).
-                let victim = loop {
-                    let i = ring.hand;
-                    ring.hand = (ring.hand + 1) % ring.slots.len();
-                    if ring.slots[i].referenced {
-                        ring.slots[i].referenced = false;
-                    } else {
-                        break i;
-                    }
-                };
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                let old = std::mem::replace(
-                    &mut ring.slots[victim],
-                    Slot {
+        let cell = {
+            let mut ring = self.ring.lock().expect("lift cache poisoned");
+            if let Some(&slot) = ring.map.get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ring.slots[slot].referenced = true;
+                let cell = Arc::clone(&ring.slots[slot].cell);
+                drop(ring);
+                return cell.wait();
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let cell = Arc::new(LiftCell::new());
+            match self.capacity {
+                Some(0) => {} // pass-through: never resident
+                Some(cap) if ring.slots.len() >= cap => {
+                    // Second chance: sweep in insertion order from the
+                    // hand, clearing reference bits until an unreferenced
+                    // victim turns up (bounded: after one full sweep every
+                    // bit is clear). Evicting an in-flight cell is safe:
+                    // its builder and waiters hold their own `Arc`s.
+                    let victim = loop {
+                        let i = ring.hand;
+                        ring.hand = (ring.hand + 1) % ring.slots.len();
+                        if ring.slots[i].referenced {
+                            ring.slots[i].referenced = false;
+                        } else {
+                            break i;
+                        }
+                    };
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    let old = std::mem::replace(
+                        &mut ring.slots[victim],
+                        Slot {
+                            key: key.clone(),
+                            cell: Arc::clone(&cell),
+                            referenced: false,
+                        },
+                    );
+                    ring.map.remove(&old.key);
+                    ring.map.insert(key.clone(), victim);
+                }
+                _ => {
+                    let slot = ring.slots.len();
+                    ring.slots.push(Slot {
                         key: key.clone(),
-                        value: Arc::clone(&value),
+                        cell: Arc::clone(&cell),
                         referenced: false,
-                    },
-                );
-                ring.map.remove(&old.key);
-                ring.map.insert(key.clone(), victim);
+                    });
+                    ring.map.insert(key.clone(), slot);
+                }
             }
-            _ => {
-                let slot = ring.slots.len();
-                ring.slots.push(Slot {
-                    key: key.clone(),
-                    value: Arc::clone(&value),
-                    referenced: false,
-                });
-                ring.map.insert(key.clone(), slot);
-            }
-        }
+            cell
+        };
+        let guard = PoisonGuard { cell: &cell };
+        let value = Arc::new(lift());
+        std::mem::forget(guard);
+        cell.fill(Arc::clone(&value));
         value
     }
 
@@ -334,5 +418,104 @@ mod tests {
         }
         assert!(bounded.stats().evictions > 0);
         assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    /// Builds run outside the ring lock: a builder can issue lookups for
+    /// *other* keys re-entrantly (under the old build-under-lock scheme
+    /// this self-deadlocked).
+    #[test]
+    fn builds_outside_the_lock_allow_reentrant_lookups() {
+        let cache: LiftedCostCache<u64, u64> = LiftedCostCache::new();
+        let v = cache.get_or_lift(&1, || *cache.get_or_lift(&2, || 20) + 1);
+        assert_eq!(*v, 21);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    /// Racers on an in-flight key wait for the one build instead of
+    /// re-building: misses stay "one per residency" and hits "everything
+    /// else" at any thread count.
+    #[test]
+    fn concurrent_missers_share_one_build() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache: Arc<LiftedCostCache<u64, u64>> = Arc::new(LiftedCostCache::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        let gate = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    *cache.get_or_lift(&42, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the in-flight window so racers actually
+                        // find the reservation.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        7
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7);
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, threads as u64 - 1);
+    }
+
+    /// Hit/miss totals are deterministic under arbitrary thread
+    /// interleavings: misses == distinct keys, hits == the rest.
+    #[test]
+    fn totals_deterministic_at_any_thread_count() {
+        for threads in [1usize, 2, 4] {
+            let cache: Arc<LiftedCostCache<u64, u64>> = Arc::new(LiftedCostCache::new());
+            let lookups_per_thread = 50;
+            let keys = 7u64;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    std::thread::spawn(move || {
+                        for i in 0..lookups_per_thread {
+                            let k = ((t + i) as u64) % keys;
+                            assert_eq!(*cache.get_or_lift(&k, || k * 3), k * 3);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.misses, keys);
+            assert_eq!(
+                stats.hits,
+                (threads * lookups_per_thread) as u64 - keys
+            );
+        }
+    }
+
+    /// A builder that unwinds poisons its residency: waiters and later
+    /// hits panic instead of hanging on a cell that will never fill.
+    #[test]
+    fn panicked_build_poisons_the_residency() {
+        let cache: Arc<LiftedCostCache<u64, u64>> = Arc::new(LiftedCostCache::new());
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_lift(&1, || panic!("boom"));
+        }));
+        assert!(first.is_err());
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_lift(&1, || 10);
+        }));
+        assert!(second.is_err(), "hit on a poisoned residency panics");
+        // Other keys are unaffected.
+        assert_eq!(*cache.get_or_lift(&2, || 20), 20);
     }
 }

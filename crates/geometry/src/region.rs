@@ -875,13 +875,29 @@ impl RegionEngine {
             if absorbed {
                 return;
             }
-            let before = cutouts.len();
-            cutouts
-                .retain(|c| !self.halfspaces_cover(ctx, base, &c.halfspaces, &cutout.halfspaces));
-            if cutouts.len() != before {
-                // The cached coverage worklist is a prefix decomposition
-                // of the (ordered) cutout list; removals invalidate it.
-                *remainder = None;
+            // The cached coverage worklist survives removals as a
+            // **retained-prefix** decomposition: a removed cutout is
+            // covered by the incoming one, which is appended at the end
+            // of the list — inside the *unprocessed* suffix of any cached
+            // decomposition — so pieces that already subtracted a removed
+            // prefix cutout only anticipate a subtraction the suffix
+            // replay performs anyway (`removed ⊆ incoming`). A removal
+            // below the processed watermark therefore just lowers the
+            // watermark; a removal at or past it leaves the cached pieces
+            // untouched. The containment queries run in the exact order
+            // the wholesale `retain` used to issue them.
+            let mut i = 0;
+            while i < cutouts.len() {
+                if self.halfspaces_cover(ctx, base, &cutouts[i].halfspaces, &cutout.halfspaces) {
+                    cutouts.remove(i);
+                    if let Some((processed, _)) = remainder {
+                        if i < *processed {
+                            *processed -= 1;
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
             }
         }
         points.retain(|&mut p| !cutout.contains(base.probe(p)));
@@ -1127,6 +1143,74 @@ mod tests {
             false,
         );
         assert_eq!(state.cutouts().len(), 1);
+    }
+
+    #[test]
+    fn removal_keeps_retained_prefix_worklist() {
+        let ctx = LpCtx::new();
+        let base = interval_base(0.0, 1.0);
+        // No relevance points, so the emptiness checks below run the
+        // coverage worklist for real and cache a remainder.
+        let eng = RegionEngine::new(false, true, true, false);
+        let mut state = CutoutRegion::Full;
+        // A = [0, 0.3], B = [0.8, 1]: the gap (0.3, 0.8) stays relevant.
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(1.0, 0.3)]),
+            false,
+        );
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(-1.0, -0.8)]),
+            false,
+        );
+        assert!(!eng.region_is_empty(&ctx, &base, &mut state));
+        match &state {
+            CutoutRegion::Partial { remainder, .. } => {
+                let (processed, pieces) = remainder.as_ref().expect("worklist cached");
+                assert_eq!(*processed, 2);
+                assert!(!pieces.is_empty());
+            }
+            _ => panic!("expected a partial region"),
+        }
+        // C = [0, 0.45] covers A — a removal *below* the processed
+        // watermark. The cached worklist must survive with the watermark
+        // lowered, not be invalidated wholesale.
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(1.0, 0.45)]),
+            false,
+        );
+        match &state {
+            CutoutRegion::Partial {
+                cutouts, remainder, ..
+            } => {
+                assert_eq!(cutouts.len(), 2, "A replaced by C alongside B");
+                let (processed, pieces) = remainder
+                    .as_ref()
+                    .expect("worklist retained across the removal");
+                assert_eq!(*processed, 1);
+                assert!(!pieces.is_empty());
+            }
+            _ => panic!("expected a partial region"),
+        }
+        // D = [0.45, 1] covers B and closes the gap; resuming the
+        // retained worklist must reach the from-scratch verdict: covered.
+        eng.add_cutout(
+            &ctx,
+            &base,
+            &mut state,
+            HalfspaceList::from_iter([hs(-1.0, -0.45)]),
+            false,
+        );
+        assert!(eng.region_is_empty(&ctx, &base, &mut state));
+        assert!(state.is_marked_empty());
     }
 
     #[test]

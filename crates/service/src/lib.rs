@@ -481,6 +481,9 @@ pub struct ShardStats {
     /// The shard session's cost-lifting cache counters
     /// (hit/miss/evictions).
     pub cache: CacheStats,
+    /// The shard session's shared-subplan cache counters (all-zero when
+    /// subtree caching is disabled in the session config).
+    pub subtree: CacheStats,
 }
 
 /// Snapshot of the service counters (see [`ServiceHandle::stats`] /
@@ -621,7 +624,7 @@ impl StatsShared {
         self.latencies().push(v);
     }
 
-    fn snapshot(&self, caches: Vec<CacheStats>) -> ServiceStats {
+    fn snapshot(&self, caches: Vec<CacheStats>, subtrees: Vec<CacheStats>) -> ServiceStats {
         let mut latencies = self.latencies().samples.clone();
         latencies.sort_by(f64::total_cmp);
         let quantile = |q: f64| -> f64 {
@@ -647,12 +650,14 @@ impl StatsShared {
             lps_solved: self.lps_solved.load(Ordering::Relaxed),
             per_shard: caches
                 .into_iter()
+                .zip(subtrees)
                 .enumerate()
-                .map(|(i, cache)| ShardStats {
+                .map(|(i, (cache, subtree))| ShardStats {
                     queries: self.shard_queries[i].load(Ordering::Relaxed),
                     batches: self.shard_batches[i].load(Ordering::Relaxed),
                     restarts: self.shard_restarts[i].load(Ordering::Relaxed),
                     cache,
+                    subtree,
                 })
                 .collect(),
             latency_p50: quantile(0.50),
@@ -823,7 +828,10 @@ where
     /// trigger mix, rejection/quarantine counts, per-shard cache
     /// hit/miss and restarts, latency percentiles).
     pub fn stats(&self) -> ServiceStats {
-        self.stats.snapshot(self.sessions.cache_stats_per_shard())
+        self.stats.snapshot(
+            self.sessions.cache_stats_per_shard(),
+            self.sessions.subtree_stats_per_shard(),
+        )
     }
 
     /// The service clock (useful for clients that want to timestamp their
@@ -1151,7 +1159,10 @@ where
         drop(handle);
         out
     });
-    let final_stats = stats.snapshot(sessions.cache_stats_per_shard());
+    let final_stats = stats.snapshot(
+        sessions.cache_stats_per_shard(),
+        sessions.subtree_stats_per_shard(),
+    );
     (out, final_stats)
 }
 
@@ -1626,7 +1637,7 @@ mod tests {
         assert!(poison.is_err());
         assert!(stats.latencies.lock().is_err(), "lock really is poisoned");
         stats.push_latency(1.0);
-        let snap = stats.snapshot(vec![CacheStats::default()]);
+        let snap = stats.snapshot(vec![CacheStats::default()], vec![CacheStats::default()]);
         assert_eq!(snap.latency_p50, 1.0);
         assert_eq!(snap.latency_p95, 1.0);
     }

@@ -4,11 +4,12 @@
 //! per-query plans, counters and frontiers are **bit-identical** to
 //! optimizing the same queries one by one through a plain session —
 //! independent of the batch policy (size/deadline triggers), the shard
-//! count, and the cost-lifting cache capacity (unbounded or tiny, i.e.
-//! evicting constantly). Random traces × policies × shard counts
-//! {1, 2, 4} × capacities {∞, 1, 0} are exercised here; a tiny capacity
-//! must also *terminate* (eviction cannot livelock a batch) with the
-//! identical plans.
+//! count, the cost-lifting cache capacity (unbounded or tiny, i.e.
+//! evicting constantly), and the shared-subplan cache capacity
+//! (disabled, unbounded, evicting, or pass-through). Random traces ×
+//! policies × shard counts {1, 2, 4} × capacities {∞, 1, 0} for both
+//! caches are exercised here; a tiny capacity must also *terminate*
+//! (eviction cannot livelock a batch) with the identical plans.
 
 use mpq_catalog::generator::{generate_trace, GeneratorConfig, TraceConfig, WorkloadConfig};
 use mpq_catalog::graph::Topology;
@@ -97,10 +98,26 @@ proptest! {
             })
             .collect();
 
+        // The capacity grid pairs the cost-lifting cache with the
+        // shared-subplan cache: the lift capacities run with subtree
+        // caching off (the committed baseline behaviour), and the
+        // subtree capacities {∞, small, 0} run on an unbounded lift
+        // cache. `None` = that cache disabled / at default.
+        let capacity_grid: [(Option<usize>, Option<Option<usize>>); 6] = [
+            (None, None),
+            (Some(1), None),
+            (Some(0), None),
+            (None, Some(None)),
+            (None, Some(Some(1))),
+            (None, Some(Some(0))),
+        ];
         for shards in [1usize, 2, 4] {
-            for capacity in [None, Some(1), Some(0)] {
+            for (capacity, subtree) in capacity_grid {
                 let mut session_cfg = SessionConfig::new(opt.clone());
                 session_cfg.cache_capacity = capacity;
+                if let Some(subtree_capacity) = subtree {
+                    session_cfg = session_cfg.with_subtree_cache(subtree_capacity);
+                }
                 let sessions = ShardedSession::build(shards, &model, &session_cfg, || {
                     GridSpace::for_unit_box(1, &opt, 2).expect("grid space")
                 });
@@ -138,6 +155,19 @@ proptest! {
                     // with identical plans, asserted below).
                     prop_assert!(evictions > 0, "capacity 1 under distinct shapes");
                 }
+                let subtree_hits: u64 =
+                    stats.per_shard.iter().map(|s| s.subtree.hits).sum();
+                match subtree {
+                    // Subtree caching off: the stats block stays all-zero.
+                    None => prop_assert_eq!(subtree_hits, 0, "subtree cache disabled"),
+                    // Duplicates share a shard (affinity hashes the scan
+                    // shapes), so a fully overlapping trace must reuse
+                    // subtrees through the unbounded cache.
+                    Some(None) if overlap == 1.0 && trace_len > 1 => {
+                        prop_assert!(subtree_hits > 0, "full overlap must hit subtrees");
+                    }
+                    Some(_) => {}
+                }
                 for (i, ticket) in tickets.into_iter().enumerate() {
                     let resp = ticket.wait();
                     let route = resp.route.expect("completed response carries a route");
@@ -147,10 +177,11 @@ proptest! {
                     prop_assert_eq!(
                         &got,
                         &reference[i],
-                        "service diverged from one-by-one (query {}, {} shards, capacity {:?})",
+                        "service diverged from one-by-one (query {}, {} shards, capacity {:?}, subtree {:?})",
                         i,
                         shards,
-                        capacity
+                        capacity,
+                        subtree
                     );
                 }
             }
