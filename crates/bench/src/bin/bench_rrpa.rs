@@ -8,8 +8,8 @@
 //!   cargo run --release -p mpq-bench --bin bench_rrpa -- \
 //!       [--space grid,pwl] [--seeds N] [--threads 1,4] \
 //!       [--batch N] [--overlap R,R...] \
-//!       [--out BENCH_rrpa.json] [--quick] [--smoke] \
-//!       [--merge-mqo BENCH_rrpa.json] \
+//!       [--out BENCH_rrpa.json] [--quick] [--smoke] [--smoke-approx] \
+//!       [--merge-mqo BENCH_rrpa.json] [--merge-approx BENCH_rrpa.json] \
 //!       [--baseline-note "text"] [--baseline FILE]
 //!
 //! * `--space` — comma-separated space backends to measure (default
@@ -35,9 +35,17 @@
 //!   post-manifest-fix reference numbers forward).
 //! * `--merge-mqo` — measure **only** the shared-subplan (`mqo_entries`)
 //!   matrix and splice it into an existing baseline file, preserving
-//!   every other row byte for byte and bumping the schema to v7. This is
+//!   every other row byte for byte and bumping the schema to v8. This is
 //!   how subtree-cache rows join a committed baseline without
 //!   re-measuring (and thus perturbing) the other sections.
+//! * `--merge-approx` — measure **only** the ε-approximate
+//!   (`approx_entries`) matrix — grid backend, single-threaded,
+//!   ε ∈ {1e-3, 1e-2, 1e-1} per configuration, each seed run both
+//!   approximately and exactly — and splice it into an existing baseline
+//!   file between the mqo and service sections, preserving every other
+//!   row byte for byte and bumping the schema to v8. Rows record the
+//!   wall/LP speedups and the frontier-size reduction the `(1+ε)` band
+//!   buys.
 //! * `--quick` — a smaller sweep for smoke-testing the harness.
 //! * `--smoke` — CI mode: one tiny batched workload plus a tiny
 //!   2-parameter pwl config, asserting that the cache hits, that
@@ -47,6 +55,15 @@
 //!   fast paths fire (`lp_breakdown`), that per-query LP deltas are
 //!   recorded, that grid and pwl agree on the 2-param config, and that
 //!   the JSON writer round-trips. Writes no file (`--out` is ignored);
+//!   exits non-zero on violation.
+//! * `--smoke-approx` — CI mode for the ε-approximate frontier path:
+//!   asserts that an explicit `epsilon: 0.0` run is counter-identical to
+//!   the default exact configuration, that ε = 0.1 satisfies the
+//!   (1+ε)-cover on a small grid config (every exact-frontier cost
+//!   vector dominated within the band at every probe point, frontier
+//!   never larger), and that a deadline-pressured service trace under
+//!   `ApproxPolicy::deadline_only(0.1)` actually serves ε-approximate
+//!   responses (`approx_served`/`approx_batches` > 0). Writes no file;
 //!   exits non-zero on violation.
 //!
 //! Interpreting the output: every entry carries the median optimization
@@ -64,9 +81,10 @@
 //! bit-identical).
 
 use mpq_bench::harness::{
-    baseline_json, breakdown_medians, record_medians, run_once, run_once_in, run_workload_in,
-    run_workload_mqo, sweep_threads, BaselineEntry, BatchBaselineEntry, BatchRecord,
-    MqoBaselineEntry, MqoRecord, SpaceKind, WorkloadSpec,
+    baseline_json, breakdown_medians, record_medians, run_approx_once, run_once, run_once_in,
+    run_service_trace, run_workload_in, run_workload_mqo, sweep_threads, ApproxBaselineEntry,
+    ApproxRecord, BaselineEntry, BatchBaselineEntry, BatchRecord, MqoBaselineEntry, MqoRecord,
+    ServiceSpec, SpaceKind, WorkloadSpec,
 };
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
@@ -80,7 +98,9 @@ struct Args {
     out: Option<String>,
     quick: bool,
     smoke: bool,
+    smoke_approx: bool,
     merge_mqo: Option<String>,
+    merge_approx: Option<String>,
     baseline_file: Option<String>,
     baseline_note: Option<String>,
 }
@@ -90,6 +110,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: bench_rrpa [--space grid[,pwl]] [--seeds N] [--threads N[,M...]] \
          [--batch N] [--overlap R[,R...]] [--out PATH] [--quick] [--smoke] \
+         [--smoke-approx] [--merge-mqo FILE] [--merge-approx FILE] \
          [--baseline FILE] [--baseline-note TEXT]"
     );
     std::process::exit(2);
@@ -105,7 +126,9 @@ fn parse_args() -> Args {
         out: None,
         quick: false,
         smoke: false,
+        smoke_approx: false,
         merge_mqo: None,
+        merge_approx: None,
         baseline_file: None,
         baseline_note: None,
     };
@@ -165,10 +188,17 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--smoke" => args.smoke = true,
+            "--smoke-approx" => args.smoke_approx = true,
             "--merge-mqo" => {
                 args.merge_mqo = Some(
                     it.next()
                         .unwrap_or_else(|| die("--merge-mqo expects a path")),
+                );
+            }
+            "--merge-approx" => {
+                args.merge_approx = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--merge-approx expects a path")),
                 );
             }
             "--baseline" => {
@@ -462,6 +492,191 @@ fn measure_mqo_matrix(args: &Args) -> Vec<MqoBaselineEntry> {
     mqo_entries
 }
 
+/// The ε-approximate matrix (grid backend, single-threaded): the quick
+/// two-parameter configurations plus the 10-table chain at one
+/// parameter. Two-parameter rows are where the band pays — frontiers are
+/// large and dominated by near-duplicates — so they anchor the committed
+/// speedup claim.
+fn approx_configs() -> Vec<(Topology, &'static str, usize, usize)> {
+    vec![
+        (Topology::Chain, "chain", 6, 2),
+        (Topology::Star, "star", 5, 2),
+        (Topology::Chain, "chain", 10, 1),
+    ]
+}
+
+/// The ε sweep of the `approx_entries` matrix (matches the proptest
+/// sweep).
+const APPROX_EPSILONS: [f64; 3] = [1e-3, 1e-2, 1e-1];
+
+/// Measures one ε cell: each seed run approximately *and* exactly
+/// (single-threaded, grid backend), reduced to medians and ratios.
+fn measure_approx(
+    topology: Topology,
+    workload: &str,
+    num_tables: usize,
+    num_params: usize,
+    epsilon: f64,
+    seeds: usize,
+) -> ApproxBaselineEntry {
+    let mut config = OptimizerConfig::default_for(num_params);
+    config.threads = Some(1);
+    let records: Vec<ApproxRecord> = (0..seeds)
+        .map(|s| {
+            let r = run_approx_once(
+                SpaceKind::Grid,
+                num_tables,
+                topology,
+                num_params,
+                s as u64,
+                &config,
+                epsilon,
+            );
+            eprintln!(
+                "  grid {workload} n={num_tables} p={num_params} eps={epsilon} seed={s}: \
+                 {:.0}ms (exact {:.0}ms) lps={}/{} final={}/{}",
+                r.approx.time_ms,
+                r.exact.time_ms,
+                r.approx.lps_solved,
+                r.exact.lps_solved,
+                r.approx.final_plans,
+                r.exact.final_plans
+            );
+            r
+        })
+        .collect();
+    ApproxBaselineEntry::from_records(
+        SpaceKind::Grid,
+        workload,
+        num_tables,
+        num_params,
+        epsilon,
+        &records,
+    )
+}
+
+/// CI smoke mode for the ε-approximate path: the ε = 0 identity, the
+/// (1+ε)-cover on a small grid config, and the deadline-triggered ε path
+/// through the service (see the module docs).
+fn run_smoke_approx() {
+    use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+    use mpq_cloud::model::CloudCostModel;
+    use mpq_core::grid_space::GridSpace;
+    use mpq_core::rrpa::optimize;
+    use mpq_core::space::MpqSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let (topology, workload, n, p) = batch_configs(SpaceKind::Grid, true)[0];
+    let mut config = OptimizerConfig::default_for(p);
+    config.threads = Some(1);
+    // ε = 0 through the banded entry point changes no counter: the
+    // explicit-zero run and the default exact configuration must agree
+    // bit for bit (run_approx_once runs both sides with epsilon 0.0).
+    assert_eq!(
+        config.epsilon, 0.0,
+        "smoke-approx: exact optimization must be the configuration default"
+    );
+    let zero = run_approx_once(SpaceKind::Grid, n, topology, p, 0, &config, 0.0);
+    assert_eq!(
+        (
+            zero.approx.plans_created,
+            zero.approx.lps_solved,
+            zero.approx.final_plans
+        ),
+        (
+            zero.exact.plans_created,
+            zero.exact.lps_solved,
+            zero.exact.final_plans
+        ),
+        "smoke-approx: ε=0 must be counter-identical to the exact path"
+    );
+    // The (1+ε)-cover at ε = 0.1 on a small 2-parameter config: at every
+    // probe point, every exact-frontier cost vector is dominated within
+    // the band by some approximate plan, and the approximate frontier is
+    // never larger.
+    let eps = 0.1;
+    let model = CloudCostModel::default();
+    let wcfg = WorkloadConfig::uniform(GeneratorConfig::paper(n, topology, p), 3, 0.0);
+    let queries = generate_workload(&wcfg, &mut StdRng::seed_from_u64(1)).queries;
+    let approx_cfg = OptimizerConfig {
+        epsilon: eps,
+        ..config.clone()
+    };
+    let mut collapsed = 0usize;
+    for q in &queries {
+        let space = GridSpace::for_unit_box(p, &config, 2).expect("grid space");
+        let exact = optimize(q, &model, &space, &config);
+        let approx = optimize(q, &model, &space, &approx_cfg);
+        assert!(
+            approx.stats.final_plan_count <= exact.stats.final_plan_count,
+            "smoke-approx: ε-discards grew the frontier"
+        );
+        collapsed += exact.stats.final_plan_count - approx.stats.final_plan_count;
+        for v in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let x = vec![v; space.dim()];
+            let exact_front = exact.frontier_at(&space, &x);
+            let approx_costs: Vec<Vec<f64>> = approx
+                .frontier_at(&space, &x)
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            let covered = exact_front.iter().all(|(_, target)| {
+                approx_costs.iter().any(|candidate| {
+                    candidate
+                        .iter()
+                        .zip(target)
+                        .all(|(c, t)| *c <= (1.0 + eps) * *t + 1e-9 + 1e-9 * t.abs())
+                })
+            });
+            assert!(
+                covered,
+                "smoke-approx: ε={eps} cover violated at {x:?}\nexact {exact_front:?}\napprox {approx_costs:?}"
+            );
+        }
+    }
+    // The deadline-triggered ε path through the service: a sparse trace
+    // (arrivals slower than the batch deadline) under
+    // `ApproxPolicy::deadline_only(0.1)` must downgrade batches and
+    // stamp ε-served responses.
+    let spec = ServiceSpec {
+        num_tables: 3,
+        topology: Topology::Chain,
+        num_params: 1,
+        trace: 8,
+        overlap: 1.0,
+        shards: 1,
+        max_batch: 4,
+        max_wait_us: 100,
+        mean_gap_us: 200,
+        capacity: None,
+        subtree: None,
+        approx_epsilon: Some(0.1),
+    };
+    let mut service_cfg = OptimizerConfig::default_for(1);
+    service_cfg.threads = Some(1);
+    let r = run_service_trace(&spec, 0, &service_cfg);
+    assert!(
+        r.deadline_triggered > 0,
+        "smoke-approx: a sparse trace must deadline-trigger batches"
+    );
+    assert!(
+        r.approx_batches > 0 && r.approx_served > 0,
+        "smoke-approx: deadline pressure must serve ε-approximate responses \
+         (batches {} served {})",
+        r.approx_batches,
+        r.approx_served
+    );
+    eprintln!(
+        "smoke-approx ok: {workload} n={n} p={p} collapsed={collapsed} plans over {} queries; \
+         service approx_served={} approx_batches={} of {} batches",
+        queries.len(),
+        r.approx_served,
+        r.approx_batches,
+        r.batches
+    );
+}
+
 /// CI smoke mode: one tiny batched workload; asserts the new path's
 /// invariants end to end (see the module docs) and prints a summary.
 fn run_smoke() {
@@ -551,11 +766,11 @@ fn run_smoke() {
         (cached.plans_created, cached.final_plans),
         "smoke: subtree-cached batch diverged from the lift-only batch"
     );
-    // The JSON writer keeps its schema-v7 shape.
+    // The JSON writer keeps its schema shape.
     let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
     let mqo_entry = measure_mqo(SpaceKind::Grid, workload, &spec, None, 1);
     let json = baseline_json(
-        &[("schema_version", "7".to_string())],
+        &[("schema_version", "8".to_string())],
         &[],
         &[entry],
         &[mqo_entry],
@@ -579,6 +794,7 @@ fn run_smoke() {
 }
 
 const MQO_MARKER: &str = ",\n  \"mqo_command\"";
+const APPROX_MARKER: &str = ",\n  \"approx_command\"";
 const SERVICE_MARKER: &str = ",\n  \"service_command\"";
 const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
 
@@ -594,45 +810,21 @@ fn render_mqo_block(command: &str, entries: &[MqoBaselineEntry]) -> String {
     out
 }
 
-/// Splices a freshly measured `mqo_command`/`mqo_entries` section into an
-/// existing baseline file: a previous mqo block is replaced, everything
-/// else — single-query entries, batch rows, the trailing service/chaos
-/// blocks — is preserved byte for byte, and the schema version is bumped
-/// to 7. This is how the subtree-cache rows join a committed baseline
-/// without re-measuring (and thus perturbing) the other sections.
-fn merge_mqo_into(path: &str, new_block: &str) -> String {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read --merge-mqo file {path}: {e}")));
-    let end = text
-        .rfind('}')
-        .unwrap_or_else(|| die("--merge-mqo file is not a JSON object"));
-    let mqo_pos = text.find(MQO_MARKER).filter(|&p| p < end);
-    let svc_pos = text.find(SERVICE_MARKER).filter(|&p| p < end);
-    let chaos_pos = text.find(CHAOS_MARKER).filter(|&p| p < end);
-    // The mqo block precedes the service/chaos blocks; insert it before
-    // the first of them (or before the final `}` when there are none).
-    let trailing = svc_pos.unwrap_or(end).min(chaos_pos.unwrap_or(end));
-    let mut out = if let Some(p) = mqo_pos {
-        let stop = [svc_pos, chaos_pos]
-            .into_iter()
-            .flatten()
-            .filter(|&q| q > p)
-            .min()
-            .unwrap_or(end);
-        format!(
-            "{}{}{}",
-            &text[..p],
-            new_block,
-            text[stop..end].trim_end()
-        )
-    } else {
-        format!(
-            "{}{}{}",
-            text[..trailing].trim_end(),
-            new_block,
-            text[trailing..end].trim_end()
-        )
-    };
+/// Renders the `approx_command`/`approx_entries` section (starting with
+/// the separator comma, no trailing newline).
+fn render_approx_block(command: &str, entries: &[ApproxBaselineEntry]) -> String {
+    let mut out = format!(",\n  \"approx_command\": \"{command}\",\n  \"approx_entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Bumps the top-level schema number to 8 in place (the spliced file now
+/// carries v8 sections).
+fn bump_schema(out: &mut String) {
     const KEY: &str = "\"schema_version\": ";
     if let Some(pos) = out.find(KEY) {
         let start = pos + KEY.len();
@@ -641,11 +833,75 @@ fn merge_mqo_into(path: &str, new_block: &str) -> String {
             .take_while(|c| c.is_ascii_digit())
             .count();
         if digits > 0 {
-            out.replace_range(start..start + digits, "7");
+            out.replace_range(start..start + digits, "8");
         }
     }
+}
+
+/// Splices a freshly measured block (per `marker`) into an existing
+/// baseline file: a previous block with the same marker is replaced,
+/// everything else is preserved byte for byte, the block is inserted
+/// before the first of the `followers` markers (baseline section order is
+/// mqo → approx → service → chaos), and the schema version is bumped to
+/// 8. This is how re-measured rows join a committed baseline without
+/// perturbing the other sections.
+fn merge_block_into(path: &str, new_block: &str, marker: &str, followers: &[&str]) -> String {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read merge file {path}: {e}")));
+    let end = text
+        .rfind('}')
+        .unwrap_or_else(|| die("merge file is not a JSON object"));
+    let own_pos = text.find(marker).filter(|&p| p < end);
+    let follower_pos: Vec<usize> = followers
+        .iter()
+        .filter_map(|m| text.find(m).filter(|&p| p < end))
+        .collect();
+    // This block precedes its followers; insert it before the first of
+    // them (or before the final `}` when there are none).
+    let trailing = follower_pos.iter().copied().min().unwrap_or(end);
+    let mut out = if let Some(p) = own_pos {
+        let stop = follower_pos
+            .iter()
+            .copied()
+            .filter(|&q| q > p)
+            .min()
+            .unwrap_or(end);
+        format!("{}{}{}", &text[..p], new_block, text[stop..end].trim_end())
+    } else {
+        format!(
+            "{}{}{}",
+            text[..trailing].trim_end(),
+            new_block,
+            text[trailing..end].trim_end()
+        )
+    };
+    bump_schema(&mut out);
     out.push_str("\n}\n");
     out
+}
+
+/// Splices a freshly measured `mqo_command`/`mqo_entries` section into an
+/// existing baseline file, preserving the single-query entries, batch
+/// rows and the trailing approx/service/chaos blocks byte for byte.
+fn merge_mqo_into(path: &str, new_block: &str) -> String {
+    merge_block_into(
+        path,
+        new_block,
+        MQO_MARKER,
+        &[APPROX_MARKER, SERVICE_MARKER, CHAOS_MARKER],
+    )
+}
+
+/// Splices a freshly measured `approx_command`/`approx_entries` section
+/// into an existing baseline file, preserving every other section byte
+/// for byte (the approx block sits between the mqo and service blocks).
+fn merge_approx_into(path: &str, new_block: &str) -> String {
+    merge_block_into(
+        path,
+        new_block,
+        APPROX_MARKER,
+        &[SERVICE_MARKER, CHAOS_MARKER],
+    )
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -666,6 +922,10 @@ fn main() {
     let args = parse_args();
     if args.smoke {
         run_smoke();
+        return;
+    }
+    if args.smoke_approx {
+        run_smoke_approx();
         return;
     }
     if args.seeds == 0 {
@@ -706,6 +966,25 @@ fn main() {
         eprintln!("merged {} mqo rows into {path}", mqo_entries.len());
         return;
     }
+    if let Some(path) = args.merge_approx.clone() {
+        // Measure only the ε-approximate matrix and splice it into the
+        // existing baseline, leaving every other row byte-identical.
+        let mut approx_entries = Vec::new();
+        for (topology, workload, n, p) in approx_configs() {
+            for eps in APPROX_EPSILONS {
+                approx_entries.push(measure_approx(topology, workload, n, p, eps, args.seeds));
+            }
+        }
+        let command = format!(
+            "cargo run --release -p mpq-bench --bin bench_rrpa -- --seeds {} \
+             --merge-approx {path}",
+            args.seeds,
+        );
+        let json = merge_approx_into(&path, &render_approx_block(&command, &approx_entries));
+        std::fs::write(&path, &json).expect("writable --merge-approx path");
+        eprintln!("merged {} approx rows into {path}", approx_entries.len());
+        return;
+    }
     let mut entries = Vec::new();
     for &space in &args.spaces {
         for (topology, workload, n, p) in configs(space, args.quick) {
@@ -740,7 +1019,7 @@ fn main() {
     }
     let mqo_entries = measure_mqo_matrix(&args);
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "7".to_string()),
+        ("schema_version", "8".to_string()),
         (
             "command",
             format!(
@@ -761,30 +1040,35 @@ fn main() {
         meta.push(("baseline_note", format!("\"{}\"", json_escape(note))));
     }
     if let Some(path) = &args.baseline_file {
-        // Embed the reference measurement verbatim under "baseline".
+        // Embed the reference measurement verbatim under "baseline",
+        // indented one level deeper: nested section keys must never sit
+        // at the 2-space indent the `merge_*` markers match, or a later
+        // merge would splice its block *inside* the baseline object.
         let baseline = std::fs::read_to_string(path).expect("readable --baseline file");
-        meta.push(("baseline", baseline.trim_end().to_string()));
+        meta.push(("baseline", baseline.trim_end().replace('\n', "\n  ")));
     }
     // Service rows (`service_entries`) and fault-injection rows
     // (`chaos_entries`) are measured and merged in by the `bench_service`
     // bin, which owns the service matrix.
     let mut json = baseline_json(&meta, &entries, &batch_entries, &mqo_entries, &[], &[]);
     let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
-    // Re-running this bin must not destroy service/chaos rows a previous
-    // `bench_service --merge` spliced into the same file: carry the
-    // existing trailing blocks forward verbatim (the service block, when
-    // present, always precedes the chaos block).
+    // Re-running this bin must not destroy approx/service/chaos rows a
+    // previous `--merge-approx` or `bench_service --merge` spliced into
+    // the same file: carry the existing trailing blocks forward verbatim
+    // (section order is approx → service → chaos).
     if let Ok(prev) = std::fs::read_to_string(out) {
         let pos = prev
-            .find(",\n  \"service_command\"")
-            .or_else(|| prev.find(",\n  \"chaos_command\""));
+            .find(APPROX_MARKER)
+            .or_else(|| prev.find(SERVICE_MARKER))
+            .or_else(|| prev.find(CHAOS_MARKER));
         if let Some(pos) = pos {
             let end = prev.rfind('}').expect("existing baseline is a JSON object");
             let block = prev[pos..end].trim_end();
             let insert = json.rfind('}').expect("baseline_json emits an object");
             json = format!("{}{}\n}}\n", json[..insert].trim_end(), block);
             eprintln!(
-                "carried the existing service/chaos blocks forward (re-measure with bench_service)"
+                "carried the existing approx/service/chaos blocks forward \
+                 (re-measure with --merge-approx / bench_service)"
             );
         }
     }

@@ -2,7 +2,7 @@
 //! through the `mpq-service` front-end (batch accumulation → sharded
 //! sessions → bounded caches → panic quarantine) and merges the measured
 //! `service_entries` / `chaos_entries` into `BENCH_rrpa.json` (schema
-//! v7).
+//! v8).
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_service -- \
@@ -21,7 +21,12 @@
 //!   an existing baseline file: the previous `service_entries` block (or
 //!   `chaos_entries` under `--chaos`) is replaced, everything else —
 //!   including the *other* trailing block — is preserved verbatim, and
-//!   the schema version is bumped to 7.
+//!   the schema version is bumped to 8.
+//! * The fault-free matrix appends one **deadline-ε** row per workload:
+//!   a sparse trace (`mean_gap = 2 × max_wait`) under
+//!   `ApproxPolicy::deadline_only(0.1)`, so deadline-triggered batches
+//!   are downgraded to the ε-approximate frontier mode and the row's
+//!   `approx_served`/`approx_batches` columns are live.
 //! * `--chaos` — measure the fault-injection matrix instead of the
 //!   fault-free service matrix: seeded fault plans poison `--fault-rate`
 //!   of each trace's queries; rows record quarantine counts, worker
@@ -223,7 +228,13 @@ fn run_smoke() {
             max_wait_us: 120,
             mean_gap_us: 100,
             capacity: None,
-            subtree: None,
+            // Pass-through subtree cache: the session default is now
+            // *enabled*, but this smoke pins exact counter equality
+            // against one-by-one sessions — a subtree hit would replay
+            // frontiers without touching the lift cache or the LP
+            // solver and break the comparison.
+            subtree: Some(Some(0)),
+            approx_epsilon: None,
         };
         let r = run_service_trace(&spec, 0, &config);
         // Trigger mix sane: every batch carries exactly one trigger, the
@@ -350,6 +361,7 @@ fn run_smoke_chaos() {
             mean_gap_us: 100,
             capacity: None,
             subtree: None,
+            approx_epsilon: None,
         };
         let r = run_chaos_trace(&spec, 0.3, 0, &config);
         assert!(
@@ -432,7 +444,7 @@ fn render_chaos_block(command: &str, entries: &[ChaosBaselineEntry]) -> String {
 /// Replaces one trailing section (`service_*` or `chaos_*`, per
 /// `new_block`'s marker) of an existing baseline file, preserving
 /// everything else — including the *other* trailing section — verbatim,
-/// re-ordering service-before-chaos, and bumping the schema to v7.
+/// re-ordering service-before-chaos, and bumping the schema to v8.
 fn merge_into(path: &str, new_block: &str) -> String {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read --merge file {path}: {e}")));
@@ -460,8 +472,8 @@ fn merge_into(path: &str, new_block: &str) -> String {
         (Some(new_block.to_string()), existing_chaos)
     };
     let mut out = text[..head_end].trim_end().to_string();
-    // Bump the top-level schema number to 7 whatever it was before (the
-    // spliced file now carries v7 sections).
+    // Bump the top-level schema number to 8 whatever it was before (the
+    // spliced file now carries v8 sections).
     const KEY: &str = "\"schema_version\": ";
     if let Some(pos) = out.find(KEY) {
         let start = pos + KEY.len();
@@ -470,7 +482,7 @@ fn merge_into(path: &str, new_block: &str) -> String {
             .take_while(|c| c.is_ascii_digit())
             .count();
         if digits > 0 {
-            out.replace_range(start..start + digits, "7");
+            out.replace_range(start..start + digits, "8");
         }
     }
     if let Some(b) = service_block {
@@ -516,6 +528,7 @@ fn main() {
                     mean_gap_us: args.mean_gap_us,
                     capacity: args.capacity,
                     subtree: None,
+                    approx_epsilon: None,
                 };
                 entries.push(measure(&spec, workload, args.seeds));
             }
@@ -536,6 +549,28 @@ fn main() {
             mean_gap_us: args.mean_gap_us,
             capacity: Some(4),
             subtree: None,
+            approx_epsilon: None,
+        };
+        entries.push(measure(&spec, workload, args.seeds));
+    }
+    // One deadline-ε row per workload: a sparse trace (arrivals slower
+    // than the batch deadline, so batches deadline-trigger) under
+    // `ApproxPolicy::deadline_only(0.1)` — the anytime dial measured in
+    // its target regime; `approx_served`/`approx_batches` are live here.
+    for (topology, workload, n, p) in service_configs() {
+        let spec = ServiceSpec {
+            num_tables: n,
+            topology,
+            num_params: p,
+            trace: args.trace,
+            overlap: 1.0,
+            shards: 1,
+            max_batch: args.max_batch,
+            max_wait_us: args.max_wait_us,
+            mean_gap_us: 2 * args.max_wait_us,
+            capacity: args.capacity,
+            subtree: None,
+            approx_epsilon: Some(0.1),
         };
         entries.push(measure(&spec, workload, args.seeds));
     }
@@ -584,6 +619,7 @@ fn run_chaos_matrix(args: &Args) {
                         mean_gap_us: args.mean_gap_us,
                         capacity: args.capacity,
                         subtree: None,
+                        approx_epsilon: None,
                     };
                     entries.push(measure_chaos(&spec, workload, fault_rate, args.seeds));
                 }

@@ -290,9 +290,7 @@ impl TableSet {
     pub fn localize_within(self, parent: TableSet) -> TableSet {
         debug_assert!(self.is_subset_of(parent));
         self.iter().fold(TableSet::EMPTY, |acc, t| {
-            acc.union(TableSet(
-                1 << parent.rank_of(t).expect("member of parent"),
-            ))
+            acc.union(TableSet(1 << parent.rank_of(t).expect("member of parent")))
         })
     }
 
@@ -436,10 +434,7 @@ mod tests {
         assert_eq!(local.delocalize_within(parent), sub);
         // Every subset round-trips.
         for sub in parent.proper_subsets() {
-            assert_eq!(
-                sub.localize_within(parent).delocalize_within(parent),
-                sub
-            );
+            assert_eq!(sub.localize_within(parent).delocalize_within(parent), sub);
         }
         assert_eq!(
             parent.localize_within(parent),

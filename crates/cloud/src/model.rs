@@ -209,10 +209,7 @@ impl ParametricCostModel for CloudCostModel {
         }
         // Section lengths are folded in so adjacent variable-length
         // sections can never alias across different subtree structures.
-        let preds = query
-            .predicates
-            .iter()
-            .filter(|p| tables.contains(p.table));
+        let preds = query.predicates.iter().filter(|p| tables.contains(p.table));
         shape = shape.word(preds.clone().count() as u64);
         for p in preds {
             shape = shape.word(rank(p.table));

@@ -260,6 +260,17 @@ impl MpqSpace for GridSpace {
         dominator.dominates_everywhere(dominated)
     }
 
+    fn dominates_everywhere_banded(
+        &self,
+        dominator: &GridCost,
+        dominated: &GridCost,
+        band: f64,
+    ) -> bool {
+        // Also vertex-exact: `dominator − band · dominated` is linear on
+        // each simplex, so its sign is decided at the vertices.
+        dominator.dominates_everywhere_banded(dominated, band)
+    }
+
     fn region_contains(&self, region: &GridRegion, x: &[f64]) -> bool {
         // Points on shared simplex faces belong to several simplices;
         // membership holds if ANY containing simplex grants it. Cutouts use

@@ -122,6 +122,15 @@ pub struct OptimizerConfig {
     /// default (`RAYON_NUM_THREADS` or the machine's parallelism). The
     /// result is identical for every value — only wall time changes.
     pub threads: Option<usize>,
+    /// Approximation factor of the ε-approximate frontier mode: during
+    /// pruning a **new** plan's relevance region is reduced wherever a
+    /// retained plan (1+ε)-band dominates it, collapsing near-duplicate
+    /// plans early (arXiv 1404.0046's coarsened dominance, applied inside
+    /// the DP). Retained plans are still reduced exactly, so every
+    /// exact-frontier plan stays (1+ε)-dominated by some kept plan — the
+    /// cover guarantee. `0.0` (the default) is **bit-identical** to the
+    /// exact optimizer on every code path.
+    pub epsilon: f64,
 }
 
 impl OptimizerConfig {
@@ -142,6 +151,7 @@ impl OptimizerConfig {
             pvi_fastpath: true,
             postpone_cartesian: true,
             threads: None,
+            epsilon: 0.0,
         }
     }
 }

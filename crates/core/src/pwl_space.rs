@@ -206,6 +206,45 @@ impl MpqSpace for PwlSpace {
         true
     }
 
+    /// Banded whole-space dominance via a coverage check: `dominator`
+    /// `band`-dominates `dominated` everywhere iff the union of the banded
+    /// dominance polytopes (`dominator ≤ band · dominated`, Algorithm 3
+    /// with the shifted offsets) covers the parameter space — decided by
+    /// subtracting them from a throwaway full region and asking the shared
+    /// engine for emptiness. Exact up to LP tolerance, so no false
+    /// positives; `band == 1.0` takes the exact fast path (the trait
+    /// default) so the ε=0 run stays bit-identical.
+    fn dominates_everywhere_banded(
+        &self,
+        dominator: &MultiCostFn,
+        dominated: &MultiCostFn,
+        band: f64,
+    ) -> bool {
+        if band == 1.0 {
+            return self.dominates_everywhere(dominator, dominated);
+        }
+        let dom = dominator.dominance_regions_banded(dominated, band, &self.ctx);
+        if dom.is_empty() {
+            return false;
+        }
+        let mut state = CutoutRegion::Full;
+        for poly in dom {
+            if state.is_marked_empty() {
+                break;
+            }
+            let halfspaces: HalfspaceList = poly.halfspaces().iter().cloned().collect();
+            if halfspaces.is_empty() {
+                // An unconstrained polytope covers the whole space.
+                state.mark_empty();
+                continue;
+            }
+            self.engine
+                .add_cutout(&self.ctx, &self.base, &mut state, halfspaces, true);
+        }
+        self.engine
+            .region_is_empty(&self.ctx, &self.base, &mut state)
+    }
+
     /// `IsEmpty` of Algorithm 2: the region is empty iff the union of its
     /// cutouts covers the parameter space (see the module docs for why the
     /// engine's coverage check coincides with the paper's BFT

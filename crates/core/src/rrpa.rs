@@ -272,6 +272,13 @@ struct RunCtx<'a, S: MpqSpace, M: ?Sized> {
     /// with a whole session batch. Increments are sums, so the value is
     /// schedule-independent and deterministic for every thread count.
     run_lps: &'a Arc<AtomicU64>,
+    /// Per-pruning-step dominance band of the ε-approximate mode:
+    /// `(1+ε)^(1/n)` for an `n`-table query, so the band compounds across
+    /// the at most `n` DP levels a plan's cost flows through to an overall
+    /// factor of at most `1+ε`. Exactly `1.0` when `config.epsilon == 0`
+    /// — the spaces' banded entry points then take their exact paths bit
+    /// for bit.
+    band: f64,
 }
 
 // `#[derive(Clone, Copy)]` would demand `S: Copy`; the context is a pack
@@ -320,7 +327,7 @@ fn optimize_set<S: MpqSpace, M: ParametricCostModel + ?Sized>(
                         right: p2.node_id(),
                     };
                     tally.plans_created += 1;
-                    prune(ctx.space, ctx.config, &mut plans, node, cost, &mut tally);
+                    prune(ctx, &mut plans, node, cost, &mut tally);
                 }
             }
         }
@@ -353,7 +360,7 @@ fn optimize_base<S: MpqSpace, M: ParametricCostModel + ?Sized>(
             op: alt.op,
         };
         tally.plans_created += 1;
-        prune(ctx.space, ctx.config, &mut plans, node, cost, &mut tally);
+        prune(ctx, &mut plans, node, cost, &mut tally);
     }
     (plans, tally)
 }
@@ -377,7 +384,14 @@ fn subtree_key<S: MpqSpace, M: ParametricCostModel + ?Sized>(
             | (c.redundant_cutout_removal as u64) << 3
             | (c.redundant_constraint_removal as u64) << 4
             | (full_connected as u64) << 5;
-        shape.word(flags).word(c.grid_resolution as u64)
+        shape
+            .word(flags)
+            .word(c.grid_resolution as u64)
+            // The dominance band steers pruning, so it is part of the
+            // subtree identity (constant `1.0_f64.to_bits()` at ε = 0 —
+            // the exact path's keys stay bijective with the previous
+            // scheme, preserving hit/miss totals).
+            .word(ctx.band.to_bits())
     })
 }
 
@@ -564,6 +578,16 @@ where
     );
     let start = Instant::now();
     let run_lps = Arc::new(AtomicU64::new(0));
+    let n = query.num_tables();
+    assert!(
+        config.epsilon >= 0.0 && config.epsilon.is_finite(),
+        "epsilon must be finite and non-negative"
+    );
+    let band = if config.epsilon > 0.0 {
+        (1.0 + config.epsilon).powf(1.0 / n as f64)
+    } else {
+        1.0
+    };
     let ctx = RunCtx {
         query,
         model,
@@ -571,8 +595,8 @@ where
         config,
         cache,
         run_lps: &run_lps,
+        band,
     };
-    let n = query.num_tables();
     let mut arena = PlanArena::new();
     let mut stats = OptStats::default();
     let mut best: HashMap<TableSet, Vec<PendingPlan<S>>> = HashMap::new();
@@ -595,7 +619,15 @@ where
                 optimize_base(ctx, t)
             })
         });
-        register_level_result(&mut arena, &mut stats, &mut best, &mut origins, q, plans, tally);
+        register_level_result(
+            &mut arena,
+            &mut stats,
+            &mut best,
+            &mut origins,
+            q,
+            plans,
+            tally,
+        );
     }
 
     // Table sets of increasing cardinality (lines 8–13); sets within one
@@ -628,7 +660,15 @@ where
         // Deterministic merge: arena ids and stats are assigned in
         // table-set order, independent of worker scheduling.
         for (q, plans, tally) in results {
-            register_level_result(&mut arena, &mut stats, &mut best, &mut origins, q, plans, tally);
+            register_level_result(
+                &mut arena,
+                &mut stats,
+                &mut best,
+                &mut origins,
+                q,
+                plans,
+                tally,
+            );
         }
     }
 
@@ -680,18 +720,41 @@ fn register_level_result<S: MpqSpace>(
 
 /// The pruning procedure of Algorithm 1 (lines 33–57), with the §6.3-style
 /// whole-space dominance fast path.
-fn prune<S: MpqSpace>(
-    space: &S,
-    config: &OptimizerConfig,
+///
+/// With `ctx.band > 1` (ε-approximate mode) the band is applied **only**
+/// as a whole-plan discard: a newcomer that some retained plan
+/// `band`-dominates everywhere is dropped before any geometry is built
+/// ([`MpqSpace::dominates_everywhere_banded`]); all region subtraction —
+/// insertion and retained phase alike — stays exact. Exact removals
+/// transfer coverage at factor 1 and a discard cites a *relevant* plan
+/// directly, so every coverage chain crosses at most one banded link per
+/// DP level and the whole run stays within `(1+ε)` for
+/// `band = (1+ε)^(1/n)` (`n` = table count). Banded *partial* cuts are
+/// deliberately excluded — see the trait docs for the counterexample.
+fn prune<S: MpqSpace, M: ParametricCostModel + ?Sized>(
+    ctx: RunCtx<'_, S, M>,
     plans: &mut Vec<PendingPlan<S>>,
     node: PlanNode,
     cost: S::Cost,
     tally: &mut Tally,
 ) {
+    let space = ctx.space;
+    let config = ctx.config;
+    let banded = ctx.band > 1.0;
     // Shrink the new plan's RR by every retained plan (lines 36–44).
     let mut region = space.full_region();
     for old in plans.iter() {
-        if config.pvi_fastpath && space.dominates_everywhere(&old.cost, &cost) {
+        // ε-approximate mode replaces the exact whole-space fast path
+        // with the banded discard — it *is* the approximation, so it is
+        // not gated on `pvi_fastpath`. The discard cites `old` directly:
+        // wherever `old` is no longer relevant, the (exact) chain of
+        // removals that cut its region already ends at relevant plans.
+        let discard = if banded {
+            space.dominates_everywhere_banded(&old.cost, &cost, ctx.band)
+        } else {
+            config.pvi_fastpath && space.dominates_everywhere(&old.cost, &cost)
+        };
+        if discard {
             tally.plans_pruned += 1;
             return;
         }
@@ -949,12 +1012,10 @@ mod tests {
 
             let space = GridSpace::for_unit_box(params, &config, 2).unwrap();
             let cache: SubtreeCache<GridSpace> = SubtreeCache::new();
-            let cold =
-                optimize_with(&query, &model, &space, &config, &pool, None, Some(&cache));
+            let cold = optimize_with(&query, &model, &space, &config, &pool, None, Some(&cache));
             let misses_after_cold = cache.stats().misses;
             assert!(misses_after_cold > 0, "cold run must populate the cache");
-            let warm =
-                optimize_with(&query, &model, &space, &config, &pool, None, Some(&cache));
+            let warm = optimize_with(&query, &model, &space, &config, &pool, None, Some(&cache));
             assert_eq!(
                 cache.stats().misses,
                 misses_after_cold,
@@ -964,8 +1025,7 @@ mod tests {
 
             // A zero-capacity cache degenerates to pass-through but must
             // still replay identically (every set builds + replays).
-            let passthrough: SubtreeCache<GridSpace> =
-                SubtreeCache::with_capacity(Some(0));
+            let passthrough: SubtreeCache<GridSpace> = SubtreeCache::with_capacity(Some(0));
             let zero = optimize_with(
                 &query,
                 &model,

@@ -17,7 +17,7 @@
 //! enough sample).
 
 use crate::space::MpqSpace;
-use mpq_cost::{dominates, strictly_dominates};
+use mpq_cost::{dominates, dominates_banded, strictly_dominates};
 use mpq_geometry::grid::lattice;
 
 /// Cost values at each sample point, flattened as
@@ -187,6 +187,25 @@ impl MpqSpace for SampledSpace {
             dominates(
                 self.value(dominator, idx),
                 self.value(dominated, idx),
+                self.tol,
+            )
+        })
+    }
+
+    fn dominates_everywhere_banded(
+        &self,
+        dominator: &SampledCost,
+        dominated: &SampledCost,
+        band: f64,
+    ) -> bool {
+        if band == 1.0 {
+            return self.dominates_everywhere(dominator, dominated);
+        }
+        (0..self.points.len()).all(|idx| {
+            dominates_banded(
+                self.value(dominator, idx),
+                self.value(dominated, idx),
+                band,
                 self.tol,
             )
         })

@@ -46,7 +46,10 @@
 //! let session = OptimizerSession::new(space, &model, config);
 //! let solutions = session.optimize_batch(&workload.queries);
 //! assert_eq!(solutions.len(), 4);
-//! assert!(session.cache_stats().hits > 0, "identical queries share lifts");
+//! assert!(
+//!     session.cache_stats().hits + session.subtree_cache_stats().hits > 0,
+//!     "identical queries share lifts or whole subtree frontiers"
+//! );
 //! ```
 
 use crate::rrpa::{optimize_with, LiftCache, MpqSolution, SubtreeCache};
@@ -88,9 +91,10 @@ pub struct SessionConfig {
     /// memoized across the session's queries (see
     /// [`mpq_core::rrpa`](crate::rrpa) — reuse is a pure memoization, so
     /// per-query plans and frontiers stay bit-identical to an uncached
-    /// session). Off by default: single-query sessions gain nothing, and
-    /// the cache retains cloned cost/region payloads that only pay for
-    /// themselves on overlapping workloads.
+    /// session). **On by default** since results are bit-identical and
+    /// overlapping workloads gain large LP savings; disable it (or bound
+    /// `subtree_cache_capacity`) when the cloned cost/region payloads
+    /// outweigh the reuse — e.g. strictly disjoint workloads.
     pub subtree_cached: bool,
     /// Entry bound of the shared-subplan cache (`None` = unbounded),
     /// evicted by the same deterministic second-chance policy as the
@@ -122,7 +126,7 @@ impl SessionConfig {
             optimizer,
             cached: true,
             cache_capacity: None,
-            subtree_cached: false,
+            subtree_cached: true,
             subtree_cache_capacity: None,
             fault_hook: None,
         }
@@ -134,11 +138,28 @@ impl SessionConfig {
         self
     }
 
-    /// Enables the shared-subplan cache, bounded to `capacity` entries
-    /// (`None` = unbounded).
+    /// Enables the shared-subplan cache (already the default), bounded to
+    /// `capacity` entries (`None` = unbounded).
     pub fn with_subtree_cache(mut self, capacity: Option<usize>) -> Self {
         self.subtree_cached = true;
         self.subtree_cache_capacity = capacity;
+        self
+    }
+
+    /// Disables the shared-subplan cache (it is on by default).
+    pub fn without_subtree_cache(mut self) -> Self {
+        self.subtree_cached = false;
+        self
+    }
+
+    /// Sets the ε-approximation factor of every optimization run in the
+    /// session (see [`OptimizerConfig::epsilon`]): plans within a
+    /// multiplicative `(1+ε)` band of a retained plan are pruned during
+    /// the DP. `0.0` (the default) is bit-identical to the exact
+    /// optimizer; per-call overrides are available through
+    /// [`OptimizerSession::optimize_batch_at`].
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.optimizer.epsilon = epsilon;
         self
     }
 }
@@ -246,6 +267,22 @@ where
     /// the session's shared parameter space covers (its cost closures
     /// would index past the space dimension).
     pub fn optimize(&self, query: &Query) -> MpqSolution<S> {
+        self.optimize_at(query, self.config.epsilon)
+    }
+
+    /// [`Self::optimize`] at an explicit ε-approximation factor,
+    /// overriding the session's configured [`OptimizerConfig::epsilon`]
+    /// for this run only — the entry point of the service's
+    /// deadline-driven precision dial. `epsilon == self.config.epsilon`
+    /// (in particular `0.0` on a default session) is bit-identical to
+    /// [`Self::optimize`]. Shared caches stay consistent: subtree-cache
+    /// keys incorporate the dominance band, and lifted costs are
+    /// ε-independent.
+    ///
+    /// # Panics
+    /// See [`Self::optimize`]; additionally panics if `epsilon` is
+    /// negative or non-finite.
+    pub fn optimize_at(&self, query: &Query, epsilon: f64) -> MpqSolution<S> {
         // Fault injection fires before any session state is touched (see
         // [`FaultHook`]): an injected panic cannot poison the cache or
         // the space, so callers may catch it and retry other queries.
@@ -258,11 +295,21 @@ where
             query.num_params,
             self.space.dim()
         );
+        let override_config;
+        let config = if epsilon == self.config.epsilon {
+            &self.config
+        } else {
+            override_config = OptimizerConfig {
+                epsilon,
+                ..self.config.clone()
+            };
+            &override_config
+        };
         optimize_with(
             query,
             self.model,
             &self.space,
-            &self.config,
+            config,
             &self.pool,
             self.cache.as_ref(),
             self.subtree.as_ref(),
@@ -277,8 +324,18 @@ where
     /// # Panics
     /// Panics if any query is invalid (see [`crate::rrpa::optimize`]).
     pub fn optimize_batch(&self, queries: &[Query]) -> Vec<MpqSolution<S>> {
-        self.pool
-            .install(|| queries.par_iter().map(|q| self.optimize(q)).collect())
+        self.optimize_batch_at(queries, self.config.epsilon)
+    }
+
+    /// [`Self::optimize_batch`] at an explicit ε-approximation factor
+    /// (see [`Self::optimize_at`]).
+    pub fn optimize_batch_at(&self, queries: &[Query], epsilon: f64) -> Vec<MpqSolution<S>> {
+        self.pool.install(|| {
+            queries
+                .par_iter()
+                .map(|q| self.optimize_at(q, epsilon))
+                .collect()
+        })
     }
 
     /// [`Self::optimize_batch`] plus the **per-batch LP delta**: the
@@ -404,6 +461,12 @@ where
     /// bit-identical to a one-shard run for every shard count (see the
     /// type docs).
     pub fn optimize_batch(&self, queries: &[Query]) -> Vec<MpqSolution<S>> {
+        self.optimize_batch_at(queries, self.shards[0].config.epsilon)
+    }
+
+    /// [`Self::optimize_batch`] at an explicit approximation factor — the
+    /// sharded counterpart of [`OptimizerSession::optimize_batch_at`].
+    pub fn optimize_batch_at(&self, queries: &[Query], epsilon: f64) -> Vec<MpqSolution<S>> {
         let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, q) in queries.iter().enumerate() {
             partitions[self.shard_of(q)].push(i);
@@ -411,7 +474,7 @@ where
         let mut merged: Vec<Option<MpqSolution<S>>> = (0..queries.len()).map(|_| None).collect();
         for (shard, indices) in partitions.iter().enumerate() {
             let part: Vec<Query> = indices.iter().map(|&i| queries[i].clone()).collect();
-            let solutions = self.shards[shard].optimize_batch(&part);
+            let solutions = self.shards[shard].optimize_batch_at(&part, epsilon);
             for (&i, sol) in indices.iter().zip(solutions) {
                 merged[i] = Some(sol);
             }
@@ -430,7 +493,10 @@ where
     /// Per-shard shared-subplan cache counters (all-zero when subtree
     /// caching is disabled).
     pub fn subtree_stats_per_shard(&self) -> Vec<CacheStats> {
-        self.shards.iter().map(|s| s.subtree_cache_stats()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.subtree_cache_stats())
+            .collect()
     }
 }
 
@@ -444,6 +510,10 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// A session with the (default-on) shared-subplan cache disabled:
+    /// these tests pin the cost-lifting cache layer and the per-batch LP
+    /// deltas in isolation, and a subtree hit replays whole frontiers
+    /// without ever reaching the lift cache or the LP solver.
     fn session(
         model: &CloudCostModel,
         params: usize,
@@ -451,11 +521,12 @@ mod tests {
     ) -> OptimizerSession<'_, GridSpace, CloudCostModel> {
         let config = OptimizerConfig::default_for(params);
         let space = GridSpace::for_unit_box(params, &config, 2).unwrap();
-        if cached {
-            OptimizerSession::new(space, model, config)
-        } else {
-            OptimizerSession::without_cache(space, model, config)
+        let session_cfg = SessionConfig {
+            cached,
+            ..SessionConfig::new(config)
         }
+        .without_subtree_cache();
+        OptimizerSession::with_config(space, model, session_cfg)
     }
 
     /// The satellite requirement: the cache must actually *hit* (not just
@@ -617,7 +688,11 @@ mod tests {
         let model = CloudCostModel::default();
         let config = OptimizerConfig::default_for(1);
         let space = || GridSpace::for_unit_box(1, &config, 2).unwrap();
-        let plain = OptimizerSession::new(space(), &model, config.clone());
+        let plain = OptimizerSession::with_config(
+            space(),
+            &model,
+            SessionConfig::new(config.clone()).without_subtree_cache(),
+        );
         let shared = OptimizerSession::with_config(
             space(),
             &model,

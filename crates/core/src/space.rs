@@ -96,6 +96,34 @@ pub trait MpqSpace {
         false
     }
 
+    /// [`MpqSpace::dominates_everywhere`] under a multiplicative band: a
+    /// sound test that `dominator ≤ band · dominated` over the whole
+    /// parameter space — the **whole-plan discard** of ε-approximate
+    /// pruning (the many-objective approximation scheme of
+    /// arXiv 1404.0046, applied per DP level): a newcomer that some
+    /// retained plan `(1+ε)`-dominates everywhere is dropped entirely,
+    /// and all region subtraction stays exact. Keeping the band out of
+    /// *partial* region cuts is what makes the cover compose: exact
+    /// removals transfer coverage at factor 1 and every coverage chain
+    /// crosses at most one banded link (the discard itself), so one run
+    /// compounds at most one band per DP level. Banded partial cuts, by
+    /// contrast, let near-tied plans remove each other (the strict
+    /// retained-phase reduction can fire where the band also fires),
+    /// leaving points no relevant plan covers.
+    ///
+    /// Same soundness bar as the exact test (no false positives), and
+    /// `band == 1.0` must equal the exact fast path bit for bit.
+    /// Default: delegate to the exact test (sound — exact dominance
+    /// implies banded dominance for `band ≥ 1`, never approximate).
+    fn dominates_everywhere_banded(
+        &self,
+        dominator: &Self::Cost,
+        dominated: &Self::Cost,
+        _band: f64,
+    ) -> bool {
+        self.dominates_everywhere(dominator, dominated)
+    }
+
     /// True iff `x` belongs to `region` (diagnostics and plan selection).
     /// Subtracted dominance regions are treated as open: boundary points,
     /// where the competitor ties, remain members.

@@ -1,0 +1,248 @@
+//! Property-based tests for the ε-approximate frontier mode.
+//!
+//! The approximation contract (`OptimizerConfig::epsilon`): at ε = 0 the
+//! banded pruning path is **bit-identical** to the exact optimizer —
+//! same counters, same plan ids, same frontier cost vectors — on every
+//! backend, thread count and shard count. At ε > 0 the optimizer may
+//! collapse near-duplicate plans, but must keep a **(1+ε)-cover**: at
+//! every probe point, every cost vector on the exact Pareto frontier is
+//! (1+ε)-dominated by some plan of the approximate solution. The
+//! approximate frontier is also never larger than the exact one (the
+//! banded predicate only removes more).
+
+use mpq_catalog::generator::{generate_workload, GeneratorConfig, WorkloadConfig};
+use mpq_catalog::graph::Topology;
+use mpq_catalog::Query;
+use mpq_cloud::model::CloudCostModel;
+use mpq_core::grid_space::GridSpace;
+use mpq_core::pwl_space::PwlSpace;
+use mpq_core::rrpa::{optimize, MpqSolution};
+use mpq_core::sampled::SampledSpace;
+use mpq_core::session::{SessionConfig, ShardedSession};
+use mpq_core::space::MpqSpace;
+use mpq_core::OptimizerConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic probe points for frontier comparison.
+fn probes(dim: usize) -> Vec<Vec<f64>> {
+    [0.0, 0.15, 0.5, 0.85, 1.0]
+        .iter()
+        .map(|&v| vec![v; dim])
+        .collect()
+}
+
+/// Per-query facts pinned bit for bit at ε = 0.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    plans_created: u64,
+    plans_pruned: u64,
+    final_plans: usize,
+    frontiers: Vec<Vec<(mpq_core::plan::PlanId, Vec<f64>)>>,
+}
+
+fn fingerprint<S: MpqSpace>(space: &S, sol: &MpqSolution<S>) -> Fingerprint {
+    Fingerprint {
+        plans_created: sol.stats.plans_created,
+        plans_pruned: sol.stats.plans_pruned,
+        final_plans: sol.stats.final_plan_count,
+        frontiers: probes(space.dim())
+            .iter()
+            .map(|x| sol.frontier_at(space, x))
+            .collect(),
+    }
+}
+
+/// Cover check: every exact-frontier cost vector is (1+ε)-dominated by
+/// some approximate plan at the same probe point. A small relative
+/// tolerance absorbs LP round-off on the evaluated costs.
+fn covers(exact: &[(mpq_core::plan::PlanId, Vec<f64>)], approx: &[Vec<f64>], eps: f64) -> bool {
+    exact.iter().all(|(_, target)| {
+        approx.iter().any(|candidate| {
+            candidate
+                .iter()
+                .zip(target)
+                .all(|(c, t)| *c <= (1.0 + eps) * *t + 1e-9 + 1e-9 * t.abs())
+        })
+    })
+}
+
+/// Runs the exact and ε-approximate optimizers on every query of the
+/// workload over one backend, asserting the ε = 0 identity, the cover
+/// property at each swept ε, and monotone frontier sizes.
+fn assert_epsilon_contract<S, F>(
+    queries: &[Query],
+    config: &OptimizerConfig,
+    make: F,
+    label: &str,
+) -> Result<(), TestCaseError>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    F: Fn() -> S,
+{
+    let model = CloudCostModel::default();
+    for q in queries {
+        let space = make();
+        let exact = optimize(q, &model, &space, config);
+        let exact_fp = fingerprint(&space, &exact);
+
+        // (a) ε = 0 through the banded entry point is bit-identical.
+        let zero_cfg = OptimizerConfig {
+            epsilon: 0.0,
+            ..config.clone()
+        };
+        let zero = optimize(q, &model, &space, &zero_cfg);
+        prop_assert_eq!(
+            &fingerprint(&space, &zero),
+            &exact_fp,
+            "{} backend: ε=0 must be bit-identical to exact",
+            label
+        );
+
+        for eps in [1e-3, 1e-2, 1e-1] {
+            let approx_cfg = OptimizerConfig {
+                epsilon: eps,
+                ..config.clone()
+            };
+            let approx = optimize(q, &model, &space, &approx_cfg);
+            // (c) banded pruning only removes more plans.
+            prop_assert!(
+                approx.stats.final_plan_count <= exact.stats.final_plan_count,
+                "{} backend: approx kept {} plans, exact {} (ε={})",
+                label,
+                approx.stats.final_plan_count,
+                exact.stats.final_plan_count,
+                eps
+            );
+            // (b) the cover guarantee at every probe point.
+            for x in probes(space.dim()) {
+                let exact_front = exact.frontier_at(&space, &x);
+                let approx_costs: Vec<Vec<f64>> = approx
+                    .frontier_at(&space, &x)
+                    .into_iter()
+                    .map(|(_, c)| c)
+                    .collect();
+                prop_assert!(
+                    covers(&exact_front, &approx_costs, eps),
+                    "{} backend: ε={} cover violated at {:?}\nexact {:?}\napprox {:?}",
+                    label,
+                    eps,
+                    x,
+                    exact_front,
+                    approx_costs
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    // Each case sweeps 3 ε values × 3 backends plus the sharded/threaded
+    // grid below; sizes stay small so the pwl piece algebra stays cheap.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn epsilon_cover_holds_everywhere(
+        num_tables in 2usize..=4,
+        topo in 0usize..=2,
+        params in 1usize..=2,
+        batch in 2usize..=3,
+        overlap_idx in 0usize..=2,
+        seed in 0u64..1000,
+    ) {
+        let overlap = [0.0, 0.5, 1.0][overlap_idx];
+        let params = params.min(num_tables);
+        let gen_cfg = GeneratorConfig::paper(num_tables, Topology::Chain, params);
+        let wcfg = match topo {
+            0 => WorkloadConfig::uniform(gen_cfg, batch, overlap),
+            1 => WorkloadConfig::uniform(
+                GeneratorConfig { topology: Topology::Star, ..gen_cfg },
+                batch,
+                overlap,
+            ),
+            _ => WorkloadConfig::mixed(gen_cfg, batch, overlap),
+        };
+        let workload = generate_workload(&wcfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(workload.max_params(), params);
+        let config = OptimizerConfig {
+            grid_resolution: 4,
+            threads: Some(1),
+            ..OptimizerConfig::default_for(params)
+        };
+
+        // Grid backend: every case.
+        let make_grid = || GridSpace::for_unit_box(params, &config, 2).expect("grid space");
+        assert_epsilon_contract(&workload.queries, &config, make_grid, "grid")?;
+
+        // Sampled backend (generic RRPA on a finite lattice): every case.
+        let make_sampled = || {
+            SampledSpace::lattice(&vec![0.0; params], &vec![1.0; params], 4, 2)
+        };
+        assert_epsilon_contract(&workload.queries, &config, make_sampled, "sampled")?;
+
+        // Exact pwl backend: the 1-parameter cases, matching the scope of
+        // the batch proptest.
+        if params == 1 && num_tables <= 3 {
+            let make_pwl = || PwlSpace::for_unit_box(params, &config, 2).expect("pwl space");
+            assert_epsilon_contract(&workload.queries, &config, make_pwl, "pwl")?;
+        }
+
+        // Sharded sessions at ε: threads × shards {1, 2, 4}. The ε = 0
+        // batch must be bit-identical to the exact per-query reference;
+        // ε > 0 batches must satisfy the cover and never grow frontiers.
+        let model = CloudCostModel::default();
+        let reference: Vec<Fingerprint> = workload
+            .queries
+            .iter()
+            .map(|q| {
+                let space = make_grid();
+                let sol = optimize(q, &model, &space, &config);
+                fingerprint(&space, &sol)
+            })
+            .collect();
+        for (threads, shards) in [(1usize, 1usize), (2, 2), (4, 4)] {
+            let cfg = OptimizerConfig { threads: Some(threads), ..config.clone() };
+            let session_cfg = SessionConfig::new(cfg.clone());
+            let sessions = ShardedSession::build(shards, &model, &session_cfg, || {
+                GridSpace::for_unit_box(params, &cfg, 2).expect("grid space")
+            });
+            let zero = sessions.optimize_batch_at(&workload.queries, 0.0);
+            for (i, sol) in zero.iter().enumerate() {
+                let shard = sessions.shard_of(&workload.queries[i]);
+                prop_assert_eq!(
+                    &fingerprint(sessions.shard(shard).space(), sol),
+                    &reference[i],
+                    "sharded ε=0 diverged (query {}, {} threads, {} shards)",
+                    i, threads, shards
+                );
+            }
+            for eps in [1e-2, 1e-1] {
+                let approx = sessions.optimize_batch_at(&workload.queries, eps);
+                for (i, sol) in approx.iter().enumerate() {
+                    let shard = sessions.shard_of(&workload.queries[i]);
+                    let space = sessions.shard(shard).space();
+                    prop_assert!(
+                        sol.stats.final_plan_count <= reference[i].final_plans,
+                        "sharded approx grew the plan set (query {}, ε={})", i, eps
+                    );
+                    for (pi, x) in probes(space.dim()).iter().enumerate() {
+                        let approx_costs: Vec<Vec<f64>> = sol
+                            .frontier_at(space, x)
+                            .into_iter()
+                            .map(|(_, c)| c)
+                            .collect();
+                        prop_assert!(
+                            covers(&reference[i].frontiers[pi], &approx_costs, eps),
+                            "sharded ε={} cover violated (query {}, probe {:?})",
+                            eps, i, x
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -495,10 +495,7 @@ mod tests {
             }
             let stats = cache.stats();
             assert_eq!(stats.misses, keys);
-            assert_eq!(
-                stats.hits,
-                (threads * lookups_per_thread) as u64 - keys
-            );
+            assert_eq!(stats.hits, (threads * lookups_per_thread) as u64 - keys);
         }
     }
 

@@ -308,6 +308,64 @@ impl GridCost {
         }
     }
 
+    /// [`GridCost::classify_metric`] under a multiplicative `(1+ε)` band:
+    /// classifies where `self ≤ band · other` on the simplex. With
+    /// `band == 1.0` it delegates to the exact classification (identical
+    /// code path, bit for bit). Like the exact case, the comparison is
+    /// vertex-exact: `self − band·other` is linear on the simplex, so its
+    /// sign pattern at the vertices decides the whole simplex.
+    pub fn classify_metric_banded(
+        &self,
+        other: &GridCost,
+        metric: usize,
+        simplex: usize,
+        band: f64,
+    ) -> MetricOnSimplex {
+        if band == 1.0 {
+            return self.classify_metric(other, metric, simplex);
+        }
+        let dim = self.grid.dim();
+        let mine = self.piece_slice(metric, simplex);
+        let theirs = other.piece_slice(metric, simplex);
+        // The banded difference piece `d = mine − band · theirs`,
+        // term-fused exactly like the exact classification.
+        let db = mine[dim] - band * theirs[dim];
+        let d_eval = |v: &[f64]| {
+            db + mine[..dim]
+                .iter()
+                .zip(&theirs[..dim])
+                .zip(v)
+                .map(|((a, b), x)| (a - band * b) * x)
+                .sum::<f64>()
+        };
+        let verts = &self.grid.simplex(simplex).vertices;
+        let mut any_le = false;
+        let mut any_gt = false;
+        for v in verts {
+            if cost_le(d_eval(v), 0.0) {
+                any_le = true;
+            } else {
+                any_gt = true;
+            }
+        }
+        match (any_le, any_gt) {
+            (true, false) => MetricOnSimplex::AlwaysLe,
+            (false, _) => MetricOnSimplex::NeverLe,
+            (true, true) => {
+                let dw: SmallVec<[f64; 8]> = mine[..dim]
+                    .iter()
+                    .zip(&theirs[..dim])
+                    .map(|(a, b)| a - band * b)
+                    .collect();
+                match Halfspace::new(&dw[..], -db) {
+                    HalfspaceKind::Proper(h) => MetricOnSimplex::Split(h),
+                    HalfspaceKind::AlwaysTrue => MetricOnSimplex::AlwaysLe,
+                    HalfspaceKind::AlwaysFalse => MetricOnSimplex::NeverLe,
+                }
+            }
+        }
+    }
+
     /// True iff `self` and `other` are (numerically) the same function on
     /// the simplex — equal per metric at every vertex, hence everywhere on
     /// the simplex by linearity.
@@ -356,6 +414,36 @@ impl GridCost {
         }
     }
 
+    /// [`GridCost::dominance_halfspaces`] under a multiplicative band: the
+    /// halfspaces confining the region within one simplex where `self`
+    /// **(1+ε)-dominates** `other` — `self ≤ band · other` on every metric.
+    /// Always non-strict (RRPA applies the band only when reducing the
+    /// *incoming* plan's region; retained plans reduce exactly), and with
+    /// `band == 1.0` identical to the exact non-strict computation.
+    pub fn dominance_halfspaces_banded(
+        &self,
+        other: &GridCost,
+        simplex: usize,
+        band: f64,
+    ) -> DominanceHalfspaces {
+        if band == 1.0 {
+            return self.dominance_halfspaces(other, simplex, false);
+        }
+        let mut halfspaces = HalfspaceList::new();
+        for m in 0..self.num_metrics {
+            match self.classify_metric_banded(other, m, simplex, band) {
+                MetricOnSimplex::NeverLe => return DominanceHalfspaces::Empty,
+                MetricOnSimplex::AlwaysLe => {}
+                MetricOnSimplex::Split(h) => halfspaces.push(h),
+            }
+        }
+        if halfspaces.is_empty() {
+            DominanceHalfspaces::Full
+        } else {
+            DominanceHalfspaces::Split(halfspaces)
+        }
+    }
+
     /// The region within one simplex where `self` dominates `other`, as a
     /// polytope (see [`GridCost::dominance_halfspaces`]).
     pub fn dominance_in_simplex(
@@ -383,6 +471,24 @@ impl GridCost {
         (0..self.num_metrics).all(|m| {
             (0..self.grid.num_simplices())
                 .all(|s| matches!(self.classify_metric(other, m, s), MetricOnSimplex::AlwaysLe))
+        })
+    }
+
+    /// True iff `self` **(1+ε)-dominates** `other` over the entire
+    /// parameter space: `self ≤ band · other` per metric at every simplex
+    /// vertex. Exact and LP-free; `band == 1.0` delegates to the exact
+    /// test.
+    pub fn dominates_everywhere_banded(&self, other: &GridCost, band: f64) -> bool {
+        if band == 1.0 {
+            return self.dominates_everywhere(other);
+        }
+        (0..self.num_metrics).all(|m| {
+            (0..self.grid.num_simplices()).all(|s| {
+                matches!(
+                    self.classify_metric_banded(other, m, s, band),
+                    MetricOnSimplex::AlwaysLe
+                )
+            })
         })
     }
 
@@ -497,6 +603,36 @@ mod tests {
             best.dominance_in_simplex(&a, 0, false),
             SimplexDominance::Full
         ));
+    }
+
+    #[test]
+    fn banded_dominance_collapses_near_duplicates() {
+        let grid = grid1d(4);
+        let a = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![x[0] + 1.0, 1.0]);
+        // b sits within 5% above a everywhere: a band-dominates it at
+        // ε = 0.1 but not exactly and not at ε = 0.01.
+        let b = GridCost::from_closure(Arc::clone(&grid), 2, |x| vec![(x[0] + 1.0) * 1.05, 1.05]);
+        assert!(!b.dominates_everywhere(&a));
+        assert!(b.dominates_everywhere_banded(&a, 1.1));
+        assert!(!b.dominates_everywhere_banded(&a, 1.01));
+        // band == 1.0 is the exact test on every pair.
+        assert_eq!(
+            a.dominates_everywhere_banded(&b, 1.0),
+            a.dominates_everywhere(&b)
+        );
+        // Banded halfspaces widen the exact dominance region: where a = σ
+        // meets c = 0.25, the banded split boundary moves right.
+        let grid1 = grid1d(1);
+        let f = GridCost::from_closure(Arc::clone(&grid1), 1, |x| vec![x[0]]);
+        let g = GridCost::from_closure(Arc::clone(&grid1), 1, |_| vec![0.25]);
+        match f.dominance_halfspaces_banded(&g, 0, 1.2) {
+            DominanceHalfspaces::Split(hs) => {
+                // f ≤ 1.2·g exactly on [0, 0.3].
+                assert!(hs.iter().all(|h| h.contains(&[0.29])));
+                assert!(!hs.iter().all(|h| h.contains(&[0.31])));
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
     }
 
     #[test]

@@ -61,6 +61,19 @@ pub fn strictly_dominates(a: &[f64], b: &[f64], tol: f64) -> bool {
     dominates(a, b, tol) && a.iter().zip(b).any(|(x, y)| *x < *y - tol)
 }
 
+/// True iff `a` **(1+ε)-band dominates** `b`: `a ≤ band · b` in every
+/// component (within `tol`), where `band = 1 + ε ≥ 1`. With `band == 1.0`
+/// this is exactly [`dominates`] (the multiplication by `1.0` is an IEEE
+/// identity), so the exact path is the ε = 0 special case bit for bit.
+/// Metric-generic: costs are non-negative by the MPQ model (Section 2 of
+/// the paper — qualities are modelled as losses), which is what makes the
+/// multiplicative band a *relaxation* of exact dominance.
+pub fn dominates_banded(a: &[f64], b: &[f64], band: f64, tol: f64) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(band >= 1.0, "dominance band must be ≥ 1");
+    a.iter().zip(b).all(|(x, y)| *x <= band * *y + tol)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +86,17 @@ mod tests {
         assert!(!strictly_dominates(&[1.0, 3.0], &[1.0, 3.0], 1e-9));
         // Equal vectors dominate each other non-strictly.
         assert!(dominates(&[2.0], &[2.0], 1e-9));
+    }
+
+    #[test]
+    fn banded_dominance_relaxes_exact() {
+        // 1.05 does not dominate 1.0 exactly, but does within a 10% band.
+        assert!(!dominates(&[1.05], &[1.0], 1e-9));
+        assert!(dominates_banded(&[1.05], &[1.0], 1.1, 1e-9));
+        assert!(!dominates_banded(&[1.2], &[1.0], 1.1, 1e-9));
+        // band == 1.0 is exact dominance on every input.
+        for (a, b) in [([1.0, 2.0], [1.0, 3.0]), ([1.0, 4.0], [1.0, 3.0])] {
+            assert_eq!(dominates_banded(&a, &b, 1.0, 1e-9), dominates(&a, &b, 1e-9));
+        }
     }
 }

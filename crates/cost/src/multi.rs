@@ -73,6 +73,21 @@ impl MultiCostFn {
     /// decompositions — where almost every cross pair is empty — prune
     /// without solving LPs.
     pub fn dominance_regions(&self, other: &MultiCostFn, ctx: &LpCtx) -> Vec<Polytope> {
+        self.dominance_regions_banded(other, 1.0, ctx)
+    }
+
+    /// [`MultiCostFn::dominance_regions`] under a multiplicative `(1+ε)`
+    /// band: the polytopes covering exactly the points where
+    /// `self ≤ band · other` on **every** metric. Each piece pair's
+    /// halfspace comes from the banded difference `f₁ − band · f₂`; with
+    /// `band == 1.0` the scaling is an IEEE identity, so the exact
+    /// computation is the ε = 0 special case bit for bit.
+    pub fn dominance_regions_banded(
+        &self,
+        other: &MultiCostFn,
+        band: f64,
+        ctx: &LpCtx,
+    ) -> Vec<Polytope> {
         debug_assert_eq!(self.num_metrics(), other.num_metrics());
         let dim = self.dim();
         let mut per_metric: Vec<Vec<Polytope>> = Vec::with_capacity(self.num_metrics());
@@ -86,7 +101,13 @@ impl MultiCostFn {
                     {
                         continue;
                     }
-                    let d = p1.f.sub(&p2.f);
+                    // `band == 1.0` takes the exact difference — literally
+                    // the pre-ε code path, so ε = 0 stays bit-identical.
+                    let d = if band == 1.0 {
+                        p1.f.sub(&p2.f)
+                    } else {
+                        p1.f.sub(&p2.f.scale(band))
+                    };
                     match Halfspace::new(d.w.clone(), -d.b) {
                         HalfspaceKind::AlwaysTrue => {
                             polys.push(p1.region.intersect_dedup(&p2.region))
@@ -231,6 +252,35 @@ mod tests {
         for p in &dom {
             assert!(!p.contains_point(&[0.5]));
         }
+    }
+
+    #[test]
+    fn banded_dominance_widens_region() {
+        let ctx = LpCtx::new();
+        let x = interval(0.0, 1.0);
+        // time: a = σ vs b = 0.25 → exactly a ≤ b on [0, 0.25], banded
+        // (ε = 0.2) on [0, 0.3]; fees: a = 1 vs b = 2 → always.
+        let a = MultiCostFn::new(vec![
+            lin(x.clone(), vec![1.0], 0.0),
+            lin(x.clone(), vec![0.0], 1.0),
+        ]);
+        let b = MultiCostFn::new(vec![
+            lin(x.clone(), vec![0.0], 0.25),
+            lin(x, vec![0.0], 2.0),
+        ]);
+        let banded = a.dominance_regions_banded(&b, 1.2, &ctx);
+        assert!(mpq_geometry::union_covers(
+            &ctx,
+            &banded,
+            &interval(0.0, 0.3)
+        ));
+        for p in &banded {
+            assert!(!p.contains_point(&[0.35]));
+        }
+        // band == 1.0 reproduces the exact region.
+        let exact = a.dominance_regions(&b, &ctx);
+        let unit = a.dominance_regions_banded(&b, 1.0, &ctx);
+        assert_eq!(exact.len(), unit.len());
     }
 
     #[test]

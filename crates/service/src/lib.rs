@@ -40,6 +40,13 @@
 //!   ([`SubmittedQuery::deadline`], service-clock seconds) is checked
 //!   when the query's batch dispatches: already-expired queries are
 //!   answered [`QueryOutcome::TimedOut`] without burning optimizer time.
+//! * **ε-approximate serving** — an optional [`ApproxPolicy`] downgrades
+//!   deadline-pressured batches to the ε-approximate optimizer
+//!   (`SessionConfig::with_epsilon` semantics, per batch): the answers
+//!   are `(1+ε)`-covers of the exact frontiers, each response is stamped
+//!   [`QueryResponse::served_epsilon`], and [`ServiceStats`] counts
+//!   `approx_served` / `approx_batches`. The ε choice is a pure function
+//!   of the submission sequence, so virtual-clock replays reproduce it.
 //! * **Bounded caches** — shard sessions built with a
 //!   `SessionConfig::cache_capacity` evict deterministically
 //!   (second-chance CLOCK, see `mpq_cost`), so a service that runs
@@ -196,8 +203,62 @@ impl VirtualClock {
     }
 }
 
-/// Service configuration: the batch policy, the clock, and the admission
-/// bound.
+/// When a deadline-triggered batch downgrades to the ε-approximate
+/// optimizer (see [`ApproxPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxTrigger {
+    /// Every deadline-triggered batch runs at ε: the batch already paid
+    /// its full latency budget, so it trades precision for speed
+    /// unconditionally.
+    DeadlineOnly,
+    /// A deadline-triggered batch runs at ε only when at least this many
+    /// requests were buffered across all shards at flush time — genuine
+    /// queue pressure, not just a slow trickle.
+    QueueDepth(usize),
+}
+
+/// The service's precision/latency dial: when a batch dispatches because
+/// its **deadline** expired (the batch already waited `max_wait`), the
+/// shard worker may run it through the ε-approximate optimizer
+/// ([`mpq_core::session::OptimizerSession::optimize_batch_at`]) instead
+/// of the exact one — serving a provable `(1+ε)`-cover of each exact
+/// frontier now rather than the exact frontier later. Size- and
+/// drain-triggered batches always run exact.
+///
+/// The ε decision is made by the batcher at flush time from the trigger
+/// and the buffered request count — both pure functions of the submission
+/// sequence under a [`VirtualClock`] — so trace replays reproduce the
+/// same ε choices bit for bit (the same bar as the trigger mix).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxPolicy {
+    /// The approximation factor deadline-pressured batches run at
+    /// (must be finite and positive; `ε = 0` would be the exact path).
+    pub epsilon: f64,
+    /// Which deadline-triggered batches downgrade.
+    pub trigger: ApproxTrigger,
+}
+
+impl ApproxPolicy {
+    /// Downgrade every deadline-triggered batch to ε.
+    pub fn deadline_only(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            trigger: ApproxTrigger::DeadlineOnly,
+        }
+    }
+
+    /// Downgrade deadline-triggered batches to ε only under queue
+    /// pressure (≥ `depth` buffered requests at flush time).
+    pub fn queue_depth(epsilon: f64, depth: usize) -> Self {
+        Self {
+            epsilon,
+            trigger: ApproxTrigger::QueueDepth(depth),
+        }
+    }
+}
+
+/// Service configuration: the batch policy, the clock, the admission
+/// bound, and the approximate-serving policy.
 #[derive(Clone)]
 pub struct ServiceConfig {
     /// Batch dispatch triggers.
@@ -212,15 +273,20 @@ pub struct ServiceConfig {
     ///
     /// [`submit`]: ServiceHandle::submit
     pub max_queue: Option<usize>,
+    /// ε-approximate serving policy for deadline-pressured batches
+    /// (`None` = always exact; see [`ApproxPolicy`]).
+    pub approx: Option<ApproxPolicy>,
 }
 
 impl ServiceConfig {
-    /// Wall-clock service over the given policy, unbounded admission.
+    /// Wall-clock service over the given policy, unbounded admission,
+    /// always-exact serving.
     pub fn new(policy: BatchPolicy) -> Self {
         Self {
             policy,
             clock: None,
             max_queue: None,
+            approx: None,
         }
     }
 
@@ -233,6 +299,19 @@ impl ServiceConfig {
     /// Bounds the submit queue (see [`ServiceConfig::max_queue`]).
     pub fn with_max_queue(mut self, max_queue: usize) -> Self {
         self.max_queue = Some(max_queue);
+        self
+    }
+
+    /// Installs an ε-approximate serving policy (see [`ApproxPolicy`]).
+    ///
+    /// # Panics
+    /// Panics if the policy's ε is not finite and positive.
+    pub fn with_approx(mut self, approx: ApproxPolicy) -> Self {
+        assert!(
+            approx.epsilon.is_finite() && approx.epsilon > 0.0,
+            "an approximate-serving policy needs a finite positive epsilon"
+        );
+        self.approx = Some(approx);
         self
     }
 }
@@ -402,6 +481,13 @@ pub struct QueryResponse<S: MpqSpace> {
     /// Meaningful for `Ok`, `Panicked` and `TimedOut`; `0.0` for
     /// requests turned away at submit time (`Rejected`, `Shutdown`).
     pub latency: f64,
+    /// The ε-approximation factor the request's batch ran at: `Some(ε)`
+    /// when an [`ApproxPolicy`] downgraded the (deadline-pressured)
+    /// batch, `None` for exact serving or outcomes that never reached a
+    /// worker. An `Ok` answer with `Some(ε)` is a `(1+ε)`-cover of the
+    /// exact frontier (every exact-frontier plan is ε-dominated by some
+    /// served plan), not necessarily the exact frontier itself.
+    pub served_epsilon: Option<f64>,
 }
 
 impl<S: MpqSpace> std::fmt::Debug for QueryResponse<S> {
@@ -410,6 +496,7 @@ impl<S: MpqSpace> std::fmt::Debug for QueryResponse<S> {
             .field("outcome", &self.outcome)
             .field("route", &self.route)
             .field("latency", &self.latency)
+            .field("served_epsilon", &self.served_epsilon)
             .finish()
     }
 }
@@ -458,6 +545,7 @@ impl<S: MpqSpace> ServiceTicket<S> {
             outcome: QueryOutcome::Shutdown,
             route: None,
             latency: 0.0,
+            served_epsilon: None,
         })
     }
 
@@ -491,13 +579,21 @@ pub struct ShardStats {
 ///
 /// Conservation: every submission resolves exactly once, so after
 /// shutdown `submitted == completed + rejected + timed_out + quarantined`
-/// (mid-run, the difference is the in-flight count).
+/// (mid-run, the difference is the in-flight count). ε-served answers
+/// are ordinary completions — `approx_served ≤ completed` refines the
+/// mix, it never adds a fifth resolution class.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
     /// Requests submitted (including ones later rejected).
     pub submitted: u64,
     /// Requests answered with a solution ([`QueryOutcome::Ok`]).
     pub completed: u64,
+    /// Of `completed`, the answers served ε-approximately (their batch
+    /// was downgraded by the [`ApproxPolicy`]; the response carries
+    /// `served_epsilon: Some(ε)`).
+    pub approx_served: u64,
+    /// Batches the [`ApproxPolicy`] downgraded to ε.
+    pub approx_batches: u64,
     /// Requests turned away by admission control
     /// ([`QueryOutcome::Rejected`]).
     pub rejected: u64,
@@ -564,6 +660,8 @@ impl LatencyRing {
 struct StatsShared {
     submitted: AtomicU64,
     completed: AtomicU64,
+    approx_served: AtomicU64,
+    approx_batches: AtomicU64,
     rejected: AtomicU64,
     timed_out: AtomicU64,
     quarantined: AtomicU64,
@@ -591,6 +689,8 @@ impl StatsShared {
         Self {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            approx_served: AtomicU64::new(0),
+            approx_batches: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
@@ -638,6 +738,8 @@ impl StatsShared {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            approx_served: self.approx_served.load(Ordering::Relaxed),
+            approx_batches: self.approx_batches.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
@@ -679,6 +781,11 @@ struct Pending<S: MpqSpace> {
 struct ShardBatch<S: MpqSpace> {
     seq: u64,
     trigger: BatchTrigger,
+    /// `Some(ε)` when the [`ApproxPolicy`] downgraded this
+    /// (deadline-pressured) batch — decided by the batcher at flush
+    /// time, so the shard worker and every bisection replay run at the
+    /// same ε.
+    epsilon: Option<f64>,
     requests: Vec<Pending<S>>,
 }
 
@@ -717,6 +824,7 @@ fn isolate_into<S, M>(
     idx: &[usize],
     out: &mut [Option<BatchItem<S>>],
     restarts: &AtomicU64,
+    epsilon: Option<f64>,
 ) where
     S: MpqSpace + Sync,
     S::Cost: Send + Sync,
@@ -727,7 +835,13 @@ fn isolate_into<S, M>(
         return;
     }
     let part: Vec<Query> = idx.iter().map(|&i| queries[i].clone()).collect();
-    match catch_unwind(AssertUnwindSafe(|| session.optimize_batch(&part))) {
+    // Bisection retries preserve the batch's ε: a quarantine replay of
+    // an approximate batch re-runs the healthy queries at the same ε, so
+    // their answers stay bit-identical to the first (panicked) attempt.
+    match catch_unwind(AssertUnwindSafe(|| match epsilon {
+        Some(e) => session.optimize_batch_at(&part, e),
+        None => session.optimize_batch(&part),
+    })) {
         Ok(solutions) => {
             for (&i, solution) in idx.iter().zip(solutions) {
                 out[i] = Some(Ok(solution));
@@ -739,8 +853,8 @@ fn isolate_into<S, M>(
                 out[idx[0]] = Some(Err(panic_message(payload)));
             } else {
                 let mid = idx.len() / 2;
-                isolate_into(session, queries, &idx[..mid], out, restarts);
-                isolate_into(session, queries, &idx[mid..], out, restarts);
+                isolate_into(session, queries, &idx[..mid], out, restarts, epsilon);
+                isolate_into(session, queries, &idx[mid..], out, restarts, epsilon);
             }
         }
     }
@@ -799,6 +913,7 @@ where
                 outcome: QueryOutcome::Rejected,
                 route: None,
                 latency: 0.0,
+                served_epsilon: None,
             });
             return ServiceTicket { rx: reply_rx };
         }
@@ -819,6 +934,7 @@ where
                 outcome: QueryOutcome::Shutdown,
                 route: None,
                 latency: 0.0,
+                served_epsilon: None,
             });
         }
         ServiceTicket { rx: reply_rx }
@@ -877,6 +993,7 @@ where
 {
     let shards = sessions.num_shards();
     let policy = config.policy;
+    let approx = config.approx;
     assert!(policy.max_batch >= 1, "max_batch must be at least 1");
     let clock: ServiceClock = config.clock.unwrap_or_else(|| {
         let start = Instant::now();
@@ -915,6 +1032,7 @@ where
                         &idx,
                         &mut results,
                         &stats.shard_restarts[shard],
+                        batch.epsilon,
                     );
                     stats
                         .lps_solved
@@ -932,6 +1050,9 @@ where
                             Some(Ok(solution)) => {
                                 stats.push_latency(latency);
                                 stats.completed.fetch_add(1, Ordering::Relaxed);
+                                if batch.epsilon.is_some() {
+                                    stats.approx_served.fetch_add(1, Ordering::Relaxed);
+                                }
                                 QueryOutcome::Ok(solution)
                             }
                             Some(Err(message)) => {
@@ -955,6 +1076,7 @@ where
                             outcome,
                             route: Some(route),
                             latency,
+                            served_epsilon: batch.epsilon,
                         });
                     }
                 }
@@ -977,6 +1099,24 @@ where
                 let mut seq = 0u64;
                 let mut flush =
                     |buffers: &mut Vec<ShardBuffer<S>>, shard: usize, trigger: BatchTrigger| {
+                        // ε decision, *before* the take so the buffered
+                        // depth includes this shard's requests. Both
+                        // inputs — the trigger and the total buffered
+                        // count — are pure functions of the submission
+                        // sequence under a virtual clock, so replays
+                        // reproduce the ε choice exactly.
+                        let epsilon = approx.and_then(|a| {
+                            if trigger != BatchTrigger::Deadline {
+                                return None;
+                            }
+                            let buffered: usize = buffers.iter().map(|b| b.requests.len()).sum();
+                            match a.trigger {
+                                ApproxTrigger::DeadlineOnly => Some(a.epsilon),
+                                ApproxTrigger::QueueDepth(depth) => {
+                                    (buffered >= depth).then_some(a.epsilon)
+                                }
+                            }
+                        });
                         let requests = std::mem::take(&mut buffers[shard].requests);
                         if requests.is_empty() {
                             return;
@@ -999,6 +1139,7 @@ where
                                 outcome: QueryOutcome::TimedOut,
                                 route: None,
                                 latency,
+                                served_epsilon: None,
                             });
                         }
                         if live.is_empty() {
@@ -1007,11 +1148,15 @@ where
                         match batch_txs[shard].send(ShardBatch {
                             seq,
                             trigger,
+                            epsilon,
                             requests: live,
                         }) {
                             Ok(()) => {
                                 seq += 1;
                                 stats.batches.fetch_add(1, Ordering::Relaxed);
+                                if epsilon.is_some() {
+                                    stats.approx_batches.fetch_add(1, Ordering::Relaxed);
+                                }
                                 match trigger {
                                     BatchTrigger::Size => &stats.size_triggered,
                                     BatchTrigger::Deadline => &stats.deadline_triggered,
@@ -1033,6 +1178,7 @@ where
                                         outcome: QueryOutcome::Shutdown,
                                         route: None,
                                         latency,
+                                        served_epsilon: None,
                                     });
                                 }
                             }
@@ -1105,6 +1251,7 @@ where
                                         },
                                         route: None,
                                         latency,
+                                        served_epsilon: None,
                                     });
                                     continue;
                                 }
@@ -1301,7 +1448,10 @@ mod tests {
         assert_eq!(busy.len(), 1, "one affinity → one shard");
         assert_eq!(busy[0].queries, 7);
         assert_eq!(busy[0].restarts, 0, "no faults, no restarts");
-        assert!(busy[0].cache.hits > 0, "identical queries share lifts");
+        assert!(
+            busy[0].cache.hits + busy[0].subtree.hits > 0,
+            "identical queries share lifts or whole subtrees"
+        );
     }
 
     /// Advancing the virtual clock past the deadline dispatches a partial
@@ -1611,6 +1761,150 @@ mod tests {
         assert_eq!(stats.timed_out, 1);
         assert_eq!(stats.completed, 2);
         assert!(stats.lps_solved > 0);
+    }
+
+    /// A deadline-triggered batch under a `DeadlineOnly` approx policy
+    /// is served at ε: the response is stamped, the counters move, and
+    /// exact (size/drain) batches stay unstamped.
+    #[test]
+    fn approx_policy_downgrades_deadline_batches() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 3, 1.0, 5);
+        let shard_sessions = sessions(&model, 1, None);
+        let vclock = VirtualClock::new();
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_micros(50)))
+            .with_clock(vclock.clock())
+            .with_approx(ApproxPolicy::deadline_only(0.1));
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            let t0 = handle.submit(queries[0].clone());
+            vclock.advance_to_micros(100);
+            let t1 = handle.submit(queries[1].clone());
+            let t2 = handle.submit(queries[2].clone());
+            vec![t0, t1, t2]
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].route.unwrap().trigger, BatchTrigger::Deadline);
+        assert_eq!(responses[0].served_epsilon, Some(0.1));
+        assert_eq!(responses[0].kind(), OutcomeKind::Ok);
+        for resp in &responses[1..] {
+            assert_eq!(resp.route.unwrap().trigger, BatchTrigger::Drain);
+            assert_eq!(resp.served_epsilon, None, "drain batches run exact");
+        }
+        assert_eq!(stats.approx_batches, 1);
+        assert_eq!(stats.approx_served, 1);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.rejected + stats.timed_out + stats.quarantined,
+            "conservation holds with ε-served completions"
+        );
+        assert!(stats.approx_served <= stats.completed);
+    }
+
+    /// A `QueueDepth` gate keeps lone deadline flushes exact and
+    /// downgrades only under real buffered pressure.
+    #[test]
+    fn queue_depth_gate_requires_pressure() {
+        let model = CloudCostModel::default();
+        // Two affinity groups so two shard buffers can hold requests at
+        // the same flush.
+        let mut queries = workload(3, 2, 1.0, 5);
+        queries.extend(workload(3, 2, 1.0, 23));
+        let shard_sessions = sessions(&model, 2, None);
+        let vclock = VirtualClock::new();
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_micros(50)))
+            .with_clock(vclock.clock())
+            .with_approx(ApproxPolicy::queue_depth(0.1, 2));
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            // Round 1: a single buffered request expires alone —
+            // below the depth-2 gate, so it must be served exact.
+            let t0 = handle.submit(queries[0].clone());
+            vclock.advance_to_micros(100);
+            let t1 = handle.submit(queries[2].clone());
+            // Round 2: t1's buffer plus t2's makes depth 2 when the
+            // clock expires them — now the gate opens.
+            let t2 = handle.submit(queries[1].clone());
+            vclock.advance_to_micros(200);
+            let t3 = handle.submit(queries[3].clone());
+            vec![t0, t1, t2, t3]
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].route.unwrap().trigger, BatchTrigger::Deadline);
+        assert_eq!(
+            responses[0].served_epsilon, None,
+            "a lone expired request is below the pressure gate"
+        );
+        let deadline_approx = responses
+            .iter()
+            .filter(|r| {
+                r.route
+                    .is_some_and(|route| route.trigger == BatchTrigger::Deadline)
+                    && r.served_epsilon == Some(0.1)
+            })
+            .count();
+        assert!(
+            deadline_approx >= 1,
+            "pressured deadline flushes must downgrade (got {responses:?})"
+        );
+        assert_eq!(stats.approx_served as usize, deadline_approx);
+        assert!(stats.approx_batches >= 1);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.rejected + stats.timed_out + stats.quarantined
+        );
+    }
+
+    /// Quarantine bisection preserves the batch's ε: healthy batch-mates
+    /// of a poison query in a downgraded batch still come back stamped.
+    #[test]
+    fn bisection_preserves_batch_epsilon() {
+        silence_injected_panics();
+        let model = CloudCostModel::default();
+        let queries = distinct_workload(3, 3, 7);
+        let mut plan = FaultPlan::new();
+        plan.mark(&queries[0], Fault::poison());
+        let plan = Arc::new(plan);
+        let shard_sessions = sessions_with_plan(&model, 1, None, Some(&plan));
+        let vclock = VirtualClock::new();
+        let config = ServiceConfig::new(BatchPolicy::new(100, Duration::from_micros(50)))
+            .with_clock(vclock.clock())
+            .with_approx(ApproxPolicy::deadline_only(0.1));
+        let (tickets, stats) = serve(&shard_sessions, config, |handle| {
+            let t0 = handle.submit(queries[0].clone());
+            let t1 = handle.submit(queries[1].clone());
+            let t2 = handle.submit(queries[2].clone());
+            // All three buffered; expire them into one deadline batch
+            // via the timeout sweep by advancing past the deadline and
+            // letting the drain happen after the body returns? No — a
+            // frozen clock never expires buffers. Submit a 4th after
+            // advancing so the arrival sweep flushes the batch.
+            vclock.advance_to_micros(100);
+            let t3 = handle.submit(queries[1].clone());
+            vec![t0, t1, t2, t3]
+        });
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(responses[0].kind(), OutcomeKind::Panicked);
+        assert_eq!(responses[0].route.unwrap().trigger, BatchTrigger::Deadline);
+        assert_eq!(
+            responses[0].served_epsilon,
+            Some(0.1),
+            "the poison's batch ran at ε"
+        );
+        for resp in &responses[1..3] {
+            assert_eq!(resp.kind(), OutcomeKind::Ok);
+            assert_eq!(
+                resp.served_epsilon,
+                Some(0.1),
+                "bisection replays keep the batch's ε"
+            );
+        }
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.approx_served, 3 - 1);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.rejected + stats.timed_out + stats.quarantined,
+            "conservation holds under ε-served quarantine batches"
+        );
     }
 
     /// `wait()` on a ticket whose service died resolves `Shutdown`

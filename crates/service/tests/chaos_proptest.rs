@@ -12,8 +12,18 @@
 //! 3. every *healthy* query's plans/counters/frontiers stay
 //!    **bit-identical** to a plain one-by-one session — the PR-5
 //!    determinism bar, now under fire — at any shard count;
-//! 4. the counters conserve: `submitted == completed + quarantined`,
-//!    and each quarantined poison costs at least one worker restart.
+//! 4. the counters conserve: `submitted == completed + rejected +
+//!    timed_out + quarantined` (with `rejected == timed_out == 0` here —
+//!    no admission control or deadlines in these cases), and each
+//!    quarantined poison costs at least one worker restart.
+//!
+//! Half the cases additionally run under
+//! `ApproxPolicy::deadline_only(0.1)`: ε-served completions still count
+//! toward the conservation identity (`approx_served ≤ completed`),
+//! quarantine still catches every poison, and a healthy response stamped
+//! `served_epsilon` must carry the policy's ε — bisection replays of a
+//! downgraded batch preserve the batch ε — with a frontier no larger
+//! than the exact reference and every exact cost vector (1+ε)-dominated.
 //!
 //! Faults here are always-poison (`FaultConfig::poison_only`): which
 //! *attempt* of a transient fault panics depends on how bisection
@@ -32,7 +42,7 @@ use mpq_core::rrpa::{optimize, MpqSolution};
 use mpq_core::session::{SessionConfig, ShardedSession};
 use mpq_core::space::MpqSpace;
 use mpq_core::OptimizerConfig;
-use mpq_service::{serve, BatchPolicy, OutcomeKind, ServiceConfig, VirtualClock};
+use mpq_service::{serve, ApproxPolicy, BatchPolicy, OutcomeKind, ServiceConfig, VirtualClock};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +76,20 @@ fn fingerprint<S: MpqSpace>(space: &S, sol: &MpqSolution<S>) -> Fingerprint {
     }
 }
 
+/// Cover check: every exact-frontier cost vector is (1+ε)-dominated by
+/// some approximate plan at the same probe point (tolerance absorbs LP
+/// round-off).
+fn covers(exact: &[(mpq_core::plan::PlanId, Vec<f64>)], approx: &[Vec<f64>], eps: f64) -> bool {
+    exact.iter().all(|(_, target)| {
+        approx.iter().any(|candidate| {
+            candidate
+                .iter()
+                .zip(target)
+                .all(|(c, t)| *c <= (1.0 + eps) * *t + 1e-9 + 1e-9 * t.abs())
+        })
+    })
+}
+
 proptest! {
     // Each case runs one sequential reference plus 3 shard counts under
     // a seeded fault plan; sizes stay small so the hundreds of injected
@@ -82,6 +106,7 @@ proptest! {
         max_batch in 1usize..=4,
         max_wait_us in prop_oneof![Just(0u64), Just(40), Just(1_000_000)],
         mean_gap_us in prop_oneof![Just(0u64), Just(25), Just(100)],
+        approx in prop_oneof![Just(false), Just(true)],
         seed in 0u64..1000,
     ) {
         silence_injected_panics();
@@ -133,11 +158,15 @@ proptest! {
                 GridSpace::for_unit_box(1, &opt, 2).expect("grid space")
             });
             let vclock = VirtualClock::new();
-            let config = ServiceConfig::new(BatchPolicy::new(
+            let epsilon = approx.then_some(0.1);
+            let mut config = ServiceConfig::new(BatchPolicy::new(
                 max_batch,
                 Duration::from_micros(max_wait_us),
             ))
             .with_clock(vclock.clock());
+            if let Some(eps) = epsilon {
+                config = config.with_approx(ApproxPolicy::deadline_only(eps));
+            }
             // `serve` returning at all is invariant 2: the drain flush
             // only runs after every worker survived its batches, and
             // the scope join would propagate any uncaught worker panic.
@@ -154,14 +183,25 @@ proptest! {
             });
             prop_assert_eq!(stats.submitted, trace.len() as u64);
             prop_assert_eq!(
-                stats.completed + stats.quarantined,
-                trace.len() as u64,
+                stats.completed + stats.rejected + stats.timed_out + stats.quarantined,
+                stats.submitted,
                 "conservation: every query resolves exactly once"
             );
             prop_assert_eq!(stats.quarantined, n_poisoned as u64);
             prop_assert_eq!(stats.rejected, 0u64);
             prop_assert_eq!(stats.timed_out, 0u64);
             prop_assert_eq!(stats.queue_depth, 0u64, "nothing left buffered");
+            prop_assert!(
+                stats.approx_served <= stats.completed,
+                "ε-served responses are a subset of completions"
+            );
+            if epsilon.is_none() {
+                prop_assert_eq!(
+                    (stats.approx_served, stats.approx_batches),
+                    (0u64, 0u64),
+                    "no approximation policy, no ε-served responses"
+                );
+            }
             let restarts: u64 = stats.per_shard.iter().map(|s| s.restarts).sum();
             prop_assert!(
                 restarts >= stats.quarantined,
@@ -170,6 +210,7 @@ proptest! {
             if n_poisoned == 0 {
                 prop_assert_eq!(restarts, 0u64, "no faults, no restarts");
             }
+            let mut eps_served = 0u64;
             for (i, ticket) in tickets.into_iter().enumerate() {
                 // `wait` resolves exactly once per ticket (invariant 1);
                 // a hang here would trip proptest's timeout.
@@ -185,8 +226,40 @@ proptest! {
                 }
                 let route = resp.route.expect("healthy responses carry a route");
                 prop_assert!(route.shard < shards);
+                let served_epsilon = resp.served_epsilon;
                 let solution = resp.outcome.ok().expect("healthy query completes");
-                let got = fingerprint(sessions.shard(route.shard).space(), &solution);
+                let space = sessions.shard(route.shard).space();
+                if let Some(e) = served_epsilon {
+                    // A deadline-downgraded batch — bisection replays of
+                    // its poisoned members must preserve the batch ε.
+                    eps_served += 1;
+                    prop_assert_eq!(
+                        Some(e),
+                        epsilon,
+                        "ε-served response must carry the policy's ε"
+                    );
+                    prop_assert!(
+                        solution.stats.final_plan_count <= reference[i].final_plans,
+                        "ε-discards grew the frontier of healthy query {}",
+                        i
+                    );
+                    for (pi, x) in probes().iter().enumerate() {
+                        let approx_costs: Vec<Vec<f64>> = solution
+                            .frontier_at(space, x)
+                            .into_iter()
+                            .map(|(_, c)| c)
+                            .collect();
+                        prop_assert!(
+                            covers(&reference[i].frontiers[pi], &approx_costs, e),
+                            "ε={} cover violated for healthy query {} at {:?}",
+                            e,
+                            i,
+                            x
+                        );
+                    }
+                    continue;
+                }
+                let got = fingerprint(space, &solution);
                 prop_assert_eq!(
                     &got,
                     &reference[i],
@@ -198,6 +271,11 @@ proptest! {
                     overlap
                 );
             }
+            prop_assert_eq!(
+                eps_served,
+                stats.approx_served,
+                "stamped ε-served responses must match the service counter"
+            );
         }
     }
 }

@@ -100,9 +100,9 @@ proptest! {
 
         // The capacity grid pairs the cost-lifting cache with the
         // shared-subplan cache: the lift capacities run with subtree
-        // caching off (the committed baseline behaviour), and the
+        // caching explicitly off (isolating the lift layer), and the
         // subtree capacities {∞, small, 0} run on an unbounded lift
-        // cache. `None` = that cache disabled / at default.
+        // cache. `None` = that cache disabled.
         let capacity_grid: [(Option<usize>, Option<Option<usize>>); 6] = [
             (None, None),
             (Some(1), None),
@@ -113,7 +113,7 @@ proptest! {
         ];
         for shards in [1usize, 2, 4] {
             for (capacity, subtree) in capacity_grid {
-                let mut session_cfg = SessionConfig::new(opt.clone());
+                let mut session_cfg = SessionConfig::new(opt.clone()).without_subtree_cache();
                 session_cfg.cache_capacity = capacity;
                 if let Some(subtree_capacity) = subtree {
                     session_cfg = session_cfg.with_subtree_cache(subtree_capacity);
