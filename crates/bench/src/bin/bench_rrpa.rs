@@ -81,10 +81,11 @@
 //! bit-identical).
 
 use mpq_bench::harness::{
-    baseline_json, breakdown_medians, record_medians, run_approx_once, run_once, run_once_in,
-    run_service_trace, run_workload_in, run_workload_mqo, sweep_threads, ApproxBaselineEntry,
-    ApproxRecord, BaselineEntry, BatchBaselineEntry, BatchRecord, MqoBaselineEntry, MqoRecord,
-    ServiceSpec, SpaceKind, WorkloadSpec,
+    baseline_json, baseline_schema_version, breakdown_medians, bump_schema, record_medians,
+    run_approx_once, run_once, run_once_in, run_service_trace, run_workload_in, run_workload_mqo,
+    sweep_threads, ApproxBaselineEntry, ApproxRecord, BaselineEntry, BatchBaselineEntry,
+    BatchRecord, MqoBaselineEntry, MqoRecord, ServiceSpec, SpaceKind, WorkloadSpec,
+    BENCH_SCHEMA_VERSION,
 };
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
@@ -770,10 +771,11 @@ fn run_smoke() {
     let entry = measure_batch(SpaceKind::Grid, workload, &spec, 1);
     let mqo_entry = measure_mqo(SpaceKind::Grid, workload, &spec, None, 1);
     let json = baseline_json(
-        &[("schema_version", "8".to_string())],
+        &[("schema_version", BENCH_SCHEMA_VERSION.to_string())],
         &[],
         &[entry],
         &[mqo_entry],
+        &[],
         &[],
         &[],
     );
@@ -797,6 +799,7 @@ const MQO_MARKER: &str = ",\n  \"mqo_command\"";
 const APPROX_MARKER: &str = ",\n  \"approx_command\"";
 const SERVICE_MARKER: &str = ",\n  \"service_command\"";
 const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
+const NET_MARKER: &str = ",\n  \"net_command\"";
 
 /// Renders the `mqo_command`/`mqo_entries` section (starting with the
 /// separator comma, no trailing newline).
@@ -822,18 +825,16 @@ fn render_approx_block(command: &str, entries: &[ApproxBaselineEntry]) -> String
     out
 }
 
-/// Bumps the top-level schema number to 8 in place (the spliced file now
-/// carries v8 sections).
-fn bump_schema(out: &mut String) {
-    const KEY: &str = "\"schema_version\": ";
-    if let Some(pos) = out.find(KEY) {
-        let start = pos + KEY.len();
-        let digits = out[start..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .count();
-        if digits > 0 {
-            out.replace_range(start..start + digits, "8");
+/// Refuses to splice into a baseline written by a *newer* binary: an
+/// older writer cannot know the newer sections' shapes, so a silent
+/// downgrade would corrupt them.
+fn refuse_newer_schema(text: &str, path: &str) {
+    if let Some(v) = baseline_schema_version(text) {
+        if v > BENCH_SCHEMA_VERSION {
+            die(&format!(
+                "{path} carries schema v{v}, newer than this binary's \
+                 v{BENCH_SCHEMA_VERSION}; rebuild the bench binaries before merging"
+            ));
         }
     }
 }
@@ -848,6 +849,7 @@ fn bump_schema(out: &mut String) {
 fn merge_block_into(path: &str, new_block: &str, marker: &str, followers: &[&str]) -> String {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read merge file {path}: {e}")));
+    refuse_newer_schema(&text, path);
     let end = text
         .rfind('}')
         .unwrap_or_else(|| die("merge file is not a JSON object"));
@@ -888,7 +890,7 @@ fn merge_mqo_into(path: &str, new_block: &str) -> String {
         path,
         new_block,
         MQO_MARKER,
-        &[APPROX_MARKER, SERVICE_MARKER, CHAOS_MARKER],
+        &[APPROX_MARKER, SERVICE_MARKER, CHAOS_MARKER, NET_MARKER],
     )
 }
 
@@ -900,7 +902,7 @@ fn merge_approx_into(path: &str, new_block: &str) -> String {
         path,
         new_block,
         APPROX_MARKER,
-        &[SERVICE_MARKER, CHAOS_MARKER],
+        &[SERVICE_MARKER, CHAOS_MARKER, NET_MARKER],
     )
 }
 
@@ -1019,7 +1021,7 @@ fn main() {
     }
     let mqo_entries = measure_mqo_matrix(&args);
     let mut meta: Vec<(&str, String)> = vec![
-        ("schema_version", "8".to_string()),
+        ("schema_version", BENCH_SCHEMA_VERSION.to_string()),
         (
             "command",
             format!(
@@ -1050,7 +1052,7 @@ fn main() {
     // Service rows (`service_entries`) and fault-injection rows
     // (`chaos_entries`) are measured and merged in by the `bench_service`
     // bin, which owns the service matrix.
-    let mut json = baseline_json(&meta, &entries, &batch_entries, &mqo_entries, &[], &[]);
+    let mut json = baseline_json(&meta, &entries, &batch_entries, &mqo_entries, &[], &[], &[]);
     let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
     // Re-running this bin must not destroy approx/service/chaos rows a
     // previous `--merge-approx` or `bench_service --merge` spliced into
@@ -1060,14 +1062,15 @@ fn main() {
         let pos = prev
             .find(APPROX_MARKER)
             .or_else(|| prev.find(SERVICE_MARKER))
-            .or_else(|| prev.find(CHAOS_MARKER));
+            .or_else(|| prev.find(CHAOS_MARKER))
+            .or_else(|| prev.find(NET_MARKER));
         if let Some(pos) = pos {
             let end = prev.rfind('}').expect("existing baseline is a JSON object");
             let block = prev[pos..end].trim_end();
             let insert = json.rfind('}').expect("baseline_json emits an object");
             json = format!("{}{}\n}}\n", json[..insert].trim_end(), block);
             eprintln!(
-                "carried the existing approx/service/chaos blocks forward \
+                "carried the existing approx/service/chaos/net blocks forward \
                  (re-measure with --merge-approx / bench_service)"
             );
         }

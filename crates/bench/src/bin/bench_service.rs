@@ -1,15 +1,15 @@
 //! Service baseline writer: drives seeded open-loop arrival traces
 //! through the `mpq-service` front-end (batch accumulation → sharded
 //! sessions → bounded caches → panic quarantine) and merges the measured
-//! `service_entries` / `chaos_entries` into `BENCH_rrpa.json` (schema
-//! v8).
+//! `service_entries` / `chaos_entries` / `net_entries` into
+//! `BENCH_rrpa.json` (schema v9).
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_service -- \
 //!       [--seeds N] [--trace N] [--overlap R,R...] [--shards N,N...] \
 //!       [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
-//!       [--capacity N] [--fault-rate R,R...] [--chaos] \
-//!       [--merge BENCH_rrpa.json] [--smoke] [--smoke-chaos]
+//!       [--capacity N] [--fault-rate R,R...] [--chaos] [--net] \
+//!       [--merge BENCH_rrpa.json] [--smoke] [--smoke-chaos] [--smoke-net]
 //!
 //! * Traces replay under a **virtual service clock** stepped to each
 //!   arrival (`mpq_catalog::generator::generate_trace` — seeded, no
@@ -19,9 +19,11 @@
 //!   race the driver advancing the virtual clock).
 //! * `--merge` (default `BENCH_rrpa.json`) splices the measured rows into
 //!   an existing baseline file: the previous `service_entries` block (or
-//!   `chaos_entries` under `--chaos`) is replaced, everything else —
-//!   including the *other* trailing block — is preserved verbatim, and
-//!   the schema version is bumped to 8.
+//!   `chaos_entries` under `--chaos`, `net_entries` under `--net`) is
+//!   replaced, every *other* trailing block is preserved verbatim, and
+//!   the schema version is bumped to 9. A file stamped with a **newer**
+//!   schema than this binary understands is refused rather than
+//!   silently downgraded.
 //! * The fault-free matrix appends one **deadline-ε** row per workload:
 //!   a sparse trace (`mean_gap = 2 × max_wait`) under
 //!   `ApproxPolicy::deadline_only(0.1)`, so deadline-triggered batches
@@ -49,11 +51,27 @@
 //!   against plain sessions; the smoke additionally requires that the
 //!   plan actually poisons something and that healthy queries survive.
 //!   Writes no file; exits non-zero on violation.
+//! * `--net` — measure the networked-sharding matrix instead: each trace
+//!   replays through `mpq-net`'s shard fabric (wire codec → in-process
+//!   transport under a seeded network fault plan → retrying router),
+//!   with clean-wire rows at every `--shards` count plus one row per
+//!   fault kind × `--fault-rate`. `run_net_trace` panics unless every
+//!   query resolves exactly once, answers are bit-identical to fresh
+//!   in-process optimization, and a clean wire shows zero retries /
+//!   reconnects / drops.
+//! * `--smoke-net` — CI mode: a clean loopback-TCP pass (real sockets,
+//!   bit-identity, first-attempt answers, cache replay), a deterministic
+//!   in-memory chaos pass (drop/duplicate/delay at rate 0.3, shards
+//!   {1, 2} — drops must cost retries, duplicates must replay from the
+//!   idempotency cache), and a dead-address pass (typed `Unavailable`
+//!   in bounded wall time). Writes no file; exits non-zero on violation.
 
 use mpq_bench::harness::{
-    run_chaos_trace, run_service_trace, ChaosBaselineEntry, ChaosRecord, ServiceBaselineEntry,
-    ServiceRecord, ServiceSpec,
+    baseline_schema_version, bump_schema, run_chaos_trace, run_net_trace, run_service_trace,
+    ChaosBaselineEntry, ChaosRecord, NetBaselineEntry, NetRecord, NetSpec, ServiceBaselineEntry,
+    ServiceRecord, ServiceSpec, BENCH_SCHEMA_VERSION,
 };
+use mpq_catalog::fault::NetFaultKind;
 use mpq_catalog::generator::GeneratorConfig;
 use mpq_catalog::generator::{generate_trace, TraceConfig, WorkloadConfig};
 use mpq_catalog::graph::Topology;
@@ -75,9 +93,11 @@ struct Args {
     capacity: Option<usize>,
     fault_rates: Vec<f64>,
     chaos: bool,
+    net: bool,
     merge: String,
     smoke: bool,
     smoke_chaos: bool,
+    smoke_net: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -85,8 +105,8 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: bench_service [--seeds N] [--trace N] [--overlap R[,R...]] \
          [--shards N[,N...]] [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
-         [--capacity N] [--fault-rate R[,R...]] [--chaos] [--merge FILE] \
-         [--smoke] [--smoke-chaos]"
+         [--capacity N] [--fault-rate R[,R...]] [--chaos] [--net] [--merge FILE] \
+         [--smoke] [--smoke-chaos] [--smoke-net]"
     );
     std::process::exit(2);
 }
@@ -112,9 +132,11 @@ fn parse_args() -> Args {
         capacity: None,
         fault_rates: vec![0.1, 0.3],
         chaos: false,
+        net: false,
         merge: "BENCH_rrpa.json".to_string(),
         smoke: false,
         smoke_chaos: false,
+        smoke_net: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -158,8 +180,10 @@ fn parse_args() -> Args {
                 args.merge = it.next().unwrap_or_else(|| die("--merge expects a path"));
             }
             "--chaos" => args.chaos = true,
+            "--net" => args.net = true,
             "--smoke" => args.smoke = true,
             "--smoke-chaos" => args.smoke_chaos = true,
+            "--smoke-net" => args.smoke_net = true,
             other => die(&format!("unknown argument: {other}")),
         }
     }
@@ -380,6 +404,319 @@ fn run_smoke_chaos() {
     }
 }
 
+/// CI network smoke: three passes over the shard fabric.
+///
+/// 1. **Clean loopback TCP** — two real shard servers on `127.0.0.1`
+///    behind the retrying router: every answer must be bit-identical to
+///    a plain in-process optimization, delivered on the **first**
+///    attempt with zero transport effort (no retries, no reconnects, no
+///    drops), and a replayed digest must answer from the idempotency
+///    cache.
+/// 2. **In-memory chaos** — `run_net_trace` at drop / duplicate / delay
+///    rate 0.3, shards {1, 2}: the runner itself asserts recovery,
+///    bit-identity and conservation; the smoke adds that drops actually
+///    cost retries and duplicates actually replay from the cache.
+/// 3. **Dead address** — a router pointed at a refused port resolves a
+///    typed `Unavailable` in bounded wall time, never a hang.
+///
+/// Writes no file; exits non-zero on violation.
+fn run_smoke_net() {
+    use mpq_core::grid_space::GridSpace as Grid;
+    use mpq_core::rrpa::optimize;
+    use mpq_core::session::{query_affinity, SessionConfig, ShardedSession};
+    use mpq_net::router::{NetTime, RetryPolicy, ShardRouter, StreamConn};
+    use mpq_net::server::{serve_tcp, ShardServerCore};
+    use mpq_net::wire::{PlanSummary, WireOutcome};
+    use mpq_service::SubmittedQuery;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    /// Raises the shutdown flag when dropped — including during a
+    /// panic's unwind — so a failing assertion inside the server scope
+    /// cannot leave the accept loops running and deadlock the join.
+    struct ShutdownGuard<'a>(&'a AtomicBool);
+    impl Drop for ShutdownGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    let mut config = OptimizerConfig::default_for(1);
+    config.threads = Some(1);
+    config.grid_resolution = 4;
+    let probes: Vec<Vec<f64>> = [0.0, 0.15, 0.5, 0.85, 1.0]
+        .iter()
+        .map(|&v| vec![v])
+        .collect();
+
+    // Pass 1: clean loopback TCP.
+    let trace = generate_trace(
+        &TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(3, Topology::Chain, 1),
+                4,
+                0.5,
+            ),
+            mean_gap: 0.0,
+        },
+        &mut StdRng::seed_from_u64(13),
+    );
+    let model = CloudCostModel::default();
+    let reference: Vec<PlanSummary> = trace
+        .queries
+        .iter()
+        .map(|q| {
+            let space = Grid::for_unit_box(1, &config, 2).expect("grid space");
+            let sol = optimize(q, &model, &space, &config);
+            PlanSummary::of(&space, &sol, &probes)
+        })
+        .collect();
+    let mut session_cfg = SessionConfig::new(config.clone()).without_subtree_cache();
+    session_cfg.cached = false;
+    let shards = 2usize;
+    let sessions = ShardedSession::build(shards, &model, &session_cfg, || {
+        Grid::for_unit_box(1, &config, 2).expect("grid space")
+    });
+    let cores: Vec<_> = (0..shards)
+        .map(|i| ShardServerCore::new(sessions.shard(i), i as u32, probes.clone()))
+        .collect();
+    let listeners: Vec<TcpListener> = (0..shards)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    let shutdown = AtomicBool::new(false);
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        attempt_timeout: 10.0,
+        base_backoff: 0.01,
+        max_backoff: 0.05,
+        jitter: 0.5,
+        seed: 42,
+    };
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&shutdown);
+        for (listener, core) in listeners.into_iter().zip(&cores) {
+            let shutdown = &shutdown;
+            scope.spawn(move || serve_tcp(listener, core, shutdown));
+        }
+        let conns: Vec<_> = addrs
+            .iter()
+            .map(|&addr| StreamConn::tcp(addr, Duration::from_secs(5)))
+            .collect();
+        let mut router = ShardRouter::new(
+            conns,
+            |q| query_affinity(q, &model),
+            policy,
+            NetTime::wall(),
+        );
+        for (i, query) in trace.queries.iter().enumerate() {
+            let resp = router.submit(SubmittedQuery {
+                query: query.clone(),
+                deadline: None,
+            });
+            let summary = resp
+                .outcome
+                .ok()
+                .unwrap_or_else(|| panic!("net smoke: query {i} unhealthy over TCP"));
+            assert_eq!(
+                summary, &reference[i],
+                "net smoke: query {i} diverged over loopback TCP"
+            );
+            assert_eq!(resp.attempts, 1, "net smoke: clean wire needs one attempt");
+        }
+        let stats = router.stats();
+        assert_eq!(stats.completed, trace.len() as u64);
+        assert!(stats.conserves(), "net smoke: conservation over TCP");
+        assert_eq!(
+            (stats.retries, stats.reconnects, stats.dropped),
+            (0, 0, 0),
+            "net smoke: clean loopback shows zero transport effort"
+        );
+        let replay = router.submit(SubmittedQuery {
+            query: trace.queries[0].clone(),
+            deadline: None,
+        });
+        assert!(
+            replay.dedup,
+            "net smoke: replayed digest answers from cache"
+        );
+        shutdown.store(true, Ordering::Relaxed);
+    });
+    eprintln!(
+        "net smoke ok: loopback TCP, {} queries bit-identical, zero retries",
+        trace.len()
+    );
+
+    // Pass 2: deterministic in-memory chaos (the runner asserts the
+    // recovery / bit-identity / conservation contract internally).
+    for shards in [1usize, 2] {
+        for kind in [
+            NetFaultKind::Drop,
+            NetFaultKind::Duplicate,
+            NetFaultKind::Delay,
+        ] {
+            let spec = NetSpec {
+                num_tables: 3,
+                topology: Topology::Chain,
+                num_params: 1,
+                trace: 6,
+                overlap: 0.5,
+                shards,
+                fault_kind: Some(kind),
+                fault_rate: 0.3,
+                mean_gap_us: 25,
+            };
+            let r = run_net_trace(&spec, 1, &config);
+            match kind {
+                NetFaultKind::Drop if r.faults_injected > 0 => {
+                    assert!(r.retries > 0, "net smoke: drops must cost retries");
+                    assert!(r.dropped > 0, "net smoke: drops must be counted");
+                }
+                NetFaultKind::Duplicate if r.faults_injected > 0 => {
+                    assert!(
+                        r.dedup_hits > 0,
+                        "net smoke: duplicates must replay from the cache"
+                    );
+                }
+                _ => {}
+            }
+            eprintln!(
+                "net smoke ok: chaos {} shards={shards} faults={} retries={} dedup={}",
+                kind.name(),
+                r.faults_injected,
+                r.retries,
+                r.dedup_hits
+            );
+        }
+    }
+
+    // Pass 3: graceful degradation on a dead address.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("local addr")
+    };
+    let mut router = ShardRouter::new(
+        vec![StreamConn::tcp(dead_addr, Duration::from_millis(250))],
+        |q| query_affinity(q, &model),
+        RetryPolicy {
+            max_attempts: 3,
+            attempt_timeout: 0.25,
+            base_backoff: 0.01,
+            max_backoff: 0.02,
+            jitter: 0.5,
+            seed: 7,
+        },
+        NetTime::wall(),
+    );
+    let started = std::time::Instant::now();
+    let resp = router.submit(SubmittedQuery {
+        query: trace.queries[0].clone(),
+        deadline: None,
+    });
+    assert_eq!(
+        resp.outcome,
+        WireOutcome::Unavailable,
+        "net smoke: dead shard must degrade to a typed Unavailable"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "net smoke: unreachable shard must fail fast"
+    );
+    assert!(router.stats().conserves());
+    eprintln!(
+        "net smoke ok: dead address degraded to Unavailable in {:?}",
+        started.elapsed()
+    );
+}
+
+/// The `--net` matrix: per workload, clean-wire rows at every shard
+/// count, then one row per fault kind × rate at the middle of the
+/// overlap range — reduced to `net_entries` rows and merged into the
+/// baseline file (the `service_entries`/`chaos_entries` blocks are
+/// preserved verbatim). Every underlying run re-asserts the networked
+/// determinism contract (see `run_net_trace`).
+fn run_net_matrix(args: &Args) {
+    let mut entries = Vec::new();
+    let measure_net = |spec: &NetSpec, workload: &str| {
+        let mut config = OptimizerConfig::default_for(spec.num_params);
+        config.threads = Some(1);
+        let records: Vec<NetRecord> = (0..args.seeds)
+            .map(|s| {
+                let r = run_net_trace(spec, s as u64, &config);
+                eprintln!(
+                    "  {workload} n={} trace={} shards={} fault={}@{} seed={s}: \
+                     {:.0}ms retries={} dropped={} dedup={} p95={:.2}ms",
+                    spec.num_tables,
+                    spec.trace,
+                    spec.shards,
+                    spec.fault_kind.map_or("none", |k| k.name()),
+                    spec.fault_rate,
+                    r.time_ms,
+                    r.retries,
+                    r.dropped,
+                    r.dedup_hits,
+                    r.p95_ms,
+                );
+                r
+            })
+            .collect();
+        NetBaselineEntry::from_records(spec, workload, &records)
+    };
+    for (topology, workload, n, p) in service_configs() {
+        let base = NetSpec {
+            num_tables: n,
+            topology,
+            num_params: p,
+            trace: args.trace,
+            overlap: 0.5,
+            shards: 1,
+            fault_kind: None,
+            fault_rate: 0.0,
+            mean_gap_us: args.mean_gap_us,
+        };
+        for &shards in &args.shards {
+            entries.push(measure_net(&NetSpec { shards, ..base }, workload));
+        }
+        for kind in NetFaultKind::ALL {
+            for &rate in &args.fault_rates {
+                entries.push(measure_net(
+                    &NetSpec {
+                        shards: 2,
+                        fault_kind: Some(kind),
+                        fault_rate: rate,
+                        ..base
+                    },
+                    workload,
+                ));
+            }
+        }
+    }
+    let shard_list = args
+        .shards
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let rate_list = args
+        .fault_rates
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let command = format!(
+        "cargo run --release -p mpq-bench --bin bench_service -- --net --seeds {} \
+         --trace {} --shards {shard_list} --fault-rate {rate_list} --mean-gap-us {}",
+        args.seeds, args.trace, args.mean_gap_us,
+    );
+    let json = merge_into(&args.merge, &render_net_block(&command, &entries));
+    std::fs::write(&args.merge, &json).expect("writable --merge path");
+    eprintln!("merged {} net rows into {}", entries.len(), args.merge);
+}
+
 /// Runs one chaos configuration over all seeds and reduces to a
 /// baseline row. Every underlying run re-asserts the robustness
 /// contract (see [`run_chaos_trace`]).
@@ -417,6 +754,7 @@ fn measure_chaos(
 
 const SERVICE_MARKER: &str = ",\n  \"service_command\"";
 const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
+const NET_MARKER: &str = ",\n  \"net_command\"";
 
 /// Renders the trailing `service_command`/`service_entries` section
 /// (starting with the separator comma, no trailing newline).
@@ -441,55 +779,75 @@ fn render_chaos_block(command: &str, entries: &[ChaosBaselineEntry]) -> String {
     out
 }
 
-/// Replaces one trailing section (`service_*` or `chaos_*`, per
-/// `new_block`'s marker) of an existing baseline file, preserving
-/// everything else — including the *other* trailing section — verbatim,
-/// re-ordering service-before-chaos, and bumping the schema to v8.
+/// Renders the trailing `net_command`/`net_entries` section.
+fn render_net_block(command: &str, entries: &[NetBaselineEntry]) -> String {
+    let mut out = format!(",\n  \"net_command\": \"{command}\",\n  \"net_entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Replaces one trailing section (`service_*`, `chaos_*` or `net_*`,
+/// per `new_block`'s marker) of an existing baseline file, preserving
+/// everything else — including the *other* trailing sections — verbatim
+/// in the canonical order service → chaos → net, and bumping the schema
+/// to the binary's version.
+///
+/// Refuses to write into a file stamped with a **newer** schema than
+/// this binary knows: an older writer cannot preserve sections whose
+/// shape it has never seen, so a silent splice would downgrade (and
+/// possibly corrupt) the baseline. The refusal is the fix, not a
+/// convenience — merge with a binary at least as new as the file.
 fn merge_into(path: &str, new_block: &str) -> String {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read --merge file {path}: {e}")));
+    if let Some(v) = baseline_schema_version(&text) {
+        if v > BENCH_SCHEMA_VERSION {
+            die(&format!(
+                "{path} carries schema v{v}, newer than this binary's \
+                 v{BENCH_SCHEMA_VERSION}; rebuild the bench binaries before merging"
+            ));
+        }
+    }
     let end = text
         .rfind('}')
         .unwrap_or_else(|| die("--merge file is not a JSON object"));
-    let svc_pos = text.find(SERVICE_MARKER).filter(|&p| p < end);
-    let chaos_pos = text.find(CHAOS_MARKER).filter(|&p| p < end);
+    let markers = [SERVICE_MARKER, CHAOS_MARKER, NET_MARKER];
+    let positions: Vec<Option<usize>> = markers
+        .iter()
+        .map(|m| text.find(m).filter(|&p| p < end))
+        .collect();
     // Head = everything before the first trailing block (or before the
     // final `}` when there is none yet).
-    let head_end = svc_pos.unwrap_or(end).min(chaos_pos.unwrap_or(end));
+    let head_end = positions.iter().flatten().copied().min().unwrap_or(end);
     // A block runs from its marker to the next marker or the final `}`.
-    let slice = |pos: Option<usize>, other: Option<usize>| {
+    let slice = |pos: Option<usize>| {
         pos.map(|p| {
-            let stop = other.filter(|&o| o > p).unwrap_or(end);
+            let stop = positions
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|&q| q > p)
+                .min()
+                .unwrap_or(end);
             text[p..stop].trim_end().to_string()
         })
     };
-    let existing_service = slice(svc_pos, chaos_pos);
-    let existing_chaos = slice(chaos_pos, svc_pos);
-    let replacing_chaos = new_block.starts_with(CHAOS_MARKER);
-    let (service_block, chaos_block) = if replacing_chaos {
-        (existing_service, Some(new_block.to_string()))
-    } else {
-        (Some(new_block.to_string()), existing_chaos)
-    };
+    let replacing = markers
+        .iter()
+        .position(|m| new_block.starts_with(m))
+        .expect("new_block starts with a known marker");
     let mut out = text[..head_end].trim_end().to_string();
-    // Bump the top-level schema number to 8 whatever it was before (the
-    // spliced file now carries v8 sections).
-    const KEY: &str = "\"schema_version\": ";
-    if let Some(pos) = out.find(KEY) {
-        let start = pos + KEY.len();
-        let digits = out[start..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit())
-            .count();
-        if digits > 0 {
-            out.replace_range(start..start + digits, "8");
+    bump_schema(&mut out);
+    for (i, &pos) in positions.iter().enumerate() {
+        if i == replacing {
+            out.push_str(new_block);
+        } else if let Some(b) = slice(pos) {
+            out.push_str(&b);
         }
-    }
-    if let Some(b) = service_block {
-        out.push_str(&b);
-    }
-    if let Some(b) = chaos_block {
-        out.push_str(&b);
     }
     out.push_str("\n}\n");
     out
@@ -505,11 +863,19 @@ fn main() {
         run_smoke_chaos();
         return;
     }
+    if args.smoke_net {
+        run_smoke_net();
+        return;
+    }
     if args.seeds == 0 {
         die("--seeds must be at least 1");
     }
     if args.chaos {
         run_chaos_matrix(&args);
+        return;
+    }
+    if args.net {
+        run_net_matrix(&args);
         return;
     }
     let mut entries = Vec::new();

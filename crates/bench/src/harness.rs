@@ -1510,12 +1510,397 @@ impl ServiceBaselineEntry {
     }
 }
 
+/// The schema version every baseline writer in this crate stamps on
+/// `BENCH_rrpa.json`. Bump it when a section's shape changes; the merge
+/// paths refuse to splice into a file stamped with a *newer* version
+/// than the binary knows (see [`baseline_schema_version`]), so an old
+/// binary can never silently downgrade a baseline.
+pub const BENCH_SCHEMA_VERSION: u32 = 9;
+
+/// Reads the top-level `"schema_version"` of a baseline file's text
+/// (`None` when the key is absent or carries no digits).
+pub fn baseline_schema_version(text: &str) -> Option<u32> {
+    const KEY: &str = "\"schema_version\": ";
+    let start = text.find(KEY)? + KEY.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Rewrites the top-level schema number to [`BENCH_SCHEMA_VERSION`] in
+/// place (the spliced file now carries current-schema sections).
+pub fn bump_schema(out: &mut String) {
+    const KEY: &str = "\"schema_version\": ";
+    if let Some(pos) = out.find(KEY) {
+        let start = pos + KEY.len();
+        let digits = out[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .count();
+        if digits > 0 {
+            out.replace_range(start..start + digits, &BENCH_SCHEMA_VERSION.to_string());
+        }
+    }
+}
+
+/// One networked-fabric trace configuration: the per-query shape, the
+/// shard layout, and the (deterministic) network fault mix driven
+/// through the in-process wire (`ChaosConn` over `InProcConn` — the
+/// byte-exact transport the TCP/unix servers also speak).
+#[derive(Debug, Clone, Copy)]
+pub struct NetSpec {
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Join-graph topology.
+    pub topology: Topology,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Arrivals per trace.
+    pub trace: usize,
+    /// Table-overlap ratio of the trace's workload.
+    pub overlap: f64,
+    /// Shard (server) count.
+    pub shards: usize,
+    /// Transient fault kind injected on first attempts (`None` = clean
+    /// wire).
+    pub fault_kind: Option<mpq_catalog::fault::NetFaultKind>,
+    /// Probability that a distinct trace query is marked for the fault.
+    pub fault_rate: f64,
+    /// Mean inter-arrival gap of the trace, in virtual microseconds.
+    pub mean_gap_us: u64,
+}
+
+/// Metrics of one networked trace run (grid backend, single-threaded
+/// optimizer, virtual clock — the measurement rules of this repository).
+#[derive(Debug, Clone, Copy)]
+pub struct NetRecord {
+    /// Wall time of the whole run, milliseconds.
+    pub time_ms: f64,
+    /// Queries answered healthy (with transient faults: all of them).
+    pub completed: u64,
+    /// Attempts beyond the first, summed over the trace.
+    pub retries: u64,
+    /// Connection re-dials after an established stream failed.
+    pub reconnects: u64,
+    /// Request frames lost in flight (router-observed).
+    pub dropped: u64,
+    /// Faults the injector actually fired (all kinds).
+    pub faults_injected: u64,
+    /// Server-side idempotency-cache replays.
+    pub dedup_hits: u64,
+    /// Request frames the servers answered.
+    pub handled: u64,
+    /// Plans created, summed over all healthy answers.
+    pub plans_created: u64,
+    /// Final Pareto-set sizes, summed over all healthy answers.
+    pub final_plans: u64,
+    /// Median submit→answer latency (virtual-clock milliseconds).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (virtual-clock milliseconds).
+    pub p95_ms: f64,
+}
+
+/// Runs one arrival trace through the sharded network fabric — affinity
+/// router, retry policy, idempotent shard servers — under a seeded
+/// transient-fault plan and the service's virtual clock, and **asserts
+/// the networked determinism contract** while measuring: every query
+/// resolves exactly once, every answer (counters *and* probe frontiers)
+/// is bit-identical to a plain in-process optimization, the stats
+/// conservation identity holds, and a clean wire (`fault_rate` 0) shows
+/// zero transport effort. A violated contract panics — this runner
+/// doubles as the network smoke check in CI.
+pub fn run_net_trace(spec: &NetSpec, seed: u64, config: &OptimizerConfig) -> NetRecord {
+    use mpq_catalog::fault::{NetFaultConfig, NetFaultPlan};
+    use mpq_catalog::generator::{generate_trace, TraceConfig};
+    use mpq_core::session::{query_affinity, SessionConfig, ShardedSession};
+    use mpq_net::chaos::{ChaosConn, InProcConn};
+    use mpq_net::router::{NetTime, RetryPolicy, ShardRouter};
+    use mpq_net::server::ShardServerCore;
+    use mpq_net::wire::PlanSummary;
+    use mpq_service::{SubmittedQuery, VirtualClock};
+    use std::sync::Arc;
+
+    let trace_cfg = TraceConfig {
+        workload: WorkloadConfig::uniform(
+            GeneratorConfig::paper(spec.num_tables, spec.topology, spec.num_params),
+            spec.trace,
+            spec.overlap,
+        ),
+        mean_gap: spec.mean_gap_us as f64 * 1e-6,
+    };
+    let trace = generate_trace(&trace_cfg, &mut StdRng::seed_from_u64(seed));
+    let model = CloudCostModel::default();
+    let metrics = model_num_metrics(&model);
+    // Diagonal frontier probes: answers are compared per probe point, so
+    // any dimension works with the same five stations.
+    let probes: Vec<Vec<f64>> = [0.0, 0.15, 0.5, 0.85, 1.0]
+        .iter()
+        .map(|&v| vec![v; spec.num_params])
+        .collect();
+
+    // In-process reference: every query on a fresh space.
+    let reference: Vec<PlanSummary> = trace
+        .queries
+        .iter()
+        .map(|q| {
+            let space = GridSpace::for_unit_box(spec.num_params, config, metrics)
+                .expect("valid grid configuration");
+            let sol = optimize(q, &model, &space, config);
+            PlanSummary::of(&space, &sol, &probes)
+        })
+        .collect();
+
+    let plan = Arc::new(match spec.fault_kind {
+        Some(kind) => NetFaultPlan::generate(
+            &trace,
+            &NetFaultConfig::only(kind, spec.fault_rate),
+            &mut StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
+        ),
+        None => NetFaultPlan::new(),
+    });
+
+    // Uncached server sessions: the net rows isolate the transport layer,
+    // so each query must optimize exactly as the fresh-space reference.
+    let mut session_cfg = SessionConfig::new(config.clone()).without_subtree_cache();
+    session_cfg.cached = false;
+    let sessions = ShardedSession::build(spec.shards, &model, &session_cfg, || {
+        GridSpace::for_unit_box(spec.num_params, config, metrics).expect("valid grid configuration")
+    });
+    let cores: Vec<_> = (0..spec.shards)
+        .map(|i| ShardServerCore::new(sessions.shard(i), i as u32, probes.clone()))
+        .collect();
+    let vclock = VirtualClock::new();
+    let time = NetTime::virtual_time(&vclock);
+    let conns: Vec<_> = cores
+        .iter()
+        .map(|core| ChaosConn::new(InProcConn::new(core), Arc::clone(&plan), time.clone()))
+        .collect();
+    let mut router = ShardRouter::new(
+        conns,
+        |q| query_affinity(q, &model),
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        },
+        time.clone(),
+    );
+
+    let start = Instant::now();
+    let responses: Vec<_> = trace
+        .queries
+        .iter()
+        .zip(&trace.arrivals)
+        .map(|(q, &at)| {
+            vclock.advance_to_secs(at);
+            router.submit(SubmittedQuery {
+                query: q.clone(),
+                deadline: None,
+            })
+        })
+        .collect();
+    let time_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The networked determinism contract, asserted at measure time.
+    let stats = router.stats();
+    assert_eq!(
+        stats.submitted, spec.trace as u64,
+        "net: every query submitted exactly once"
+    );
+    assert_eq!(
+        stats.completed, spec.trace as u64,
+        "net: transient faults must recover to healthy answers"
+    );
+    assert!(stats.conserves(), "net: outcome conservation");
+    let mut plans_created = 0u64;
+    let mut final_plans = 0u64;
+    for (i, (resp, query)) in responses.iter().zip(&trace.queries).enumerate() {
+        assert_eq!(
+            resp.shard,
+            sessions.shard_of(query),
+            "net: query {i} routed off its affinity shard"
+        );
+        let summary = resp
+            .outcome
+            .ok()
+            .expect("net: transient faults must leave every answer healthy");
+        assert_eq!(
+            summary, &reference[i],
+            "net: query {i} diverged from the in-process reference"
+        );
+        plans_created += summary.plans_created;
+        final_plans += summary.final_plan_count;
+    }
+    let faults_injected: u64 = (0..spec.shards)
+        .map(|i| router.conn(i).counters().total())
+        .sum();
+    if spec.fault_kind.is_none() || spec.fault_rate == 0.0 {
+        assert_eq!(
+            (
+                stats.retries,
+                stats.reconnects,
+                stats.dropped,
+                faults_injected
+            ),
+            (0, 0, 0, 0),
+            "net: a clean wire shows zero transport effort"
+        );
+    }
+    let (dedup_hits, handled) = cores.iter().fold((0u64, 0u64), |(d, h), core| {
+        let c = core.counters();
+        (d + c.dedup_hits, h + c.handled)
+    });
+
+    NetRecord {
+        time_ms,
+        completed: stats.completed,
+        retries: stats.retries,
+        reconnects: stats.reconnects,
+        dropped: stats.dropped,
+        faults_injected,
+        dedup_hits,
+        handled,
+        plans_created,
+        final_plans,
+        p50_ms: stats.latency_p50 * 1e3,
+        p95_ms: stats.latency_p95 * 1e3,
+    }
+}
+
+/// One measured networked-fabric configuration of the schema-v9
+/// `BENCH_rrpa.json` (`net_entries`): medians over the seeds at one
+/// fault kind × rate × overlap × shard count. Healthy answers are
+/// asserted bit-identical to in-process runs at measure time
+/// ([`run_net_trace`] panics on any contract violation), so these rows
+/// track the *cost* of the wire — retries, replays, latency — never its
+/// correctness.
+#[derive(Debug, Clone)]
+pub struct NetBaselineEntry {
+    /// Space backend (the net rows measure `"grid"`).
+    pub space: String,
+    /// Workload topology.
+    pub workload: String,
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Arrivals per trace.
+    pub trace: usize,
+    /// Table-overlap ratio.
+    pub overlap: f64,
+    /// Shard count.
+    pub shards: usize,
+    /// Fault kind name (`"none"` for the clean-wire rows).
+    pub fault_kind: String,
+    /// Per-distinct-query fault probability.
+    pub fault_rate: f64,
+    /// Median wall time of the whole run.
+    pub median_time_ms: f64,
+    /// Median healthy completions (= trace length by contract).
+    pub completed: f64,
+    /// Median retries.
+    pub retries: f64,
+    /// Median reconnects.
+    pub reconnects: f64,
+    /// Median dropped frames.
+    pub dropped: f64,
+    /// Median injected faults.
+    pub faults_injected: f64,
+    /// Median server-side dedup replays.
+    pub dedup_hits: f64,
+    /// Median request frames handled by the servers.
+    pub handled: f64,
+    /// Median summed created plans (bit-identical to in-process runs).
+    pub plans_created: f64,
+    /// Median summed final Pareto-set sizes.
+    pub final_plans: f64,
+    /// Median p50 latency (virtual-clock ms).
+    pub p50_ms: f64,
+    /// Median p95 latency (virtual-clock ms).
+    pub p95_ms: f64,
+    /// Number of random traces (seeds) measured.
+    pub seeds: usize,
+}
+
+impl NetBaselineEntry {
+    /// Medians over a per-seed record sample for one configuration.
+    pub fn from_records(spec: &NetSpec, workload: &str, records: &[NetRecord]) -> Self {
+        let med = |f: &dyn Fn(&NetRecord) -> f64| {
+            let mut v: Vec<f64> = records.iter().map(f).collect();
+            median(&mut v)
+        };
+        Self {
+            space: "grid".to_string(),
+            workload: workload.to_string(),
+            num_tables: spec.num_tables,
+            num_params: spec.num_params,
+            trace: spec.trace,
+            overlap: spec.overlap,
+            shards: spec.shards,
+            fault_kind: spec
+                .fault_kind
+                .map_or("none".to_string(), |k| k.name().to_string()),
+            fault_rate: spec.fault_rate,
+            median_time_ms: med(&|r| r.time_ms),
+            completed: med(&|r| r.completed as f64),
+            retries: med(&|r| r.retries as f64),
+            reconnects: med(&|r| r.reconnects as f64),
+            dropped: med(&|r| r.dropped as f64),
+            faults_injected: med(&|r| r.faults_injected as f64),
+            dedup_hits: med(&|r| r.dedup_hits as f64),
+            handled: med(&|r| r.handled as f64),
+            plans_created: med(&|r| r.plans_created as f64),
+            final_plans: med(&|r| r.final_plans as f64),
+            p50_ms: med(&|r| r.p50_ms),
+            p95_ms: med(&|r| r.p95_ms),
+            seeds: records.len(),
+        }
+    }
+
+    /// One `net_entries` row.
+    pub fn to_json(&self) -> String {
+        format!(
+            "    {{\"space\": \"{}\", \"workload\": \"{}\", \"num_tables\": {}, \
+             \"num_params\": {}, \"trace\": {}, \"overlap\": {}, \"shards\": {}, \
+             \"fault_kind\": \"{}\", \"fault_rate\": {}, \"median_time_ms\": {:.3}, \
+             \"completed\": {:.0}, \"retries\": {:.0}, \"reconnects\": {:.0}, \
+             \"dropped\": {:.0}, \"faults_injected\": {:.0}, \"dedup_hits\": {:.0}, \
+             \"handled\": {:.0}, \"plans_created\": {:.0}, \"final_plans\": {:.0}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"seeds\": {}}}",
+            self.space,
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.trace,
+            self.overlap,
+            self.shards,
+            self.fault_kind,
+            self.fault_rate,
+            self.median_time_ms,
+            self.completed,
+            self.retries,
+            self.reconnects,
+            self.dropped,
+            self.faults_injected,
+            self.dedup_hits,
+            self.handled,
+            self.plans_created,
+            self.final_plans,
+            self.p50_ms,
+            self.p95_ms,
+            self.seeds
+        )
+    }
+}
+
 /// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
 /// JSON: the workspace has no serde backend). `batch_entries` is the
 /// schema-v3 batched-workload section, `mqo_entries` the schema-v7
 /// shared-subplan section, `service_entries` the schema-v5 service
-/// section and `chaos_entries` the schema-v6 fault-injection section;
-/// pass `&[]` to omit any of them.
+/// section, `chaos_entries` the schema-v6 fault-injection section and
+/// `net_entries` the schema-v9 networked-fabric section; pass `&[]` to
+/// omit any of them.
 pub fn baseline_json(
     meta: &[(&str, String)],
     entries: &[BaselineEntry],
@@ -1523,6 +1908,7 @@ pub fn baseline_json(
     mqo_entries: &[MqoBaselineEntry],
     service_entries: &[ServiceBaselineEntry],
     chaos_entries: &[ChaosBaselineEntry],
+    net_entries: &[NetBaselineEntry],
 ) -> String {
     let mut out = String::from("{\n");
     for (k, v) in meta {
@@ -1575,6 +1961,18 @@ pub fn baseline_json(
         for (i, e) in chaos_entries.iter().enumerate() {
             out.push_str(&e.to_json());
             out.push_str(if i + 1 < chaos_entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
+    }
+    if !net_entries.is_empty() {
+        out.push_str(",\n  \"net_entries\": [\n");
+        for (i, e) in net_entries.iter().enumerate() {
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < net_entries.len() {
                 ",\n"
             } else {
                 "\n"
@@ -1662,6 +2060,7 @@ mod tests {
             &[],
             &[],
             &[],
+            &[],
         );
         assert!(json.contains("\"workload\": \"chain\""));
         assert!(json.contains("\"schema_version\": 1"));
@@ -1713,6 +2112,7 @@ mod tests {
             &[("schema_version", "3".to_string())],
             &[],
             &batch,
+            &[],
             &[],
             &[],
             &[],
@@ -1774,6 +2174,7 @@ mod tests {
             &[],
             &[],
             &mqo,
+            &[],
             &[],
             &[],
         );
@@ -1890,6 +2291,7 @@ mod tests {
             &[],
             &[entry],
             &[],
+            &[],
         );
         assert!(json.contains("\"service_entries\""));
         assert!(json.contains("\"capacity\": 8"));
@@ -1902,7 +2304,7 @@ mod tests {
             "chain",
             &[run_service_trace(&spec, 1, &config)],
         );
-        let json = baseline_json(&[], &[], &[], &[], &[entry], &[]);
+        let json = baseline_json(&[], &[], &[], &[], &[entry], &[], &[]);
         assert!(json.contains("\"capacity\": null"));
     }
 
@@ -1955,6 +2357,7 @@ mod tests {
             &[],
             &[],
             &[entry],
+            &[],
         );
         assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"chaos_entries\""));
@@ -1963,5 +2366,68 @@ mod tests {
         assert!(json.contains("\"restarts\""));
         assert!(json.contains("\"p95_ms\""));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    /// Networked runs replay bit-identically under the seeded fault
+    /// plan. `run_net_trace` asserts the full contract at measure time
+    /// (answers bit-identical to in-process, conservation, clean-wire
+    /// zero effort), so a green test certifies all of it; here we add
+    /// determinism, the schema-v9 JSON shape and the schema read-back
+    /// used by the merge guard.
+    #[test]
+    fn net_trace_is_deterministic_and_json_shape_holds() {
+        use mpq_catalog::fault::NetFaultKind;
+        let mut config = OptimizerConfig::default_for(1);
+        config.threads = Some(1);
+        config.grid_resolution = 4;
+        let spec = NetSpec {
+            num_tables: 3,
+            topology: Topology::Chain,
+            num_params: 1,
+            trace: 5,
+            overlap: 0.5,
+            shards: 2,
+            fault_kind: Some(NetFaultKind::Drop),
+            fault_rate: 0.3,
+            mean_gap_us: 25,
+        };
+        let a = run_net_trace(&spec, 4, &config);
+        let b = run_net_trace(&spec, 4, &config);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(
+            (a.retries, a.reconnects, a.dropped, a.faults_injected),
+            (b.retries, b.reconnects, b.dropped, b.faults_injected)
+        );
+        assert_eq!(a.plans_created, b.plans_created);
+        assert_eq!(a.final_plans, b.final_plans);
+        let clean = run_net_trace(
+            &NetSpec {
+                fault_kind: None,
+                fault_rate: 0.0,
+                ..spec
+            },
+            4,
+            &config,
+        );
+        assert_eq!((clean.retries, clean.reconnects, clean.dropped), (0, 0, 0));
+        let entry = NetBaselineEntry::from_records(&spec, "chain", &[a, b]);
+        let json = baseline_json(
+            &[("schema_version", BENCH_SCHEMA_VERSION.to_string())],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[entry],
+        );
+        assert!(json.contains("\"net_entries\""));
+        assert!(json.contains("\"fault_kind\": \"drop\""));
+        assert!(json.contains("\"dedup_hits\""));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(baseline_schema_version(&json), Some(BENCH_SCHEMA_VERSION));
+        // The bump helper rewrites stale stamps to the current version.
+        let mut stale = json.replace("\"schema_version\": 9", "\"schema_version\": 7");
+        bump_schema(&mut stale);
+        assert_eq!(baseline_schema_version(&stale), Some(BENCH_SCHEMA_VERSION));
     }
 }

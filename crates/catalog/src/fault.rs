@@ -250,6 +250,254 @@ impl FaultPlan {
     }
 }
 
+/// What a network fault does to a request frame in flight. The wire
+/// analogue of [`Fault`]: where an optimizer fault panics *inside* the
+/// session, a network fault damages the *transport* between router and
+/// shard server, so the retry/reconnect/idempotency machinery is what
+/// gets exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The request frame vanishes: the client waits out its attempt
+    /// timeout and retries.
+    Drop,
+    /// The request frame is delivered twice: the server must answer the
+    /// replay from its idempotency cache, never re-optimizing.
+    Duplicate,
+    /// Delivery is delayed by [`NetFault::delay_us`] virtual
+    /// microseconds; a delay at or past the attempt timeout behaves like
+    /// a drop.
+    Delay,
+    /// The frame's body is cut short (framing intact): the receiver's
+    /// decoder must return a typed truncation error, never panic.
+    Truncate,
+    /// A body byte is flipped: the receiver's checksum must catch it.
+    Corrupt,
+}
+
+impl NetFaultKind {
+    /// All kinds, in cumulative-rate order (the order
+    /// [`NetFaultPlan::generate`] consumes [`NetFaultConfig`] rates in).
+    pub const ALL: [NetFaultKind; 5] = [
+        NetFaultKind::Drop,
+        NetFaultKind::Duplicate,
+        NetFaultKind::Delay,
+        NetFaultKind::Truncate,
+        NetFaultKind::Corrupt,
+    ];
+
+    /// CLI / JSON name of the kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Duplicate => "duplicate",
+            NetFaultKind::Delay => "delay",
+            NetFaultKind::Truncate => "truncate",
+            NetFaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// One query's network fault: which damage is applied to the first
+/// [`attempts`](Self::attempts) request attempts. Later attempts pass
+/// clean, so a transient fault is always recoverable by retry;
+/// `attempts == u32::MAX` makes the shard effectively unreachable for
+/// this query (the `Unavailable` degradation path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFault {
+    /// What happens to a faulted attempt.
+    pub kind: NetFaultKind,
+    /// Number of leading request attempts the fault covers.
+    pub attempts: u32,
+    /// Virtual microseconds of delay ([`NetFaultKind::Delay`] only).
+    pub delay_us: u64,
+}
+
+impl NetFault {
+    /// A transient fault covering the first `attempts` attempts.
+    pub fn transient(kind: NetFaultKind, attempts: u32) -> Self {
+        Self {
+            kind,
+            attempts,
+            delay_us: 0,
+        }
+    }
+
+    /// A permanent fault: every attempt is damaged (`Unavailable` path).
+    pub fn outage(kind: NetFaultKind) -> Self {
+        Self::transient(kind, u32::MAX)
+    }
+
+    /// A transient delay of `us` virtual microseconds per attempt.
+    pub fn delay(us: u64, attempts: u32) -> Self {
+        Self {
+            kind: NetFaultKind::Delay,
+            attempts,
+            delay_us: us,
+        }
+    }
+}
+
+/// Random network-fault shape for [`NetFaultPlan::generate`]: one
+/// marking probability per kind (cumulative, so the sum must stay ≤ 1).
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultConfig {
+    /// Probability a trace query's requests are dropped.
+    pub drop_rate: f64,
+    /// Probability a trace query's requests are duplicated.
+    pub duplicate_rate: f64,
+    /// Probability a trace query's requests are delayed.
+    pub delay_rate: f64,
+    /// Probability a trace query's requests are truncated.
+    pub truncate_rate: f64,
+    /// Probability a trace query's requests are corrupted.
+    pub corrupt_rate: f64,
+    /// Leading attempts each mark covers (faults are transient: retries
+    /// past this count succeed).
+    pub fault_attempts: u32,
+    /// The virtual delay, in microseconds, of delay marks.
+    pub delay_us: u64,
+}
+
+impl NetFaultConfig {
+    /// A single-kind plan shape at `rate` with 1-attempt transient
+    /// faults (the acceptance matrix of the network chaos tests).
+    pub fn only(kind: NetFaultKind, rate: f64) -> Self {
+        let mut cfg = Self {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            truncate_rate: 0.0,
+            corrupt_rate: 0.0,
+            fault_attempts: 1,
+            delay_us: 40,
+        };
+        match kind {
+            NetFaultKind::Drop => cfg.drop_rate = rate,
+            NetFaultKind::Duplicate => cfg.duplicate_rate = rate,
+            NetFaultKind::Delay => cfg.delay_rate = rate,
+            NetFaultKind::Truncate => cfg.truncate_rate = rate,
+            NetFaultKind::Corrupt => cfg.corrupt_rate = rate,
+        }
+        cfg
+    }
+
+    /// `rate` split evenly over all five kinds.
+    pub fn mixed(rate: f64) -> Self {
+        let each = rate / 5.0;
+        Self {
+            drop_rate: each,
+            duplicate_rate: each,
+            delay_rate: each,
+            truncate_rate: each,
+            corrupt_rate: each,
+            fault_attempts: 1,
+            delay_us: 40,
+        }
+    }
+}
+
+/// A deterministic network fault plan over a set of queries, keyed — like
+/// [`FaultPlan`] — by content digest ([`query_digest`]), so identical
+/// queries share their fault fate however requests are routed or
+/// replayed. Unlike `FaultPlan` it keeps **no** mutable attempt log: the
+/// router stamps an explicit attempt number into every request frame, so
+/// fault decisions are a pure function of `(digest, attempt)` and replay
+/// bit-identically at any shard count, connection order, or retry
+/// schedule.
+#[derive(Debug, Default)]
+pub struct NetFaultPlan {
+    faults: HashMap<u64, NetFault>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan (damages nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws a plan over `trace` from a seeded RNG: one uniform draw per
+    /// trace entry walks the cumulative kind rates, so plans with
+    /// different rates over the same RNG stream stay aligned (the same
+    /// alignment trick as [`FaultPlan::generate`]). Digest collisions
+    /// (identical queries) keep the first mark.
+    pub fn generate(trace: &ArrivalTrace, cfg: &NetFaultConfig, rng: &mut impl Rng) -> Self {
+        let mut plan = Self::new();
+        let rates = [
+            cfg.drop_rate,
+            cfg.duplicate_rate,
+            cfg.delay_rate,
+            cfg.truncate_rate,
+            cfg.corrupt_rate,
+        ];
+        for query in &trace.queries {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let mut acc = 0.0;
+            for (kind, rate) in NetFaultKind::ALL.into_iter().zip(rates) {
+                acc += rate;
+                if u < acc {
+                    let fault = if kind == NetFaultKind::Delay {
+                        NetFault::delay(cfg.delay_us, cfg.fault_attempts)
+                    } else {
+                        NetFault::transient(kind, cfg.fault_attempts)
+                    };
+                    plan.mark(query, fault);
+                    break;
+                }
+            }
+        }
+        plan
+    }
+
+    /// Marks `query` with `fault` (keyed by content digest). The first
+    /// mark for a digest wins; later marks are ignored, so a plan is
+    /// independent of how many copies of a query the trace holds.
+    pub fn mark(&mut self, query: &Query, fault: NetFault) {
+        self.faults.entry(query_digest(query)).or_insert(fault);
+    }
+
+    /// Marks a raw digest (for callers that pre-computed it).
+    pub fn mark_digest(&mut self, digest: u64, fault: NetFault) {
+        self.faults.entry(digest).or_insert(fault);
+    }
+
+    /// The fault marked for `query`, if any.
+    pub fn fault_of(&self, query: &Query) -> Option<NetFault> {
+        self.faults.get(&query_digest(query)).copied()
+    }
+
+    /// The damage to apply to request `attempt` (0-based) of the query
+    /// with content digest `digest`: `Some` while the attempt is within
+    /// the fault's coverage, `None` once retries have outlasted it.
+    pub fn action(&self, digest: u64, attempt: u32) -> Option<NetFault> {
+        self.faults
+            .get(&digest)
+            .copied()
+            .filter(|f| attempt < f.attempts)
+    }
+
+    /// True iff `query` is marked unreachable (`attempts == u32::MAX`).
+    pub fn is_outage(&self, query: &Query) -> bool {
+        self.faults
+            .get(&query_digest(query))
+            .is_some_and(|f| f.attempts == u32::MAX)
+    }
+
+    /// Number of marked digests.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True iff the plan marks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 /// Installs a process-wide panic hook that swallows [`INJECTED_FAULT`]
 /// panics and forwards everything else to the previous hook. Idempotent;
 /// chaos tests call it so hundreds of deliberate panics don't bury real
@@ -374,5 +622,63 @@ mod tests {
             assert!(plan.is_poisoned(q), "identical queries share one digest");
         }
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn net_generate_is_seed_deterministic_and_rate_sensitive() {
+        let t = trace(0.0, 16, 4);
+        let cfg = NetFaultConfig::mixed(0.5);
+        let a = NetFaultPlan::generate(&t, &cfg, &mut StdRng::seed_from_u64(11));
+        let b = NetFaultPlan::generate(&t, &cfg, &mut StdRng::seed_from_u64(11));
+        for q in &t.queries {
+            assert_eq!(a.fault_of(q), b.fault_of(q), "same seed, same plan");
+        }
+        assert!(!a.is_empty(), "rate 0.5 over 16 queries must mark");
+        let none = NetFaultPlan::generate(
+            &t,
+            &NetFaultConfig::only(NetFaultKind::Drop, 0.0),
+            &mut StdRng::seed_from_u64(11),
+        );
+        assert!(none.is_empty(), "rate 0 marks nothing");
+    }
+
+    #[test]
+    fn net_action_covers_leading_attempts_only() {
+        let t = trace(0.0, 3, 6);
+        let mut plan = NetFaultPlan::new();
+        plan.mark(&t.queries[0], NetFault::transient(NetFaultKind::Drop, 2));
+        plan.mark(&t.queries[1], NetFault::outage(NetFaultKind::Corrupt));
+        let d0 = query_digest(&t.queries[0]);
+        let d1 = query_digest(&t.queries[1]);
+        let d2 = query_digest(&t.queries[2]);
+        assert_eq!(plan.action(d0, 0).map(|f| f.kind), Some(NetFaultKind::Drop));
+        assert_eq!(plan.action(d0, 1).map(|f| f.kind), Some(NetFaultKind::Drop));
+        assert_eq!(plan.action(d0, 2), None, "attempt 2 outlasts the fault");
+        assert!(plan.action(d1, u32::MAX - 1).is_some(), "outage never ends");
+        assert!(plan.is_outage(&t.queries[1]));
+        assert!(!plan.is_outage(&t.queries[0]));
+        assert_eq!(plan.action(d2, 0), None, "unmarked passes clean");
+    }
+
+    #[test]
+    fn net_marks_share_digests_and_first_mark_wins() {
+        let t = trace(1.0, 3, 9);
+        let mut plan = NetFaultPlan::new();
+        plan.mark(&t.queries[0], NetFault::transient(NetFaultKind::Delay, 1));
+        plan.mark(&t.queries[1], NetFault::transient(NetFaultKind::Drop, 3));
+        assert_eq!(plan.len(), 1, "identical queries share one digest");
+        assert_eq!(
+            plan.fault_of(&t.queries[2]).map(|f| f.kind),
+            Some(NetFaultKind::Delay),
+            "the first mark wins"
+        );
+    }
+
+    #[test]
+    fn net_kind_names_round_trip() {
+        for kind in NetFaultKind::ALL {
+            assert_eq!(NetFaultKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(NetFaultKind::parse("gamma-ray"), None);
     }
 }

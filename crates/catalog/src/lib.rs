@@ -31,7 +31,7 @@ pub mod graph;
 use serde::{Deserialize, Serialize};
 
 /// A base table with its statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     /// Human-readable name (e.g. `"T3"`).
     pub name: String,
@@ -54,7 +54,7 @@ pub enum Selectivity {
 
 /// A single-table filter predicate (the paper's equality predicates whose
 /// selectivities are parameters).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Predicate {
     /// Index of the table this predicate filters.
     pub table: usize,
@@ -63,7 +63,7 @@ pub struct Predicate {
 }
 
 /// An equality join predicate between two tables.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JoinEdge {
     /// First table index.
     pub t1: usize,
@@ -75,7 +75,7 @@ pub struct JoinEdge {
 
 /// A select-project-join query: the set of tables to join, filter
 /// predicates, and the join graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Query {
     /// Base tables (indices are [`TableSet`] bit positions).
     pub tables: Vec<Table>,

@@ -124,6 +124,20 @@ pub fn combine_stable(hashes: impl IntoIterator<Item = u64>) -> u64 {
     h
 }
 
+/// The same pinned FNV-1a digest over a raw byte slice — the
+/// cross-process checksum the `mpq-net` wire format stamps on every
+/// message body. Sharing one digest family (with [`combine_stable`] and
+/// `OpShape::stable_hash`) means a single pinned constant governs every
+/// cross-process identity in the workspace: shard affinity, fault-plan
+/// keys, and frame integrity.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +193,19 @@ mod tests {
     fn combine_stable_is_order_dependent() {
         assert_ne!(combine_stable([1, 2]), combine_stable([2, 1]));
         assert_eq!(combine_stable([7, 8, 9]), combine_stable([7, 8, 9]));
+    }
+
+    #[test]
+    fn fnv1a_bytes_matches_word_fold_and_is_pinned() {
+        // A word fed byte-at-a-time equals the word fold — the two views
+        // of the one digest family can never drift apart.
+        assert_eq!(
+            fnv1a_bytes(&42u64.to_le_bytes()),
+            combine_stable([42]),
+            "byte digest and word fold agree on a word's LE bytes"
+        );
+        assert_eq!(fnv1a_bytes(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a_bytes(b"ab"), fnv1a_bytes(b"ba"));
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! The shard server: one `OptimizerSession` behind a frame-in, frame-out
+//! request handler, plus TCP and unix-socket accept loops.
+//!
+//! The server is deliberately *thin and pure*: [`ShardServerCore`] owns
+//! no clock, no retry state and no deadline logic — it maps one request
+//! frame to one response frame, always. Every robustness decision that
+//! needs time (attempt timeouts, backoff, deadline classification) lives
+//! in the router, which owns the submitter's clock; absolute deadlines do
+//! not transfer between processes that don't share a clock, so the server
+//! ignores [`SubmittedQuery::deadline`](mpq_service::SubmittedQuery)
+//! entirely.
+//!
+//! What the server *does* own is **idempotency**: the first answer per
+//! query digest is cached, and any replay of that digest — a router
+//! retry after a lost response, a duplicated frame — is answered from
+//! the cache without re-running the optimizer. Combined with the
+//! optimizer's determinism contract, this makes retried and duplicated
+//! requests byte-indistinguishable from first tries (modulo the `dedup`
+//! flag, which exists precisely so tests can assert the replay happened).
+//!
+//! A request that panics inside the optimizer is caught
+//! ([`std::panic::catch_unwind`]) and answered
+//! [`WireOutcome::Panicked`]; the panic outcome is cached like any other,
+//! so a poison query cannot be re-detonated by retries. An undecodable
+//! frame is answered [`Message::Error`] — a protocol-level diagnosis the
+//! router treats as retryable transport damage. The connection never
+//! hangs and never dies of one bad request.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mpq_cloud::model::ParametricCostModel;
+use mpq_core::session::OptimizerSession;
+use mpq_core::space::MpqSpace;
+
+use crate::wire::{
+    decode_message, encode_message, peek_request, write_frame, Message, PlanSummary, WireOutcome,
+    WireProtocolError, WireResponse,
+};
+
+/// Monotone counters a shard server keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Request frames answered (including replays and panics).
+    pub handled: u64,
+    /// Of `handled`, the answers replayed from the idempotency cache.
+    pub dedup_hits: u64,
+    /// Frames that failed to decode and were answered [`Message::Error`].
+    pub protocol_errors: u64,
+    /// Requests whose optimization panicked (cached and answered
+    /// [`WireOutcome::Panicked`]).
+    pub panicked: u64,
+}
+
+/// The transport-agnostic heart of a shard server: one borrowed
+/// [`OptimizerSession`] plus the idempotency cache, exposed as a pure
+/// `frame in → frame out` function ([`Self::handle_frame`]).
+///
+/// Keeping the core free of sockets is what lets the deterministic chaos
+/// suite drive the *identical* code path in-process (`InProcConn` in
+/// [`crate::chaos`]) that the TCP/unix accept loops drive over real
+/// streams — the bit-identity invariant is verified against the very
+/// handler production traffic hits.
+pub struct ShardServerCore<'a, 'm, S: MpqSpace, M: ParametricCostModel + ?Sized> {
+    session: &'a OptimizerSession<'m, S, M>,
+    shard: u32,
+    probes: Vec<Vec<f64>>,
+    /// `Some(ε)` serves every request through `optimize_at(ε)` and stamps
+    /// the response's `served_epsilon`; `None` serves exact.
+    epsilon: Option<f64>,
+    /// digest → first answer. A `Mutex<HashMap>` (not a fancier map)
+    /// because correctness here is subtle enough already: the lock makes
+    /// "first optimize wins, everyone replays it" trivially true even
+    /// when connections race on the same digest.
+    dedup: Mutex<HashMap<u64, (WireOutcome, Option<f64>)>>,
+    handled: AtomicU64,
+    dedup_hits: AtomicU64,
+    protocol_errors: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl<'a, 'm, S, M> ShardServerCore<'a, 'm, S, M>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized,
+{
+    /// A server core for shard `shard`, summarizing answers at `probes`
+    /// (the frontier probe points baked into every [`PlanSummary`]).
+    pub fn new(session: &'a OptimizerSession<'m, S, M>, shard: u32, probes: Vec<Vec<f64>>) -> Self {
+        Self {
+            session,
+            shard,
+            probes,
+            epsilon: None,
+            dedup: Mutex::new(HashMap::new()),
+            handled: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        }
+    }
+
+    /// Serves every request ε-approximately (`optimize_at(ε)`) and
+    /// stamps `served_epsilon: Some(ε)` on each answer — the networked
+    /// mirror of the service's precision dial. The stamp rides the wire,
+    /// so cross-process runs can assert it bit-identically.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// This core's shard index (echoed in every response).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Snapshot of the server-side counters.
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            handled: self.handled.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Maps one request payload to one response payload. Total: every
+    /// input — including undecodable garbage — yields exactly one
+    /// well-formed answer frame, never a panic, never silence.
+    pub fn handle_frame(&self, payload: &[u8]) -> Vec<u8> {
+        let request = match decode_message(payload) {
+            Ok(Message::Request(req)) => req,
+            Ok(_) => {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return encode_message(&Message::Error(WireProtocolError {
+                    request_id: 0,
+                    message: "expected a request frame".into(),
+                }));
+            }
+            Err(err) => {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                // Salvage the request id if the header survived the
+                // damage, so the client can match the diagnosis to an
+                // in-flight request.
+                let request_id = peek_request(payload).map(|(id, _, _)| id).unwrap_or(0);
+                return encode_message(&Message::Error(WireProtocolError {
+                    request_id,
+                    message: err.to_string(),
+                }));
+            }
+        };
+        self.handled.fetch_add(1, Ordering::Relaxed);
+
+        // Idempotency: hold the digest's cache entry across the whole
+        // optimize, so a racing replay of the same digest waits and
+        // replays rather than optimizing twice.
+        let (outcome, served_epsilon, dedup) = {
+            let mut cache = match self.dedup.lock() {
+                Ok(guard) => guard,
+                // A poisoned cache means a panic escaped `catch_unwind`
+                // below (it can't — but a lock API must answer). Serve
+                // the request uncached rather than refuse it.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some((outcome, eps)) = cache.get(&request.digest) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                (outcome.clone(), *eps, true)
+            } else {
+                let (outcome, eps) = self.optimize_once(&request.submitted.query);
+                cache.insert(request.digest, (outcome.clone(), eps));
+                (outcome, eps, false)
+            }
+        };
+
+        encode_message(&Message::Response(WireResponse {
+            request_id: request.request_id,
+            digest: request.digest,
+            shard: self.shard,
+            dedup,
+            outcome,
+            served_epsilon,
+        }))
+    }
+
+    fn optimize_once(&self, query: &mpq_catalog::Query) -> (WireOutcome, Option<f64>) {
+        let epsilon = self.epsilon;
+        let result = catch_unwind(AssertUnwindSafe(|| match epsilon {
+            Some(eps) => self.session.optimize_at(query, eps),
+            None => self.session.optimize(query),
+        }));
+        match result {
+            Ok(solution) => (
+                WireOutcome::Ok(PlanSummary::of(
+                    self.session.space(),
+                    &solution,
+                    &self.probes,
+                )),
+                epsilon,
+            ),
+            Err(payload) => {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "optimizer panicked".to_string()
+                };
+                (WireOutcome::Panicked { message }, None)
+            }
+        }
+    }
+}
+
+/// How long a connection thread sleeps in `read` before re-checking the
+/// shutdown flag. Small enough that shutdown is prompt, large enough
+/// that an idle connection costs ~nothing.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// True iff `err` is the polling timeout (both spellings — unix sockets
+/// report `WouldBlock`, TCP reports `TimedOut` on some platforms).
+fn is_poll_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame, treating poll timeouts as wake-ups rather than
+/// errors: partial progress (a half-read prefix or payload) is **kept**
+/// across timeouts, so a frame whose bytes straddle poll ticks can never
+/// misalign the stream. This is load-bearing — a stateless reader that
+/// drops partial fill on timeout turns an innocent scheduling gap
+/// between the length prefix and the payload into misframing: the next
+/// read interprets message-start bytes as a length and the connection
+/// dies of `InvalidData`. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; errors on shutdown raised mid-wait, oversized prefixes,
+/// mid-frame EOF, and real stream failures.
+fn read_frame_patient<T: io::Read>(
+    stream: &mut T,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    fn fill<T: io::Read>(
+        stream: &mut T,
+        buf: &mut [u8],
+        shutdown: &AtomicBool,
+        eof_ok_at_zero: bool,
+    ) -> io::Result<Option<()>> {
+        let mut got = 0usize;
+        while got < buf.len() {
+            match stream.read(&mut buf[got..]) {
+                Ok(0) if got == 0 && eof_ok_at_zero => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed mid frame",
+                    ))
+                }
+                Ok(n) => got += n,
+                Err(err) if is_poll_timeout(&err) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return Err(err);
+                    }
+                    // Poll tick — keep waiting, keep the bytes we have.
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(Some(()))
+    }
+
+    let mut len_bytes = [0u8; 4];
+    if fill(stream, &mut len_bytes, shutdown, true)?.is_none() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > crate::wire::MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            crate::wire::WireError::Oversized {
+                declared: len,
+                cap: crate::wire::MAX_FRAME_LEN,
+            },
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    fill(stream, &mut payload, shutdown, false)?;
+    Ok(Some(payload))
+}
+
+/// Serves one established stream until the peer closes it or `shutdown`
+/// is raised: read a frame, answer it, repeat.
+fn serve_stream<T: io::Read + io::Write>(
+    stream: &mut T,
+    core_handle: &dyn Fn(&[u8]) -> Vec<u8>,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        match read_frame_patient(stream, shutdown) {
+            Ok(Some(payload)) => {
+                if write_frame(stream, &core_handle(&payload)).is_err() {
+                    return; // peer gone mid-answer; nothing to salvage
+                }
+            }
+            Ok(None) => return, // clean EOF at a frame boundary
+            // Shutdown raised mid-wait, an oversized prefix, or a damaged
+            // stream: close; the router self-heals and retries.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Runs a TCP accept loop for `core` on `listener` until `shutdown` is
+/// raised, answering each connection on its own scoped thread. Blocks
+/// the calling thread — spawn it inside your own [`std::thread::scope`]
+/// next to the router under test, or give it a dedicated thread.
+pub fn serve_tcp<S, M>(
+    listener: TcpListener,
+    core: &ShardServerCore<'_, '_, S, M>,
+    shutdown: &AtomicBool,
+) -> io::Result<()>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized + Sync,
+{
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    scope.spawn(move || {
+                        let mut stream = stream;
+                        // Answers are one-frame writes on a request/reply
+                        // cadence; Nagle only adds latency here.
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() {
+                            return;
+                        }
+                        serve_stream(&mut stream, &|p| core.handle_frame(p), shutdown);
+                    });
+                }
+                Err(err) if is_poll_timeout(&err) => {
+                    std::thread::sleep(POLL_TIMEOUT);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(())
+}
+
+/// [`serve_tcp`] over a unix socket listener.
+pub fn serve_unix<S, M>(
+    listener: UnixListener,
+    core: &ShardServerCore<'_, '_, S, M>,
+    shutdown: &AtomicBool,
+) -> io::Result<()>
+where
+    S: MpqSpace + Sync,
+    S::Cost: Send + Sync,
+    S::Region: Send + Sync,
+    M: ParametricCostModel + ?Sized + Sync,
+{
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    scope.spawn(move || {
+                        let mut stream = stream;
+                        if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() {
+                            return;
+                        }
+                        serve_stream(&mut stream, &|p| core.handle_frame(p), shutdown);
+                    });
+                }
+                Err(err) if is_poll_timeout(&err) => {
+                    std::thread::sleep(POLL_TIMEOUT);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(())
+}

@@ -1,0 +1,287 @@
+//! Loopback integration: real sockets, real threads, the full fabric.
+//!
+//! Two shard servers on `127.0.0.1` TCP (and one on a unix socket)
+//! behind a retrying router; the answers must be bit-identical to plain
+//! in-process optimization with **zero** transport effort (no retries,
+//! no reconnects) — a clean wire adds latency, never noise. A third test
+//! points the router at a dead address and asserts the typed
+//! `Unavailable` degradation arrives in bounded wall time.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use mpq_catalog::generator::{generate_trace, GeneratorConfig, TraceConfig, WorkloadConfig};
+use mpq_catalog::graph::Topology;
+use mpq_cloud::model::CloudCostModel;
+use mpq_core::grid_space::GridSpace;
+use mpq_core::rrpa::optimize;
+use mpq_core::session::{query_affinity, SessionConfig, ShardedSession};
+use mpq_core::OptimizerConfig;
+use mpq_net::router::{NetTime, RetryPolicy, ShardRouter, StreamConn};
+use mpq_net::server::{serve_tcp, serve_unix, ShardServerCore};
+use mpq_net::wire::{PlanSummary, WireOutcome};
+use mpq_service::SubmittedQuery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Raises the shutdown flag when dropped — including during a panic's
+/// unwind — so a failing assertion inside the server scope cannot leave
+/// the accept loops running and deadlock the join.
+struct ShutdownGuard<'a>(&'a AtomicBool);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+fn probes() -> Vec<Vec<f64>> {
+    [0.0, 0.15, 0.5, 0.85, 1.0]
+        .iter()
+        .map(|&v| vec![v])
+        .collect()
+}
+
+fn opt_config() -> OptimizerConfig {
+    OptimizerConfig {
+        grid_resolution: 4,
+        threads: Some(1),
+        ..OptimizerConfig::default_for(1)
+    }
+}
+
+fn uncached(opt: &OptimizerConfig) -> SessionConfig {
+    let mut cfg = SessionConfig::new(opt.clone()).without_subtree_cache();
+    cfg.cached = false;
+    cfg
+}
+
+/// A CI-tolerant policy for real sockets: generous attempt timeout so a
+/// loaded machine cannot fake a fault, tiny backoff so failures surface
+/// fast.
+fn wall_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        attempt_timeout: 10.0,
+        base_backoff: 0.01,
+        max_backoff: 0.05,
+        jitter: 0.5,
+        seed: 42,
+    }
+}
+
+#[test]
+fn tcp_loopback_is_bit_identical_with_zero_transport_effort() {
+    let trace = generate_trace(
+        &TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(3, Topology::Chain, 1),
+                5,
+                0.5,
+            ),
+            mean_gap: 0.0,
+        },
+        &mut StdRng::seed_from_u64(21),
+    );
+    let model = CloudCostModel::default();
+    let opt = opt_config();
+    let reference: Vec<PlanSummary> = trace
+        .queries
+        .iter()
+        .map(|q| {
+            let space = GridSpace::for_unit_box(1, &opt, 2).expect("grid space");
+            let sol = optimize(q, &model, &space, &opt);
+            PlanSummary::of(&space, &sol, &probes())
+        })
+        .collect();
+
+    let shards = 2usize;
+    let session_cfg = uncached(&opt);
+    let sessions = ShardedSession::build(shards, &model, &session_cfg, || {
+        GridSpace::for_unit_box(1, &opt, 2).expect("grid space")
+    });
+    let cores: Vec<_> = (0..shards)
+        .map(|i| ShardServerCore::new(sessions.shard(i), i as u32, probes()))
+        .collect();
+    let listeners: Vec<TcpListener> = (0..shards)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&shutdown);
+        for (listener, core) in listeners.into_iter().zip(&cores) {
+            let shutdown = &shutdown;
+            scope.spawn(move || serve_tcp(listener, core, shutdown));
+        }
+
+        let conns: Vec<_> = addrs
+            .iter()
+            .map(|&addr| StreamConn::tcp(addr, Duration::from_secs(5)))
+            .collect();
+        let mut router = ShardRouter::new(
+            conns,
+            |q| query_affinity(q, &model),
+            wall_policy(),
+            NetTime::wall(),
+        );
+
+        for (i, query) in trace.queries.iter().enumerate() {
+            let resp = router.submit(SubmittedQuery {
+                query: query.clone(),
+                deadline: None,
+            });
+            assert_eq!(resp.shard, sessions.shard_of(query), "affinity agreement");
+            let summary = resp
+                .outcome
+                .ok()
+                .unwrap_or_else(|| panic!("query {i} over loopback: {:?}", resp.outcome.name()));
+            assert_eq!(summary, &reference[i], "query {i} diverged over TCP");
+            assert_eq!(resp.attempts, 1, "clean wire needs one attempt");
+        }
+        let stats = router.stats();
+        assert_eq!(stats.completed, trace.len() as u64);
+        assert!(stats.conserves());
+        assert_eq!(
+            (stats.retries, stats.reconnects, stats.dropped),
+            (0, 0, 0),
+            "clean loopback shows zero transport effort"
+        );
+        // Replaying query 0 exercises the idempotency cache over a real
+        // socket: same bits, dedup-flagged.
+        let resp = router.submit(SubmittedQuery {
+            query: trace.queries[0].clone(),
+            deadline: None,
+        });
+        assert!(resp.dedup, "replayed digest answers from the cache");
+        assert_eq!(resp.outcome.ok().expect("healthy replay"), &reference[0]);
+
+        shutdown.store(true, Ordering::Relaxed);
+    });
+}
+
+#[test]
+fn unix_socket_round_trip() {
+    let query = {
+        let trace = generate_trace(
+            &TraceConfig {
+                workload: WorkloadConfig::uniform(
+                    GeneratorConfig::paper(2, Topology::Chain, 1),
+                    1,
+                    0.0,
+                ),
+                mean_gap: 0.0,
+            },
+            &mut StdRng::seed_from_u64(5),
+        );
+        trace.queries[0].clone()
+    };
+    let model = CloudCostModel::default();
+    let opt = opt_config();
+    let reference = {
+        let space = GridSpace::for_unit_box(1, &opt, 2).expect("grid space");
+        let sol = optimize(&query, &model, &space, &opt);
+        PlanSummary::of(&space, &sol, &probes())
+    };
+
+    let session_cfg = uncached(&opt);
+    let sessions = ShardedSession::build(1, &model, &session_cfg, || {
+        GridSpace::for_unit_box(1, &opt, 2).expect("grid space")
+    });
+    let core = ShardServerCore::new(sessions.shard(0), 0, probes());
+    let dir = std::env::temp_dir().join(format!("mpq-net-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("socket dir");
+    let path = dir.join("shard0.sock");
+    let _ = std::fs::remove_file(&path);
+    let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind unix socket");
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&shutdown);
+        let core_ref = &core;
+        let shutdown_ref = &shutdown;
+        scope.spawn(move || serve_unix(listener, core_ref, shutdown_ref));
+
+        let mut router = ShardRouter::new(
+            vec![StreamConn::unix(&path)],
+            |q| query_affinity(q, &model),
+            wall_policy(),
+            NetTime::wall(),
+        );
+        let resp = router.submit(SubmittedQuery {
+            query: query.clone(),
+            deadline: None,
+        });
+        assert_eq!(
+            resp.outcome.ok().expect("healthy over unix socket"),
+            &reference
+        );
+        assert_eq!(router.stats().retries, 0);
+
+        shutdown.store(true, Ordering::Relaxed);
+    });
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn dead_address_degrades_to_unavailable_in_bounded_time() {
+    let query = {
+        let trace = generate_trace(
+            &TraceConfig {
+                workload: WorkloadConfig::uniform(
+                    GeneratorConfig::paper(2, Topology::Chain, 1),
+                    1,
+                    0.0,
+                ),
+                mean_gap: 0.0,
+            },
+            &mut StdRng::seed_from_u64(9),
+        );
+        trace.queries[0].clone()
+    };
+    let model = CloudCostModel::default();
+
+    // Bind-then-drop: the OS hands us a port with nothing listening, so
+    // dials are refused instantly rather than blackholed.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("local addr")
+    };
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        attempt_timeout: 0.25,
+        base_backoff: 0.01,
+        max_backoff: 0.02,
+        jitter: 0.5,
+        seed: 7,
+    };
+    let mut router = ShardRouter::new(
+        vec![StreamConn::tcp(dead_addr, Duration::from_millis(250))],
+        |q| query_affinity(q, &model),
+        policy,
+        NetTime::wall(),
+    );
+    let started = std::time::Instant::now();
+    let resp = router.submit(SubmittedQuery {
+        query,
+        deadline: None,
+    });
+    assert_eq!(resp.outcome, WireOutcome::Unavailable, "typed degradation");
+    assert_eq!(resp.attempts, policy.max_attempts);
+    // Worst case: every attempt burns its connect timeout plus backoff.
+    // Generous margin: the point is "seconds, not forever".
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "unreachable shard must fail fast, took {:?}",
+        started.elapsed()
+    );
+    let stats = router.stats();
+    assert_eq!(stats.unavailable, 1);
+    assert!(stats.conserves());
+}

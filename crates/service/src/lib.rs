@@ -319,7 +319,7 @@ impl ServiceConfig {
 /// A query submitted to the service. (A struct, not a bare `Query`, so
 /// per-request options — priorities, deadlines — can grow without
 /// breaking the submit API.)
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubmittedQuery {
     /// The query to optimize.
     pub query: Query,
@@ -549,6 +549,36 @@ impl<S: MpqSpace> ServiceTicket<S> {
         })
     }
 
+    /// [`Self::wait`] with a **real-time** budget, so a caller can never
+    /// deadlock on a frozen clock: `budget` is wall time (not
+    /// service-clock time — a stalled [`VirtualClock`] would make a
+    /// virtual budget unreachable, reintroducing the exact hang this
+    /// method exists to rule out, the documented `wait()`-inside-body
+    /// hang of [`Self::wait`]). On expiry the caller gets
+    /// [`QueryOutcome::TimedOut`] with `latency` measured on `clock`
+    /// (the service-clock time spent waiting, `0.0` under a frozen
+    /// virtual clock). The ticket is consumed; a response the service
+    /// produces later is dropped with the channel — the request itself
+    /// still runs to completion inside the service and is counted there.
+    pub fn wait_timeout(self, clock: &ServiceClock, budget: Duration) -> QueryResponse<S> {
+        let waited_from = clock();
+        match self.rx.recv_timeout(budget) {
+            Ok(response) => response,
+            Err(mpsc::RecvTimeoutError::Disconnected) => QueryResponse {
+                outcome: QueryOutcome::Shutdown,
+                route: None,
+                latency: 0.0,
+                served_epsilon: None,
+            },
+            Err(mpsc::RecvTimeoutError::Timeout) => QueryResponse {
+                outcome: QueryOutcome::TimedOut,
+                route: None,
+                latency: clock() - waited_from,
+                served_epsilon: None,
+            },
+        }
+    }
+
     /// Non-blocking poll: `Some` once the response is ready.
     pub fn try_wait(&self) -> Option<QueryResponse<S>> {
         self.rx.try_recv().ok()
@@ -578,10 +608,17 @@ pub struct ShardStats {
 /// [`serve`]'s return value).
 ///
 /// Conservation: every submission resolves exactly once, so after
-/// shutdown `submitted == completed + rejected + timed_out + quarantined`
-/// (mid-run, the difference is the in-flight count). ε-served answers
-/// are ordinary completions — `approx_served ≤ completed` refines the
-/// mix, it never adds a fifth resolution class.
+/// shutdown `submitted ==
+/// completed + rejected + timed_out + quarantined + unavailable`
+/// (mid-run, the difference is the in-flight count) —
+/// [`Self::conserves`] checks exactly this. ε-served answers are
+/// ordinary completions — `approx_served ≤ completed` refines the mix,
+/// it never adds a resolution class — and the wire counters (`retries`,
+/// `reconnects`, `dropped`) describe *transport effort*, not
+/// resolutions, so they sit outside the identity. In-process serving
+/// ([`serve`]) has no wire: its snapshots report all four wire counters
+/// as zero, and a network front (`mpq-net`) reports through the same
+/// snapshot type with them live.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
     /// Requests submitted (including ones later rejected).
@@ -603,6 +640,20 @@ pub struct ServiceStats {
     /// Requests quarantined after panicking
     /// ([`QueryOutcome::Panicked`]).
     pub quarantined: u64,
+    /// Requests resolved as degraded by a network front: the shard was
+    /// unreachable (or answered `Shutdown`) after every retry. Always
+    /// `0` for in-process serving — there is no wire to lose.
+    pub unavailable: u64,
+    /// Request attempts beyond the first, across all requests (a network
+    /// front's retry loop; `0` in-process and on a fault-free wire).
+    pub retries: u64,
+    /// Connection re-establishments after a transport error (`0`
+    /// in-process and on a fault-free wire).
+    pub reconnects: u64,
+    /// Frames destroyed in flight, as observed by a deterministic fault
+    /// injector (`0` in-process; real networks drop silently, so this
+    /// counter is only exact under injection).
+    pub dropped: u64,
     /// Requests currently buffered (accumulating, not yet dispatched).
     pub queue_depth: u64,
     /// Largest buffered count observed.
@@ -630,6 +681,18 @@ pub struct ServiceStats {
     /// 95th-percentile latency in service-clock seconds over the same
     /// window (NaN before the first completion).
     pub latency_p95: f64,
+}
+
+impl ServiceStats {
+    /// The conservation identity: after shutdown (or any quiescent
+    /// point), every submission has resolved to exactly one of the five
+    /// resolution classes. Both the in-process chaos suite and the
+    /// network chaos suite assert this on every run — it is the single
+    /// accounting invariant shared by all serving fronts.
+    pub fn conserves(&self) -> bool {
+        self.completed + self.rejected + self.timed_out + self.quarantined + self.unavailable
+            == self.submitted
+    }
 }
 
 /// Latency samples retained for the percentile snapshot: a ring of the
@@ -743,6 +806,13 @@ impl StatsShared {
             rejected: self.rejected.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            // In-process serving has no wire: the four transport
+            // counters exist so a network front can report through the
+            // same snapshot type (see the `ServiceStats` docs).
+            unavailable: 0,
+            retries: 0,
+            reconnects: 0,
+            dropped: 0,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -1917,6 +1987,72 @@ mod tests {
         let resp = ticket.wait();
         assert_eq!(resp.kind(), OutcomeKind::Shutdown);
         assert!(resp.route.is_none());
+    }
+
+    /// `wait_timeout` under a frozen virtual clock expires on the
+    /// real-time budget and resolves `TimedOut` — the caller can never
+    /// deadlock, which is the whole point of the method.
+    #[test]
+    fn wait_timeout_cannot_deadlock_on_frozen_clock() {
+        let (_tx, rx) = mpsc::channel::<QueryResponse<GridSpace>>();
+        let ticket = ServiceTicket { rx };
+        let vclock = VirtualClock::new(); // frozen at 0 forever
+        let clock = vclock.clock();
+        let resp = ticket.wait_timeout(&clock, Duration::from_millis(10));
+        assert_eq!(resp.kind(), OutcomeKind::TimedOut);
+        assert!(resp.route.is_none());
+        assert_eq!(resp.latency, 0.0, "no service-clock time passed");
+        // Note `_tx` is still alive: the service "exists" but never
+        // answers — recv_timeout (not recv) is what returned.
+    }
+
+    /// `wait_timeout` delivers a ready response untouched and resolves
+    /// `Shutdown` when the service died, exactly like `wait`.
+    #[test]
+    fn wait_timeout_delivers_and_maps_shutdown() {
+        let clock: ServiceClock = VirtualClock::new().clock();
+        let (tx, rx) = mpsc::channel::<QueryResponse<GridSpace>>();
+        tx.send(QueryResponse {
+            outcome: QueryOutcome::Rejected,
+            route: None,
+            latency: 1.5,
+            served_epsilon: None,
+        })
+        .unwrap();
+        let ticket = ServiceTicket { rx };
+        let resp = ticket.wait_timeout(&clock, Duration::from_secs(5));
+        assert_eq!(resp.kind(), OutcomeKind::Rejected);
+        assert_eq!(resp.latency, 1.5);
+        let (tx, rx) = mpsc::channel::<QueryResponse<GridSpace>>();
+        drop(tx);
+        let ticket = ServiceTicket { rx };
+        let resp = ticket.wait_timeout(&clock, Duration::from_secs(5));
+        assert_eq!(resp.kind(), OutcomeKind::Shutdown);
+    }
+
+    /// In-process snapshots always report the wire counters as zero and
+    /// satisfy the conservation identity.
+    #[test]
+    fn in_process_snapshot_has_no_wire_counters() {
+        let model = CloudCostModel::default();
+        let queries = workload(3, 3, 0.5, 21);
+        let shard_sessions = sessions(&model, 2, None);
+        let config = ServiceConfig::new(BatchPolicy::new(2, Duration::from_millis(1)));
+        let (_, stats) = serve(&shard_sessions, config, |handle| {
+            let tickets: Vec<_> = queries.iter().map(|q| handle.submit(q.clone())).collect();
+            tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>()
+        });
+        assert!(stats.conserves(), "conservation identity after shutdown");
+        assert_eq!(
+            (
+                stats.unavailable,
+                stats.retries,
+                stats.reconnects,
+                stats.dropped
+            ),
+            (0, 0, 0, 0),
+            "no wire, no wire counters"
+        );
     }
 
     /// The latency ring survives a poisoned lock: pushes and snapshots

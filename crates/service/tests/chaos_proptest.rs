@@ -182,10 +182,19 @@ proptest! {
                     .collect::<Vec<_>>()
             });
             prop_assert_eq!(stats.submitted, trace.len() as u64);
-            prop_assert_eq!(
-                stats.completed + stats.rejected + stats.timed_out + stats.quarantined,
-                stats.submitted,
+            prop_assert!(
+                stats.conserves(),
                 "conservation: every query resolves exactly once"
+            );
+            prop_assert_eq!(
+                (
+                    stats.unavailable,
+                    stats.retries,
+                    stats.reconnects,
+                    stats.dropped
+                ),
+                (0u64, 0u64, 0u64, 0u64),
+                "in-process serving has no wire counters"
             );
             prop_assert_eq!(stats.quarantined, n_poisoned as u64);
             prop_assert_eq!(stats.rejected, 0u64);

@@ -143,6 +143,17 @@ proptest! {
                         .collect::<Vec<_>>()
                 });
                 prop_assert_eq!(stats.completed, trace.len() as u64, "all answered");
+                prop_assert!(stats.conserves(), "conservation identity after shutdown");
+                prop_assert_eq!(
+                    (
+                        stats.unavailable,
+                        stats.retries,
+                        stats.reconnects,
+                        stats.dropped
+                    ),
+                    (0u64, 0u64, 0u64, 0u64),
+                    "in-process serving has no wire counters"
+                );
                 prop_assert_eq!(
                     stats.batches,
                     stats.size_triggered + stats.deadline_triggered + stats.drain_triggered

@@ -18,6 +18,7 @@
 //! | [`cloud`] | `mpq-cloud` | cost models: time × fees and time × precision-loss |
 //! | [`core`] | `mpq-core` | RRPA, PWL-RRPA, spaces, baselines, validation |
 //! | [`service`] | `mpq-service` | optimizer service: batch accumulation, sharded sessions, tickets |
+//! | [`net`] | `mpq-net` | networked shard fabric: versioned wire format, shard servers, retrying router |
 //!
 //! ## Quick start
 //!
@@ -53,6 +54,7 @@ pub use mpq_core as core;
 pub use mpq_cost as cost;
 pub use mpq_geometry as geometry;
 pub use mpq_lp as lp;
+pub use mpq_net as net;
 pub use mpq_service as service;
 
 /// The commonly used API surface (re-export of [`mpq_core::prelude`]).
