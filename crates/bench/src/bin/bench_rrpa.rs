@@ -10,6 +10,7 @@
 //!       [--batch N] [--overlap R,R...] \
 //!       [--out BENCH_rrpa.json] [--quick] [--smoke] [--smoke-approx] \
 //!       [--merge-mqo BENCH_rrpa.json] [--merge-approx BENCH_rrpa.json] \
+//!       [--obs-overhead BENCH_rrpa.json] \
 //!       [--baseline-note "text"] [--baseline FILE]
 //!
 //! * `--space` — comma-separated space backends to measure (default
@@ -46,6 +47,13 @@
 //!   row byte for byte and bumping the schema to v8. Rows record the
 //!   wall/LP speedups and the frontier-size reduction the `(1+ε)` band
 //!   buys.
+//! * `--obs-overhead` — measure **only** the observability-overhead
+//!   (`obs_entries`) matrix — each seed run obs-off then obs-on with a
+//!   live `mpq_obs::Obs` handle installed, bit-identity asserted per
+//!   seed and the ≤5% median-overhead acceptance bound asserted on the
+//!   chain-10/2-param configuration — and splice it into an existing
+//!   baseline file as the trailing section, preserving every other row
+//!   byte for byte and bumping the schema to v10.
 //! * `--quick` — a smaller sweep for smoke-testing the harness.
 //! * `--smoke` — CI mode: one tiny batched workload plus a tiny
 //!   2-parameter pwl config, asserting that the cache hits, that
@@ -82,10 +90,10 @@
 
 use mpq_bench::harness::{
     baseline_json, baseline_schema_version, breakdown_medians, bump_schema, record_medians,
-    run_approx_once, run_once, run_once_in, run_service_trace, run_workload_in, run_workload_mqo,
-    sweep_threads, ApproxBaselineEntry, ApproxRecord, BaselineEntry, BatchBaselineEntry,
-    BatchRecord, MqoBaselineEntry, MqoRecord, ServiceSpec, SpaceKind, WorkloadSpec,
-    BENCH_SCHEMA_VERSION,
+    run_approx_once, run_obs_pair, run_once, run_once_in, run_service_trace, run_workload_in,
+    run_workload_mqo, sweep_threads, ApproxBaselineEntry, ApproxRecord, BaselineEntry,
+    BatchBaselineEntry, BatchRecord, MqoBaselineEntry, MqoRecord, ObsBaselineEntry, ServiceSpec,
+    SpaceKind, WorkloadSpec, BENCH_SCHEMA_VERSION,
 };
 use mpq_catalog::graph::Topology;
 use mpq_core::OptimizerConfig;
@@ -102,6 +110,7 @@ struct Args {
     smoke_approx: bool,
     merge_mqo: Option<String>,
     merge_approx: Option<String>,
+    obs_overhead: Option<String>,
     baseline_file: Option<String>,
     baseline_note: Option<String>,
 }
@@ -112,7 +121,7 @@ fn die(msg: &str) -> ! {
         "usage: bench_rrpa [--space grid[,pwl]] [--seeds N] [--threads N[,M...]] \
          [--batch N] [--overlap R[,R...]] [--out PATH] [--quick] [--smoke] \
          [--smoke-approx] [--merge-mqo FILE] [--merge-approx FILE] \
-         [--baseline FILE] [--baseline-note TEXT]"
+         [--obs-overhead FILE] [--baseline FILE] [--baseline-note TEXT]"
     );
     std::process::exit(2);
 }
@@ -130,6 +139,7 @@ fn parse_args() -> Args {
         smoke_approx: false,
         merge_mqo: None,
         merge_approx: None,
+        obs_overhead: None,
         baseline_file: None,
         baseline_note: None,
     };
@@ -200,6 +210,12 @@ fn parse_args() -> Args {
                 args.merge_approx = Some(
                     it.next()
                         .unwrap_or_else(|| die("--merge-approx expects a path")),
+                );
+            }
+            "--obs-overhead" => {
+                args.obs_overhead = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--obs-overhead expects a path")),
                 );
             }
             "--baseline" => {
@@ -294,6 +310,46 @@ fn measure(
         lp_breakdown: breakdown_medians(&records),
         seeds,
     }
+}
+
+/// Measures the observability overhead on one configuration: every seed
+/// runs obs-off then obs-on (bit-identity asserted per seed inside
+/// [`run_obs_pair`]), single-threaded per the measurement rules.
+fn measure_obs(
+    topology: Topology,
+    workload: &str,
+    num_tables: usize,
+    num_params: usize,
+    seeds: usize,
+) -> ObsBaselineEntry {
+    let mut config = OptimizerConfig::default_for(num_params);
+    config.threads = Some(1);
+    let records: Vec<_> = (0..seeds)
+        .map(|s| {
+            let r = run_obs_pair(num_tables, topology, num_params, s as u64, &config);
+            eprintln!(
+                "  obs {workload} n={num_tables} p={num_params} seed={s}: \
+                 off={:.0}ms on={:.0}ms ({:+.2}%) spans={}",
+                r.off_ms,
+                r.on_ms,
+                (r.on_ms - r.off_ms) / r.off_ms * 100.0,
+                r.spans
+            );
+            r
+        })
+        .collect();
+    ObsBaselineEntry::from_records(workload, num_tables, num_params, &records)
+}
+
+/// The observability-overhead matrix: the acceptance configuration
+/// (chain-10 / 2-param — the heaviest grid row, where per-span cost is
+/// most diluted) plus a small chain where fixed obs cost is most
+/// visible.
+fn obs_configs() -> Vec<(Topology, &'static str, usize, usize)> {
+    vec![
+        (Topology::Chain, "chain", 10, 2),
+        (Topology::Chain, "chain", 6, 2),
+    ]
 }
 
 /// The batched-workload matrix: *small* queries in volume — the
@@ -778,6 +834,7 @@ fn run_smoke() {
         &[],
         &[],
         &[],
+        &[],
     );
     assert!(json.contains("\"batch_entries\"") && json.trim_end().ends_with('}'));
     assert!(json.contains("\"lps_query_median\""));
@@ -800,6 +857,7 @@ const APPROX_MARKER: &str = ",\n  \"approx_command\"";
 const SERVICE_MARKER: &str = ",\n  \"service_command\"";
 const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
 const NET_MARKER: &str = ",\n  \"net_command\"";
+const OBS_MARKER: &str = ",\n  \"obs_command\"";
 
 /// Renders the `mqo_command`/`mqo_entries` section (starting with the
 /// separator comma, no trailing newline).
@@ -884,13 +942,20 @@ fn merge_block_into(path: &str, new_block: &str, marker: &str, followers: &[&str
 
 /// Splices a freshly measured `mqo_command`/`mqo_entries` section into an
 /// existing baseline file, preserving the single-query entries, batch
-/// rows and the trailing approx/service/chaos blocks byte for byte.
+/// rows and the trailing approx/service/chaos/net/obs blocks byte for
+/// byte.
 fn merge_mqo_into(path: &str, new_block: &str) -> String {
     merge_block_into(
         path,
         new_block,
         MQO_MARKER,
-        &[APPROX_MARKER, SERVICE_MARKER, CHAOS_MARKER, NET_MARKER],
+        &[
+            APPROX_MARKER,
+            SERVICE_MARKER,
+            CHAOS_MARKER,
+            NET_MARKER,
+            OBS_MARKER,
+        ],
     )
 }
 
@@ -902,8 +967,27 @@ fn merge_approx_into(path: &str, new_block: &str) -> String {
         path,
         new_block,
         APPROX_MARKER,
-        &[SERVICE_MARKER, CHAOS_MARKER, NET_MARKER],
+        &[SERVICE_MARKER, CHAOS_MARKER, NET_MARKER, OBS_MARKER],
     )
+}
+
+/// Renders the `obs_command`/`obs_entries` section (starting with the
+/// separator comma, no trailing newline).
+fn render_obs_block(command: &str, entries: &[ObsBaselineEntry]) -> String {
+    let mut out = format!(",\n  \"obs_command\": \"{command}\",\n  \"obs_entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Splices a freshly measured `obs_command`/`obs_entries` section into an
+/// existing baseline file. The obs block is the last section, so it has
+/// no followers — it lands just before the closing brace.
+fn merge_obs_into(path: &str, new_block: &str) -> String {
+    merge_block_into(path, new_block, OBS_MARKER, &[])
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -966,6 +1050,35 @@ fn main() {
         let json = merge_mqo_into(&path, &render_mqo_block(&command, &mqo_entries));
         std::fs::write(&path, &json).expect("writable --merge-mqo path");
         eprintln!("merged {} mqo rows into {path}", mqo_entries.len());
+        return;
+    }
+    if let Some(path) = args.obs_overhead.clone() {
+        // Measure only the observability-overhead matrix and splice it
+        // into the existing baseline, leaving every other row
+        // byte-identical. Per-seed bit-identity is asserted inside the
+        // runner; the ≤5% acceptance bound is asserted here on the
+        // acceptance configuration's median.
+        let obs_entries: Vec<ObsBaselineEntry> = obs_configs()
+            .into_iter()
+            .map(|(topology, workload, n, p)| measure_obs(topology, workload, n, p, args.seeds))
+            .collect();
+        let acceptance = &obs_entries[0];
+        assert!(
+            acceptance.overhead_pct <= 5.0,
+            "obs overhead {:.2}% exceeds the 5% acceptance bound on {} n={} p={}",
+            acceptance.overhead_pct,
+            acceptance.workload,
+            acceptance.num_tables,
+            acceptance.num_params
+        );
+        let command = format!(
+            "cargo run --release -p mpq-bench --bin bench_rrpa -- --seeds {} \
+             --obs-overhead {path}",
+            args.seeds,
+        );
+        let json = merge_obs_into(&path, &render_obs_block(&command, &obs_entries));
+        std::fs::write(&path, &json).expect("writable --obs-overhead path");
+        eprintln!("merged {} obs rows into {path}", obs_entries.len());
         return;
     }
     if let Some(path) = args.merge_approx.clone() {
@@ -1052,7 +1165,16 @@ fn main() {
     // Service rows (`service_entries`) and fault-injection rows
     // (`chaos_entries`) are measured and merged in by the `bench_service`
     // bin, which owns the service matrix.
-    let mut json = baseline_json(&meta, &entries, &batch_entries, &mqo_entries, &[], &[], &[]);
+    let mut json = baseline_json(
+        &meta,
+        &entries,
+        &batch_entries,
+        &mqo_entries,
+        &[],
+        &[],
+        &[],
+        &[],
+    );
     let out = args.out.as_deref().unwrap_or("BENCH_rrpa.json");
     // Re-running this bin must not destroy approx/service/chaos rows a
     // previous `--merge-approx` or `bench_service --merge` spliced into
@@ -1063,15 +1185,16 @@ fn main() {
             .find(APPROX_MARKER)
             .or_else(|| prev.find(SERVICE_MARKER))
             .or_else(|| prev.find(CHAOS_MARKER))
-            .or_else(|| prev.find(NET_MARKER));
+            .or_else(|| prev.find(NET_MARKER))
+            .or_else(|| prev.find(OBS_MARKER));
         if let Some(pos) = pos {
             let end = prev.rfind('}').expect("existing baseline is a JSON object");
             let block = prev[pos..end].trim_end();
             let insert = json.rfind('}').expect("baseline_json emits an object");
             json = format!("{}{}\n}}\n", json[..insert].trim_end(), block);
             eprintln!(
-                "carried the existing approx/service/chaos/net blocks forward \
-                 (re-measure with --merge-approx / bench_service)"
+                "carried the existing approx/service/chaos/net/obs blocks forward \
+                 (re-measure with --merge-approx / bench_service / --obs-overhead)"
             );
         }
     }

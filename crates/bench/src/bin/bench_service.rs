@@ -2,14 +2,15 @@
 //! through the `mpq-service` front-end (batch accumulation → sharded
 //! sessions → bounded caches → panic quarantine) and merges the measured
 //! `service_entries` / `chaos_entries` / `net_entries` into
-//! `BENCH_rrpa.json` (schema v9).
+//! `BENCH_rrpa.json` (schema v10).
 //!
 //! Usage:
 //!   cargo run --release -p mpq-bench --bin bench_service -- \
 //!       [--seeds N] [--trace N] [--overlap R,R...] [--shards N,N...] \
 //!       [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
 //!       [--capacity N] [--fault-rate R,R...] [--chaos] [--net] \
-//!       [--merge BENCH_rrpa.json] [--smoke] [--smoke-chaos] [--smoke-net]
+//!       [--merge BENCH_rrpa.json] [--smoke] [--smoke-chaos] [--smoke-net] \
+//!       [--smoke-obs]
 //!
 //! * Traces replay under a **virtual service clock** stepped to each
 //!   arrival (`mpq_catalog::generator::generate_trace` — seeded, no
@@ -20,8 +21,10 @@
 //! * `--merge` (default `BENCH_rrpa.json`) splices the measured rows into
 //!   an existing baseline file: the previous `service_entries` block (or
 //!   `chaos_entries` under `--chaos`, `net_entries` under `--net`) is
-//!   replaced, every *other* trailing block is preserved verbatim, and
-//!   the schema version is bumped to 9. A file stamped with a **newer**
+//!   replaced, every *other* trailing block — including the
+//!   `obs_entries` block owned by `bench_rrpa --obs-overhead` — is
+//!   preserved verbatim, and the schema version is bumped to 10. A file
+//!   stamped with a **newer**
 //!   schema than this binary understands is refused rather than
 //!   silently downgraded.
 //! * The fault-free matrix appends one **deadline-ε** row per workload:
@@ -65,6 +68,13 @@
 //!   {1, 2} — drops must cost retries, duplicates must replay from the
 //!   idempotency cache), and a dead-address pass (typed `Unavailable`
 //!   in bounded wall time). Writes no file; exits non-zero on violation.
+//! * `--smoke-obs` — CI mode for the observability layer: an in-process
+//!   service pass with a live virtual-clock `Obs` handle (exposition
+//!   parses, the stats conservation identity re-derives from registry
+//!   counters alone) and a loopback-TCP pass with observed router and
+//!   server (every wire trace id joins router and server spans, and a
+//!   `Metrics` wire scrape returns the server registry's samples).
+//!   Writes no file; exits non-zero on violation.
 
 use mpq_bench::harness::{
     baseline_schema_version, bump_schema, run_chaos_trace, run_net_trace, run_service_trace,
@@ -98,6 +108,7 @@ struct Args {
     smoke: bool,
     smoke_chaos: bool,
     smoke_net: bool,
+    smoke_obs: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -106,7 +117,7 @@ fn die(msg: &str) -> ! {
         "usage: bench_service [--seeds N] [--trace N] [--overlap R[,R...]] \
          [--shards N[,N...]] [--max-batch N] [--max-wait-us U] [--mean-gap-us U] \
          [--capacity N] [--fault-rate R[,R...]] [--chaos] [--net] [--merge FILE] \
-         [--smoke] [--smoke-chaos] [--smoke-net]"
+         [--smoke] [--smoke-chaos] [--smoke-net] [--smoke-obs]"
     );
     std::process::exit(2);
 }
@@ -137,6 +148,7 @@ fn parse_args() -> Args {
         smoke: false,
         smoke_chaos: false,
         smoke_net: false,
+        smoke_obs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -184,6 +196,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--smoke-chaos" => args.smoke_chaos = true,
             "--smoke-net" => args.smoke_net = true,
+            "--smoke-obs" => args.smoke_obs = true,
             other => die(&format!("unknown argument: {other}")),
         }
     }
@@ -633,6 +646,194 @@ fn run_smoke_net() {
     );
 }
 
+/// CI observability smoke: two passes over the deterministic obs layer.
+///
+/// 1. **In-process service, obs on** — a small trace through `serve`
+///    with a virtual-clock `Obs` handle: the Prometheus-style exposition
+///    must parse, and the `ServiceStats` conservation identity must
+///    re-derive from the registry counters alone (the registry is not a
+///    second bookkeeping system — it mirrors the service's own atomics
+///    bump for bump).
+/// 2. **Loopback TCP, obs on both ends** — a real socket hop between an
+///    observed router and an observed shard server: every trace id the
+///    router stamped on the wire must come back on exactly one
+///    `server_request` span (the cross-process join contract), and a
+///    `Metrics` wire scrape must return the server registry's own
+///    samples.
+///
+/// Writes no file; exits non-zero on violation.
+fn run_smoke_obs() {
+    use mpq_core::grid_space::GridSpace as Grid;
+    use mpq_core::session::{query_affinity, SessionConfig, ShardedSession};
+    use mpq_net::router::{NetTime, RetryPolicy, ShardRouter, StreamConn};
+    use mpq_net::server::{serve_tcp, ShardServerCore};
+    use mpq_obs::{parse_exposition, Obs};
+    use mpq_service::{serve, BatchPolicy, ServiceConfig, SubmittedQuery, VirtualClock};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct ShutdownGuard<'a>(&'a AtomicBool);
+    impl Drop for ShutdownGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    let mut config = OptimizerConfig::default_for(1);
+    config.threads = Some(1);
+    config.grid_resolution = 4;
+    let model = CloudCostModel::default();
+    let trace = generate_trace(
+        &TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(3, Topology::Chain, 1),
+                10,
+                0.5,
+            ),
+            mean_gap: 150e-6,
+        },
+        &mut StdRng::seed_from_u64(17),
+    );
+
+    // Pass 1: in-process service with a live handle on the virtual clock.
+    {
+        let session_cfg = SessionConfig::new(config.clone());
+        let sessions = ShardedSession::build(2, &model, &session_cfg, || {
+            Grid::for_unit_box(1, &config, 2).expect("grid space")
+        });
+        let vclock = VirtualClock::new();
+        let vc = VirtualClock::clone(&vclock);
+        let obs = Obs::with_clock(true, Arc::new(move || vc.now_micros()));
+        let service_cfg = ServiceConfig::new(BatchPolicy::new(3, Duration::from_micros(400)))
+            .with_clock(vclock.clock())
+            .with_obs(obs.clone());
+        let (tickets, stats) = serve(&sessions, service_cfg, |handle| {
+            trace
+                .queries
+                .iter()
+                .zip(&trace.arrivals)
+                .map(|(q, &at)| {
+                    vclock.advance_to_secs(at);
+                    handle.submit(q.clone())
+                })
+                .collect::<Vec<_>>()
+        });
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        assert!(stats.conserves(), "obs smoke: service conservation");
+        let registry = obs.registry().expect("enabled handle");
+        let get = |name: &str| registry.counter(name).get();
+        assert_eq!(
+            get("service_submitted"),
+            stats.submitted,
+            "obs smoke: registry mirrors the service's own counter"
+        );
+        assert_eq!(
+            get("service_submitted"),
+            get("service_completed")
+                + get("service_rejected")
+                + get("service_timed_out")
+                + get("service_quarantined"),
+            "obs smoke: conservation re-derived from the registry alone"
+        );
+        let text = registry.expose();
+        let samples = parse_exposition(&text).expect("obs smoke: exposition parses");
+        assert!(
+            samples.iter().any(|(n, _)| n == "service_submitted"),
+            "obs smoke: exposition carries the service counters"
+        );
+        eprintln!(
+            "obs smoke ok: service pass, {} submitted, {} exposition samples, \
+             conservation holds from the registry alone",
+            stats.submitted,
+            samples.len()
+        );
+    }
+
+    // Pass 2: trace-id join and registry scrape across a real TCP hop.
+    {
+        let mut session_cfg = SessionConfig::new(config.clone()).without_subtree_cache();
+        session_cfg.cached = false;
+        let sessions = ShardedSession::build(1, &model, &session_cfg, || {
+            Grid::for_unit_box(1, &config, 2).expect("grid space")
+        });
+        let probes: Vec<Vec<f64>> = [0.0, 0.5, 1.0].iter().map(|&v| vec![v]).collect();
+        let server_obs = Obs::wall();
+        let core = ShardServerCore::new(sessions.shard(0), 0, probes).with_obs(server_obs.clone());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let _guard = ShutdownGuard(&shutdown);
+            let core_ref = &core;
+            let shutdown_ref = &shutdown;
+            scope.spawn(move || serve_tcp(listener, core_ref, shutdown_ref));
+
+            let router_obs = Obs::wall();
+            let mut router = ShardRouter::new(
+                vec![StreamConn::tcp(addr, Duration::from_secs(5))],
+                |q| query_affinity(q, &model),
+                RetryPolicy {
+                    max_attempts: 4,
+                    attempt_timeout: 10.0,
+                    base_backoff: 0.01,
+                    max_backoff: 0.05,
+                    jitter: 0.5,
+                    seed: 42,
+                },
+                NetTime::wall(),
+            )
+            .with_obs(router_obs.clone());
+            for (i, query) in trace.queries.iter().enumerate() {
+                let resp = router.submit(SubmittedQuery {
+                    query: query.clone(),
+                    deadline: None,
+                });
+                assert!(
+                    resp.outcome.ok().is_some(),
+                    "obs smoke: query {i} unhealthy over TCP"
+                );
+            }
+            let traces_of = |obs: &Obs, name: &str| -> Vec<u64> {
+                let mut v: Vec<u64> = obs
+                    .spans()
+                    .iter()
+                    .filter(|s| s.name == name)
+                    .flat_map(|s| s.fields.iter())
+                    .filter(|(k, _)| *k == "trace")
+                    .map(|&(_, value)| value)
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            let sent = traces_of(&router_obs, "route_request");
+            let seen = traces_of(&server_obs, "server_request");
+            assert_eq!(sent.len(), trace.len(), "obs smoke: one span per submit");
+            assert_eq!(
+                sent, seen,
+                "obs smoke: trace ids must join across the TCP hop"
+            );
+            let scraped = router.scrape(0).expect("obs smoke: scrape over TCP");
+            assert!(
+                scraped
+                    .iter()
+                    .any(|(n, v)| n == "server_handled" && *v == trace.len() as f64),
+                "obs smoke: wire scrape returns the server's registry"
+            );
+            shutdown.store(true, Ordering::Relaxed);
+            eprintln!(
+                "obs smoke ok: {} trace ids joined across loopback TCP, scrape \
+                 returned {} samples",
+                sent.len(),
+                scraped.len()
+            );
+        });
+    }
+}
+
 /// The `--net` matrix: per workload, clean-wire rows at every shard
 /// count, then one row per fault kind × rate at the middle of the
 /// overlap range — reduced to `net_entries` rows and merged into the
@@ -755,6 +956,9 @@ fn measure_chaos(
 const SERVICE_MARKER: &str = ",\n  \"service_command\"";
 const CHAOS_MARKER: &str = ",\n  \"chaos_command\"";
 const NET_MARKER: &str = ",\n  \"net_command\"";
+// Preserved (never written by this bin): the trailing obs section owned
+// by `bench_rrpa --obs-overhead`.
+const OBS_MARKER: &str = ",\n  \"obs_command\"";
 
 /// Renders the trailing `service_command`/`service_entries` section
 /// (starting with the separator comma, no trailing newline).
@@ -793,8 +997,9 @@ fn render_net_block(command: &str, entries: &[NetBaselineEntry]) -> String {
 /// Replaces one trailing section (`service_*`, `chaos_*` or `net_*`,
 /// per `new_block`'s marker) of an existing baseline file, preserving
 /// everything else — including the *other* trailing sections — verbatim
-/// in the canonical order service → chaos → net, and bumping the schema
-/// to the binary's version.
+/// in the canonical order service → chaos → net → obs (the obs block is
+/// owned by `bench_rrpa --obs-overhead` and only ever preserved here),
+/// and bumping the schema to the binary's version.
 ///
 /// Refuses to write into a file stamped with a **newer** schema than
 /// this binary knows: an older writer cannot preserve sections whose
@@ -815,7 +1020,7 @@ fn merge_into(path: &str, new_block: &str) -> String {
     let end = text
         .rfind('}')
         .unwrap_or_else(|| die("--merge file is not a JSON object"));
-    let markers = [SERVICE_MARKER, CHAOS_MARKER, NET_MARKER];
+    let markers = [SERVICE_MARKER, CHAOS_MARKER, NET_MARKER, OBS_MARKER];
     let positions: Vec<Option<usize>> = markers
         .iter()
         .map(|m| text.find(m).filter(|&p| p < end))
@@ -865,6 +1070,10 @@ fn main() {
     }
     if args.smoke_net {
         run_smoke_net();
+        return;
+    }
+    if args.smoke_obs {
+        run_smoke_obs();
         return;
     }
     if args.seeds == 0 {

@@ -2,7 +2,10 @@
 //! configuration and print its counters plus the per-site LP breakdown —
 //! the quickest way to check a single cell of the bench matrix against
 //! `BENCH_rrpa.json` (plans must match seed for seed; `lps_solved` and
-//! the breakdown show where a change moved the LP tail).
+//! the breakdown show where a change moved the LP tail). The run happens
+//! under a live wall-clock `Obs` handle, so the output also includes the
+//! per-DP-level span timings (wall, sets, plan/LP deltas) — where the
+//! lattice actually spends its time, level by level.
 //!
 //! Usage: `cargo run --release -p mpq-bench --bin run_one -- grid star 8 2 0`
 
@@ -35,6 +38,8 @@ fn main() {
     );
     let model = CloudCostModel::default();
     let metrics = model.num_metrics();
+    let obs = mpq_obs::Obs::wall();
+    let _obs_guard = mpq_obs::install(&obs);
     let (stats, breakdown) = match args[0].as_str() {
         "grid" => {
             let space = GridSpace::for_unit_box(params, &config, metrics).unwrap();
@@ -65,6 +70,24 @@ fn main() {
             site.name(),
             breakdown.fast[site as usize],
             breakdown.lp[site as usize]
+        );
+    }
+    println!("dp levels:");
+    let field = |span: &mpq_obs::SpanRecord, key: &str| -> u64 {
+        span.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    for span in obs.spans().iter().filter(|s| s.name == "dp_level") {
+        println!(
+            "  level {:>2}: {:>9.3}ms sets={:>6} plans_delta={:>8} lps_delta={:>8}",
+            field(span, "level"),
+            span.end_us.saturating_sub(span.start_us) as f64 / 1e3,
+            field(span, "sets"),
+            field(span, "plans_delta"),
+            field(span, "lps_delta"),
         );
     }
 }

@@ -1515,7 +1515,7 @@ impl ServiceBaselineEntry {
 /// paths refuse to splice into a file stamped with a *newer* version
 /// than the binary knows (see [`baseline_schema_version`]), so an old
 /// binary can never silently downgrade a baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 9;
+pub const BENCH_SCHEMA_VERSION: u32 = 10;
 
 /// Reads the top-level `"schema_version"` of a baseline file's text
 /// (`None` when the key is absent or carries no digits).
@@ -1894,13 +1894,141 @@ impl NetBaselineEntry {
     }
 }
 
+/// One seed measured twice — observability off, then observability on
+/// (a live [`mpq_obs::Obs`] handle installed for the whole run) — with
+/// the bit-identity contract asserted at measure time: plan counters,
+/// LP counts and final Pareto-set sizes must be equal, because spans
+/// and registry mirrors only *read* the optimizer's counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsRecord {
+    /// Optimization wall time with observability off, milliseconds.
+    pub off_ms: f64,
+    /// Optimization wall time with a live handle installed, milliseconds.
+    pub on_ms: f64,
+    /// Spans the live handle recorded (`optimize` + one per DP level).
+    pub spans: u64,
+    /// Plans created (identical on both runs by contract).
+    pub plans_created: u64,
+    /// LPs solved (identical on both runs by contract).
+    pub lps_solved: u64,
+}
+
+/// Measures one `(config, seed)` with observability off and on, asserting
+/// the obs-off/obs-on bit-identity contract. The on-run uses a wall-clock
+/// handle — this is the *overhead* measurement, so the clock must be the
+/// real one the production path would read.
+pub fn run_obs_pair(
+    num_tables: usize,
+    topology: Topology,
+    num_params: usize,
+    seed: u64,
+    config: &OptimizerConfig,
+) -> ObsRecord {
+    let off = run_once(num_tables, topology, num_params, seed, config);
+    let obs = mpq_obs::Obs::wall();
+    let on = {
+        let _guard = mpq_obs::install(&obs);
+        run_once(num_tables, topology, num_params, seed, config)
+    };
+    assert_eq!(
+        (off.plans_created, off.lps_solved, off.final_plans),
+        (on.plans_created, on.lps_solved, on.final_plans),
+        "obs: a live handle must only watch, never perturb"
+    );
+    ObsRecord {
+        off_ms: off.time_ms,
+        on_ms: on.time_ms,
+        spans: obs.spans().len() as u64,
+        plans_created: off.plans_created,
+        lps_solved: off.lps_solved,
+    }
+}
+
+/// One measured observability-overhead configuration of the schema-v10
+/// `BENCH_rrpa.json` (`obs_entries`): obs-off vs obs-on medians for one
+/// workload shape, with bit-identity asserted per seed at measure time.
+#[derive(Debug, Clone)]
+pub struct ObsBaselineEntry {
+    /// Workload topology.
+    pub workload: String,
+    /// Tables per query.
+    pub num_tables: usize,
+    /// Parameters per query.
+    pub num_params: usize,
+    /// Median wall time with observability off (ms).
+    pub median_off_ms: f64,
+    /// Median wall time with a live handle installed (ms).
+    pub median_on_ms: f64,
+    /// Median overhead in percent: `(on - off) / off × 100`.
+    pub overhead_pct: f64,
+    /// Median spans recorded per observed run.
+    pub spans: f64,
+    /// Median created plans (identical obs-on/off by contract).
+    pub plans_created: f64,
+    /// Median solved LPs (identical obs-on/off by contract).
+    pub lps_solved: f64,
+    /// Number of seeds measured.
+    pub seeds: usize,
+}
+
+impl ObsBaselineEntry {
+    /// Medians over a per-seed record sample for one configuration.
+    pub fn from_records(
+        workload: &str,
+        num_tables: usize,
+        num_params: usize,
+        records: &[ObsRecord],
+    ) -> Self {
+        let med = |f: &dyn Fn(&ObsRecord) -> f64| {
+            let mut v: Vec<f64> = records.iter().map(f).collect();
+            median(&mut v)
+        };
+        let median_off_ms = med(&|r| r.off_ms);
+        let median_on_ms = med(&|r| r.on_ms);
+        Self {
+            workload: workload.to_string(),
+            num_tables,
+            num_params,
+            median_off_ms,
+            median_on_ms,
+            overhead_pct: (median_on_ms - median_off_ms) / median_off_ms * 100.0,
+            spans: med(&|r| r.spans as f64),
+            plans_created: med(&|r| r.plans_created as f64),
+            lps_solved: med(&|r| r.lps_solved as f64),
+            seeds: records.len(),
+        }
+    }
+
+    /// One `obs_entries` row.
+    pub fn to_json(&self) -> String {
+        format!(
+            "    {{\"workload\": \"{}\", \"num_tables\": {}, \"num_params\": {}, \
+             \"median_off_ms\": {:.3}, \"median_on_ms\": {:.3}, \"overhead_pct\": {:.2}, \
+             \"spans\": {:.0}, \"plans_created\": {:.0}, \"lps_solved\": {:.0}, \
+             \"seeds\": {}}}",
+            self.workload,
+            self.num_tables,
+            self.num_params,
+            self.median_off_ms,
+            self.median_on_ms,
+            self.overhead_pct,
+            self.spans,
+            self.plans_created,
+            self.lps_solved,
+            self.seeds
+        )
+    }
+}
+
 /// Serialises a baseline to the `BENCH_rrpa.json` format (hand-written
 /// JSON: the workspace has no serde backend). `batch_entries` is the
 /// schema-v3 batched-workload section, `mqo_entries` the schema-v7
 /// shared-subplan section, `service_entries` the schema-v5 service
-/// section, `chaos_entries` the schema-v6 fault-injection section and
-/// `net_entries` the schema-v9 networked-fabric section; pass `&[]` to
-/// omit any of them.
+/// section, `chaos_entries` the schema-v6 fault-injection section,
+/// `net_entries` the schema-v9 networked-fabric section and
+/// `obs_entries` the schema-v10 observability-overhead section; pass
+/// `&[]` to omit any of them.
+#[allow(clippy::too_many_arguments)] // one slice per baseline section, by design
 pub fn baseline_json(
     meta: &[(&str, String)],
     entries: &[BaselineEntry],
@@ -1909,6 +2037,7 @@ pub fn baseline_json(
     service_entries: &[ServiceBaselineEntry],
     chaos_entries: &[ChaosBaselineEntry],
     net_entries: &[NetBaselineEntry],
+    obs_entries: &[ObsBaselineEntry],
 ) -> String {
     let mut out = String::from("{\n");
     for (k, v) in meta {
@@ -1973,6 +2102,18 @@ pub fn baseline_json(
         for (i, e) in net_entries.iter().enumerate() {
             out.push_str(&e.to_json());
             out.push_str(if i + 1 < net_entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]");
+    }
+    if !obs_entries.is_empty() {
+        out.push_str(",\n  \"obs_entries\": [\n");
+        for (i, e) in obs_entries.iter().enumerate() {
+            out.push_str(&e.to_json());
+            out.push_str(if i + 1 < obs_entries.len() {
                 ",\n"
             } else {
                 "\n"
@@ -2061,6 +2202,7 @@ mod tests {
             &[],
             &[],
             &[],
+            &[],
         );
         assert!(json.contains("\"workload\": \"chain\""));
         assert!(json.contains("\"schema_version\": 1"));
@@ -2112,6 +2254,7 @@ mod tests {
             &[("schema_version", "3".to_string())],
             &[],
             &batch,
+            &[],
             &[],
             &[],
             &[],
@@ -2174,6 +2317,7 @@ mod tests {
             &[],
             &[],
             &mqo,
+            &[],
             &[],
             &[],
             &[],
@@ -2292,6 +2436,7 @@ mod tests {
             &[entry],
             &[],
             &[],
+            &[],
         );
         assert!(json.contains("\"service_entries\""));
         assert!(json.contains("\"capacity\": 8"));
@@ -2304,7 +2449,7 @@ mod tests {
             "chain",
             &[run_service_trace(&spec, 1, &config)],
         );
-        let json = baseline_json(&[], &[], &[], &[], &[entry], &[], &[]);
+        let json = baseline_json(&[], &[], &[], &[], &[entry], &[], &[], &[]);
         assert!(json.contains("\"capacity\": null"));
     }
 
@@ -2357,6 +2502,7 @@ mod tests {
             &[],
             &[],
             &[entry],
+            &[],
             &[],
         );
         assert!(json.contains("\"schema_version\": 6"));
@@ -2419,6 +2565,7 @@ mod tests {
             &[],
             &[],
             &[entry],
+            &[],
         );
         assert!(json.contains("\"net_entries\""));
         assert!(json.contains("\"fault_kind\": \"drop\""));

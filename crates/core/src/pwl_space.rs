@@ -264,6 +264,10 @@ impl MpqSpace for PwlSpace {
     fn lps_solved(&self) -> u64 {
         self.ctx.solved()
     }
+
+    fn publish_obs(&self, registry: &mpq_obs::Registry) {
+        self.ctx.publish_to(registry);
+    }
 }
 
 #[cfg(test)]

@@ -579,6 +579,13 @@ where
     let start = Instant::now();
     let run_lps = Arc::new(AtomicU64::new(0));
     let n = query.num_tables();
+    // The ambient observability handle: with nothing installed this is
+    // the disabled handle and every span below is an inert guard — the
+    // obs-off bit-identity test pins that plans and LP counts are
+    // unaffected either way (spans only *read* the counters).
+    let obs = mpq_obs::current();
+    let mut optimize_span = obs.span("optimize");
+    optimize_span.record("tables", n as u64);
     assert!(
         config.epsilon >= 0.0 && config.epsilon.is_finite(),
         "epsilon must be finite and non-negative"
@@ -611,28 +618,41 @@ where
     // (Algorithm 1 lines 3–6). Runs under the pool so every nested
     // fan-out (e.g. the space's per-simplex subtraction) sees the
     // configured thread budget, not the machine's.
-    for t in 0..n {
-        let q = TableSet::singleton(t);
-        let (plans, tally) = pool.install(|| {
-            let _attr = mpq_lp::attribute_solves(Arc::clone(&run_lps));
-            set_result_cached(ctx, subtree, full_connected, &best, &origins, q, || {
-                optimize_base(ctx, t)
-            })
-        });
-        register_level_result(
-            &mut arena,
-            &mut stats,
-            &mut best,
-            &mut origins,
-            q,
-            plans,
-            tally,
+    {
+        let mut level_span = obs.span("dp_level");
+        let (lps_before, plans_before) = (run_lps.load(Ordering::Relaxed), stats.plans_created);
+        for t in 0..n {
+            let q = TableSet::singleton(t);
+            let (plans, tally) = pool.install(|| {
+                let _attr = mpq_lp::attribute_solves(Arc::clone(&run_lps));
+                set_result_cached(ctx, subtree, full_connected, &best, &origins, q, || {
+                    optimize_base(ctx, t)
+                })
+            });
+            register_level_result(
+                &mut arena,
+                &mut stats,
+                &mut best,
+                &mut origins,
+                q,
+                plans,
+                tally,
+            );
+        }
+        level_span.record("level", 1);
+        level_span.record("sets", n as u64);
+        level_span.record("plans_delta", stats.plans_created - plans_before);
+        level_span.record(
+            "lps_delta",
+            run_lps.load(Ordering::Relaxed).saturating_sub(lps_before),
         );
     }
 
     // Table sets of increasing cardinality (lines 8–13); sets within one
     // cardinality are independent and run in parallel.
     for k in 2..=n {
+        let mut level_span = obs.span("dp_level");
+        let (lps_before, plans_before) = (run_lps.load(Ordering::Relaxed), stats.plans_created);
         let sets: Vec<(TableSet, bool)> = TableSet::subsets_of_size(n, k)
             .filter_map(|q| {
                 let q_connected = query.is_connected(q);
@@ -659,6 +679,7 @@ where
         });
         // Deterministic merge: arena ids and stats are assigned in
         // table-set order, independent of worker scheduling.
+        let num_sets = results.len();
         for (q, plans, tally) in results {
             register_level_result(
                 &mut arena,
@@ -670,6 +691,13 @@ where
                 tally,
             );
         }
+        level_span.record("level", k as u64);
+        level_span.record("sets", num_sets as u64);
+        level_span.record("plans_delta", stats.plans_created - plans_before);
+        level_span.record(
+            "lps_delta",
+            run_lps.load(Ordering::Relaxed).saturating_sub(lps_before),
+        );
     }
 
     let pending = best
@@ -687,6 +715,20 @@ where
     stats.lps_solved = space.lps_solved();
     stats.lps_solved_query = run_lps.load(Ordering::Relaxed);
     stats.elapsed = start.elapsed();
+    optimize_span.record("final_plans", plans.len() as u64);
+    optimize_span.record("lps_solved_query", stats.lps_solved_query);
+    if let Some(registry) = obs.registry() {
+        // LP fast-path-site attribution (and anything else the space
+        // tracks) lands in the registry alongside the spans.
+        space.publish_obs(registry);
+        registry.counter("optimize_runs").inc();
+        registry
+            .counter("optimize_plans_created")
+            .add(stats.plans_created);
+        registry
+            .counter("optimize_lps_solved")
+            .add(stats.lps_solved_query);
+    }
     MpqSolution {
         plans,
         arena,

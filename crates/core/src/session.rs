@@ -382,6 +382,20 @@ where
         self.subtree.as_ref().map(|c| c.len()).unwrap_or(0)
     }
 
+    /// Registers this session's cache counters (cost-lifting and
+    /// shared-subplan) in an observability registry under
+    /// `<prefix>lift_cache` / `<prefix>subtree_cache`. The registry
+    /// scrapes the same atomic cells [`Self::cache_stats`] and
+    /// [`Self::subtree_cache_stats`] read, so views never disagree.
+    pub fn register_obs(&self, registry: &mpq_obs::Registry, prefix: &str) {
+        if let Some(cache) = &self.cache {
+            registry.register_cache(&format!("{prefix}lift_cache"), cache.counters());
+        }
+        if let Some(subtree) = &self.subtree {
+            registry.register_cache(&format!("{prefix}subtree_cache"), subtree.counters());
+        }
+    }
+
     /// The shard affinity of `query` under this session's model (see
     /// [`query_affinity`]).
     pub fn affinity(&self, query: &Query) -> u64 {

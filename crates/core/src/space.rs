@@ -134,4 +134,10 @@ pub trait MpqSpace {
     fn lps_solved(&self) -> u64 {
         0
     }
+
+    /// Publishes this space's LP attribution — solved count and per-site
+    /// fast-path breakdown — into an observability registry (see
+    /// [`mpq_lp::LpCtx::publish_to`]). Spaces without an LP context
+    /// publish nothing.
+    fn publish_obs(&self, _registry: &mpq_obs::Registry) {}
 }

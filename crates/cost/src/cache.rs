@@ -49,10 +49,13 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Hit/miss/eviction counts of a [`LiftedCostCache`].
+use mpq_obs::CacheCounters;
+
+/// Hit/miss/eviction counts of a [`LiftedCostCache`] — a plain-value
+/// view of the cache's live [`CacheCounters`] (the one cache-stat shape
+/// every cache in the workspace reports through).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -63,6 +66,17 @@ pub struct CacheStats {
     /// Entries evicted by the second-chance policy (0 for unbounded
     /// caches).
     pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Snapshots live counters into a plain value.
+    pub fn of(counters: &CacheCounters) -> Self {
+        Self {
+            hits: counters.hits(),
+            misses: counters.misses(),
+            evictions: counters.evictions(),
+        }
+    }
 }
 
 impl CacheStats {
@@ -171,9 +185,7 @@ pub struct LiftedCostCache<K, V> {
     /// `None` = unbounded (batch mode); `Some(n)` = at most `n` resident
     /// entries (service mode).
     capacity: Option<usize>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    counters: Arc<CacheCounters>,
 }
 
 impl<K, V> Default for LiftedCostCache<K, V> {
@@ -200,9 +212,7 @@ impl<K, V> LiftedCostCache<K, V> {
                 hand: 0,
             }),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            counters: Arc::new(CacheCounters::new()),
         }
     }
 
@@ -211,13 +221,16 @@ impl<K, V> LiftedCostCache<K, V> {
         self.capacity
     }
 
-    /// Current hit/miss/eviction counters.
+    /// Current hit/miss/eviction counters, as a plain value.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        CacheStats::of(&self.counters)
+    }
+
+    /// The live counters, for registration in an observability registry
+    /// (the registry scrapes the same atomic cells [`stats`](Self::stats)
+    /// reads, so the two can never disagree).
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.counters)
     }
 }
 
@@ -237,13 +250,13 @@ impl<K: Eq + Hash + Clone, V> LiftedCostCache<K, V> {
         let cell = {
             let mut ring = self.ring.lock().expect("lift cache poisoned");
             if let Some(&slot) = ring.map.get(key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hit();
                 ring.slots[slot].referenced = true;
                 let cell = Arc::clone(&ring.slots[slot].cell);
                 drop(ring);
                 return cell.wait();
             }
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.miss();
             let cell = Arc::new(LiftCell::new());
             match self.capacity {
                 Some(0) => {} // pass-through: never resident
@@ -262,7 +275,7 @@ impl<K: Eq + Hash + Clone, V> LiftedCostCache<K, V> {
                             break i;
                         }
                     };
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.counters.evict();
                     let old = std::mem::replace(
                         &mut ring.slots[victim],
                         Slot {
@@ -438,7 +451,7 @@ mod tests {
     /// else" at any thread count.
     #[test]
     fn concurrent_missers_share_one_build() {
-        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Barrier;
 
         let cache: Arc<LiftedCostCache<u64, u64>> = Arc::new(LiftedCostCache::new());

@@ -400,6 +400,26 @@ impl LpCtx {
         out
     }
 
+    /// Publishes the current solved-LP count and the per-site fast-path
+    /// attribution into an observability registry, as gauges named
+    /// `lp_solved` and `lp_fastpath_<site>_{fast,lp}`. Gauges have set
+    /// semantics, so republishing after more work simply refreshes the
+    /// snapshot — the idiom is to call this at the end of each unit of
+    /// work (the optimizer does so per optimization when an
+    /// [`mpq_obs::Obs`] handle is installed).
+    pub fn publish_to(&self, registry: &mpq_obs::Registry) {
+        registry.gauge("lp_solved").set(self.solved());
+        let b = self.fastpath_breakdown();
+        for site in FastPathSite::ALL {
+            registry
+                .gauge(&format!("lp_fastpath_{}_fast", site.name()))
+                .set(b.fast[site as usize]);
+            registry
+                .gauge(&format!("lp_fastpath_{}_lp", site.name()))
+                .set(b.lp[site as usize]);
+        }
+    }
+
     /// Resets the solved-LP counter and the fast-path breakdown to zero.
     pub fn reset(&self) {
         self.solved.store(0, Ordering::Relaxed);
@@ -519,6 +539,25 @@ mod tests {
         assert_eq!(b.total_lp(), 1);
         ctx.reset();
         assert_eq!(ctx.fastpath_breakdown(), FastPathBreakdown::default());
+    }
+
+    #[test]
+    fn publish_to_mirrors_breakdown_as_gauges() {
+        let ctx = LpCtx::new();
+        let p = LpProblem::feasibility(1, vec![c(vec![1.0], 1.0)]);
+        ctx.solve(&p);
+        ctx.fastpath_hit(FastPathSite::Coverage);
+        ctx.fastpath_fallback(FastPathSite::Coverage);
+        let registry = mpq_obs::Registry::new();
+        ctx.publish_to(&registry);
+        assert_eq!(registry.gauge("lp_solved").get(), 1);
+        assert_eq!(registry.gauge("lp_fastpath_coverage_fast").get(), 1);
+        assert_eq!(registry.gauge("lp_fastpath_coverage_lp").get(), 1);
+        assert_eq!(registry.gauge("lp_fastpath_piece_algebra_fast").get(), 0);
+        // Republishing after more work refreshes, not accumulates.
+        ctx.solve(&p);
+        ctx.publish_to(&registry);
+        assert_eq!(registry.gauge("lp_solved").get(), 2);
     }
 
     #[test]

@@ -37,8 +37,11 @@ use mpq_catalog::Query;
 use mpq_cloud::shape::fnv1a_bytes;
 use mpq_service::{ServiceClock, ServiceStats, ShardStats, SubmittedQuery, VirtualClock};
 
+use mpq_obs::Obs;
+
 use crate::wire::{
-    decode_message, encode_message, write_frame, Message, WireError, WireOutcome, WireRequest,
+    decode_message, encode_message, write_frame, Message, WireError, WireMetricsRequest,
+    WireOutcome, WireRequest,
 };
 
 /// A transport-layer failure, as the router sees it. Unlike
@@ -343,6 +346,19 @@ pub struct NetResponse {
     pub latency: f64,
 }
 
+/// A stable numeric code for each outcome variant, recorded on the
+/// router's `route_request` span (span fields are `u64`).
+fn outcome_code(outcome: &WireOutcome) -> u64 {
+    match outcome {
+        WireOutcome::Ok(_) => 0,
+        WireOutcome::Panicked { .. } => 1,
+        WireOutcome::TimedOut => 2,
+        WireOutcome::Rejected => 3,
+        WireOutcome::Shutdown => 4,
+        WireOutcome::Unavailable => 5,
+    }
+}
+
 #[derive(Debug, Default)]
 struct RouterCounters {
     submitted: u64,
@@ -366,7 +382,9 @@ pub struct ShardRouter<'a, C: ShardConn> {
     policy: RetryPolicy,
     time: NetTime,
     next_request_id: u64,
+    next_trace_id: u64,
     counters: RouterCounters,
+    obs: Obs,
 }
 
 impl<'a, C: ShardConn> ShardRouter<'a, C> {
@@ -391,11 +409,22 @@ impl<'a, C: ShardConn> ShardRouter<'a, C> {
             policy,
             time,
             next_request_id: 1,
+            next_trace_id: 1,
             counters: RouterCounters {
                 per_shard_queries: vec![0; shards],
                 ..RouterCounters::default()
             },
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle: every submission opens a
+    /// `route_request` span stamped with the trace id it sent on the
+    /// wire, so router spans join server spans across the process
+    /// boundary. With [`Obs::off`] (the default) nothing is recorded.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The shard `query` routes to.
@@ -409,6 +438,14 @@ impl<'a, C: ShardConn> ShardRouter<'a, C> {
     pub fn submit(&mut self, submitted: SubmittedQuery) -> NetResponse {
         let digest = query_digest(&submitted.query);
         let shard = self.shard_of(&submitted.query);
+        // The trace id is per *query*, not per attempt: every retry of
+        // this submission carries the same id, so the server-side spans
+        // of all attempts join this router span under one trace.
+        let trace_id = self.next_trace_id;
+        self.next_trace_id += 1;
+        let mut span = self.obs.span("route_request");
+        span.record("trace", trace_id);
+        span.record("shard", shard as u64);
         self.counters.submitted += 1;
         self.counters.per_shard_queries[shard] += 1;
         let start = self.time.now();
@@ -418,17 +455,29 @@ impl<'a, C: ShardConn> ShardRouter<'a, C> {
                 request_id,
                 digest,
                 attempt,
+                trace_id,
                 submitted: submitted.clone(),
             }))
         };
 
         let mut attempts = 0u32;
-        while attempts < self.policy.max_attempts {
+        let response = loop {
+            if attempts >= self.policy.max_attempts {
+                // Out of attempts. A deadline that has meanwhile expired
+                // makes this a timeout; otherwise the shard is
+                // unavailable.
+                let outcome = if deadline.is_some_and(|d| self.time.now() > d) {
+                    WireOutcome::TimedOut
+                } else {
+                    WireOutcome::Unavailable
+                };
+                break self.resolve(shard, start, attempts, false, None, outcome);
+            }
             // Deadline first: a query whose budget has expired is
             // classified, not retried — graceful degradation is an
             // answer, not an absence.
             if deadline.is_some_and(|d| self.time.now() > d) {
-                return self.resolve(
+                break self.resolve(
                     shard,
                     start,
                     attempts.max(1),
@@ -450,7 +499,7 @@ impl<'a, C: ShardConn> ShardRouter<'a, C> {
                     Ok(Message::Response(resp))
                         if resp.request_id == request_id && resp.digest == digest =>
                     {
-                        return self.resolve(
+                        break self.resolve(
                             shard,
                             start,
                             attempts,
@@ -467,16 +516,32 @@ impl<'a, C: ShardConn> ShardRouter<'a, C> {
                 },
                 Err(_) => continue, // timeout / closed / io — retry
             }
-        }
-
-        // Out of attempts. A deadline that has meanwhile expired makes
-        // this a timeout; otherwise the shard is unavailable.
-        let outcome = if deadline.is_some_and(|d| self.time.now() > d) {
-            WireOutcome::TimedOut
-        } else {
-            WireOutcome::Unavailable
         };
-        self.resolve(shard, start, attempts, false, None, outcome)
+        span.record("attempts", u64::from(response.attempts));
+        span.record("outcome", outcome_code(&response.outcome));
+        if response.dedup {
+            span.record("dedup", 1);
+        }
+        response
+    }
+
+    /// Scrapes shard `shard`'s metrics registry over the wire: one
+    /// [`Message::MetricsRequest`] exchange, answered from the server's
+    /// registry as `(name, value)` samples (empty when the server runs
+    /// with observability off). Uses the policy's attempt timeout but
+    /// never retries — a scrape is a diagnostic read, not a query.
+    pub fn scrape(&mut self, shard: usize) -> Result<Vec<(String, f64)>, NetError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let frame = encode_message(&Message::MetricsRequest(WireMetricsRequest { request_id }));
+        let payload = self.conns[shard].call(&frame, self.policy.attempt_timeout)?;
+        match decode_message(&payload) {
+            Ok(Message::MetricsResponse(resp)) if resp.request_id == request_id => Ok(resp.samples),
+            Ok(_) => Err(NetError::Io(
+                "scrape answered with a non-metrics frame".into(),
+            )),
+            Err(err) => Err(NetError::Wire(err)),
+        }
     }
 
     fn resolve(

@@ -31,17 +31,18 @@ use std::io;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mpq_cloud::model::ParametricCostModel;
 use mpq_core::session::OptimizerSession;
 use mpq_core::space::MpqSpace;
+use mpq_obs::{CacheCounters, Counter, Obs};
 
 use crate::wire::{
-    decode_message, encode_message, peek_request, write_frame, Message, PlanSummary, WireOutcome,
-    WireProtocolError, WireResponse,
+    decode_message, encode_message, peek_request, write_frame, Message, PlanSummary,
+    WireMetricsResponse, WireOutcome, WireProtocolError, WireResponse,
 };
 
 /// Monotone counters a shard server keeps about its own traffic.
@@ -79,10 +80,16 @@ pub struct ShardServerCore<'a, 'm, S: MpqSpace, M: ParametricCostModel + ?Sized>
     /// "first optimize wins, everyone replays it" trivially true even
     /// when connections race on the same digest.
     dedup: Mutex<HashMap<u64, (WireOutcome, Option<f64>)>>,
-    handled: AtomicU64,
-    dedup_hits: AtomicU64,
-    protocol_errors: AtomicU64,
-    panicked: AtomicU64,
+    /// Hit/miss counters of the idempotency cache — the same
+    /// [`CacheCounters`] cells that back `mpq-cost`'s lift and subtree
+    /// caches, so one stats type describes every cache in the system.
+    /// With observability on these are the registry's `server_dedup`
+    /// cells; [`Self::counters`] reads them either way.
+    dedup_counters: Arc<CacheCounters>,
+    obs: Obs,
+    handled: Counter,
+    protocol_errors: Counter,
+    panicked: Counter,
 }
 
 impl<'a, 'm, S, M> ShardServerCore<'a, 'm, S, M>
@@ -101,11 +108,32 @@ where
             probes,
             epsilon: None,
             dedup: Mutex::new(HashMap::new()),
-            handled: AtomicU64::new(0),
-            dedup_hits: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
+            dedup_counters: Arc::new(CacheCounters::new()),
+            obs: Obs::off(),
+            handled: Counter::new(),
+            protocol_errors: Counter::new(),
+            panicked: Counter::new(),
         }
+    }
+
+    /// Attaches an observability handle: the traffic counters and the
+    /// dedup cache re-home onto the handle's registry (`server_handled`,
+    /// `server_protocol_errors`, `server_panicked`, `server_dedup`, plus
+    /// the session's caches under `server_`), every request emits a
+    /// `server_request` span stamped with the wire `trace_id`, and
+    /// [`Message::MetricsRequest`] frames are answered from the
+    /// registry. Call before serving — re-homing does not migrate counts
+    /// already accumulated.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        if let Some(registry) = obs.registry() {
+            self.handled = registry.counter("server_handled");
+            self.protocol_errors = registry.counter("server_protocol_errors");
+            self.panicked = registry.counter("server_panicked");
+            self.dedup_counters = registry.cache("server_dedup");
+            self.session.register_obs(registry, "server_");
+        }
+        self.obs = obs;
+        self
     }
 
     /// Serves every request ε-approximately (`optimize_at(ε)`) and
@@ -122,13 +150,14 @@ where
         self.shard
     }
 
-    /// Snapshot of the server-side counters.
+    /// Snapshot of the server-side counters (a thin view over the same
+    /// cells the registry exposes when observability is on).
     pub fn counters(&self) -> ServerCounters {
         ServerCounters {
-            handled: self.handled.load(Ordering::Relaxed),
-            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            panicked: self.panicked.load(Ordering::Relaxed),
+            handled: self.handled.get(),
+            dedup_hits: self.dedup_counters.hits(),
+            protocol_errors: self.protocol_errors.get(),
+            panicked: self.panicked.get(),
         }
     }
 
@@ -138,15 +167,26 @@ where
     pub fn handle_frame(&self, payload: &[u8]) -> Vec<u8> {
         let request = match decode_message(payload) {
             Ok(Message::Request(req)) => req,
+            Ok(Message::MetricsRequest(scrape)) => {
+                // A metrics scrape: flatten the registry (empty when this
+                // server runs unobserved — the scrape itself still
+                // succeeds, so routers need not know who is observed).
+                let samples = self.obs.registry().map(|r| r.samples()).unwrap_or_default();
+                return encode_message(&Message::MetricsResponse(WireMetricsResponse {
+                    request_id: scrape.request_id,
+                    shard: self.shard,
+                    samples,
+                }));
+            }
             Ok(_) => {
-                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.inc();
                 return encode_message(&Message::Error(WireProtocolError {
                     request_id: 0,
                     message: "expected a request frame".into(),
                 }));
             }
             Err(err) => {
-                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.inc();
                 // Salvage the request id if the header survived the
                 // damage, so the client can match the diagnosis to an
                 // in-flight request.
@@ -157,7 +197,18 @@ where
                 }));
             }
         };
-        self.handled.fetch_add(1, Ordering::Relaxed);
+        self.handled.inc();
+        // Install the handle for the optimize below, so the optimizer's
+        // own spans (`optimize`, `dp_level`) nest under this request's —
+        // and stamp the span with the *wire* trace id, which is what
+        // makes it joinable with the router's span for the same request
+        // across the process boundary.
+        let _obs_guard = mpq_obs::install(&self.obs);
+        let mut span = self.obs.span("server_request");
+        span.record("trace", request.trace_id);
+        span.record("request", request.request_id);
+        span.record("shard", u64::from(self.shard));
+        span.record("attempt", u64::from(request.attempt));
 
         // Idempotency: hold the digest's cache entry across the whole
         // optimize, so a racing replay of the same digest waits and
@@ -171,18 +222,21 @@ where
                 Err(poisoned) => poisoned.into_inner(),
             };
             if let Some((outcome, eps)) = cache.get(&request.digest) {
-                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                self.dedup_counters.hit();
                 (outcome.clone(), *eps, true)
             } else {
+                self.dedup_counters.miss();
                 let (outcome, eps) = self.optimize_once(&request.submitted.query);
                 cache.insert(request.digest, (outcome.clone(), eps));
                 (outcome, eps, false)
             }
         };
+        span.record("dedup", u64::from(dedup));
 
         encode_message(&Message::Response(WireResponse {
             request_id: request.request_id,
             digest: request.digest,
+            trace_id: request.trace_id,
             shard: self.shard,
             dedup,
             outcome,
@@ -206,7 +260,7 @@ where
                 epsilon,
             ),
             Err(payload) => {
-                self.panicked.fetch_add(1, Ordering::Relaxed);
+                self.panicked.inc();
                 let message = if let Some(s) = payload.downcast_ref::<&str>() {
                     (*s).to_string()
                 } else if let Some(s) = payload.downcast_ref::<String>() {

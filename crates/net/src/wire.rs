@@ -34,7 +34,13 @@ pub const WIRE_MAGIC: u16 = 0x514d;
 
 /// Wire format version. Bump on any layout change; decoders reject other
 /// versions with [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2 added the observability fields: `trace_id` on requests (after
+/// `attempt`, so [`peek_request`]'s offsets are version-stable) and
+/// responses, plus the [`Message::MetricsRequest`] /
+/// [`Message::MetricsResponse`] scrape kinds. A v1 peer is refused with
+/// the typed error — negotiation by rejection, never a misparse.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard cap on one frame's payload (header + body). Large enough for any
 /// plan summary the optimizer produces, small enough that a corrupted
@@ -551,6 +557,11 @@ pub struct WireRequest {
     /// 0-based attempt number (0 = first send, >0 = retry). Servers
     /// ignore it; the deterministic fault injector keys on it.
     pub attempt: u32,
+    /// The router-assigned trace id, **stable across retries** (unlike
+    /// `request_id`, which is per-attempt): the server stamps its spans
+    /// with it, so a request's server-side spans join the router's by
+    /// this one key however many attempts the wire cost it.
+    pub trace_id: u64,
     /// The query and its optional deadline (in the *submitter's* service
     /// clock — routers enforce deadlines, servers don't parse clocks
     /// they don't share).
@@ -564,6 +575,8 @@ pub struct WireResponse {
     pub request_id: u64,
     /// Echo of the request's content digest.
     pub digest: u64,
+    /// Echo of the request's trace id (see [`WireRequest::trace_id`]).
+    pub trace_id: u64,
     /// The shard that answered.
     pub shard: u32,
     /// True iff the answer was replayed from the server's idempotency
@@ -586,6 +599,28 @@ pub struct WireProtocolError {
     pub message: String,
 }
 
+/// A metrics scrape request: ask a shard server for its registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetricsRequest {
+    /// Connection-local request id (shares the ordinary id space, so a
+    /// scrape's answer is matchable like any other response).
+    pub request_id: u64,
+}
+
+/// A metrics scrape answer: the server's registry flattened to
+/// Prometheus-style `(name, value)` samples
+/// (`mpq_obs::Registry::samples`) — mergeable by name on the router
+/// side, and empty when the server runs unobserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetricsResponse {
+    /// Echo of the scrape's request id.
+    pub request_id: u64,
+    /// The shard that answered.
+    pub shard: u32,
+    /// `(name, value)` samples in registry (name) order.
+    pub samples: Vec<(String, f64)>,
+}
+
 /// Every message the fabric speaks.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -595,11 +630,17 @@ pub enum Message {
     Response(WireResponse),
     /// Server → client: your frame was undecodable.
     Error(WireProtocolError),
+    /// Client → server: send me your metrics registry.
+    MetricsRequest(WireMetricsRequest),
+    /// Server → client: the registry, flattened to samples.
+    MetricsResponse(WireMetricsResponse),
 }
 
 const MSG_REQUEST: u8 = 1;
 const MSG_RESPONSE: u8 = 2;
 const MSG_ERROR: u8 = 3;
+const MSG_METRICS_REQUEST: u8 = 4;
+const MSG_METRICS_RESPONSE: u8 = 5;
 
 /// Header bytes before the body: magic (2) + version (1) + tag (1) +
 /// checksum (8).
@@ -614,12 +655,14 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             body.u64(req.request_id);
             body.u64(req.digest);
             body.u32(req.attempt);
+            body.u64(req.trace_id);
             encode_submitted(&mut body, &req.submitted);
             MSG_REQUEST
         }
         Message::Response(resp) => {
             body.u64(resp.request_id);
             body.u64(resp.digest);
+            body.u64(resp.trace_id);
             body.u32(resp.shard);
             body.bool(resp.dedup);
             match &resp.outcome {
@@ -643,6 +686,20 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             body.u64(err.request_id);
             body.str(&err.message);
             MSG_ERROR
+        }
+        Message::MetricsRequest(req) => {
+            body.u64(req.request_id);
+            MSG_METRICS_REQUEST
+        }
+        Message::MetricsResponse(resp) => {
+            body.u64(resp.request_id);
+            body.u32(resp.shard);
+            body.seq_len(resp.samples.len());
+            for (name, value) in &resp.samples {
+                body.str(name);
+                body.f64(*value);
+            }
+            MSG_METRICS_RESPONSE
         }
     };
     let body = body.into_bytes();
@@ -687,17 +744,20 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             let request_id = r.u64()?;
             let digest = r.u64()?;
             let attempt = r.u32()?;
+            let trace_id = r.u64()?;
             let submitted = decode_submitted(&mut r)?;
             Message::Request(WireRequest {
                 request_id,
                 digest,
                 attempt,
+                trace_id,
                 submitted,
             })
         }
         MSG_RESPONSE => {
             let request_id = r.u64()?;
             let digest = r.u64()?;
+            let trace_id = r.u64()?;
             let shard = r.u32()?;
             let dedup = r.bool()?;
             let outcome = match r.u8()? {
@@ -718,6 +778,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             Message::Response(WireResponse {
                 request_id,
                 digest,
+                trace_id,
                 shard,
                 dedup,
                 outcome,
@@ -730,6 +791,26 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             Message::Error(WireProtocolError {
                 request_id,
                 message,
+            })
+        }
+        MSG_METRICS_REQUEST => {
+            let request_id = r.u64()?;
+            Message::MetricsRequest(WireMetricsRequest { request_id })
+        }
+        MSG_METRICS_RESPONSE => {
+            let request_id = r.u64()?;
+            let shard = r.u32()?;
+            let n = r.seq_len()?;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                let value = r.f64()?;
+                samples.push((name, value));
+            }
+            Message::MetricsResponse(WireMetricsResponse {
+                request_id,
+                shard,
+                samples,
             })
         }
         tag => {
@@ -895,6 +976,7 @@ mod tests {
             request_id: 7,
             digest: 0xdead_beef,
             attempt: 2,
+            trace_id: 0x7ace,
             submitted: SubmittedQuery {
                 query: sample_query(),
                 deadline: Some(1.25),
@@ -906,6 +988,7 @@ mod tests {
         Message::Response(WireResponse {
             request_id: 7,
             digest: 0xdead_beef,
+            trace_id: 0x7ace,
             shard: 3,
             dedup: true,
             outcome: WireOutcome::Ok(PlanSummary {
@@ -930,6 +1013,7 @@ mod tests {
             Message::Response(WireResponse {
                 request_id: 1,
                 digest: 2,
+                trace_id: 3,
                 shard: 0,
                 dedup: false,
                 outcome: WireOutcome::Panicked {
@@ -940,6 +1024,7 @@ mod tests {
             Message::Response(WireResponse {
                 request_id: 1,
                 digest: 2,
+                trace_id: 3,
                 shard: 0,
                 dedup: false,
                 outcome: WireOutcome::Shutdown,
@@ -948,6 +1033,15 @@ mod tests {
             Message::Error(WireProtocolError {
                 request_id: 0,
                 message: "truncated frame".into(),
+            }),
+            Message::MetricsRequest(WireMetricsRequest { request_id: 41 }),
+            Message::MetricsResponse(WireMetricsResponse {
+                request_id: 41,
+                shard: 2,
+                samples: vec![
+                    ("optimize_runs".into(), 3.0),
+                    ("server_handled".into(), 17.5),
+                ],
             }),
         ];
         for msg in &messages {
@@ -963,6 +1057,7 @@ mod tests {
         let msg = Message::Response(WireResponse {
             request_id: 9,
             digest: 9,
+            trace_id: 9,
             shard: 0,
             dedup: false,
             outcome: WireOutcome::Ok(PlanSummary {
@@ -1010,6 +1105,43 @@ mod tests {
         );
     }
 
+    /// The v2 observability fields survive the wire bit-exactly, and a
+    /// v1 peer is refused with the typed version error — the layout
+    /// changed under it, so rejection (not misparse) is the contract.
+    #[test]
+    fn v2_trace_ids_round_trip_and_v1_is_refused() {
+        let bytes = encode_message(&sample_request());
+        let Message::Request(req) = decode_message(&bytes).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(req.trace_id, 0x7ace);
+        let bytes = encode_message(&sample_response());
+        let Message::Response(resp) = decode_message(&bytes).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(resp.trace_id, 0x7ace);
+        // Version skew: a frame stamped v1 (the pre-trace-id layout)
+        // must be refused, whatever its body holds.
+        let mut stale = encode_message(&sample_request());
+        stale[2] = 1;
+        assert_eq!(
+            decode_message(&stale),
+            Err(WireError::UnsupportedVersion(1))
+        );
+        assert_eq!(peek_request(&stale), Err(WireError::UnsupportedVersion(1)));
+        // And the metrics kinds are v2-only tags 4 and 5.
+        let scrape = encode_message(&Message::MetricsRequest(WireMetricsRequest {
+            request_id: 1,
+        }));
+        assert_eq!(scrape[3], 4);
+        let answer = encode_message(&Message::MetricsResponse(WireMetricsResponse {
+            request_id: 1,
+            shard: 0,
+            samples: Vec::new(),
+        }));
+        assert_eq!(answer[3], 5);
+    }
+
     #[test]
     fn checksum_catches_body_damage() {
         let bytes = encode_message(&sample_response());
@@ -1046,6 +1178,7 @@ mod tests {
         let mut body = Writer::new();
         body.u64(1); // request id
         body.u64(2); // digest
+        body.u64(3); // trace id
         body.u32(0); // shard
         body.u8(0); // dedup
         body.u8(0); // outcome: Ok

@@ -34,6 +34,7 @@ fn arbitrary_message(seed: u64) -> Message {
             request_id: rng.gen_range(0u64..u64::MAX),
             digest: rng.gen_range(0u64..u64::MAX),
             attempt: rng.gen_range(0u32..8),
+            trace_id: rng.gen_range(0u64..u64::MAX),
             submitted: SubmittedQuery {
                 query,
                 deadline: if rng.gen_range(0u32..2) == 0 {
@@ -70,6 +71,7 @@ fn arbitrary_message(seed: u64) -> Message {
             Message::Response(WireResponse {
                 request_id: rng.gen_range(0u64..u64::MAX),
                 digest: rng.gen_range(0u64..u64::MAX),
+                trace_id: rng.gen_range(0u64..u64::MAX),
                 shard: rng.gen_range(0u32..8),
                 dedup: rng.gen_range(0u32..2) == 1,
                 outcome: WireOutcome::Ok(PlanSummary {
@@ -89,6 +91,7 @@ fn arbitrary_message(seed: u64) -> Message {
         2 => Message::Response(WireResponse {
             request_id: rng.gen_range(0u64..u64::MAX),
             digest: rng.gen_range(0u64..u64::MAX),
+            trace_id: rng.gen_range(0u64..u64::MAX),
             shard: rng.gen_range(0u32..8),
             dedup: false,
             outcome: WireOutcome::Panicked {
@@ -99,6 +102,7 @@ fn arbitrary_message(seed: u64) -> Message {
         3 => Message::Response(WireResponse {
             request_id: rng.gen_range(0u64..u64::MAX),
             digest: rng.gen_range(0u64..u64::MAX),
+            trace_id: rng.gen_range(0u64..u64::MAX),
             shard: 0,
             dedup: false,
             outcome: match rng.gen_range(0u32..4) {
@@ -117,6 +121,7 @@ fn arbitrary_message(seed: u64) -> Message {
             request_id: 0,
             digest: 0,
             attempt: 0,
+            trace_id: 0,
             submitted: SubmittedQuery {
                 query,
                 deadline: None,

@@ -21,6 +21,7 @@ use mpq_core::OptimizerConfig;
 use mpq_net::router::{NetTime, RetryPolicy, ShardRouter, StreamConn};
 use mpq_net::server::{serve_tcp, serve_unix, ShardServerCore};
 use mpq_net::wire::{PlanSummary, WireOutcome};
+use mpq_obs::Obs;
 use mpq_service::SubmittedQuery;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -227,6 +228,96 @@ fn unix_socket_round_trip() {
     });
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir(&dir);
+}
+
+/// Trace ids survive a real TCP hop: every `server_request` span the
+/// shard emits carries the exact trace id of the router span that sent
+/// it, and a wire scrape of the server returns its registry's counters.
+#[test]
+fn trace_ids_join_across_a_real_tcp_hop() {
+    let trace = generate_trace(
+        &TraceConfig {
+            workload: WorkloadConfig::uniform(
+                GeneratorConfig::paper(2, Topology::Chain, 1),
+                3,
+                0.0,
+            ),
+            mean_gap: 0.0,
+        },
+        &mut StdRng::seed_from_u64(13),
+    );
+    let model = CloudCostModel::default();
+    let opt = opt_config();
+    let session_cfg = uncached(&opt);
+    let sessions = ShardedSession::build(1, &model, &session_cfg, || {
+        GridSpace::for_unit_box(1, &opt, 2).expect("grid space")
+    });
+    let server_obs = Obs::wall();
+    let core = ShardServerCore::new(sessions.shard(0), 0, probes()).with_obs(server_obs.clone());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&shutdown);
+        let core_ref = &core;
+        let shutdown_ref = &shutdown;
+        scope.spawn(move || serve_tcp(listener, core_ref, shutdown_ref));
+
+        let router_obs = Obs::wall();
+        let mut router = ShardRouter::new(
+            vec![StreamConn::tcp(addr, Duration::from_secs(5))],
+            |q| query_affinity(q, &model),
+            wall_policy(),
+            NetTime::wall(),
+        )
+        .with_obs(router_obs.clone());
+
+        for query in &trace.queries {
+            let resp = router.submit(SubmittedQuery {
+                query: query.clone(),
+                deadline: None,
+            });
+            assert!(resp.outcome.ok().is_some(), "healthy over loopback");
+        }
+
+        let field = |obs: &Obs, name: &str| -> Vec<u64> {
+            obs.spans()
+                .iter()
+                .filter(|s| s.name == name)
+                .flat_map(|s| s.fields.iter())
+                .filter(|(k, _)| *k == "trace")
+                .map(|&(_, v)| v)
+                .collect()
+        };
+        let sent = field(&router_obs, "route_request");
+        let seen = field(&server_obs, "server_request");
+        assert_eq!(sent.len(), trace.len(), "one router span per submit");
+        assert_eq!(
+            {
+                let mut s = seen.clone();
+                s.sort_unstable();
+                s
+            },
+            {
+                let mut s = sent.clone();
+                s.sort_unstable();
+                s
+            },
+            "every trace id joins across the TCP hop"
+        );
+
+        // And the registry crosses the same hop: scrape == the server's
+        // own samples.
+        let scraped = router.scrape(0).expect("scrape over TCP");
+        let registry = server_obs.registry().expect("enabled handle");
+        assert_eq!(scraped, registry.samples(), "scrape mirrors the registry");
+        assert!(scraped
+            .iter()
+            .any(|(name, v)| name == "server_handled" && *v == trace.len() as f64));
+
+        shutdown.store(true, Ordering::Relaxed);
+    });
 }
 
 #[test]

@@ -19,6 +19,7 @@
 //! | [`core`] | `mpq-core` | RRPA, PWL-RRPA, spaces, baselines, validation |
 //! | [`service`] | `mpq-service` | optimizer service: batch accumulation, sharded sessions, tickets |
 //! | [`net`] | `mpq-net` | networked shard fabric: versioned wire format, shard servers, retrying router |
+//! | [`obs`] | `mpq-obs` | deterministic observability: metrics registry, log-bucketed histograms, spans |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@ pub use mpq_cost as cost;
 pub use mpq_geometry as geometry;
 pub use mpq_lp as lp;
 pub use mpq_net as net;
+pub use mpq_obs as obs;
 pub use mpq_service as service;
 
 /// The commonly used API surface (re-export of [`mpq_core::prelude`]).
